@@ -1,0 +1,36 @@
+//! ABL-ACC: the three evaluations of procedure ACCUMULATION (paper-direct,
+//! zeta + inclusion–exclusion, complement identity) on the same instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowrel_bench::{barbell_with_edges, demand_of};
+use flowrel_core::{reliability_bottleneck, AccumulationMethod, CalcOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulation_ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let (inst, cut) = barbell_with_edges(18, 3, 3, 77);
+    let d = demand_of(&inst);
+    for method in [
+        AccumulationMethod::PaperDirect,
+        AccumulationMethod::ZetaInclusionExclusion,
+        AccumulationMethod::Complement,
+    ] {
+        let opts = CalcOptions {
+            accumulation: method,
+            max_assignments: 31,
+            assignment_model: flowrel_core::AssignmentModel::ForwardOnly,
+            ..CalcOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &inst,
+            |b, inst| b.iter(|| reliability_bottleneck(&inst.net, d, &cut, &opts).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! ABL-α: the decomposition's cost is governed by the *larger* side
+//! (`2^{α|E|}`). Fixed total `|E|`, varying balance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowrel_bench::{demand_of, skewed_barbell};
+use flowrel_core::{reliability_bottleneck, CalcOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let total = 20usize;
+    for left in [10usize, 12, 14, 16] {
+        let right = total - left;
+        let (inst, cut) = skewed_barbell(left, right, 2, 1, 17);
+        let d = demand_of(&inst);
+        let opts = CalcOptions::default();
+        let alpha = left as f64 / (total + 2) as f64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha={alpha:.2}")),
+            &inst,
+            |b, inst| b.iter(|| reliability_bottleneck(&inst.net, d, &cut, &opts).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

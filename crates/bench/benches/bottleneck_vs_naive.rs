@@ -1,0 +1,41 @@
+//! THM-MAIN: the headline claim — the bottleneck decomposition reduces the
+//! exponent from `|E|` to `α|E|`. Naive and bottleneck run on the same
+//! barbell family; their gap must widen exponentially with `|E|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowrel_bench::{barbell_with_edges, demand_of};
+use flowrel_core::{reliability_bottleneck, reliability_naive, CalcOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm_main");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for edges in [12usize, 14, 16, 18, 20] {
+        let (inst, cut) = barbell_with_edges(edges, 2, 2, 33);
+        let d = demand_of(&inst);
+        let opts = CalcOptions::default();
+        let m = inst.net.edge_count();
+        group.bench_with_input(BenchmarkId::new("naive", m), &inst, |b, inst| {
+            b.iter(|| reliability_naive(&inst.net, d, &opts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bottleneck", m), &inst, |b, inst| {
+            b.iter(|| reliability_bottleneck(&inst.net, d, &cut, &opts).unwrap())
+        });
+    }
+    // bottleneck only, past naive's practical range
+    for edges in [24usize, 28] {
+        let (inst, cut) = barbell_with_edges(edges, 2, 2, 33);
+        let d = demand_of(&inst);
+        let opts = CalcOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("bottleneck", inst.net.edge_count()),
+            &inst,
+            |b, inst| b.iter(|| reliability_bottleneck(&inst.net, d, &cut, &opts).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! ABL-KD: the constant factor of the paper's bound grows with `d^k`
+//! (assignment count) and `2^k` (bottleneck configurations). Sweep both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowrel_bench::{barbell_with_edges, demand_of};
+use flowrel_core::{reliability_bottleneck, CalcOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kd_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for k in [1usize, 2, 3] {
+        for d in [1u64, 2, 3] {
+            let (inst, cut) = barbell_with_edges(16, k, d, 55);
+            let dem = demand_of(&inst);
+            // the paper's model: the ablation measures the paper's own
+            // 2^{d^k} constant factor
+            let opts = CalcOptions {
+                max_assignments: 31,
+                assignment_model: flowrel_core::AssignmentModel::ForwardOnly,
+                ..CalcOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("k={k}_d={d}")),
+                &inst,
+                |b, inst| {
+                    b.iter(|| reliability_bottleneck(&inst.net, dem, &cut, &opts).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

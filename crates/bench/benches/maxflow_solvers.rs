@@ -1,0 +1,45 @@
+//! ABL-MF: the max-flow oracle choice (the inner loop of every reliability
+//! algorithm) across the bundled solvers, on an overlay-scale graph and on
+//! the limited `flow ≥ d` query the sweeps actually issue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowrel_overlay::{random_mesh, ChurnModel, Peer};
+use maxflow::{build_flow, SolverKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow_solvers");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let peers: Vec<Peer> = (0..64).map(|i| Peer::new(4, 300.0 + i as f64)).collect();
+    let sc = random_mesh(&peers, 4, 4, &ChurnModel::new(60.0), 99);
+    let sub = *sc.peers.last().unwrap();
+    for kind in SolverKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("full", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut nf = build_flow(&sc.net, sc.server, sub);
+                    nf.apply_all_alive();
+                    kind.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("limit4", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut nf = build_flow(&sc.net, sc.server, sub);
+                    nf.apply_all_alive();
+                    kind.solve(&mut nf.graph, nf.source, nf.sink, 4)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! FIG1: cost of the naive `2^|E|` enumeration (Fig. 1's procedure) as the
+//! link count grows. The series must double per added link.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowrel_bench::{barbell_with_edges, demand_of};
+use flowrel_core::{reliability_naive, CalcOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_naive_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for edges in [10usize, 12, 14, 16, 18] {
+        let (inst, _) = barbell_with_edges(edges, 2, 2, 21);
+        let d = demand_of(&inst);
+        let opts = CalcOptions::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(inst.net.edge_count()),
+            &inst,
+            |b, inst| b.iter(|| reliability_naive(&inst.net, d, &opts).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

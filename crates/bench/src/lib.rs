@@ -1,0 +1,128 @@
+//! Shared harness pieces for the benchmark suite and the `paper_tables`
+//! binary. Each experiment id in DESIGN.md maps to one bench target in
+//! `benches/` plus (where the artifact is a table/figure rather than a
+//! timing) a `paper_tables` subcommand.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flowrel_core::FlowDemand;
+use workloads::generators::{barbell, BarbellParams, Instance};
+
+/// A barbell instance sized so the *total* edge count is (approximately)
+/// `target_edges`, split evenly, with `k` cut links. Used by the scaling
+/// sweeps (FIG1, THM-MAIN).
+pub fn barbell_with_edges(
+    target_edges: usize,
+    k: usize,
+    demand: u64,
+    seed: u64,
+) -> (Instance, Vec<netgraph::EdgeId>) {
+    // per cluster: (nodes-1) tree edges + extra edges; solve for a size whose
+    // edge count lands near (target - k) / 2
+    let side_edges = (target_edges.saturating_sub(k)) / 2;
+    let nodes = (side_edges / 2 + 2).max(2);
+    let tree_edges = nodes - 1;
+    let extra = side_edges.saturating_sub(tree_edges);
+    barbell(BarbellParams {
+        cluster_nodes: nodes,
+        cluster_extra_edges: extra,
+        cut_links: k,
+        cut_capacity: demand.max(1),
+        demand,
+        seed,
+    })
+}
+
+/// A barbell with explicitly skewed sides, for the α sweep: the left side
+/// gets `left_edges` links and the right side `right_edges` (α ≈ the larger
+/// share).
+pub fn skewed_barbell(
+    left_edges: usize,
+    right_edges: usize,
+    k: usize,
+    demand: u64,
+    seed: u64,
+) -> (Instance, Vec<netgraph::EdgeId>) {
+    use netgraph::{GraphKind, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let cluster = |edges: usize, b: &mut NetworkBuilder, rng: &mut StdRng| {
+        let nodes = (edges / 2 + 2).max(2);
+        let ids = b.add_nodes(nodes);
+        let mut count = 0usize;
+        for i in 1..nodes {
+            let parent = rng.gen_range(0..i);
+            b.add_edge(ids[parent], ids[i], demand.max(1), rng.gen_range(2..20) as f64 / 64.0)
+                .expect("edge");
+            count += 1;
+        }
+        while count < edges {
+            let u = rng.gen_range(0..nodes);
+            let v = rng.gen_range(0..nodes);
+            if u != v {
+                b.add_edge(ids[u], ids[v], demand.max(1), rng.gen_range(2..20) as f64 / 64.0)
+                    .expect("edge");
+                count += 1;
+            }
+        }
+        ids
+    };
+    let left = cluster(left_edges, &mut b, &mut rng);
+    let right = cluster(right_edges, &mut b, &mut rng);
+    let mut cut = Vec::new();
+    for _ in 0..k {
+        let u = left[rng.gen_range(0..left.len())];
+        let v = right[rng.gen_range(0..right.len())];
+        cut.push(
+            b.add_edge(u, v, demand.max(1), rng.gen_range(2..20) as f64 / 64.0).expect("edge"),
+        );
+    }
+    (
+        Instance {
+            net: b.build(),
+            source: left[0],
+            sink: *right.last().expect("non-empty"),
+            demand,
+        },
+        cut,
+    )
+}
+
+/// Demand triple of an instance.
+pub fn demand_of(inst: &Instance) -> FlowDemand {
+    FlowDemand::new(inst.source, inst.sink, inst.demand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowrel_core::{reliability_bottleneck, reliability_naive, CalcOptions};
+
+    #[test]
+    fn barbell_with_edges_hits_target() {
+        for target in [12usize, 16, 20] {
+            let (inst, cut) = barbell_with_edges(target, 2, 2, 5);
+            let m = inst.net.edge_count();
+            assert!(
+                m >= target - 3 && m <= target + 3,
+                "target {target}, got {m}"
+            );
+            assert_eq!(cut.len(), 2);
+        }
+    }
+
+    #[test]
+    fn skewed_barbell_respects_split() {
+        let (inst, cut) = skewed_barbell(4, 12, 2, 1, 3);
+        assert_eq!(inst.net.edge_count(), 4 + 12 + 2);
+        assert_eq!(cut.len(), 2);
+        // and both algorithms agree on it
+        let d = demand_of(&inst);
+        let naive = reliability_naive(&inst.net, d, &CalcOptions::default()).unwrap();
+        let bn = reliability_bottleneck(&inst.net, d, &cut, &CalcOptions::default()).unwrap();
+        assert!((naive - bn).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,230 @@
+//! The `.fnet` text format: a human-editable description of a flow network
+//! and its demand.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! directed            # or: undirected
+//! nodes 4
+//! edge 0 1 2 0.05     # edge <src> <dst> <capacity> <fail_prob>
+//! edge 0 2 2 0.10
+//! edge 1 3 2 0.05
+//! edge 2 3 2 0.10
+//! demand 0 3 2        # demand <source> <sink> <rate>
+//! ```
+
+use std::fmt::Write as _;
+
+use flowrel_core::FlowDemand;
+use netgraph::{GraphKind, Network, NetworkBuilder, NodeId};
+
+/// A parsed `.fnet` file.
+#[derive(Clone, Debug)]
+pub struct NetFile {
+    /// The network.
+    pub net: Network,
+    /// The demand, if a `demand` line was present.
+    pub demand: Option<FlowDemand>,
+}
+
+/// Parse errors with line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses the `.fnet` format.
+pub fn parse(text: &str) -> Result<NetFile, ParseError> {
+    let mut kind: Option<GraphKind> = None;
+    let mut builder: Option<NetworkBuilder> = None;
+    let mut demand = None;
+    let mut pending_edges: Vec<(usize, u32, u32, u64, f64)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line");
+        let rest: Vec<&str> = parts.collect();
+        match keyword {
+            "directed" | "undirected" => {
+                if kind.is_some() {
+                    return Err(err(line_no, "directionality declared twice"));
+                }
+                kind = Some(if keyword == "directed" {
+                    GraphKind::Directed
+                } else {
+                    GraphKind::Undirected
+                });
+            }
+            "nodes" => {
+                if builder.is_some() {
+                    return Err(err(line_no, "nodes declared twice"));
+                }
+                let k = kind.ok_or_else(|| {
+                    err(line_no, "declare 'directed' or 'undirected' before 'nodes'")
+                })?;
+                let n: usize = rest
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "usage: nodes <count>"))?;
+                builder = Some(NetworkBuilder::with_nodes(k, n));
+            }
+            "edge" => {
+                if rest.len() != 4 {
+                    return Err(err(line_no, "usage: edge <src> <dst> <capacity> <fail_prob>"));
+                }
+                let u: u32 =
+                    rest[0].parse().map_err(|_| err(line_no, "bad source node"))?;
+                let v: u32 =
+                    rest[1].parse().map_err(|_| err(line_no, "bad destination node"))?;
+                let cap: u64 =
+                    rest[2].parse().map_err(|_| err(line_no, "bad capacity"))?;
+                let p: f64 =
+                    rest[3].parse().map_err(|_| err(line_no, "bad probability"))?;
+                pending_edges.push((line_no, u, v, cap, p));
+            }
+            "demand" => {
+                if rest.len() != 3 {
+                    return Err(err(line_no, "usage: demand <source> <sink> <rate>"));
+                }
+                let s: u32 = rest[0].parse().map_err(|_| err(line_no, "bad source"))?;
+                let t: u32 = rest[1].parse().map_err(|_| err(line_no, "bad sink"))?;
+                let d: u64 = rest[2].parse().map_err(|_| err(line_no, "bad rate"))?;
+                demand = Some(FlowDemand::new(NodeId(s), NodeId(t), d));
+            }
+            other => return Err(err(line_no, format!("unknown keyword '{other}'"))),
+        }
+    }
+
+    let mut builder =
+        builder.ok_or_else(|| err(text.lines().count().max(1), "missing 'nodes' line"))?;
+    for (line_no, u, v, cap, p) in pending_edges {
+        builder
+            .add_edge(NodeId(u), NodeId(v), cap, p)
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+    let net = builder.build();
+    if let Some(d) = demand {
+        d.validate(&net)
+            .map_err(|e| err(text.lines().count().max(1), e.to_string()))?;
+    }
+    Ok(NetFile { net, demand })
+}
+
+/// Serializes a network (and optional demand) back to the `.fnet` format.
+pub fn serialize(net: &Network, demand: Option<FlowDemand>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}",
+        match net.kind() {
+            GraphKind::Directed => "directed",
+            GraphKind::Undirected => "undirected",
+        }
+    );
+    let _ = writeln!(out, "nodes {}", net.node_count());
+    for e in net.edges() {
+        let _ = writeln!(out, "edge {} {} {} {}", e.src.0, e.dst.0, e.capacity, e.fail_prob);
+    }
+    if let Some(d) = demand {
+        let _ = writeln!(out, "demand {} {} {}", d.source.0, d.sink.0, d.demand);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# the quickstart diamond
+directed
+nodes 4
+edge 0 1 2 0.05
+edge 0 2 2 0.10
+edge 1 3 2 0.05
+edge 2 3 2 0.10
+demand 0 3 2
+";
+
+    #[test]
+    fn parses_sample() {
+        let f = parse(SAMPLE).unwrap();
+        assert_eq!(f.net.node_count(), 4);
+        assert_eq!(f.net.edge_count(), 4);
+        assert_eq!(f.net.kind(), GraphKind::Directed);
+        let d = f.demand.unwrap();
+        assert_eq!((d.source.0, d.sink.0, d.demand), (0, 3, 2));
+        assert_eq!(f.net.edge(netgraph::EdgeId(1)).fail_prob, 0.10);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = parse(SAMPLE).unwrap();
+        let text = serialize(&f.net, f.demand);
+        let f2 = parse(&text).unwrap();
+        assert_eq!(f2.net.edge_count(), f.net.edge_count());
+        for (a, b) in f.net.edges().iter().zip(f2.net.edges()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(f.demand, f2.demand);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let bad = "directed\nnodes 2\nedge 0 5 1 0.1\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn rejects_unknown_keyword() {
+        let e = parse("directed\nnodes 1\nfrobnicate\n").unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_missing_direction() {
+        let e = parse("nodes 3\n").unwrap_err();
+        assert!(e.message.contains("directed"));
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let e = parse("directed\nnodes 2\nedge 0 1 1 1.5\n").unwrap_err();
+        assert!(e.message.contains("probability") || e.message.contains("1.5"));
+    }
+
+    #[test]
+    fn edges_before_nodes_are_ok() {
+        // edge lines may appear anywhere; they are applied after 'nodes'
+        let f = parse("undirected\nnodes 2\nedge 0 1 1 0.25\n").unwrap();
+        assert_eq!(f.net.edge_count(), 1);
+        assert!(f.demand.is_none());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let f = parse("\n# hi\ndirected # inline\nnodes 1\n\n").unwrap();
+        assert_eq!(f.net.node_count(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! `flowrel` — command-line reliability calculator.
+//!
+//! ```text
+//! flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge] [--exact]
+//! flowrel analyze <file.fnet> [--max-k K]
+//! flowrel mc <file.fnet> [--samples N] [--seed S]
+//! flowrel generate <barbell|chain|grid|mesh> [args...]
+//! flowrel dot <file.fnet>
+//! ```
+
+mod format;
+
+use std::process::ExitCode;
+
+use flowrel_core::{
+    birnbaum_importance, enumerate_minimal_cuts, esary_proschan_bounds, find_bottleneck_set,
+    reliability_bridge, reliability_naive_exact, reliability_sp_reduced, CalcOptions, FlowDemand,
+    ReliabilityCalculator, Strategy,
+};
+use netgraph::find_bridges;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp] [--exact]\n  \
+         flowrel analyze <file.fnet> [--max-k K]\n  \
+         flowrel importance <file.fnet>\n  \
+         flowrel mc <file.fnet> [--samples N] [--seed S]\n  \
+         flowrel generate barbell <cluster_nodes> <extra_edges> <k> <demand> <seed>\n  \
+         flowrel generate chain <segments> <demand> <seed>\n  \
+         flowrel generate grid <w> <h> <seed>\n  \
+         flowrel generate mesh <peers> <neighbors> <rate> <seed>\n  \
+         flowrel dot <file.fnet>"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load(path: &str) -> Result<format::NetFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    format::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn demand_of(file: &format::NetFile) -> Result<FlowDemand, String> {
+    file.demand.ok_or_else(|| "the file has no 'demand' line".to_string())
+}
+
+fn cmd_compute(path: &str, args: &[String]) -> Result<(), String> {
+    let file = load(path)?;
+    let demand = demand_of(&file)?;
+    let strategy = match flag_value(args, "--strategy").as_deref() {
+        None | Some("auto") => Strategy::Auto,
+        Some("naive") => Strategy::Naive,
+        Some("factoring") => Strategy::Factoring,
+        Some("bridge") => {
+            let r = reliability_bridge(&file.net, demand, &CalcOptions::default())
+                .map_err(|e| e.to_string())?;
+            println!("reliability = {r:.12}  (bridge decomposition)");
+            return Ok(());
+        }
+        Some("sp") => {
+            let r = reliability_sp_reduced(&file.net, demand, &CalcOptions::default())
+                .map_err(|e| e.to_string())?;
+            println!("reliability = {r:.12}  (series-parallel reduction + factoring)");
+            return Ok(());
+        }
+        Some(other) => return Err(format!("unknown strategy '{other}'")),
+    };
+    let report = ReliabilityCalculator::new()
+        .with_strategy(strategy)
+        .run(&file.net, demand)
+        .map_err(|e| e.to_string())?;
+    println!("reliability = {:.12}  (via {})", report.reliability, report.algorithm);
+    if let Some(b) = report.bottleneck {
+        println!(
+            "bottleneck: {:?}  |E_s|={} |E_t|={} alpha={:.3} |D|={}",
+            b.set.edges,
+            b.set.side_s_edges,
+            b.set.side_t_edges,
+            b.alpha,
+            b.assignment_count
+        );
+    }
+    if args.iter().any(|a| a == "--exact") {
+        let exact = reliability_naive_exact(&file.net, demand, &CalcOptions::default())
+            .map_err(|e| e.to_string())?;
+        println!("exact       = {exact}");
+        println!("            = {}…", exact.to_decimal_string(15));
+    }
+    Ok(())
+}
+
+fn cmd_analyze(path: &str, args: &[String]) -> Result<(), String> {
+    let file = load(path)?;
+    let net = &file.net;
+    println!(
+        "{} network: {} nodes, {} links",
+        match net.kind() {
+            netgraph::GraphKind::Directed => "directed",
+            netgraph::GraphKind::Undirected => "undirected",
+        },
+        net.node_count(),
+        net.edge_count()
+    );
+    let bridges = find_bridges(net);
+    println!("bridges: {bridges:?}");
+    let Some(demand) = file.demand else {
+        println!("(no demand line: skipping demand-specific analysis)");
+        return Ok(());
+    };
+    let max_k: usize = flag_value(args, "--max-k")
+        .map(|v| v.parse().map_err(|_| "bad --max-k".to_string()))
+        .transpose()?
+        .unwrap_or(3);
+    let cut = maxflow::min_cut(net, demand.source, demand.sink, maxflow::SolverKind::Dinic);
+    println!(
+        "max flow {} -> {}: {} (min cut {:?})",
+        demand.source, demand.sink, cut.value, cut.edges
+    );
+    match find_bottleneck_set(net, demand.source, demand.sink, max_k) {
+        Ok(set) => println!(
+            "best bottleneck set (k <= {max_k}): {:?}  |E_s|={} |E_t|={} alpha={:.3}",
+            set.edges,
+            set.side_s_edges,
+            set.side_t_edges,
+            set.alpha(net.edge_count())
+        ),
+        Err(e) => println!("bottleneck search: {e}"),
+    }
+    if demand.demand == 1 && net.edge_count() <= 20 {
+        if let Ok((lo, hi)) = esary_proschan_bounds(net, demand, 100_000) {
+            println!("Esary-Proschan bounds: [{lo:.6}, {hi:.6}]");
+        }
+        if let Ok(cuts) = enumerate_minimal_cuts(net, demand.source, demand.sink, 4) {
+            println!("minimal cut sets (size <= 4): {}", cuts.len());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_mc(path: &str, args: &[String]) -> Result<(), String> {
+    let file = load(path)?;
+    let demand = demand_of(&file)?;
+    let samples: u64 = flag_value(args, "--samples")
+        .map(|v| v.parse().map_err(|_| "bad --samples".to_string()))
+        .transpose()?
+        .unwrap_or(100_000);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let est = montecarlo::estimate(
+        &file.net,
+        demand.source,
+        demand.sink,
+        demand.demand,
+        samples,
+        seed,
+    );
+    let (lo, hi) = est.ci95();
+    println!(
+        "estimate = {:.6}  (95% CI [{lo:.6}, {hi:.6}], {} samples)",
+        est.mean, est.samples
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let parse_or = |i: usize, default: u64| -> u64 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let (net, demand) = match args.first().map(String::as_str) {
+        Some("barbell") => {
+            let (inst, _) = workloads::generators::barbell(workloads::generators::BarbellParams {
+                cluster_nodes: parse_or(1, 4) as usize,
+                cluster_extra_edges: parse_or(2, 2) as usize,
+                cut_links: parse_or(3, 2) as usize,
+                cut_capacity: parse_or(4, 2),
+                demand: parse_or(4, 2),
+                seed: parse_or(5, 1),
+            });
+            (inst.net, FlowDemand::new(inst.source, inst.sink, inst.demand))
+        }
+        Some("chain") => {
+            let inst = workloads::generators::bridge_chain(
+                parse_or(1, 3) as usize,
+                parse_or(2, 1),
+                parse_or(3, 1),
+            );
+            (inst.net, FlowDemand::new(inst.source, inst.sink, inst.demand))
+        }
+        Some("grid") => {
+            let inst = workloads::generators::grid(
+                parse_or(1, 3) as usize,
+                parse_or(2, 3) as usize,
+                parse_or(3, 1),
+            );
+            (inst.net, FlowDemand::new(inst.source, inst.sink, inst.demand))
+        }
+        Some("mesh") => {
+            let peers: Vec<flowrel_overlay::Peer> = (0..parse_or(1, 8))
+                .map(|i| flowrel_overlay::Peer::new(4, 300.0 + 60.0 * (i % 5) as f64))
+                .collect();
+            let sc = flowrel_overlay::random_mesh(
+                &peers,
+                parse_or(2, 2) as usize,
+                parse_or(3, 1),
+                &flowrel_overlay::ChurnModel::new(90.0),
+                parse_or(4, 1),
+            );
+            let sub = *sc.peers.last().expect("peers");
+            (sc.net, FlowDemand::new(sc.server, sub, sc.stream_rate))
+        }
+        _ => return Err("generate: expected barbell|chain|grid|mesh".to_string()),
+    };
+    print!("{}", format::serialize(&net, Some(demand)));
+    Ok(())
+}
+
+fn cmd_importance(path: &str) -> Result<(), String> {
+    let file = load(path)?;
+    let demand = demand_of(&file)?;
+    let imp = birnbaum_importance(&file.net, demand, &CalcOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!("reliability = {:.9}", imp.reliability);
+    println!("{:>6} {:>14} {:>12} {:>12}  link", "rank", "potential", "birnbaum", "p(e)");
+    for (rank, &e) in imp.ranked().iter().enumerate() {
+        let edge = file.net.edge(netgraph::EdgeId::from(e));
+        println!(
+            "{:>6} {:>14.6} {:>12.6} {:>12.4}  e{e}: {} -> {}",
+            rank + 1,
+            imp.improvement[e],
+            imp.birnbaum[e],
+            edge.fail_prob,
+            edge.src,
+            edge.dst
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dot(path: &str) -> Result<(), String> {
+    let file = load(path)?;
+    print!("{}", netgraph::dot::to_dot(&file.net, &[]));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match (cmd.as_str(), rest.first()) {
+        ("compute", Some(path)) => cmd_compute(path, &rest[1..]),
+        ("analyze", Some(path)) => cmd_analyze(path, &rest[1..]),
+        ("mc", Some(path)) => cmd_mc(path, &rest[1..]),
+        ("importance", Some(path)) => cmd_importance(path),
+        ("generate", _) => cmd_generate(rest),
+        ("dot", Some(path)) => cmd_dot(path),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

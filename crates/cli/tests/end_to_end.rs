@@ -1,0 +1,62 @@
+//! End-to-end CLI checks through the library-level entry points the binary
+//! uses: generate → serialize → parse → compute must agree with a direct
+//! computation, for every generator the CLI exposes.
+
+use flowrel_core::{reliability_factoring, CalcOptions, FlowDemand, ReliabilityCalculator};
+
+// the format module is private to the binary; include it directly
+#[path = "../src/format.rs"]
+mod format;
+
+#[test]
+fn generated_barbell_roundtrips_and_computes() {
+    let (inst, _) = workloads::generators::barbell(workloads::generators::BarbellParams {
+        cluster_nodes: 4,
+        cluster_extra_edges: 2,
+        cut_links: 2,
+        cut_capacity: 2,
+        demand: 2,
+        seed: 7,
+    });
+    let demand = FlowDemand::new(inst.source, inst.sink, inst.demand);
+    let text = format::serialize(&inst.net, Some(demand));
+    let parsed = format::parse(&text).expect("roundtrip parse");
+    let direct = ReliabilityCalculator::new().run(&inst.net, demand).unwrap().reliability;
+    let via_file = ReliabilityCalculator::new()
+        .run(&parsed.net, parsed.demand.expect("demand survives"))
+        .unwrap()
+        .reliability;
+    assert!((direct - via_file).abs() < 1e-12, "{direct} vs {via_file}");
+}
+
+#[test]
+fn generated_grid_roundtrips() {
+    let inst = workloads::generators::grid(3, 3, 5);
+    let demand = FlowDemand::new(inst.source, inst.sink, 1);
+    let text = format::serialize(&inst.net, Some(demand));
+    let parsed = format::parse(&text).expect("roundtrip parse");
+    assert_eq!(parsed.net.edge_count(), inst.net.edge_count());
+    let a = reliability_factoring(&inst.net, demand, &CalcOptions::default()).unwrap();
+    let b = reliability_factoring(&parsed.net, demand, &CalcOptions::default()).unwrap();
+    assert!((a - b).abs() < 1e-12);
+}
+
+#[test]
+fn generated_mesh_roundtrips() {
+    let peers: Vec<flowrel_overlay::Peer> =
+        (0..6).map(|i| flowrel_overlay::Peer::new(3, 300.0 + 50.0 * i as f64)).collect();
+    let sc = flowrel_overlay::random_mesh(
+        &peers,
+        2,
+        1,
+        &flowrel_overlay::ChurnModel::new(90.0),
+        3,
+    );
+    let sub = *sc.peers.last().unwrap();
+    let demand = FlowDemand::new(sc.server, sub, 1);
+    let text = format::serialize(&sc.net, Some(demand));
+    let parsed = format::parse(&text).expect("roundtrip parse");
+    for (a, b) in sc.net.edges().iter().zip(parsed.net.edges()) {
+        assert_eq!(a, b, "probabilities must survive text round-trip exactly");
+    }
+}

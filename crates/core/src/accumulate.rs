@@ -1,0 +1,361 @@
+//! Accumulating the side spectra into the reliability (Section IV).
+//!
+//! For every availability configuration `E'' ⊆ E*` of the bottleneck links
+//! (probability `p_{E''}`, Eq. 2), the assignments supported by `E''`
+//! (Definition 1) are the only ways sub-streams can cross. The conditional
+//! reliability is
+//!
+//! `r_{E''} = P(∃ b ∈ D_{E''} : side-s realizes b ∧ side-t realizes b)`
+//!
+//! and the two sides are independent, so for any subset `X ⊆ D_{E''}`,
+//! `P(both sides realize all of X) = P_s(X) · P_t(X)` — the key fact behind
+//! procedure ACCUMULATION. The overall reliability is
+//! `R = Σ_{E''} p_{E''} · r_{E''}` (Eq. 3).
+//!
+//! Three algebraically identical evaluations of `r_{E''}` are provided:
+//!
+//! * [`AccumulationMethod::PaperDirect`] — the paper's procedure verbatim:
+//!   for each subset `X`, compute `p_X` by scanning the masses, then apply
+//!   inclusion–exclusion. `O(4^{|D|})` per bottleneck configuration.
+//! * [`AccumulationMethod::ZetaInclusionExclusion`] — precompute all
+//!   superset sums with one zeta transform (`O(|D|·2^{|D|})`), then the same
+//!   inclusion–exclusion reads them off.
+//! * [`AccumulationMethod::Complement`] — rewrite
+//!   `r_{E''} = Σ_m mass_s[m] · (T_t − q_t[m ∩ D_{E''}])` where
+//!   `q_t[S] = P(side t realizes nothing in S)`; no alternating signs, which
+//!   is the numerically gentlest form.
+
+use crate::weight::Weight;
+
+/// Which evaluation of procedure ACCUMULATION to use. All three return the
+/// same value (property-tested); they differ in cost and numerical style.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AccumulationMethod {
+    /// The paper's direct per-subset scan.
+    PaperDirect,
+    /// Zeta-transform (superset sums) + inclusion–exclusion.
+    ZetaInclusionExclusion,
+    /// Complement identity, subtraction-free inner loop.
+    #[default]
+    Complement,
+}
+
+/// Probability of bottleneck availability configuration `links_up`
+/// (bit `i` set = link `e_i` is up) — Eq. 2.
+pub fn cut_config_weight<W: Weight>(cut_weights: &[(W, W)], links_up: u32) -> W {
+    let mut p = W::one();
+    for (i, w) in cut_weights.iter().enumerate() {
+        p = p.mul(if links_up >> i & 1 == 1 { &w.0 } else { &w.1 });
+    }
+    p
+}
+
+/// In-place superset-sum (zeta) transform:
+/// `f[X] ← Σ_{m ⊇ X} f[m]`.
+pub fn superset_sums<W: Weight>(f: &mut [W], bits: usize) {
+    debug_assert_eq!(f.len(), 1 << bits);
+    for i in 0..bits {
+        for x in 0..f.len() {
+            if x & (1 << i) == 0 {
+                let hi = f[x | 1 << i].clone();
+                f[x] = f[x].add(&hi);
+            }
+        }
+    }
+}
+
+/// In-place subset-sum (zeta) transform:
+/// `f[X] ← Σ_{m ⊆ X} f[m]`.
+pub fn subset_sums<W: Weight>(f: &mut [W], bits: usize) {
+    debug_assert_eq!(f.len(), 1 << bits);
+    for i in 0..bits {
+        for x in 0..f.len() {
+            if x & (1 << i) != 0 {
+                let lo = f[x ^ (1 << i)].clone();
+                f[x] = f[x].add(&lo);
+            }
+        }
+    }
+}
+
+/// `r_{E''}` by the paper's direct procedure: scan the masses for every
+/// subset `X` of the supported set.
+fn r_direct<W: Weight>(supported: u32, mass_s: &[W], mass_t: &[W]) -> W {
+    let mut r = W::zero();
+    if supported == 0 {
+        return r;
+    }
+    // iterate nonempty submasks X of `supported`
+    let mut x = supported;
+    loop {
+        let p_s = mass_superset_scan(mass_s, x);
+        let p_t = mass_superset_scan(mass_t, x);
+        let term = p_s.mul(&p_t);
+        if (x.count_ones() & 1) == 1 {
+            r = r.add(&term);
+        } else {
+            r = r.sub(&term);
+        }
+        x = (x - 1) & supported;
+        if x == 0 {
+            break;
+        }
+    }
+    r
+}
+
+/// `Σ { mass[m] : m ⊇ x }` by direct scan (the paper's Step 1).
+fn mass_superset_scan<W: Weight>(mass: &[W], x: u32) -> W {
+    let mut p = W::zero();
+    for (m, w) in mass.iter().enumerate() {
+        if m as u32 & x == x {
+            p = p.add(w);
+        }
+    }
+    p
+}
+
+/// `r_{E''}` from precomputed superset sums.
+fn r_zeta<W: Weight>(supported: u32, sup_s: &[W], sup_t: &[W]) -> W {
+    let mut r = W::zero();
+    if supported == 0 {
+        return r;
+    }
+    let mut x = supported;
+    loop {
+        let term = sup_s[x as usize].mul(&sup_t[x as usize]);
+        if (x.count_ones() & 1) == 1 {
+            r = r.add(&term);
+        } else {
+            r = r.sub(&term);
+        }
+        x = (x - 1) & supported;
+        if x == 0 {
+            break;
+        }
+    }
+    r
+}
+
+/// `r_{E''}` by the complement identity, given `none_t[S] = P(side t realizes
+/// nothing in S)` and the total sink-side mass `total_t`.
+fn r_complement<W: Weight>(
+    supported: u32,
+    mass_s: &[W],
+    none_t: &[W],
+    total_t: &W,
+) -> W {
+    let mut r = W::zero();
+    if supported == 0 {
+        return r;
+    }
+    for (m, w) in mass_s.iter().enumerate() {
+        if w.is_zero() {
+            continue;
+        }
+        let s = m as u32 & supported;
+        if s == 0 {
+            continue; // side s realizes nothing usable: contributes 0
+        }
+        let hit = total_t.sub(&none_t[s as usize]);
+        r = r.add(&w.mul(&hit));
+    }
+    r
+}
+
+/// Combines the two side spectra and the bottleneck-link probabilities into
+/// the reliability (Eq. 3 over all `E'' ⊆ E*`).
+///
+/// * `cut_weights[i]` — `(1 − p(e_i), p(e_i))` of bottleneck link `i`;
+/// * `support[E'']` — assignment-index mask of `D_{E''}` for every of the
+///   `2^k` bottleneck configurations (see
+///   [`crate::assign::supported_assignment_masks`]);
+/// * `mass_s`, `mass_t` — the side spectra over `2^|D|` realization masks.
+pub fn combine<W: Weight>(
+    cut_weights: &[(W, W)],
+    support: &[u32],
+    mass_s: &[W],
+    mass_t: &[W],
+    assign_count: usize,
+    method: AccumulationMethod,
+) -> W {
+    let k = cut_weights.len();
+    assert_eq!(support.len(), 1 << k, "one supported-set mask per cut configuration");
+    assert_eq!(mass_s.len(), 1 << assign_count);
+    assert_eq!(mass_t.len(), 1 << assign_count);
+
+    // method-specific precomputation
+    let sup = match method {
+        AccumulationMethod::ZetaInclusionExclusion => {
+            let mut sup_s = mass_s.to_vec();
+            let mut sup_t = mass_t.to_vec();
+            superset_sums(&mut sup_s, assign_count);
+            superset_sums(&mut sup_t, assign_count);
+            Some((sup_s, sup_t))
+        }
+        _ => None,
+    };
+    let comp = match method {
+        AccumulationMethod::Complement => {
+            // none_t[S] = Σ_{m ∩ S = ∅} mass_t[m] = subset-sums of mass_t,
+            // read at the complement of S
+            let mut sub_t = mass_t.to_vec();
+            subset_sums(&mut sub_t, assign_count);
+            let full = (1usize << assign_count) - 1;
+            let none_t: Vec<W> =
+                (0..=full).map(|s| sub_t[full & !s].clone()).collect();
+            let total_t = sub_t[full].clone();
+            Some((none_t, total_t))
+        }
+        _ => None,
+    };
+
+    let mut total = W::zero();
+    for links_up in 0..(1u32 << k) {
+        let supported = support[links_up as usize];
+        if supported == 0 {
+            continue;
+        }
+        let r = match method {
+            AccumulationMethod::PaperDirect => r_direct(supported, mass_s, mass_t),
+            AccumulationMethod::ZetaInclusionExclusion => {
+                let (sup_s, sup_t) = sup.as_ref().expect("precomputed");
+                r_zeta(supported, sup_s, sup_t)
+            }
+            AccumulationMethod::Complement => {
+                let (none_t, total_t) = comp.as_ref().expect("precomputed");
+                r_complement(supported, mass_s, none_t, total_t)
+            }
+        };
+        if !r.is_zero() {
+            total = total.add(&cut_config_weight(cut_weights, links_up).mul(&r));
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exactmath::BigRational;
+
+    #[test]
+    fn zeta_transforms() {
+        // f over 2 bits: f[00]=1, f[01]=2, f[10]=4, f[11]=8
+        let mut f = vec![1.0, 2.0, 4.0, 8.0];
+        superset_sums(&mut f, 2);
+        assert_eq!(f, vec![15.0, 10.0, 12.0, 8.0]);
+        let mut g = vec![1.0, 2.0, 4.0, 8.0];
+        subset_sums(&mut g, 2);
+        assert_eq!(g, vec![1.0, 3.0, 5.0, 15.0]);
+    }
+
+    #[test]
+    fn cut_weight_is_product() {
+        let w = vec![(0.9, 0.1), (0.8, 0.2)];
+        assert!((cut_config_weight(&w, 0b11) - 0.72).abs() < 1e-15);
+        assert!((cut_config_weight(&w, 0b01) - 0.9 * 0.2).abs() < 1e-15);
+        assert!((cut_config_weight(&w, 0b00) - 0.02).abs() < 1e-15);
+        let total: f64 = (0..4u32).map(|c| cut_config_weight(&w, c)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    /// Example 6 of the paper, verbatim: two assignments b1, b2; side-s
+    /// configurations c1..c4 and side-t configurations c5..c8 realizing
+    /// the sets of Table I. With all configurations equally likely (prob 1/4
+    /// each) the inclusion–exclusion gives
+    /// r = p{b1} + p{b2} − p{b1,b2}
+    ///   = (p(c1)+p(c3))(p(c5)+p(c7)) + (p(c2)+p(c3)+p(c4))(p(c5)+p(c6))
+    ///     − p(c3)p(c5).
+    #[test]
+    fn example_6_of_the_paper() {
+        let q = 0.25f64;
+        // masses over assignment masks (bit0 = b1, bit1 = b2)
+        // c1 -> {b1}, c2 -> {b2}, c3 -> {b1,b2}, c4 -> {b2}
+        let mass_s = vec![0.0, q, 2.0 * q, q]; // [none, {b1}, {b2}, {b1,b2}]
+        // c5 -> {b1,b2}, c6 -> {b2}, c7 -> {b1}, c8 -> {}
+        let mass_t = vec![q, q, q, q];
+        let expected = (q + q) * (q + q) + (q + q + q) * (q + q) - q * q;
+
+        // single always-up bottleneck configuration supporting both
+        let cut = vec![(1.0, 0.0)];
+        let support = vec![0b00u32, 0b11];
+        for method in [
+            AccumulationMethod::PaperDirect,
+            AccumulationMethod::ZetaInclusionExclusion,
+            AccumulationMethod::Complement,
+        ] {
+            let r = combine(&cut, &support, &mass_s, &mass_t, 2, method);
+            assert!((r - expected).abs() < 1e-12, "{method:?}: {r} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn methods_agree_on_random_masses() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let dn = rng.gen_range(1..=5usize);
+            let k = rng.gen_range(1..=3usize);
+            let mass_s: Vec<f64> = (0..1 << dn).map(|_| rng.gen::<f64>()).collect();
+            let mass_t: Vec<f64> = (0..1 << dn).map(|_| rng.gen::<f64>()).collect();
+            let cut: Vec<(f64, f64)> = (0..k)
+                .map(|_| {
+                    let p = rng.gen::<f64>();
+                    (1.0 - p, p)
+                })
+                .collect();
+            let support: Vec<u32> =
+                (0..1u32 << k).map(|_| rng.gen_range(0..1u32 << dn)).collect();
+            let a = combine(&cut, &support, &mass_s, &mass_t, dn, AccumulationMethod::PaperDirect);
+            let b = combine(
+                &cut,
+                &support,
+                &mass_s,
+                &mass_t,
+                dn,
+                AccumulationMethod::ZetaInclusionExclusion,
+            );
+            let c = combine(&cut, &support, &mass_s, &mass_t, dn, AccumulationMethod::Complement);
+            assert!((a - b).abs() < 1e-9, "direct {a} vs zeta {b}");
+            assert!((a - c).abs() < 1e-9, "direct {a} vs complement {c}");
+        }
+    }
+
+    #[test]
+    fn exact_weights_work_too() {
+        let half = BigRational::from_ratio(1, 2);
+        let quarter = BigRational::from_ratio(1, 4);
+        let mass_s = vec![
+            BigRational::zero(),
+            half.clone(),
+            quarter.clone(),
+            quarter.clone(),
+        ];
+        let mass_t = mass_s.clone();
+        let cut = vec![(BigRational::from_ratio(9, 10), BigRational::from_ratio(1, 10))];
+        let support = vec![0u32, 0b11];
+        let a = combine(&cut, &support, &mass_s, &mass_t, 2, AccumulationMethod::PaperDirect);
+        let b = combine(&cut, &support, &mass_s, &mass_t, 2, AccumulationMethod::Complement);
+        let c = combine(
+            &cut,
+            &support,
+            &mass_s,
+            &mass_t,
+            2,
+            AccumulationMethod::ZetaInclusionExclusion,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn empty_support_gives_zero() {
+        let mass = vec![0.5, 0.5];
+        let cut = vec![(0.9, 0.1)];
+        let support = vec![0u32, 0];
+        let r = combine(&cut, &support, &mass, &mass, 1, AccumulationMethod::Complement);
+        assert_eq!(r, 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The end-to-end bottleneck algorithm (Sections III–IV).
+//!
+//! Pipeline: validate/decompose along the bottleneck set → enumerate the
+//! assignment set `D` → build both side spectra (`|D| · 2^{|E_c|}` max-flow
+//! calls each) → accumulate over the `2^k` bottleneck configurations with
+//! inclusion–exclusion. Total `O(2^{α|E|} · |V||E|)` for constant `d`, `k` —
+//! the paper's headline bound.
+
+use exactmath::BigRational;
+use netgraph::{EdgeId, Network};
+
+use crate::accumulate::combine;
+use crate::assign::{crossing_ranges, enumerate_assignments, supported_assignment_masks};
+use crate::bottleneck::{validate_bottleneck_set, BottleneckSet};
+use crate::decompose::{decompose, Side};
+use crate::demand::FlowDemand;
+use crate::error::ReliabilityError;
+use crate::options::CalcOptions;
+use crate::oracle::SideOracle;
+use crate::spectrum::RealizationSpectrum;
+use crate::weight::{edge_weights, edge_weights_exact, EdgeWeights, Weight};
+
+/// What the bottleneck algorithm did, for reporting and experiments.
+#[derive(Clone, Debug)]
+pub struct BottleneckReport {
+    /// The bottleneck set used.
+    pub set: BottleneckSet,
+    /// Size of the assignment set `|D|`.
+    pub assignment_count: usize,
+    /// `α` of the decomposition.
+    pub alpha: f64,
+}
+
+/// Projects parent-network weights onto a side's own edge numbering.
+fn side_weights<W: Weight>(side: &Side, parent: &EdgeWeights<W>) -> EdgeWeights<W> {
+    side.edge_origin.iter().map(|&e| parent[e.index()].clone()).collect()
+}
+
+/// Generic bottleneck reliability over any weight domain.
+pub fn reliability_bottleneck_weighted<W: Weight>(
+    net: &Network,
+    demand: FlowDemand,
+    cut: &[EdgeId],
+    weights: &EdgeWeights<W>,
+    opts: &CalcOptions,
+) -> Result<(W, BottleneckReport), ReliabilityError> {
+    demand.validate(net)?;
+    let set = validate_bottleneck_set(net, demand.source, demand.sink, cut)?;
+    reliability_bottleneck_on_set(net, demand, &set, weights, opts)
+}
+
+/// As [`reliability_bottleneck_weighted`], with a pre-validated set.
+pub fn reliability_bottleneck_on_set<W: Weight>(
+    net: &Network,
+    demand: FlowDemand,
+    set: &BottleneckSet,
+    weights: &EdgeWeights<W>,
+    opts: &CalcOptions,
+) -> Result<(W, BottleneckReport), ReliabilityError> {
+    let report = |count: usize| BottleneckReport {
+        set: set.clone(),
+        assignment_count: count,
+        alpha: set.alpha(net.edge_count()),
+    };
+    if demand.demand == 0 {
+        return Ok((W::one(), report(0)));
+    }
+    // assignment set D (Section III-B)
+    let ranges = crossing_ranges(
+        net,
+        &set.edges,
+        &set.forward_oriented,
+        demand.demand,
+        opts.assignment_model,
+    );
+    let assignments = enumerate_assignments(demand.demand, &ranges);
+    if assignments.is_empty() {
+        // the bottleneck cannot carry d at all: reliability is trivially zero
+        return Ok((W::zero(), report(0)));
+    }
+    if assignments.len() > opts.max_assignments || assignments.len() > 31 {
+        return Err(ReliabilityError::TooManyAssignments {
+            count: assignments.len(),
+            max: opts.max_assignments.min(31),
+        });
+    }
+
+    let dec = decompose(net, &demand, set);
+    let k = dec.cut.len();
+
+    // side spectra (Section III-C, streamed)
+    let w_s = side_weights(&dec.side_s, weights);
+    let w_t = side_weights(&dec.side_t, weights);
+    let mut oracle_s = SideOracle::new(&dec.side_s, &assignments, opts.solver);
+    let mut oracle_t = SideOracle::new(&dec.side_t, &assignments, opts.solver);
+    let spec_s = RealizationSpectrum::build(
+        &mut oracle_s,
+        &w_s,
+        opts.max_side_edges,
+        opts.max_assignments,
+        opts.prune_infeasible_assignments,
+    )?;
+    let spec_t = RealizationSpectrum::build(
+        &mut oracle_t,
+        &w_t,
+        opts.max_side_edges,
+        opts.max_assignments,
+        opts.prune_infeasible_assignments,
+    )?;
+
+    // accumulation (Section IV)
+    let support = supported_assignment_masks(&assignments, k);
+    let cut_weights: Vec<(W, W)> =
+        dec.cut.iter().map(|&e| weights[e.index()].clone()).collect();
+    let r = combine(
+        &cut_weights,
+        &support,
+        &spec_s.mass,
+        &spec_t.mass,
+        assignments.len(),
+        opts.accumulation,
+    );
+    Ok((r, report(assignments.len())))
+}
+
+/// Bottleneck reliability in `f64`.
+pub fn reliability_bottleneck(
+    net: &Network,
+    demand: FlowDemand,
+    cut: &[EdgeId],
+    opts: &CalcOptions,
+) -> Result<f64, ReliabilityError> {
+    reliability_bottleneck_weighted(net, demand, cut, &edge_weights(net), opts).map(|(r, _)| r)
+}
+
+/// Bottleneck reliability with exact rational arithmetic.
+pub fn reliability_bottleneck_exact(
+    net: &Network,
+    demand: FlowDemand,
+    cut: &[EdgeId],
+    opts: &CalcOptions,
+) -> Result<BigRational, ReliabilityError> {
+    reliability_bottleneck_weighted(net, demand, cut, &edge_weights_exact(net), opts)
+        .map(|(r, _)| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{reliability_naive, reliability_naive_exact};
+    use netgraph::{GraphKind, NetworkBuilder, NodeId};
+
+    /// Bridge graph: triangle — bridge — triangle.
+    fn bridge_net() -> (Network, FlowDemand, Vec<EdgeId>) {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.15).unwrap();
+        b.add_edge(n[2], n[0], 1, 0.2).unwrap();
+        let bridge = b.add_edge(n[2], n[3], 2, 0.05).unwrap();
+        b.add_edge(n[3], n[4], 1, 0.1).unwrap();
+        b.add_edge(n[4], n[5], 1, 0.25).unwrap();
+        b.add_edge(n[5], n[3], 1, 0.3).unwrap();
+        (b.build(), FlowDemand::new(n[0], n[5], 1), vec![bridge])
+    }
+
+    /// Double-diamond with a 2-link bottleneck.
+    fn two_cut_net() -> (Network, FlowDemand, Vec<EdgeId>) {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 2, 0.2).unwrap();
+        let c1 = b.add_edge(n[1], n[3], 2, 0.05).unwrap();
+        let c2 = b.add_edge(n[2], n[4], 1, 0.15).unwrap();
+        b.add_edge(n[3], n[5], 2, 0.1).unwrap();
+        b.add_edge(n[4], n[5], 2, 0.25).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.3).unwrap(); // intra-side extra
+        (b.build(), FlowDemand::new(n[0], n[5], 2), vec![c1, c2])
+    }
+
+    #[test]
+    fn bridge_matches_naive() {
+        let (net, d, cut) = bridge_net();
+        let naive = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        let bottleneck =
+            reliability_bottleneck(&net, d, &cut, &CalcOptions::default()).unwrap();
+        assert!(
+            (naive - bottleneck).abs() < 1e-12,
+            "naive {naive} vs bottleneck {bottleneck}"
+        );
+        assert!(bottleneck > 0.0 && bottleneck < 1.0);
+    }
+
+    #[test]
+    fn two_cut_matches_naive_all_methods() {
+        let (net, d, cut) = two_cut_net();
+        let naive = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        for method in [
+            crate::accumulate::AccumulationMethod::PaperDirect,
+            crate::accumulate::AccumulationMethod::ZetaInclusionExclusion,
+            crate::accumulate::AccumulationMethod::Complement,
+        ] {
+            let opts = CalcOptions { accumulation: method, ..Default::default() };
+            let r = reliability_bottleneck(&net, d, &cut, &opts).unwrap();
+            assert!((naive - r).abs() < 1e-12, "{method:?}: naive {naive} vs {r}");
+        }
+    }
+
+    #[test]
+    fn exact_matches_naive_exact() {
+        let (net, d, cut) = two_cut_net();
+        let naive = reliability_naive_exact(&net, d, &CalcOptions::default()).unwrap();
+        let bn = reliability_bottleneck_exact(&net, d, &cut, &CalcOptions::default()).unwrap();
+        assert_eq!(naive, bn, "exact arithmetic must agree bit for bit");
+    }
+
+    #[test]
+    fn insufficient_cut_capacity_is_zero() {
+        let (net, _, cut) = two_cut_net();
+        // total cut capacity is 3 < 4
+        let d = FlowDemand::new(NodeId(0), NodeId(5), 4);
+        let (r, report) = reliability_bottleneck_weighted(
+            &net,
+            d,
+            &cut,
+            &edge_weights(&net),
+            &CalcOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r, 0.0);
+        assert_eq!(report.assignment_count, 0);
+    }
+
+    #[test]
+    fn zero_demand_is_one() {
+        let (net, _, cut) = bridge_net();
+        let d = FlowDemand::new(NodeId(0), NodeId(5), 0);
+        let r = reliability_bottleneck(&net, d, &cut, &CalcOptions::default()).unwrap();
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn report_carries_geometry() {
+        let (net, d, cut) = two_cut_net();
+        let (_, report) = reliability_bottleneck_weighted(
+            &net,
+            d,
+            &cut,
+            &edge_weights(&net),
+            &CalcOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.set.k(), 2);
+        assert_eq!(report.assignment_count, 2, "D = {{(2,0)... no: (1,1),(2,0)}}");
+        assert!((report.alpha - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_faithful_options_agree() {
+        let (net, d, cut) = two_cut_net();
+        let default = reliability_bottleneck(&net, d, &cut, &CalcOptions::default()).unwrap();
+        let faithful =
+            reliability_bottleneck(&net, d, &cut, &CalcOptions::paper_faithful()).unwrap();
+        assert!((default - faithful).abs() < 1e-12);
+    }
+}

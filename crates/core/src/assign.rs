@@ -1,0 +1,301 @@
+//! Assignments of sub-streams to bottleneck links (Section III-B).
+//!
+//! An assignment is a `k`-tuple `(a_1, …, a_k)` distributing the `d` unit
+//! sub-streams over the `k` bottleneck links, with `a_i` bounded by the
+//! link's usable capacity. The paper's model ([`AssignmentModel::ForwardOnly`])
+//! requires `a_i ≥ 0`: every sub-stream crosses the bottleneck exactly once,
+//! in the source→sink direction — the natural semantics for P2P streaming.
+//!
+//! [`AssignmentModel::Net`] is a documented extension: `a_i` may be negative
+//! on links that can carry flow back toward the source side (undirected
+//! links, or directed links oriented sink-side → source-side), with
+//! `Σ a_i = d` still. This captures max-flow routings that weave across the
+//! cut, for which forward-only assignments *undercount* the reliability on
+//! adversarial instances (see `tests/model_gap.rs` in the workspace root).
+
+use netgraph::{EdgeId, GraphKind, Network};
+
+/// How sub-streams may cross the bottleneck cut.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AssignmentModel {
+    /// Paper-faithful: every bottleneck link carries `a_i ≥ 0` sub-streams
+    /// from the source side to the sink side.
+    #[default]
+    ForwardOnly,
+    /// Extension: links that admit reverse flow may carry a negative net
+    /// amount; exactly matches the max-flow semantics.
+    Net,
+}
+
+/// One assignment `(a_1, …, a_k)`; `a_i` is the net number of sub-streams
+/// crossing bottleneck link `i` from the source side to the sink side.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct Assignment {
+    /// Net crossing per bottleneck link.
+    pub amounts: Vec<i64>,
+}
+
+impl Assignment {
+    /// The support mask: bit `i` set iff `a_i ≠ 0` (Definition 1 uses
+    /// `a_i > 0`; with the net model, any nonzero usage needs the link up).
+    pub fn support_mask(&self) -> u32 {
+        let mut m = 0u32;
+        for (i, &a) in self.amounts.iter().enumerate() {
+            if a != 0 {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// True when `links` (a bitmask over the `k` bottleneck links) supports
+    /// this assignment: every used link is available (Definition 1).
+    pub fn supported_by(&self, links: u32) -> bool {
+        self.support_mask() & !links == 0
+    }
+}
+
+/// The usable crossing range `[lo, hi]` of each bottleneck link for a demand
+/// `d`: how many sub-streams it can carry source-side → sink-side (negative =
+/// sink-side → source-side).
+///
+/// `forward_oriented[i]` must be true when the link is directed from the
+/// source side to the sink side, false when directed the other way; it is
+/// ignored for undirected networks.
+pub fn crossing_ranges(
+    net: &Network,
+    cut: &[EdgeId],
+    forward_oriented: &[bool],
+    d: u64,
+    model: AssignmentModel,
+) -> Vec<(i64, i64)> {
+    assert_eq!(cut.len(), forward_oriented.len());
+    let d = d as i64;
+    cut.iter()
+        .zip(forward_oriented)
+        .map(|(&e, &fwd)| {
+            // Forward-only: every sub-stream crosses exactly once, so no link
+            // carries more than d. Net: a weaving routing can push more than
+            // d gross across one link (re-crossed flow), so the only sound
+            // bound on the *net* crossing is the link capacity itself.
+            let c_fwd = (net.edge(e).capacity as i64).min(d);
+            let c_raw = net.edge(e).capacity as i64;
+            match (net.kind(), model) {
+                (GraphKind::Undirected, AssignmentModel::ForwardOnly) => (0, c_fwd),
+                (GraphKind::Undirected, AssignmentModel::Net) => (-c_raw, c_raw),
+                (GraphKind::Directed, AssignmentModel::ForwardOnly) => {
+                    if fwd {
+                        (0, c_fwd)
+                    } else {
+                        (0, 0)
+                    }
+                }
+                (GraphKind::Directed, AssignmentModel::Net) => {
+                    if fwd {
+                        (0, c_raw)
+                    } else {
+                        (-c_raw, 0)
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Enumerates the assignment set `D`: all tuples with `a_i` in its range and
+/// `Σ a_i = d`, in lexicographic order (matching Example 1 of the paper).
+pub fn enumerate_assignments(d: u64, ranges: &[(i64, i64)]) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(ranges.len());
+    // suffix bounds for pruning: what the remaining links can still carry
+    let mut suffix_lo = vec![0i64; ranges.len() + 1];
+    let mut suffix_hi = vec![0i64; ranges.len() + 1];
+    for i in (0..ranges.len()).rev() {
+        suffix_lo[i] = suffix_lo[i + 1] + ranges[i].0;
+        suffix_hi[i] = suffix_hi[i + 1] + ranges[i].1;
+    }
+    fn rec(
+        ranges: &[(i64, i64)],
+        suffix_lo: &[i64],
+        suffix_hi: &[i64],
+        remaining: i64,
+        cur: &mut Vec<i64>,
+        out: &mut Vec<Assignment>,
+    ) {
+        let i = cur.len();
+        if i == ranges.len() {
+            if remaining == 0 {
+                out.push(Assignment { amounts: cur.clone() });
+            }
+            return;
+        }
+        let (lo, hi) = ranges[i];
+        for a in lo..=hi {
+            let rest = remaining - a;
+            if rest < suffix_lo[i + 1] || rest > suffix_hi[i + 1] {
+                continue;
+            }
+            cur.push(a);
+            rec(ranges, suffix_lo, suffix_hi, rest, cur, out);
+            cur.pop();
+        }
+    }
+    rec(ranges, &suffix_lo, &suffix_hi, d as i64, &mut cur, &mut out);
+    out
+}
+
+/// Classifies `assignments` by supporting subset: entry `S` (a bitmask over
+/// the `k` bottleneck links) lists the indices of the assignments supported
+/// by `S`, i.e. whose support is contained in `S` (Example 5). Returned as a
+/// vector of `2^k` assignment-index masks.
+pub fn supported_assignment_masks(assignments: &[Assignment], k: usize) -> Vec<u32> {
+    assert!(k <= 16, "bottleneck sets larger than 16 links are not supported");
+    assert!(assignments.len() <= 31, "assignment masks are u32-backed");
+    let mut out = vec![0u32; 1 << k];
+    for (links, slot) in out.iter_mut().enumerate() {
+        for (j, a) in assignments.iter().enumerate() {
+            if a.supported_by(links as u32) {
+                *slot |= 1 << j;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    fn fwd_ranges(caps: &[i64], d: i64) -> Vec<(i64, i64)> {
+        caps.iter().map(|&c| (0, c.min(d))).collect()
+    }
+
+    /// Example 1 of the paper: d = 5, three links of capacity 3 ⇒ 12
+    /// assignments, in this exact order.
+    #[test]
+    fn example_1_of_the_paper() {
+        let d = enumerate_assignments(5, &fwd_ranges(&[3, 3, 3], 5));
+        let expected: Vec<Vec<i64>> = vec![
+            vec![0, 2, 3],
+            vec![0, 3, 2],
+            vec![1, 1, 3],
+            vec![1, 2, 2],
+            vec![1, 3, 1],
+            vec![2, 0, 3],
+            vec![2, 1, 2],
+            vec![2, 2, 1],
+            vec![2, 3, 0],
+            vec![3, 0, 2],
+            vec![3, 1, 1],
+            vec![3, 2, 0],
+        ];
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.iter().map(|a| a.amounts.clone()).collect::<Vec<_>>(), expected);
+    }
+
+    /// Example 3: d = 2 over two links ⇒ {(2,0), (1,1), (0,2)}.
+    #[test]
+    fn example_3_assignments() {
+        let d = enumerate_assignments(2, &fwd_ranges(&[2, 2], 2));
+        let got: Vec<Vec<i64>> = d.iter().map(|a| a.amounts.clone()).collect();
+        assert_eq!(got, vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
+    }
+
+    #[test]
+    fn capacity_bounds_respected() {
+        let d = enumerate_assignments(3, &fwd_ranges(&[1, 5], 3));
+        let got: Vec<Vec<i64>> = d.iter().map(|a| a.amounts.clone()).collect();
+        assert_eq!(got, vec![vec![0, 3], vec![1, 2]]);
+    }
+
+    #[test]
+    fn infeasible_demand_gives_empty_set() {
+        assert!(enumerate_assignments(7, &fwd_ranges(&[3, 3], 7)).is_empty());
+        assert!(enumerate_assignments(1, &[]).is_empty());
+        // zero demand over zero links: the empty assignment
+        assert_eq!(enumerate_assignments(0, &[]).len(), 1);
+    }
+
+    #[test]
+    fn net_model_allows_negative() {
+        // two links cap 2 each, one reversible: net crossings summing to 2
+        let d = enumerate_assignments(2, &[(0, 2), (-2, 2)]);
+        let got: Vec<Vec<i64>> = d.iter().map(|a| a.amounts.clone()).collect();
+        assert_eq!(got, vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
+        let d = enumerate_assignments(2, &[(-2, 2), (0, 4)]);
+        let got: Vec<Vec<i64>> = d.iter().map(|a| a.amounts.clone()).collect();
+        assert_eq!(
+            got,
+            vec![vec![-2, 4], vec![-1, 3], vec![0, 2], vec![1, 1], vec![2, 0]]
+        );
+    }
+
+    /// Example 4: {e1, e3} supports (2,0,1) and (3,0,4) but not (1,1,0).
+    #[test]
+    fn example_4_support() {
+        let a = Assignment { amounts: vec![2, 0, 1] };
+        let b = Assignment { amounts: vec![3, 0, 4] };
+        let c = Assignment { amounts: vec![1, 1, 0] };
+        let e1_e3 = 0b101u32;
+        assert!(a.supported_by(e1_e3));
+        assert!(b.supported_by(e1_e3));
+        assert!(!c.supported_by(e1_e3));
+        // full set supports everything, empty set supports nothing (nonzero)
+        assert!(c.supported_by(0b111));
+        assert!(!c.supported_by(0));
+    }
+
+    /// Example 5: classification of five assignments over k = 3.
+    #[test]
+    fn example_5_classification() {
+        let d: Vec<Assignment> = [
+            vec![1, 2, 0],
+            vec![2, 1, 0],
+            vec![1, 1, 1],
+            vec![0, 2, 1],
+            vec![2, 0, 1],
+        ]
+        .into_iter()
+        .map(|amounts| Assignment { amounts })
+        .collect();
+        let masks = supported_assignment_masks(&d, 3);
+        // indices: 0:(1,2,0) 1:(2,1,0) 2:(1,1,1) 3:(0,2,1) 4:(2,0,1)
+        assert_eq!(masks[0b111], 0b11111, "full set supports all of D");
+        assert_eq!(masks[0b011], 0b00011, "{{e1,e2}} supports (1,2,0),(2,1,0)");
+        assert_eq!(masks[0b110], 0b01000, "{{e2,e3}} supports (0,2,1)");
+        assert_eq!(masks[0b101], 0b10000, "{{e1,e3}} supports (2,0,1)");
+        for s in [0b000u32, 0b001, 0b010, 0b100] {
+            assert_eq!(masks[s as usize], 0, "size <= 1 supports nothing");
+        }
+    }
+
+    #[test]
+    fn crossing_ranges_orientation() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        let e0 = b.add_edge(n[0], n[1], 3, 0.1).unwrap(); // forward
+        let e1 = b.add_edge(n[2], n[3], 5, 0.1).unwrap(); // backward
+        let net = b.build();
+        let fwd = crossing_ranges(&net, &[e0, e1], &[true, false], 2, AssignmentModel::ForwardOnly);
+        assert_eq!(fwd, vec![(0, 2), (0, 0)]);
+        let net_model = crossing_ranges(&net, &[e0, e1], &[true, false], 2, AssignmentModel::Net);
+        assert_eq!(net_model, vec![(0, 3), (-5, 0)], "net bounds are capacities");
+    }
+
+    #[test]
+    fn crossing_ranges_undirected() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(2);
+        let e0 = b.add_edge(n[0], n[1], 4, 0.1).unwrap();
+        let net = b.build();
+        assert_eq!(
+            crossing_ranges(&net, &[e0], &[true], 3, AssignmentModel::ForwardOnly),
+            vec![(0, 3)]
+        );
+        assert_eq!(
+            crossing_ranges(&net, &[e0], &[false], 3, AssignmentModel::Net),
+            vec![(-4, 4)]
+        );
+    }
+}

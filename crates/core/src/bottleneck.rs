@@ -1,0 +1,395 @@
+//! α-bottleneck link sets (Section III-A): discovery and validation.
+//!
+//! A link set `E* ⊆ E` is a set of α-bottleneck links w.r.t. `s` and `t` when
+//! (1) removing `E*` disconnects `s` from `t` but removing any proper subset
+//! does not (minimality), (2) `|E*|` is a small constant, and (3) each of the
+//! two connected components left by the removal has at most `α|E|` links.
+//! Connectivity is taken in the undirected sense, matching the paper's use of
+//! "connected components".
+
+use netgraph::{connected_components, find_bridges, EdgeId, Network, NodeId};
+
+use crate::error::ReliabilityError;
+
+/// A validated bottleneck link set together with its decomposition geometry.
+#[derive(Clone, Debug)]
+pub struct BottleneckSet {
+    /// The bottleneck links `E* = {e_1, …, e_k}`, in increasing id order.
+    pub edges: Vec<EdgeId>,
+    /// Nodes of the component containing the source, sorted.
+    pub side_s_nodes: Vec<NodeId>,
+    /// Nodes of the component containing the sink, sorted.
+    pub side_t_nodes: Vec<NodeId>,
+    /// Links inside the source-side component.
+    pub side_s_edges: usize,
+    /// Links inside the sink-side component.
+    pub side_t_edges: usize,
+    /// For each bottleneck link (in `edges` order): true when its `src`
+    /// endpoint lies on the source side (the link is oriented s-side →
+    /// t-side). Relevant for directed networks.
+    pub forward_oriented: Vec<bool>,
+}
+
+impl BottleneckSet {
+    /// Number of bottleneck links `k`.
+    pub fn k(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The balance factor `α`: the larger side's share of all links,
+    /// `max(|E_s|, |E_t|) / |E|`.
+    pub fn alpha(&self, total_edges: usize) -> f64 {
+        if total_edges == 0 {
+            return 0.0;
+        }
+        self.side_s_edges.max(self.side_t_edges) as f64 / total_edges as f64
+    }
+
+    /// Total capacity of the bottleneck links (if `< d`, reliability is 0).
+    pub fn capacity(&self, net: &Network) -> u64 {
+        self.edges.iter().map(|&e| net.edge(e).capacity).sum()
+    }
+}
+
+/// Checks whether removing `removed` disconnects `s` from `t`
+/// (undirected sense).
+fn separates(net: &Network, s: NodeId, t: NodeId, removed: &[EdgeId]) -> bool {
+    let comps = connected_components(net, |e| removed.iter().any(|r| r.index() == e));
+    !comps.same(s, t)
+}
+
+/// Validates that `edges` is a bottleneck link set for `(s, t)` and computes
+/// its decomposition geometry.
+pub fn validate_bottleneck_set(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    edges: &[EdgeId],
+) -> Result<BottleneckSet, ReliabilityError> {
+    net.check_node(s)?;
+    net.check_node(t)?;
+    for &e in edges {
+        if e.index() >= net.edge_count() {
+            return Err(netgraph::GraphError::EdgeOutOfRange {
+                edge: e,
+                edge_count: net.edge_count(),
+            }
+            .into());
+        }
+    }
+    let mut edges: Vec<EdgeId> = edges.to_vec();
+    edges.sort_unstable();
+    edges.dedup();
+
+    let comps = connected_components(net, |e| edges.iter().any(|r| r.index() == e));
+    if comps.same(s, t) {
+        return Err(ReliabilityError::NotSeparating);
+    }
+    if comps.count() != 2 {
+        return Err(ReliabilityError::NotTwoComponents { components: comps.count() });
+    }
+    // minimality: no (k-1)-subset separates (separation is monotone under
+    // removing more links, so checking one-removed subsets suffices)
+    for skip in 0..edges.len() {
+        let witness: Vec<EdgeId> =
+            edges.iter().enumerate().filter(|&(i, _)| i != skip).map(|(_, &e)| e).collect();
+        if separates(net, s, t, &witness) {
+            return Err(ReliabilityError::NotMinimal { witness });
+        }
+    }
+    let s_label = comps.label(s);
+    let t_label = comps.label(t);
+    let side_s_nodes = comps.members(s_label);
+    let side_t_nodes = comps.members(t_label);
+    let mut side_s_edges = 0;
+    let mut side_t_edges = 0;
+    for (id, e) in net.edge_refs() {
+        if edges.contains(&id) {
+            continue;
+        }
+        if comps.label(e.src) == s_label && comps.label(e.dst) == s_label {
+            side_s_edges += 1;
+        } else {
+            debug_assert!(
+                comps.label(e.src) == t_label && comps.label(e.dst) == t_label,
+                "non-bottleneck link must lie within one side"
+            );
+            side_t_edges += 1;
+        }
+    }
+    let forward_oriented =
+        edges.iter().map(|&e| comps.label(net.edge(e).src) == s_label).collect();
+    Ok(BottleneckSet {
+        edges,
+        side_s_nodes,
+        side_t_nodes,
+        side_s_edges,
+        side_t_edges,
+        forward_oriented,
+    })
+}
+
+/// Searches for the most balanced bottleneck set with at most `max_k` links:
+/// minimizes `max(|E_s|, |E_t|)`, breaking ties toward smaller `k`.
+///
+/// Bridges (`k = 1`) are found by Tarjan's algorithm; larger sets by
+/// exhaustive combination search (`O(|E|^k)` candidate sets, each checked
+/// with a linear-time component labelling) — an acceptable preprocessing
+/// cost for the small constant `k` the paper assumes.
+pub fn find_bottleneck_set(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    max_k: usize,
+) -> Result<BottleneckSet, ReliabilityError> {
+    let mut best: Option<BottleneckSet> = None;
+    for_each_bottleneck_set(net, s, t, max_k, |cand| {
+        let score = cand.side_s_edges.max(cand.side_t_edges);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let bs = b.side_s_edges.max(b.side_t_edges);
+                score < bs || (score == bs && cand.k() < b.k())
+            }
+        };
+        if better {
+            best = Some(cand);
+        }
+    })?;
+    best.ok_or(ReliabilityError::NoBottleneckFound)
+}
+
+/// Enumerates *every* bottleneck set with at most `max_k` links (same search
+/// as [`find_bottleneck_set`], collecting instead of keeping the best). For
+/// analysis tooling; the count can grow quickly with `max_k`.
+pub fn find_all_bottleneck_sets(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    max_k: usize,
+) -> Result<Vec<BottleneckSet>, ReliabilityError> {
+    let mut out = Vec::new();
+    for_each_bottleneck_set(net, s, t, max_k, |set| out.push(set))?;
+    Ok(out)
+}
+
+fn for_each_bottleneck_set(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    max_k: usize,
+    mut consider: impl FnMut(BottleneckSet),
+) -> Result<(), ReliabilityError> {
+    net.check_node(s)?;
+    net.check_node(t)?;
+    // k = 1 fast path: separating bridges
+    for e in find_bridges(net) {
+        if let Ok(set) = validate_bottleneck_set(net, s, t, &[e]) {
+            consider(set);
+        }
+    }
+    // k >= 2: exhaustive combinations
+    let m = net.edge_count();
+    let mut combo: Vec<usize> = Vec::new();
+    for k in 2..=max_k.min(m) {
+        combo.clear();
+        combo.extend(0..k);
+        loop {
+            let cand: Vec<EdgeId> = combo.iter().map(|&i| EdgeId::from(i)).collect();
+            if let Ok(set) = validate_bottleneck_set(net, s, t, &cand) {
+                consider(set);
+            }
+            // next combination
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                if combo[i] != i + m - k {
+                    combo[i] += 1;
+                    for j in i + 1..k {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    combo.clear();
+                    break;
+                }
+            }
+            if combo.is_empty() {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    /// Two triangles joined by a bridge (Fig. 2 shape).
+    fn bridge_graph() -> (Network, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 2, 0.1).unwrap();
+        b.add_edge(n[2], n[0], 2, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 4, 0.1).unwrap(); // bridge e3
+        b.add_edge(n[3], n[4], 2, 0.1).unwrap();
+        b.add_edge(n[4], n[5], 2, 0.1).unwrap();
+        b.add_edge(n[5], n[3], 2, 0.1).unwrap();
+        (b.build(), n[0], n[5])
+    }
+
+    /// Two diamonds joined by two links (k = 2 bottleneck).
+    fn two_link_graph() -> (Network, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap(); // 0: s->a
+        b.add_edge(n[0], n[2], 2, 0.1).unwrap(); // 1: s->b
+        b.add_edge(n[1], n[3], 2, 0.1).unwrap(); // 2: bottleneck a->c
+        b.add_edge(n[2], n[4], 2, 0.1).unwrap(); // 3: bottleneck b->d
+        b.add_edge(n[3], n[5], 2, 0.1).unwrap(); // 4: c->t
+        b.add_edge(n[4], n[5], 2, 0.1).unwrap(); // 5: d->t
+        (b.build(), n[0], n[5])
+    }
+
+    #[test]
+    fn validates_bridge() {
+        let (net, s, t) = bridge_graph();
+        let set = validate_bottleneck_set(&net, s, t, &[EdgeId(3)]).unwrap();
+        assert_eq!(set.k(), 1);
+        assert_eq!(set.side_s_edges, 3);
+        assert_eq!(set.side_t_edges, 3);
+        assert!((set.alpha(7) - 3.0 / 7.0).abs() < 1e-12);
+        assert_eq!(set.capacity(&net), 4);
+        assert_eq!(set.forward_oriented, vec![true]);
+        assert_eq!(set.side_s_nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(set.side_t_nodes, vec![NodeId(3), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn rejects_non_separating() {
+        let (net, s, t) = bridge_graph();
+        assert_eq!(
+            validate_bottleneck_set(&net, s, t, &[EdgeId(0)]).unwrap_err(),
+            ReliabilityError::NotSeparating
+        );
+    }
+
+    #[test]
+    fn rejects_non_minimal() {
+        let (net, s, t) = bridge_graph();
+        let err = validate_bottleneck_set(&net, s, t, &[EdgeId(0), EdgeId(3)]).unwrap_err();
+        match err {
+            ReliabilityError::NotMinimal { witness } => assert_eq!(witness, vec![EdgeId(3)]),
+            other => panic!("expected NotMinimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_three_components() {
+        // path s - a - t: removing both path edges isolates a
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.1).unwrap();
+        let net = b.build();
+        let err = validate_bottleneck_set(&net, n[0], n[2], &[EdgeId(0), EdgeId(1)]).unwrap_err();
+        // the set is also non-minimal, but the component count is checked
+        // first: the isolated middle node makes three components
+        assert_eq!(err, ReliabilityError::NotTwoComponents { components: 3 });
+    }
+
+    #[test]
+    fn validates_two_link_cut() {
+        let (net, s, t) = two_link_graph();
+        let set =
+            validate_bottleneck_set(&net, s, t, &[EdgeId(2), EdgeId(3)]).unwrap();
+        assert_eq!(set.k(), 2);
+        assert_eq!(set.side_s_edges, 2);
+        assert_eq!(set.side_t_edges, 2);
+        assert_eq!(set.forward_oriented, vec![true, true]);
+    }
+
+    #[test]
+    fn finds_bridge_automatically() {
+        let (net, s, t) = bridge_graph();
+        let set = find_bottleneck_set(&net, s, t, 3).unwrap();
+        assert_eq!(set.edges, vec![EdgeId(3)]);
+    }
+
+    #[test]
+    fn finds_two_link_cut_automatically() {
+        let (net, s, t) = two_link_graph();
+        let set = find_bottleneck_set(&net, s, t, 3).unwrap();
+        // several minimal 2-cuts achieve perfectly balanced 2+2 sides (e.g.
+        // {2,3}, but also "diagonal" cuts like {0,5}); any of them is optimal
+        assert_eq!(set.k(), 2);
+        assert_eq!(set.side_s_edges.max(set.side_t_edges), 2);
+        // and the returned set must itself validate
+        validate_bottleneck_set(&net, s, t, &set.edges).unwrap();
+    }
+
+    #[test]
+    fn find_all_enumerates_every_cut() {
+        let (net, s, t) = two_link_graph();
+        let all = find_all_bottleneck_sets(&net, s, t, 2).unwrap();
+        // exactly the minimal 2-cuts of the double diamond (no bridges)
+        let mut cuts: Vec<Vec<EdgeId>> = all.iter().map(|b| b.edges.clone()).collect();
+        cuts.sort();
+        assert!(cuts.contains(&vec![EdgeId(0), EdgeId(1)]));
+        assert!(cuts.contains(&vec![EdgeId(2), EdgeId(3)]));
+        assert!(cuts.contains(&vec![EdgeId(4), EdgeId(5)]));
+        // every reported set validates independently
+        for set in &all {
+            validate_bottleneck_set(&net, s, t, &set.edges).unwrap();
+        }
+    }
+
+    #[test]
+    fn find_all_includes_bridges() {
+        let (net, s, t) = bridge_graph();
+        let all = find_all_bottleneck_sets(&net, s, t, 1).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].edges, vec![EdgeId(3)]);
+    }
+
+    #[test]
+    fn no_bottleneck_in_dense_graph() {
+        // complete graph on 4 nodes: 2-edge-connected everywhere, no cut of
+        // size <= 2 leaves exactly two components... actually K4 has 3-cuts
+        // only; with max_k = 2 nothing is found
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                b.add_edge(n[i], n[j], 1, 0.1).unwrap();
+            }
+        }
+        let net = b.build();
+        assert_eq!(
+            find_bottleneck_set(&net, n[0], n[3], 2).unwrap_err(),
+            ReliabilityError::NoBottleneckFound
+        );
+    }
+
+    #[test]
+    fn backward_oriented_edge_detected() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap(); // s -> a
+        b.add_edge(n[1], n[2], 2, 0.1).unwrap(); // bottleneck a -> b (forward)
+        b.add_edge(n[3], n[1], 2, 0.1).unwrap(); // bottleneck c -> a (backward!)
+        b.add_edge(n[2], n[3], 2, 0.1).unwrap(); // b -> c
+        // hmm: this graph's cut {1, 2} separates {s,a} from {b,c}
+        let net = b.build();
+        let set =
+            validate_bottleneck_set(&net, n[0], n[2], &[EdgeId(1), EdgeId(2)]).unwrap();
+        assert_eq!(set.forward_oriented, vec![true, false]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Esary–Proschan reliability bounds for the unit-demand case.
+//!
+//! "Flow ≥ d" is a coherent (monotone) structure function of the link states,
+//! so the classic Esary–Proschan bounds apply. For `d = 1` the minimal path
+//! sets are the simple s–t paths over positive-capacity links and the minimal
+//! cut sets are the minimal s–t edge cuts, both enumerable on the small
+//! networks the exact algorithms target:
+//!
+//! * `R ≥ Π_{C ∈ mincuts} (1 − Π_{e ∈ C} p(e))` — every cut must be "broken"
+//!   somewhere;
+//! * `R ≤ 1 − Π_{P ∈ minpaths} (1 − Π_{e ∈ P} (1 − p(e)))` — some path must
+//!   fully survive.
+//!
+//! The bounds are cheap (no `2^|E|` sweep) and bracket the exact value; the
+//! property tests verify the sandwich on random graphs.
+
+use netgraph::{Adjacency, BitSet, EdgeId, Network, NodeId};
+
+use crate::demand::FlowDemand;
+use crate::error::ReliabilityError;
+
+/// All simple s–t paths (as edge-id lists) using only links with
+/// `capacity ≥ min_cap`. Paths are found by DFS; the count can be exponential,
+/// so enumeration stops with an error after `max_paths`.
+pub fn enumerate_simple_paths(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    min_cap: u64,
+    max_paths: usize,
+) -> Result<Vec<Vec<EdgeId>>, ReliabilityError> {
+    net.check_node(s)?;
+    net.check_node(t)?;
+    struct Dfs<'a> {
+        net: &'a Network,
+        adj: &'a Adjacency,
+        sink: NodeId,
+        min_cap: u64,
+        max_paths: usize,
+        visited: BitSet,
+        stack: Vec<EdgeId>,
+        paths: Vec<Vec<EdgeId>>,
+    }
+    impl Dfs<'_> {
+        /// Returns false once the path budget is exhausted.
+        fn run(&mut self, u: NodeId) -> bool {
+            if u == self.sink {
+                self.paths.push(self.stack.clone());
+                return self.paths.len() < self.max_paths;
+            }
+            self.visited.insert(u.index());
+            for &(e, v) in self.adj.out_edges(u) {
+                if self.visited.contains(v.index())
+                    || self.net.edge(e).capacity < self.min_cap
+                {
+                    continue;
+                }
+                self.stack.push(e);
+                let keep_going = self.run(v);
+                self.stack.pop();
+                if !keep_going {
+                    self.visited.remove(u.index());
+                    return false;
+                }
+            }
+            self.visited.remove(u.index());
+            true
+        }
+    }
+
+    let adj = Adjacency::new(net);
+    let mut dfs = Dfs {
+        net,
+        adj: &adj,
+        sink: t,
+        min_cap,
+        max_paths,
+        visited: BitSet::new(net.node_count()),
+        stack: Vec::new(),
+        paths: Vec::new(),
+    };
+    if !dfs.run(s) {
+        return Err(ReliabilityError::TooManyEdges { count: max_paths, max: max_paths });
+    }
+    Ok(dfs.paths)
+}
+
+/// All *minimal* s–t edge cut sets with at most `max_size` links
+/// (exhaustive subset search over positive-capacity links, suitable for the
+/// small networks the exact algorithms target).
+pub fn enumerate_minimal_cuts(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    max_size: usize,
+) -> Result<Vec<Vec<EdgeId>>, ReliabilityError> {
+    net.check_node(s)?;
+    net.check_node(t)?;
+    // directed reachability with a subset of edges removed
+    let adj = Adjacency::new(net);
+    let connected = |removed: &[usize]| -> bool {
+        reach_with_removed(&adj, s, removed).contains(t.index())
+    };
+    if !connected(&[]) {
+        return Ok(vec![vec![]]); // already cut: the empty set is the cut
+    }
+    let m = net.edge_count();
+    let candidates: Vec<usize> =
+        (0..m).filter(|&i| net.edges()[i].capacity > 0).collect();
+    let mut cuts: Vec<Vec<usize>> = Vec::new();
+    let mut combo: Vec<usize> = Vec::new();
+
+    fn search(
+        candidates: &[usize],
+        start: usize,
+        size: usize,
+        combo: &mut Vec<usize>,
+        cuts: &mut Vec<Vec<usize>>,
+        connected: &dyn Fn(&[usize]) -> bool,
+    ) {
+        if combo.len() == size {
+            if !connected(combo) {
+                // minimality: no known smaller/equal cut is a subset
+                let dominated = cuts
+                    .iter()
+                    .any(|c| c.iter().all(|e| combo.contains(e)));
+                if !dominated {
+                    cuts.push(combo.clone());
+                }
+            }
+            return;
+        }
+        for (i, &c) in candidates.iter().enumerate().skip(start) {
+            combo.push(c);
+            search(candidates, i + 1, size, combo, cuts, connected);
+            combo.pop();
+        }
+    }
+
+    for size in 1..=max_size.min(candidates.len()) {
+        search(&candidates, 0, size, &mut combo, &mut cuts, &connected);
+    }
+    Ok(cuts
+        .into_iter()
+        .map(|c| c.into_iter().map(EdgeId::from).collect())
+        .collect())
+}
+
+fn reach_with_removed(adj: &Adjacency, s: NodeId, removed: &[usize]) -> BitSet {
+    netgraph::bfs_reachable(adj, s, |e| !removed.contains(&e))
+}
+
+/// The Esary–Proschan bounds `(lower, upper)` on the unit-demand reliability.
+///
+/// # Errors
+/// Fails when path enumeration exceeds `max_structures`, or the demand is not
+/// 1 (the minimal path/cut structures of higher demands are not simple paths
+/// and cuts).
+pub fn esary_proschan_bounds(
+    net: &Network,
+    demand: FlowDemand,
+    max_structures: usize,
+) -> Result<(f64, f64), ReliabilityError> {
+    demand.validate(net)?;
+    assert_eq!(demand.demand, 1, "Esary-Proschan bounds implemented for unit demand");
+    let paths = enumerate_simple_paths(net, demand.source, demand.sink, 1, max_structures)?;
+    if paths.is_empty() {
+        return Ok((0.0, 0.0));
+    }
+    // upper bound from min paths
+    let mut miss_all_paths = 1.0f64;
+    for p in &paths {
+        let survive: f64 = p.iter().map(|&e| 1.0 - net.edge(e).fail_prob).product();
+        miss_all_paths *= 1.0 - survive;
+    }
+    let upper = 1.0 - miss_all_paths;
+    // lower bound from minimal cuts. The product must run over *all* minimal
+    // cuts — omitting a factor (each < 1) would raise the product and void
+    // the bound — so the enumeration is exhaustive. These bounds target the
+    // same small networks as the exact algorithms; they are for analysis and
+    // sandwich-testing, not asymptotic savings.
+    let cuts = enumerate_minimal_cuts(net, demand.source, demand.sink, net.edge_count())?;
+    let mut lower = 1.0f64;
+    for c in &cuts {
+        let all_fail: f64 = c.iter().map(|&e| net.edge(e).fail_prob).product();
+        lower *= 1.0 - all_fail;
+    }
+    Ok((lower.min(upper), upper))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::reliability_naive;
+    use crate::options::CalcOptions;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    fn diamond() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 1, 0.2).unwrap();
+        b.add_edge(n[1], n[3], 1, 0.15).unwrap();
+        b.add_edge(n[2], n[3], 1, 0.25).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.3).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn paths_of_diamond() {
+        let net = diamond();
+        let paths = enumerate_simple_paths(&net, NodeId(0), NodeId(3), 1, 100).unwrap();
+        // s-a-t, s-b-t, s-a-b-t
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.len() <= 3));
+    }
+
+    #[test]
+    fn capacity_filter_prunes_paths() {
+        let net = diamond();
+        let paths = enumerate_simple_paths(&net, NodeId(0), NodeId(3), 2, 100).unwrap();
+        assert!(paths.is_empty(), "no link has capacity 2");
+    }
+
+    #[test]
+    fn path_budget_enforced() {
+        let net = diamond();
+        assert!(enumerate_simple_paths(&net, NodeId(0), NodeId(3), 1, 2).is_err());
+    }
+
+    #[test]
+    fn minimal_cuts_of_diamond() {
+        let net = diamond();
+        let cuts = enumerate_minimal_cuts(&net, NodeId(0), NodeId(3), 4).unwrap();
+        // {e0,e1} (out of s) and {e2,e3} (into t) are the 2-cuts; also
+        // {e0,e3} (cuts s-a-t and both b-paths? no: s-b-t survives)...
+        assert!(cuts.contains(&vec![EdgeId(0), EdgeId(1)]));
+        assert!(cuts.contains(&vec![EdgeId(2), EdgeId(3)]));
+        // every reported cut disconnects, and no strict subset of one is a cut
+        for c in &cuts {
+            let removed: Vec<usize> = c.iter().map(|e| e.index()).collect();
+            let adj = Adjacency::new(&net);
+            let reach = reach_with_removed(&adj, NodeId(0), &removed);
+            assert!(!reach.contains(3), "cut {c:?} must disconnect");
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_has_empty_cut() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        let net = b.build();
+        let cuts = enumerate_minimal_cuts(&net, n[0], n[1], 3).unwrap();
+        assert_eq!(cuts, vec![Vec::<EdgeId>::new()]);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_on_diamond() {
+        let net = diamond();
+        let d = FlowDemand::new(NodeId(0), NodeId(3), 1);
+        let exact = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        let (lo, hi) = esary_proschan_bounds(&net, d, 1000).unwrap();
+        assert!(lo <= exact + 1e-12, "lower {lo} vs exact {exact}");
+        assert!(exact <= hi + 1e-12, "exact {exact} vs upper {hi}");
+        assert!(lo > 0.5 && hi < 1.0, "bounds are informative: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn bounds_tight_on_single_link() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.25).unwrap();
+        let net = b.build();
+        let d = FlowDemand::new(n[0], n[1], 1);
+        let (lo, hi) = esary_proschan_bounds(&net, d, 10).unwrap();
+        assert!((lo - 0.75).abs() < 1e-12);
+        assert!((hi - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_sink_gives_zero_bounds() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        let net = b.build();
+        let d = FlowDemand::new(n[0], n[2], 1);
+        assert_eq!(esary_proschan_bounds(&net, d, 10).unwrap(), (0.0, 0.0));
+    }
+}

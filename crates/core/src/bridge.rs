@@ -1,0 +1,203 @@
+//! Series decomposition along bridges — the paper's `k = 1` case
+//! (Fig. 2 / Eq. 1), applied recursively.
+//!
+//! If a bridge `e' = (x, y)` separates `s` from `t`, then
+//! `r(G) = r(G_s, (s, x, d)) · (1 − p(e')) · r(G_t, (y, t, d))` provided
+//! `c(e') ≥ d` (zero otherwise). Each side may itself contain further
+//! separating bridges, so the decomposition recurses; leaves fall back to
+//! naive enumeration. On a chain of `B` bridges this reduces the exponent
+//! from `|E|` to the largest bridge-free segment.
+
+use exactmath::BigRational;
+use netgraph::{connected_components, find_bridges, Network, NodeId};
+
+use crate::demand::FlowDemand;
+use crate::error::ReliabilityError;
+use crate::naive::reliability_naive_weighted;
+use crate::options::CalcOptions;
+use crate::weight::{edge_weights, edge_weights_exact, EdgeWeights, Weight};
+
+fn bridge_rec<W: Weight>(
+    net: &Network,
+    demand: FlowDemand,
+    weights: &EdgeWeights<W>,
+    opts: &CalcOptions,
+) -> Result<W, ReliabilityError> {
+    if demand.demand == 0 {
+        return Ok(W::one());
+    }
+    // disconnected endpoints can never carry flow, whatever survives
+    if !connected_components(net, |_| false).same(demand.source, demand.sink) {
+        return Ok(W::zero());
+    }
+    // find a bridge separating s and t
+    for e in find_bridges(net) {
+        let comps = connected_components(net, |i| i == e.index());
+        if comps.same(demand.source, demand.sink) {
+            continue;
+        }
+        let edge = *net.edge(e);
+        let s_label = comps.label(demand.source);
+        let t_label = comps.label(demand.sink);
+        // the bridge must join the s- and t-components directly (an
+        // unrelated bridge elsewhere cannot be the separator here, since
+        // s and t are connected before its removal)
+        let labels = (comps.label(edge.src), comps.label(edge.dst));
+        debug_assert!(
+            labels == (s_label, t_label) || labels == (t_label, s_label),
+            "separating bridge must join the two sides"
+        );
+        if edge.capacity < demand.demand {
+            return Ok(W::zero());
+        }
+        // endpoint of the bridge on each side
+        let (x, y) = if comps.label(edge.src) == s_label {
+            (edge.src, edge.dst)
+        } else {
+            (edge.dst, edge.src)
+        };
+        // the removal may leave more than two components (other bridges
+        // elsewhere); keep only the s- and t-sides, everything else is
+        // irrelevant to the demand and marginalizes out of the probability
+        let side =
+            |label: u32| -> Vec<NodeId> { comps.members(label) };
+        let (s_net, s_map, s_origin) = net.induced(&side(s_label), None);
+        let (t_net, t_map, t_origin) =
+            net.induced(&side(comps.label(demand.sink)), None);
+        let w_s: EdgeWeights<W> =
+            s_origin.iter().map(|&i| weights[i.index()].clone()).collect();
+        let w_t: EdgeWeights<W> =
+            t_origin.iter().map(|&i| weights[i.index()].clone()).collect();
+        let r_s = bridge_rec(
+            &s_net,
+            FlowDemand::new(
+                s_map.get(demand.source).expect("source on s side"),
+                s_map.get(x).expect("bridge endpoint on s side"),
+                demand.demand,
+            ),
+            &w_s,
+            opts,
+        )?;
+        let r_t = bridge_rec(
+            &t_net,
+            FlowDemand::new(
+                t_map.get(y).expect("bridge endpoint on t side"),
+                t_map.get(demand.sink).expect("sink on t side"),
+                demand.demand,
+            ),
+            &w_t,
+            opts,
+        )?;
+        // Eq. 1: r = r(G_s) · (1 − p(e')) · r(G_t)
+        let up = weights[e.index()].0.clone();
+        return Ok(r_s.mul(&up).mul(&r_t));
+    }
+    // no separating bridge left: enumerate this segment
+    reliability_naive_weighted(net, demand, weights, opts)
+}
+
+/// Reliability by recursive bridge decomposition, `f64`.
+pub fn reliability_bridge(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<f64, ReliabilityError> {
+    demand.validate(net)?;
+    bridge_rec(net, demand, &edge_weights(net), opts)
+}
+
+/// Reliability by recursive bridge decomposition, exact.
+pub fn reliability_bridge_exact(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<BigRational, ReliabilityError> {
+    demand.validate(net)?;
+    bridge_rec(net, demand, &edge_weights_exact(net), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::reliability_naive;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    /// Chain of diamonds connected by bridges.
+    fn diamond_chain(segments: usize) -> (Network, FlowDemand) {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let mut prev = b.add_node();
+        let source = prev;
+        for i in 0..segments {
+            let a = b.add_node();
+            let c = b.add_node();
+            let d = b.add_node();
+            b.add_edge(prev, a, 1, 0.1).unwrap();
+            b.add_edge(prev, c, 1, 0.2).unwrap();
+            b.add_edge(a, d, 1, 0.15).unwrap();
+            b.add_edge(c, d, 1, 0.25).unwrap();
+            if i + 1 < segments {
+                let next = b.add_node();
+                b.add_edge(d, next, 1, 0.05).unwrap(); // bridge
+                prev = next;
+            } else {
+                prev = d;
+            }
+        }
+        let sink = prev;
+        (b.build(), FlowDemand::new(source, sink, 1))
+    }
+
+    #[test]
+    fn single_diamond_no_bridge_falls_back() {
+        let (net, d) = diamond_chain(1);
+        let naive = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        let bridge = reliability_bridge(&net, d, &CalcOptions::default()).unwrap();
+        assert!((naive - bridge).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_matches_naive() {
+        for segments in 2..=3 {
+            let (net, d) = diamond_chain(segments);
+            let naive = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+            let bridge = reliability_bridge(&net, d, &CalcOptions::default()).unwrap();
+            assert!(
+                (naive - bridge).abs() < 1e-12,
+                "segments={segments}: {naive} vs {bridge}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_scales_past_naive_limits() {
+        // 8 segments: 8*4 + 7 = 39 links — naive would refuse at default
+        // bounds, bridge decomposition handles each 4-link segment alone
+        let (net, d) = diamond_chain(8);
+        assert!(reliability_naive(&net, d, &CalcOptions::default()).is_err());
+        let r = reliability_bridge(&net, d, &CalcOptions::default()).unwrap();
+        // per segment: both paths fail: (1-0.9*0.85)(1-0.8*0.75) each
+        let seg: f64 = 1.0 - (1.0 - 0.9 * 0.85) * (1.0 - 0.8 * 0.75);
+        let expected = seg.powi(8) * 0.95f64.powi(7);
+        assert!((r - expected).abs() < 1e-9, "{r} vs {expected}");
+    }
+
+    #[test]
+    fn bridge_capacity_below_demand_gives_zero() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        let net = b.build();
+        let r =
+            reliability_bridge(&net, FlowDemand::new(n[0], n[1], 2), &CalcOptions::default())
+                .unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn exact_matches_float() {
+        let (net, d) = diamond_chain(2);
+        let f = reliability_bridge(&net, d, &CalcOptions::default()).unwrap();
+        let e = reliability_bridge_exact(&net, d, &CalcOptions::default()).unwrap();
+        assert!((f - e.to_f64()).abs() < 1e-12);
+    }
+}

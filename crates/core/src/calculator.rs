@@ -1,0 +1,280 @@
+//! Strategy selection: one entry point that picks the right algorithm.
+
+use netgraph::{EdgeId, Network};
+
+use crate::algorithm::{reliability_bottleneck_on_set, BottleneckReport};
+use crate::bottleneck::find_bottleneck_set;
+use crate::demand::FlowDemand;
+use crate::error::ReliabilityError;
+use crate::factoring::reliability_factoring;
+use crate::naive::reliability_naive;
+use crate::options::CalcOptions;
+use crate::weight::edge_weights;
+
+/// Which algorithm to run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Strategy {
+    /// Look for a bottleneck set (up to the given `k`); decompose when the
+    /// split pays off, otherwise fall back to factoring.
+    #[default]
+    Auto,
+    /// Exhaustive `2^|E|` enumeration (the paper's baseline).
+    Naive,
+    /// Conditioning with flow-based pruning.
+    Factoring,
+    /// Bottleneck decomposition along the given links.
+    Bottleneck(Vec<EdgeId>),
+    /// Bottleneck decomposition, discovering the best set with `k ≤ max_k`.
+    BottleneckAuto {
+        /// Largest bottleneck-set cardinality to search for.
+        max_k: usize,
+    },
+}
+
+/// What was computed and how.
+#[derive(Clone, Debug)]
+pub struct ReliabilityReport {
+    /// The reliability of the network w.r.t. the demand.
+    pub reliability: f64,
+    /// Human-readable name of the algorithm that produced the value.
+    pub algorithm: &'static str,
+    /// Present when a bottleneck decomposition ran.
+    pub bottleneck: Option<BottleneckReport>,
+}
+
+/// Facade that picks and runs a reliability algorithm.
+///
+/// ```
+/// use flowrel_core::{ReliabilityCalculator, FlowDemand};
+/// use netgraph::{NetworkBuilder, GraphKind};
+///
+/// let mut b = NetworkBuilder::new(GraphKind::Directed);
+/// let s = b.add_node();
+/// let t = b.add_node();
+/// b.add_edge(s, t, 1, 0.1).unwrap();
+/// b.add_edge(s, t, 1, 0.2).unwrap();
+/// let net = b.build();
+///
+/// let calc = ReliabilityCalculator::new();
+/// let report = calc.run(&net, FlowDemand::new(s, t, 1)).unwrap();
+/// assert!((report.reliability - (1.0 - 0.1 * 0.2)).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ReliabilityCalculator {
+    /// Strategy to apply.
+    pub strategy: Strategy,
+    /// Shared options.
+    pub options: CalcOptions,
+}
+
+impl ReliabilityCalculator {
+    /// A calculator with the default (auto) strategy and options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the options.
+    pub fn with_options(mut self, options: CalcOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Computes the reliability of `net` w.r.t. `demand`.
+    pub fn run(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+    ) -> Result<ReliabilityReport, ReliabilityError> {
+        match &self.strategy {
+            Strategy::Naive => {
+                let r = reliability_naive(net, demand, &self.options)?;
+                Ok(ReliabilityReport { reliability: r, algorithm: "naive", bottleneck: None })
+            }
+            Strategy::Factoring => {
+                let r = reliability_factoring(net, demand, &self.options)?;
+                Ok(ReliabilityReport {
+                    reliability: r,
+                    algorithm: "factoring",
+                    bottleneck: None,
+                })
+            }
+            Strategy::Bottleneck(cut) => {
+                let (r, rep) = crate::algorithm::reliability_bottleneck_weighted(
+                    net,
+                    demand,
+                    cut,
+                    &edge_weights(net),
+                    &self.options,
+                )?;
+                Ok(ReliabilityReport {
+                    reliability: r,
+                    algorithm: "bottleneck",
+                    bottleneck: Some(rep),
+                })
+            }
+            Strategy::BottleneckAuto { max_k } => {
+                let set = find_bottleneck_set(net, demand.source, demand.sink, *max_k)?;
+                let (r, rep) = reliability_bottleneck_on_set(
+                    net,
+                    demand,
+                    &set,
+                    &edge_weights(net),
+                    &self.options,
+                )?;
+                Ok(ReliabilityReport {
+                    reliability: r,
+                    algorithm: "bottleneck-auto",
+                    bottleneck: Some(rep),
+                })
+            }
+            Strategy::Auto => self.run_auto(net, demand),
+        }
+    }
+
+    /// Auto strategy: decompose along a bottleneck when one exists and the
+    /// assignment set stays small; otherwise factor; fall back to naive only
+    /// when factoring's (looser) edge bound also trips.
+    fn run_auto(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+    ) -> Result<ReliabilityReport, ReliabilityError> {
+        if let Ok(set) = find_bottleneck_set(net, demand.source, demand.sink, 3) {
+            let worth_it = set.side_s_edges.max(set.side_t_edges) + 2 < net.edge_count();
+            if worth_it {
+                let attempt = reliability_bottleneck_on_set(
+                    net,
+                    demand,
+                    &set,
+                    &edge_weights(net),
+                    &self.options,
+                );
+                match attempt {
+                    Ok((r, rep)) => {
+                        return Ok(ReliabilityReport {
+                            reliability: r,
+                            algorithm: "auto:bottleneck",
+                            bottleneck: Some(rep),
+                        });
+                    }
+                    Err(
+                        ReliabilityError::TooManyAssignments { .. }
+                        | ReliabilityError::SideTooLarge { .. },
+                    ) => { /* fall through to factoring */ }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let r = reliability_factoring(net, demand, &self.options)?;
+        Ok(ReliabilityReport { reliability: r, algorithm: "auto:factoring", bottleneck: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    fn barbell() -> (Network, FlowDemand) {
+        // triangle - 1 link - triangle
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[0], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 2, 0.1).unwrap();
+        b.add_edge(n[3], n[4], 1, 0.1).unwrap();
+        b.add_edge(n[4], n[5], 1, 0.1).unwrap();
+        b.add_edge(n[5], n[3], 1, 0.1).unwrap();
+        (b.build(), FlowDemand::new(n[0], n[5], 1))
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let (net, d) = barbell();
+        let strategies = [
+            Strategy::Naive,
+            Strategy::Factoring,
+            Strategy::Bottleneck(vec![EdgeId(3)]),
+            Strategy::BottleneckAuto { max_k: 2 },
+            Strategy::Auto,
+        ];
+        let reference = ReliabilityCalculator::new()
+            .with_strategy(Strategy::Naive)
+            .run(&net, d)
+            .unwrap()
+            .reliability;
+        for s in strategies {
+            let rep = ReliabilityCalculator::new().with_strategy(s.clone()).run(&net, d).unwrap();
+            assert!(
+                (rep.reliability - reference).abs() < 1e-12,
+                "{s:?} gave {} vs {reference}",
+                rep.reliability
+            );
+        }
+    }
+
+    #[test]
+    fn auto_uses_bottleneck_on_barbell() {
+        let (net, d) = barbell();
+        let rep = ReliabilityCalculator::new().run(&net, d).unwrap();
+        assert_eq!(rep.algorithm, "auto:bottleneck");
+        let b = rep.bottleneck.expect("decomposition report");
+        assert_eq!(b.set.edges, vec![EdgeId(3)]);
+    }
+
+    #[test]
+    fn auto_falls_back_on_dense_graph() {
+        // K5 is 4-edge-connected: no bottleneck set with k <= 3 exists
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(5);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                b.add_edge(n[i], n[j], 1, 0.2).unwrap();
+            }
+        }
+        let net = b.build();
+        let rep = ReliabilityCalculator::new().run(&net, FlowDemand::new(n[0], n[4], 1)).unwrap();
+        assert_eq!(rep.algorithm, "auto:factoring");
+        assert!(rep.bottleneck.is_none());
+    }
+
+    #[test]
+    fn auto_uses_star_cut_on_k4() {
+        // K4 does have a k = 3 bottleneck: the three links incident to t
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                b.add_edge(n[i], n[j], 1, 0.2).unwrap();
+            }
+        }
+        let net = b.build();
+        let d = FlowDemand::new(n[0], n[3], 1);
+        let rep = ReliabilityCalculator::new().run(&net, d).unwrap();
+        assert_eq!(rep.algorithm, "auto:bottleneck");
+        let naive = ReliabilityCalculator::new()
+            .with_strategy(Strategy::Naive)
+            .run(&net, d)
+            .unwrap();
+        assert!((rep.reliability - naive.reliability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_bottleneck_reports_geometry() {
+        let (net, d) = barbell();
+        let rep = ReliabilityCalculator::new()
+            .with_strategy(Strategy::Bottleneck(vec![EdgeId(3)]))
+            .run(&net, d)
+            .unwrap();
+        let b = rep.bottleneck.unwrap();
+        assert_eq!(b.set.k(), 1);
+        assert_eq!(b.assignment_count, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Splitting the network along a bottleneck set into the two side
+//! subnetworks `G_s` and `G_t` (Section III-A, Fig. 2).
+
+use netgraph::{EdgeId, Network, NodeId};
+
+use crate::bottleneck::BottleneckSet;
+use crate::demand::FlowDemand;
+
+/// One side of the decomposition: an induced subnetwork with renumbered
+/// nodes, plus the geometry needed to pose its flow subproblems.
+#[derive(Clone, Debug)]
+pub struct Side {
+    /// The component as a standalone network.
+    pub net: Network,
+    /// For side edge `i`, its id in the parent network.
+    pub edge_origin: Vec<EdgeId>,
+    /// The demand terminal inside this side (`s` on the source side, `t` on
+    /// the sink side), renumbered.
+    pub terminal: NodeId,
+    /// For bottleneck link `i` (in cut order), its endpoint inside this side
+    /// (`x_i` on the source side, `y_i` on the sink side), renumbered.
+    pub attach: Vec<NodeId>,
+    /// True for `G_s`, false for `G_t`.
+    pub is_source_side: bool,
+}
+
+/// The two sides plus the cut.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// The bottleneck links, in increasing id order.
+    pub cut: Vec<EdgeId>,
+    /// Whether each cut link is oriented source-side → sink-side.
+    pub forward_oriented: Vec<bool>,
+    /// The component containing the source.
+    pub side_s: Side,
+    /// The component containing the sink.
+    pub side_t: Side,
+}
+
+fn build_side(
+    net: &Network,
+    set: &BottleneckSet,
+    nodes: &[NodeId],
+    terminal: NodeId,
+    is_source_side: bool,
+) -> Side {
+    let (sub, map, edge_origin) = net.induced(nodes, None);
+    let attach = set
+        .edges
+        .iter()
+        .zip(&set.forward_oriented)
+        .map(|(&e, &fwd)| {
+            let edge = net.edge(e);
+            // the endpoint on this side: for a forward-oriented link the src
+            // is on the source side and the dst on the sink side
+            let endpoint = match (is_source_side, fwd) {
+                (true, true) | (false, false) => edge.src,
+                (true, false) | (false, true) => edge.dst,
+            };
+            map.get(endpoint).expect("bottleneck endpoint must lie on this side")
+        })
+        .collect();
+    Side {
+        net: sub,
+        edge_origin,
+        terminal: map.get(terminal).expect("terminal must lie on this side"),
+        attach,
+        is_source_side,
+    }
+}
+
+/// Splits `net` along the (already validated) bottleneck set.
+pub fn decompose(net: &Network, demand: &FlowDemand, set: &BottleneckSet) -> Decomposition {
+    let side_s = build_side(net, set, &set.side_s_nodes, demand.source, true);
+    let side_t = build_side(net, set, &set.side_t_nodes, demand.sink, false);
+    debug_assert_eq!(side_s.net.edge_count(), set.side_s_edges);
+    debug_assert_eq!(side_t.net.edge_count(), set.side_t_edges);
+    Decomposition {
+        cut: set.edges.clone(),
+        forward_oriented: set.forward_oriented.clone(),
+        side_s,
+        side_t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottleneck::validate_bottleneck_set;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    #[test]
+    fn decomposes_two_link_cut() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap(); // 0: s->a  (side s)
+        b.add_edge(n[0], n[2], 2, 0.2).unwrap(); // 1: s->b  (side s)
+        b.add_edge(n[1], n[3], 2, 0.3).unwrap(); // 2: cut a->c
+        b.add_edge(n[2], n[4], 2, 0.4).unwrap(); // 3: cut b->d
+        b.add_edge(n[3], n[5], 2, 0.5).unwrap(); // 4: c->t  (side t)
+        b.add_edge(n[4], n[5], 2, 0.6).unwrap(); // 5: d->t  (side t)
+        let net = b.build();
+        let set = validate_bottleneck_set(&net, n[0], n[5], &[EdgeId(2), EdgeId(3)]).unwrap();
+        let d = FlowDemand::new(n[0], n[5], 2);
+        let dec = decompose(&net, &d, &set);
+
+        assert_eq!(dec.side_s.net.node_count(), 3);
+        assert_eq!(dec.side_s.net.edge_count(), 2);
+        assert_eq!(dec.side_s.edge_origin, vec![EdgeId(0), EdgeId(1)]);
+        assert!(dec.side_s.is_source_side);
+        // side-s nodes sorted: [s=n0, a=n1, b=n2] -> renumbered 0,1,2
+        assert_eq!(dec.side_s.terminal, NodeId(0));
+        assert_eq!(dec.side_s.attach, vec![NodeId(1), NodeId(2)]); // a, b
+
+        assert_eq!(dec.side_t.net.node_count(), 3);
+        assert_eq!(dec.side_t.net.edge_count(), 2);
+        assert_eq!(dec.side_t.edge_origin, vec![EdgeId(4), EdgeId(5)]);
+        // side-t nodes sorted: [c=n3, d=n4, t=n5] -> renumbered 0,1,2
+        assert_eq!(dec.side_t.terminal, NodeId(2));
+        assert_eq!(dec.side_t.attach, vec![NodeId(0), NodeId(1)]); // c, d
+        assert!(!dec.side_t.is_source_side);
+
+        // probabilities carried over
+        assert_eq!(dec.side_t.net.edge(EdgeId(0)).fail_prob, 0.5);
+    }
+
+    #[test]
+    fn backward_oriented_attach_points() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap(); // s -> a
+        b.add_edge(n[1], n[2], 2, 0.1).unwrap(); // cut a -> b (forward)
+        b.add_edge(n[3], n[1], 2, 0.1).unwrap(); // cut c -> a (backward)
+        b.add_edge(n[2], n[3], 2, 0.1).unwrap(); // b -> c
+        let net = b.build();
+        let set = validate_bottleneck_set(&net, n[0], n[2], &[EdgeId(1), EdgeId(2)]).unwrap();
+        let d = FlowDemand::new(n[0], n[2], 1);
+        let dec = decompose(&net, &d, &set);
+        // side s = {s=n0, a=n1}; cut edge 1 attaches at a, cut edge 2 (backward,
+        // c->a) also attaches at a on the source side
+        assert_eq!(dec.side_s.attach, vec![NodeId(1), NodeId(1)]);
+        // side t = {b=n2, c=n3} renumbered to {0, 1}
+        assert_eq!(dec.side_t.attach, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn single_node_side() {
+        // s directly behind the cut: side s has no edges at all
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap(); // cut s->a
+        b.add_edge(n[1], n[2], 1, 0.1).unwrap(); // a->t
+        let net = b.build();
+        let set = validate_bottleneck_set(&net, n[0], n[2], &[EdgeId(0)]).unwrap();
+        let dec = decompose(&net, &FlowDemand::new(n[0], n[2], 1), &set);
+        assert_eq!(dec.side_s.net.node_count(), 1);
+        assert_eq!(dec.side_s.net.edge_count(), 0);
+        assert_eq!(dec.side_s.terminal, dec.side_s.attach[0]);
+    }
+}

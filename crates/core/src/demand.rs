@@ -1,0 +1,48 @@
+//! The flow demand `D = (s, t, d)`.
+
+use netgraph::{Network, NodeId};
+
+use crate::error::ReliabilityError;
+
+/// A flow demand: deliver a stream of bit-rate `demand` (divisible into
+/// `demand` unit sub-streams that may take different paths) from `source`
+/// to `sink`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlowDemand {
+    /// The media server / source node `s`.
+    pub source: NodeId,
+    /// The subscriber / sink node `t`.
+    pub sink: NodeId,
+    /// The stream bit-rate `d`, in unit sub-streams.
+    pub demand: u64,
+}
+
+impl FlowDemand {
+    /// Creates a demand.
+    pub fn new(source: NodeId, sink: NodeId, demand: u64) -> Self {
+        FlowDemand { source, sink, demand }
+    }
+
+    /// Checks the demand against a network: endpoints must exist and be
+    /// distinct unless the demand is zero.
+    pub fn validate(&self, net: &Network) -> Result<(), ReliabilityError> {
+        net.check_node(self.source)?;
+        net.check_node(self.sink)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    #[test]
+    fn validate_checks_nodes() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        let net = b.build();
+        assert!(FlowDemand::new(n[0], n[1], 1).validate(&net).is_ok());
+        assert!(FlowDemand::new(n[0], NodeId(9), 1).validate(&net).is_err());
+    }
+}

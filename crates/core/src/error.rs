@@ -1,0 +1,104 @@
+//! Errors of the reliability algorithms.
+
+use std::fmt;
+
+use netgraph::{EdgeId, GraphError};
+
+/// Errors produced by the reliability algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReliabilityError {
+    /// Propagated graph error (bad node / edge / probability).
+    Graph(GraphError),
+    /// Exhaustive enumeration was requested over too many fallible links.
+    ///
+    /// `2^count` configurations would have to be examined; the configured
+    /// bound refuses hopeless runs instead of hanging.
+    TooManyEdges {
+        /// Fallible links that would be enumerated.
+        count: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// A component of the bottleneck decomposition is too large to enumerate.
+    SideTooLarge {
+        /// Links in the offending component.
+        count: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The assignment set `D` is too large for the accumulation masks.
+    TooManyAssignments {
+        /// `|D|` for the requested demand and bottleneck set.
+        count: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The candidate link set is not a valid α-bottleneck set: removing it
+    /// does not separate the source from the sink.
+    NotSeparating,
+    /// The candidate link set is not minimal: the contained proper subset
+    /// already separates the source from the sink.
+    NotMinimal {
+        /// A witness proper subset that already separates s and t.
+        witness: Vec<EdgeId>,
+    },
+    /// Removing the candidate set does not leave exactly two connected
+    /// components (after restricting to the nodes relevant to s and t).
+    NotTwoComponents {
+        /// Number of components observed.
+        components: usize,
+    },
+    /// No bottleneck set of the requested maximum cardinality exists.
+    NoBottleneckFound,
+}
+
+impl fmt::Display for ReliabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReliabilityError::Graph(e) => write!(f, "graph error: {e}"),
+            ReliabilityError::TooManyEdges { count, max } => {
+                write!(f, "{count} fallible links exceed the enumeration bound of {max}")
+            }
+            ReliabilityError::SideTooLarge { count, max } => {
+                write!(f, "decomposition side has {count} links, exceeding the bound of {max}")
+            }
+            ReliabilityError::TooManyAssignments { count, max } => {
+                write!(f, "assignment set has {count} entries, exceeding the bound of {max}")
+            }
+            ReliabilityError::NotSeparating => {
+                write!(f, "removing the candidate links does not separate source from sink")
+            }
+            ReliabilityError::NotMinimal { witness } => {
+                write!(f, "candidate link set is not minimal: {witness:?} already separates")
+            }
+            ReliabilityError::NotTwoComponents { components } => {
+                write!(f, "removal leaves {components} components, expected exactly 2")
+            }
+            ReliabilityError::NoBottleneckFound => {
+                write!(f, "no bottleneck link set found within the cardinality bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReliabilityError {}
+
+impl From<GraphError> for ReliabilityError {
+    fn from(e: GraphError) -> Self {
+        ReliabilityError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ReliabilityError::TooManyEdges { count: 40, max: 30 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("30"));
+        let e = ReliabilityError::NotMinimal { witness: vec![EdgeId(1)] };
+        assert!(e.to_string().contains("e1"));
+    }
+}

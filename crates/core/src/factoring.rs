@@ -1,0 +1,186 @@
+//! The factoring (conditioning) algorithm with flow-based pruning — a classic
+//! exact comparator for network-reliability problems.
+//!
+//! Condition on one undecided link at a time:
+//! `R = p(e) · R[e failed] + (1 − p(e)) · R[e alive]`.
+//! Two bounds prune entire subtrees exactly:
+//!
+//! * **optimistic** — if the demand is infeasible even with every undecided
+//!   link alive, the subtree contributes 0;
+//! * **pessimistic** — if the demand is feasible with every undecided link
+//!   failed, every configuration below succeeds and the subtree contributes
+//!   its full remaining probability mass.
+//!
+//! Worst case remains `O(2^|E|)`, but on most instances the bounds collapse
+//! large parts of the tree; the benches quantify the gap against the naive
+//! sweep and the bottleneck algorithm.
+
+use exactmath::BigRational;
+use netgraph::{EdgeMask, Network};
+
+use crate::demand::FlowDemand;
+use crate::error::ReliabilityError;
+use crate::options::CalcOptions;
+use crate::oracle::DemandOracle;
+use crate::preprocess::relevance_reduce;
+use crate::weight::{edge_weights, edge_weights_exact, EdgeWeights, Weight};
+
+struct Factoring<'a, W: Weight> {
+    oracle: DemandOracle,
+    weights: &'a EdgeWeights<W>,
+    m: usize,
+    /// Number of conditioning leaves visited (for the ablation bench).
+    leaves: u64,
+}
+
+impl<W: Weight> Factoring<'_, W> {
+    /// `alive` — links conditioned alive; `undecided` — not yet conditioned.
+    /// Everything else is conditioned failed.
+    fn go(&mut self, alive: u64, undecided: u64) -> W {
+        // optimistic: all undecided alive
+        if !self.oracle.admits(EdgeMask::from_bits(alive | undecided, self.m)) {
+            self.leaves += 1;
+            return W::zero();
+        }
+        // pessimistic: all undecided failed
+        if self.oracle.admits(EdgeMask::from_bits(alive, self.m)) {
+            self.leaves += 1;
+            return W::one();
+        }
+        // both bounds open: condition on the lowest undecided link
+        let e = undecided.trailing_zeros() as usize;
+        let rest = undecided & !(1 << e);
+        let (up, down) = &self.weights[e];
+        let (up, down) = (up.clone(), down.clone());
+        let with_e = self.go(alive | 1 << e, rest);
+        let without_e = self.go(alive, rest);
+        up.mul(&with_e).add(&down.mul(&without_e))
+    }
+}
+
+/// Factoring reliability over any weight domain; also returns the number of
+/// conditioning leaves visited (2^|E| would be the unpruned count).
+pub fn reliability_factoring_weighted<W: Weight>(
+    net: &Network,
+    demand: FlowDemand,
+    weights: &EdgeWeights<W>,
+    opts: &CalcOptions,
+) -> Result<(W, u64), ReliabilityError> {
+    demand.validate(net)?;
+    assert_eq!(weights.len(), net.edge_count(), "one weight pair per link");
+    // delete links on no s→t path (exact; see crate::preprocess)
+    let reduced = relevance_reduce(net, demand);
+    if reduced.removed > 0 {
+        let w: EdgeWeights<W> =
+            reduced.edge_origin.iter().map(|&i| weights[i].clone()).collect();
+        return reliability_factoring_weighted(&reduced.net, reduced.demand, &w, opts);
+    }
+    let m = net.edge_count();
+    assert!(m <= EdgeMask::MAX_EDGES, "factoring supports at most 64 links");
+    if m > opts.max_enum_edges.max(40) {
+        // factoring prunes aggressively, so allow somewhat more than naive,
+        // but still refuse hopeless instances
+        return Err(ReliabilityError::TooManyEdges { count: m, max: opts.max_enum_edges.max(40) });
+    }
+    if demand.demand == 0 {
+        return Ok((W::one(), 1));
+    }
+    let oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
+    let mut f = Factoring { oracle, weights, m, leaves: 0 };
+    let all = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+    let r = f.go(0, all);
+    Ok((r, f.leaves))
+}
+
+/// Factoring reliability, `f64`.
+pub fn reliability_factoring(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<f64, ReliabilityError> {
+    reliability_factoring_weighted(net, demand, &edge_weights(net), opts).map(|(r, _)| r)
+}
+
+/// Factoring reliability, exact.
+pub fn reliability_factoring_exact(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<BigRational, ReliabilityError> {
+    reliability_factoring_weighted(net, demand, &edge_weights_exact(net), opts).map(|(r, _)| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::reliability_naive;
+    use netgraph::{GraphKind, NetworkBuilder, NodeId};
+
+    fn mesh() -> (Network, FlowDemand) {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(5);
+        let edges = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (0, 3)];
+        let probs = [0.1, 0.2, 0.3, 0.15, 0.25, 0.05, 0.35, 0.4];
+        for (&(u, v), &p) in edges.iter().zip(&probs) {
+            b.add_edge(n[u], n[v], 1, p).unwrap();
+        }
+        (b.build(), FlowDemand::new(n[0], n[4], 1))
+    }
+
+    #[test]
+    fn matches_naive() {
+        let (net, d) = mesh();
+        let naive = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        let (fact, leaves) =
+            reliability_factoring_weighted(&net, d, &edge_weights(&net), &CalcOptions::default())
+                .unwrap();
+        assert!((naive - fact).abs() < 1e-12);
+        assert!(leaves < 1 << net.edge_count(), "pruning must cut the tree");
+    }
+
+    #[test]
+    fn matches_naive_demand_two() {
+        let (net, mut d) = mesh();
+        d.demand = 2;
+        let naive = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        let fact = reliability_factoring(&net, d, &CalcOptions::default()).unwrap();
+        assert!((naive - fact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_is_zero_in_one_leaf() {
+        let (net, mut d) = mesh();
+        d.demand = 50;
+        let (r, leaves) =
+            reliability_factoring_weighted(&net, d, &edge_weights(&net), &CalcOptions::default())
+                .unwrap();
+        assert_eq!(r, 0.0);
+        assert_eq!(leaves, 1, "optimistic bound fires at the root");
+    }
+
+    #[test]
+    fn perfect_network_is_one_in_one_leaf() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.0).unwrap();
+        let net = b.build();
+        // p = 0: even "all failed" keeps... no — all-failed removes the link.
+        // The pessimistic bound does not fire, but the tree is tiny anyway.
+        let (r, _) = reliability_factoring_weighted(
+            &net,
+            FlowDemand::new(NodeId(0), NodeId(1), 1),
+            &edge_weights(&net),
+            &CalcOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn exact_matches_float() {
+        let (net, d) = mesh();
+        let f = reliability_factoring(&net, d, &CalcOptions::default()).unwrap();
+        let e = reliability_factoring_exact(&net, d, &CalcOptions::default()).unwrap();
+        assert!((f - e.to_f64()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! # flowrel-core — reliability of flow networks with bottleneck links
+//!
+//! Implementation of *Reliability Calculation of P2P Streaming Systems with
+//! Bottleneck Links* (S. Fujita, IEEE IPDPSW 2017).
+//!
+//! Given a network `G = (V, E)` whose links have capacities `c(e)` and
+//! independent failure probabilities `p(e)`, and a flow demand
+//! `D = (s, t, d)`, the **reliability** is the probability that the random
+//! subgraph of surviving links admits an s–t flow of value at least `d`.
+//!
+//! The crate provides four exact algorithms plus a strategy-picking
+//! calculator:
+//!
+//! * [`naive::reliability_naive`] — enumerate all `2^|E|` failure
+//!   configurations (the paper's baseline, Fig. 1);
+//! * [`bridge::reliability_bridge`] — recursive series decomposition along
+//!   bridges (the paper's `k = 1` case, Fig. 2 / Eq. 1);
+//! * [`algorithm::reliability_bottleneck`] — the paper's main contribution:
+//!   decomposition along a set of α-bottleneck links, per-side realization
+//!   arrays (Section III-C), and inclusion–exclusion accumulation over
+//!   supported assignments (Section IV);
+//! * [`factoring::reliability_factoring`] — classic conditioning with
+//!   flow-based pruning, an additional exact comparator;
+//! * [`calculator::ReliabilityCalculator`] — picks a strategy automatically
+//!   and reports what it did.
+//!
+//! Every algorithm exists in `f64` (with compensated summation) and exact
+//! [`exactmath::BigRational`] forms; the generic code is shared through the
+//! [`weight::Weight`] abstraction, so the exact form validates the float form
+//! down to the last operation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulate;
+pub mod algorithm;
+pub mod assign;
+pub mod bottleneck;
+pub mod bounds;
+pub mod bridge;
+pub mod calculator;
+pub mod decompose;
+pub mod demand;
+pub mod error;
+pub mod factoring;
+pub mod importance;
+pub mod naive;
+pub mod nodefail;
+pub mod options;
+pub mod polynomial;
+pub mod preprocess;
+pub mod oracle;
+pub mod spectrum;
+pub mod spreduce;
+pub mod table;
+pub mod weight;
+
+pub use accumulate::AccumulationMethod;
+pub use algorithm::{reliability_bottleneck, reliability_bottleneck_exact, BottleneckReport};
+pub use assign::{enumerate_assignments, Assignment, AssignmentModel};
+pub use bottleneck::{find_all_bottleneck_sets, find_bottleneck_set, validate_bottleneck_set, BottleneckSet};
+pub use bridge::reliability_bridge;
+pub use calculator::{ReliabilityCalculator, ReliabilityReport, Strategy};
+pub use decompose::{decompose, Decomposition, Side};
+pub use demand::FlowDemand;
+pub use error::ReliabilityError;
+pub use factoring::reliability_factoring;
+pub use bounds::{enumerate_minimal_cuts, enumerate_simple_paths, esary_proschan_bounds};
+pub use bridge::reliability_bridge_exact;
+pub use factoring::reliability_factoring_exact;
+pub use importance::{birnbaum_importance, LinkImportance};
+pub use naive::{reliability_naive, reliability_naive_exact, reliability_naive_weighted};
+pub use nodefail::{split_node_failures, NodeSplit};
+pub use options::CalcOptions;
+pub use polynomial::{reliability_polynomial, ReliabilityPolynomial};
+pub use preprocess::{relevance_reduce, RelevantNetwork};
+pub use oracle::{DemandOracle, SideOracle};
+pub use spectrum::RealizationSpectrum;
+pub use spreduce::{reduce_unit_demand, reliability_sp_reduced, ReducedNetwork, ReductionStats};
+pub use table::RealizationTable;
+pub use weight::{edge_weights, edge_weights_exact, Weight};

@@ -1,0 +1,325 @@
+//! The naive baseline: enumerate all `2^|E|` failure configurations (Fig. 1).
+//!
+//! For each configuration of available links `E' ⊆ E`, run a max-flow on the
+//! induced subgraph; if it admits the demand, add
+//! `Π_{e ∈ E'} (1 − p(e)) · Π_{e ∉ E'} p(e)` to the reliability.
+//!
+//! Two exact refinements (both optional, both ablated in the benches):
+//! * links with `p(e) = 0` never fail, so they are pinned alive instead of
+//!   enumerated (`factor_perfect_links`);
+//! * configurations are swept in parallel with rayon (`parallel`), each
+//!   worker owning a clone of the flow oracle and a compensated partial sum.
+
+use exactmath::{BigRational, NeumaierSum};
+use netgraph::{EdgeMask, Network};
+use rayon::prelude::*;
+
+use crate::demand::FlowDemand;
+use crate::error::ReliabilityError;
+use crate::options::CalcOptions;
+use crate::oracle::DemandOracle;
+use crate::preprocess::relevance_reduce;
+use crate::weight::{edge_weights_exact, EdgeWeights, Weight};
+
+/// Splits edge indices into (fallible, pinned-alive) per the options.
+fn enumeration_split(net: &Network, opts: &CalcOptions) -> (Vec<usize>, u64) {
+    let mut fallible = Vec::new();
+    let mut pinned = 0u64;
+    for (i, e) in net.edges().iter().enumerate() {
+        if opts.factor_perfect_links && e.fail_prob == 0.0 {
+            pinned |= 1 << i;
+        } else {
+            fallible.push(i);
+        }
+    }
+    (fallible, pinned)
+}
+
+/// Expands a compact index over fallible edges into a full edge mask.
+#[inline]
+fn expand_mask(compact: u64, fallible: &[usize], pinned: u64, edge_count: usize) -> EdgeMask {
+    let mut bits = pinned;
+    let mut rest = compact;
+    while rest != 0 {
+        let b = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        bits |= 1 << fallible[b];
+    }
+    EdgeMask::from_bits(bits, edge_count)
+}
+
+fn check_bounds(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<Vec<usize>, ReliabilityError> {
+    demand.validate(net)?;
+    assert!(
+        net.edge_count() <= EdgeMask::MAX_EDGES,
+        "naive enumeration requires at most {} edges",
+        EdgeMask::MAX_EDGES
+    );
+    let (fallible, _) = enumeration_split(net, opts);
+    if fallible.len() > opts.max_enum_edges {
+        return Err(ReliabilityError::TooManyEdges {
+            count: fallible.len(),
+            max: opts.max_enum_edges,
+        });
+    }
+    Ok(fallible)
+}
+
+/// Naive reliability in `f64` with compensated summation.
+///
+/// Links on no s→t path are deleted first (exact for every demand — see
+/// [`crate::preprocess`]), so only the relevant links enter the `2^|E|`
+/// exponent and the `max_enum_edges` bound.
+pub fn reliability_naive(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<f64, ReliabilityError> {
+    demand.validate(net)?;
+    let reduced = relevance_reduce(net, demand);
+    if reduced.removed > 0 {
+        return reliability_naive(&reduced.net, reduced.demand, opts);
+    }
+    let fallible = check_bounds(net, demand, opts)?;
+    let (_, pinned) = enumeration_split(net, opts);
+    let m = fallible.len();
+    let edge_count = net.edge_count();
+    let mut oracle =
+        DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
+    // quick exits
+    if demand.demand == 0 {
+        return Ok(1.0);
+    }
+    if oracle.max_flow_all_alive() < demand.demand {
+        return Ok(0.0);
+    }
+    let weights: Vec<(f64, f64)> =
+        net.edges().iter().map(|e| (1.0 - e.fail_prob, e.fail_prob)).collect();
+    let prob_of = |mask: EdgeMask, fallible: &[usize]| -> f64 {
+        let mut p = 1.0;
+        for &i in fallible {
+            p *= if mask.alive(i) { weights[i].0 } else { weights[i].1 };
+        }
+        p
+    };
+
+    let total_configs: u64 = 1u64 << m;
+    if opts.parallel && m >= 10 {
+        let chunks = (rayon::current_num_threads() * 8).max(1) as u64;
+        let chunk_len = total_configs.div_ceil(chunks);
+        let sum = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * chunk_len;
+                let hi = ((c + 1) * chunk_len).min(total_configs);
+                let mut local = oracle.clone();
+                let mut acc = NeumaierSum::new();
+                for compact in lo..hi {
+                    let mask = expand_mask(compact, &fallible, pinned, edge_count);
+                    if local.admits(mask) {
+                        acc.add(prob_of(mask, &fallible));
+                    }
+                }
+                acc
+            })
+            .reduce(NeumaierSum::new, |mut a, b| {
+                a.merge(b);
+                a
+            });
+        Ok(sum.total())
+    } else {
+        let mut acc = NeumaierSum::new();
+        for compact in 0..total_configs {
+            let mask = expand_mask(compact, &fallible, pinned, edge_count);
+            if oracle.admits(mask) {
+                acc.add(prob_of(mask, &fallible));
+            }
+        }
+        Ok(acc.total())
+    }
+}
+
+/// Naive reliability with exact rational arithmetic (the validation oracle
+/// for every other algorithm). Probabilities are taken from the network's
+/// `f64` values via exact dyadic conversion.
+pub fn reliability_naive_exact(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<BigRational, ReliabilityError> {
+    reliability_naive_weighted(net, demand, &edge_weights_exact(net), opts)
+}
+
+/// Naive reliability over arbitrary weights (shared generic implementation).
+pub fn reliability_naive_weighted<W: Weight>(
+    net: &Network,
+    demand: FlowDemand,
+    weights: &EdgeWeights<W>,
+    opts: &CalcOptions,
+) -> Result<W, ReliabilityError> {
+    demand.validate(net)?;
+    assert_eq!(weights.len(), net.edge_count(), "one weight pair per link");
+    let reduced = relevance_reduce(net, demand);
+    if reduced.removed > 0 {
+        let w: EdgeWeights<W> =
+            reduced.edge_origin.iter().map(|&i| weights[i].clone()).collect();
+        return reliability_naive_weighted(&reduced.net, reduced.demand, &w, opts);
+    }
+    // Perfect-link factoring is keyed on the f64 probabilities; for generic
+    // weights enumerate everything to stay self-evidently exact.
+    let opts_all = CalcOptions { factor_perfect_links: false, ..*opts };
+    let fallible = check_bounds(net, demand, &opts_all)?;
+    let m = fallible.len();
+    let edge_count = net.edge_count();
+    if demand.demand == 0 {
+        return Ok(W::one());
+    }
+    let mut oracle =
+        DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
+    if oracle.max_flow_all_alive() < demand.demand {
+        return Ok(W::zero());
+    }
+    let mut acc = W::zero();
+    for compact in 0..(1u64 << m) {
+        let mask = expand_mask(compact, &fallible, 0, edge_count);
+        if oracle.admits(mask) {
+            let mut p = W::one();
+            for &i in &fallible {
+                p = p.mul(if mask.alive(i) { &weights[i].0 } else { &weights[i].1 });
+            }
+            acc = acc.add(&p);
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{GraphKind, NetworkBuilder, NodeId};
+
+    /// Two parallel links, p = 0.1 each, demand 1:
+    /// R = 1 - 0.1 * 0.1 = 0.99.
+    fn two_parallel() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn parallel_links_demand_one() {
+        let net = two_parallel();
+        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 1), &CalcOptions::default())
+            .unwrap();
+        assert!((r - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_links_demand_two() {
+        let net = two_parallel();
+        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 2), &CalcOptions::default())
+            .unwrap();
+        assert!((r - 0.81).abs() < 1e-12, "both links must survive: 0.9^2");
+    }
+
+    #[test]
+    fn series_links_multiply() {
+        // s -e0- a -e1- t, p = 0.2, 0.3 => R = 0.8 * 0.7
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.2).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.3).unwrap();
+        let net = b.build();
+        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(2), 1), &CalcOptions::default())
+            .unwrap();
+        assert!((r - 0.8 * 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insufficient_capacity_is_zero() {
+        let net = two_parallel();
+        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 3), &CalcOptions::default())
+            .unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn zero_demand_is_one() {
+        let net = two_parallel();
+        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 0), &CalcOptions::default())
+            .unwrap();
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn perfect_link_factoring_matches_full_enumeration() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 2, 0.0).unwrap(); // perfect
+        b.add_edge(n[1], n[2], 1, 0.25).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.5).unwrap();
+        let net = b.build();
+        let d = FlowDemand::new(NodeId(0), NodeId(2), 1);
+        let with = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        let without = reliability_naive(
+            &net,
+            d,
+            &CalcOptions { factor_perfect_links: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!((with - without).abs() < 1e-12);
+        assert!((with - (1.0 - 0.25 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_matches_float() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 2, 0.125).unwrap();
+        b.add_edge(n[0], n[2], 1, 0.25).unwrap();
+        b.add_edge(n[1], n[3], 1, 0.5).unwrap();
+        b.add_edge(n[2], n[3], 2, 0.0625).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.375).unwrap();
+        let net = b.build();
+        let d = FlowDemand::new(NodeId(0), NodeId(3), 2);
+        let float = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        let exact = reliability_naive_exact(&net, d, &CalcOptions::default()).unwrap();
+        assert!((float - exact.to_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_many_edges_is_rejected() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        for _ in 0..12 {
+            b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        }
+        let net = b.build();
+        let opts = CalcOptions { max_enum_edges: 10, ..Default::default() };
+        let err = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 1), &opts)
+            .unwrap_err();
+        assert!(matches!(err, ReliabilityError::TooManyEdges { count: 12, max: 10 }));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(5);
+        let probs = [0.1, 0.2, 0.3, 0.15, 0.25, 0.05, 0.35, 0.4, 0.12, 0.22, 0.18, 0.28];
+        let ends = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (0, 3), (1, 4), (0, 4), (1, 2), (3, 4)];
+        for (&p, &(u, v)) in probs.iter().zip(&ends) {
+            b.add_edge(n[u], n[v], 1, p).unwrap();
+        }
+        let net = b.build();
+        let d = FlowDemand::new(NodeId(0), NodeId(4), 2);
+        let serial = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        let par = reliability_naive(&net, d, &CalcOptions::parallel()).unwrap();
+        assert!((serial - par).abs() < 1e-12);
+    }
+}

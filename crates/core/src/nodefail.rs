@@ -1,0 +1,211 @@
+//! Node (peer) failures via node splitting.
+//!
+//! The paper's model — and everything else in this crate — assumes the
+//! *links* fail independently. In a P2P system it is really the *peers* that
+//! churn: when peer `v` departs, all of its connections vanish together.
+//! The classical reduction maps node failures onto the link model exactly:
+//! split each fallible node `v` into `v_in → v_out` joined by an internal
+//! link that carries `v`'s failure probability (and its relay capacity);
+//! redirect every original link `(u, w)` to `(u_out, w_in)`. Then the
+//! link-reliability of the transformed network *is* the node-and-link
+//! reliability of the original.
+//!
+//! Terminal conventions: pose the transformed demand from `entry(s)` to
+//! `exit(t)`, so the source's and sink's own failure probabilities are
+//! counted (pass probability 0 for terminals you model as reliable).
+//!
+//! Directed networks only — an undirected link has no well-defined traversal
+//! direction through a split node (and every overlay in this workspace is
+//! directed).
+
+use netgraph::{EdgeId, GraphKind, Network, NetworkBuilder, NodeId};
+
+use crate::error::ReliabilityError;
+
+/// The node-split transform of a network.
+#[derive(Clone, Debug)]
+pub struct NodeSplit {
+    /// The transformed, link-failure-only network.
+    pub net: Network,
+    /// For original node `v`, the id of its internal link (`None` when the
+    /// node was reliable and not split).
+    pub internal_edge: Vec<Option<EdgeId>>,
+    entry: Vec<NodeId>,
+    exit: Vec<NodeId>,
+}
+
+impl NodeSplit {
+    /// Where flow *enters* original node `v` in the transformed network.
+    pub fn entry(&self, v: NodeId) -> NodeId {
+        self.entry[v.index()]
+    }
+
+    /// Where flow *leaves* original node `v` in the transformed network.
+    pub fn exit(&self, v: NodeId) -> NodeId {
+        self.exit[v.index()]
+    }
+}
+
+/// Splits every node `v` with `node_probs[v] > 0` (probability that the peer
+/// departs during the window). `relay_capacity[v]` bounds how much traffic
+/// the peer can relay (`u64::MAX` for unbounded).
+///
+/// # Errors
+/// Rejects undirected networks and malformed probabilities.
+pub fn split_node_failures(
+    net: &Network,
+    node_probs: &[f64],
+    relay_capacity: &[u64],
+) -> Result<NodeSplit, ReliabilityError> {
+    assert_eq!(node_probs.len(), net.node_count(), "one probability per node");
+    assert_eq!(relay_capacity.len(), net.node_count(), "one relay capacity per node");
+    assert_eq!(
+        net.kind(),
+        GraphKind::Directed,
+        "node splitting is defined for directed networks"
+    );
+    let mut b = NetworkBuilder::new(GraphKind::Directed);
+    let n = net.node_count();
+    let mut entry = Vec::with_capacity(n);
+    let mut exit = Vec::with_capacity(n);
+    let mut split_plan: Vec<bool> = Vec::with_capacity(n);
+    for v in 0..n {
+        let p = node_probs[v];
+        if p == 0.0 && relay_capacity[v] == u64::MAX {
+            let id = b.add_node();
+            entry.push(id);
+            exit.push(id);
+            split_plan.push(false);
+        } else {
+            let vin = b.add_node();
+            let vout = b.add_node();
+            entry.push(vin);
+            exit.push(vout);
+            split_plan.push(true);
+        }
+    }
+    let mut internal_edge = vec![None; n];
+    for v in 0..n {
+        if split_plan[v] {
+            let id = b
+                .add_edge(entry[v], exit[v], relay_capacity[v], node_probs[v])
+                .map_err(ReliabilityError::Graph)?;
+            internal_edge[v] = Some(id);
+        }
+    }
+    for e in net.edges() {
+        b.add_edge(exit[e.src.index()], entry[e.dst.index()], e.capacity, e.fail_prob)
+            .map_err(ReliabilityError::Graph)?;
+    }
+    Ok(NodeSplit { net: b.build(), internal_edge, entry, exit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::FlowDemand;
+    use crate::naive::reliability_naive;
+    use crate::options::CalcOptions;
+    use netgraph::NetworkBuilder;
+
+    const INF: u64 = u64::MAX;
+
+    /// s → v → t with a fallible relay v.
+    #[test]
+    fn single_relay_multiplies() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.2).unwrap();
+        let net = b.build();
+        let split =
+            split_node_failures(&net, &[0.0, 0.25, 0.0], &[INF, INF, INF]).unwrap();
+        assert_eq!(split.net.node_count(), 4, "only v is split");
+        let d = FlowDemand::new(split.entry(n[0]), split.exit(n[2]), 1);
+        let r = reliability_naive(&split.net, d, &CalcOptions::default()).unwrap();
+        assert!((r - 0.9 * 0.75 * 0.8).abs() < 1e-12);
+    }
+
+    /// Node failure takes out all incident links at once: two parallel paths
+    /// through the same fallible relay do not help.
+    #[test]
+    fn correlated_loss_through_shared_relay() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        // two perfect parallel links into and out of relay v
+        b.add_edge(n[0], n[1], 1, 0.0).unwrap();
+        b.add_edge(n[0], n[1], 1, 0.0).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.0).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.0).unwrap();
+        let net = b.build();
+        let split =
+            split_node_failures(&net, &[0.0, 0.3, 0.0], &[INF, INF, INF]).unwrap();
+        let d = FlowDemand::new(split.entry(n[0]), split.exit(n[2]), 1);
+        let r = reliability_naive(&split.net, d, &CalcOptions::default()).unwrap();
+        assert!((r - 0.7).abs() < 1e-12, "R is exactly the relay's survival");
+    }
+
+    /// Brute-force oracle: enumerate node states by hand on a 2-relay
+    /// diamond and compare.
+    #[test]
+    fn matches_manual_node_enumeration() {
+        let (pa, pb) = (0.2, 0.3);
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4); // s, a, b, t
+        b.add_edge(n[0], n[1], 1, 0.0).unwrap();
+        b.add_edge(n[0], n[2], 1, 0.0).unwrap();
+        b.add_edge(n[1], n[3], 1, 0.0).unwrap();
+        b.add_edge(n[2], n[3], 1, 0.0).unwrap();
+        let net = b.build();
+        let split =
+            split_node_failures(&net, &[0.0, pa, pb, 0.0], &[INF, INF, INF, INF]).unwrap();
+        let d = FlowDemand::new(split.entry(n[0]), split.exit(n[3]), 1);
+        let r = reliability_naive(&split.net, d, &CalcOptions::default()).unwrap();
+        // works iff a survives or b survives
+        let manual = 1.0 - pa * pb;
+        assert!((r - manual).abs() < 1e-12);
+    }
+
+    /// Relay capacity bounds throughput even for reliable peers.
+    #[test]
+    fn relay_capacity_limits_flow() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 5, 0.0).unwrap();
+        b.add_edge(n[1], n[2], 5, 0.0).unwrap();
+        let net = b.build();
+        let split = split_node_failures(&net, &[0.0, 0.0, 0.0], &[INF, 2, INF]).unwrap();
+        let d2 = FlowDemand::new(split.entry(n[0]), split.exit(n[2]), 2);
+        let d3 = FlowDemand::new(split.entry(n[0]), split.exit(n[2]), 3);
+        let opts = CalcOptions::default();
+        assert_eq!(reliability_naive(&split.net, d2, &opts).unwrap(), 1.0);
+        assert_eq!(reliability_naive(&split.net, d3, &opts).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fallible_terminals_count() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.0).unwrap();
+        let net = b.build();
+        let split = split_node_failures(&net, &[0.1, 0.2], &[INF, INF]).unwrap();
+        let d = FlowDemand::new(split.entry(n[0]), split.exit(n[1]), 1);
+        let r = reliability_naive(&split.net, d, &CalcOptions::default()).unwrap();
+        assert!((r - 0.9 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliable_nodes_are_not_split() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.05).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.05).unwrap();
+        let net = b.build();
+        let split =
+            split_node_failures(&net, &[0.0, 0.0, 0.0], &[INF, INF, INF]).unwrap();
+        assert_eq!(split.net.node_count(), 3);
+        assert_eq!(split.net.edge_count(), 2);
+        assert!(split.internal_edge.iter().all(Option::is_none));
+        assert_eq!(split.entry(n[1]), split.exit(n[1]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Tuning knobs shared by the algorithms.
+
+use maxflow::SolverKind;
+
+use crate::accumulate::AccumulationMethod;
+use crate::assign::AssignmentModel;
+
+/// Options shared by the reliability algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct CalcOptions {
+    /// Max-flow solver used for all feasibility oracles.
+    pub solver: SolverKind,
+    /// Refuse exhaustive enumeration over more than this many fallible links.
+    pub max_enum_edges: usize,
+    /// Refuse bottleneck sides with more than this many links.
+    pub max_side_edges: usize,
+    /// Refuse assignment sets larger than this (masks are `u32`-backed, so
+    /// the hard ceiling is 31; the default is lower because the accumulation
+    /// cost grows with `2^|D|`).
+    pub max_assignments: usize,
+    /// Parallelize configuration enumeration with rayon.
+    pub parallel: bool,
+    /// Accumulation variant (Section IV); all three produce the same value.
+    pub accumulation: AccumulationMethod,
+    /// Assignment model. The default is the exact net-crossing extension:
+    /// the paper's forward-only model silently *undercounts* whenever the
+    /// bottleneck admits reverse flow and the optimal routing weaves across
+    /// the cut — which happens on ordinary graphs when the most balanced cut
+    /// is "diagonal" (see `tests/model_gap.rs`). Use
+    /// [`CalcOptions::paper_faithful`] for the paper's model.
+    pub assignment_model: AssignmentModel,
+    /// Skip per-assignment work when the assignment is infeasible even with
+    /// every side link alive (a cheap, exact pruning).
+    pub prune_infeasible_assignments: bool,
+    /// Treat links with `p(e) = 0` as always alive instead of enumerating
+    /// them (exact; factors `2^{#perfect}` out of the naive sweep).
+    pub factor_perfect_links: bool,
+}
+
+impl Default for CalcOptions {
+    fn default() -> Self {
+        CalcOptions {
+            solver: SolverKind::Dinic,
+            max_enum_edges: 30,
+            max_side_edges: 26,
+            max_assignments: 20,
+            parallel: false,
+            accumulation: AccumulationMethod::Complement,
+            assignment_model: AssignmentModel::Net,
+            prune_infeasible_assignments: true,
+            factor_perfect_links: true,
+        }
+    }
+}
+
+impl CalcOptions {
+    /// Default options with parallel enumeration enabled.
+    pub fn parallel() -> Self {
+        CalcOptions { parallel: true, ..Default::default() }
+    }
+
+    /// Paper-faithful options: BFS Ford–Fulkerson oracle, direct
+    /// inclusion–exclusion, forward-only assignments, no pruning shortcuts.
+    pub fn paper_faithful() -> Self {
+        CalcOptions {
+            solver: SolverKind::BfsFordFulkerson,
+            accumulation: AccumulationMethod::PaperDirect,
+            assignment_model: AssignmentModel::ForwardOnly,
+            prune_infeasible_assignments: false,
+            factor_perfect_links: false,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = CalcOptions::default();
+        assert!(o.max_enum_edges <= 32);
+        assert!(o.max_assignments <= 31, "assignment masks are u32");
+        assert!(!o.parallel);
+        assert_eq!(o.assignment_model, AssignmentModel::Net, "default must be exact");
+    }
+
+    #[test]
+    fn paper_faithful_uses_direct_accumulation() {
+        let o = CalcOptions::paper_faithful();
+        assert_eq!(o.accumulation, AccumulationMethod::PaperDirect);
+        assert_eq!(o.assignment_model, AssignmentModel::ForwardOnly);
+        assert_eq!(o.solver, SolverKind::BfsFordFulkerson);
+        assert!(!o.factor_perfect_links);
+    }
+}

@@ -1,0 +1,150 @@
+//! The paper-faithful array data structure of Section III-C.
+//!
+//! One entry per failure configuration of a side component; each entry is a
+//! `|D|`-bit sequence whose bit `j` records whether the configuration
+//! realizes assignment `j` (delivers the per-assignment sub-stream amounts
+//! across the bottleneck). Built with `|D| · 2^{|E_c|}` max-flow invocations,
+//! exactly as the paper describes.
+//!
+//! The streamed [`crate::spectrum::RealizationSpectrum`] supersedes this
+//! structure for the actual computation (it needs `O(2^{|D|})` memory instead
+//! of `O(2^{|E_c|})`); the table remains for illustration (regenerating
+//! Table I and Fig. 5) and for the memory-ablation bench.
+
+use netgraph::EdgeMask;
+
+use crate::error::ReliabilityError;
+use crate::oracle::SideOracle;
+
+/// The realization array of one side: `masks[c]` has bit `j` set iff side
+/// configuration `c` realizes assignment `j`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RealizationTable {
+    /// Number of assignments `|D|` (bit width of each entry).
+    pub assign_count: usize,
+    /// Number of side links (the array has `2^side_edges` entries).
+    pub side_edges: usize,
+    /// One realization mask per failure configuration.
+    pub masks: Vec<u32>,
+}
+
+impl RealizationTable {
+    /// Builds the array by solving one max-flow per (configuration,
+    /// assignment) pair.
+    ///
+    /// `prune_infeasible` skips assignments that fail even with every side
+    /// link alive (exact, by monotonicity of flow in link availability).
+    pub fn build(
+        oracle: &mut SideOracle,
+        max_side_edges: usize,
+        max_assignments: usize,
+        prune_infeasible: bool,
+    ) -> Result<Self, ReliabilityError> {
+        let m = oracle.edge_count();
+        let dn = oracle.assignment_count();
+        if m > max_side_edges {
+            return Err(ReliabilityError::SideTooLarge { count: m, max: max_side_edges });
+        }
+        if dn > max_assignments || dn > 31 {
+            return Err(ReliabilityError::TooManyAssignments {
+                count: dn,
+                max: max_assignments.min(31),
+            });
+        }
+        let configs = 1usize << m;
+        let mut masks = vec![0u32; configs];
+        for j in 0..dn {
+            if prune_infeasible && !oracle.feasible_at_best(j) {
+                continue;
+            }
+            oracle.set_assignment(j);
+            for (c, slot) in masks.iter_mut().enumerate() {
+                if oracle.admits(EdgeMask::from_bits(c as u64, m)) {
+                    *slot |= 1 << j;
+                }
+            }
+        }
+        Ok(RealizationTable { assign_count: dn, side_edges: m, masks })
+    }
+
+    /// The realization mask of configuration `c`.
+    pub fn mask(&self, c: usize) -> u32 {
+        self.masks[c]
+    }
+
+    /// The assignments realized by configuration `c`, as indices.
+    pub fn realized(&self, c: usize) -> Vec<usize> {
+        (0..self.assign_count).filter(|&j| self.masks[c] >> j & 1 == 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::Assignment;
+    use crate::decompose::Side;
+    use maxflow::SolverKind;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    fn asg(amounts: &[i64]) -> Assignment {
+        Assignment { amounts: amounts.to_vec() }
+    }
+
+    /// s with two unit links to one attach point.
+    fn simple_side() -> Side {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        Side {
+            net: b.build(),
+            edge_origin: vec![],
+            terminal: n[0],
+            attach: vec![n[1]],
+            is_source_side: true,
+        }
+    }
+
+    #[test]
+    fn table_records_monotone_realizations() {
+        let side = simple_side();
+        let assignments = vec![asg(&[1]), asg(&[2])];
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let t = RealizationTable::build(&mut o, 10, 10, true).unwrap();
+        assert_eq!(t.masks.len(), 4);
+        // config 00: nothing; 01/10: assignment (1) only; 11: both
+        assert_eq!(t.mask(0b00), 0b00);
+        assert_eq!(t.mask(0b01), 0b01);
+        assert_eq!(t.mask(0b10), 0b01);
+        assert_eq!(t.mask(0b11), 0b11);
+        assert_eq!(t.realized(0b11), vec![0, 1]);
+    }
+
+    #[test]
+    fn pruning_matches_unpruned() {
+        let side = simple_side();
+        // (3) is infeasible even with both links alive
+        let assignments = vec![asg(&[1]), asg(&[3])];
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let pruned = RealizationTable::build(&mut o, 10, 10, true).unwrap();
+        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let full = RealizationTable::build(&mut o2, 10, 10, false).unwrap();
+        assert_eq!(pruned, full);
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let side = simple_side();
+        let assignments = vec![asg(&[1])];
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        assert!(matches!(
+            RealizationTable::build(&mut o, 1, 10, true),
+            Err(ReliabilityError::SideTooLarge { count: 2, max: 1 })
+        ));
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        assert!(matches!(
+            RealizationTable::build(&mut o, 10, 0, true),
+            Err(ReliabilityError::TooManyAssignments { .. })
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! Signed arbitrary-precision integers (sign + magnitude).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::biguint::BigUint;
+
+/// Sign of a [`BigInt`]. Zero is always [`Sign::Plus`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Negative (magnitude is nonzero).
+    Minus,
+}
+
+/// A signed arbitrary-precision integer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Plus, mag: BigUint::zero() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Plus, mag: BigUint::one() }
+    }
+
+    /// Builds from a sign and magnitude (zero magnitude forces `Plus`).
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// From a signed machine word.
+    pub fn from_i64(x: i64) -> Self {
+        if x < 0 {
+            BigInt { sign: Sign::Minus, mag: BigUint::from_u64(x.unsigned_abs()) }
+        } else {
+            BigInt { sign: Sign::Plus, mag: BigUint::from_u64(x as u64) }
+        }
+    }
+
+    /// From an unsigned magnitude.
+    pub fn from_biguint(mag: BigUint) -> Self {
+        BigInt { sign: Sign::Plus, mag }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// True when strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> BigInt {
+        if self.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: if self.sign == Sign::Plus { Sign::Minus } else { Sign::Plus },
+                mag: self.mag.clone(),
+            }
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        if self.sign == other.sign {
+            BigInt::from_sign_mag(self.sign, self.mag.add(&other.mag))
+        } else {
+            match self.mag.cmp(&other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_sign_mag(self.sign, self.mag.sub(&other.mag)),
+                Ordering::Less => BigInt::from_sign_mag(other.sign, other.mag.sub(&self.mag)),
+            }
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.neg())
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        let sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::from_sign_mag(sign, self.mag.mul(&other.mag))
+    }
+
+    /// Approximate value as `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.sign == Sign::Minus {
+            -m
+        } else {
+            m
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.mag.cmp(&other.mag),
+            (Sign::Minus, Sign::Minus) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bi(x: i64) -> BigInt {
+        BigInt::from_i64(x)
+    }
+
+    #[test]
+    fn construction() {
+        assert!(BigInt::zero().is_zero());
+        assert!(!bi(-5).is_zero());
+        assert!(bi(-5).is_negative());
+        assert!(!bi(5).is_negative());
+        // zero magnitude forces Plus
+        let z = BigInt::from_sign_mag(Sign::Minus, BigUint::zero());
+        assert_eq!(z.sign(), Sign::Plus);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(bi(5).neg(), bi(-5));
+        assert_eq!(bi(-5).neg(), bi(5));
+        assert_eq!(BigInt::zero().neg(), BigInt::zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(bi(-42).to_string(), "-42");
+        assert_eq!(bi(42).to_string(), "42");
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn min_i64_roundtrips() {
+        let m = BigInt::from_i64(i64::MIN);
+        assert_eq!(m.to_string(), i64::MIN.to_string());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_i128(a in -(1i128 << 62)..(1i128 << 62), b in -(1i128 << 62)..(1i128 << 62)) {
+            let (a64, b64) = (a as i64, b as i64);
+            let sum = bi(a64).add(&bi(b64));
+            prop_assert_eq!(sum.to_string(), (a64 as i128 + b64 as i128).to_string());
+        }
+
+        #[test]
+        fn prop_sub_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            let d = bi(a).sub(&bi(b));
+            prop_assert_eq!(d.to_string(), (a as i128 - b as i128).to_string());
+        }
+
+        #[test]
+        fn prop_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            let p = bi(a).mul(&bi(b));
+            prop_assert_eq!(p.to_string(), (a as i128 * b as i128).to_string());
+        }
+
+        #[test]
+        fn prop_cmp_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn prop_add_neg_is_zero(a in any::<i64>()) {
+            prop_assert!(bi(a).add(&bi(a).neg()).is_zero());
+        }
+    }
+}

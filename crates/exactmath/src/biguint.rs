@@ -1,0 +1,571 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian `u64` limbs, normalized so the top limb is nonzero (zero is
+//! the empty limb vector). Algorithms favour simplicity and auditability over
+//! asymptotics: schoolbook multiplication, binary long division, binary GCD —
+//! the operand sizes in this workspace (products of at most a few dozen
+//! probabilities) stay in the low thousands of bits.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; empty means zero; top limb nonzero otherwise.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a machine word.
+    pub fn from_u64(x: u64) -> Self {
+        if x == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![x] }
+        }
+    }
+
+    /// From a `u128`.
+    pub fn from_u128(x: u128) -> Self {
+        let lo = x as u64;
+        let hi = (x >> 64) as u64;
+        let mut v = BigUint { limbs: vec![lo, hi] };
+        v.normalize();
+        v
+    }
+
+    /// To `u128`, if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True when one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The `i`-th bit (bit 0 is least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs.get(i / 64).is_some_and(|&w| w >> (i % 64) & 1 == 1)
+    }
+
+    /// Sets the `i`-th bit, growing as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % 64);
+    }
+
+    /// Number of trailing zero bits (`None` for zero).
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &w) in self.limbs.iter().enumerate() {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (longer, shorter) =
+            if self.limbs.len() >= other.limbs.len() { (self, other) } else { (other, self) };
+        let mut out = Vec::with_capacity(longer.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..longer.limbs.len() {
+            let a = longer.limbs[i];
+            let b = shorter.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self << n`.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &w) in self.limbs.iter().enumerate() {
+            if bit_shift == 0 {
+                out[i + limb_shift] |= w;
+            } else {
+                out[i + limb_shift] |= w << bit_shift;
+                out[i + limb_shift + 1] |= w >> (64 - bit_shift);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self >> n`.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut w = self.limbs[i] >> bit_shift;
+            if bit_shift != 0 {
+                if let Some(&next) = self.limbs.get(i + 1) {
+                    w |= next << (64 - bit_shift);
+                }
+            }
+            out.push(w);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `(self / divisor, self % divisor)` by binary long division.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        let n = self.bits();
+        let mut quot = BigUint::zero();
+        let mut rem = BigUint::zero();
+        for i in (0..n).rev() {
+            rem = rem.shl(1);
+            if self.bit(i) {
+                rem.set_bit(0);
+            }
+            if rem >= *divisor {
+                rem = rem.sub(divisor);
+                quot.set_bit(i);
+            }
+        }
+        (quot, rem)
+    }
+
+    /// Fast path: divide by a single machine word.
+    pub fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = rem << 64 | self.limbs[i] as u128;
+            out[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        let mut q = BigUint { limbs: out };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let za = self.trailing_zeros().expect("nonzero");
+        let zb = other.trailing_zeros().expect("nonzero");
+        let shift = za.min(zb);
+        let mut a = self.shr(za);
+        let mut b = other.clone();
+        loop {
+            b = b.shr(b.trailing_zeros().expect("nonzero"));
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                return a.shl(shift);
+            }
+        }
+    }
+
+    /// `self^exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Approximate value as `f64` (`inf` when it overflows).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &w in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + w as f64; // 2^64
+            if acc.is_infinite() {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// Parses a base-10 string of ASCII digits.
+    pub fn from_decimal(s: &str) -> Option<BigUint> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut acc = BigUint::zero();
+        let ten = BigUint::from_u64(10);
+        for ch in s.chars() {
+            let d = ch.to_digit(10)?;
+            acc = acc.mul(&ten).add(&BigUint::from_u64(d as u64));
+        }
+        Some(acc)
+    }
+
+    /// Renders as base-10 digits.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10_000_000_000_000_000_000); // 10^19
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = chunks.pop().expect("nonzero").to_string();
+        for chunk in chunks.into_iter().rev() {
+            out.push_str(&format!("{chunk:019}"));
+        }
+        out
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(x: u128) -> BigUint {
+        BigUint::from_u128(x)
+    }
+
+    #[test]
+    fn construction_and_zero() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+        assert_eq!(big(0).to_u128(), Some(0));
+        assert_eq!(big(u128::MAX).to_u128(), Some(u128::MAX));
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(big(1 << 64).bits(), 65);
+        let x = big(0b1010);
+        assert!(x.bit(1) && x.bit(3));
+        assert!(!x.bit(0) && !x.bit(2) && !x.bit(100));
+        let mut y = BigUint::zero();
+        y.set_bit(130);
+        assert_eq!(y.bits(), 131);
+        assert!(y.bit(130));
+    }
+
+    #[test]
+    fn trailing_zeros_examples() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(BigUint::one().trailing_zeros(), Some(0));
+        assert_eq!(big(1 << 70).trailing_zeros(), Some(70));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = big(u64::MAX as u128);
+        assert_eq!(a.add(&BigUint::one()).to_u128(), Some(1 << 64));
+        let b = big(u128::MAX);
+        assert_eq!(b.add(&BigUint::one()).bits(), 129);
+    }
+
+    #[test]
+    fn sub_borrows() {
+        let a = big(1 << 64);
+        assert_eq!(a.sub(&BigUint::one()).to_u128(), Some(u64::MAX as u128));
+        assert_eq!(a.sub(&a), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        BigUint::one().sub(&big(2));
+    }
+
+    #[test]
+    fn mul_schoolbook() {
+        assert_eq!(big(0).mul(&big(55)), BigUint::zero());
+        assert_eq!(
+            big(u64::MAX as u128).mul(&big(u64::MAX as u128)).to_u128(),
+            Some(u64::MAX as u128 * u64::MAX as u128)
+        );
+        // 2^100 * 2^100 = 2^200
+        let x = BigUint::one().shl(100);
+        assert_eq!(x.mul(&x), BigUint::one().shl(200));
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let x = big(0xDEAD_BEEF_CAFE_BABE);
+        for n in [0usize, 1, 63, 64, 65, 127, 130] {
+            assert_eq!(x.shl(n).shr(n), x, "n={n}");
+        }
+        assert_eq!(big(0b1011).shr(2).to_u128(), Some(0b10));
+    }
+
+    #[test]
+    fn div_rem_binary() {
+        let (q, r) = big(1000).div_rem(&big(7));
+        assert_eq!((q.to_u128(), r.to_u128()), (Some(142), Some(6)));
+        let big_num = BigUint::one().shl(200).add(&big(12345));
+        let d = BigUint::one().shl(100).add(&big(7)); // >1 limb: binary path
+        let (q, r) = big_num.div_rem(&d);
+        assert_eq!(q.mul(&d).add(&r), big_num);
+        assert!(r < d);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        big(5).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_examples() {
+        assert_eq!(big(12).gcd(&big(18)).to_u128(), Some(6));
+        assert_eq!(big(0).gcd(&big(5)).to_u128(), Some(5));
+        assert_eq!(big(5).gcd(&big(0)).to_u128(), Some(5));
+        assert_eq!(big(17).gcd(&big(13)).to_u128(), Some(1));
+        let a = BigUint::one().shl(100).mul(&big(6));
+        let b = BigUint::one().shl(100).mul(&big(4));
+        assert_eq!(a.gcd(&b), BigUint::one().shl(100).mul(&big(2)));
+    }
+
+    #[test]
+    fn pow_examples() {
+        assert_eq!(big(2).pow(10).to_u128(), Some(1024));
+        assert_eq!(big(10).pow(0), BigUint::one());
+        assert_eq!(big(3).pow(40).to_decimal(), "12157665459056928801");
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"] {
+            assert_eq!(BigUint::from_decimal(s).unwrap().to_decimal(), s);
+        }
+        assert!(BigUint::from_decimal("12a").is_none());
+        assert!(BigUint::from_decimal("").is_none());
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(BigUint::zero().to_f64(), 0.0);
+        assert_eq!(big(1 << 52).to_f64(), (1u64 << 52) as f64);
+        let x = BigUint::one().shl(100);
+        assert!((x.to_f64() - 2f64.powi(100)).abs() / 2f64.powi(100) < 1e-15);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) > big(4));
+        assert!(BigUint::one().shl(64) > big(u64::MAX as u128));
+        assert_eq!(big(7).cmp(&big(7)), std::cmp::Ordering::Equal);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_u128(a in 0u128..1u128 << 100, b in 0u128..1u128 << 100) {
+            prop_assert_eq!(big(a).add(&big(b)).to_u128(), Some(a + b));
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in 0u128..1u128 << 60, b in 0u128..1u128 << 60) {
+            prop_assert_eq!(big(a).mul(&big(b)).to_u128(), Some(a * b));
+        }
+
+        #[test]
+        fn prop_sub_inverts_add(a in any::<u128>(), b in any::<u128>()) {
+            let s = big(a).add(&big(b));
+            prop_assert_eq!(s.sub(&big(b)), big(a));
+        }
+
+        #[test]
+        fn prop_div_rem_reconstructs(a in any::<u128>(), b in 1u128..) {
+            let (q, r) = big(a).div_rem(&big(b));
+            prop_assert_eq!(q.mul(&big(b)).add(&r), big(a));
+            prop_assert!(r < big(b));
+        }
+
+        #[test]
+        fn prop_gcd_divides_both(a in 1u128..1u128 << 80, b in 1u128..1u128 << 80) {
+            let g = big(a).gcd(&big(b));
+            let (_, r1) = big(a).div_rem(&g);
+            let (_, r2) = big(b).div_rem(&g);
+            prop_assert!(r1.is_zero() && r2.is_zero());
+            // matches u128 Euclid
+            let (mut x, mut y) = (a, b);
+            while y != 0 { let t = x % y; x = y; y = t; }
+            prop_assert_eq!(g.to_u128(), Some(x));
+        }
+
+        #[test]
+        fn prop_decimal_roundtrip(a in any::<u128>()) {
+            let s = big(a).to_decimal();
+            prop_assert_eq!(s.clone(), a.to_string());
+            prop_assert_eq!(BigUint::from_decimal(&s).unwrap(), big(a));
+        }
+
+        #[test]
+        fn prop_cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+        }
+    }
+}

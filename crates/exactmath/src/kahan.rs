@@ -1,0 +1,105 @@
+//! Compensated floating-point summation (Neumaier's variant of Kahan).
+//!
+//! The reliability accumulators add up to `2^|E|` tiny products; plain
+//! sequential summation loses up to `log2(n)` bits of precision. Neumaier
+//! summation keeps a running compensation term and handles the case where the
+//! addend is larger than the running sum (which Kahan's original misses).
+
+/// A running compensated sum.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeumaierSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl NeumaierSum {
+    /// Starts at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one value.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Merges another compensated sum into this one (for parallel reduce).
+    pub fn merge(&mut self, other: NeumaierSum) {
+        self.add(other.sum);
+        self.comp += other.comp;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+impl FromIterator<f64> for NeumaierSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = NeumaierSum::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_simple_values() {
+        let s: NeumaierSum = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.total(), 6.0);
+    }
+
+    #[test]
+    fn classic_neumaier_case() {
+        // 1 + 1e100 + 1 - 1e100 == 2 exactly with compensation, 0 without
+        let s: NeumaierSum = [1.0, 1e100, 1.0, -1e100].into_iter().collect();
+        assert_eq!(s.total(), 2.0);
+    }
+
+    #[test]
+    fn beats_naive_on_many_small_terms() {
+        let n = 1_000_000;
+        let tiny = 1e-10f64;
+        let mut naive = 1.0f64;
+        let mut comp = NeumaierSum::new();
+        comp.add(1.0);
+        for _ in 0..n {
+            naive += tiny;
+            comp.add(tiny);
+        }
+        let exact = 1.0 + n as f64 * tiny;
+        assert!((comp.total() - exact).abs() <= (naive - exact).abs());
+        assert!((comp.total() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let seq: NeumaierSum = xs.iter().copied().collect();
+        let mut a = NeumaierSum::new();
+        let mut b = NeumaierSum::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(x);
+            } else {
+                b.add(x);
+            }
+        }
+        a.merge(b);
+        assert!((a.total() - seq.total()).abs() < 1e-12);
+    }
+}

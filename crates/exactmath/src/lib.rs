@@ -1,0 +1,29 @@
+//! # exactmath — exact arithmetic substrate
+//!
+//! Reliability values are sums of `2^|E|` products of link probabilities.
+//! Floating point handles this well in practice, but *proving* the optimized
+//! algorithms correct requires an exact reference: if every `p(e)` is
+//! rational, the reliability is rational and can be computed without error.
+//! This crate provides that reference arithmetic, built from scratch:
+//!
+//! * [`BigUint`] — arbitrary-precision unsigned integers (schoolbook
+//!   multiplication, binary long division, binary GCD);
+//! * [`BigInt`] — sign + magnitude;
+//! * [`BigRational`] — always-reduced fractions, with exact conversion from
+//!   `f64` (every finite `f64` is a dyadic rational) and accurate conversion
+//!   back to `f64`;
+//! * [`NeumaierSum`] — compensated `f64` summation used by the floating-point
+//!   reliability accumulators, where the number of summands is exponential.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod biguint;
+pub mod kahan;
+pub mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use kahan::NeumaierSum;
+pub use rational::BigRational;

@@ -1,0 +1,391 @@
+//! Always-reduced arbitrary-precision rationals.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::bigint::{BigInt, Sign};
+use crate::biguint::BigUint;
+
+/// A rational number `num / den` with `den > 0` and `gcd(|num|, den) = 1`.
+///
+/// This is the exact value domain for reliabilities: when every link failure
+/// probability is rational, every intermediate quantity of the paper's
+/// algorithms is a `BigRational` and no rounding ever occurs.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigRational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl BigRational {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigRational { num: BigInt::zero(), den: BigUint::one() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigRational { num: BigInt::one(), den: BigUint::one() }
+    }
+
+    /// `n / d` as an exact rational.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn from_ratio(n: u64, d: u64) -> Self {
+        assert!(d != 0, "zero denominator");
+        Self::new(BigInt::from_biguint(BigUint::from_u64(n)), BigUint::from_u64(d))
+    }
+
+    /// Signed ratio `n / d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn from_ratio_i64(n: i64, d: u64) -> Self {
+        assert!(d != 0, "zero denominator");
+        Self::new(BigInt::from_i64(n), BigUint::from_u64(d))
+    }
+
+    /// An integer as a rational.
+    pub fn from_int(n: i64) -> Self {
+        BigRational { num: BigInt::from_i64(n), den: BigUint::one() }
+    }
+
+    /// Builds and reduces `num / den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "zero denominator");
+        if num.is_zero() {
+            return Self::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            return BigRational { num, den };
+        }
+        let (nm, _) = num.magnitude().div_rem(&g);
+        let (nd, _) = den.div_rem(&g);
+        BigRational { num: BigInt::from_sign_mag(num.sign(), nm), den: nd }
+    }
+
+    /// Exact conversion from a finite `f64` (every finite `f64` is a dyadic
+    /// rational `m · 2^e`).
+    ///
+    /// # Panics
+    /// Panics on NaN or infinity.
+    pub fn from_f64(x: f64) -> Self {
+        assert!(x.is_finite(), "cannot convert non-finite f64 to a rational");
+        if x == 0.0 {
+            return Self::zero();
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let raw_exp = (bits >> 52 & 0x7FF) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // mantissa m and exponent e such that |x| = m * 2^e
+        let (m, e) = if raw_exp == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | 1 << 52, raw_exp - 1075)
+        };
+        let mag = BigUint::from_u64(m);
+        let sign = if neg { Sign::Minus } else { Sign::Plus };
+        if e >= 0 {
+            BigRational::new(BigInt::from_sign_mag(sign, mag.shl(e as usize)), BigUint::one())
+        } else {
+            BigRational::new(
+                BigInt::from_sign_mag(sign, mag),
+                BigUint::one().shl((-e) as usize),
+            )
+        }
+    }
+
+    /// The numerator.
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True when strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigRational) -> BigRational {
+        let num = self
+            .num
+            .mul(&BigInt::from_biguint(other.den.clone()))
+            .add(&other.num.mul(&BigInt::from_biguint(self.den.clone())));
+        BigRational::new(num, self.den.mul(&other.den))
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &BigRational) -> BigRational {
+        self.add(&other.neg())
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &BigRational) -> BigRational {
+        BigRational::new(self.num.mul(&other.num), self.den.mul(&other.den))
+    }
+
+    /// `self / other`.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn div(&self, other: &BigRational) -> BigRational {
+        assert!(!other.is_zero(), "division by zero rational");
+        let sign =
+            if self.num.sign() == other.num.sign() { Sign::Plus } else { Sign::Minus };
+        let num = self.num.magnitude().mul(&other.den);
+        let den = self.den.mul(other.num.magnitude());
+        BigRational::new(BigInt::from_sign_mag(sign, num), den)
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> BigRational {
+        BigRational { num: self.num.neg(), den: self.den.clone() }
+    }
+
+    /// `1 - self` (the complement, ubiquitous in reliability formulas).
+    pub fn complement(&self) -> BigRational {
+        BigRational::one().sub(self)
+    }
+
+    /// Renders the value as a decimal string with `digits` fractional digits
+    /// (truncated toward zero). Exact rationals often have astronomically
+    /// long reduced forms; this is the human-readable view.
+    pub fn to_decimal_string(&self, digits: usize) -> String {
+        let mag = self.num.magnitude();
+        let (int_part, rem) = mag.div_rem(&self.den);
+        let mut out = String::new();
+        if self.num.is_negative() {
+            out.push('-');
+        }
+        out.push_str(&int_part.to_decimal());
+        if digits > 0 {
+            out.push('.');
+            let mut rem = rem;
+            let ten = BigUint::from_u64(10);
+            for _ in 0..digits {
+                rem = rem.mul(&ten);
+                let (digit, r) = rem.div_rem(&self.den);
+                out.push_str(&digit.to_decimal());
+                rem = r;
+            }
+        }
+        out
+    }
+
+    /// Accurate conversion to `f64`: the quotient is computed with ~64
+    /// significant bits before rounding, so the result is within a few ulp.
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let nb = self.num.magnitude().bits() as i64;
+        let db = self.den.bits() as i64;
+        // scale so the integer quotient has ~64 significant bits
+        let shift = 64 - (nb - db);
+        let (q, _) = if shift >= 0 {
+            self.num.magnitude().shl(shift as usize).div_rem(&self.den)
+        } else {
+            self.num.magnitude().div_rem(&self.den.shl((-shift) as usize))
+        };
+        let val = ldexp(q.to_f64(), -shift as i32);
+        if self.num.is_negative() {
+            -val
+        } else {
+            val
+        }
+    }
+}
+
+/// `x · 2^e` with the exponent applied in chunks, so magnitudes that pass
+/// through the subnormal range on their way to a representable value do not
+/// prematurely underflow or overflow.
+fn ldexp(mut x: f64, mut e: i32) -> f64 {
+    while e > 1000 {
+        x *= 2f64.powi(1000);
+        e -= 1000;
+    }
+    while e < -1000 {
+        x *= 2f64.powi(-1000);
+        e += 1000;
+    }
+    x * 2f64.powi(e)
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b  (b, d > 0)
+        self.num
+            .mul(&BigInt::from_biguint(other.den.clone()))
+            .cmp(&other.num.mul(&BigInt::from_biguint(self.den.clone())))
+    }
+}
+
+impl fmt::Debug for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio_i64(n, d)
+    }
+
+    #[test]
+    fn reduction() {
+        assert_eq!(r(6, 8), r(3, 4));
+        assert_eq!(r(6, 8).to_string(), "3/4");
+        assert_eq!(r(-6, 8).to_string(), "-3/4");
+        assert_eq!(r(0, 5), BigRational::zero());
+        assert_eq!(r(8, 4).to_string(), "2");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2).add(&r(1, 3)), r(5, 6));
+        assert_eq!(r(1, 2).sub(&r(1, 3)), r(1, 6));
+        assert_eq!(r(2, 3).mul(&r(3, 4)), r(1, 2));
+        assert_eq!(r(1, 2).div(&r(1, 4)), r(2, 1));
+        assert_eq!(r(-1, 2).mul(&r(-1, 2)), r(1, 4));
+        assert_eq!(r(-1, 2).div(&r(1, 2)), r(-1, 1));
+    }
+
+    #[test]
+    fn complement() {
+        assert_eq!(r(1, 4).complement(), r(3, 4));
+        assert_eq!(BigRational::zero().complement(), BigRational::one());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(1, 1_000_000));
+        assert!(r(2, 4) == r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+    }
+
+    #[test]
+    fn from_f64_exact_dyadics() {
+        assert_eq!(BigRational::from_f64(0.5), r(1, 2));
+        assert_eq!(BigRational::from_f64(0.25), r(1, 4));
+        assert_eq!(BigRational::from_f64(-1.75), r(-7, 4));
+        assert_eq!(BigRational::from_f64(0.0), BigRational::zero());
+        assert_eq!(BigRational::from_f64(3.0), BigRational::from_int(3));
+    }
+
+    #[test]
+    fn from_f64_subnormal() {
+        let tiny = f64::MIN_POSITIVE * f64::EPSILON; // smallest subnormal
+        let q = BigRational::from_f64(tiny);
+        assert!(!q.is_zero());
+        assert!((q.to_f64() - tiny).abs() <= f64::EPSILON * tiny);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn from_f64_rejects_nan() {
+        BigRational::from_f64(f64::NAN);
+    }
+
+    #[test]
+    fn decimal_rendering() {
+        assert_eq!(r(1, 2).to_decimal_string(3), "0.500");
+        assert_eq!(r(-7, 4).to_decimal_string(2), "-1.75");
+        assert_eq!(r(1, 3).to_decimal_string(6), "0.333333");
+        assert_eq!(r(22, 7).to_decimal_string(4), "3.1428");
+        assert_eq!(r(5, 1).to_decimal_string(0), "5");
+        assert_eq!(BigRational::zero().to_decimal_string(2), "0.00");
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(-3, 4).to_f64(), -0.75);
+        let third = r(1, 3).to_f64();
+        assert!((third - 1.0 / 3.0).abs() < 1e-16);
+        // huge denominator
+        let q = BigRational::new(BigInt::one(), BigUint::one().shl(200));
+        assert!((q.to_f64() - 2f64.powi(-200)).abs() < 1e-75);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        BigRational::from_ratio(1, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_f64_roundtrip(x in -1.0f64..1.0) {
+            let q = BigRational::from_f64(x);
+            // conversion from f64 is exact, so converting back must be exact
+            prop_assert_eq!(q.to_f64(), x);
+        }
+
+        #[test]
+        fn prop_field_ops_match_f64(
+            a in 1i64..1000, b in 1u64..1000, c in 1i64..1000, d in 1u64..1000,
+        ) {
+            let (x, y) = (r(a, b), r(c, d));
+            let af = a as f64 / b as f64;
+            let cf = c as f64 / d as f64;
+            prop_assert!((x.add(&y).to_f64() - (af + cf)).abs() < 1e-9);
+            prop_assert!((x.mul(&y).to_f64() - (af * cf)).abs() < 1e-9);
+            prop_assert!((x.sub(&y).to_f64() - (af - cf)).abs() < 1e-9);
+            prop_assert!((x.div(&y).to_f64() - (af / cf)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_add_commutes_and_associates(
+            a in -100i64..100, b in 1u64..50, c in -100i64..100, d in 1u64..50,
+            e in -100i64..100, f in 1u64..50,
+        ) {
+            let (x, y, z) = (r(a, b), r(c, d), r(e, f));
+            prop_assert_eq!(x.add(&y), y.add(&x));
+            prop_assert_eq!(x.add(&y).add(&z), x.add(&y.add(&z)));
+            prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+        }
+
+        #[test]
+        fn prop_sub_then_add_roundtrips(a in -100i64..100, b in 1u64..50, c in -100i64..100, d in 1u64..50) {
+            let (x, y) = (r(a, b), r(c, d));
+            prop_assert_eq!(x.sub(&y).add(&y), x);
+        }
+    }
+}

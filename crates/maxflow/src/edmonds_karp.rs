@@ -1,0 +1,102 @@
+//! Edmonds–Karp: BFS shortest augmenting paths with saturating pushes.
+
+use std::collections::VecDeque;
+
+use crate::graph::FlowGraph;
+use crate::solver::MaxFlowSolver;
+
+/// Edmonds–Karp, `O(|V||E|²)`. Simple, dependable comparator for the
+/// solver-ablation bench.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdmondsKarp;
+
+impl MaxFlowSolver for EdmondsKarp {
+    fn solve(&self, g: &mut FlowGraph, s: usize, t: usize, limit: u64) -> u64 {
+        if s == t {
+            return limit;
+        }
+        let n = g.node_count();
+        let mut parent_arc = vec![u32::MAX; n];
+        let mut flow = 0u64;
+        while flow < limit {
+            parent_arc.fill(u32::MAX);
+            let mut queue = VecDeque::new();
+            queue.push_back(s);
+            let mut reached = false;
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &arc in g.arcs_from(u) {
+                    let v = g.arc_head(arc);
+                    if v != s && parent_arc[v] == u32::MAX && g.residual(arc) > 0 {
+                        parent_arc[v] = arc;
+                        if v == t {
+                            reached = true;
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if !reached {
+                break;
+            }
+            // bottleneck along the parent chain
+            let mut aug = limit - flow;
+            let mut v = t;
+            while v != s {
+                let arc = parent_arc[v];
+                aug = aug.min(g.residual(arc));
+                v = g.arc_tail(arc);
+            }
+            let mut v = t;
+            while v != s {
+                let arc = parent_arc[v];
+                g.push(arc, aug);
+                v = g.arc_tail(arc);
+            }
+            flow += aug;
+        }
+        flow
+    }
+
+    fn name(&self) -> &'static str {
+        "edmonds-karp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clrs_max_flow() {
+        let mut g = FlowGraph::new(6);
+        g.add_arc(0, 1, 16);
+        g.add_arc(0, 2, 13);
+        g.add_arc(1, 2, 10);
+        g.add_arc(2, 1, 4);
+        g.add_arc(1, 3, 12);
+        g.add_arc(3, 2, 9);
+        g.add_arc(2, 4, 14);
+        g.add_arc(4, 3, 7);
+        g.add_arc(3, 5, 20);
+        g.add_arc(4, 5, 4);
+        assert_eq!(EdmondsKarp.solve(&mut g, 0, 5, u64::MAX), 23);
+        assert_eq!(g.check_conservation(0, 5).unwrap(), 23);
+    }
+
+    #[test]
+    fn respects_limit() {
+        let mut g = FlowGraph::new(2);
+        g.add_arc(0, 1, 100);
+        assert_eq!(EdmondsKarp.solve(&mut g, 0, 1, 7), 7);
+    }
+
+    #[test]
+    fn bottleneck_on_middle_edge() {
+        let mut g = FlowGraph::new(4);
+        g.add_arc(0, 1, 10);
+        g.add_arc(1, 2, 3);
+        g.add_arc(2, 3, 10);
+        assert_eq!(EdmondsKarp.solve(&mut g, 0, 3, u64::MAX), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! BFS Ford–Fulkerson augmenting one unit at a time.
+//!
+//! When the question is "can the surviving subgraph carry `d` unit
+//! sub-streams?", at most `d` augmentations of one unit each are needed, so
+//! this solver runs in `O(d·|E|)` — this is exactly the `O(|V||E|)`-class
+//! oracle the paper's complexity analysis assumes for constant `d`.
+
+use std::collections::VecDeque;
+
+use crate::graph::FlowGraph;
+use crate::solver::MaxFlowSolver;
+
+/// One BFS + one unit of flow per augmentation. Best when the demand (limit)
+/// is a small constant, which is the paper's regime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BfsFordFulkerson;
+
+impl MaxFlowSolver for BfsFordFulkerson {
+    fn solve(&self, g: &mut FlowGraph, s: usize, t: usize, limit: u64) -> u64 {
+        if s == t {
+            return limit;
+        }
+        let n = g.node_count();
+        let mut parent_arc = vec![u32::MAX; n];
+        let mut flow = 0u64;
+        while flow < limit {
+            parent_arc.fill(u32::MAX);
+            let mut queue = VecDeque::new();
+            queue.push_back(s);
+            let mut reached = false;
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &arc in g.arcs_from(u) {
+                    let v = g.arc_head(arc);
+                    if v != s && parent_arc[v] == u32::MAX && g.residual(arc) > 0 {
+                        parent_arc[v] = arc;
+                        if v == t {
+                            reached = true;
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if !reached {
+                break;
+            }
+            let mut v = t;
+            while v != s {
+                let arc = parent_arc[v];
+                g.push(arc, 1);
+                v = g.arc_tail(arc);
+            }
+            flow += 1;
+        }
+        flow
+    }
+
+    fn name(&self) -> &'static str {
+        "bfs-ford-fulkerson"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_flow() {
+        let mut g = FlowGraph::new(4);
+        g.add_arc(0, 1, 2);
+        g.add_arc(0, 2, 2);
+        g.add_arc(1, 3, 2);
+        g.add_arc(2, 3, 2);
+        assert_eq!(BfsFordFulkerson.solve(&mut g, 0, 3, u64::MAX), 4);
+    }
+
+    #[test]
+    fn unit_augmentation_respects_limit() {
+        let mut g = FlowGraph::new(2);
+        g.add_arc(0, 1, 1_000_000);
+        // would be pathological without a limit; with d=3 it's 3 BFS passes
+        assert_eq!(BfsFordFulkerson.solve(&mut g, 0, 1, 3), 3);
+    }
+
+    #[test]
+    fn zero_when_disconnected() {
+        let mut g = FlowGraph::new(2);
+        assert_eq!(BfsFordFulkerson.solve(&mut g, 0, 1, 5), 0);
+    }
+}

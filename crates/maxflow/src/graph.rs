@@ -1,0 +1,239 @@
+//! Residual flow graph with paired arcs and cheap reset.
+
+/// Handle to a forward arc in a [`FlowGraph`]; its reverse arc is implicit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct ArcId(pub u32);
+
+impl ArcId {
+    #[inline]
+    fn fwd(self) -> usize {
+        self.0 as usize
+    }
+
+    #[inline]
+    fn rev(self) -> usize {
+        self.0 as usize ^ 1
+    }
+}
+
+/// A residual graph: arcs are stored in forward/reverse pairs (`2k` and
+/// `2k ^ 1`), so pushing flow along one arc frees capacity on its partner.
+///
+/// The graph separates **base** capacities (the configuration-independent
+/// construction) from **residual** capacities (mutated during a solve), so the
+/// exponential configuration sweeps of the reliability algorithms can reuse a
+/// single allocation:
+///
+/// 1. [`FlowGraph::reset`] — restore residual = base;
+/// 2. [`FlowGraph::disable`] — zero out the arcs of failed links;
+/// 3. run a solver.
+#[derive(Clone, Debug)]
+pub struct FlowGraph {
+    head: Vec<u32>,
+    cap: Vec<u64>,
+    base: Vec<u64>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl FlowGraph {
+    /// An empty graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FlowGraph { head: Vec::new(), cap: Vec::new(), base: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of arc pairs.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.head.len() / 2
+    }
+
+    fn push_pair(&mut self, u: usize, v: usize, cap_uv: u64, cap_vu: u64) -> ArcId {
+        assert!(u < self.adj.len() && v < self.adj.len(), "arc endpoint out of range");
+        let id = self.head.len() as u32;
+        self.head.push(v as u32);
+        self.head.push(u as u32);
+        self.cap.push(cap_uv);
+        self.cap.push(cap_vu);
+        self.base.push(cap_uv);
+        self.base.push(cap_vu);
+        self.adj[u].push(id);
+        self.adj[v].push(id + 1);
+        ArcId(id)
+    }
+
+    /// Adds a directed arc `u → v` with the given capacity.
+    pub fn add_arc(&mut self, u: usize, v: usize, cap: u64) -> ArcId {
+        self.push_pair(u, v, cap, 0)
+    }
+
+    /// Adds an undirected edge `u — v`: capacity `cap` in both directions.
+    pub fn add_undirected(&mut self, u: usize, v: usize, cap: u64) -> ArcId {
+        self.push_pair(u, v, cap, cap)
+    }
+
+    /// Overwrites the *base* forward capacity of `a` (reverse base unchanged);
+    /// takes effect at the next [`reset`](FlowGraph::reset). Used to retarget
+    /// super-terminal demands between assignment queries.
+    pub fn set_base_capacity(&mut self, a: ArcId, cap: u64) {
+        self.base[a.fwd()] = cap;
+    }
+
+    /// Restores every residual capacity to its base value.
+    pub fn reset(&mut self) {
+        self.cap.copy_from_slice(&self.base);
+    }
+
+    /// Zeroes the residual capacity of `a` in both directions (a failed link).
+    /// Call after [`reset`](FlowGraph::reset), before solving.
+    pub fn disable(&mut self, a: ArcId) {
+        self.cap[a.fwd()] = 0;
+        self.cap[a.rev()] = 0;
+    }
+
+    /// Net flow currently routed through forward arc `a`
+    /// (positive = along the arc's forward direction).
+    pub fn net_flow(&self, a: ArcId) -> i64 {
+        self.base[a.fwd()] as i64 - self.cap[a.fwd()] as i64
+    }
+
+    // -- internal accessors used by the solvers ----------------------------
+
+    #[inline]
+    pub(crate) fn arcs_from(&self, u: usize) -> &[u32] {
+        &self.adj[u]
+    }
+
+    #[inline]
+    pub(crate) fn arc_head(&self, arc: u32) -> usize {
+        self.head[arc as usize] as usize
+    }
+
+    #[inline]
+    pub(crate) fn arc_tail(&self, arc: u32) -> usize {
+        self.head[(arc ^ 1) as usize] as usize
+    }
+
+    #[inline]
+    pub(crate) fn residual(&self, arc: u32) -> u64 {
+        self.cap[arc as usize]
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, arc: u32, amount: u64) {
+        debug_assert!(self.cap[arc as usize] >= amount, "push exceeds residual");
+        self.cap[arc as usize] -= amount;
+        self.cap[(arc ^ 1) as usize] += amount;
+    }
+
+    /// Checks flow conservation at every node other than `s` and `t`, and
+    /// returns the net outflow of `s`. Used by tests and debug assertions.
+    pub fn check_conservation(&self, s: usize, t: usize) -> Result<u64, String> {
+        let mut net = vec![0i64; self.node_count()];
+        for pair in 0..self.arc_count() {
+            let a = ArcId((pair * 2) as u32);
+            let f = self.net_flow(a);
+            let u = self.arc_tail(a.0);
+            let v = self.arc_head(a.0);
+            net[u] -= f;
+            net[v] += f;
+        }
+        for (i, &x) in net.iter().enumerate() {
+            if i != s && i != t && x != 0 {
+                return Err(format!("conservation violated at node {i}: net {x}"));
+            }
+        }
+        if net[s] > 0 {
+            return Err(format!("source has positive inflow {}", net[s]));
+        }
+        Ok((-net[s]) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_pairs_are_adjacent() {
+        let mut g = FlowGraph::new(2);
+        let a = g.add_arc(0, 1, 5);
+        assert_eq!(a, ArcId(0));
+        assert_eq!(g.arc_head(0), 1);
+        assert_eq!(g.arc_head(1), 0);
+        assert_eq!(g.residual(0), 5);
+        assert_eq!(g.residual(1), 0);
+    }
+
+    #[test]
+    fn push_moves_residual() {
+        let mut g = FlowGraph::new(2);
+        let a = g.add_arc(0, 1, 5);
+        g.push(a.0, 3);
+        assert_eq!(g.residual(0), 2);
+        assert_eq!(g.residual(1), 3);
+        assert_eq!(g.net_flow(a), 3);
+    }
+
+    #[test]
+    fn reset_restores_base() {
+        let mut g = FlowGraph::new(2);
+        let a = g.add_arc(0, 1, 5);
+        g.push(a.0, 5);
+        g.reset();
+        assert_eq!(g.residual(0), 5);
+        assert_eq!(g.net_flow(a), 0);
+    }
+
+    #[test]
+    fn disable_zeroes_both_directions() {
+        let mut g = FlowGraph::new(2);
+        let a = g.add_undirected(0, 1, 4);
+        g.reset();
+        g.disable(a);
+        assert_eq!(g.residual(0), 0);
+        assert_eq!(g.residual(1), 0);
+        g.reset();
+        assert_eq!(g.residual(0), 4);
+        assert_eq!(g.residual(1), 4);
+    }
+
+    #[test]
+    fn set_base_capacity_applies_on_reset() {
+        let mut g = FlowGraph::new(2);
+        let a = g.add_arc(0, 1, 5);
+        g.set_base_capacity(a, 9);
+        assert_eq!(g.residual(0), 5, "takes effect only after reset");
+        g.reset();
+        assert_eq!(g.residual(0), 9);
+    }
+
+    #[test]
+    fn undirected_net_flow_can_be_negative() {
+        let mut g = FlowGraph::new(2);
+        let a = g.add_undirected(0, 1, 4);
+        g.push(a.0 ^ 1, 2); // push along the reverse direction
+        assert_eq!(g.net_flow(a), -2);
+    }
+
+    #[test]
+    fn conservation_detects_violation() {
+        let mut g = FlowGraph::new(3);
+        let a = g.add_arc(0, 1, 5);
+        g.add_arc(1, 2, 5);
+        g.push(a.0, 3); // flow enters node 1 but never leaves
+        assert!(g.check_conservation(0, 2).is_err());
+        assert!(g.check_conservation(0, 1).is_ok());
+    }
+}

@@ -1,0 +1,44 @@
+//! # maxflow — the max-flow oracle substrate
+//!
+//! The reliability algorithms decide, for every failure configuration, whether
+//! the surviving subgraph admits an s–t flow of value ≥ `d`. This crate is
+//! that oracle. It provides:
+//!
+//! * [`FlowGraph`] — a mutable residual graph with paired forward/backward
+//!   arcs, cheap capacity reset (so one graph is reused across the exponential
+//!   configuration sweep without reallocation), and per-network-edge arc
+//!   handles for masking out failed links;
+//! * [`build_flow`] / [`build_flow_multi`] — lowering from a
+//!   [`netgraph::Network`] (with optional super-source/super-sink terminals,
+//!   used for the per-assignment multi-sink demands of Section III-C);
+//! * five solvers behind the [`MaxFlowSolver`] trait — [`Dinic`] (default),
+//!   [`EdmondsKarp`], [`BfsFordFulkerson`] (one augmenting path per unit of
+//!   flow, the `O(d·|E|)` choice matching the paper's constant-`d` analysis),
+//!   [`PushRelabel`] (FIFO with gap relabelling), and [`CapacityScaling`];
+//! * all solvers support an early-exit `limit`: augmentation stops as soon as
+//!   `limit` units are routed, since the reliability calculation only ever
+//!   asks "is max-flow ≥ d?";
+//! * [`min_cut`] — minimum s–t cut extraction from a residual graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity_scaling;
+pub mod dinic;
+pub mod edmonds_karp;
+pub mod ford_fulkerson;
+pub mod graph;
+pub mod lower;
+pub mod mincut;
+pub mod push_relabel;
+pub mod solver;
+
+pub use capacity_scaling::CapacityScaling;
+pub use dinic::Dinic;
+pub use edmonds_karp::EdmondsKarp;
+pub use ford_fulkerson::BfsFordFulkerson;
+pub use graph::{ArcId, FlowGraph};
+pub use lower::{build_flow, build_flow_multi, NetworkFlow};
+pub use mincut::min_cut;
+pub use push_relabel::PushRelabel;
+pub use solver::{max_flow_at_least, MaxFlowSolver, SolverKind};

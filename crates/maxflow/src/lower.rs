@@ -1,0 +1,201 @@
+//! Lowering a [`netgraph::Network`] into a [`FlowGraph`].
+
+use netgraph::{EdgeMask, GraphKind, Network, NodeId};
+
+use crate::graph::{ArcId, FlowGraph};
+
+/// A [`FlowGraph`] built from a [`Network`], remembering which arc realizes
+/// each network edge so failure configurations can be applied cheaply.
+#[derive(Clone, Debug)]
+pub struct NetworkFlow {
+    /// The lowered residual graph (may contain super-terminal nodes/arcs).
+    pub graph: FlowGraph,
+    /// For network edge `i`, `edge_arcs[i]` is its forward arc.
+    pub edge_arcs: Vec<ArcId>,
+    /// Flow source node index in `graph`.
+    pub source: usize,
+    /// Flow sink node index in `graph`.
+    pub sink: usize,
+    /// Super-source attachment arcs, one per source terminal, in the order
+    /// given (empty when no super-source was needed).
+    pub source_arcs: Vec<ArcId>,
+    /// Super-sink attachment arcs, one per sink terminal, in the order given
+    /// (empty when no super-sink was needed).
+    pub sink_arcs: Vec<ArcId>,
+}
+
+impl NetworkFlow {
+    /// Prepares the graph for one failure configuration: restores base
+    /// capacities, then disables every edge that failed in `mask`.
+    ///
+    /// # Panics
+    /// Panics if `mask.len()` differs from the number of network edges.
+    pub fn apply_mask(&mut self, mask: EdgeMask) {
+        assert_eq!(mask.len(), self.edge_arcs.len(), "mask/edge count mismatch");
+        self.graph.reset();
+        for (i, &arc) in self.edge_arcs.iter().enumerate() {
+            if !mask.alive(i) {
+                self.graph.disable(arc);
+            }
+        }
+    }
+
+    /// Prepares the graph with every edge alive.
+    pub fn apply_all_alive(&mut self) {
+        self.graph.reset();
+    }
+}
+
+fn lower_edges(net: &Network, g: &mut FlowGraph) -> Vec<ArcId> {
+    net.edges()
+        .iter()
+        .map(|e| match net.kind() {
+            GraphKind::Directed => g.add_arc(e.src.index(), e.dst.index(), e.capacity),
+            GraphKind::Undirected => g.add_undirected(e.src.index(), e.dst.index(), e.capacity),
+        })
+        .collect()
+}
+
+/// Lowers `net` for a plain `s → t` flow query.
+pub fn build_flow(net: &Network, s: NodeId, t: NodeId) -> NetworkFlow {
+    let mut graph = FlowGraph::new(net.node_count());
+    let edge_arcs = lower_edges(net, &mut graph);
+    NetworkFlow {
+        graph,
+        edge_arcs,
+        source: s.index(),
+        sink: t.index(),
+        source_arcs: Vec::new(),
+        sink_arcs: Vec::new(),
+    }
+}
+
+/// Lowers `net` for a multi-terminal query: a super-source feeds each
+/// `(node, supply)` in `sources`, and each `(node, demand)` in `sinks` drains
+/// into a super-sink. With a single terminal on a side, no super node is added
+/// on that side (the plain node is used and no capacity bound is imposed).
+///
+/// The per-terminal arcs are returned in `source_arcs` / `sink_arcs`, so
+/// callers can retune the supplies/demands with
+/// [`FlowGraph::set_base_capacity`] between queries — this is how the
+/// realization-table construction of Section III-C iterates over assignments
+/// without rebuilding the graph.
+pub fn build_flow_multi(
+    net: &Network,
+    sources: &[(NodeId, u64)],
+    sinks: &[(NodeId, u64)],
+) -> NetworkFlow {
+    assert!(!sources.is_empty() && !sinks.is_empty(), "need at least one source and sink");
+    let mut graph = FlowGraph::new(net.node_count());
+    let edge_arcs = lower_edges(net, &mut graph);
+    let mut source_arcs = Vec::new();
+    let mut sink_arcs = Vec::new();
+
+    let source = if sources.len() == 1 && sinks.iter().all(|&(n, _)| n != sources[0].0) {
+        sources[0].0.index()
+    } else {
+        let ss = graph.add_node();
+        for &(n, supply) in sources {
+            source_arcs.push(graph.add_arc(ss, n.index(), supply));
+        }
+        ss
+    };
+    let sink = if sinks.len() == 1 && sinks[0].0.index() != source {
+        sinks[0].0.index()
+    } else {
+        let st = graph.add_node();
+        for &(n, demand) in sinks {
+            sink_arcs.push(graph.add_arc(n.index(), st, demand));
+        }
+        st
+    };
+    NetworkFlow { graph, edge_arcs, source, sink, source_arcs, sink_arcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::MaxFlowSolver;
+    use crate::Dinic;
+    use netgraph::NetworkBuilder;
+
+    fn diamond(kind: GraphKind) -> Network {
+        let mut b = NetworkBuilder::new(kind);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 2, 0.1).unwrap();
+        b.add_edge(n[1], n[3], 2, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 2, 0.1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn directed_lowering_flows() {
+        let net = diamond(GraphKind::Directed);
+        let mut nf = build_flow(&net, NodeId(0), NodeId(3));
+        nf.apply_all_alive();
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 4);
+    }
+
+    #[test]
+    fn undirected_lowering_flows_backwards_too() {
+        let net = diamond(GraphKind::Undirected);
+        let mut nf = build_flow(&net, NodeId(3), NodeId(0));
+        nf.apply_all_alive();
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 4);
+    }
+
+    #[test]
+    fn mask_disables_edges() {
+        let net = diamond(GraphKind::Directed);
+        let mut nf = build_flow(&net, NodeId(0), NodeId(3));
+        // kill edge 0 (s->a): only the b-path remains
+        nf.apply_mask(EdgeMask::from_bits(0b1110, 4));
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 2);
+        // all edges dead
+        nf.apply_mask(EdgeMask::all_failed(4));
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 0);
+        // reuse with everything alive again
+        nf.apply_mask(EdgeMask::all_alive(4));
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 4);
+    }
+
+    #[test]
+    fn multi_sink_demands_bound_flow() {
+        let net = diamond(GraphKind::Directed);
+        // demand 1 at node 1 and 2 at node 2: total 3, but node2 can only get 2
+        let mut nf =
+            build_flow_multi(&net, &[(NodeId(0), 10)], &[(NodeId(1), 1), (NodeId(2), 2)]);
+        nf.apply_all_alive();
+        let f = Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
+        assert_eq!(f, 3);
+    }
+
+    #[test]
+    fn retuning_terminal_arcs() {
+        let net = diamond(GraphKind::Directed);
+        let mut nf =
+            build_flow_multi(&net, &[(NodeId(0), 10)], &[(NodeId(1), 2), (NodeId(2), 2)]);
+        nf.apply_all_alive();
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 4);
+        // retarget to (0, 1): only one unit may drain via node 2
+        assert!(nf.source_arcs.is_empty(), "single plain source, no super node");
+        let sink_arcs: Vec<ArcId> = nf.sink_arcs.clone();
+        assert_eq!(sink_arcs.len(), 2);
+        nf.graph.set_base_capacity(sink_arcs[0], 0);
+        nf.graph.set_base_capacity(sink_arcs[1], 1);
+        nf.apply_all_alive();
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 1);
+    }
+
+    #[test]
+    fn multi_source_single_sink() {
+        let net = diamond(GraphKind::Directed);
+        let mut nf =
+            build_flow_multi(&net, &[(NodeId(1), 1), (NodeId(2), 1)], &[(NodeId(3), 10)]);
+        nf.apply_all_alive();
+        // sinks.len()==1 and its node != super source, so plain node used:
+        // flow bounded by the two supplies
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 2);
+    }
+}

@@ -1,0 +1,328 @@
+//! # montecarlo — statistical reliability estimation
+//!
+//! The exact algorithms are exponential; Monte-Carlo sampling is the standard
+//! practical alternative and the natural baseline to compare the paper's
+//! algorithm against. This crate provides:
+//!
+//! * [`estimate`] — fixed-sample-count estimation with a normal-approximation
+//!   confidence interval;
+//! * [`estimate_parallel`] — the same sweep fanned out over crossbeam scoped
+//!   threads, each with its own independently seeded RNG;
+//! * [`estimate_until`] — a sequential stopping rule: sample until the
+//!   half-width of the confidence interval falls below a target (or a sample
+//!   budget is exhausted);
+//! * [`estimate_antithetic`] — antithetic variates: negatively correlated
+//!   sample pairs, never worse than plain sampling for this monotone system;
+//! * [`estimate_stratified`] — stratify on a chosen link subset (naturally
+//!   the bottleneck links of the paper's decomposition): each of the `2^k`
+//!   availability configurations of those links becomes a stratum whose
+//!   probability is computed exactly, and only the remaining links are
+//!   sampled. This removes the strata links' variance contribution entirely.
+//!
+//! Sampling is deterministic per seed, so experiments are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stratified;
+
+pub use stratified::{estimate_stratified, StratifiedEstimate};
+
+use maxflow::{build_flow, SolverKind};
+use netgraph::{EdgeMask, Network, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Monte-Carlo reliability estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Sample mean (the reliability estimate).
+    pub mean: f64,
+    /// Number of samples taken.
+    pub samples: u64,
+    /// Number of samples in which the demand was admitted.
+    pub successes: u64,
+    /// Standard error of the mean (binomial).
+    pub std_error: f64,
+}
+
+impl Estimate {
+    fn from_counts(successes: u64, samples: u64) -> Estimate {
+        assert!(samples > 0, "at least one sample required");
+        let mean = successes as f64 / samples as f64;
+        let std_error = (mean * (1.0 - mean) / samples as f64).sqrt();
+        Estimate { mean, samples, successes, std_error }
+    }
+
+    /// The 95% confidence interval `(lo, hi)`, clamped to `[0, 1]`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error;
+        ((self.mean - half).max(0.0), (self.mean + half).min(1.0))
+    }
+
+    /// True when `value` lies inside the 95% confidence interval.
+    pub fn covers(&self, value: f64) -> bool {
+        let (lo, hi) = self.ci95();
+        lo <= value && value <= hi
+    }
+
+    /// Merges two independent estimates.
+    pub fn merge(&self, other: &Estimate) -> Estimate {
+        Estimate::from_counts(self.successes + other.successes, self.samples + other.samples)
+    }
+}
+
+/// One sampling worker: draws `samples` failure configurations and counts how
+/// many admit the demand.
+fn sample_run(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    demand: u64,
+    solver: SolverKind,
+    samples: u64,
+    seed: u64,
+) -> u64 {
+    let m = net.edge_count();
+    assert!(m <= EdgeMask::MAX_EDGES, "sampling masks support at most 64 links");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nf = build_flow(net, s, t);
+    let probs: Vec<f64> = net.edges().iter().map(|e| e.fail_prob).collect();
+    let mut successes = 0u64;
+    for _ in 0..samples {
+        let mut bits = 0u64;
+        for (i, &p) in probs.iter().enumerate() {
+            if rng.gen::<f64>() >= p {
+                bits |= 1 << i;
+            }
+        }
+        nf.apply_mask(EdgeMask::from_bits(bits, m));
+        if demand == 0
+            || solver.solve(&mut nf.graph, nf.source, nf.sink, demand) >= demand
+        {
+            successes += 1;
+        }
+    }
+    successes
+}
+
+/// Estimates the reliability from `samples` independent failure
+/// configurations drawn with the given `seed`.
+pub fn estimate(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    demand: u64,
+    samples: u64,
+    seed: u64,
+) -> Estimate {
+    let successes = sample_run(net, s, t, demand, SolverKind::Dinic, samples, seed);
+    Estimate::from_counts(successes, samples)
+}
+
+/// As [`estimate`], with the sweep split over `threads` crossbeam scoped
+/// threads. Deterministic: worker `i` uses seed `seed + i`, so the result
+/// depends only on `(seed, threads, samples)`.
+pub fn estimate_parallel(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    demand: u64,
+    samples: u64,
+    seed: u64,
+    threads: usize,
+) -> Estimate {
+    let threads = threads.max(1).min(samples.max(1) as usize);
+    let per = samples / threads as u64;
+    let extra = samples % threads as u64;
+    let successes = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..threads {
+            let quota = per + if (i as u64) < extra { 1 } else { 0 };
+            let net_ref = &net;
+            handles.push(scope.spawn(move |_| {
+                sample_run(net_ref, s, t, demand, SolverKind::Dinic, quota, seed + i as u64)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("sampler panicked")).sum::<u64>()
+    })
+    .expect("crossbeam scope");
+    Estimate::from_counts(successes, samples)
+}
+
+/// Antithetic-variates estimation: configurations are drawn in pairs
+/// `(U, 1−U)` per link, inducing negative correlation between the pair's
+/// outcomes. Because "admits the demand" is monotone in the link states,
+/// the pair covariance is non-positive and the paired estimator's variance
+/// never exceeds plain sampling's (often substantially less near the
+/// reliability extremes). `pairs` pairs are drawn (`2·pairs` evaluations).
+pub fn estimate_antithetic(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    demand: u64,
+    pairs: u64,
+    seed: u64,
+) -> Estimate {
+    let m = net.edge_count();
+    assert!(m <= EdgeMask::MAX_EDGES, "sampling masks support at most 64 links");
+    assert!(pairs > 0, "at least one pair required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nf = build_flow(net, s, t);
+    let solver = SolverKind::Dinic;
+    let probs: Vec<f64> = net.edges().iter().map(|e| e.fail_prob).collect();
+    let mut admits = |bits: u64| -> bool {
+        nf.apply_mask(EdgeMask::from_bits(bits, m));
+        demand == 0 || solver.solve(&mut nf.graph, nf.source, nf.sink, demand) >= demand
+    };
+    // pair sums: 0, 1 or 2 successes per pair
+    let mut sum = 0u64;
+    let mut sum_sq = 0u64;
+    for _ in 0..pairs {
+        let mut a = 0u64;
+        let mut b = 0u64;
+        for (i, &p) in probs.iter().enumerate() {
+            let u: f64 = rng.gen();
+            if u >= p {
+                a |= 1 << i;
+            }
+            if (1.0 - u) >= p {
+                b |= 1 << i;
+            }
+        }
+        let pair = admits(a) as u64 + admits(b) as u64;
+        sum += pair;
+        sum_sq += pair * pair;
+    }
+    let n = pairs as f64;
+    let mean_pair = sum as f64 / n / 2.0; // per-evaluation mean
+    // variance of the per-pair average (pair/2), then of the mean over pairs
+    let pair_avg_sq = sum_sq as f64 / n / 4.0;
+    let var_pair_avg = (pair_avg_sq - mean_pair * mean_pair).max(0.0);
+    let std_error = (var_pair_avg / n).sqrt();
+    Estimate { mean: mean_pair, samples: pairs * 2, successes: sum, std_error }
+}
+
+/// Samples in batches until the 95% CI half-width drops below `target_half`
+/// or `max_samples` is reached. Returns the running estimate.
+pub fn estimate_until(
+    net: &Network,
+    s: NodeId,
+    t: NodeId,
+    demand: u64,
+    target_half: f64,
+    max_samples: u64,
+    seed: u64,
+) -> Estimate {
+    const BATCH: u64 = 4096;
+    let mut total = Estimate::from_counts(
+        sample_run(net, s, t, demand, SolverKind::Dinic, BATCH.min(max_samples), seed),
+        BATCH.min(max_samples),
+    );
+    let mut round = 1u64;
+    while total.samples < max_samples && 1.96 * total.std_error > target_half {
+        let quota = BATCH.min(max_samples - total.samples);
+        let batch = Estimate::from_counts(
+            sample_run(net, s, t, demand, SolverKind::Dinic, quota, seed + round),
+            quota,
+        );
+        total = total.merge(&batch);
+        round += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    /// Two parallel links p=0.1: R = 0.99 for d=1, 0.81 for d=2.
+    fn two_parallel() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn estimate_converges_to_truth() {
+        let net = two_parallel();
+        let e = estimate(&net, NodeId(0), NodeId(1), 1, 50_000, 7);
+        assert!(e.covers(0.99), "estimate {} should cover 0.99", e.mean);
+        assert!((e.mean - 0.99).abs() < 0.01);
+        let e2 = estimate(&net, NodeId(0), NodeId(1), 2, 50_000, 7);
+        assert!(e2.covers(0.81), "estimate {} should cover 0.81", e2.mean);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = two_parallel();
+        let a = estimate(&net, NodeId(0), NodeId(1), 1, 1000, 42);
+        let b = estimate(&net, NodeId(0), NodeId(1), 1, 1000, 42);
+        assert_eq!(a, b);
+        let c = estimate(&net, NodeId(0), NodeId(1), 1, 1000, 43);
+        assert_ne!(a.successes, c.successes + 1_000_000, "different seeds sample differently");
+    }
+
+    #[test]
+    fn parallel_matches_structure() {
+        let net = two_parallel();
+        let e = estimate_parallel(&net, NodeId(0), NodeId(1), 1, 20_000, 3, 4);
+        assert_eq!(e.samples, 20_000);
+        assert!(e.covers(0.99));
+        // same (seed, threads) is reproducible
+        let e2 = estimate_parallel(&net, NodeId(0), NodeId(1), 1, 20_000, 3, 4);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn stopping_rule_stops() {
+        let net = two_parallel();
+        let e = estimate_until(&net, NodeId(0), NodeId(1), 2, 0.02, 1_000_000, 5);
+        assert!(1.96 * e.std_error <= 0.02 || e.samples == 1_000_000);
+        assert!(e.covers(0.81));
+        // loose target stops immediately after one batch
+        let quick = estimate_until(&net, NodeId(0), NodeId(1), 2, 0.5, 1_000_000, 5);
+        assert_eq!(quick.samples, 4096);
+    }
+
+    #[test]
+    fn antithetic_converges_and_does_not_lose() {
+        let net = two_parallel();
+        let anti = estimate_antithetic(&net, NodeId(0), NodeId(1), 2, 25_000, 7);
+        assert!(anti.covers(0.81), "antithetic {} should cover 0.81", anti.mean);
+        let plain = estimate(&net, NodeId(0), NodeId(1), 2, 50_000, 7);
+        assert!(
+            anti.std_error <= plain.std_error * 1.1,
+            "antithetic {} vs plain {}",
+            anti.std_error,
+            plain.std_error
+        );
+    }
+
+    #[test]
+    fn antithetic_deterministic_per_seed() {
+        let net = two_parallel();
+        let a = estimate_antithetic(&net, NodeId(0), NodeId(1), 1, 2_000, 5);
+        let b = estimate_antithetic(&net, NodeId(0), NodeId(1), 1, 2_000, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_demand_always_succeeds() {
+        let net = two_parallel();
+        let e = estimate(&net, NodeId(0), NodeId(1), 0, 100, 1);
+        assert_eq!(e.mean, 1.0);
+        assert_eq!(e.std_error, 0.0);
+    }
+
+    #[test]
+    fn ci_is_clamped() {
+        let net = two_parallel();
+        let e = estimate(&net, NodeId(0), NodeId(1), 0, 10, 1);
+        let (lo, hi) = e.ci95();
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+}

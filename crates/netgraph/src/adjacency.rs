@@ -1,0 +1,136 @@
+//! Incidence structure for traversal.
+
+use crate::ids::{EdgeId, NodeId};
+use crate::network::{GraphKind, Network};
+
+/// Per-node incidence lists built once from a [`Network`].
+///
+/// For directed networks, `out` holds out-edges and `inc` holds in-edges; for
+/// undirected networks both directions of every edge appear in `out` (and
+/// `inc` mirrors it), so traversals can treat `out` uniformly.
+#[derive(Clone, Debug)]
+pub struct Adjacency {
+    out: Vec<Vec<(EdgeId, NodeId)>>,
+    inc: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl Adjacency {
+    /// Builds incidence lists for `net`.
+    pub fn new(net: &Network) -> Self {
+        let n = net.node_count();
+        let mut out = vec![Vec::new(); n];
+        let mut inc = vec![Vec::new(); n];
+        for (id, e) in net.edge_refs() {
+            if e.src == e.dst {
+                continue; // self-loops never carry useful s-t flow
+            }
+            match net.kind() {
+                GraphKind::Directed => {
+                    out[e.src.index()].push((id, e.dst));
+                    inc[e.dst.index()].push((id, e.src));
+                }
+                GraphKind::Undirected => {
+                    out[e.src.index()].push((id, e.dst));
+                    out[e.dst.index()].push((id, e.src));
+                    inc[e.src.index()].push((id, e.dst));
+                    inc[e.dst.index()].push((id, e.src));
+                }
+            }
+        }
+        Adjacency { out, inc }
+    }
+
+    /// Builds incidence lists ignoring edge direction even on directed
+    /// networks (used for component analysis, which per the paper is in the
+    /// undirected sense).
+    pub fn undirected(net: &Network) -> Self {
+        let n = net.node_count();
+        let mut out = vec![Vec::new(); n];
+        for (id, e) in net.edge_refs() {
+            if e.src == e.dst {
+                continue;
+            }
+            out[e.src.index()].push((id, e.dst));
+            out[e.dst.index()].push((id, e.src));
+        }
+        Adjacency { inc: out.clone(), out }
+    }
+
+    /// Edges leaving `n` as `(edge, neighbour)` pairs.
+    #[inline]
+    pub fn out_edges(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.out[n.index()]
+    }
+
+    /// Edges entering `n` as `(edge, neighbour)` pairs.
+    #[inline]
+    pub fn in_edges(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.inc[n.index()]
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Out-degree of `n`.
+    #[inline]
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out[n.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    fn diamond(kind: GraphKind) -> Network {
+        // s -> a -> t, s -> b -> t
+        let mut b = NetworkBuilder::new(kind);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[3], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 1, 0.1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn directed_adjacency() {
+        let net = diamond(GraphKind::Directed);
+        let adj = Adjacency::new(&net);
+        assert_eq!(adj.out_degree(NodeId(0)), 2);
+        assert_eq!(adj.out_degree(NodeId(3)), 0);
+        assert_eq!(adj.in_edges(NodeId(3)).len(), 2);
+        assert_eq!(adj.out_edges(NodeId(1)), &[(EdgeId(2), NodeId(3))]);
+    }
+
+    #[test]
+    fn undirected_adjacency_mirrors() {
+        let net = diamond(GraphKind::Undirected);
+        let adj = Adjacency::new(&net);
+        assert_eq!(adj.out_degree(NodeId(0)), 2);
+        assert_eq!(adj.out_degree(NodeId(3)), 2);
+        // in == out for undirected
+        assert_eq!(adj.in_edges(NodeId(3)), adj.out_edges(NodeId(3)));
+    }
+
+    #[test]
+    fn undirected_view_of_directed_graph() {
+        let net = diamond(GraphKind::Directed);
+        let adj = Adjacency::undirected(&net);
+        assert_eq!(adj.out_degree(NodeId(3)), 2);
+    }
+
+    #[test]
+    fn self_loops_skipped() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_node();
+        b.add_edge(n, n, 5, 0.1).unwrap();
+        let net = b.build();
+        let adj = Adjacency::new(&net);
+        assert_eq!(adj.out_degree(n), 0);
+    }
+}

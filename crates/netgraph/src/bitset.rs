@@ -1,0 +1,283 @@
+//! A compact fixed-capacity bit set backed by `u64` words.
+//!
+//! Used for alive-link masks over networks whose edge count exceeds the 64-bit
+//! fast path, for visited sets in traversals, and for component membership.
+
+/// A fixed-capacity set of small integers, stored one bit per element.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Creates a set holding every value in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Clears bits beyond `capacity` (invariant after whole-word operations).
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// The number of values this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`. Panics if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i`. Panics if `i >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Tests membership of `i`. Out-of-range values are reported absent.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of elements present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements, keeping the capacity.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Iterates over the present elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// In-place union with `other`. Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection with `other`. Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place difference (`self \ other`). Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// True when `self` and `other` share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// True when every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element (+1).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert_eq!(s.len(), 4);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn full_has_exact_len() {
+        for cap in [0, 1, 63, 64, 65, 127, 128, 200] {
+            let s = BitSet::full(cap);
+            assert_eq!(s.len(), cap, "cap={cap}");
+            assert_eq!(s.iter().count(), cap);
+        }
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s: BitSet = [5usize, 2, 99, 64, 63].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![2, 5, 63, 64, 99]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1usize, 2, 3, 70].into_iter().collect();
+        let mut a = {
+            // normalize capacities
+            let mut x = BitSet::new(100);
+            for i in a.iter() {
+                x.insert(i);
+            }
+            x
+        };
+        let mut b = BitSet::new(100);
+        for i in [2usize, 3, 4] {
+            b.insert(i);
+        }
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 70]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        a.difference_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 70]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let mut a = BitSet::new(80);
+        let mut b = BitSet::new(80);
+        a.insert(3);
+        a.insert(77);
+        b.insert(3);
+        b.insert(77);
+        b.insert(10);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let mut c = BitSet::new(80);
+        c.insert(11);
+        assert!(a.is_disjoint(&c));
+        assert!(!b.is_disjoint(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = BitSet::full(70);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 70);
+        s.insert(69);
+        assert!(s.contains(69));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_hashset(ops in proptest::collection::vec((0usize..200, any::<bool>()), 0..100)) {
+            let mut bs = BitSet::new(200);
+            let mut hs = std::collections::HashSet::new();
+            for (i, add) in ops {
+                if add {
+                    bs.insert(i);
+                    hs.insert(i);
+                } else {
+                    bs.remove(i);
+                    hs.remove(&i);
+                }
+            }
+            prop_assert_eq!(bs.len(), hs.len());
+            let mut expected: Vec<usize> = hs.into_iter().collect();
+            expected.sort_unstable();
+            prop_assert_eq!(bs.iter().collect::<Vec<_>>(), expected);
+        }
+
+        #[test]
+        fn prop_union_is_commutative(
+            xs in proptest::collection::hash_set(0usize..150, 0..50),
+            ys in proptest::collection::hash_set(0usize..150, 0..50),
+        ) {
+            let mut a = BitSet::new(150);
+            let mut b = BitSet::new(150);
+            for &x in &xs { a.insert(x); }
+            for &y in &ys { b.insert(y); }
+            let mut ab = a.clone();
+            ab.union_with(&b);
+            let mut ba = b.clone();
+            ba.union_with(&a);
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

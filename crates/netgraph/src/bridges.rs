@@ -1,0 +1,151 @@
+//! Bridge detection (Tarjan low-link), in the undirected sense.
+//!
+//! A bridge is a single link whose removal disconnects its endpoints — the
+//! `k = 1` bottleneck case of the paper (Fig. 2). Parallel edges are handled
+//! correctly (two parallel links are never bridges): the DFS excludes only the
+//! specific tree edge used to reach a node, not every edge to its parent.
+
+use crate::adjacency::Adjacency;
+use crate::ids::{EdgeId, NodeId};
+use crate::network::Network;
+
+/// Returns the bridges of `net` (undirected sense), in increasing edge order.
+pub fn find_bridges(net: &Network) -> Vec<EdgeId> {
+    let adj = Adjacency::undirected(net);
+    let n = net.node_count();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; otherwise discovery time + 1
+    let mut low = vec![0u32; n];
+    let mut bridges = Vec::new();
+    let mut time = 1u32;
+
+    // Iterative DFS; each frame is (node, incoming tree edge, next child index).
+    let mut stack: Vec<(NodeId, Option<EdgeId>, usize)> = Vec::new();
+    for root in 0..n {
+        if disc[root] != 0 {
+            continue;
+        }
+        disc[root] = time;
+        low[root] = time;
+        time += 1;
+        stack.push((NodeId::from(root), None, 0));
+        while let Some(&mut (u, via, ref mut idx)) = stack.last_mut() {
+            let edges = adj.out_edges(u);
+            if *idx < edges.len() {
+                let (e, v) = edges[*idx];
+                *idx += 1;
+                if Some(e) == via {
+                    continue; // don't reuse the tree edge we arrived on
+                }
+                if disc[v.index()] == 0 {
+                    disc[v.index()] = time;
+                    low[v.index()] = time;
+                    time += 1;
+                    stack.push((v, Some(e), 0));
+                } else {
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (parent, _, _)) = stack.last_mut() {
+                    low[parent.index()] = low[parent.index()].min(low[u.index()]);
+                    if low[u.index()] > disc[parent.index()] {
+                        // the tree edge into u is a bridge
+                        if let Some(e) = via {
+                            bridges.push(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    bridges.sort_unstable();
+    bridges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{GraphKind, NetworkBuilder};
+    use proptest::prelude::*;
+
+    fn build(n: usize, edges: &[(usize, usize)]) -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let ns = b.add_nodes(n);
+        for &(u, v) in edges {
+            b.add_edge(ns[u], ns[v], 1, 0.1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_all_bridges() {
+        let net = build(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(find_bridges(&net), vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let net = build(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(find_bridges(&net).is_empty());
+    }
+
+    #[test]
+    fn two_triangles_one_bridge() {
+        let net =
+            build(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        assert_eq!(find_bridges(&net), vec![EdgeId(6)]);
+    }
+
+    #[test]
+    fn parallel_edges_are_not_bridges() {
+        let net = build(2, &[(0, 1), (0, 1)]);
+        assert!(find_bridges(&net).is_empty());
+        let net = build(2, &[(0, 1)]);
+        assert_eq!(find_bridges(&net), vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        let net = build(4, &[(0, 1), (2, 3)]);
+        assert_eq!(find_bridges(&net), vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn self_loop_is_not_a_bridge() {
+        let net = build(2, &[(0, 0), (0, 1)]);
+        assert_eq!(find_bridges(&net), vec![EdgeId(1)]);
+    }
+
+    /// Brute-force oracle: e is a bridge iff removing it disconnects its
+    /// endpoints.
+    fn bridges_brute(net: &Network) -> Vec<EdgeId> {
+        use crate::bitset::BitSet;
+        use crate::traverse::is_connected_st;
+        let m = net.edge_count();
+        let mut out = Vec::new();
+        for (id, e) in net.edge_refs() {
+            if e.src == e.dst {
+                continue;
+            }
+            let mut alive = BitSet::full(m);
+            alive.remove(id.index());
+            if !is_connected_st(net, e.src, e.dst, Some(&alive)) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_bruteforce(
+            n in 2usize..9,
+            raw_edges in proptest::collection::vec((0usize..8, 0usize..8), 1..16),
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let net = build(n, &edges);
+            prop_assert_eq!(find_bridges(&net), bridges_brute(&net));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Connected components in the undirected sense, under an edge mask.
+//!
+//! The bottleneck decomposition of the paper removes the bottleneck links and
+//! inspects the connected components that remain (Section III-A). Components
+//! are always taken in the undirected sense, matching the paper's usage.
+
+use crate::adjacency::Adjacency;
+use crate::ids::NodeId;
+use crate::network::Network;
+
+/// Component labelling of every node: nodes with the same label are connected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentLabels {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl ComponentLabels {
+    /// Number of connected components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The component label of `n` (in `0..count`).
+    #[inline]
+    pub fn label(&self, n: NodeId) -> u32 {
+        self.labels[n.index()]
+    }
+
+    /// True when `a` and `b` lie in the same component.
+    #[inline]
+    pub fn same(&self, a: NodeId, b: NodeId) -> bool {
+        self.labels[a.index()] == self.labels[b.index()]
+    }
+
+    /// Nodes of component `c` in increasing order.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(i, _)| NodeId::from(i))
+            .collect()
+    }
+
+    /// Sizes of every component, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Labels the connected components of `net` (undirected sense), treating the
+/// edges for which `edge_removed` returns true as deleted.
+pub fn connected_components(
+    net: &Network,
+    mut edge_removed: impl FnMut(usize) -> bool,
+) -> ComponentLabels {
+    let adj = Adjacency::undirected(net);
+    let n = net.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = count;
+        stack.push(NodeId::from(start));
+        while let Some(u) = stack.pop() {
+            for &(e, v) in adj.out_edges(u) {
+                if labels[v.index()] == u32::MAX && !edge_removed(e.index()) {
+                    labels[v.index()] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    ComponentLabels { labels, count: count as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{GraphKind, NetworkBuilder};
+
+    fn two_triangles_with_bridge() -> Network {
+        // triangle 0-1-2, triangle 3-4-5, bridge 2-3 (edge 6)
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[0], 1, 0.1).unwrap();
+        b.add_edge(n[3], n[4], 1, 0.1).unwrap();
+        b.add_edge(n[4], n[5], 1, 0.1).unwrap();
+        b.add_edge(n[5], n[3], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 1, 0.1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn single_component_when_all_alive() {
+        let net = two_triangles_with_bridge();
+        let c = connected_components(&net, |_| false);
+        assert_eq!(c.count(), 1);
+        assert!(c.same(NodeId(0), NodeId(5)));
+    }
+
+    #[test]
+    fn removing_bridge_splits_in_two() {
+        let net = two_triangles_with_bridge();
+        let c = connected_components(&net, |e| e == 6);
+        assert_eq!(c.count(), 2);
+        assert!(c.same(NodeId(0), NodeId(2)));
+        assert!(c.same(NodeId(3), NodeId(5)));
+        assert!(!c.same(NodeId(2), NodeId(3)));
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn members_are_sorted() {
+        let net = two_triangles_with_bridge();
+        let c = connected_components(&net, |e| e == 6);
+        let side = c.members(c.label(NodeId(3)));
+        assert_eq!(side, vec![NodeId(3), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_own_components() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        b.add_nodes(3);
+        let net = b.build();
+        let c = connected_components(&net, |_| false);
+        assert_eq!(c.count(), 3);
+    }
+
+    #[test]
+    fn directed_edges_count_as_undirected() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[1], n[0], 1, 0.1).unwrap();
+        let net = b.build();
+        let c = connected_components(&net, |_| false);
+        assert_eq!(c.count(), 1);
+    }
+}

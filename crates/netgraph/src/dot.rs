@@ -1,0 +1,60 @@
+//! Graphviz DOT export, for debugging and documentation figures.
+
+use std::fmt::Write as _;
+
+use crate::network::{GraphKind, Network};
+
+/// Renders `net` in Graphviz DOT format. Each link is labelled
+/// `e<i> c=<capacity> p=<fail_prob>`; `highlight` edges (e.g. a bottleneck
+/// set) are drawn red.
+pub fn to_dot(net: &Network, highlight: &[crate::ids::EdgeId]) -> String {
+    let (gtype, arrow) = match net.kind() {
+        GraphKind::Directed => ("digraph", "->"),
+        GraphKind::Undirected => ("graph", "--"),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{gtype} G {{");
+    for i in 0..net.node_count() {
+        let _ = writeln!(out, "  n{i};");
+    }
+    for (id, e) in net.edge_refs() {
+        let color = if highlight.contains(&id) { ", color=red" } else { "" };
+        let _ = writeln!(
+            out,
+            "  n{} {arrow} n{} [label=\"{id} c={} p={}\"{color}];",
+            e.src.0, e.dst.0, e.capacity, e.fail_prob
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EdgeId;
+    use crate::network::NetworkBuilder;
+
+    #[test]
+    fn directed_dot_contains_edges() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 3, 0.25).unwrap();
+        let dot = to_dot(&b.build(), &[]);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("c=3"));
+        assert!(dot.contains("p=0.25"));
+    }
+
+    #[test]
+    fn undirected_dot_and_highlight() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        let dot = to_dot(&b.build(), &[EdgeId(0)]);
+        assert!(dot.starts_with("graph"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("color=red"));
+    }
+}

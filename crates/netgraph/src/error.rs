@@ -1,0 +1,70 @@
+//! Error type shared by graph construction and queries.
+
+use std::fmt;
+
+use crate::ids::{EdgeId, NodeId};
+
+/// Errors produced while building or querying a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index referenced a node that does not exist.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the network.
+        node_count: usize,
+    },
+    /// An edge index referenced an edge that does not exist.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Number of edges in the network.
+        edge_count: usize,
+    },
+    /// A failure probability was outside `[0, 1)`.
+    ///
+    /// The paper requires `p(e) ∈ [0, 1)`: a link that fails with probability
+    /// exactly one contributes nothing and should simply be omitted.
+    InvalidProbability {
+        /// The offending edge (by insertion order).
+        edge: EdgeId,
+        /// The rejected value.
+        prob: f64,
+    },
+    /// The operation requires a network with at least one node.
+    EmptyNetwork,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (network has {node_count} nodes)")
+            }
+            GraphError::EdgeOutOfRange { edge, edge_count } => {
+                write!(f, "edge {edge} out of range (network has {edge_count} edges)")
+            }
+            GraphError::InvalidProbability { edge, prob } => {
+                write!(f, "edge {edge} has failure probability {prob}, expected [0, 1)")
+            }
+            GraphError::EmptyNetwork => write!(f, "operation requires a non-empty network"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::InvalidProbability { edge: EdgeId(3), prob: 1.5 };
+        assert!(e.to_string().contains("e3"));
+        assert!(e.to_string().contains("1.5"));
+        let e = GraphError::NodeOutOfRange { node: NodeId(9), node_count: 4 };
+        assert!(e.to_string().contains("n9"));
+        assert!(e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,106 @@
+//! Strongly-typed node and edge identifiers.
+//!
+//! Indices are `u32` internally (networks in this workspace are far below the
+//! 4-billion-node range; smaller indices keep hot structures compact, per the
+//! Rust Performance Book's type-size guidance) and convert to `usize` at use
+//! sites.
+
+use std::fmt;
+
+/// Identifier of a node (peer) in a [`crate::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge (link) in a [`crate::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "node index overflows u32");
+        NodeId(i as u32)
+    }
+}
+
+impl From<usize> for EdgeId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "edge index overflows u32");
+        EdgeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from(7usize);
+        assert_eq!(n.index(), 7);
+        assert_eq!(format!("{n}"), "n7");
+        assert_eq!(format!("{n:?}"), "n7");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from(42usize);
+        assert_eq!(e.index(), 42);
+        assert_eq!(format!("{e}"), "e42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+    }
+}

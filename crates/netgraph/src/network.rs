@@ -1,0 +1,506 @@
+//! The flow network `G = (V, E)` with capacities and failure probabilities.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, NodeId};
+
+/// Whether links are one-way (directed) or two-way (undirected).
+///
+/// An undirected link of capacity `c` can carry up to `c` units in either
+/// direction (standard undirected max-flow semantics). P2P overlay links are
+/// typically modelled as directed (upload direction), while physical network
+/// reliability literature often uses undirected links; both are supported.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum GraphKind {
+    /// Links carry flow only from `src` to `dst`.
+    Directed,
+    /// Links carry flow in either direction.
+    Undirected,
+}
+
+/// A link `e ∈ E` with capacity `c(e)` and failure probability `p(e)`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// Tail node (source endpoint for directed links).
+    pub src: NodeId,
+    /// Head node (sink endpoint for directed links).
+    pub dst: NodeId,
+    /// Integral capacity `c(e)` in unit sub-streams.
+    pub capacity: u64,
+    /// Failure probability `p(e) ∈ [0, 1)`; the link is *up* with
+    /// probability `1 − p(e)`, independently of every other link.
+    pub fail_prob: f64,
+}
+
+/// An alive-link configuration over the first `len ≤ 64` edges of a network.
+///
+/// Bit `i` set means edge `i` is alive (did **not** fail). This is the compact
+/// representation used when enumerating the `2^|E|` failure configurations of
+/// the naive algorithm (Fig. 1) and the `2^{|E_c|}` per-component
+/// configurations of Section III-C. Enumeration deliberately refuses networks
+/// with more than 64 enumerable edges — long before that bound the running
+/// time, not the representation, is the binding constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EdgeMask {
+    bits: u64,
+    len: u32,
+}
+
+impl EdgeMask {
+    /// Maximum number of edges an `EdgeMask` can describe.
+    pub const MAX_EDGES: usize = 64;
+
+    /// Creates a mask over `len` edges from raw bits (extra bits are cleared).
+    ///
+    /// # Panics
+    /// Panics if `len > 64`.
+    #[inline]
+    pub fn from_bits(bits: u64, len: usize) -> Self {
+        assert!(len <= Self::MAX_EDGES, "EdgeMask supports at most 64 edges, got {len}");
+        let keep = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        EdgeMask { bits: bits & keep, len: len as u32 }
+    }
+
+    /// A mask in which every one of the `len` edges is alive.
+    #[inline]
+    pub fn all_alive(len: usize) -> Self {
+        Self::from_bits(u64::MAX, len)
+    }
+
+    /// A mask in which every one of the `len` edges has failed.
+    #[inline]
+    pub fn all_failed(len: usize) -> Self {
+        Self::from_bits(0, len)
+    }
+
+    /// Raw bit representation.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of edges described by this mask.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the mask describes zero edges.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Is edge `i` alive?
+    #[inline]
+    pub fn alive(self, i: usize) -> bool {
+        debug_assert!(i < self.len as usize);
+        self.bits >> i & 1 == 1
+    }
+
+    /// Returns the mask with edge `i` forced alive.
+    #[inline]
+    pub fn with_alive(self, i: usize) -> Self {
+        debug_assert!(i < self.len as usize);
+        EdgeMask { bits: self.bits | 1 << i, len: self.len }
+    }
+
+    /// Returns the mask with edge `i` forced failed.
+    #[inline]
+    pub fn with_failed(self, i: usize) -> Self {
+        debug_assert!(i < self.len as usize);
+        EdgeMask { bits: self.bits & !(1 << i), len: self.len }
+    }
+
+    /// Number of alive edges.
+    #[inline]
+    pub fn alive_count(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Iterates over the indices of alive edges in increasing order.
+    pub fn iter_alive(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(b)
+        })
+    }
+
+    /// True when every edge alive in `self` is also alive in `other`.
+    #[inline]
+    pub fn is_subset(self, other: EdgeMask) -> bool {
+        self.bits & !other.bits == 0
+    }
+}
+
+/// The flow network `G = (V, E)`.
+///
+/// Nodes are implicit (`0..node_count`); edges are stored in insertion order,
+/// which fixes the failure-configuration numbering used throughout the
+/// reliability algorithms.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Network {
+    kind: GraphKind,
+    node_count: usize,
+    edges: Vec<Edge>,
+}
+
+impl Network {
+    /// Directionality of the network's links.
+    #[inline]
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with identifier `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Iterates over `(EdgeId, &Edge)` pairs.
+    pub fn edge_refs(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::from(i), e))
+    }
+
+    /// Checks that `n` names an existing node.
+    pub fn check_node(&self, n: NodeId) -> Result<(), GraphError> {
+        if n.index() < self.node_count {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { node: n, node_count: self.node_count })
+        }
+    }
+
+    /// The probability of the failure configuration `mask` over this
+    /// network's edges: `Π_{alive} (1 − p(e)) · Π_{failed} p(e)`.
+    ///
+    /// # Panics
+    /// Panics if `mask.len() != self.edge_count()`.
+    pub fn config_probability(&self, mask: EdgeMask) -> f64 {
+        assert_eq!(mask.len(), self.edges.len(), "mask length must equal edge count");
+        let mut p = 1.0;
+        for (i, e) in self.edges.iter().enumerate() {
+            p *= if mask.alive(i) { 1.0 - e.fail_prob } else { e.fail_prob };
+        }
+        p
+    }
+
+    /// Sum of all edge capacities incident to `n` (an upper bound on the flow
+    /// through `n`, used for quick infeasibility checks).
+    pub fn incident_capacity(&self, n: NodeId) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| e.src == n || e.dst == n)
+            .map(|e| e.capacity)
+            .sum()
+    }
+
+    /// Extracts the subnetwork induced by `nodes` (a sorted, deduplicated node
+    /// list), keeping every edge whose **both** endpoints are in `nodes` and
+    /// that is alive in `edge_filter` (pass `None` to keep all such edges).
+    ///
+    /// Returns the subnetwork together with the node mapping
+    /// (`old NodeId → new NodeId`) and, for each new edge, its old `EdgeId`.
+    pub fn induced(
+        &self,
+        nodes: &[NodeId],
+        edge_filter: Option<&crate::bitset::BitSet>,
+    ) -> (Network, NodeMap, Vec<EdgeId>) {
+        let mut to_new = vec![None; self.node_count];
+        for (new, &old) in nodes.iter().enumerate() {
+            to_new[old.index()] = Some(NodeId::from(new));
+        }
+        let mut edges = Vec::new();
+        let mut edge_origin = Vec::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            if let Some(f) = edge_filter {
+                if !f.contains(i) {
+                    continue;
+                }
+            }
+            if let (Some(ns), Some(nd)) = (to_new[e.src.index()], to_new[e.dst.index()]) {
+                edges.push(Edge { src: ns, dst: nd, ..*e });
+                edge_origin.push(EdgeId::from(i));
+            }
+        }
+        let net = Network { kind: self.kind, node_count: nodes.len(), edges };
+        (net, NodeMap { to_new }, edge_origin)
+    }
+}
+
+/// Mapping from the node ids of a parent network to an induced subnetwork.
+#[derive(Clone, Debug)]
+pub struct NodeMap {
+    to_new: Vec<Option<NodeId>>,
+}
+
+impl NodeMap {
+    /// The new id of `old`, or `None` if it was not kept.
+    #[inline]
+    pub fn get(&self, old: NodeId) -> Option<NodeId> {
+        self.to_new.get(old.index()).copied().flatten()
+    }
+}
+
+/// Incremental builder for [`Network`].
+///
+/// ```
+/// use netgraph::{NetworkBuilder, GraphKind, NodeId};
+/// let mut b = NetworkBuilder::new(GraphKind::Directed);
+/// let s = b.add_node();
+/// let t = b.add_node();
+/// b.add_edge(s, t, 3, 0.1).unwrap();
+/// let net = b.build();
+/// assert_eq!(net.node_count(), 2);
+/// assert_eq!(net.edge_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    kind: GraphKind,
+    node_count: usize,
+    edges: Vec<Edge>,
+}
+
+impl NetworkBuilder {
+    /// Starts an empty network of the given directionality.
+    pub fn new(kind: GraphKind) -> Self {
+        NetworkBuilder { kind, node_count: 0, edges: Vec::new() }
+    }
+
+    /// Starts a network with `n` pre-allocated nodes.
+    pub fn with_nodes(kind: GraphKind, n: usize) -> Self {
+        NetworkBuilder { kind, node_count: n, edges: Vec::new() }
+    }
+
+    /// Adds one node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from(self.node_count);
+        self.node_count += 1;
+        id
+    }
+
+    /// Adds `n` nodes and returns their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Current number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Current number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a link from `src` to `dst` with capacity `capacity` and failure
+    /// probability `fail_prob ∈ [0, 1)`; returns its id.
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: u64,
+        fail_prob: f64,
+    ) -> Result<EdgeId, GraphError> {
+        if src.index() >= self.node_count {
+            return Err(GraphError::NodeOutOfRange { node: src, node_count: self.node_count });
+        }
+        if dst.index() >= self.node_count {
+            return Err(GraphError::NodeOutOfRange { node: dst, node_count: self.node_count });
+        }
+        if !(0.0..1.0).contains(&fail_prob) {
+            return Err(GraphError::InvalidProbability {
+                edge: EdgeId::from(self.edges.len()),
+                prob: fail_prob,
+            });
+        }
+        let id = EdgeId::from(self.edges.len());
+        self.edges.push(Edge { src, dst, capacity, fail_prob });
+        Ok(id)
+    }
+
+    /// Adds a perfectly reliable link (`p = 0`).
+    pub fn add_perfect_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: u64,
+    ) -> Result<EdgeId, GraphError> {
+        self.add_edge(src, dst, capacity, 0.0)
+    }
+
+    /// Finalizes the network.
+    pub fn build(self) -> Network {
+        Network { kind: self.kind, node_count: self.node_count, edges: self.edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_net() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let s = b.add_node();
+        let t = b.add_node();
+        b.add_edge(s, t, 2, 0.25).unwrap();
+        b.add_edge(s, t, 1, 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_basic() {
+        let net = two_node_net();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.edge_count(), 2);
+        assert_eq!(net.edge(EdgeId(0)).capacity, 2);
+        assert_eq!(net.kind(), GraphKind::Directed);
+    }
+
+    #[test]
+    fn builder_rejects_bad_nodes() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let s = b.add_node();
+        let err = b.add_edge(s, NodeId(5), 1, 0.1).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_bad_probability() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let s = b.add_node();
+        let t = b.add_node();
+        assert!(matches!(
+            b.add_edge(s, t, 1, 1.0),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(s, t, 1, -0.1),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(s, t, 1, f64::NAN),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(b.add_edge(s, t, 1, 0.0).is_ok());
+    }
+
+    #[test]
+    fn edge_mask_basics() {
+        let m = EdgeMask::from_bits(0b101, 3);
+        assert!(m.alive(0) && !m.alive(1) && m.alive(2));
+        assert_eq!(m.alive_count(), 2);
+        assert_eq!(m.iter_alive().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(m.with_failed(0).bits(), 0b100);
+        assert_eq!(m.with_alive(1).bits(), 0b111);
+        assert!(m.is_subset(EdgeMask::all_alive(3)));
+        assert!(!EdgeMask::all_alive(3).is_subset(m));
+    }
+
+    #[test]
+    fn edge_mask_trims_extra_bits() {
+        let m = EdgeMask::from_bits(u64::MAX, 3);
+        assert_eq!(m.bits(), 0b111);
+        assert_eq!(EdgeMask::all_alive(64).alive_count(), 64);
+        assert_eq!(EdgeMask::all_failed(5).alive_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn edge_mask_rejects_len_over_64() {
+        EdgeMask::from_bits(0, 65);
+    }
+
+    #[test]
+    fn config_probability_products() {
+        let net = two_node_net();
+        // p(e0)=0.25, p(e1)=0.5
+        let both = EdgeMask::all_alive(2);
+        assert!((net.config_probability(both) - 0.75 * 0.5).abs() < 1e-15);
+        let none = EdgeMask::all_failed(2);
+        assert!((net.config_probability(none) - 0.25 * 0.5).abs() < 1e-15);
+        let first = EdgeMask::from_bits(0b01, 2);
+        assert!((net.config_probability(first) - 0.75 * 0.5).abs() < 1e-15);
+        let second = EdgeMask::from_bits(0b10, 2);
+        assert!((net.config_probability(second) - 0.25 * 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn config_probabilities_sum_to_one() {
+        let net = two_node_net();
+        let total: f64 = (0u64..4)
+            .map(|bits| net.config_probability(EdgeMask::from_bits(bits, 2)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subnetwork() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap(); // kept
+        b.add_edge(n[1], n[2], 2, 0.2).unwrap(); // dropped (n2 not kept)
+        b.add_edge(n[0], n[3], 3, 0.3).unwrap(); // kept
+        let net = b.build();
+        let (sub, map, origin) = net.induced(&[n[0], n[1], n[3]], None);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(origin, vec![EdgeId(0), EdgeId(2)]);
+        assert_eq!(map.get(n[0]), Some(NodeId(0)));
+        assert_eq!(map.get(n[2]), None);
+        assert_eq!(sub.edge(EdgeId(1)).dst, NodeId(2)); // n3 renumbered
+        assert_eq!(sub.edge(EdgeId(1)).capacity, 3);
+    }
+
+    #[test]
+    fn induced_with_edge_filter() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[1], 2, 0.2).unwrap();
+        let net = b.build();
+        let mut keep = crate::bitset::BitSet::new(2);
+        keep.insert(1);
+        let (sub, _, origin) = net.induced(&[n[0], n[1]], Some(&keep));
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(origin, vec![EdgeId(1)]);
+        assert_eq!(sub.edge(EdgeId(0)).capacity, 2);
+    }
+
+    #[test]
+    fn incident_capacity_sums_both_directions() {
+        let net = two_node_net();
+        assert_eq!(net.incident_capacity(NodeId(0)), 3);
+        assert_eq!(net.incident_capacity(NodeId(1)), 3);
+    }
+}

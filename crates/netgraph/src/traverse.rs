@@ -1,0 +1,98 @@
+//! BFS reachability under an alive-edge mask.
+
+use std::collections::VecDeque;
+
+use crate::adjacency::Adjacency;
+use crate::bitset::BitSet;
+use crate::ids::NodeId;
+use crate::network::Network;
+
+/// Returns the set of nodes reachable from `start` using only edges for which
+/// `edge_alive` returns true, following directions per the adjacency given.
+pub fn bfs_reachable(
+    adj: &Adjacency,
+    start: NodeId,
+    mut edge_alive: impl FnMut(usize) -> bool,
+) -> BitSet {
+    let mut seen = BitSet::new(adj.node_count());
+    let mut queue = VecDeque::new();
+    seen.insert(start.index());
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for &(e, v) in adj.out_edges(u) {
+            if !seen.contains(v.index()) && edge_alive(e.index()) {
+                seen.insert(v.index());
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// True when `t` is reachable from `s` in `net` using only edges alive in
+/// `alive` (`None` means every edge is alive). Directionality follows the
+/// network kind.
+pub fn is_connected_st(net: &Network, s: NodeId, t: NodeId, alive: Option<&BitSet>) -> bool {
+    if s == t {
+        return true;
+    }
+    let adj = Adjacency::new(net);
+    let reach = bfs_reachable(&adj, s, |e| alive.is_none_or(|a| a.contains(e)));
+    reach.contains(t.index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{GraphKind, NetworkBuilder};
+
+    fn path3() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn reaches_along_path() {
+        let net = path3();
+        assert!(is_connected_st(&net, NodeId(0), NodeId(2), None));
+        assert!(!is_connected_st(&net, NodeId(2), NodeId(0), None));
+    }
+
+    #[test]
+    fn respects_alive_mask() {
+        let net = path3();
+        let mut alive = BitSet::new(2);
+        alive.insert(0);
+        assert!(!is_connected_st(&net, NodeId(0), NodeId(2), Some(&alive)));
+        alive.insert(1);
+        assert!(is_connected_st(&net, NodeId(0), NodeId(2), Some(&alive)));
+    }
+
+    #[test]
+    fn undirected_reaches_backwards() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        let net = b.build();
+        assert!(is_connected_st(&net, NodeId(1), NodeId(0), None));
+    }
+
+    #[test]
+    fn source_equals_sink() {
+        let net = path3();
+        assert!(is_connected_st(&net, NodeId(1), NodeId(1), None));
+    }
+
+    #[test]
+    fn bfs_visits_all_reachable() {
+        let net = path3();
+        let adj = Adjacency::new(&net);
+        let seen = bfs_reachable(&adj, NodeId(0), |_| true);
+        assert_eq!(seen.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let seen = bfs_reachable(&adj, NodeId(1), |_| true);
+        assert_eq!(seen.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

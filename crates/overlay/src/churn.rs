@@ -1,0 +1,96 @@
+//! Peer churn → link failure probability.
+
+/// A participating peer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Peer {
+    /// Upload capacity in unit sub-streams the peer can forward concurrently.
+    pub upload_capacity: u64,
+    /// Mean session length, in seconds (exponentially distributed sessions).
+    pub mean_session_secs: f64,
+}
+
+impl Peer {
+    /// A peer with the given upload capacity and mean session time.
+    pub fn new(upload_capacity: u64, mean_session_secs: f64) -> Self {
+        assert!(mean_session_secs > 0.0, "mean session must be positive");
+        Peer { upload_capacity, mean_session_secs }
+    }
+}
+
+/// Maps peer churn onto per-connection failure probabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnModel {
+    /// Length of the streaming window being analysed, in seconds.
+    pub window_secs: f64,
+    /// Residual connection loss applied even to infinitely stable peers
+    /// (transport-level failures), in `[0, 1)`.
+    pub base_loss: f64,
+}
+
+impl ChurnModel {
+    /// A model for a streaming window of the given length with no residual
+    /// transport loss.
+    pub fn new(window_secs: f64) -> Self {
+        assert!(window_secs >= 0.0);
+        ChurnModel { window_secs, base_loss: 0.0 }
+    }
+
+    /// Adds residual connection loss.
+    pub fn with_base_loss(mut self, base_loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&base_loss));
+        self.base_loss = base_loss;
+        self
+    }
+
+    /// Failure probability of a connection uploaded by `peer` during the
+    /// window: `1 − (1 − base_loss) · exp(−window / mean_session)`.
+    ///
+    /// The result is strictly below 1, as the paper requires of `p(e)`.
+    pub fn link_failure_prob(&self, peer: &Peer) -> f64 {
+        let survive = (1.0 - self.base_loss) * (-self.window_secs / peer.mean_session_secs).exp();
+        (1.0 - survive).min(1.0 - f64::EPSILON)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_peer_short_window() {
+        let m = ChurnModel::new(60.0);
+        let stable = Peer::new(4, 3600.0);
+        let p = m.link_failure_prob(&stable);
+        assert!((p - (1.0 - (-60.0f64 / 3600.0).exp())).abs() < 1e-12);
+        assert!(p < 0.02);
+    }
+
+    #[test]
+    fn flaky_peer_fails_more() {
+        let m = ChurnModel::new(60.0);
+        let stable = Peer::new(4, 3600.0);
+        let flaky = Peer::new(4, 30.0);
+        assert!(m.link_failure_prob(&flaky) > m.link_failure_prob(&stable));
+        assert!(m.link_failure_prob(&flaky) > 0.8);
+    }
+
+    #[test]
+    fn zero_window_only_base_loss() {
+        let m = ChurnModel::new(0.0).with_base_loss(0.05);
+        let p = m.link_failure_prob(&Peer::new(1, 100.0));
+        assert!((p - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_stays_below_one() {
+        let m = ChurnModel::new(1e9);
+        let p = m.link_failure_prob(&Peer::new(1, 1e-3));
+        assert!(p < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_session() {
+        Peer::new(1, 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Hybrid tree–mesh overlay (mTreebone style, the paper’s reference \[16\]).
+//!
+//! A *treebone* of the most stable peers pushes the stream; every peer also
+//! keeps a few random mesh links as auxiliary pull paths that take over when
+//! a backbone link fails. Flow-reliability analysis captures exactly this
+//! interplay: the mesh links raise the max-flow redundancy around the fragile
+//! backbone.
+
+use netgraph::{GraphKind, NetworkBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::churn::{ChurnModel, Peer};
+use crate::scenario::StreamingScenario;
+
+/// Builds a treebone + mesh hybrid.
+///
+/// The `backbone_fraction` most stable peers (by mean session time, at least
+/// one) form a chain backbone fed by the server and carrying the full rate;
+/// every remaining peer attaches to the backbone round-robin. On top, every
+/// peer adds `mesh_links` pull links from random earlier peers (capacity 1
+/// each). Deterministic per `seed`.
+pub fn hybrid_tree_mesh(
+    peers: &[Peer],
+    backbone_fraction: f64,
+    mesh_links: usize,
+    stream_rate: u64,
+    churn: &ChurnModel,
+    seed: u64,
+) -> StreamingScenario {
+    assert!(!peers.is_empty());
+    assert!((0.0..=1.0).contains(&backbone_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Directed);
+    let server = b.add_node();
+    let server_peer = Peer::new(u64::MAX, 1e18);
+    let nodes: Vec<_> = (0..peers.len()).map(|_| b.add_node()).collect();
+
+    // stability ranking: longest mean session first
+    let mut by_stability: Vec<usize> = (0..peers.len()).collect();
+    by_stability.sort_by(|&a, &z| {
+        peers[z]
+            .mean_session_secs
+            .partial_cmp(&peers[a].mean_session_secs)
+            .expect("session times are finite")
+    });
+    let backbone_len =
+        ((peers.len() as f64 * backbone_fraction).ceil() as usize).clamp(1, peers.len());
+    let backbone = &by_stability[..backbone_len];
+
+    // treebone: server -> chain of stable peers, full rate
+    let p = churn.link_failure_prob(&server_peer);
+    b.add_edge(server, nodes[backbone[0]], stream_rate, p).expect("valid edge");
+    for w in backbone.windows(2) {
+        let p = churn.link_failure_prob(&peers[w[0]]);
+        b.add_edge(nodes[w[0]], nodes[w[1]], stream_rate, p).expect("valid edge");
+    }
+    // leaves hang off the backbone round-robin, full rate
+    for (slot, &i) in by_stability[backbone_len..].iter().enumerate() {
+        let host = backbone[slot % backbone_len];
+        let p = churn.link_failure_prob(&peers[host]);
+        b.add_edge(nodes[host], nodes[i], stream_rate, p).expect("valid edge");
+    }
+    // auxiliary mesh links: every peer pulls from random earlier peers
+    for i in 1..peers.len() {
+        let mut candidates: Vec<usize> = (0..i).collect();
+        candidates.shuffle(&mut rng);
+        for &up in candidates.iter().take(mesh_links) {
+            let cap = peers[up].upload_capacity.min(stream_rate).max(1);
+            let p = churn.link_failure_prob(&peers[up]);
+            b.add_edge(nodes[up], nodes[i], cap.min(1), p).expect("valid edge");
+        }
+    }
+    StreamingScenario { net: b.build(), server, peers: nodes, stream_rate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxflow::{build_flow, SolverKind};
+
+    fn peers(n: usize) -> Vec<Peer> {
+        // alternating stable/flaky population
+        (0..n)
+            .map(|i| Peer::new(3, if i % 2 == 0 { 1800.0 } else { 120.0 }))
+            .collect()
+    }
+
+    #[test]
+    fn backbone_uses_stable_peers() {
+        let sc = hybrid_tree_mesh(&peers(6), 0.5, 0, 2, &ChurnModel::new(60.0), 1);
+        // the server's successor is the most stable peer (index 0)
+        let first = sc
+            .net
+            .edges()
+            .iter()
+            .find(|e| e.src == sc.server)
+            .expect("server uploads");
+        assert_eq!(first.dst, sc.peers[0]);
+    }
+
+    #[test]
+    fn every_peer_reachable_at_full_rate() {
+        let sc = hybrid_tree_mesh(&peers(7), 0.4, 2, 2, &ChurnModel::new(60.0), 3);
+        for &p in &sc.peers {
+            let mut nf = build_flow(&sc.net, sc.server, p);
+            nf.apply_all_alive();
+            let f = SolverKind::Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
+            assert!(f >= 2, "peer {p} gets the full stream, got {f}");
+        }
+    }
+
+    #[test]
+    fn mesh_links_add_redundancy() {
+        let bare = hybrid_tree_mesh(&peers(6), 0.5, 0, 1, &ChurnModel::new(60.0), 5);
+        let rich = hybrid_tree_mesh(&peers(6), 0.5, 2, 1, &ChurnModel::new(60.0), 5);
+        assert!(rich.net.edge_count() > bare.net.edge_count());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = hybrid_tree_mesh(&peers(6), 0.5, 2, 1, &ChurnModel::new(60.0), 9);
+        let b = hybrid_tree_mesh(&peers(6), 0.5, 2, 1, &ChurnModel::new(60.0), 9);
+        assert_eq!(a.net.edge_count(), b.net.edge_count());
+        for (x, y) in a.net.edges().iter().zip(b.net.edges()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn single_peer_backbone() {
+        let sc = hybrid_tree_mesh(&peers(3), 0.01, 1, 1, &ChurnModel::new(60.0), 2);
+        // ceil(0.03) clamps to one backbone peer hosting everyone
+        assert!(sc.net.edge_count() >= 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! # flowrel-overlay — P2P streaming overlay construction
+//!
+//! The paper's motivating domain (Sections I–II): video streaming overlays
+//! whose delivery paths fail as peers churn. This crate builds the three
+//! classic overlay shapes as [`netgraph::Network`]s ready for reliability
+//! analysis:
+//!
+//! * [`tree::single_tree`] — a push tree rooted at the media server
+//!   (SCRIBE / ESM style): simple, but every interior link is a bottleneck;
+//! * [`multitree::multi_tree`] — the stream split into `d` unit sub-streams,
+//!   each pushed down its own tree with rotated interior sets
+//!   (SplitStream / CoopNet style): each peer is interior in one tree and a
+//!   leaf in the others, so no single peer failure removes more than one
+//!   sub-stream;
+//! * [`mesh::random_mesh`] — a pull mesh (CoolStreaming / PRIME style): each
+//!   peer links to a few random uploaders;
+//! * [`hybrid::hybrid_tree_mesh`] — a treebone of stable peers plus auxiliary
+//!   mesh links (mTreebone style, the paper’s reference \[16\]).
+//!
+//! Link failure probabilities come from a peer [`churn::ChurnModel`]: session
+//! lengths are exponential, so the probability a connection from peer `u`
+//! survives a streaming window `w` is `exp(−w / mean_session(u))`. The
+//! paper's model requires *independent* link failures, so the churn model is
+//! applied per connection (connection-level loss), not per peer — a
+//! substitution documented in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod hybrid;
+pub mod mesh;
+pub mod multitree;
+pub mod scenario;
+pub mod tree;
+
+pub use churn::{ChurnModel, Peer};
+pub use hybrid::hybrid_tree_mesh;
+pub use mesh::random_mesh;
+pub use multitree::multi_tree;
+pub use scenario::StreamingScenario;
+pub use tree::single_tree;

@@ -1,0 +1,102 @@
+//! Random pull-mesh overlay (CoolStreaming / PRIME style).
+
+use netgraph::{GraphKind, NetworkBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::churn::{ChurnModel, Peer};
+use crate::scenario::StreamingScenario;
+
+/// Builds a random mesh: each peer pulls from `neighbors` distinct uploaders
+/// chosen uniformly among the server and the *earlier* peers (so the overlay
+/// is acyclic and every peer is reachable, as in a join-order bootstrap).
+/// Link capacity is the uploader's per-connection share
+/// (`upload_capacity.min(stream_rate)` for peers, the full rate for the
+/// server); failure probability comes from the uploader's churn.
+///
+/// Deterministic per `seed`.
+pub fn random_mesh(
+    peers: &[Peer],
+    neighbors: usize,
+    stream_rate: u64,
+    churn: &ChurnModel,
+    seed: u64,
+) -> StreamingScenario {
+    assert!(neighbors >= 1, "each peer needs at least one uploader");
+    assert!(!peers.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Directed);
+    let server = b.add_node();
+    // the server never churns, but its connections still suffer the model's
+    // residual transport loss (same convention as the tree builders)
+    let server_peer = Peer::new(u64::MAX, 1e18);
+    let nodes: Vec<_> = (0..peers.len()).map(|_| b.add_node()).collect();
+    for (i, &me) in nodes.iter().enumerate() {
+        // candidate uploaders: the server plus peers that joined earlier
+        let mut candidates: Vec<usize> = (0..=i).collect(); // 0 = server, j>0 = peer j-1
+        candidates.shuffle(&mut rng);
+        for &c in candidates.iter().take(neighbors.min(candidates.len())) {
+            if c == 0 {
+                let p = churn.link_failure_prob(&server_peer);
+                b.add_edge(server, me, stream_rate, p).expect("valid edge");
+            } else {
+                let uploader = c - 1;
+                let cap = peers[uploader].upload_capacity.min(stream_rate);
+                let p = churn.link_failure_prob(&peers[uploader]);
+                b.add_edge(nodes[uploader], me, cap, p).expect("valid edge");
+            }
+        }
+    }
+    StreamingScenario { net: b.build(), server, peers: nodes, stream_rate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxflow::{build_flow, SolverKind};
+
+    fn peers(n: usize) -> Vec<Peer> {
+        (0..n).map(|i| Peer::new(2, 300.0 + 50.0 * i as f64)).collect()
+    }
+
+    #[test]
+    fn mesh_is_deterministic_per_seed() {
+        let a = random_mesh(&peers(6), 2, 2, &ChurnModel::new(60.0), 9);
+        let b = random_mesh(&peers(6), 2, 2, &ChurnModel::new(60.0), 9);
+        assert_eq!(a.net.edge_count(), b.net.edge_count());
+        for (x, y) in a.net.edges().iter().zip(b.net.edges()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn every_peer_is_reachable() {
+        let sc = random_mesh(&peers(8), 2, 1, &ChurnModel::new(60.0), 3);
+        for &p in &sc.peers {
+            let mut nf = build_flow(&sc.net, sc.server, p);
+            nf.apply_all_alive();
+            let f = SolverKind::Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
+            assert!(f >= 1, "peer {p} unreachable");
+        }
+    }
+
+    #[test]
+    fn neighbor_count_bounds_in_degree() {
+        let sc = random_mesh(&peers(8), 3, 1, &ChurnModel::new(60.0), 5);
+        let mut indeg = vec![0usize; sc.net.node_count()];
+        for e in sc.net.edges() {
+            indeg[e.dst.index()] += 1;
+        }
+        for &p in &sc.peers {
+            assert!(indeg[p.index()] <= 3);
+            assert!(indeg[p.index()] >= 1);
+        }
+    }
+
+    #[test]
+    fn first_peer_always_pulls_from_server() {
+        let sc = random_mesh(&peers(4), 2, 1, &ChurnModel::new(60.0), 1);
+        assert!(sc.net.edges().iter().any(|e| e.src == sc.server && e.dst == sc.peers[0]));
+    }
+}

@@ -1,0 +1,113 @@
+//! Multi-tree striped overlay (SplitStream / CoopNet style).
+//!
+//! The stream is split into `d` unit-rate sub-streams; sub-stream `g` is
+//! pushed down its own tree whose *interior* nodes are the peers with index
+//! `≡ g (mod d)`. Every peer is interior in exactly one tree and a leaf in
+//! the others, so one peer departure can remove at most one sub-stream from
+//! any subscriber — the fault-tolerance argument of the paper's references \[3\] and \[14\].
+
+use netgraph::{GraphKind, NetworkBuilder};
+
+use crate::churn::{ChurnModel, Peer};
+use crate::scenario::StreamingScenario;
+
+/// Builds the union of `d = stream_rate` striped trees over `peers`.
+///
+/// In tree `g`, the interior peers (indices `g, g+d, g+2d, …`) form a chain
+/// fed by the server; every other peer attaches as a leaf to an interior
+/// peer, round-robin. All links have capacity 1 and fail with the uploader's
+/// churn probability.
+///
+/// # Panics
+/// Panics when `stream_rate` is 0 or exceeds the number of peers.
+pub fn multi_tree(peers: &[Peer], stream_rate: u64, churn: &ChurnModel) -> StreamingScenario {
+    let d = stream_rate as usize;
+    assert!(d >= 1, "stream rate must be at least 1");
+    assert!(d <= peers.len(), "need at least one interior peer per sub-stream");
+    let mut b = NetworkBuilder::new(GraphKind::Directed);
+    let server = b.add_node();
+    let nodes: Vec<_> = (0..peers.len()).map(|_| b.add_node()).collect();
+    for g in 0..d {
+        let interior: Vec<usize> = (g..peers.len()).step_by(d).collect();
+        // server feeds the head of the interior chain
+        b.add_edge(server, nodes[interior[0]], 1, 0.0).expect("valid edge");
+        // interior chain
+        for w in interior.windows(2) {
+            let p = churn.link_failure_prob(&peers[w[0]]);
+            b.add_edge(nodes[w[0]], nodes[w[1]], 1, p).expect("valid edge");
+        }
+        // leaves: everyone not interior in this tree, attached round-robin
+        let mut slot = 0usize;
+        for (i, &leaf) in nodes.iter().enumerate() {
+            if i % d == g {
+                continue;
+            }
+            let host = interior[slot % interior.len()];
+            slot += 1;
+            let p = churn.link_failure_prob(&peers[host]);
+            b.add_edge(nodes[host], leaf, 1, p).expect("valid edge");
+        }
+    }
+    StreamingScenario { net: b.build(), server, peers: nodes, stream_rate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxflow::{build_flow, SolverKind};
+
+    fn peers(n: usize) -> Vec<Peer> {
+        (0..n).map(|i| Peer::new(4, 600.0 + 10.0 * i as f64)).collect()
+    }
+
+    #[test]
+    fn every_peer_receives_all_substreams() {
+        let sc = multi_tree(&peers(6), 2, &ChurnModel::new(60.0));
+        for &p in &sc.peers {
+            let mut nf = build_flow(&sc.net, sc.server, p);
+            nf.apply_all_alive();
+            let f = SolverKind::Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
+            assert!(f >= 2, "peer {p} receives both sub-streams, got {f}");
+        }
+    }
+
+    #[test]
+    fn edge_count_is_d_trees() {
+        let n = 6;
+        let d = 2;
+        let sc = multi_tree(&peers(n), d as u64, &ChurnModel::new(60.0));
+        // each tree spans server + n peers: n links; d trees total
+        assert_eq!(sc.net.edge_count(), d * n);
+    }
+
+    #[test]
+    fn interior_sets_are_disjoint() {
+        let n = 9;
+        let d = 3;
+        let sc = multi_tree(&peers(n), d, &ChurnModel::new(60.0));
+        // a peer uploads only in the tree where it is interior: its out-degree
+        // as uploader must touch only one stripe; structurally, every peer has
+        // at least one outgoing link only if it hosts something
+        let mut uploads = vec![0usize; sc.net.node_count()];
+        for e in sc.net.edges() {
+            uploads[e.src.index()] += 1;
+        }
+        // with 9 peers and 3 stripes, each stripe has 3 interior peers hosting
+        // 2 chain links... at minimum, no peer's upload role explodes
+        for (&node, count) in sc.peers.iter().zip(uploads.iter().skip(1)) {
+            assert!(*count <= 2 + n / d as usize, "peer {node} over-uploads: {count}");
+        }
+    }
+
+    #[test]
+    fn single_stripe_degenerates_to_chain_tree() {
+        let sc = multi_tree(&peers(4), 1, &ChurnModel::new(60.0));
+        assert_eq!(sc.net.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "interior peer")]
+    fn too_many_stripes_rejected() {
+        multi_tree(&peers(2), 3, &ChurnModel::new(60.0));
+    }
+}

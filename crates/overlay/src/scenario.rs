@@ -1,0 +1,65 @@
+//! A ready-to-analyse streaming scenario.
+
+use netgraph::{Network, NodeId};
+
+/// An overlay lowered to a flow network, with the roles needed to pose the
+/// reliability question "can subscriber `t` still receive the full stream?".
+#[derive(Clone, Debug)]
+pub struct StreamingScenario {
+    /// The overlay as a capacitated, failure-prone flow network.
+    pub net: Network,
+    /// The media server (flow source).
+    pub server: NodeId,
+    /// Node id of each peer, in peer order (the server is not a peer).
+    pub peers: Vec<NodeId>,
+    /// Stream bit-rate in unit sub-streams.
+    pub stream_rate: u64,
+}
+
+impl StreamingScenario {
+    /// The flow demand for delivering the full stream to `subscriber`.
+    pub fn demand_for(&self, subscriber: NodeId) -> flow_demand::FlowDemandLike {
+        flow_demand::FlowDemandLike {
+            source: self.server,
+            sink: subscriber,
+            demand: self.stream_rate,
+        }
+    }
+}
+
+/// A tiny mirror of `flowrel_core::FlowDemand` so this crate does not depend
+/// on the core crate (the dependency points the other way in examples).
+pub mod flow_demand {
+    use netgraph::NodeId;
+
+    /// Source / sink / rate triple, convertible by callers into their demand
+    /// type of choice.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct FlowDemandLike {
+        /// Flow source (the media server).
+        pub source: NodeId,
+        /// Flow sink (the subscriber).
+        pub sink: NodeId,
+        /// Demanded bit-rate.
+        pub demand: u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    #[test]
+    fn demand_roles() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let s = b.add_node();
+        let p = b.add_node();
+        b.add_edge(s, p, 2, 0.1).unwrap();
+        let sc = StreamingScenario { net: b.build(), server: s, peers: vec![p], stream_rate: 2 };
+        let d = sc.demand_for(p);
+        assert_eq!(d.source, s);
+        assert_eq!(d.sink, p);
+        assert_eq!(d.demand, 2);
+    }
+}

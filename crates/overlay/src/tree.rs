@@ -1,0 +1,97 @@
+//! Single-tree push overlay (ESM / SCRIBE style).
+
+use netgraph::{GraphKind, NetworkBuilder};
+
+use crate::churn::{ChurnModel, Peer};
+use crate::scenario::StreamingScenario;
+
+/// Builds a complete `fanout`-ary push tree over `peers` (in order: peer 0 is
+/// the root's first child, peers fill the tree level by level). Every link
+/// carries the whole stream (`capacity = stream_rate`) and fails with the
+/// uploader's churn probability.
+///
+/// The media server is node 0 and uploads to the first `fanout` peers.
+pub fn single_tree(
+    peers: &[Peer],
+    fanout: usize,
+    stream_rate: u64,
+    churn: &ChurnModel,
+) -> StreamingScenario {
+    assert!(fanout >= 1, "fanout must be at least 1");
+    assert!(!peers.is_empty(), "need at least one peer");
+    let mut b = NetworkBuilder::new(GraphKind::Directed);
+    let server = b.add_node();
+    let nodes: Vec<_> = (0..peers.len()).map(|_| b.add_node()).collect();
+    let server_peer = Peer::new(u64::MAX, f64::INFINITY.min(1e18)); // server never churns
+    for (i, &child) in nodes.iter().enumerate() {
+        // parent of peer i in the level-filled tree: the server for the first
+        // `fanout` peers, otherwise peer (i - 1) / fanout... careful: with the
+        // server as root, peer i's parent index is (i / fanout) - 1 shifted;
+        // derive from the 1-based heap layout including the server as node 0.
+        let heap_pos = i + 1; // server occupies heap position 0
+        let parent_pos = (heap_pos - 1) / fanout;
+        let (parent_node, uploader) = if parent_pos == 0 {
+            (server, &server_peer)
+        } else {
+            (nodes[parent_pos - 1], &peers[parent_pos - 1])
+        };
+        let p = churn.link_failure_prob(uploader);
+        b.add_edge(parent_node, child, stream_rate, p).expect("valid edge");
+    }
+    StreamingScenario { net: b.build(), server, peers: nodes, stream_rate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxflow::{build_flow, SolverKind};
+
+    fn peers(n: usize) -> Vec<Peer> {
+        (0..n).map(|i| Peer::new(2, 600.0 + i as f64)).collect()
+    }
+
+    #[test]
+    fn tree_shape_binary() {
+        let sc = single_tree(&peers(7), 2, 1, &ChurnModel::new(60.0));
+        // 7 peers + server, 7 links (a tree)
+        assert_eq!(sc.net.node_count(), 8);
+        assert_eq!(sc.net.edge_count(), 7);
+        // server uploads to exactly 2 peers
+        let server_out = sc
+            .net
+            .edges()
+            .iter()
+            .filter(|e| e.src == sc.server)
+            .count();
+        assert_eq!(server_out, 2);
+    }
+
+    #[test]
+    fn every_peer_reaches_full_stream() {
+        let sc = single_tree(&peers(7), 2, 3, &ChurnModel::new(60.0));
+        for &p in &sc.peers {
+            let mut nf = build_flow(&sc.net, sc.server, p);
+            nf.apply_all_alive();
+            let f = SolverKind::Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
+            assert_eq!(f, 3, "peer {p} must receive the full stream");
+        }
+    }
+
+    #[test]
+    fn server_links_are_reliable() {
+        let sc = single_tree(&peers(3), 3, 1, &ChurnModel::new(60.0));
+        for e in sc.net.edges().iter().filter(|e| e.src == sc.server) {
+            assert!(e.fail_prob < 1e-12, "server never churns");
+        }
+    }
+
+    #[test]
+    fn deep_chain_with_fanout_one() {
+        let sc = single_tree(&peers(4), 1, 1, &ChurnModel::new(60.0));
+        assert_eq!(sc.net.edge_count(), 4);
+        // path: every non-root link's uploader is the previous peer
+        for (i, e) in sc.net.edges().iter().enumerate().skip(1) {
+            assert_eq!(e.src, sc.peers[i - 1]);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Parameterized network families, deterministic per seed.
+
+use netgraph::{EdgeId, GraphKind, Network, NetworkBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated problem instance: network, demand endpoints, suggested rate.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The network.
+    pub net: Network,
+    /// Source node `s`.
+    pub source: NodeId,
+    /// Sink node `t`.
+    pub sink: NodeId,
+    /// Suggested stream demand `d`.
+    pub demand: u64,
+}
+
+/// Parameters of the [`barbell`] family.
+#[derive(Clone, Copy, Debug)]
+pub struct BarbellParams {
+    /// Nodes per cluster (≥ 2).
+    pub cluster_nodes: usize,
+    /// Extra (non-spanning-tree) links per cluster.
+    pub cluster_extra_edges: usize,
+    /// Bottleneck links between the clusters (`k`).
+    pub cut_links: usize,
+    /// Capacity of each bottleneck link.
+    pub cut_capacity: u64,
+    /// Suggested stream demand.
+    pub demand: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BarbellParams {
+    fn default() -> Self {
+        BarbellParams {
+            cluster_nodes: 4,
+            cluster_extra_edges: 2,
+            cut_links: 2,
+            cut_capacity: 2,
+            demand: 2,
+            seed: 1,
+        }
+    }
+}
+
+fn random_prob(rng: &mut StdRng) -> f64 {
+    // keep probabilities on a coarse dyadic grid so exact validation stays
+    // cheap and the values read nicely in reports
+    rng.gen_range(1..=24) as f64 / 64.0
+}
+
+/// Builds one random connected cluster: a random spanning tree over
+/// `nodes` plus `extra` random chords. Returns the node ids.
+fn random_cluster(
+    b: &mut NetworkBuilder,
+    nodes: usize,
+    extra: usize,
+    cap_range: (u64, u64),
+    rng: &mut StdRng,
+) -> Vec<NodeId> {
+    let ids = b.add_nodes(nodes);
+    for i in 1..nodes {
+        let parent = rng.gen_range(0..i);
+        let cap = rng.gen_range(cap_range.0..=cap_range.1);
+        b.add_edge(ids[parent], ids[i], cap, random_prob(rng)).expect("valid edge");
+    }
+    let mut added = 0;
+    while added < extra && nodes >= 2 {
+        let u = rng.gen_range(0..nodes);
+        let v = rng.gen_range(0..nodes);
+        if u == v {
+            continue; // redraw: the requested edge count is exact
+        }
+        let cap = rng.gen_range(cap_range.0..=cap_range.1);
+        b.add_edge(ids[u], ids[v], cap, random_prob(rng)).expect("valid edge");
+        added += 1;
+    }
+    ids
+}
+
+/// The paper's target topology: two random connected clusters joined by
+/// exactly `cut_links` bottleneck links. The planted cut is, by
+/// construction, a minimal separating set leaving exactly two components.
+///
+/// Returns the instance and the planted bottleneck edge ids.
+pub fn barbell(params: BarbellParams) -> (Instance, Vec<EdgeId>) {
+    assert!(params.cluster_nodes >= 2);
+    assert!(params.cut_links >= 1);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    // cluster capacities at least the demand: with every link alive the
+    // demand is always feasible (tree paths alone carry it), so generated
+    // instances never degenerate to reliability zero
+    let caps = (params.demand.max(1), params.demand.max(1) + 1);
+    let left =
+        random_cluster(&mut b, params.cluster_nodes, params.cluster_extra_edges, caps, &mut rng);
+    let right =
+        random_cluster(&mut b, params.cluster_nodes, params.cluster_extra_edges, caps, &mut rng);
+    let mut cut = Vec::new();
+    for i in 0..params.cut_links {
+        let u = left[rng.gen_range(0..left.len())];
+        let v = right[rng.gen_range(0..right.len())];
+        let _ = i;
+        cut.push(
+            b.add_edge(u, v, params.cut_capacity, random_prob(&mut rng)).expect("valid edge"),
+        );
+    }
+    let instance = Instance {
+        net: b.build(),
+        source: left[0],
+        sink: *right.last().expect("cluster is non-empty"),
+        demand: params.demand,
+    };
+    (instance, cut)
+}
+
+/// A chain of `segments` diamonds joined by bridges (the Fig. 2 family at
+/// scale). Every bridge separates `s` from `t`.
+pub fn bridge_chain(segments: usize, demand: u64, seed: u64) -> Instance {
+    assert!(segments >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let mut prev = b.add_node();
+    let source = prev;
+    for i in 0..segments {
+        let a = b.add_node();
+        let c = b.add_node();
+        let d = b.add_node();
+        b.add_edge(prev, a, demand, random_prob(&mut rng)).expect("valid edge");
+        b.add_edge(prev, c, demand, random_prob(&mut rng)).expect("valid edge");
+        b.add_edge(a, d, demand, random_prob(&mut rng)).expect("valid edge");
+        b.add_edge(c, d, demand, random_prob(&mut rng)).expect("valid edge");
+        if i + 1 < segments {
+            let next = b.add_node();
+            b.add_edge(d, next, demand, random_prob(&mut rng)).expect("valid edge");
+            prev = next;
+        } else {
+            prev = d;
+        }
+    }
+    Instance { net: b.build(), source, sink: prev, demand }
+}
+
+/// A `w × h` grid with unit capacities; `s` top-left, `t` bottom-right.
+pub fn grid(w: usize, h: usize, seed: u64) -> Instance {
+    assert!(w >= 1 && h >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let ids = b.add_nodes(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let me = ids[y * w + x];
+            if x + 1 < w {
+                b.add_edge(me, ids[y * w + x + 1], 1, random_prob(&mut rng))
+                    .expect("valid edge");
+            }
+            if y + 1 < h {
+                b.add_edge(me, ids[(y + 1) * w + x], 1, random_prob(&mut rng))
+                    .expect("valid edge");
+            }
+        }
+    }
+    Instance { net: b.build(), source: ids[0], sink: ids[w * h - 1], demand: 1 }
+}
+
+/// Erdős–Rényi-style multigraph: `m` links drawn uniformly over node pairs
+/// (connectivity not guaranteed — reliability handles disconnection).
+pub fn er_random(n: usize, m: usize, max_cap: u64, seed: u64) -> Instance {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let ids = b.add_nodes(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        if u == v {
+            v = (v + 1) % n;
+        }
+        let cap = rng.gen_range(1..=max_cap.max(1));
+        b.add_edge(ids[u], ids[v], cap, random_prob(&mut rng)).expect("valid edge");
+    }
+    Instance { net: b.build(), source: ids[0], sink: ids[n - 1], demand: 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::connected_components;
+
+    #[test]
+    fn barbell_planted_cut_separates() {
+        let (inst, cut) = barbell(BarbellParams::default());
+        let comps =
+            connected_components(&inst.net, |e| cut.iter().any(|c| c.index() == e));
+        assert_eq!(comps.count(), 2);
+        assert!(!comps.same(inst.source, inst.sink));
+        // without removal: connected
+        let whole = connected_components(&inst.net, |_| false);
+        assert_eq!(whole.count(), 1);
+    }
+
+    #[test]
+    fn barbell_is_deterministic() {
+        let (a, _) = barbell(BarbellParams::default());
+        let (b, _) = barbell(BarbellParams::default());
+        assert_eq!(a.net.edge_count(), b.net.edge_count());
+        for (x, y) in a.net.edges().iter().zip(b.net.edges()) {
+            assert_eq!(x, y);
+        }
+        let (c, _) = barbell(BarbellParams { seed: 99, ..Default::default() });
+        // different seed, different probabilities (overwhelmingly)
+        assert!(a.net.edges().iter().zip(c.net.edges()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn barbell_sizes_scale() {
+        let (inst, cut) = barbell(BarbellParams {
+            cluster_nodes: 6,
+            cluster_extra_edges: 3,
+            cut_links: 3,
+            ..Default::default()
+        });
+        // 2 * (5 tree + up to 3 extra) + 3 cut
+        assert!(inst.net.edge_count() >= 2 * 5 + 3);
+        assert_eq!(cut.len(), 3);
+    }
+
+    #[test]
+    fn bridge_chain_counts() {
+        let inst = bridge_chain(3, 1, 7);
+        assert_eq!(inst.net.edge_count(), 3 * 4 + 2);
+        assert_eq!(netgraph::find_bridges(&inst.net).len(), 2);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let inst = grid(3, 2, 1);
+        assert_eq!(inst.net.node_count(), 6);
+        // horizontal: 2 per row * 2 rows; vertical: 3
+        assert_eq!(inst.net.edge_count(), 7);
+    }
+
+    #[test]
+    fn er_has_no_self_loops() {
+        let inst = er_random(5, 30, 3, 11);
+        assert!(inst.net.edges().iter().all(|e| e.src != e.dst));
+        assert_eq!(inst.net.edge_count(), 30);
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_dyadic_grid() {
+        let (inst, _) = barbell(BarbellParams::default());
+        for e in inst.net.edges() {
+            assert!((0.0..1.0).contains(&e.fail_prob));
+            let scaled = e.fail_prob * 64.0;
+            assert!((scaled - scaled.round()).abs() < 1e-12, "prob on the /64 grid");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # workloads — generators and deterministic paper instances
+//!
+//! Every experiment in EXPERIMENTS.md draws its networks from this crate:
+//!
+//! * [`paper`] — the concrete instances of the paper's figures and examples
+//!   (Fig. 2's bridge graph, the reconstructed Fig. 4 two-bottleneck graph
+//!   with its Fig. 5 configurations, Example 1's assignment workload);
+//! * [`generators`] — parameterized families (barbell graphs with a planted
+//!   `k`-link bottleneck, bridge chains, grids, Erdős–Rényi), all
+//!   deterministic per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod paper;
+
+pub use generators::{barbell, bridge_chain, er_random, grid, Instance};

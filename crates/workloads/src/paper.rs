@@ -1,0 +1,189 @@
+//! Deterministic instances of the paper's figures and examples.
+
+use netgraph::{EdgeId, GraphKind, Network, NetworkBuilder, NodeId};
+
+use crate::generators::Instance;
+
+/// Fig. 2: a graph whose red link `e_9` is a bridge connecting `G_s` and
+/// `G_t`. The figure shows two four-node clusters; we instantiate each as a
+/// diamond with one chord, joined by the bridge.
+///
+/// Returns the instance and the bridge's edge id.
+pub fn fig2_bridge() -> (Instance, EdgeId) {
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let n = b.add_nodes(8);
+    // G_s: diamond s(0)-1-3, s-2-3 with chord 1-2
+    b.add_edge(n[0], n[1], 1, 0.10).unwrap(); // e0
+    b.add_edge(n[0], n[2], 1, 0.20).unwrap(); // e1
+    b.add_edge(n[1], n[3], 1, 0.15).unwrap(); // e2
+    b.add_edge(n[2], n[3], 1, 0.25).unwrap(); // e3
+    b.add_edge(n[1], n[2], 1, 0.30).unwrap(); // e4
+    // G_t: diamond 4-5-7, 4-6-7 with chord 5-6
+    b.add_edge(n[4], n[5], 1, 0.12).unwrap(); // e5
+    b.add_edge(n[4], n[6], 1, 0.22).unwrap(); // e6
+    b.add_edge(n[5], n[7], 1, 0.18).unwrap(); // e7
+    b.add_edge(n[6], n[7], 1, 0.28).unwrap(); // e8
+    // the bridge e9 (the figure's red link), capacity enough for the stream
+    let bridge = b.add_edge(n[3], n[4], 2, 0.05).unwrap();
+    (Instance { net: b.build(), source: n[0], sink: n[7], demand: 1 }, bridge)
+}
+
+/// The reconstructed Fig. 4 graph: 9 links, two bottleneck links `e_1, e_2`
+/// of capacity 2, flow demand 2, assignment set `{(0,2), (1,1), (2,0)}`
+/// (Example 3). The paper does not fully specify the instance; this
+/// reconstruction satisfies every property the text states — see DESIGN.md.
+///
+/// Layout (all capacities 1 unless noted):
+///
+/// ```text
+///   side s (5 links)          cut (cap 2)     side t (2 links, cap 2)
+///   c1: s→u1   c2: s→u1       e1: u1→v1       d1: v1→t
+///   c3: s→u2   c4: s→u2       e2: u2→v2       d2: v2→t
+///   c5: u1→u2
+/// ```
+///
+/// Returns the instance and the two bottleneck edge ids.
+pub fn fig4_two_bottleneck() -> (Instance, Vec<EdgeId>) {
+    let (inst, cut, _) = fig4_parts();
+    (inst, cut)
+}
+
+/// As [`fig4_two_bottleneck`], also returning the ids of the five side-s
+/// links `c1..c5` (needed to express the Fig. 5 configurations).
+pub fn fig4_parts() -> (Instance, Vec<EdgeId>, Vec<EdgeId>) {
+    let mut b = NetworkBuilder::new(GraphKind::Directed);
+    let s = b.add_node(); // 0
+    let u1 = b.add_node(); // 1
+    let u2 = b.add_node(); // 2
+    let v1 = b.add_node(); // 3
+    let v2 = b.add_node(); // 4
+    let t = b.add_node(); // 5
+    let c1 = b.add_edge(s, u1, 1, 0.10).unwrap();
+    let c2 = b.add_edge(s, u1, 1, 0.20).unwrap();
+    let c3 = b.add_edge(s, u2, 1, 0.15).unwrap();
+    let c4 = b.add_edge(s, u2, 1, 0.25).unwrap();
+    let c5 = b.add_edge(u1, u2, 1, 0.30).unwrap();
+    let e1 = b.add_edge(u1, v1, 2, 0.05).unwrap();
+    let e2 = b.add_edge(u2, v2, 2, 0.08).unwrap();
+    b.add_edge(v1, t, 2, 0.12).unwrap(); // d1
+    b.add_edge(v2, t, 2, 0.18).unwrap(); // d2
+    (
+        Instance { net: b.build(), source: s, sink: t, demand: 2 },
+        vec![e1, e2],
+        vec![c1, c2, c3, c4, c5],
+    )
+}
+
+/// The three Fig. 5 failure configurations of subgraph `G_s`, as alive-sets
+/// over the side-s links `c1..c5` (indices into [`fig4_parts`]'s third
+/// return), together with the assignment sets the paper says they realize
+/// (assignments in the lexicographic order `(0,2), (1,1), (2,0)`).
+pub fn fig5_configurations() -> Vec<(Vec<usize>, Vec<Vec<i64>>)> {
+    vec![
+        // (a): c2 failed — realizes (1,1) and (0,2)
+        (vec![0, 2, 3, 4], vec![vec![0, 2], vec![1, 1]]),
+        // (b): only c1 and c3 alive — realizes (1,1) only
+        (vec![0, 2], vec![vec![1, 1]]),
+        // (c): no failure — realizes all three assignments
+        (vec![0, 1, 2, 3, 4], vec![vec![0, 2], vec![1, 1], vec![2, 0]]),
+    ]
+}
+
+/// Example 1's workload: demand 5 over three bottleneck links of capacity 3
+/// (the assignment set has exactly 12 members).
+pub fn example1_caps() -> (u64, Vec<u64>) {
+    (5, vec![3, 3, 3])
+}
+
+/// A directed instance on which the paper's forward-only assignment model
+/// provably *undercounts*: the only routing of the unit demand weaves across
+/// the cut (forward on `e1`, backward on `e2`, forward on `e3`). Used by the
+/// model-gap tests; see `AssignmentModel` in `flowrel-core`.
+///
+/// Returns the instance and the three cut edges.
+pub fn weaving_counterexample() -> (Instance, Vec<EdgeId>) {
+    let mut b = NetworkBuilder::new(GraphKind::Directed);
+    let s = b.add_node(); // 0 (side s)
+    let x2 = b.add_node(); // 1 (side s)
+    let y1 = b.add_node(); // 2 (side t)
+    let t = b.add_node(); // 3 (side t)
+    // capacity-0 intra-side links keep each side one connected component
+    // while forcing every unit of flow across the cut
+    b.add_edge(s, x2, 0, 0.0).unwrap();
+    b.add_edge(y1, t, 0, 0.0).unwrap();
+    // cut: forward s→y1, backward y1→x2, forward x2→t — the unique routing
+    // of the unit demand crosses the cut three times
+    let e1 = b.add_edge(s, y1, 1, 0.125).unwrap();
+    let e2 = b.add_edge(y1, x2, 1, 0.125).unwrap();
+    let e3 = b.add_edge(x2, t, 1, 0.125).unwrap();
+    (Instance { net: b.build(), source: s, sink: t, demand: 1 }, vec![e1, e2, e3])
+}
+
+/// Node names for pretty-printing the Fig. 4 instance.
+pub fn fig4_node_name(n: NodeId) -> &'static str {
+    ["s", "u1", "u2", "v1", "v2", "t"][n.index()]
+}
+
+/// Sanity helper: the full Fig. 4 network as a plain reference.
+pub fn fig4_network() -> Network {
+    fig4_two_bottleneck().0.net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxflow::{build_flow, min_cut, SolverKind};
+
+    #[test]
+    fn fig2_bridge_is_a_bridge() {
+        let (inst, bridge) = fig2_bridge();
+        let bridges = netgraph::find_bridges(&inst.net);
+        assert_eq!(bridges, vec![bridge]);
+        assert_eq!(inst.net.edge_count(), 10);
+    }
+
+    #[test]
+    fn fig4_has_nine_links_and_flow_two() {
+        let (inst, cut) = fig4_two_bottleneck();
+        assert_eq!(inst.net.edge_count(), 9);
+        assert_eq!(cut.len(), 2);
+        let mut nf = build_flow(&inst.net, inst.source, inst.sink);
+        nf.apply_all_alive();
+        let f = SolverKind::Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
+        assert!(f >= 2, "the graph admits a flow of amount two (Example 3), got {f}");
+    }
+
+    #[test]
+    fn fig4_min_cut_admits_the_demand() {
+        let (inst, _) = fig4_two_bottleneck();
+        let cut = min_cut(&inst.net, inst.source, inst.sink, SolverKind::Dinic);
+        assert!(cut.value >= 2);
+    }
+
+    #[test]
+    fn fig5_configs_reference_side_links() {
+        let (_, _, side_links) = fig4_parts();
+        assert_eq!(side_links.len(), 5);
+        for (alive, realized) in fig5_configurations() {
+            assert!(alive.iter().all(|&i| i < 5));
+            assert!(!realized.is_empty());
+        }
+    }
+
+    #[test]
+    fn weaving_instance_flows_one() {
+        let (inst, cut) = weaving_counterexample();
+        assert_eq!(cut.len(), 3);
+        let mut nf = build_flow(&inst.net, inst.source, inst.sink);
+        nf.apply_all_alive();
+        let f = SolverKind::Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
+        assert_eq!(f, 1, "max-flow routes the weaving path");
+    }
+
+    #[test]
+    fn node_names_cover_fig4() {
+        assert_eq!(fig4_node_name(NodeId(0)), "s");
+        assert_eq!(fig4_node_name(NodeId(5)), "t");
+        assert_eq!(fig4_network().node_count(), 6);
+    }
+}

@@ -1,0 +1,59 @@
+//! Bottleneck discovery and the decomposition speed-up on barbell networks
+//! (the THM-MAIN experiment, interactively).
+//!
+//! Run with `cargo run --release --example bottleneck_analysis`.
+
+use std::time::Instant;
+
+use flowrel::core::{
+    find_bottleneck_set, reliability_bottleneck, reliability_naive, CalcOptions, FlowDemand,
+};
+use flowrel::workloads::generators::{barbell, BarbellParams};
+
+fn main() {
+    println!(
+        "{:>6} {:>4} {:>7} {:>12} {:>12} {:>9}  agreement",
+        "|E|", "k", "alpha", "naive", "bottleneck", "speedup"
+    );
+    for cluster_nodes in [4usize, 5, 6, 7] {
+        let params = BarbellParams {
+            cluster_nodes,
+            cluster_extra_edges: cluster_nodes,
+            cut_links: 2,
+            cut_capacity: 2,
+            demand: 2,
+            seed: 42,
+        };
+        let (inst, cut) = barbell(params);
+        let demand = FlowDemand::new(inst.source, inst.sink, inst.demand);
+        let opts = CalcOptions::default();
+
+        let t0 = Instant::now();
+        let naive = reliability_naive(&inst.net, demand, &opts).expect("naive");
+        let t_naive = t0.elapsed();
+
+        let t0 = Instant::now();
+        let bn = reliability_bottleneck(&inst.net, demand, &cut, &opts).expect("bottleneck");
+        let t_bn = t0.elapsed();
+
+        let set = find_bottleneck_set(&inst.net, demand.source, demand.sink, 3)
+            .expect("the planted cut is discoverable");
+        let alpha = set.alpha(inst.net.edge_count());
+
+        println!(
+            "{:>6} {:>4} {:>7.3} {:>12?} {:>12?} {:>8.1}x  |Δ| = {:.2e}",
+            inst.net.edge_count(),
+            cut.len(),
+            alpha,
+            t_naive,
+            t_bn,
+            t_naive.as_secs_f64() / t_bn.as_secs_f64().max(1e-9),
+            (naive - bn).abs()
+        );
+    }
+    println!(
+        "\nThe naive sweep doubles its work with every added link; the\n\
+         decomposition only pays for the larger side (2^{{α|E|}}), so the gap\n\
+         widens exponentially — the paper's headline claim."
+    );
+}

@@ -1,0 +1,61 @@
+//! Census of every bottleneck set of a network: which decompositions exist,
+//! how balanced they are, and how the choice affects the algorithm's cost.
+//!
+//! Run with `cargo run --release --example cut_census`.
+
+use std::time::Instant;
+
+use flowrel::core::{
+    find_all_bottleneck_sets, reliability_bottleneck, reliability_naive, CalcOptions, FlowDemand,
+};
+use flowrel::workloads::generators::{barbell, BarbellParams};
+
+fn main() {
+    let (inst, _) = barbell(BarbellParams {
+        cluster_nodes: 5,
+        cluster_extra_edges: 3,
+        cut_links: 2,
+        cut_capacity: 2,
+        demand: 2,
+        seed: 23,
+    });
+    let demand = FlowDemand::new(inst.source, inst.sink, inst.demand);
+    let m = inst.net.edge_count();
+    println!("barbell instance: {} nodes, {m} links, demand {}", inst.net.node_count(), inst.demand);
+
+    let sets = find_all_bottleneck_sets(&inst.net, demand.source, demand.sink, 3)
+        .expect("census");
+    println!("\n{} bottleneck sets with k <= 3:", sets.len());
+    println!("{:>4} {:>18} {:>8} {:>8} {:>7} {:>12} {:>14}", "k", "links", "|E_s|", "|E_t|", "alpha", "time", "reliability");
+
+    let opts = CalcOptions::default();
+    let naive = reliability_naive(&inst.net, demand, &opts).expect("naive");
+    let mut rows: Vec<_> = sets.iter().collect();
+    rows.sort_by_key(|s| (s.side_s_edges.max(s.side_t_edges), s.k()));
+    for set in rows.iter().take(10) {
+        let t0 = Instant::now();
+        let r = reliability_bottleneck(&inst.net, demand, &set.edges, &opts);
+        let dt = t0.elapsed();
+        let (r_txt, ok) = match r {
+            Ok(v) => (format!("{v:.9}"), (v - naive).abs() < 1e-10),
+            Err(e) => (format!("{e}"), true),
+        };
+        assert!(ok, "every decomposition must agree with naive");
+        println!(
+            "{:>4} {:>18} {:>8} {:>8} {:>7.3} {:>12?} {:>14}",
+            set.k(),
+            format!("{:?}", set.edges),
+            set.side_s_edges,
+            set.side_t_edges,
+            set.alpha(m),
+            dt,
+            r_txt
+        );
+    }
+    println!("\nnaive reference: {naive:.9}");
+    println!(
+        "Every valid decomposition yields the same reliability; the balanced\n\
+         ones are fastest (cost 2^{{max side}}), which is why the search\n\
+         minimizes the larger side — the α in the paper's bound."
+    );
+}

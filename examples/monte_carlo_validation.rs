@@ -1,0 +1,51 @@
+//! Monte-Carlo vs exact: convergence of the sampling estimator to the exact
+//! reliability (experiment ABL-MC, interactively).
+//!
+//! Run with `cargo run --release --example monte_carlo_validation`.
+
+use flowrel::core::{reliability_naive, CalcOptions, FlowDemand};
+use flowrel::montecarlo;
+use flowrel::workloads::generators::{barbell, BarbellParams};
+
+fn main() {
+    let (inst, _) = barbell(BarbellParams { cluster_nodes: 5, seed: 11, ..Default::default() });
+    let demand = FlowDemand::new(inst.source, inst.sink, inst.demand);
+    let exact = reliability_naive(&inst.net, demand, &CalcOptions::default()).expect("exact");
+    println!(
+        "barbell: |V| = {}, |E| = {}, d = {}",
+        inst.net.node_count(),
+        inst.net.edge_count(),
+        inst.demand
+    );
+    println!("exact reliability: {exact:.9}\n");
+    println!("{:>10} {:>12} {:>12} {:>10}  covers?", "samples", "estimate", "abs error", "CI half");
+    for exp in [8u32, 10, 12, 14, 16, 18] {
+        let samples = 1u64 << exp;
+        let est = montecarlo::estimate(&inst.net, inst.source, inst.sink, inst.demand, samples, 7);
+        println!(
+            "{:>10} {:>12.6} {:>12.2e} {:>10.2e}  {}",
+            samples,
+            est.mean,
+            (est.mean - exact).abs(),
+            1.96 * est.std_error,
+            if est.covers(exact) { "yes" } else { "NO" }
+        );
+    }
+    println!("\nsequential stopping rule targeting a ±0.002 95% CI:");
+    let est = montecarlo::estimate_until(
+        &inst.net,
+        inst.source,
+        inst.sink,
+        inst.demand,
+        0.002,
+        1 << 22,
+        13,
+    );
+    println!(
+        "stopped after {} samples at {:.6} (exact {:.6}, covered: {})",
+        est.samples,
+        est.mean,
+        exact,
+        est.covers(exact)
+    );
+}

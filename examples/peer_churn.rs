@@ -1,0 +1,75 @@
+//! Peer-level churn vs connection-level churn.
+//!
+//! The overlay builders (and the paper) model churn at *connection* level:
+//! links fail independently. In reality peers fail as units, taking all of
+//! their connections at once. This example quantifies the difference on one
+//! topology:
+//!
+//! * **peer churn** — exact, via the classic node-splitting reduction
+//!   ([`split_node_failures`]);
+//! * **connection churn** — the independent-link approximation, swept over
+//!   every churn level at once with the structural reliability polynomial.
+//!
+//! Run with `cargo run --release --example peer_churn`.
+
+use flowrel::core::{
+    reliability_naive, reliability_polynomial, split_node_failures, CalcOptions, FlowDemand,
+};
+use flowrel::netgraph::{GraphKind, Network, NetworkBuilder, NodeId};
+
+/// Server, four relays in a lattice, subscriber. `link_p` on all connections.
+fn overlay(link_p: f64) -> (Network, NodeId, NodeId) {
+    let mut b = NetworkBuilder::new(GraphKind::Directed);
+    let s = b.add_node();
+    let relays: Vec<_> = (0..4).map(|_| b.add_node()).collect();
+    let t = b.add_node();
+    for (i, &r) in relays.iter().enumerate() {
+        b.add_edge(s, r, 1, link_p).unwrap();
+        b.add_edge(r, t, 1, link_p).unwrap();
+        if i + 1 < relays.len() {
+            b.add_edge(r, relays[i + 1], 1, link_p).unwrap();
+        }
+    }
+    (b.build(), s, t)
+}
+
+fn main() {
+    let opts = CalcOptions::default();
+
+    // connection-level churn: the polynomial gives every q from one sweep
+    let (net, s, t) = overlay(0.5); // probabilities ignored by the polynomial
+    let poly = reliability_polynomial(&net, FlowDemand::new(s, t, 1), &opts).unwrap();
+    println!(
+        "connection-churn polynomial: {} operational configurations, needs >= {:?} links",
+        poly.operational_configurations(),
+        poly.min_operational_links()
+    );
+
+    // peer-level churn: exact node-split computation per q
+    println!("\n{:>6} {:>18} {:>18} {:>10}", "q", "connection churn", "peer churn", "gap");
+    let caps = vec![u64::MAX; net.node_count()];
+    for q10 in 0..=9 {
+        let q = q10 as f64 / 10.0;
+        let r_link = poly.evaluate(q);
+
+        let (perfect_net, ps, pt) = overlay(0.0);
+        let mut probs = vec![q; perfect_net.node_count()];
+        probs[ps.index()] = 0.0;
+        probs[pt.index()] = 0.0;
+        let split = split_node_failures(&perfect_net, &probs, &caps).unwrap();
+        let r_node = reliability_naive(
+            &split.net,
+            FlowDemand::new(split.entry(ps), split.exit(pt), 1),
+            &opts,
+        )
+        .unwrap();
+        println!("{q:>6.1} {r_link:>18.6} {r_node:>18.6} {:>10.4}", r_link - r_node);
+    }
+    println!(
+        "\nAt equal failure probability, peer churn is *kinder* here: one peer\n\
+         departure removes an entire relay lane, but there are only 4 fallible\n\
+         units instead of 11 fallible connections. The models genuinely differ —\n\
+         which one matches a deployment depends on whether sessions or transport\n\
+         dominate the loss; the library supports both (DESIGN.md, substitutions)."
+    );
+}

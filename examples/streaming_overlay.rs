@@ -1,0 +1,69 @@
+//! Domain scenario: compare the reliability of the classic P2P streaming
+//! overlay shapes (tree, multi-tree, mesh, tree-mesh hybrid) for the same
+//! peer population (experiment DOM-P2P).
+//!
+//! Run with `cargo run --example streaming_overlay`.
+
+use flowrel::core::{FlowDemand, ReliabilityCalculator};
+use flowrel::overlay::{
+    hybrid_tree_mesh, multi_tree, random_mesh, single_tree, ChurnModel, Peer, StreamingScenario,
+};
+
+fn reliability_at_last_peer(sc: &StreamingScenario, demand: u64) -> f64 {
+    let sub = *sc.peers.last().expect("at least one peer");
+    ReliabilityCalculator::new()
+        .run(&sc.net, FlowDemand::new(sc.server, sub, demand))
+        .expect("reliability")
+        .reliability
+}
+
+fn main() {
+    let peers: Vec<Peer> =
+        (0..8).map(|i| Peer::new(4, 300.0 + 150.0 * (i % 4) as f64)).collect();
+    let churn = ChurnModel::new(90.0).with_base_loss(0.02);
+    let rate = 2;
+
+    println!("8 peers, stream rate {rate}, 90 s window, 2% transport loss\n");
+    println!("{:<22} {:>14} {:>14}", "overlay", "full stream", "half stream");
+
+    let tree = single_tree(&peers, 2, rate, &churn);
+    println!(
+        "{:<22} {:>14.6} {:>14.6}",
+        "single tree (f=2)",
+        reliability_at_last_peer(&tree, rate),
+        reliability_at_last_peer(&tree, 1),
+    );
+
+    let multi = multi_tree(&peers, rate, &churn);
+    println!(
+        "{:<22} {:>14.6} {:>14.6}",
+        "multi-tree (2 stripes)",
+        reliability_at_last_peer(&multi, rate),
+        reliability_at_last_peer(&multi, 1),
+    );
+
+    for neighbors in [2, 3] {
+        let mesh = random_mesh(&peers, neighbors, rate, &churn, 7);
+        println!(
+            "{:<22} {:>14.6} {:>14.6}",
+            format!("mesh (m={neighbors})"),
+            reliability_at_last_peer(&mesh, rate),
+            reliability_at_last_peer(&mesh, 1),
+        );
+    }
+
+    let hybrid = hybrid_tree_mesh(&peers, 0.5, 2, rate, &churn, 7);
+    println!(
+        "{:<22} {:>14.6} {:>14.6}",
+        "hybrid treebone+mesh",
+        reliability_at_last_peer(&hybrid, rate),
+        reliability_at_last_peer(&hybrid, 1),
+    );
+
+    println!(
+        "\nMulti-tree striping keeps *partial* delivery far more reliable than a\n\
+         single tree (one peer departure costs one sub-stream, not the whole\n\
+         stream) — the fault-tolerance argument of SplitStream/CoopNet that\n\
+         motivates the paper's flow-based reliability model."
+    );
+}

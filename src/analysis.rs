@@ -1,0 +1,73 @@
+//! Cross-crate analysis helpers that need both the overlay layer and the
+//! reliability core (which deliberately do not depend on each other).
+
+use flowrel_core::{CalcOptions, FlowDemand, ReliabilityCalculator, ReliabilityError, Strategy};
+use flowrel_overlay::StreamingScenario;
+use netgraph::NodeId;
+
+/// Per-subscriber reliability of a streaming scenario.
+#[derive(Clone, Debug)]
+pub struct ReliabilityProfile {
+    /// `(peer, reliability of receiving `rate` sub-streams)` in peer order.
+    pub per_peer: Vec<(NodeId, f64)>,
+    /// The stream rate the profile was computed for.
+    pub rate: u64,
+}
+
+impl ReliabilityProfile {
+    /// The peer with the lowest delivery reliability.
+    pub fn weakest(&self) -> Option<(NodeId, f64)> {
+        self.per_peer
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("reliabilities are finite"))
+    }
+
+    /// The average reliability across subscribers.
+    pub fn mean(&self) -> f64 {
+        if self.per_peer.is_empty() {
+            return 0.0;
+        }
+        self.per_peer.iter().map(|&(_, r)| r).sum::<f64>() / self.per_peer.len() as f64
+    }
+}
+
+/// Computes every peer's reliability of receiving `rate` sub-streams from the
+/// scenario's server, with the auto strategy.
+pub fn reliability_profile(
+    sc: &StreamingScenario,
+    rate: u64,
+    opts: &CalcOptions,
+) -> Result<ReliabilityProfile, ReliabilityError> {
+    let calc = ReliabilityCalculator::new()
+        .with_strategy(Strategy::Auto)
+        .with_options(*opts);
+    let mut per_peer = Vec::with_capacity(sc.peers.len());
+    for &p in &sc.peers {
+        let report = calc.run(&sc.net, FlowDemand::new(sc.server, p, rate))?;
+        per_peer.push((p, report.reliability));
+    }
+    Ok(ReliabilityProfile { per_peer, rate })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowrel_overlay::{single_tree, ChurnModel, Peer};
+
+    #[test]
+    fn tree_profile_degrades_with_depth() {
+        let peers: Vec<Peer> = (0..7).map(|_| Peer::new(2, 600.0)).collect();
+        let sc = single_tree(&peers, 2, 1, &ChurnModel::new(60.0));
+        let profile =
+            reliability_profile(&sc, 1, &CalcOptions::default()).expect("profile");
+        assert_eq!(profile.per_peer.len(), 7);
+        // the tree root's children are most reliable; leaves are weakest
+        let (weak, weak_r) = profile.weakest().expect("non-empty");
+        assert!(sc.peers[2..].contains(&weak), "a deep peer is weakest, got {weak}");
+        let first_r = profile.per_peer[0].1;
+        assert!(first_r >= weak_r);
+        assert!(profile.mean() <= first_r && profile.mean() >= weak_r);
+        assert_eq!(profile.rate, 1);
+    }
+}

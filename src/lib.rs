@@ -1,0 +1,14 @@
+//! # flowrel — reliability calculation of P2P streaming flow networks
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a guided
+//! tour; the primary entry point is [`flowrel_core::ReliabilityCalculator`].
+
+pub mod analysis;
+
+pub use exactmath;
+pub use flowrel_core as core;
+pub use flowrel_overlay as overlay;
+pub use maxflow;
+pub use montecarlo;
+pub use netgraph;
+pub use workloads;

@@ -1,0 +1,53 @@
+//! The assignment-model gap (see `AssignmentModel` in `flowrel-core` and the
+//! "Substitutions / extensions" section of DESIGN.md).
+//!
+//! The paper's assignments route every sub-stream across the bottleneck
+//! exactly once, source-side → sink-side. Max-flow routings may instead
+//! weave across the cut; on such instances the forward-only model
+//! *undercounts* the (max-flow-defined) reliability. The net-crossing
+//! extension closes the gap exactly.
+
+use flowrel::core::{
+    reliability_bottleneck, reliability_naive, AssignmentModel, CalcOptions, FlowDemand,
+};
+use flowrel::workloads::paper::weaving_counterexample;
+
+#[test]
+fn forward_only_undercounts_on_weaving_instance() {
+    let (inst, cut) = weaving_counterexample();
+    let d = FlowDemand::new(inst.source, inst.sink, inst.demand);
+
+    // ground truth by naive max-flow enumeration: the demand flows iff all
+    // three cut links are up: R = (7/8)^3
+    let naive = reliability_naive(&inst.net, d, &CalcOptions::default()).unwrap();
+    let expected = (7.0f64 / 8.0).powi(3);
+    assert!((naive - expected).abs() < 1e-12, "naive {naive} vs {expected}");
+
+    // the paper's forward-only model sees no realizable assignment at all
+    let fwd_opts = CalcOptions {
+        assignment_model: AssignmentModel::ForwardOnly,
+        ..CalcOptions::default()
+    };
+    let forward = reliability_bottleneck(&inst.net, d, &cut, &fwd_opts).unwrap();
+    assert_eq!(forward, 0.0, "forward-only misses the weaving routing");
+
+    // the net-crossing extension (the default) recovers the exact value
+    let net = reliability_bottleneck(&inst.net, d, &cut, &CalcOptions::default()).unwrap();
+    assert!((net - expected).abs() < 1e-12, "net model {net} vs {expected}");
+}
+
+#[test]
+fn forward_only_is_a_lower_bound() {
+    // on the weaving instance (and in general) the forward-only value never
+    // exceeds the max-flow reliability: it integrates over a subset of the
+    // feasible routings
+    let (inst, cut) = weaving_counterexample();
+    let d = FlowDemand::new(inst.source, inst.sink, inst.demand);
+    let opts = CalcOptions {
+        assignment_model: AssignmentModel::ForwardOnly,
+        ..CalcOptions::default()
+    };
+    let naive = reliability_naive(&inst.net, d, &CalcOptions::default()).unwrap();
+    let forward = reliability_bottleneck(&inst.net, d, &cut, &opts).unwrap();
+    assert!(forward <= naive + 1e-12);
+}

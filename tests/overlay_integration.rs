@@ -1,0 +1,106 @@
+//! End-to-end on the P2P streaming domain (experiment id DOM-P2P): build
+//! overlays, lower them to flow networks, and compute exact reliabilities.
+
+use flowrel::core::{
+    reliability_factoring, reliability_naive, CalcOptions, FlowDemand, ReliabilityCalculator,
+};
+use flowrel::overlay::{multi_tree, random_mesh, single_tree, ChurnModel, Peer};
+
+fn peers(n: usize) -> Vec<Peer> {
+    (0..n).map(|i| Peer::new(4, 400.0 + 100.0 * (i % 3) as f64)).collect()
+}
+
+/// Multi-tree striping dominates a single tree for the same peer population:
+/// in the single tree, one interior link loss removes the whole stream; with
+/// striping it removes one sub-stream of two.
+#[test]
+fn multi_tree_beats_single_tree() {
+    let ps = peers(6);
+    let churn = ChurnModel::new(120.0);
+    let opts = CalcOptions::default();
+
+    let single = single_tree(&ps, 2, 2, &churn);
+    let multi = multi_tree(&ps, 2, &churn);
+
+    // compare delivery of at least HALF the stream (d = 1 of 2 sub-streams)
+    // and the full stream, at the last peer (deep in both overlays)
+    let sub_single = *single.peers.last().unwrap();
+    let sub_multi = *multi.peers.last().unwrap();
+
+    let full_single = reliability_naive(
+        &single.net,
+        FlowDemand::new(single.server, sub_single, 2),
+        &opts,
+    )
+    .unwrap();
+    let full_multi = reliability_factoring(
+        &multi.net,
+        FlowDemand::new(multi.server, sub_multi, 2),
+        &opts,
+    )
+    .unwrap();
+    let half_single = reliability_naive(
+        &single.net,
+        FlowDemand::new(single.server, sub_single, 1),
+        &opts,
+    )
+    .unwrap();
+    let half_multi = reliability_factoring(
+        &multi.net,
+        FlowDemand::new(multi.server, sub_multi, 1),
+        &opts,
+    )
+    .unwrap();
+
+    assert!(
+        half_multi > half_single,
+        "striping keeps partial delivery alive: {half_multi} vs {half_single}"
+    );
+    assert!(full_single > 0.0 && full_multi > 0.0);
+    assert!((0.0..=1.0).contains(&full_multi));
+}
+
+/// The mesh overlay's reliability is computable by the auto calculator and
+/// grows with the neighbor count.
+#[test]
+fn mesh_reliability_grows_with_degree() {
+    let ps = peers(7);
+    let churn = ChurnModel::new(120.0).with_base_loss(0.05);
+    let calc = ReliabilityCalculator::new();
+
+    let mut last = 0.0f64;
+    for neighbors in 1..=3 {
+        let sc = random_mesh(&ps, neighbors, 1, &churn, 42);
+        let sub = *sc.peers.last().unwrap();
+        let rep = calc.run(&sc.net, FlowDemand::new(sc.server, sub, 1)).unwrap();
+        assert!(
+            rep.reliability >= last - 1e-9,
+            "more uploaders should not hurt: {} < {last} at degree {neighbors}",
+            rep.reliability
+        );
+        last = rep.reliability;
+    }
+    assert!(last > 0.5, "a 3-uploader mesh should be fairly reliable, got {last}");
+}
+
+/// A single tree is a chain of bridges from the subscriber's perspective:
+/// the calculator's auto strategy should find and exploit a bottleneck.
+#[test]
+fn calculator_exploits_tree_bottleneck() {
+    let ps = peers(6);
+    let churn = ChurnModel::new(120.0);
+    let sc = single_tree(&ps, 2, 1, &churn);
+    let sub = *sc.peers.last().unwrap();
+    let rep = ReliabilityCalculator::new()
+        .run(&sc.net, FlowDemand::new(sc.server, sub, 1))
+        .unwrap();
+    assert_eq!(rep.algorithm, "auto:bottleneck");
+    // tree reliability to a depth-2 peer = product of path survivals
+    let naive = reliability_naive(
+        &sc.net,
+        FlowDemand::new(sc.server, sub, 1),
+        &CalcOptions::default(),
+    )
+    .unwrap();
+    assert!((rep.reliability - naive).abs() < 1e-12);
+}
