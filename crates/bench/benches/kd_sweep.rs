@@ -24,9 +24,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::from_parameter(format!("k={k}_d={d}")),
                 &inst,
-                |b, inst| {
-                    b.iter(|| reliability_bottleneck(&inst.net, dem, &cut, &opts).unwrap())
-                },
+                |b, inst| b.iter(|| reliability_bottleneck(&inst.net, dem, &cut, &opts).unwrap()),
             );
         }
     }

@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flowrel_bench::{barbell_with_edges, demand_of};
-use flowrel_core::{
-    reliability_bottleneck, reliability_factoring, reliability_naive, CalcOptions,
-};
+use flowrel_core::{reliability_bottleneck, reliability_factoring, reliability_naive, CalcOptions};
 use netgraph::{GraphKind, NetworkBuilder};
 
 fn bench(c: &mut Criterion) {
@@ -28,7 +26,10 @@ fn bench(c: &mut Criterion) {
     group.bench_function("factoring", |b| {
         b.iter(|| reliability_factoring(&inst.net, d, &CalcOptions::default()).unwrap())
     });
-    let no_prune = CalcOptions { prune_infeasible_assignments: false, ..CalcOptions::default() };
+    let no_prune = CalcOptions {
+        prune_infeasible_assignments: false,
+        ..CalcOptions::default()
+    };
     group.bench_function("bottleneck_pruned", |b| {
         b.iter(|| reliability_bottleneck(&inst.net, d, &cut, &CalcOptions::default()).unwrap())
     });
@@ -48,7 +49,10 @@ fn bench(c: &mut Criterion) {
     group.bench_function("perfect_links_factored", |b| {
         b.iter(|| reliability_naive(&net2, d2, &CalcOptions::default()).unwrap())
     });
-    let no_factor = CalcOptions { factor_perfect_links: false, ..CalcOptions::default() };
+    let no_factor = CalcOptions {
+        factor_perfect_links: false,
+        ..CalcOptions::default()
+    };
     group.bench_function("perfect_links_enumerated", |b| {
         b.iter(|| reliability_naive(&net2, d2, &no_factor).unwrap())
     });

@@ -22,7 +22,12 @@ fn bench(c: &mut Criterion) {
         let dec = decompose(&inst.net, &d, &set);
         let ranges: Vec<(i64, i64)> = cut
             .iter()
-            .map(|&e| (0i64, (inst.net.edge(e).capacity as i64).min(d.demand as i64)))
+            .map(|&e| {
+                (
+                    0i64,
+                    (inst.net.edge(e).capacity as i64).min(d.demand as i64),
+                )
+            })
             .collect();
         let assignments = enumerate_assignments(d.demand, &ranges);
         let weights = flowrel_core::edge_weights(&dec.side_s.net);

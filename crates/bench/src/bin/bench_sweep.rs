@@ -1,0 +1,195 @@
+//! Sweep-engine benchmark: measures what the shared configuration-sweep
+//! engine ([`flowrel_core::sweep`]) buys on the naive and bottleneck paths —
+//! wall time, configurations per second, solver calls avoided by
+//! monotonicity certificates, and cache hit rates — and emits the results as
+//! machine-readable JSON (`BENCH_sweep.json`).
+//!
+//! Usage: `bench_sweep [output.json]`
+
+use std::time::Instant;
+
+use flowrel_bench::{barbell_with_edges, demand_of, ring_barbell};
+use flowrel_core::algorithm::reliability_bottleneck_weighted;
+use flowrel_core::weight::edge_weights;
+use flowrel_core::{reliability_naive_with_stats, CalcOptions, SweepStats};
+
+/// One timed run: (reliability, stats, wall seconds). Best of `reps`.
+fn time_best<F: FnMut() -> (f64, SweepStats)>(reps: usize, mut f: F) -> (f64, SweepStats, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = (0.0, SweepStats::default());
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (out.0, out.1, best)
+}
+
+struct ModeRow {
+    label: &'static str,
+    reliability: f64,
+    stats: SweepStats,
+    seconds: f64,
+}
+
+fn mode_json(m: &ModeRow, baseline_seconds: f64) -> String {
+    let cps = if m.seconds > 0.0 {
+        m.stats.configs as f64 / m.seconds
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\"mode\": \"{}\", \"wall_seconds\": {:.6}, \"configs\": {}, ",
+            "\"configs_per_sec\": {:.1}, \"solver_calls\": {}, ",
+            "\"solver_calls_avoided\": {}, \"cache_hit_rate\": {:.4}, ",
+            "\"speedup_vs_baseline\": {:.3}}}"
+        ),
+        m.label,
+        m.seconds,
+        m.stats.configs,
+        cps,
+        m.stats.solver_calls,
+        m.stats.solver_calls_avoided(),
+        m.stats.hit_rate(),
+        baseline_seconds / m.seconds.max(1e-12),
+    )
+}
+
+fn opts(parallel: bool, certs: bool) -> CalcOptions {
+    CalcOptions {
+        parallel,
+        certificate_cache: certs,
+        ..Default::default()
+    }
+}
+
+const MODES: [(&str, bool, bool); 4] = [
+    ("serial", false, false),
+    ("serial+certs", false, true),
+    ("parallel", true, false),
+    ("parallel+certs", true, true),
+];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let reps = 3;
+    let mut cases = Vec::new();
+
+    let mut graphs = Vec::new();
+    for (target_edges, k, demand, seed) in [(18usize, 2usize, 2u64, 21u64), (20, 3, 2, 7)] {
+        let (inst, cut) = barbell_with_edges(target_edges, k, demand, seed);
+        graphs.push(("barbell", inst, cut));
+    }
+    // capacity-tight rings: every link is a unit-capacity bottleneck, the
+    // regime where saturated-cut certificates refute the most configurations
+    for (cluster_nodes, k, seed) in [(11usize, 4usize, 5u64), (13, 4, 9)] {
+        let (inst, cut) = ring_barbell(cluster_nodes, k, seed);
+        graphs.push(("ring", inst, cut));
+    }
+
+    for (family, inst, cut) in graphs {
+        let d = demand_of(&inst);
+        let k = cut.len();
+        let demand = inst.demand;
+        let edges = inst.net.edge_count();
+        let name = format!("{family}_e{edges}_k{k}_d{demand}");
+        eprintln!("== {name} ({edges} links, |cut|={k}, d={demand}) ==");
+        let weights = edge_weights(&inst.net);
+
+        // --- naive path (skipped for the larger graphs: 2^|E| is the point
+        // of the bottleneck algorithm) ---
+        let mut naive_rows = Vec::new();
+        if edges <= 20 {
+            for (label, par, certs) in MODES {
+                let o = opts(par, certs);
+                let (r, stats, secs) = time_best(reps, || {
+                    reliability_naive_with_stats(&inst.net, d, &o).expect("naive")
+                });
+                eprintln!(
+                    "  naive {label:>15}: {secs:>9.4}s  R={r:.9}  solves={} avoided={}",
+                    stats.solver_calls,
+                    stats.solver_calls_avoided()
+                );
+                naive_rows.push(ModeRow {
+                    label,
+                    reliability: r,
+                    stats,
+                    seconds: secs,
+                });
+            }
+        }
+
+        // --- bottleneck path ---
+        let mut bn_rows = Vec::new();
+        for (label, par, certs) in MODES {
+            let o = opts(par, certs);
+            let (r, stats, secs) = time_best(reps, || {
+                let (r, report) = reliability_bottleneck_weighted(&inst.net, d, &cut, &weights, &o)
+                    .expect("bottleneck");
+                (r, report.sweep)
+            });
+            eprintln!(
+                "  bottleneck {label:>10}: {secs:>9.4}s  R={r:.9}  solves={} avoided={}",
+                stats.solver_calls,
+                stats.solver_calls_avoided()
+            );
+            bn_rows.push(ModeRow {
+                label,
+                reliability: r,
+                stats,
+                seconds: secs,
+            });
+        }
+
+        // all runs must agree on the reliability
+        let r0 = naive_rows.first().unwrap_or(&bn_rows[0]).reliability;
+        for row in naive_rows.iter().chain(&bn_rows) {
+            assert!(
+                (row.reliability - r0).abs() < 1e-12,
+                "{name}/{}: {} vs {}",
+                row.label,
+                row.reliability,
+                r0
+            );
+        }
+
+        let base_bn = bn_rows[0].seconds;
+        let naive_json: Vec<String> = naive_rows
+            .iter()
+            .map(|m| mode_json(m, naive_rows[0].seconds))
+            .collect();
+        let bn_json: Vec<String> = bn_rows.iter().map(|m| mode_json(m, base_bn)).collect();
+        cases.push(format!(
+            concat!(
+                "  {{\"case\": \"{}\", \"edges\": {}, \"cut_links\": {}, \"demand\": {}, ",
+                "\"reliability\": {:.12},\n   \"naive\": [\n    {}\n   ],\n",
+                "   \"bottleneck\": [\n    {}\n   ]}}"
+            ),
+            name,
+            edges,
+            k,
+            demand,
+            r0,
+            naive_json.join(",\n    "),
+            bn_json.join(",\n    "),
+        ));
+    }
+
+    let json = format!(
+        "{{\n \"bench\": \"sweep_engine\",\n \"threads\": {},\n \"cases\": [\n{}\n ]\n}}\n",
+        rayon_threads(),
+        cases.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}
+
+fn rayon_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}

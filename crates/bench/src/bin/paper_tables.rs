@@ -24,7 +24,10 @@ fn fmt_assignment(a: &Assignment) -> String {
 /// FIG1: the naive procedure and its exponential cost.
 fn fig1() {
     println!("=== FIG1: naive reliability calculation (Fig. 1) ===");
-    println!("{:>6} {:>10} {:>14} {:>14}", "|E|", "configs", "time", "reliability");
+    println!(
+        "{:>6} {:>10} {:>14} {:>14}",
+        "|E|", "configs", "time", "reliability"
+    );
     for target in [10usize, 12, 14, 16, 18] {
         let (inst, _) = barbell_with_edges(target, 2, 2, 21);
         let d = demand_of(&inst);
@@ -55,15 +58,22 @@ fn fig2() {
     println!("naive enumeration        : {naive:.9}");
     println!("Eq. 1 decomposition      : {via_bridge:.9}");
     println!("bottleneck algorithm k=1 : {via_bottleneck:.9}");
-    println!("max |Δ| = {:.2e}\n", (naive - via_bridge).abs().max((naive - via_bottleneck).abs()));
+    println!(
+        "max |Δ| = {:.2e}\n",
+        (naive - via_bridge)
+            .abs()
+            .max((naive - via_bottleneck).abs())
+    );
 }
 
 /// EX1/FIG3: the assignment set of Example 1.
 fn ex1() {
     println!("=== EX1 (Fig. 3): assignment set for d=5, c=(3,3,3) ===");
     let (d, caps) = paper::example1_caps();
-    let ranges: Vec<(i64, i64)> =
-        caps.iter().map(|&c| (0i64, (c as i64).min(d as i64))).collect();
+    let ranges: Vec<(i64, i64)> = caps
+        .iter()
+        .map(|&c| (0i64, (c as i64).min(d as i64)))
+        .collect();
     let set = enumerate_assignments(d, &ranges);
     println!("|D| = {} (paper: 12)", set.len());
     let rendered: Vec<String> = set.iter().map(fmt_assignment).collect();
@@ -120,7 +130,11 @@ fn fig5() {
         println!(
             "({}) alive links {{{}}}: realizes {{{}}}   [paper: {{{}}}]",
             ["a", "b", "c"][idx],
-            alive.iter().map(|i| format!("c{}", i + 1)).collect::<Vec<_>>().join(","),
+            alive
+                .iter()
+                .map(|i| format!("c{}", i + 1))
+                .collect::<Vec<_>>()
+                .join(","),
             realized.join(", "),
             expect.join(", ")
         );
@@ -145,9 +159,17 @@ fn table1() {
     );
     println!("{:>8} {:>12} realized set", "config", "bits c5..c1");
     for c in 0..table.masks.len() {
-        let set: Vec<String> =
-            table.realized(c).into_iter().map(|j| format!("b{}", j + 1)).collect();
-        println!("{:>8} {:>12} {{{}}}", format!("c{c}"), format!("{c:05b}"), set.join(","));
+        let set: Vec<String> = table
+            .realized(c)
+            .into_iter()
+            .map(|j| format!("b{}", j + 1))
+            .collect();
+        println!(
+            "{:>8} {:>12} {{{}}}",
+            format!("c{c}"),
+            format!("{c:05b}"),
+            set.join(",")
+        );
     }
     println!();
 }
@@ -175,9 +197,15 @@ fn fig6() {
     let r = reliability_bottleneck(&inst.net, d, &cut, &opts).unwrap();
     let t_total = t0.elapsed();
 
-    println!("instance: |E| = {}, planted k = 2 cut", inst.net.edge_count());
+    println!(
+        "instance: |E| = {}, planted k = 2 cut",
+        inst.net.edge_count()
+    );
     println!("stage (a) array generation + (b) accumulation are inside the total:");
-    println!("  discover bottleneck set : {t_discover:?} (found {:?})", found.edges);
+    println!(
+        "  discover bottleneck set : {t_discover:?} (found {:?})",
+        found.edges
+    );
     println!("  validate given set      : {t_validate:?}");
     println!("  decompose               : {t_decompose:?}");
     println!("  spectra + accumulation  : {t_total:?} (reliability = {r:.9})\n");
@@ -217,14 +245,20 @@ fn thm() {
 /// DOM-P2P: overlay comparison table.
 fn p2p() {
     println!("=== DOM-P2P: overlay reliability (8 peers, rate 2, 90 s window) ===");
-    let peers: Vec<Peer> =
-        (0..8).map(|i| Peer::new(4, 300.0 + 150.0 * (i % 4) as f64)).collect();
+    let peers: Vec<Peer> = (0..8)
+        .map(|i| Peer::new(4, 300.0 + 150.0 * (i % 4) as f64))
+        .collect();
     let churn = ChurnModel::new(90.0).with_base_loss(0.02);
     let calc = ReliabilityCalculator::new();
     let run = |net: &netgraph::Network, s, t, d| {
-        calc.run(net, FlowDemand::new(s, t, d)).map(|r| r.reliability).unwrap_or(f64::NAN)
+        calc.run(net, FlowDemand::new(s, t, d))
+            .map(|r| r.reliability)
+            .unwrap_or(f64::NAN)
     };
-    println!("{:<24} {:>12} {:>12}", "overlay", "full stream", "half stream");
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "overlay", "full stream", "half stream"
+    );
     let tree = single_tree(&peers, 2, 2, &churn);
     let sub = *tree.peers.last().unwrap();
     println!(

@@ -55,16 +55,26 @@ pub fn skewed_barbell(
         let mut count = 0usize;
         for i in 1..nodes {
             let parent = rng.gen_range(0..i);
-            b.add_edge(ids[parent], ids[i], demand.max(1), rng.gen_range(2..20) as f64 / 64.0)
-                .expect("edge");
+            b.add_edge(
+                ids[parent],
+                ids[i],
+                demand.max(1),
+                rng.gen_range(2..20) as f64 / 64.0,
+            )
+            .expect("edge");
             count += 1;
         }
         while count < edges {
             let u = rng.gen_range(0..nodes);
             let v = rng.gen_range(0..nodes);
             if u != v {
-                b.add_edge(ids[u], ids[v], demand.max(1), rng.gen_range(2..20) as f64 / 64.0)
-                    .expect("edge");
+                b.add_edge(
+                    ids[u],
+                    ids[v],
+                    demand.max(1),
+                    rng.gen_range(2..20) as f64 / 64.0,
+                )
+                .expect("edge");
                 count += 1;
             }
         }
@@ -77,7 +87,8 @@ pub fn skewed_barbell(
         let u = left[rng.gen_range(0..left.len())];
         let v = right[rng.gen_range(0..right.len())];
         cut.push(
-            b.add_edge(u, v, demand.max(1), rng.gen_range(2..20) as f64 / 64.0).expect("edge"),
+            b.add_edge(u, v, demand.max(1), rng.gen_range(2..20) as f64 / 64.0)
+                .expect("edge"),
         );
     }
     (
@@ -86,6 +97,54 @@ pub fn skewed_barbell(
             source: left[0],
             sink: *right.last().expect("non-empty"),
             demand,
+        },
+        cut,
+    )
+}
+
+/// A capacity-tight barbell for the certificate benchmarks: two
+/// unit-capacity rings of `cluster_nodes` nodes joined by `k ≥ 2`
+/// unit-capacity cut links, streaming demand 2. Every link is a potential
+/// bottleneck (the paper's premise), so saturated-cut certificates refute
+/// large swaths of the configuration space: any cut needs two alive links
+/// to carry the stream.
+pub fn ring_barbell(
+    cluster_nodes: usize,
+    k: usize,
+    seed: u64,
+) -> (Instance, Vec<netgraph::EdgeId>) {
+    use netgraph::{GraphKind, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(cluster_nodes >= 3 && k >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let ring = |b: &mut NetworkBuilder, rng: &mut StdRng| {
+        let ids = b.add_nodes(cluster_nodes);
+        for i in 0..cluster_nodes {
+            let p = rng.gen_range(2..20) as f64 / 64.0;
+            b.add_edge(ids[i], ids[(i + 1) % cluster_nodes], 1, p)
+                .expect("edge");
+        }
+        ids
+    };
+    let left = ring(&mut b, &mut rng);
+    let right = ring(&mut b, &mut rng);
+    let mut cut = Vec::new();
+    for _ in 0..k {
+        let u = left[rng.gen_range(0..left.len())];
+        let v = right[rng.gen_range(0..right.len())];
+        cut.push(
+            b.add_edge(u, v, 1, rng.gen_range(2..20) as f64 / 64.0)
+                .expect("edge"),
+        );
+    }
+    (
+        Instance {
+            net: b.build(),
+            source: left[0],
+            sink: *right.last().expect("non-empty"),
+            demand: 2,
         },
         cut,
     )
@@ -112,6 +171,20 @@ mod tests {
             );
             assert_eq!(cut.len(), 2);
         }
+    }
+
+    #[test]
+    fn ring_barbell_is_tight_but_feasible() {
+        let (inst, cut) = ring_barbell(5, 3, 7);
+        assert_eq!(inst.net.edge_count(), 2 * 5 + 3);
+        assert_eq!(cut.len(), 3);
+        assert!(inst.net.edges().iter().all(|e| e.capacity == 1));
+        // the two ring paths carry the stream when everything is alive
+        let d = demand_of(&inst);
+        let naive = reliability_naive(&inst.net, d, &CalcOptions::default()).unwrap();
+        assert!(naive > 0.0);
+        let bn = reliability_bottleneck(&inst.net, d, &cut, &CalcOptions::default()).unwrap();
+        assert!((naive - bn).abs() < 1e-10);
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses the `.fnet` format.
@@ -89,16 +92,21 @@ pub fn parse(text: &str) -> Result<NetFile, ParseError> {
             }
             "edge" => {
                 if rest.len() != 4 {
-                    return Err(err(line_no, "usage: edge <src> <dst> <capacity> <fail_prob>"));
+                    return Err(err(
+                        line_no,
+                        "usage: edge <src> <dst> <capacity> <fail_prob>",
+                    ));
                 }
-                let u: u32 =
-                    rest[0].parse().map_err(|_| err(line_no, "bad source node"))?;
-                let v: u32 =
-                    rest[1].parse().map_err(|_| err(line_no, "bad destination node"))?;
-                let cap: u64 =
-                    rest[2].parse().map_err(|_| err(line_no, "bad capacity"))?;
-                let p: f64 =
-                    rest[3].parse().map_err(|_| err(line_no, "bad probability"))?;
+                let u: u32 = rest[0]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad source node"))?;
+                let v: u32 = rest[1]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad destination node"))?;
+                let cap: u64 = rest[2].parse().map_err(|_| err(line_no, "bad capacity"))?;
+                let p: f64 = rest[3]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad probability"))?;
                 pending_edges.push((line_no, u, v, cap, p));
             }
             "demand" => {
@@ -142,7 +150,11 @@ pub fn serialize(net: &Network, demand: Option<FlowDemand>) -> String {
     );
     let _ = writeln!(out, "nodes {}", net.node_count());
     for e in net.edges() {
-        let _ = writeln!(out, "edge {} {} {} {}", e.src.0, e.dst.0, e.capacity, e.fail_prob);
+        let _ = writeln!(
+            out,
+            "edge {} {} {} {}",
+            e.src.0, e.dst.0, e.capacity, e.fail_prob
+        );
     }
     if let Some(d) = demand {
         let _ = writeln!(out, "demand {} {} {}", d.source.0, d.sink.0, d.demand);

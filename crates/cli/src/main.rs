@@ -22,7 +22,7 @@ use netgraph::find_bridges;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp] [--exact]\n  \
+         flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp] [--exact] [--parallel] [--no-certs]\n  \
          flowrel analyze <file.fnet> [--max-k K]\n  \
          flowrel importance <file.fnet>\n  \
          flowrel mc <file.fnet> [--samples N] [--seed S]\n  \
@@ -36,7 +36,9 @@ fn usage() -> ExitCode {
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn load(path: &str) -> Result<format::NetFile, String> {
@@ -45,7 +47,8 @@ fn load(path: &str) -> Result<format::NetFile, String> {
 }
 
 fn demand_of(file: &format::NetFile) -> Result<FlowDemand, String> {
-    file.demand.ok_or_else(|| "the file has no 'demand' line".to_string())
+    file.demand
+        .ok_or_else(|| "the file has no 'demand' line".to_string())
 }
 
 fn cmd_compute(path: &str, args: &[String]) -> Result<(), String> {
@@ -69,20 +72,34 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), String> {
         }
         Some(other) => return Err(format!("unknown strategy '{other}'")),
     };
+    let opts = CalcOptions {
+        parallel: args.iter().any(|a| a == "--parallel"),
+        certificate_cache: !args.iter().any(|a| a == "--no-certs"),
+        ..Default::default()
+    };
     let report = ReliabilityCalculator::new()
         .with_strategy(strategy)
+        .with_options(opts)
         .run(&file.net, demand)
         .map_err(|e| e.to_string())?;
-    println!("reliability = {:.12}  (via {})", report.reliability, report.algorithm);
+    println!(
+        "reliability = {:.12}  (via {})",
+        report.reliability, report.algorithm
+    );
     if let Some(b) = report.bottleneck {
         println!(
             "bottleneck: {:?}  |E_s|={} |E_t|={} alpha={:.3} |D|={}",
-            b.set.edges,
-            b.set.side_s_edges,
-            b.set.side_t_edges,
-            b.alpha,
-            b.assignment_count
+            b.set.edges, b.set.side_s_edges, b.set.side_t_edges, b.alpha, b.assignment_count
         );
+        if b.sweep.configs > 0 {
+            println!(
+                "sweep: {} configs, {} solver calls, {} avoided by certificates ({:.1}% hit rate)",
+                b.sweep.configs,
+                b.sweep.solver_calls,
+                b.sweep.solver_calls_avoided(),
+                100.0 * b.sweep.hit_rate()
+            );
+        }
     }
     if args.iter().any(|a| a == "--exact") {
         let exact = reliability_naive_exact(&file.net, demand, &CalcOptions::default())
@@ -182,7 +199,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                 demand: parse_or(4, 2),
                 seed: parse_or(5, 1),
             });
-            (inst.net, FlowDemand::new(inst.source, inst.sink, inst.demand))
+            (
+                inst.net,
+                FlowDemand::new(inst.source, inst.sink, inst.demand),
+            )
         }
         Some("chain") => {
             let inst = workloads::generators::bridge_chain(
@@ -190,7 +210,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                 parse_or(2, 1),
                 parse_or(3, 1),
             );
-            (inst.net, FlowDemand::new(inst.source, inst.sink, inst.demand))
+            (
+                inst.net,
+                FlowDemand::new(inst.source, inst.sink, inst.demand),
+            )
         }
         Some("grid") => {
             let inst = workloads::generators::grid(
@@ -198,7 +221,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                 parse_or(2, 3) as usize,
                 parse_or(3, 1),
             );
-            (inst.net, FlowDemand::new(inst.source, inst.sink, inst.demand))
+            (
+                inst.net,
+                FlowDemand::new(inst.source, inst.sink, inst.demand),
+            )
         }
         Some("mesh") => {
             let peers: Vec<flowrel_overlay::Peer> = (0..parse_or(1, 8))
@@ -226,7 +252,10 @@ fn cmd_importance(path: &str) -> Result<(), String> {
     let imp = birnbaum_importance(&file.net, demand, &CalcOptions::default())
         .map_err(|e| e.to_string())?;
     println!("reliability = {:.9}", imp.reliability);
-    println!("{:>6} {:>14} {:>12} {:>12}  link", "rank", "potential", "birnbaum", "p(e)");
+    println!(
+        "{:>6} {:>14} {:>12} {:>12}  link",
+        "rank", "potential", "birnbaum", "p(e)"
+    );
     for (rank, &e) in imp.ranked().iter().enumerate() {
         let edge = file.net.edge(netgraph::EdgeId::from(e));
         println!(

@@ -21,7 +21,10 @@ fn generated_barbell_roundtrips_and_computes() {
     let demand = FlowDemand::new(inst.source, inst.sink, inst.demand);
     let text = format::serialize(&inst.net, Some(demand));
     let parsed = format::parse(&text).expect("roundtrip parse");
-    let direct = ReliabilityCalculator::new().run(&inst.net, demand).unwrap().reliability;
+    let direct = ReliabilityCalculator::new()
+        .run(&inst.net, demand)
+        .unwrap()
+        .reliability;
     let via_file = ReliabilityCalculator::new()
         .run(&parsed.net, parsed.demand.expect("demand survives"))
         .unwrap()
@@ -43,15 +46,10 @@ fn generated_grid_roundtrips() {
 
 #[test]
 fn generated_mesh_roundtrips() {
-    let peers: Vec<flowrel_overlay::Peer> =
-        (0..6).map(|i| flowrel_overlay::Peer::new(3, 300.0 + 50.0 * i as f64)).collect();
-    let sc = flowrel_overlay::random_mesh(
-        &peers,
-        2,
-        1,
-        &flowrel_overlay::ChurnModel::new(90.0),
-        3,
-    );
+    let peers: Vec<flowrel_overlay::Peer> = (0..6)
+        .map(|i| flowrel_overlay::Peer::new(3, 300.0 + 50.0 * i as f64))
+        .collect();
+    let sc = flowrel_overlay::random_mesh(&peers, 2, 1, &flowrel_overlay::ChurnModel::new(90.0), 3);
     let sub = *sc.peers.last().unwrap();
     let demand = FlowDemand::new(sc.server, sub, 1);
     let text = format::serialize(&sc.net, Some(demand));

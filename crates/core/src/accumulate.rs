@@ -139,12 +139,7 @@ fn r_zeta<W: Weight>(supported: u32, sup_s: &[W], sup_t: &[W]) -> W {
 
 /// `r_{E''}` by the complement identity, given `none_t[S] = P(side t realizes
 /// nothing in S)` and the total sink-side mass `total_t`.
-fn r_complement<W: Weight>(
-    supported: u32,
-    mass_s: &[W],
-    none_t: &[W],
-    total_t: &W,
-) -> W {
+fn r_complement<W: Weight>(supported: u32, mass_s: &[W], none_t: &[W], total_t: &W) -> W {
     let mut r = W::zero();
     if supported == 0 {
         return r;
@@ -180,7 +175,11 @@ pub fn combine<W: Weight>(
     method: AccumulationMethod,
 ) -> W {
     let k = cut_weights.len();
-    assert_eq!(support.len(), 1 << k, "one supported-set mask per cut configuration");
+    assert_eq!(
+        support.len(),
+        1 << k,
+        "one supported-set mask per cut configuration"
+    );
     assert_eq!(mass_s.len(), 1 << assign_count);
     assert_eq!(mass_t.len(), 1 << assign_count);
 
@@ -202,8 +201,7 @@ pub fn combine<W: Weight>(
             let mut sub_t = mass_t.to_vec();
             subset_sums(&mut sub_t, assign_count);
             let full = (1usize << assign_count) - 1;
-            let none_t: Vec<W> =
-                (0..=full).map(|s| sub_t[full & !s].clone()).collect();
+            let none_t: Vec<W> = (0..=full).map(|s| sub_t[full & !s].clone()).collect();
             let total_t = sub_t[full].clone();
             Some((none_t, total_t))
         }
@@ -273,7 +271,7 @@ mod tests {
         // masses over assignment masks (bit0 = b1, bit1 = b2)
         // c1 -> {b1}, c2 -> {b2}, c3 -> {b1,b2}, c4 -> {b2}
         let mass_s = vec![0.0, q, 2.0 * q, q]; // [none, {b1}, {b2}, {b1,b2}]
-        // c5 -> {b1,b2}, c6 -> {b2}, c7 -> {b1}, c8 -> {}
+                                               // c5 -> {b1,b2}, c6 -> {b2}, c7 -> {b1}, c8 -> {}
         let mass_t = vec![q, q, q, q];
         let expected = (q + q) * (q + q) + (q + q + q) * (q + q) - q * q;
 
@@ -286,7 +284,10 @@ mod tests {
             AccumulationMethod::Complement,
         ] {
             let r = combine(&cut, &support, &mass_s, &mass_t, 2, method);
-            assert!((r - expected).abs() < 1e-12, "{method:?}: {r} vs {expected}");
+            assert!(
+                (r - expected).abs() < 1e-12,
+                "{method:?}: {r} vs {expected}"
+            );
         }
     }
 
@@ -305,9 +306,17 @@ mod tests {
                     (1.0 - p, p)
                 })
                 .collect();
-            let support: Vec<u32> =
-                (0..1u32 << k).map(|_| rng.gen_range(0..1u32 << dn)).collect();
-            let a = combine(&cut, &support, &mass_s, &mass_t, dn, AccumulationMethod::PaperDirect);
+            let support: Vec<u32> = (0..1u32 << k)
+                .map(|_| rng.gen_range(0..1u32 << dn))
+                .collect();
+            let a = combine(
+                &cut,
+                &support,
+                &mass_s,
+                &mass_t,
+                dn,
+                AccumulationMethod::PaperDirect,
+            );
             let b = combine(
                 &cut,
                 &support,
@@ -316,7 +325,14 @@ mod tests {
                 dn,
                 AccumulationMethod::ZetaInclusionExclusion,
             );
-            let c = combine(&cut, &support, &mass_s, &mass_t, dn, AccumulationMethod::Complement);
+            let c = combine(
+                &cut,
+                &support,
+                &mass_s,
+                &mass_t,
+                dn,
+                AccumulationMethod::Complement,
+            );
             assert!((a - b).abs() < 1e-9, "direct {a} vs zeta {b}");
             assert!((a - c).abs() < 1e-9, "direct {a} vs complement {c}");
         }
@@ -333,10 +349,27 @@ mod tests {
             quarter.clone(),
         ];
         let mass_t = mass_s.clone();
-        let cut = vec![(BigRational::from_ratio(9, 10), BigRational::from_ratio(1, 10))];
+        let cut = vec![(
+            BigRational::from_ratio(9, 10),
+            BigRational::from_ratio(1, 10),
+        )];
         let support = vec![0u32, 0b11];
-        let a = combine(&cut, &support, &mass_s, &mass_t, 2, AccumulationMethod::PaperDirect);
-        let b = combine(&cut, &support, &mass_s, &mass_t, 2, AccumulationMethod::Complement);
+        let a = combine(
+            &cut,
+            &support,
+            &mass_s,
+            &mass_t,
+            2,
+            AccumulationMethod::PaperDirect,
+        );
+        let b = combine(
+            &cut,
+            &support,
+            &mass_s,
+            &mass_t,
+            2,
+            AccumulationMethod::Complement,
+        );
         let c = combine(
             &cut,
             &support,
@@ -355,7 +388,14 @@ mod tests {
         let mass = vec![0.5, 0.5];
         let cut = vec![(0.9, 0.1)];
         let support = vec![0u32, 0];
-        let r = combine(&cut, &support, &mass, &mass, 1, AccumulationMethod::Complement);
+        let r = combine(
+            &cut,
+            &support,
+            &mass,
+            &mass,
+            1,
+            AccumulationMethod::Complement,
+        );
         assert_eq!(r, 0.0);
     }
 }

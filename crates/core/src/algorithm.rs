@@ -12,12 +12,14 @@ use netgraph::{EdgeId, Network};
 use crate::accumulate::combine;
 use crate::assign::{crossing_ranges, enumerate_assignments, supported_assignment_masks};
 use crate::bottleneck::{validate_bottleneck_set, BottleneckSet};
+use crate::certcache::SweepStats;
 use crate::decompose::{decompose, Side};
 use crate::demand::FlowDemand;
 use crate::error::ReliabilityError;
 use crate::options::CalcOptions;
 use crate::oracle::SideOracle;
 use crate::spectrum::RealizationSpectrum;
+use crate::sweep::SweepConfig;
 use crate::weight::{edge_weights, edge_weights_exact, EdgeWeights, Weight};
 
 /// What the bottleneck algorithm did, for reporting and experiments.
@@ -29,11 +31,17 @@ pub struct BottleneckReport {
     pub assignment_count: usize,
     /// `α` of the decomposition.
     pub alpha: f64,
+    /// Sweep-engine counters, merged over both side spectra (configurations
+    /// tested, solver calls, certificate hits).
+    pub sweep: SweepStats,
 }
 
 /// Projects parent-network weights onto a side's own edge numbering.
 fn side_weights<W: Weight>(side: &Side, parent: &EdgeWeights<W>) -> EdgeWeights<W> {
-    side.edge_origin.iter().map(|&e| parent[e.index()].clone()).collect()
+    side.edge_origin
+        .iter()
+        .map(|&e| parent[e.index()].clone())
+        .collect()
 }
 
 /// Generic bottleneck reliability over any weight domain.
@@ -57,13 +65,14 @@ pub fn reliability_bottleneck_on_set<W: Weight>(
     weights: &EdgeWeights<W>,
     opts: &CalcOptions,
 ) -> Result<(W, BottleneckReport), ReliabilityError> {
-    let report = |count: usize| BottleneckReport {
+    let report = |count: usize, sweep: SweepStats| BottleneckReport {
         set: set.clone(),
         assignment_count: count,
         alpha: set.alpha(net.edge_count()),
+        sweep,
     };
     if demand.demand == 0 {
-        return Ok((W::one(), report(0)));
+        return Ok((W::one(), report(0, SweepStats::default())));
     }
     // assignment set D (Section III-B)
     let ranges = crossing_ranges(
@@ -76,7 +85,7 @@ pub fn reliability_bottleneck_on_set<W: Weight>(
     let assignments = enumerate_assignments(demand.demand, &ranges);
     if assignments.is_empty() {
         // the bottleneck cannot carry d at all: reliability is trivially zero
-        return Ok((W::zero(), report(0)));
+        return Ok((W::zero(), report(0, SweepStats::default())));
     }
     if assignments.len() > opts.max_assignments || assignments.len() > 31 {
         return Err(ReliabilityError::TooManyAssignments {
@@ -88,30 +97,50 @@ pub fn reliability_bottleneck_on_set<W: Weight>(
     let dec = decompose(net, &demand, set);
     let k = dec.cut.len();
 
-    // side spectra (Section III-C, streamed)
+    // side spectra (Section III-C, streamed through the sweep engine)
     let w_s = side_weights(&dec.side_s, weights);
     let w_t = side_weights(&dec.side_t, weights);
     let mut oracle_s = SideOracle::new(&dec.side_s, &assignments, opts.solver);
     let mut oracle_t = SideOracle::new(&dec.side_t, &assignments, opts.solver);
-    let spec_s = RealizationSpectrum::build(
-        &mut oracle_s,
-        &w_s,
-        opts.max_side_edges,
-        opts.max_assignments,
-        opts.prune_infeasible_assignments,
-    )?;
-    let spec_t = RealizationSpectrum::build(
-        &mut oracle_t,
-        &w_t,
-        opts.max_side_edges,
-        opts.max_assignments,
-        opts.prune_infeasible_assignments,
-    )?;
+    let cfg = SweepConfig::from_opts(opts);
+    let build_s = |o: &mut SideOracle| {
+        RealizationSpectrum::build_with(
+            o,
+            &w_s,
+            opts.max_side_edges,
+            opts.max_assignments,
+            opts.prune_infeasible_assignments,
+            &cfg,
+        )
+    };
+    let build_t = |o: &mut SideOracle| {
+        RealizationSpectrum::build_with(
+            o,
+            &w_t,
+            opts.max_side_edges,
+            opts.max_assignments,
+            opts.prune_infeasible_assignments,
+            &cfg,
+        )
+    };
+    let (res_s, res_t) = if opts.parallel {
+        // the two sides are independent subproblems: build them concurrently
+        rayon::join(|| build_s(&mut oracle_s), || build_t(&mut oracle_t))
+    } else {
+        (build_s(&mut oracle_s), build_t(&mut oracle_t))
+    };
+    let (spec_s, stats_s) = res_s?;
+    let (spec_t, stats_t) = res_t?;
+    let mut sweep = stats_s;
+    sweep.merge(&stats_t);
 
     // accumulation (Section IV)
     let support = supported_assignment_masks(&assignments, k);
-    let cut_weights: Vec<(W, W)> =
-        dec.cut.iter().map(|&e| weights[e.index()].clone()).collect();
+    let cut_weights: Vec<(W, W)> = dec
+        .cut
+        .iter()
+        .map(|&e| weights[e.index()].clone())
+        .collect();
     let r = combine(
         &cut_weights,
         &support,
@@ -120,7 +149,7 @@ pub fn reliability_bottleneck_on_set<W: Weight>(
         assignments.len(),
         opts.accumulation,
     );
-    Ok((r, report(assignments.len())))
+    Ok((r, report(assignments.len(), sweep)))
 }
 
 /// Bottleneck reliability in `f64`.
@@ -182,8 +211,7 @@ mod tests {
     fn bridge_matches_naive() {
         let (net, d, cut) = bridge_net();
         let naive = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
-        let bottleneck =
-            reliability_bottleneck(&net, d, &cut, &CalcOptions::default()).unwrap();
+        let bottleneck = reliability_bottleneck(&net, d, &cut, &CalcOptions::default()).unwrap();
         assert!(
             (naive - bottleneck).abs() < 1e-12,
             "naive {naive} vs bottleneck {bottleneck}"
@@ -200,9 +228,15 @@ mod tests {
             crate::accumulate::AccumulationMethod::ZetaInclusionExclusion,
             crate::accumulate::AccumulationMethod::Complement,
         ] {
-            let opts = CalcOptions { accumulation: method, ..Default::default() };
+            let opts = CalcOptions {
+                accumulation: method,
+                ..Default::default()
+            };
             let r = reliability_bottleneck(&net, d, &cut, &opts).unwrap();
-            assert!((naive - r).abs() < 1e-12, "{method:?}: naive {naive} vs {r}");
+            assert!(
+                (naive - r).abs() < 1e-12,
+                "{method:?}: naive {naive} vs {r}"
+            );
         }
     }
 
@@ -251,8 +285,32 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.set.k(), 2);
-        assert_eq!(report.assignment_count, 2, "D = {{(2,0)... no: (1,1),(2,0)}}");
+        assert_eq!(
+            report.assignment_count, 2,
+            "D = {{(2,0)... no: (1,1),(2,0)}}"
+        );
         assert!((report.alpha - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_variants_agree_and_report_stats() {
+        let (net, d, cut) = two_cut_net();
+        let w = edge_weights(&net);
+        let plain = CalcOptions {
+            certificate_cache: false,
+            ..Default::default()
+        };
+        let (r0, rep0) = reliability_bottleneck_weighted(&net, d, &cut, &w, &plain).unwrap();
+        let (r1, rep1) =
+            reliability_bottleneck_weighted(&net, d, &cut, &w, &CalcOptions::default()).unwrap();
+        let (r2, _) =
+            reliability_bottleneck_weighted(&net, d, &cut, &w, &CalcOptions::parallel()).unwrap();
+        assert_eq!(r0, r1, "serial cert-cached run must be bit-identical");
+        assert!((r0 - r2).abs() < 1e-12);
+        assert_eq!(rep0.sweep.solver_calls_avoided(), 0);
+        assert!(rep1.sweep.solver_calls_avoided() > 0);
+        assert_eq!(rep1.sweep.configs, rep0.sweep.configs);
+        assert!(rep0.sweep.configs > 0);
     }
 
     #[test]

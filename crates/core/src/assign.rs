@@ -125,7 +125,9 @@ pub fn enumerate_assignments(d: u64, ranges: &[(i64, i64)]) -> Vec<Assignment> {
         let i = cur.len();
         if i == ranges.len() {
             if remaining == 0 {
-                out.push(Assignment { amounts: cur.clone() });
+                out.push(Assignment {
+                    amounts: cur.clone(),
+                });
             }
             return;
         }
@@ -149,7 +151,10 @@ pub fn enumerate_assignments(d: u64, ranges: &[(i64, i64)]) -> Vec<Assignment> {
 /// by `S`, i.e. whose support is contained in `S` (Example 5). Returned as a
 /// vector of `2^k` assignment-index masks.
 pub fn supported_assignment_masks(assignments: &[Assignment], k: usize) -> Vec<u32> {
-    assert!(k <= 16, "bottleneck sets larger than 16 links are not supported");
+    assert!(
+        k <= 16,
+        "bottleneck sets larger than 16 links are not supported"
+    );
     assert!(assignments.len() <= 31, "assignment masks are u32-backed");
     let mut out = vec![0u32; 1 << k];
     for (links, slot) in out.iter_mut().enumerate() {
@@ -191,7 +196,10 @@ mod tests {
             vec![3, 2, 0],
         ];
         assert_eq!(d.len(), 12);
-        assert_eq!(d.iter().map(|a| a.amounts.clone()).collect::<Vec<_>>(), expected);
+        assert_eq!(
+            d.iter().map(|a| a.amounts.clone()).collect::<Vec<_>>(),
+            expected
+        );
     }
 
     /// Example 3: d = 2 over two links ⇒ {(2,0), (1,1), (0,2)}.
@@ -234,9 +242,15 @@ mod tests {
     /// Example 4: {e1, e3} supports (2,0,1) and (3,0,4) but not (1,1,0).
     #[test]
     fn example_4_support() {
-        let a = Assignment { amounts: vec![2, 0, 1] };
-        let b = Assignment { amounts: vec![3, 0, 4] };
-        let c = Assignment { amounts: vec![1, 1, 0] };
+        let a = Assignment {
+            amounts: vec![2, 0, 1],
+        };
+        let b = Assignment {
+            amounts: vec![3, 0, 4],
+        };
+        let c = Assignment {
+            amounts: vec![1, 1, 0],
+        };
         let e1_e3 = 0b101u32;
         assert!(a.supported_by(e1_e3));
         assert!(b.supported_by(e1_e3));
@@ -277,10 +291,20 @@ mod tests {
         let e0 = b.add_edge(n[0], n[1], 3, 0.1).unwrap(); // forward
         let e1 = b.add_edge(n[2], n[3], 5, 0.1).unwrap(); // backward
         let net = b.build();
-        let fwd = crossing_ranges(&net, &[e0, e1], &[true, false], 2, AssignmentModel::ForwardOnly);
+        let fwd = crossing_ranges(
+            &net,
+            &[e0, e1],
+            &[true, false],
+            2,
+            AssignmentModel::ForwardOnly,
+        );
         assert_eq!(fwd, vec![(0, 2), (0, 0)]);
         let net_model = crossing_ranges(&net, &[e0, e1], &[true, false], 2, AssignmentModel::Net);
-        assert_eq!(net_model, vec![(0, 3), (-5, 0)], "net bounds are capacities");
+        assert_eq!(
+            net_model,
+            vec![(0, 3), (-5, 0)],
+            "net bounds are capacities"
+        );
     }
 
     #[test]

@@ -86,13 +86,19 @@ pub fn validate_bottleneck_set(
         return Err(ReliabilityError::NotSeparating);
     }
     if comps.count() != 2 {
-        return Err(ReliabilityError::NotTwoComponents { components: comps.count() });
+        return Err(ReliabilityError::NotTwoComponents {
+            components: comps.count(),
+        });
     }
     // minimality: no (k-1)-subset separates (separation is monotone under
     // removing more links, so checking one-removed subsets suffices)
     for skip in 0..edges.len() {
-        let witness: Vec<EdgeId> =
-            edges.iter().enumerate().filter(|&(i, _)| i != skip).map(|(_, &e)| e).collect();
+        let witness: Vec<EdgeId> = edges
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != skip)
+            .map(|(_, &e)| e)
+            .collect();
         if separates(net, s, t, &witness) {
             return Err(ReliabilityError::NotMinimal { witness });
         }
@@ -117,8 +123,10 @@ pub fn validate_bottleneck_set(
             side_t_edges += 1;
         }
     }
-    let forward_oriented =
-        edges.iter().map(|&e| comps.label(net.edge(e).src) == s_label).collect();
+    let forward_oriented = edges
+        .iter()
+        .map(|&e| comps.label(net.edge(e).src) == s_label)
+        .collect();
     Ok(BottleneckSet {
         edges,
         side_s_nodes,
@@ -308,8 +316,7 @@ mod tests {
     #[test]
     fn validates_two_link_cut() {
         let (net, s, t) = two_link_graph();
-        let set =
-            validate_bottleneck_set(&net, s, t, &[EdgeId(2), EdgeId(3)]).unwrap();
+        let set = validate_bottleneck_set(&net, s, t, &[EdgeId(2), EdgeId(3)]).unwrap();
         assert_eq!(set.k(), 2);
         assert_eq!(set.side_s_edges, 2);
         assert_eq!(set.side_t_edges, 2);
@@ -386,10 +393,9 @@ mod tests {
         b.add_edge(n[1], n[2], 2, 0.1).unwrap(); // bottleneck a -> b (forward)
         b.add_edge(n[3], n[1], 2, 0.1).unwrap(); // bottleneck c -> a (backward!)
         b.add_edge(n[2], n[3], 2, 0.1).unwrap(); // b -> c
-        // hmm: this graph's cut {1, 2} separates {s,a} from {b,c}
+                                                 // hmm: this graph's cut {1, 2} separates {s,a} from {b,c}
         let net = b.build();
-        let set =
-            validate_bottleneck_set(&net, n[0], n[2], &[EdgeId(1), EdgeId(2)]).unwrap();
+        let set = validate_bottleneck_set(&net, n[0], n[2], &[EdgeId(1), EdgeId(2)]).unwrap();
         assert_eq!(set.forward_oriented, vec![true, false]);
     }
 }

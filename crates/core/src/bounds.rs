@@ -50,9 +50,7 @@ pub fn enumerate_simple_paths(
             }
             self.visited.insert(u.index());
             for &(e, v) in self.adj.out_edges(u) {
-                if self.visited.contains(v.index())
-                    || self.net.edge(e).capacity < self.min_cap
-                {
+                if self.visited.contains(v.index()) || self.net.edge(e).capacity < self.min_cap {
                     continue;
                 }
                 self.stack.push(e);
@@ -80,7 +78,10 @@ pub fn enumerate_simple_paths(
         paths: Vec::new(),
     };
     if !dfs.run(s) {
-        return Err(ReliabilityError::TooManyEdges { count: max_paths, max: max_paths });
+        return Err(ReliabilityError::TooManyEdges {
+            count: max_paths,
+            max: max_paths,
+        });
     }
     Ok(dfs.paths)
 }
@@ -98,15 +99,13 @@ pub fn enumerate_minimal_cuts(
     net.check_node(t)?;
     // directed reachability with a subset of edges removed
     let adj = Adjacency::new(net);
-    let connected = |removed: &[usize]| -> bool {
-        reach_with_removed(&adj, s, removed).contains(t.index())
-    };
+    let connected =
+        |removed: &[usize]| -> bool { reach_with_removed(&adj, s, removed).contains(t.index()) };
     if !connected(&[]) {
         return Ok(vec![vec![]]); // already cut: the empty set is the cut
     }
     let m = net.edge_count();
-    let candidates: Vec<usize> =
-        (0..m).filter(|&i| net.edges()[i].capacity > 0).collect();
+    let candidates: Vec<usize> = (0..m).filter(|&i| net.edges()[i].capacity > 0).collect();
     let mut cuts: Vec<Vec<usize>> = Vec::new();
     let mut combo: Vec<usize> = Vec::new();
 
@@ -121,9 +120,7 @@ pub fn enumerate_minimal_cuts(
         if combo.len() == size {
             if !connected(combo) {
                 // minimality: no known smaller/equal cut is a subset
-                let dominated = cuts
-                    .iter()
-                    .any(|c| c.iter().all(|e| combo.contains(e)));
+                let dominated = cuts.iter().any(|c| c.iter().all(|e| combo.contains(e)));
                 if !dominated {
                     cuts.push(combo.clone());
                 }
@@ -162,7 +159,10 @@ pub fn esary_proschan_bounds(
     max_structures: usize,
 ) -> Result<(f64, f64), ReliabilityError> {
     demand.validate(net)?;
-    assert_eq!(demand.demand, 1, "Esary-Proschan bounds implemented for unit demand");
+    assert_eq!(
+        demand.demand, 1,
+        "Esary-Proschan bounds implemented for unit demand"
+    );
     let paths = enumerate_simple_paths(net, demand.source, demand.sink, 1, max_structures)?;
     if paths.is_empty() {
         return Ok((0.0, 0.0));

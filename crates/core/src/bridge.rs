@@ -59,15 +59,17 @@ fn bridge_rec<W: Weight>(
         // the removal may leave more than two components (other bridges
         // elsewhere); keep only the s- and t-sides, everything else is
         // irrelevant to the demand and marginalizes out of the probability
-        let side =
-            |label: u32| -> Vec<NodeId> { comps.members(label) };
+        let side = |label: u32| -> Vec<NodeId> { comps.members(label) };
         let (s_net, s_map, s_origin) = net.induced(&side(s_label), None);
-        let (t_net, t_map, t_origin) =
-            net.induced(&side(comps.label(demand.sink)), None);
-        let w_s: EdgeWeights<W> =
-            s_origin.iter().map(|&i| weights[i.index()].clone()).collect();
-        let w_t: EdgeWeights<W> =
-            t_origin.iter().map(|&i| weights[i.index()].clone()).collect();
+        let (t_net, t_map, t_origin) = net.induced(&side(comps.label(demand.sink)), None);
+        let w_s: EdgeWeights<W> = s_origin
+            .iter()
+            .map(|&i| weights[i.index()].clone())
+            .collect();
+        let w_t: EdgeWeights<W> = t_origin
+            .iter()
+            .map(|&i| weights[i.index()].clone())
+            .collect();
         let r_s = bridge_rec(
             &s_net,
             FlowDemand::new(
@@ -187,9 +189,12 @@ mod tests {
         let n = b.add_nodes(2);
         b.add_edge(n[0], n[1], 1, 0.1).unwrap();
         let net = b.build();
-        let r =
-            reliability_bridge(&net, FlowDemand::new(n[0], n[1], 2), &CalcOptions::default())
-                .unwrap();
+        let r = reliability_bridge(
+            &net,
+            FlowDemand::new(n[0], n[1], 2),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r, 0.0);
     }
 

@@ -94,7 +94,11 @@ impl ReliabilityCalculator {
         match &self.strategy {
             Strategy::Naive => {
                 let r = reliability_naive(net, demand, &self.options)?;
-                Ok(ReliabilityReport { reliability: r, algorithm: "naive", bottleneck: None })
+                Ok(ReliabilityReport {
+                    reliability: r,
+                    algorithm: "naive",
+                    bottleneck: None,
+                })
             }
             Strategy::Factoring => {
                 let r = reliability_factoring(net, demand, &self.options)?;
@@ -172,7 +176,11 @@ impl ReliabilityCalculator {
             }
         }
         let r = reliability_factoring(net, demand, &self.options)?;
-        Ok(ReliabilityReport { reliability: r, algorithm: "auto:factoring", bottleneck: None })
+        Ok(ReliabilityReport {
+            reliability: r,
+            algorithm: "auto:factoring",
+            bottleneck: None,
+        })
     }
 }
 
@@ -211,7 +219,10 @@ mod tests {
             .unwrap()
             .reliability;
         for s in strategies {
-            let rep = ReliabilityCalculator::new().with_strategy(s.clone()).run(&net, d).unwrap();
+            let rep = ReliabilityCalculator::new()
+                .with_strategy(s.clone())
+                .run(&net, d)
+                .unwrap();
             assert!(
                 (rep.reliability - reference).abs() < 1e-12,
                 "{s:?} gave {} vs {reference}",
@@ -240,7 +251,9 @@ mod tests {
             }
         }
         let net = b.build();
-        let rep = ReliabilityCalculator::new().run(&net, FlowDemand::new(n[0], n[4], 1)).unwrap();
+        let rep = ReliabilityCalculator::new()
+            .run(&net, FlowDemand::new(n[0], n[4], 1))
+            .unwrap();
         assert_eq!(rep.algorithm, "auto:factoring");
         assert!(rep.bottleneck.is_none());
     }

@@ -57,7 +57,8 @@ fn build_side(
                 (true, true) | (false, false) => edge.src,
                 (true, false) | (false, true) => edge.dst,
             };
-            map.get(endpoint).expect("bottleneck endpoint must lie on this side")
+            map.get(endpoint)
+                .expect("bottleneck endpoint must lie on this side")
         })
         .collect();
     Side {

@@ -20,7 +20,11 @@ pub struct FlowDemand {
 impl FlowDemand {
     /// Creates a demand.
     pub fn new(source: NodeId, sink: NodeId, demand: u64) -> Self {
-        FlowDemand { source, sink, demand }
+        FlowDemand {
+            source,
+            sink,
+            demand,
+        }
     }
 
     /// Checks the demand against a network: endpoints must exist and be

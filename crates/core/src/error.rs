@@ -19,6 +19,14 @@ pub enum ReliabilityError {
         /// The configured maximum.
         max: usize,
     },
+    /// The network has more links than an [`netgraph::EdgeMask`] can
+    /// represent, so configurations cannot be enumerated at all.
+    EdgeMaskOverflow {
+        /// Links in the network.
+        count: usize,
+        /// The mask capacity ([`netgraph::EdgeMask::MAX_EDGES`]).
+        max: usize,
+    },
     /// A component of the bottleneck decomposition is too large to enumerate.
     SideTooLarge {
         /// Links in the offending component.
@@ -57,25 +65,49 @@ impl fmt::Display for ReliabilityError {
         match self {
             ReliabilityError::Graph(e) => write!(f, "graph error: {e}"),
             ReliabilityError::TooManyEdges { count, max } => {
-                write!(f, "{count} fallible links exceed the enumeration bound of {max}")
+                write!(
+                    f,
+                    "{count} fallible links exceed the enumeration bound of {max}"
+                )
+            }
+            ReliabilityError::EdgeMaskOverflow { count, max } => {
+                write!(f, "{count} links exceed the {max}-bit edge-mask capacity")
             }
             ReliabilityError::SideTooLarge { count, max } => {
-                write!(f, "decomposition side has {count} links, exceeding the bound of {max}")
+                write!(
+                    f,
+                    "decomposition side has {count} links, exceeding the bound of {max}"
+                )
             }
             ReliabilityError::TooManyAssignments { count, max } => {
-                write!(f, "assignment set has {count} entries, exceeding the bound of {max}")
+                write!(
+                    f,
+                    "assignment set has {count} entries, exceeding the bound of {max}"
+                )
             }
             ReliabilityError::NotSeparating => {
-                write!(f, "removing the candidate links does not separate source from sink")
+                write!(
+                    f,
+                    "removing the candidate links does not separate source from sink"
+                )
             }
             ReliabilityError::NotMinimal { witness } => {
-                write!(f, "candidate link set is not minimal: {witness:?} already separates")
+                write!(
+                    f,
+                    "candidate link set is not minimal: {witness:?} already separates"
+                )
             }
             ReliabilityError::NotTwoComponents { components } => {
-                write!(f, "removal leaves {components} components, expected exactly 2")
+                write!(
+                    f,
+                    "removal leaves {components} components, expected exactly 2"
+                )
             }
             ReliabilityError::NoBottleneckFound => {
-                write!(f, "no bottleneck link set found within the cardinality bound")
+                write!(
+                    f,
+                    "no bottleneck link set found within the cardinality bound"
+                )
             }
         }
     }
@@ -98,7 +130,9 @@ mod tests {
         let e = ReliabilityError::TooManyEdges { count: 40, max: 30 };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("30"));
-        let e = ReliabilityError::NotMinimal { witness: vec![EdgeId(1)] };
+        let e = ReliabilityError::NotMinimal {
+            witness: vec![EdgeId(1)],
+        };
         assert!(e.to_string().contains("e1"));
     }
 }

@@ -38,7 +38,10 @@ impl<W: Weight> Factoring<'_, W> {
     /// Everything else is conditioned failed.
     fn go(&mut self, alive: u64, undecided: u64) -> W {
         // optimistic: all undecided alive
-        if !self.oracle.admits(EdgeMask::from_bits(alive | undecided, self.m)) {
+        if !self
+            .oracle
+            .admits(EdgeMask::from_bits(alive | undecided, self.m))
+        {
             self.leaves += 1;
             return W::zero();
         }
@@ -71,22 +74,36 @@ pub fn reliability_factoring_weighted<W: Weight>(
     // delete links on no s→t path (exact; see crate::preprocess)
     let reduced = relevance_reduce(net, demand);
     if reduced.removed > 0 {
-        let w: EdgeWeights<W> =
-            reduced.edge_origin.iter().map(|&i| weights[i].clone()).collect();
+        let w: EdgeWeights<W> = reduced
+            .edge_origin
+            .iter()
+            .map(|&i| weights[i].clone())
+            .collect();
         return reliability_factoring_weighted(&reduced.net, reduced.demand, &w, opts);
     }
     let m = net.edge_count();
-    assert!(m <= EdgeMask::MAX_EDGES, "factoring supports at most 64 links");
+    assert!(
+        m <= EdgeMask::MAX_EDGES,
+        "factoring supports at most 64 links"
+    );
     if m > opts.max_enum_edges.max(40) {
         // factoring prunes aggressively, so allow somewhat more than naive,
         // but still refuse hopeless instances
-        return Err(ReliabilityError::TooManyEdges { count: m, max: opts.max_enum_edges.max(40) });
+        return Err(ReliabilityError::TooManyEdges {
+            count: m,
+            max: opts.max_enum_edges.max(40),
+        });
     }
     if demand.demand == 0 {
         return Ok((W::one(), 1));
     }
     let oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
-    let mut f = Factoring { oracle, weights, m, leaves: 0 };
+    let mut f = Factoring {
+        oracle,
+        weights,
+        m,
+        leaves: 0,
+    };
     let all = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
     let r = f.go(0, all);
     Ok((r, f.leaves))
@@ -119,7 +136,16 @@ mod tests {
     fn mesh() -> (Network, FlowDemand) {
         let mut b = NetworkBuilder::new(GraphKind::Undirected);
         let n = b.add_nodes(5);
-        let edges = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (0, 3)];
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (0, 3),
+        ];
         let probs = [0.1, 0.2, 0.3, 0.15, 0.25, 0.05, 0.35, 0.4];
         for (&(u, v), &p) in edges.iter().zip(&probs) {
             b.add_edge(n[u], n[v], 1, p).unwrap();

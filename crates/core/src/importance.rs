@@ -52,8 +52,7 @@ pub fn birnbaum_importance(
 ) -> Result<LinkImportance, ReliabilityError> {
     demand.validate(net)?;
     let base_weights = edge_weights(net);
-    let (reliability, _) =
-        reliability_factoring_weighted(net, demand, &base_weights, opts)?;
+    let (reliability, _) = reliability_factoring_weighted(net, demand, &base_weights, opts)?;
     let m = net.edge_count();
     let mut birnbaum = Vec::with_capacity(m);
     let mut improvement = Vec::with_capacity(m);
@@ -68,7 +67,11 @@ pub fn birnbaum_importance(
         birnbaum.push(ib);
         improvement.push(net.edge(netgraph::EdgeId::from(e)).fail_prob * ib);
     }
-    Ok(LinkImportance { birnbaum, improvement, reliability })
+    Ok(LinkImportance {
+        birnbaum,
+        improvement,
+        reliability,
+    })
 }
 
 #[cfg(test)]
@@ -85,9 +88,12 @@ mod tests {
         b.add_edge(n[0], n[1], 1, 0.1).unwrap();
         b.add_edge(n[1], n[2], 1, 0.2).unwrap();
         let net = b.build();
-        let imp =
-            birnbaum_importance(&net, FlowDemand::new(n[0], n[2], 1), &CalcOptions::default())
-                .unwrap();
+        let imp = birnbaum_importance(
+            &net,
+            FlowDemand::new(n[0], n[2], 1),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert!((imp.birnbaum[0] - 0.8).abs() < 1e-12);
         assert!((imp.birnbaum[1] - 0.9).abs() < 1e-12);
         assert!((imp.reliability - 0.72).abs() < 1e-12);
@@ -101,9 +107,12 @@ mod tests {
         b.add_edge(n[0], n[1], 1, 0.1).unwrap();
         b.add_edge(n[0], n[1], 1, 0.2).unwrap();
         let net = b.build();
-        let imp =
-            birnbaum_importance(&net, FlowDemand::new(n[0], n[1], 1), &CalcOptions::default())
-                .unwrap();
+        let imp = birnbaum_importance(
+            &net,
+            FlowDemand::new(n[0], n[1], 1),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert!((imp.birnbaum[0] - 0.2).abs() < 1e-12);
         assert!((imp.birnbaum[1] - 0.1).abs() < 1e-12);
     }
@@ -125,10 +134,10 @@ mod tests {
             let n2 = b2.add_nodes(4);
             for (i, edge) in net.edges().iter().enumerate() {
                 let p = if i == e { 0.0 } else { edge.fail_prob };
-                b2.add_edge(n2[edge.src.index()], n2[edge.dst.index()], 1, p).unwrap();
+                b2.add_edge(n2[edge.src.index()], n2[edge.dst.index()], 1, p)
+                    .unwrap();
             }
-            let perfected =
-                reliability_naive(&b2.build(), d, &CalcOptions::default()).unwrap();
+            let perfected = reliability_naive(&b2.build(), d, &CalcOptions::default()).unwrap();
             let predicted = imp.reliability + imp.improvement[e];
             assert!(
                 (perfected - predicted).abs() < 1e-12,
@@ -144,9 +153,12 @@ mod tests {
         b.add_edge(n[0], n[1], 1, 0.4).unwrap();
         b.add_edge(n[1], n[2], 1, 0.05).unwrap();
         let net = b.build();
-        let imp =
-            birnbaum_importance(&net, FlowDemand::new(n[0], n[2], 1), &CalcOptions::default())
-                .unwrap();
+        let imp = birnbaum_importance(
+            &net,
+            FlowDemand::new(n[0], n[2], 1),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         let order = imp.ranked();
         assert_eq!(order[0], 0, "the flakiest series link dominates");
         assert!(imp.improvement[order[0]] >= imp.improvement[order[1]]);
@@ -159,9 +171,12 @@ mod tests {
         b.add_edge(n[0], n[1], 1, 0.1).unwrap();
         b.add_edge(n[2], n[2], 1, 0.5).unwrap(); // self loop, never on a path
         let net = b.build();
-        let imp =
-            birnbaum_importance(&net, FlowDemand::new(n[0], n[1], 1), &CalcOptions::default())
-                .unwrap();
+        let imp = birnbaum_importance(
+            &net,
+            FlowDemand::new(n[0], n[1], 1),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert_eq!(imp.birnbaum[1], 0.0);
         assert_eq!(imp.improvement[1], 0.0);
     }

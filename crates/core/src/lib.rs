@@ -39,6 +39,7 @@ pub mod bottleneck;
 pub mod bounds;
 pub mod bridge;
 pub mod calculator;
+pub mod certcache;
 pub mod decompose;
 pub mod demand;
 pub mod error;
@@ -47,35 +48,43 @@ pub mod importance;
 pub mod naive;
 pub mod nodefail;
 pub mod options;
+pub mod oracle;
 pub mod polynomial;
 pub mod preprocess;
-pub mod oracle;
 pub mod spectrum;
 pub mod spreduce;
+pub mod sweep;
 pub mod table;
 pub mod weight;
 
 pub use accumulate::AccumulationMethod;
 pub use algorithm::{reliability_bottleneck, reliability_bottleneck_exact, BottleneckReport};
 pub use assign::{enumerate_assignments, Assignment, AssignmentModel};
-pub use bottleneck::{find_all_bottleneck_sets, find_bottleneck_set, validate_bottleneck_set, BottleneckSet};
+pub use bottleneck::{
+    find_all_bottleneck_sets, find_bottleneck_set, validate_bottleneck_set, BottleneckSet,
+};
+pub use bounds::{enumerate_minimal_cuts, enumerate_simple_paths, esary_proschan_bounds};
 pub use bridge::reliability_bridge;
+pub use bridge::reliability_bridge_exact;
 pub use calculator::{ReliabilityCalculator, ReliabilityReport, Strategy};
+pub use certcache::{CertCache, SolveCert, SweepStats};
 pub use decompose::{decompose, Decomposition, Side};
 pub use demand::FlowDemand;
 pub use error::ReliabilityError;
 pub use factoring::reliability_factoring;
-pub use bounds::{enumerate_minimal_cuts, enumerate_simple_paths, esary_proschan_bounds};
-pub use bridge::reliability_bridge_exact;
 pub use factoring::reliability_factoring_exact;
 pub use importance::{birnbaum_importance, LinkImportance};
-pub use naive::{reliability_naive, reliability_naive_exact, reliability_naive_weighted};
+pub use naive::{
+    reliability_naive, reliability_naive_exact, reliability_naive_weighted,
+    reliability_naive_with_stats,
+};
 pub use nodefail::{split_node_failures, NodeSplit};
 pub use options::CalcOptions;
+pub use oracle::{DemandOracle, SideOracle};
 pub use polynomial::{reliability_polynomial, ReliabilityPolynomial};
 pub use preprocess::{relevance_reduce, RelevantNetwork};
-pub use oracle::{DemandOracle, SideOracle};
 pub use spectrum::RealizationSpectrum;
 pub use spreduce::{reduce_unit_demand, reliability_sp_reduced, ReducedNetwork, ReductionStats};
+pub use sweep::{sweep_spectrum, sweep_sum, sweep_table, SweepConfig, SweepOracle};
 pub use table::RealizationTable;
 pub use weight::{edge_weights, edge_weights_exact, Weight};

@@ -4,21 +4,23 @@
 //! induced subgraph; if it admits the demand, add
 //! `Π_{e ∈ E'} (1 − p(e)) · Π_{e ∉ E'} p(e)` to the reliability.
 //!
-//! Two exact refinements (both optional, both ablated in the benches):
-//! * links with `p(e) = 0` never fail, so they are pinned alive instead of
-//!   enumerated (`factor_perfect_links`);
-//! * configurations are swept in parallel with rayon (`parallel`), each
-//!   worker owning a clone of the flow oracle and a compensated partial sum.
+//! The enumeration itself is delegated to the shared sweep engine
+//! ([`crate::sweep`]): Gray-code order with O(1) incremental masks and
+//! split-product weights, optional rayon parallelism, and optional
+//! monotonicity-certificate caching — all exact. Links with `p(e) = 0` never
+//! fail, so they are pinned alive instead of enumerated
+//! (`factor_perfect_links`).
 
-use exactmath::{BigRational, NeumaierSum};
+use exactmath::BigRational;
 use netgraph::{EdgeMask, Network};
-use rayon::prelude::*;
 
+use crate::certcache::SweepStats;
 use crate::demand::FlowDemand;
 use crate::error::ReliabilityError;
 use crate::options::CalcOptions;
 use crate::oracle::DemandOracle;
 use crate::preprocess::relevance_reduce;
+use crate::sweep::{sweep_sum, CompensatedAcc, PlainAcc, SweepConfig, SweepGeometry};
 use crate::weight::{edge_weights_exact, EdgeWeights, Weight};
 
 /// Splits edge indices into (fallible, pinned-alive) per the options.
@@ -35,38 +37,28 @@ fn enumeration_split(net: &Network, opts: &CalcOptions) -> (Vec<usize>, u64) {
     (fallible, pinned)
 }
 
-/// Expands a compact index over fallible edges into a full edge mask.
-#[inline]
-fn expand_mask(compact: u64, fallible: &[usize], pinned: u64, edge_count: usize) -> EdgeMask {
-    let mut bits = pinned;
-    let mut rest = compact;
-    while rest != 0 {
-        let b = rest.trailing_zeros() as usize;
-        rest &= rest - 1;
-        bits |= 1 << fallible[b];
-    }
-    EdgeMask::from_bits(bits, edge_count)
-}
-
+/// Validates the demand and the enumeration bounds; returns the
+/// (fallible, pinned) split so callers enumerate exactly what was checked.
 fn check_bounds(
     net: &Network,
     demand: FlowDemand,
     opts: &CalcOptions,
-) -> Result<Vec<usize>, ReliabilityError> {
+) -> Result<(Vec<usize>, u64), ReliabilityError> {
     demand.validate(net)?;
-    assert!(
-        net.edge_count() <= EdgeMask::MAX_EDGES,
-        "naive enumeration requires at most {} edges",
-        EdgeMask::MAX_EDGES
-    );
-    let (fallible, _) = enumeration_split(net, opts);
+    if net.edge_count() > EdgeMask::MAX_EDGES {
+        return Err(ReliabilityError::EdgeMaskOverflow {
+            count: net.edge_count(),
+            max: EdgeMask::MAX_EDGES,
+        });
+    }
+    let (fallible, pinned) = enumeration_split(net, opts);
     if fallible.len() > opts.max_enum_edges {
         return Err(ReliabilityError::TooManyEdges {
             count: fallible.len(),
             max: opts.max_enum_edges,
         });
     }
-    Ok(fallible)
+    Ok((fallible, pinned))
 }
 
 /// Naive reliability in `f64` with compensated summation.
@@ -79,68 +71,49 @@ pub fn reliability_naive(
     demand: FlowDemand,
     opts: &CalcOptions,
 ) -> Result<f64, ReliabilityError> {
+    reliability_naive_with_stats(net, demand, opts).map(|(r, _)| r)
+}
+
+/// [`reliability_naive`] plus the sweep-engine counters (configurations
+/// tested, solver calls, certificate hits).
+pub fn reliability_naive_with_stats(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<(f64, SweepStats), ReliabilityError> {
     demand.validate(net)?;
     let reduced = relevance_reduce(net, demand);
     if reduced.removed > 0 {
-        return reliability_naive(&reduced.net, reduced.demand, opts);
+        return reliability_naive_with_stats(&reduced.net, reduced.demand, opts);
     }
-    let fallible = check_bounds(net, demand, opts)?;
-    let (_, pinned) = enumeration_split(net, opts);
-    let m = fallible.len();
-    let edge_count = net.edge_count();
-    let mut oracle =
-        DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
+    let (fallible, pinned) = check_bounds(net, demand, opts)?;
+    let mut oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
     // quick exits
     if demand.demand == 0 {
-        return Ok(1.0);
+        return Ok((1.0, SweepStats::default()));
     }
     if oracle.max_flow_all_alive() < demand.demand {
-        return Ok(0.0);
+        return Ok((0.0, SweepStats::default()));
     }
-    let weights: Vec<(f64, f64)> =
-        net.edges().iter().map(|e| (1.0 - e.fail_prob, e.fail_prob)).collect();
-    let prob_of = |mask: EdgeMask, fallible: &[usize]| -> f64 {
-        let mut p = 1.0;
-        for &i in fallible {
-            p *= if mask.alive(i) { weights[i].0 } else { weights[i].1 };
-        }
-        p
+    let weights: Vec<(f64, f64)> = fallible
+        .iter()
+        .map(|&i| {
+            let p = net.edges()[i].fail_prob;
+            (1.0 - p, p)
+        })
+        .collect();
+    let geom = SweepGeometry {
+        fallible: &fallible,
+        pinned,
+        edge_count: net.edge_count(),
     };
-
-    let total_configs: u64 = 1u64 << m;
-    if opts.parallel && m >= 10 {
-        let chunks = (rayon::current_num_threads() * 8).max(1) as u64;
-        let chunk_len = total_configs.div_ceil(chunks);
-        let sum = (0..chunks)
-            .into_par_iter()
-            .map(|c| {
-                let lo = c * chunk_len;
-                let hi = ((c + 1) * chunk_len).min(total_configs);
-                let mut local = oracle.clone();
-                let mut acc = NeumaierSum::new();
-                for compact in lo..hi {
-                    let mask = expand_mask(compact, &fallible, pinned, edge_count);
-                    if local.admits(mask) {
-                        acc.add(prob_of(mask, &fallible));
-                    }
-                }
-                acc
-            })
-            .reduce(NeumaierSum::new, |mut a, b| {
-                a.merge(b);
-                a
-            });
-        Ok(sum.total())
-    } else {
-        let mut acc = NeumaierSum::new();
-        for compact in 0..total_configs {
-            let mask = expand_mask(compact, &fallible, pinned, edge_count);
-            if oracle.admits(mask) {
-                acc.add(prob_of(mask, &fallible));
-            }
-        }
-        Ok(acc.total())
-    }
+    let (r, stats) = sweep_sum::<f64, CompensatedAcc, _>(
+        &oracle,
+        &geom,
+        &weights,
+        &SweepConfig::from_opts(opts),
+    );
+    Ok((r, stats))
 }
 
 /// Naive reliability with exact rational arithmetic (the validation oracle
@@ -155,6 +128,11 @@ pub fn reliability_naive_exact(
 }
 
 /// Naive reliability over arbitrary weights (shared generic implementation).
+///
+/// Runs the sweep engine serially regardless of `opts.parallel` so the
+/// deterministic exact path stays deterministic; certificate caching is still
+/// honored (a cache hit is the verdict the solver would return, and skipping
+/// a solve never perturbs exact arithmetic).
 pub fn reliability_naive_weighted<W: Weight>(
     net: &Network,
     demand: FlowDemand,
@@ -165,36 +143,42 @@ pub fn reliability_naive_weighted<W: Weight>(
     assert_eq!(weights.len(), net.edge_count(), "one weight pair per link");
     let reduced = relevance_reduce(net, demand);
     if reduced.removed > 0 {
-        let w: EdgeWeights<W> =
-            reduced.edge_origin.iter().map(|&i| weights[i].clone()).collect();
+        let w: EdgeWeights<W> = reduced
+            .edge_origin
+            .iter()
+            .map(|&i| weights[i].clone())
+            .collect();
         return reliability_naive_weighted(&reduced.net, reduced.demand, &w, opts);
     }
     // Perfect-link factoring is keyed on the f64 probabilities; for generic
     // weights enumerate everything to stay self-evidently exact.
-    let opts_all = CalcOptions { factor_perfect_links: false, ..*opts };
-    let fallible = check_bounds(net, demand, &opts_all)?;
-    let m = fallible.len();
-    let edge_count = net.edge_count();
+    let opts_all = CalcOptions {
+        factor_perfect_links: false,
+        ..*opts
+    };
+    let (fallible, pinned) = check_bounds(net, demand, &opts_all)?;
     if demand.demand == 0 {
         return Ok(W::one());
     }
-    let mut oracle =
-        DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
+    let mut oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
     if oracle.max_flow_all_alive() < demand.demand {
         return Ok(W::zero());
     }
-    let mut acc = W::zero();
-    for compact in 0..(1u64 << m) {
-        let mask = expand_mask(compact, &fallible, 0, edge_count);
-        if oracle.admits(mask) {
-            let mut p = W::one();
-            for &i in &fallible {
-                p = p.mul(if mask.alive(i) { &weights[i].0 } else { &weights[i].1 });
-            }
-            acc = acc.add(&p);
-        }
-    }
-    Ok(acc)
+    let compact: Vec<(W, W)> = fallible
+        .iter()
+        .map(|&i| (weights[i].0.clone(), weights[i].1.clone()))
+        .collect();
+    let geom = SweepGeometry {
+        fallible: &fallible,
+        pinned,
+        edge_count: net.edge_count(),
+    };
+    let cfg = SweepConfig {
+        parallel: false,
+        ..SweepConfig::from_opts(opts)
+    };
+    let (r, _) = sweep_sum::<W, PlainAcc<W>, _>(&oracle, &geom, &compact, &cfg);
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -215,16 +199,24 @@ mod tests {
     #[test]
     fn parallel_links_demand_one() {
         let net = two_parallel();
-        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 1), &CalcOptions::default())
-            .unwrap();
+        let r = reliability_naive(
+            &net,
+            FlowDemand::new(NodeId(0), NodeId(1), 1),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert!((r - 0.99).abs() < 1e-12);
     }
 
     #[test]
     fn parallel_links_demand_two() {
         let net = two_parallel();
-        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 2), &CalcOptions::default())
-            .unwrap();
+        let r = reliability_naive(
+            &net,
+            FlowDemand::new(NodeId(0), NodeId(1), 2),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert!((r - 0.81).abs() < 1e-12, "both links must survive: 0.9^2");
     }
 
@@ -236,24 +228,36 @@ mod tests {
         b.add_edge(n[0], n[1], 1, 0.2).unwrap();
         b.add_edge(n[1], n[2], 1, 0.3).unwrap();
         let net = b.build();
-        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(2), 1), &CalcOptions::default())
-            .unwrap();
+        let r = reliability_naive(
+            &net,
+            FlowDemand::new(NodeId(0), NodeId(2), 1),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert!((r - 0.8 * 0.7).abs() < 1e-12);
     }
 
     #[test]
     fn insufficient_capacity_is_zero() {
         let net = two_parallel();
-        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 3), &CalcOptions::default())
-            .unwrap();
+        let r = reliability_naive(
+            &net,
+            FlowDemand::new(NodeId(0), NodeId(1), 3),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r, 0.0);
     }
 
     #[test]
     fn zero_demand_is_one() {
         let net = two_parallel();
-        let r = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 0), &CalcOptions::default())
-            .unwrap();
+        let r = reliability_naive(
+            &net,
+            FlowDemand::new(NodeId(0), NodeId(1), 0),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r, 1.0);
     }
 
@@ -270,7 +274,10 @@ mod tests {
         let without = reliability_naive(
             &net,
             d,
-            &CalcOptions { factor_perfect_links: false, ..Default::default() },
+            &CalcOptions {
+                factor_perfect_links: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!((with - without).abs() < 1e-12);
@@ -301,18 +308,39 @@ mod tests {
             b.add_edge(n[0], n[1], 1, 0.1).unwrap();
         }
         let net = b.build();
-        let opts = CalcOptions { max_enum_edges: 10, ..Default::default() };
-        let err = reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 1), &opts)
-            .unwrap_err();
-        assert!(matches!(err, ReliabilityError::TooManyEdges { count: 12, max: 10 }));
+        let opts = CalcOptions {
+            max_enum_edges: 10,
+            ..Default::default()
+        };
+        let err =
+            reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(1), 1), &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            ReliabilityError::TooManyEdges { count: 12, max: 10 }
+        ));
     }
 
     #[test]
     fn parallel_matches_serial() {
         let mut b = NetworkBuilder::new(GraphKind::Undirected);
         let n = b.add_nodes(5);
-        let probs = [0.1, 0.2, 0.3, 0.15, 0.25, 0.05, 0.35, 0.4, 0.12, 0.22, 0.18, 0.28];
-        let ends = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (0, 3), (1, 4), (0, 4), (1, 2), (3, 4)];
+        let probs = [
+            0.1, 0.2, 0.3, 0.15, 0.25, 0.05, 0.35, 0.4, 0.12, 0.22, 0.18, 0.28,
+        ];
+        let ends = [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (0, 3),
+            (1, 4),
+            (0, 4),
+            (1, 2),
+            (3, 4),
+        ];
         for (&p, &(u, v)) in probs.iter().zip(&ends) {
             b.add_edge(n[u], n[v], 1, p).unwrap();
         }
@@ -321,5 +349,30 @@ mod tests {
         let serial = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
         let par = reliability_naive(&net, d, &CalcOptions::parallel()).unwrap();
         assert!((serial - par).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certificate_cache_preserves_the_value_and_reports_hits() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 1, 0.2).unwrap();
+        b.add_edge(n[1], n[3], 1, 0.3).unwrap();
+        b.add_edge(n[2], n[3], 1, 0.4).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.25).unwrap();
+        let net = b.build();
+        let d = FlowDemand::new(NodeId(0), NodeId(3), 1);
+        let plain = CalcOptions {
+            certificate_cache: false,
+            ..Default::default()
+        };
+        let cached = CalcOptions::default();
+        let (r0, s0) = reliability_naive_with_stats(&net, d, &plain).unwrap();
+        let (r1, s1) = reliability_naive_with_stats(&net, d, &cached).unwrap();
+        assert_eq!(r0, r1, "serial cert-cached sweep must be bit-identical");
+        assert_eq!(s0.solver_calls_avoided(), 0);
+        assert!(s1.solver_calls_avoided() > 0);
+        assert_eq!(s1.configs, s0.configs);
+        assert_eq!(s1.solver_calls + s1.solver_calls_avoided(), s1.configs);
     }
 }

@@ -57,8 +57,16 @@ pub fn split_node_failures(
     node_probs: &[f64],
     relay_capacity: &[u64],
 ) -> Result<NodeSplit, ReliabilityError> {
-    assert_eq!(node_probs.len(), net.node_count(), "one probability per node");
-    assert_eq!(relay_capacity.len(), net.node_count(), "one relay capacity per node");
+    assert_eq!(
+        node_probs.len(),
+        net.node_count(),
+        "one probability per node"
+    );
+    assert_eq!(
+        relay_capacity.len(),
+        net.node_count(),
+        "one relay capacity per node"
+    );
     assert_eq!(
         net.kind(),
         GraphKind::Directed,
@@ -94,10 +102,20 @@ pub fn split_node_failures(
         }
     }
     for e in net.edges() {
-        b.add_edge(exit[e.src.index()], entry[e.dst.index()], e.capacity, e.fail_prob)
-            .map_err(ReliabilityError::Graph)?;
+        b.add_edge(
+            exit[e.src.index()],
+            entry[e.dst.index()],
+            e.capacity,
+            e.fail_prob,
+        )
+        .map_err(ReliabilityError::Graph)?;
     }
-    Ok(NodeSplit { net: b.build(), internal_edge, entry, exit })
+    Ok(NodeSplit {
+        net: b.build(),
+        internal_edge,
+        entry,
+        exit,
+    })
 }
 
 #[cfg(test)]
@@ -118,8 +136,7 @@ mod tests {
         b.add_edge(n[0], n[1], 1, 0.1).unwrap();
         b.add_edge(n[1], n[2], 1, 0.2).unwrap();
         let net = b.build();
-        let split =
-            split_node_failures(&net, &[0.0, 0.25, 0.0], &[INF, INF, INF]).unwrap();
+        let split = split_node_failures(&net, &[0.0, 0.25, 0.0], &[INF, INF, INF]).unwrap();
         assert_eq!(split.net.node_count(), 4, "only v is split");
         let d = FlowDemand::new(split.entry(n[0]), split.exit(n[2]), 1);
         let r = reliability_naive(&split.net, d, &CalcOptions::default()).unwrap();
@@ -138,8 +155,7 @@ mod tests {
         b.add_edge(n[1], n[2], 1, 0.0).unwrap();
         b.add_edge(n[1], n[2], 1, 0.0).unwrap();
         let net = b.build();
-        let split =
-            split_node_failures(&net, &[0.0, 0.3, 0.0], &[INF, INF, INF]).unwrap();
+        let split = split_node_failures(&net, &[0.0, 0.3, 0.0], &[INF, INF, INF]).unwrap();
         let d = FlowDemand::new(split.entry(n[0]), split.exit(n[2]), 1);
         let r = reliability_naive(&split.net, d, &CalcOptions::default()).unwrap();
         assert!((r - 0.7).abs() < 1e-12, "R is exactly the relay's survival");
@@ -157,8 +173,7 @@ mod tests {
         b.add_edge(n[1], n[3], 1, 0.0).unwrap();
         b.add_edge(n[2], n[3], 1, 0.0).unwrap();
         let net = b.build();
-        let split =
-            split_node_failures(&net, &[0.0, pa, pb, 0.0], &[INF, INF, INF, INF]).unwrap();
+        let split = split_node_failures(&net, &[0.0, pa, pb, 0.0], &[INF, INF, INF, INF]).unwrap();
         let d = FlowDemand::new(split.entry(n[0]), split.exit(n[3]), 1);
         let r = reliability_naive(&split.net, d, &CalcOptions::default()).unwrap();
         // works iff a survives or b survives
@@ -201,8 +216,7 @@ mod tests {
         b.add_edge(n[0], n[1], 1, 0.05).unwrap();
         b.add_edge(n[1], n[2], 1, 0.05).unwrap();
         let net = b.build();
-        let split =
-            split_node_failures(&net, &[0.0, 0.0, 0.0], &[INF, INF, INF]).unwrap();
+        let split = split_node_failures(&net, &[0.0, 0.0, 0.0], &[INF, INF, INF]).unwrap();
         assert_eq!(split.net.node_count(), 3);
         assert_eq!(split.net.edge_count(), 2);
         assert!(split.internal_edge.iter().all(Option::is_none));

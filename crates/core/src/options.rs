@@ -35,6 +35,13 @@ pub struct CalcOptions {
     /// Treat links with `p(e) = 0` as always alive instead of enumerating
     /// them (exact; factors `2^{#perfect}` out of the naive sweep).
     pub factor_perfect_links: bool,
+    /// Cache monotonicity certificates (flow supports and saturated cuts)
+    /// during configuration sweeps and consult them before the solver. Exact:
+    /// a cache hit returns the verdict the solver would.
+    pub certificate_cache: bool,
+    /// Certificates retained per cache (per kind; sweeps keep one cache per
+    /// worker and, for side sweeps, per assignment).
+    pub certificate_cache_size: usize,
 }
 
 impl Default for CalcOptions {
@@ -49,6 +56,8 @@ impl Default for CalcOptions {
             assignment_model: AssignmentModel::Net,
             prune_infeasible_assignments: true,
             factor_perfect_links: true,
+            certificate_cache: true,
+            certificate_cache_size: 32,
         }
     }
 }
@@ -56,7 +65,10 @@ impl Default for CalcOptions {
 impl CalcOptions {
     /// Default options with parallel enumeration enabled.
     pub fn parallel() -> Self {
-        CalcOptions { parallel: true, ..Default::default() }
+        CalcOptions {
+            parallel: true,
+            ..Default::default()
+        }
     }
 
     /// Paper-faithful options: BFS Ford–Fulkerson oracle, direct
@@ -69,6 +81,7 @@ impl CalcOptions {
             prune_infeasible_assignments: false,
             factor_perfect_links: false,
             parallel: false,
+            certificate_cache: false,
             ..Default::default()
         }
     }
@@ -84,7 +97,11 @@ mod tests {
         assert!(o.max_enum_edges <= 32);
         assert!(o.max_assignments <= 31, "assignment masks are u32");
         assert!(!o.parallel);
-        assert_eq!(o.assignment_model, AssignmentModel::Net, "default must be exact");
+        assert_eq!(
+            o.assignment_model,
+            AssignmentModel::Net,
+            "default must be exact"
+        );
     }
 
     #[test]
@@ -94,5 +111,16 @@ mod tests {
         assert_eq!(o.assignment_model, AssignmentModel::ForwardOnly);
         assert_eq!(o.solver, SolverKind::BfsFordFulkerson);
         assert!(!o.factor_perfect_links);
+        assert!(
+            !o.certificate_cache,
+            "paper-faithful runs solve every config"
+        );
+    }
+
+    #[test]
+    fn certificate_cache_is_on_by_default() {
+        let o = CalcOptions::default();
+        assert!(o.certificate_cache);
+        assert!(o.certificate_cache_size > 0);
     }
 }

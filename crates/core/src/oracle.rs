@@ -4,7 +4,42 @@ use maxflow::{build_flow, build_flow_multi, NetworkFlow, SolverKind};
 use netgraph::{EdgeMask, Network, NodeId};
 
 use crate::assign::Assignment;
+use crate::certcache::SolveCert;
 use crate::decompose::Side;
+
+/// Runs one feasibility solve and, when asked, extracts the monotonicity
+/// certificate the verdict carries (shared by both oracles).
+fn solve_with_cert(
+    nf: &mut NetworkFlow,
+    solver: SolverKind,
+    mask: EdgeMask,
+    required: u64,
+    want_cert: bool,
+) -> (bool, SolveCert) {
+    nf.apply_mask(mask);
+    let ok = solver.solve(&mut nf.graph, nf.source, nf.sink, required) >= required;
+    if !want_cert {
+        return (ok, SolveCert::None);
+    }
+    let cert = if ok {
+        SolveCert::Feasible {
+            support: nf.flow_support_bits(),
+        }
+    } else {
+        // an infeasible verdict means the solver exhausted augmentation, so
+        // the residual graph witnesses a saturated cut; `fixed` capacity
+        // (super-terminal arcs) never fails, so the cut refutes exactly the
+        // configurations whose alive crossing capacity stays below the rest
+        match nf.residual_cut_bits() {
+            Some((crossing, fixed)) if fixed < required => SolveCert::Infeasible {
+                crossing,
+                needed: required - fixed,
+            },
+            _ => SolveCert::None,
+        }
+    };
+    (ok, cert)
+}
 
 /// Answers "does this failure configuration admit the s–t demand?" for one
 /// fixed network, reusing a single lowered [`NetworkFlow`] across the
@@ -14,17 +49,29 @@ pub struct DemandOracle {
     nf: NetworkFlow,
     solver: SolverKind,
     demand: u64,
+    caps: Vec<u64>,
 }
 
 impl DemandOracle {
     /// Lowers `net` for the `s → t` demand `d`.
     pub fn new(net: &Network, s: NodeId, t: NodeId, demand: u64, solver: SolverKind) -> Self {
-        DemandOracle { nf: build_flow(net, s, t), solver, demand }
+        let caps = net.edges().iter().map(|e| e.capacity).collect();
+        DemandOracle {
+            nf: build_flow(net, s, t),
+            solver,
+            demand,
+            caps,
+        }
     }
 
     /// The demand being tested.
     pub fn demand(&self) -> u64 {
         self.demand
+    }
+
+    /// Per-link capacities, indexed by edge id (for cut certificates).
+    pub fn edge_capacities(&self) -> &[u64] {
+        &self.caps
     }
 
     /// Does the configuration `mask` (over the network's edges) admit `d`?
@@ -33,14 +80,29 @@ impl DemandOracle {
             return true;
         }
         self.nf.apply_mask(mask);
-        self.solver.solve(&mut self.nf.graph, self.nf.source, self.nf.sink, self.demand)
-            >= self.demand
+        self.solver.solve(
+            &mut self.nf.graph,
+            self.nf.source,
+            self.nf.sink,
+            self.demand,
+        ) >= self.demand
+    }
+
+    /// As [`admits`](Self::admits), additionally extracting the monotonicity
+    /// certificate the verdict carries (see [`crate::certcache`]) when
+    /// `want_cert` is set.
+    pub fn admits_with_cert(&mut self, mask: EdgeMask, want_cert: bool) -> (bool, SolveCert) {
+        if self.demand == 0 {
+            return (true, SolveCert::Feasible { support: 0 });
+        }
+        solve_with_cert(&mut self.nf, self.solver, mask, self.demand, want_cert)
     }
 
     /// Maximum flow with every link alive (for quick infeasibility checks).
     pub fn max_flow_all_alive(&mut self) -> u64 {
         self.nf.apply_all_alive();
-        self.solver.solve(&mut self.nf.graph, self.nf.source, self.nf.sink, u64::MAX)
+        self.solver
+            .solve(&mut self.nf.graph, self.nf.source, self.nf.sink, u64::MAX)
     }
 }
 
@@ -55,6 +117,10 @@ impl DemandOracle {
 /// roles are mirrored. The check lowers to one max-flow between a
 /// super-source and a super-sink whose attachment capacities encode the
 /// supplies and demands; the assignment realizes iff the flow saturates.
+///
+/// Clones share no state: the sweep engine hands each parallel worker its
+/// own copy so configuration sweeps never contend on the residual graph.
+#[derive(Clone)]
 pub struct SideOracle {
     nf: NetworkFlow,
     solver: SolverKind,
@@ -62,6 +128,7 @@ pub struct SideOracle {
     /// required saturation)`.
     plans: Vec<(Vec<u64>, Vec<u64>, u64)>,
     edge_count: usize,
+    caps: Vec<u64>,
     current: usize,
 }
 
@@ -71,12 +138,17 @@ impl SideOracle {
     /// which equals the stream demand `d` for every assignment in `D`).
     pub fn new(side: &Side, assignments: &[Assignment], solver: SolverKind) -> Self {
         // terminal nodes: the demand terminal first, then the attach points
-        let terminals: Vec<NodeId> =
-            std::iter::once(side.terminal).chain(side.attach.iter().copied()).collect();
+        let terminals: Vec<NodeId> = std::iter::once(side.terminal)
+            .chain(side.attach.iter().copied())
+            .collect();
         let plans = assignments
             .iter()
             .map(|a| {
-                assert_eq!(a.amounts.len(), side.attach.len(), "assignment arity mismatch");
+                assert_eq!(
+                    a.amounts.len(),
+                    side.attach.len(),
+                    "assignment arity mismatch"
+                );
                 let crossing: i64 = a.amounts.iter().sum();
                 // net production of each terminal node
                 let mut production: Vec<i64> = Vec::with_capacity(terminals.len());
@@ -87,10 +159,8 @@ impl SideOracle {
                     production.push(-crossing);
                     production.extend(a.amounts.iter().copied());
                 }
-                let supplies: Vec<u64> =
-                    production.iter().map(|&p| p.max(0) as u64).collect();
-                let demands: Vec<u64> =
-                    production.iter().map(|&p| (-p).max(0) as u64).collect();
+                let supplies: Vec<u64> = production.iter().map(|&p| p.max(0) as u64).collect();
+                let demands: Vec<u64> = production.iter().map(|&p| (-p).max(0) as u64).collect();
                 let required: u64 = supplies.iter().sum();
                 debug_assert_eq!(required, demands.iter().sum::<u64>());
                 (supplies, demands, required)
@@ -99,7 +169,15 @@ impl SideOracle {
         let zeroed: Vec<(NodeId, u64)> = terminals.iter().map(|&n| (n, 0)).collect();
         let nf = build_flow_multi(&side.net, &zeroed, &zeroed);
         let edge_count = side.net.edge_count();
-        let mut oracle = SideOracle { nf, solver, plans, edge_count, current: usize::MAX };
+        let caps = side.net.edges().iter().map(|e| e.capacity).collect();
+        let mut oracle = SideOracle {
+            nf,
+            solver,
+            plans,
+            edge_count,
+            caps,
+            current: usize::MAX,
+        };
         if !oracle.plans.is_empty() {
             oracle.set_assignment(0);
         }
@@ -114,6 +192,11 @@ impl SideOracle {
     /// Number of links on this side (the configuration space is `2^this`).
     pub fn edge_count(&self) -> usize {
         self.edge_count
+    }
+
+    /// Per-link capacities, indexed by side-edge id (for cut certificates).
+    pub fn edge_capacities(&self) -> &[u64] {
+        &self.caps
     }
 
     /// Selects the assignment subsequent [`admits`](Self::admits) calls test.
@@ -135,8 +218,21 @@ impl SideOracle {
             return true;
         }
         self.nf.apply_mask(mask);
-        self.solver.solve(&mut self.nf.graph, self.nf.source, self.nf.sink, required)
+        self.solver
+            .solve(&mut self.nf.graph, self.nf.source, self.nf.sink, required)
             >= required
+    }
+
+    /// As [`admits`](Self::admits), additionally extracting the monotonicity
+    /// certificate for the *currently selected assignment* when `want_cert`
+    /// is set. Certificates are only valid for the assignment they were
+    /// extracted under — the sweep engine keeps one cache per assignment.
+    pub fn admits_with_cert(&mut self, mask: EdgeMask, want_cert: bool) -> (bool, SolveCert) {
+        let required = self.plans[self.current].2;
+        if required == 0 {
+            return (true, SolveCert::Feasible { support: 0 });
+        }
+        solve_with_cert(&mut self.nf, self.solver, mask, required, want_cert)
     }
 
     /// Shorthand: does the all-alive configuration realize assignment `j`?
@@ -204,7 +300,9 @@ mod tests {
     }
 
     fn asg(amounts: &[i64]) -> Assignment {
-        Assignment { amounts: amounts.to_vec() }
+        Assignment {
+            amounts: amounts.to_vec(),
+        }
     }
 
     #[test]
@@ -221,7 +319,10 @@ mod tests {
         o.set_assignment(1);
         assert!(!o.admits(EdgeMask::from_bits(0b10, 2)));
         o.set_assignment(0);
-        assert!(o.admits(EdgeMask::from_bits(0b01, 2)), "(2,0) only needs e0");
+        assert!(
+            o.admits(EdgeMask::from_bits(0b01, 2)),
+            "(2,0) only needs e0"
+        );
     }
 
     #[test]

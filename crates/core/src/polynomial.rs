@@ -63,9 +63,15 @@ pub fn reliability_polynomial(
 ) -> Result<ReliabilityPolynomial, ReliabilityError> {
     demand.validate(net)?;
     let m = net.edge_count();
-    assert!(m <= EdgeMask::MAX_EDGES, "polynomial sweep supports at most 64 links");
+    assert!(
+        m <= EdgeMask::MAX_EDGES,
+        "polynomial sweep supports at most 64 links"
+    );
     if m > opts.max_enum_edges {
-        return Err(ReliabilityError::TooManyEdges { count: m, max: opts.max_enum_edges });
+        return Err(ReliabilityError::TooManyEdges {
+            count: m,
+            max: opts.max_enum_edges,
+        });
     }
     let mut counts = vec![0u64; m + 1];
     if demand.demand == 0 {
@@ -75,8 +81,7 @@ pub fn reliability_polynomial(
         }
         return Ok(ReliabilityPolynomial { counts, edges: m });
     }
-    let mut oracle =
-        DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
+    let mut oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
     if oracle.max_flow_all_alive() < demand.demand {
         return Ok(ReliabilityPolynomial { counts, edges: m });
     }

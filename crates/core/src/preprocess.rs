@@ -58,9 +58,7 @@ pub fn relevance_reduce(net: &Network, demand: FlowDemand) -> RelevantNetwork {
             return false; // self-loops and zero-capacity links never matter
         }
         match net.kind() {
-            GraphKind::Directed => {
-                reach.contains(e.src.index()) && co.contains(e.dst.index())
-            }
+            GraphKind::Directed => reach.contains(e.src.index()) && co.contains(e.dst.index()),
             // undirected: usable in either direction
             GraphKind::Undirected => {
                 (reach.contains(e.src.index()) && co.contains(e.dst.index()))

@@ -15,10 +15,10 @@
 //! The builder is generic over [`Weight`], so the same sweep produces either
 //! compensated-`f64` or exact-rational masses.
 
-use netgraph::EdgeMask;
-
+use crate::certcache::SweepStats;
 use crate::error::ReliabilityError;
 use crate::oracle::SideOracle;
+use crate::sweep::{sweep_spectrum, SweepConfig};
 use crate::weight::{EdgeWeights, Weight};
 
 /// Probability mass of each realization mask for one side.
@@ -31,12 +31,9 @@ pub struct RealizationSpectrum<W> {
     pub mass: Vec<W>,
 }
 
-/// How many configurations to process per block when amortizing assignment
-/// switches (each block runs all assignments before moving on).
-const BLOCK_BITS: usize = 12;
-
 impl<W: Weight> RealizationSpectrum<W> {
-    /// Builds the spectrum for one side.
+    /// Builds the spectrum for one side with the legacy serial,
+    /// certificate-free sweep.
     ///
     /// `weights[i]` is the `(alive, failed)` probability pair of side link
     /// `i` (indexed like the side's own edges).
@@ -47,11 +44,35 @@ impl<W: Weight> RealizationSpectrum<W> {
         max_assignments: usize,
         prune_infeasible: bool,
     ) -> Result<Self, ReliabilityError> {
+        Self::build_with(
+            oracle,
+            weights,
+            max_side_edges,
+            max_assignments,
+            prune_infeasible,
+            &SweepConfig::serial(),
+        )
+        .map(|(sp, _)| sp)
+    }
+
+    /// Builds the spectrum through the shared sweep engine
+    /// ([`crate::sweep`]), returning the engine's counters alongside.
+    pub fn build_with(
+        oracle: &mut SideOracle,
+        weights: &EdgeWeights<W>,
+        max_side_edges: usize,
+        max_assignments: usize,
+        prune_infeasible: bool,
+        cfg: &SweepConfig,
+    ) -> Result<(Self, SweepStats), ReliabilityError> {
         let m = oracle.edge_count();
         let dn = oracle.assignment_count();
         assert_eq!(weights.len(), m, "one weight pair per side link");
         if m > max_side_edges {
-            return Err(ReliabilityError::SideTooLarge { count: m, max: max_side_edges });
+            return Err(ReliabilityError::SideTooLarge {
+                count: m,
+                max: max_side_edges,
+            });
         }
         if dn > max_assignments || dn > 31 {
             return Err(ReliabilityError::TooManyAssignments {
@@ -62,30 +83,14 @@ impl<W: Weight> RealizationSpectrum<W> {
         let live: Vec<usize> = (0..dn)
             .filter(|&j| !prune_infeasible || oracle.feasible_at_best(j))
             .collect();
-        let configs = 1u64 << m;
-        let mut mass = vec![W::zero(); 1usize << dn];
-        let block = 1u64 << BLOCK_BITS.min(m);
-        let mut realized = vec![0u32; block as usize];
-        let mut lo = 0u64;
-        while lo < configs {
-            let hi = (lo + block).min(configs);
-            realized[..(hi - lo) as usize].fill(0);
-            for &j in &live {
-                oracle.set_assignment(j);
-                for c in lo..hi {
-                    if oracle.admits(EdgeMask::from_bits(c, m)) {
-                        realized[(c - lo) as usize] |= 1 << j;
-                    }
-                }
-            }
-            for c in lo..hi {
-                let p = config_weight(weights, c, m);
-                let slot = &mut mass[realized[(c - lo) as usize] as usize];
-                *slot = slot.add(&p);
-            }
-            lo = hi;
-        }
-        Ok(RealizationSpectrum { assign_count: dn, mass })
+        let (mass, stats) = sweep_spectrum(oracle, &live, weights, dn, cfg);
+        Ok((
+            RealizationSpectrum {
+                assign_count: dn,
+                mass,
+            },
+            stats,
+        ))
     }
 
     /// Total mass (must be 1 up to rounding — the configurations partition
@@ -99,7 +104,10 @@ impl<W: Weight> RealizationSpectrum<W> {
     }
 }
 
-/// Probability of configuration `c` over `m` links with the given weights.
+/// Probability of configuration `c` over `m` links with the given weights
+/// (direct product; the engine's split-product table is validated against
+/// this in the tests).
+#[cfg(test)]
 fn config_weight<W: Weight>(weights: &EdgeWeights<W>, c: u64, m: usize) -> W {
     let mut p = W::one();
     for (i, w) in weights.iter().enumerate().take(m) {
@@ -113,13 +121,16 @@ mod tests {
     use super::*;
     use crate::assign::Assignment;
     use crate::decompose::Side;
+    use crate::sweep::SweepConfig;
     use crate::table::RealizationTable;
     use exactmath::BigRational;
     use maxflow::SolverKind;
     use netgraph::{GraphKind, NetworkBuilder};
 
     fn asg(amounts: &[i64]) -> Assignment {
-        Assignment { amounts: amounts.to_vec() }
+        Assignment {
+            amounts: amounts.to_vec(),
+        }
     }
 
     fn side_with_three_links() -> Side {
@@ -147,8 +158,7 @@ mod tests {
         let side = side_with_three_links();
         let assignments = vec![asg(&[2, 0]), asg(&[1, 1]), asg(&[0, 2])];
         let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
-        let sp =
-            RealizationSpectrum::build(&mut o, &weights_of(&side), 26, 20, true).unwrap();
+        let sp = RealizationSpectrum::build(&mut o, &weights_of(&side), 26, 20, true).unwrap();
         assert_eq!(sp.mass.len(), 8);
         assert!((sp.total() - 1.0).abs() < 1e-12);
     }
@@ -189,6 +199,32 @@ mod tests {
         for (f, e) in spf.mass.iter().zip(&spe.mass) {
             assert!((f - e.to_f64()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn certificate_hits_do_not_change_masses() {
+        let side = side_with_three_links();
+        let assignments = vec![asg(&[2, 0]), asg(&[1, 1]), asg(&[0, 2])];
+        let weights = weights_of(&side);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let (plain, s0) =
+            RealizationSpectrum::build_with(&mut o, &weights, 26, 20, true, &SweepConfig::serial())
+                .unwrap();
+        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let cfg = SweepConfig {
+            parallel: false,
+            certificates: true,
+            cache_size: 16,
+        };
+        let (cached, s1) =
+            RealizationSpectrum::build_with(&mut o2, &weights, 26, 20, true, &cfg).unwrap();
+        assert_eq!(plain.mass, cached.mass, "cache hits must not move any mass");
+        assert_eq!(s0.solver_calls_avoided(), 0);
+        assert!(
+            s1.solver_calls_avoided() > 0,
+            "8 configs x 3 assignments must yield hits"
+        );
+        assert_eq!(s1.configs, s0.configs);
     }
 
     #[test]

@@ -76,7 +76,11 @@ pub fn reduce_unit_demand(net: &Network, s: NodeId, t: NodeId) -> ReducedNetwork
             stats.dropped += 1; // can never carry the unit / self-loop
             continue;
         }
-        edges.push(WEdge { u: e.src.index(), v: e.dst.index(), p: e.fail_prob });
+        edges.push(WEdge {
+            u: e.src.index(),
+            v: e.dst.index(),
+            p: e.fail_prob,
+        });
     }
     let n = net.node_count();
     let (si, ti) = (s.index(), t.index());
@@ -91,8 +95,7 @@ pub fn reduce_unit_demand(net: &Network, s: NodeId, t: NodeId) -> ReducedNetwork
         for e in edges.drain(..) {
             match merged.last_mut() {
                 Some(last)
-                    if (last.u.min(last.v), last.u.max(last.v))
-                        == (e.u.min(e.v), e.u.max(e.v)) =>
+                    if (last.u.min(last.v), last.u.max(last.v)) == (e.u.min(e.v), e.u.max(e.v)) =>
                 {
                     last.p *= e.p; // fails iff both fail
                     stats.parallel += 1;
@@ -178,13 +181,8 @@ pub fn reduce_unit_demand(net: &Network, s: NodeId, t: NodeId) -> ReducedNetwork
         }
     }
     for e in &edges {
-        b.add_edge(
-            NodeId::from(remap[e.u]),
-            NodeId::from(remap[e.v]),
-            1,
-            e.p,
-        )
-        .expect("reduced probabilities stay in range");
+        b.add_edge(NodeId::from(remap[e.u]), NodeId::from(remap[e.v]), 1, e.p)
+            .expect("reduced probabilities stay in range");
     }
     ReducedNetwork {
         net: b.build(),
@@ -202,7 +200,10 @@ pub fn reliability_sp_reduced(
     opts: &CalcOptions,
 ) -> Result<f64, ReliabilityError> {
     demand.validate(net)?;
-    assert_eq!(demand.demand, 1, "series-parallel reduction applies to unit demand");
+    assert_eq!(
+        demand.demand, 1,
+        "series-parallel reduction applies to unit demand"
+    );
     let reduced = reduce_unit_demand(net, demand.source, demand.sink);
     if reduced.source == reduced.sink {
         return Ok(1.0);
@@ -278,22 +279,36 @@ mod tests {
         // ((series pair) parallel (series pair)) in series with one link
         let net = build(
             4,
-            &[(0, 1, 0.1), (1, 2, 0.2), (0, 1, 0.15), (1, 2, 0.25), (2, 3, 0.05)],
+            &[
+                (0, 1, 0.1),
+                (1, 2, 0.2),
+                (0, 1, 0.15),
+                (1, 2, 0.25),
+                (2, 3, 0.05),
+            ],
         );
         let red = reduce_unit_demand(&net, NodeId(0), NodeId(3));
-        assert_eq!(red.net.edge_count(), 1, "series-parallel graph collapses to one link");
+        assert_eq!(
+            red.net.edge_count(),
+            1,
+            "series-parallel graph collapses to one link"
+        );
         let r_sp = 1.0 - red.net.edge(netgraph::EdgeId(0)).fail_prob;
-        let naive =
-            reliability_naive(&net, FlowDemand::new(NodeId(0), NodeId(3), 1), &CalcOptions::default())
-                .unwrap();
+        let naive = reliability_naive(
+            &net,
+            FlowDemand::new(NodeId(0), NodeId(3), 1),
+            &CalcOptions::default(),
+        )
+        .unwrap();
         assert!((r_sp - naive).abs() < 1e-12);
     }
 
     #[test]
     fn huge_chain_beyond_naive_range() {
         // 64 series links: naive refuses, reduction is instant and exact
-        let edges: Vec<(usize, usize, f64)> =
-            (0..64).map(|i| (i, i + 1, 0.01 + (i % 7) as f64 / 100.0)).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..64)
+            .map(|i| (i, i + 1, 0.01 + (i % 7) as f64 / 100.0))
+            .collect();
         let net = build(65, &edges);
         let d = FlowDemand::new(NodeId(0), NodeId(64), 1);
         assert!(reliability_naive(&net, d, &CalcOptions::default()).is_err());

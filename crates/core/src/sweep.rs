@@ -1,0 +1,760 @@
+//! The shared configuration-sweep engine.
+//!
+//! Every exponential enumeration in the crate — the naive `2^|E|` baseline,
+//! the weighted/exact variant, the per-side realization spectrum, and the
+//! paper-faithful realization table — walks a `2^m` configuration space and
+//! asks a max-flow oracle one monotone feasibility question per
+//! configuration. This module centralizes that walk and layers three exact
+//! optimizations on top of it:
+//!
+//! 1. **Certificate caching** ([`crate::certcache`]): each solver verdict is
+//!    generalized into a monotonicity certificate (flow support / saturated
+//!    cut), and subsequent configurations are first tested against a bounded
+//!    cache of certificates — a few word operations instead of a max-flow.
+//! 2. **Gray-code enumeration with split-product weights**: configurations
+//!    are visited in an order that changes one link per step (O(1) mask
+//!    maintenance), and each configuration's probability is the product of a
+//!    precomputed low-bits table entry and a per-block high-bits product —
+//!    two multiplications per configuration, division-free, so the same code
+//!    is exact for [`exactmath::BigRational`] weights.
+//! 3. **Chunked parallelism**: the index space is split into contiguous
+//!    chunks; each rayon worker owns a *clone* of the oracle, its own
+//!    certificate cache, and a private accumulator, merged at the end.
+//!
+//! All three are behavior-preserving: certificates answer exactly what the
+//! solver would, the weight factorization is algebraically identical, and
+//! the parallel merge only regroups additions (bit-identical for exact
+//! weights, within rounding for `f64`).
+
+use exactmath::NeumaierSum;
+use netgraph::EdgeMask;
+use rayon::prelude::*;
+
+use crate::certcache::{CertCache, SolveCert, SweepStats};
+use crate::options::CalcOptions;
+use crate::oracle::{DemandOracle, SideOracle};
+use crate::weight::Weight;
+
+/// Low-bits width of the split-product weight table (table size `2^this`)
+/// and granularity of the per-block high products.
+const BLOCK_BITS: usize = 12;
+
+/// Minimum enumeration exponent before chunked parallelism pays for itself.
+const PARALLEL_MIN_BITS: usize = 10;
+
+/// How the engine should run one sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Split the index space across rayon workers.
+    pub parallel: bool,
+    /// Consult/record monotonicity certificates before invoking the solver.
+    pub certificates: bool,
+    /// Certificates retained per cache (per kind, per worker, and — for side
+    /// sweeps — per assignment).
+    pub cache_size: usize,
+}
+
+impl SweepConfig {
+    /// Serial, certificate-free sweep (the legacy behavior).
+    pub fn serial() -> Self {
+        SweepConfig {
+            parallel: false,
+            certificates: false,
+            cache_size: 0,
+        }
+    }
+
+    /// Derives the sweep configuration from the calculation options.
+    pub fn from_opts(opts: &CalcOptions) -> Self {
+        SweepConfig {
+            parallel: opts.parallel,
+            certificates: opts.certificate_cache,
+            cache_size: opts.certificate_cache_size,
+        }
+    }
+
+    fn cache(&self) -> Option<CertCache> {
+        if self.certificates {
+            Some(CertCache::new(self.cache_size))
+        } else {
+            None
+        }
+    }
+}
+
+/// A feasibility oracle the engine can drive: one monotone verdict per
+/// configuration, with optional certificate extraction.
+pub trait SweepOracle {
+    /// Tests one configuration; extracts a certificate when `want_cert`.
+    fn test_config(&mut self, mask: EdgeMask, want_cert: bool) -> (bool, SolveCert);
+
+    /// Per-link capacities in the mask's bit order, used by cut certificates
+    /// to bound the flow a configuration can carry across a witnessed cut.
+    fn edge_capacities(&self) -> &[u64];
+}
+
+impl SweepOracle for DemandOracle {
+    fn test_config(&mut self, mask: EdgeMask, want_cert: bool) -> (bool, SolveCert) {
+        self.admits_with_cert(mask, want_cert)
+    }
+
+    fn edge_capacities(&self) -> &[u64] {
+        DemandOracle::edge_capacities(self)
+    }
+}
+
+impl SweepOracle for SideOracle {
+    fn test_config(&mut self, mask: EdgeMask, want_cert: bool) -> (bool, SolveCert) {
+        self.admits_with_cert(mask, want_cert)
+    }
+
+    fn edge_capacities(&self) -> &[u64] {
+        SideOracle::edge_capacities(self)
+    }
+}
+
+/// Answers one configuration from the certificate cache when possible,
+/// otherwise solves and records the new certificate.
+#[inline]
+fn classify_or_solve<O: SweepOracle>(
+    oracle: &mut O,
+    cache: &mut Option<CertCache>,
+    mask: EdgeMask,
+    stats: &mut SweepStats,
+) -> bool {
+    stats.configs += 1;
+    match cache {
+        Some(cache) => {
+            if let Some(verdict) = cache.classify(mask.bits(), oracle.edge_capacities()) {
+                if verdict {
+                    stats.feasible_hits += 1;
+                } else {
+                    stats.infeasible_hits += 1;
+                }
+                return verdict;
+            }
+            stats.solver_calls += 1;
+            let (ok, cert) = oracle.test_config(mask, true);
+            cache.record(cert);
+            ok
+        }
+        None => {
+            stats.solver_calls += 1;
+            oracle.test_config(mask, false).0
+        }
+    }
+}
+
+/// Solves the all-alive and all-dead configurations once to pre-seed worker
+/// caches: their certificates (the best-case flow support and the worst-case
+/// cut) are the two most general ones a sweep can hold, and parallel workers
+/// would otherwise each rediscover them from a cold cache.
+fn seed_certs<O: SweepOracle>(
+    oracle: &mut O,
+    masks: [EdgeMask; 2],
+    stats: &mut SweepStats,
+) -> Vec<SolveCert> {
+    let mut seeds = Vec::with_capacity(2);
+    for mask in masks {
+        stats.solver_calls += 1;
+        let (_, cert) = oracle.test_config(mask, true);
+        if cert != SolveCert::None {
+            seeds.push(cert);
+        }
+    }
+    seeds
+}
+
+/// A fresh per-worker cache, pre-loaded with the seed certificates.
+fn seeded_cache(cfg: &SweepConfig, seeds: &[SolveCert]) -> Option<CertCache> {
+    let mut cache = cfg.cache();
+    if let Some(c) = &mut cache {
+        for &s in seeds {
+            c.record(s);
+        }
+    }
+    cache
+}
+
+/// Split-product weight table: `weight(config) = low[config & low_mask] ·
+/// high(config >> low_bits)`, where `low` is precomputed once (two
+/// multiplications per entry) and the high product changes only once per
+/// `2^low_bits` block. Division-free, so exact for any [`Weight`].
+struct WeightTable<W> {
+    low: Vec<W>,
+    low_bits: usize,
+    low_mask: u64,
+}
+
+impl<W: Weight> WeightTable<W> {
+    /// `weights[i]` is the `(alive, failed)` pair of enumeration bit `i`.
+    fn new(weights: &[(W, W)]) -> Self {
+        let b = BLOCK_BITS.min(weights.len());
+        let mut low = vec![W::one()];
+        for w in weights.iter().take(b) {
+            let mut next = Vec::with_capacity(low.len() * 2);
+            for t in &low {
+                next.push(t.mul(&w.1)); // new top bit 0: failed
+            }
+            for t in &low {
+                next.push(t.mul(&w.0)); // new top bit 1: alive
+            }
+            low = next;
+        }
+        let low_mask = if b == 0 { 0 } else { (1u64 << b) - 1 };
+        WeightTable {
+            low,
+            low_bits: b,
+            low_mask,
+        }
+    }
+
+    /// Product over the bits at positions `low_bits..` for block `g_high`.
+    fn high_product(&self, weights: &[(W, W)], g_high: u64) -> W {
+        let mut p = W::one();
+        for (i, w) in weights.iter().enumerate().skip(self.low_bits) {
+            p = p.mul(if g_high >> (i - self.low_bits) & 1 == 1 {
+                &w.0
+            } else {
+                &w.1
+            });
+        }
+        p
+    }
+
+    /// Weight of configuration `g`, given its block's high product.
+    fn weight(&self, g: u64, high: &W) -> W {
+        self.low[(g & self.low_mask) as usize].mul(high)
+    }
+}
+
+/// Partial-sum strategy of a sweep: compensated for `f64`, plain ring
+/// addition for exact weights.
+pub trait SweepAccumulator<W>: Send {
+    /// The zero accumulator.
+    fn empty() -> Self;
+    /// Adds one configuration's weight.
+    fn add(&mut self, w: W);
+    /// Folds in another worker's partial sum.
+    fn merge(&mut self, other: Self);
+    /// The accumulated total.
+    fn finish(self) -> W;
+}
+
+/// Neumaier-compensated `f64` accumulation.
+pub struct CompensatedAcc(NeumaierSum);
+
+impl SweepAccumulator<f64> for CompensatedAcc {
+    fn empty() -> Self {
+        CompensatedAcc(NeumaierSum::new())
+    }
+
+    fn add(&mut self, w: f64) {
+        self.0.add(w);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+    }
+
+    fn finish(self) -> f64 {
+        self.0.total()
+    }
+}
+
+/// Plain `W` addition (exact for rational weights).
+pub struct PlainAcc<W>(W);
+
+impl<W: Weight> SweepAccumulator<W> for PlainAcc<W> {
+    fn empty() -> Self {
+        PlainAcc(W::zero())
+    }
+
+    fn add(&mut self, w: W) {
+        self.0 = self.0.add(&w);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0 = self.0.add(&other.0);
+    }
+
+    fn finish(self) -> W {
+        self.0
+    }
+}
+
+/// Geometry of a naive sweep: which network edges are enumerated (compact
+/// bit `j` ↔ edge `fallible[j]`) and which are pinned alive.
+pub struct SweepGeometry<'a> {
+    /// Enumerated edge indices, in compact-bit order.
+    pub fallible: &'a [usize],
+    /// Bits (over the full edge numbering) pinned alive in every mask.
+    pub pinned: u64,
+    /// Total network edge count (full mask width).
+    pub edge_count: usize,
+}
+
+/// Sums the weights of all feasible configurations of a `2^m` enumeration
+/// over `geom.fallible`, where `weights[j]` is the `(alive, failed)` pair of
+/// compact bit `j`.
+pub fn sweep_sum<W, A, O>(
+    oracle: &O,
+    geom: &SweepGeometry<'_>,
+    weights: &[(W, W)],
+    cfg: &SweepConfig,
+) -> (W, SweepStats)
+where
+    W: Weight,
+    A: SweepAccumulator<W>,
+    O: SweepOracle + Clone + Send + Sync,
+{
+    let m = geom.fallible.len();
+    assert_eq!(weights.len(), m, "one weight pair per enumerated edge");
+    let total = 1u64 << m;
+    let wt = WeightTable::new(weights);
+    if cfg.parallel && m >= PARALLEL_MIN_BITS {
+        let mut seed_stats = SweepStats::default();
+        let seeds = if cfg.certificates {
+            let mut probe = oracle.clone();
+            let alive = geom.fallible.iter().fold(geom.pinned, |b, &i| b | 1 << i);
+            seed_certs(
+                &mut probe,
+                [
+                    EdgeMask::from_bits(alive, geom.edge_count),
+                    EdgeMask::from_bits(geom.pinned, geom.edge_count),
+                ],
+                &mut seed_stats,
+            )
+        } else {
+            Vec::new()
+        };
+        let chunks = (rayon::current_num_threads() * 8).max(1) as u64;
+        let chunk_len = total.div_ceil(chunks);
+        let (acc, mut stats) = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * chunk_len;
+                let hi = ((c + 1) * chunk_len).min(total);
+                let mut local = oracle.clone();
+                let mut cache = seeded_cache(cfg, &seeds);
+                let mut stats = SweepStats::default();
+                let acc = sum_range::<W, A, O>(
+                    &mut local, &mut cache, &mut stats, lo, hi, geom, &wt, weights,
+                );
+                (acc, stats)
+            })
+            .reduce(
+                || (A::empty(), SweepStats::default()),
+                |mut a, b| {
+                    a.0.merge(b.0);
+                    a.1.merge(&b.1);
+                    a
+                },
+            );
+        stats.merge(&seed_stats);
+        (acc.finish(), stats)
+    } else {
+        let mut local = oracle.clone();
+        let mut cache = cfg.cache();
+        let mut stats = SweepStats::default();
+        let acc = sum_range::<W, A, O>(
+            &mut local, &mut cache, &mut stats, 0, total, geom, &wt, weights,
+        );
+        (acc.finish(), stats)
+    }
+}
+
+/// One worker's share of [`sweep_sum`]: Gray-code walk over `lo..hi` with
+/// O(1) mask maintenance and split-product weights.
+#[allow(clippy::too_many_arguments)]
+fn sum_range<W, A, O>(
+    oracle: &mut O,
+    cache: &mut Option<CertCache>,
+    stats: &mut SweepStats,
+    lo: u64,
+    hi: u64,
+    geom: &SweepGeometry<'_>,
+    wt: &WeightTable<W>,
+    weights: &[(W, W)],
+) -> A
+where
+    W: Weight,
+    A: SweepAccumulator<W>,
+    O: SweepOracle,
+{
+    let mut acc = A::empty();
+    if lo >= hi {
+        return acc;
+    }
+    // Gray code of the starting index; `bits` scatters it onto the full
+    // edge numbering.
+    let mut g = lo ^ (lo >> 1);
+    let mut bits = geom.pinned;
+    let mut rest = g;
+    while rest != 0 {
+        let j = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        bits |= 1 << geom.fallible[j];
+    }
+    let mut high = wt.high_product(weights, g >> wt.low_bits);
+    let mut c = lo;
+    loop {
+        if classify_or_solve(
+            oracle,
+            cache,
+            EdgeMask::from_bits(bits, geom.edge_count),
+            stats,
+        ) {
+            acc.add(wt.weight(g, &high));
+        }
+        c += 1;
+        if c >= hi {
+            break;
+        }
+        // successive Gray codes differ in exactly bit tz(c)
+        let flip = c.trailing_zeros() as usize;
+        g ^= 1 << flip;
+        bits ^= 1 << geom.fallible[flip];
+        if flip >= wt.low_bits {
+            high = wt.high_product(weights, g >> wt.low_bits);
+        }
+    }
+    acc
+}
+
+/// Builds the realization-spectrum masses for one side: `mass[r]` = total
+/// probability of side configurations whose realization mask over the `live`
+/// assignments is exactly `r`. `weights[i]` is the `(alive, failed)` pair of
+/// side link `i`; `assign_count` sizes the mask space.
+pub fn sweep_spectrum<W: Weight>(
+    oracle: &SideOracle,
+    live: &[usize],
+    weights: &[(W, W)],
+    assign_count: usize,
+    cfg: &SweepConfig,
+) -> (Vec<W>, SweepStats) {
+    let m = oracle.edge_count();
+    assert_eq!(weights.len(), m, "one weight pair per side link");
+    let total = 1u64 << m;
+    let size = 1usize << assign_count;
+    let wt = WeightTable::new(weights);
+    if cfg.parallel && m >= PARALLEL_MIN_BITS {
+        let (seeds, seed_stats) = side_seeds(oracle, live, cfg);
+        let chunks = (rayon::current_num_threads() * 8).max(1) as u64;
+        let chunk_len = total.div_ceil(chunks);
+        let (mass, mut stats) = (0..chunks)
+            .into_par_iter()
+            .map(|ci| {
+                let lo = ci * chunk_len;
+                let hi = ((ci + 1) * chunk_len).min(total);
+                let mut local = oracle.clone();
+                let mut caches: Vec<Option<CertCache>> =
+                    seeds.iter().map(|s| seeded_cache(cfg, s)).collect();
+                let mut stats = SweepStats::default();
+                let mass = spectrum_range(
+                    &mut local,
+                    &mut caches,
+                    live,
+                    lo,
+                    hi,
+                    &wt,
+                    weights,
+                    size,
+                    &mut stats,
+                );
+                (mass, stats)
+            })
+            .reduce(
+                || (vec![W::zero(); size], SweepStats::default()),
+                |mut a, b| {
+                    for (x, y) in a.0.iter_mut().zip(&b.0) {
+                        *x = x.add(y);
+                    }
+                    a.1.merge(&b.1);
+                    a
+                },
+            );
+        stats.merge(&seed_stats);
+        (mass, stats)
+    } else {
+        let mut local = oracle.clone();
+        let mut caches: Vec<Option<CertCache>> = live.iter().map(|_| cfg.cache()).collect();
+        let mut stats = SweepStats::default();
+        let mass = spectrum_range(
+            &mut local,
+            &mut caches,
+            live,
+            0,
+            total,
+            &wt,
+            weights,
+            size,
+            &mut stats,
+        );
+        (mass, stats)
+    }
+}
+
+/// Seed certificates for a side sweep, one set per live assignment (each
+/// assignment has its own cache — certificates are only valid under the
+/// assignment they were extracted with).
+fn side_seeds(
+    oracle: &SideOracle,
+    live: &[usize],
+    cfg: &SweepConfig,
+) -> (Vec<Vec<SolveCert>>, SweepStats) {
+    let mut stats = SweepStats::default();
+    if !cfg.certificates {
+        return (vec![Vec::new(); live.len()], stats);
+    }
+    let m = oracle.edge_count();
+    let mut probe = oracle.clone();
+    let seeds = live
+        .iter()
+        .map(|&j| {
+            probe.set_assignment(j);
+            seed_certs(
+                &mut probe,
+                [EdgeMask::all_alive(m), EdgeMask::all_failed(m)],
+                &mut stats,
+            )
+        })
+        .collect();
+    (seeds, stats)
+}
+
+/// One worker's share of [`sweep_spectrum`]: per table-block, realize every
+/// live assignment (amortizing assignment switches), then accumulate the
+/// block's configuration weights into the mask masses.
+#[allow(clippy::too_many_arguments)]
+fn spectrum_range<W: Weight>(
+    oracle: &mut SideOracle,
+    caches: &mut [Option<CertCache>],
+    live: &[usize],
+    lo: u64,
+    hi: u64,
+    wt: &WeightTable<W>,
+    weights: &[(W, W)],
+    size: usize,
+    stats: &mut SweepStats,
+) -> Vec<W> {
+    let m = oracle.edge_count();
+    let mut mass = vec![W::zero(); size];
+    let block = 1u64 << wt.low_bits;
+    let mut realized = vec![0u32; block as usize];
+    let mut blo = lo;
+    while blo < hi {
+        // stop at the next table-block boundary so one high product covers
+        // the whole sub-range
+        let bhi = hi.min((blo | (block - 1)) + 1);
+        realized[..(bhi - blo) as usize].fill(0);
+        for (idx, &j) in live.iter().enumerate() {
+            oracle.set_assignment(j);
+            let cache = &mut caches[idx];
+            for c in blo..bhi {
+                if classify_or_solve(oracle, cache, EdgeMask::from_bits(c, m), stats) {
+                    realized[(c - blo) as usize] |= 1 << j;
+                }
+            }
+        }
+        let high = wt.high_product(weights, blo >> wt.low_bits);
+        for c in blo..bhi {
+            let slot = &mut mass[realized[(c - blo) as usize] as usize];
+            *slot = slot.add(&wt.weight(c, &high));
+        }
+        blo = bhi;
+    }
+    mass
+}
+
+/// Builds the paper-faithful realization array: `masks[c]` has bit `j` set
+/// iff side configuration `c` realizes live assignment `j`.
+pub fn sweep_table(
+    oracle: &SideOracle,
+    live: &[usize],
+    cfg: &SweepConfig,
+) -> (Vec<u32>, SweepStats) {
+    let m = oracle.edge_count();
+    let total = 1u64 << m;
+    if cfg.parallel && m >= PARALLEL_MIN_BITS {
+        let (seeds, seed_stats) = side_seeds(oracle, live, cfg);
+        let chunks = (rayon::current_num_threads() * 8).max(1) as u64;
+        let chunk_len = total.div_ceil(chunks);
+        let (mut segments, mut stats) = (0..chunks)
+            .into_par_iter()
+            .map(|ci| {
+                let lo = ci * chunk_len;
+                let hi = ((ci + 1) * chunk_len).min(total);
+                let mut local = oracle.clone();
+                let mut caches: Vec<Option<CertCache>> =
+                    seeds.iter().map(|s| seeded_cache(cfg, s)).collect();
+                let mut stats = SweepStats::default();
+                let masks = table_range(&mut local, &mut caches, live, lo, hi, &mut stats);
+                (vec![(lo, masks)], stats)
+            })
+            .reduce(
+                || (Vec::new(), SweepStats::default()),
+                |mut a, mut b| {
+                    a.0.append(&mut b.0);
+                    a.1.merge(&b.1);
+                    a
+                },
+            );
+        segments.sort_by_key(|&(lo, _)| lo);
+        stats.merge(&seed_stats);
+        (segments.into_iter().flat_map(|(_, v)| v).collect(), stats)
+    } else {
+        let mut local = oracle.clone();
+        let mut caches: Vec<Option<CertCache>> = live.iter().map(|_| cfg.cache()).collect();
+        let mut stats = SweepStats::default();
+        let masks = table_range(&mut local, &mut caches, live, 0, total, &mut stats);
+        (masks, stats)
+    }
+}
+
+/// One worker's share of [`sweep_table`].
+fn table_range(
+    oracle: &mut SideOracle,
+    caches: &mut [Option<CertCache>],
+    live: &[usize],
+    lo: u64,
+    hi: u64,
+    stats: &mut SweepStats,
+) -> Vec<u32> {
+    let m = oracle.edge_count();
+    let mut masks = vec![0u32; (hi - lo) as usize];
+    for (idx, &j) in live.iter().enumerate() {
+        oracle.set_assignment(j);
+        let cache = &mut caches[idx];
+        for c in lo..hi {
+            if classify_or_solve(oracle, cache, EdgeMask::from_bits(c, m), stats) {
+                masks[(c - lo) as usize] |= 1 << j;
+            }
+        }
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::FlowDemand;
+    use maxflow::SolverKind;
+    use netgraph::{GraphKind, Network, NetworkBuilder, NodeId};
+
+    fn table_weight<W: Weight>(weights: &[(W, W)], g: u64) -> W {
+        let mut p = W::one();
+        for (i, w) in weights.iter().enumerate() {
+            p = p.mul(if g >> i & 1 == 1 { &w.0 } else { &w.1 });
+        }
+        p
+    }
+
+    #[test]
+    fn weight_table_matches_direct_product() {
+        let weights: Vec<(f64, f64)> = (0..15)
+            .map(|i| (0.9 - 0.01 * i as f64, 0.1 + 0.01 * i as f64))
+            .collect();
+        let wt = WeightTable::new(&weights);
+        for g in [0u64, 1, 0xfff, 0x1000, 0x7abc, (1 << 15) - 1] {
+            let high = wt.high_product(&weights, g >> wt.low_bits);
+            let direct = table_weight(&weights, g);
+            assert!((wt.weight(g, &high) - direct).abs() < 1e-15, "g={g:#x}");
+        }
+    }
+
+    #[test]
+    fn weight_table_handles_tiny_and_empty() {
+        let weights: Vec<(f64, f64)> = vec![(0.8, 0.2)];
+        let wt = WeightTable::new(&weights);
+        let high = wt.high_product(&weights, 0);
+        assert!((wt.weight(0, &high) - 0.2).abs() < 1e-15);
+        assert!((wt.weight(1, &high) - 0.8).abs() < 1e-15);
+        let empty: Vec<(f64, f64)> = Vec::new();
+        let wt0 = WeightTable::new(&empty);
+        assert!((wt0.weight(0, &wt0.high_product(&empty, 0)) - 1.0).abs() < 1e-15);
+    }
+
+    fn diamond() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 1, 0.2).unwrap();
+        b.add_edge(n[1], n[3], 1, 0.3).unwrap();
+        b.add_edge(n[2], n[3], 1, 0.4).unwrap();
+        b.build()
+    }
+
+    fn sum_with(cfg: &SweepConfig) -> (f64, SweepStats) {
+        let net = diamond();
+        let d = FlowDemand::new(NodeId(0), NodeId(3), 1);
+        let oracle = DemandOracle::new(&net, d.source, d.sink, d.demand, SolverKind::Dinic);
+        let fallible: Vec<usize> = (0..4).collect();
+        let weights: Vec<(f64, f64)> = net
+            .edges()
+            .iter()
+            .map(|e| (1.0 - e.fail_prob, e.fail_prob))
+            .collect();
+        let geom = SweepGeometry {
+            fallible: &fallible,
+            pinned: 0,
+            edge_count: 4,
+        };
+        sweep_sum::<f64, CompensatedAcc, _>(&oracle, &geom, &weights, cfg)
+    }
+
+    #[test]
+    fn gray_sweep_sums_feasible_probability() {
+        // diamond, demand 1: R = 1 - (1 - 0.9*0.7)(1 - 0.8*0.6)
+        let expected = 1.0 - (1.0 - 0.9 * 0.7) * (1.0 - 0.8 * 0.6);
+        let (r, stats) = sum_with(&SweepConfig::serial());
+        assert!((r - expected).abs() < 1e-12, "{r} vs {expected}");
+        assert_eq!(stats.configs, 16);
+        assert_eq!(stats.solver_calls, 16);
+        assert_eq!(stats.solver_calls_avoided(), 0);
+    }
+
+    #[test]
+    fn certificates_preserve_the_sum_and_avoid_solves() {
+        let (r0, _) = sum_with(&SweepConfig::serial());
+        let cfg = SweepConfig {
+            parallel: false,
+            certificates: true,
+            cache_size: 16,
+        };
+        let (r1, stats) = sum_with(&cfg);
+        assert_eq!(r1, r0, "serial cert-cached sweep must be bit-identical");
+        assert!(
+            stats.solver_calls_avoided() > 0,
+            "16 configs must yield hits"
+        );
+        assert_eq!(
+            stats.solver_calls + stats.solver_calls_avoided(),
+            stats.configs
+        );
+    }
+
+    #[test]
+    fn pinned_edges_stay_alive() {
+        let net = diamond();
+        let d = FlowDemand::new(NodeId(0), NodeId(3), 1);
+        let oracle = DemandOracle::new(&net, d.source, d.sink, d.demand, SolverKind::Dinic);
+        // pin edge 0 alive, enumerate the rest
+        let fallible = [1usize, 2, 3];
+        let weights: Vec<(f64, f64)> = fallible
+            .iter()
+            .map(|&i| (1.0 - net.edges()[i].fail_prob, net.edges()[i].fail_prob))
+            .collect();
+        let geom = SweepGeometry {
+            fallible: &fallible,
+            pinned: 0b0001,
+            edge_count: 4,
+        };
+        let (r, stats) =
+            sweep_sum::<f64, CompensatedAcc, _>(&oracle, &geom, &weights, &SweepConfig::serial());
+        // edge 0 alive with probability 1: R = 1 - (1 - 0.7)(1 - 0.8*0.6)
+        let expected = 1.0 - (1.0 - 0.7) * (1.0 - 0.8 * 0.6);
+        assert!((r - expected).abs() < 1e-12, "{r} vs {expected}");
+        assert_eq!(stats.configs, 8);
+    }
+}

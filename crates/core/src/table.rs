@@ -11,10 +11,10 @@
 //! of `O(2^{|E_c|})`); the table remains for illustration (regenerating
 //! Table I and Fig. 5) and for the memory-ablation bench.
 
-use netgraph::EdgeMask;
-
+use crate::certcache::SweepStats;
 use crate::error::ReliabilityError;
 use crate::oracle::SideOracle;
+use crate::sweep::{sweep_table, SweepConfig};
 
 /// The realization array of one side: `masks[c]` has bit `j` set iff side
 /// configuration `c` realizes assignment `j`.
@@ -40,10 +40,32 @@ impl RealizationTable {
         max_assignments: usize,
         prune_infeasible: bool,
     ) -> Result<Self, ReliabilityError> {
+        Self::build_with(
+            oracle,
+            max_side_edges,
+            max_assignments,
+            prune_infeasible,
+            &SweepConfig::serial(),
+        )
+        .map(|(t, _)| t)
+    }
+
+    /// Builds the array through the shared sweep engine ([`crate::sweep`]),
+    /// returning the engine's counters alongside.
+    pub fn build_with(
+        oracle: &mut SideOracle,
+        max_side_edges: usize,
+        max_assignments: usize,
+        prune_infeasible: bool,
+        cfg: &SweepConfig,
+    ) -> Result<(Self, SweepStats), ReliabilityError> {
         let m = oracle.edge_count();
         let dn = oracle.assignment_count();
         if m > max_side_edges {
-            return Err(ReliabilityError::SideTooLarge { count: m, max: max_side_edges });
+            return Err(ReliabilityError::SideTooLarge {
+                count: m,
+                max: max_side_edges,
+            });
         }
         if dn > max_assignments || dn > 31 {
             return Err(ReliabilityError::TooManyAssignments {
@@ -51,20 +73,18 @@ impl RealizationTable {
                 max: max_assignments.min(31),
             });
         }
-        let configs = 1usize << m;
-        let mut masks = vec![0u32; configs];
-        for j in 0..dn {
-            if prune_infeasible && !oracle.feasible_at_best(j) {
-                continue;
-            }
-            oracle.set_assignment(j);
-            for (c, slot) in masks.iter_mut().enumerate() {
-                if oracle.admits(EdgeMask::from_bits(c as u64, m)) {
-                    *slot |= 1 << j;
-                }
-            }
-        }
-        Ok(RealizationTable { assign_count: dn, side_edges: m, masks })
+        let live: Vec<usize> = (0..dn)
+            .filter(|&j| !prune_infeasible || oracle.feasible_at_best(j))
+            .collect();
+        let (masks, stats) = sweep_table(oracle, &live, cfg);
+        Ok((
+            RealizationTable {
+                assign_count: dn,
+                side_edges: m,
+                masks,
+            },
+            stats,
+        ))
     }
 
     /// The realization mask of configuration `c`.
@@ -74,7 +94,9 @@ impl RealizationTable {
 
     /// The assignments realized by configuration `c`, as indices.
     pub fn realized(&self, c: usize) -> Vec<usize> {
-        (0..self.assign_count).filter(|&j| self.masks[c] >> j & 1 == 1).collect()
+        (0..self.assign_count)
+            .filter(|&j| self.masks[c] >> j & 1 == 1)
+            .collect()
     }
 }
 
@@ -87,7 +109,9 @@ mod tests {
     use netgraph::{GraphKind, NetworkBuilder};
 
     fn asg(amounts: &[i64]) -> Assignment {
-        Assignment { amounts: amounts.to_vec() }
+        Assignment {
+            amounts: amounts.to_vec(),
+        }
     }
 
     /// s with two unit links to one attach point.
@@ -130,6 +154,25 @@ mod tests {
         let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic);
         let full = RealizationTable::build(&mut o2, 10, 10, false).unwrap();
         assert_eq!(pruned, full);
+    }
+
+    #[test]
+    fn certificates_do_not_change_the_table() {
+        let side = simple_side();
+        let assignments = vec![asg(&[1]), asg(&[2])];
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let (plain, s0) =
+            RealizationTable::build_with(&mut o, 10, 10, true, &SweepConfig::serial()).unwrap();
+        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let cfg = SweepConfig {
+            parallel: false,
+            certificates: true,
+            cache_size: 8,
+        };
+        let (cached, s1) = RealizationTable::build_with(&mut o2, 10, 10, true, &cfg).unwrap();
+        assert_eq!(plain, cached, "cache hits must reproduce every table entry");
+        assert_eq!(s0.solver_calls_avoided(), 0);
+        assert!(s1.solver_calls_avoided() > 0);
     }
 
     #[test]

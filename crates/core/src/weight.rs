@@ -71,7 +71,10 @@ pub type EdgeWeights<W> = Vec<(W, W)>;
 
 /// The `(1 − p, p)` pairs of every edge, as `f64`.
 pub fn edge_weights(net: &Network) -> EdgeWeights<f64> {
-    net.edges().iter().map(|e| (1.0 - e.fail_prob, e.fail_prob)).collect()
+    net.edges()
+        .iter()
+        .map(|e| (1.0 - e.fail_prob, e.fail_prob))
+        .collect()
 }
 
 /// The `(1 − p, p)` pairs of every edge, as exact rationals. The stored `f64`

@@ -24,12 +24,18 @@ pub struct BigInt {
 impl BigInt {
     /// Zero.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Plus, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::zero(),
+        }
     }
 
     /// One.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Plus, mag: BigUint::one() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
     }
 
     /// Builds from a sign and magnitude (zero magnitude forces `Plus`).
@@ -44,15 +50,24 @@ impl BigInt {
     /// From a signed machine word.
     pub fn from_i64(x: i64) -> Self {
         if x < 0 {
-            BigInt { sign: Sign::Minus, mag: BigUint::from_u64(x.unsigned_abs()) }
+            BigInt {
+                sign: Sign::Minus,
+                mag: BigUint::from_u64(x.unsigned_abs()),
+            }
         } else {
-            BigInt { sign: Sign::Plus, mag: BigUint::from_u64(x as u64) }
+            BigInt {
+                sign: Sign::Plus,
+                mag: BigUint::from_u64(x as u64),
+            }
         }
     }
 
     /// From an unsigned magnitude.
     pub fn from_biguint(mag: BigUint) -> Self {
-        BigInt { sign: Sign::Plus, mag }
+        BigInt {
+            sign: Sign::Plus,
+            mag,
+        }
     }
 
     /// The sign.
@@ -81,7 +96,11 @@ impl BigInt {
             BigInt::zero()
         } else {
             BigInt {
-                sign: if self.sign == Sign::Plus { Sign::Minus } else { Sign::Plus },
+                sign: if self.sign == Sign::Plus {
+                    Sign::Minus
+                } else {
+                    Sign::Plus
+                },
                 mag: self.mag.clone(),
             }
         }
@@ -107,7 +126,11 @@ impl BigInt {
 
     /// `self * other`.
     pub fn mul(&self, other: &BigInt) -> BigInt {
-        let sign = if self.sign == other.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == other.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         BigInt::from_sign_mag(sign, self.mag.mul(&other.mag))
     }
 

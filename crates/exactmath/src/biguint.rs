@@ -40,7 +40,9 @@ impl BigUint {
     pub fn from_u128(x: u128) -> Self {
         let lo = x as u64;
         let hi = (x >> 64) as u64;
-        let mut v = BigUint { limbs: vec![lo, hi] };
+        let mut v = BigUint {
+            limbs: vec![lo, hi],
+        };
         v.normalize();
         v
     }
@@ -81,7 +83,9 @@ impl BigUint {
 
     /// The `i`-th bit (bit 0 is least significant).
     pub fn bit(&self, i: usize) -> bool {
-        self.limbs.get(i / 64).is_some_and(|&w| w >> (i % 64) & 1 == 1)
+        self.limbs
+            .get(i / 64)
+            .is_some_and(|&w| w >> (i % 64) & 1 == 1)
     }
 
     /// Sets the `i`-th bit, growing as needed.
@@ -105,8 +109,11 @@ impl BigUint {
 
     /// `self + other`.
     pub fn add(&self, other: &BigUint) -> BigUint {
-        let (longer, shorter) =
-            if self.limbs.len() >= other.limbs.len() { (self, other) } else { (other, self) };
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut out = Vec::with_capacity(longer.limbs.len() + 1);
         let mut carry = 0u64;
         for i in 0..longer.limbs.len() {
@@ -498,7 +505,12 @@ mod tests {
 
     #[test]
     fn decimal_roundtrip() {
-        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             assert_eq!(BigUint::from_decimal(s).unwrap().to_decimal(), s);
         }
         assert!(BigUint::from_decimal("12a").is_none());

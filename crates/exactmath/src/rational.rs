@@ -20,12 +20,18 @@ pub struct BigRational {
 impl BigRational {
     /// Zero.
     pub fn zero() -> Self {
-        BigRational { num: BigInt::zero(), den: BigUint::one() }
+        BigRational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
     }
 
     /// One.
     pub fn one() -> Self {
-        BigRational { num: BigInt::one(), den: BigUint::one() }
+        BigRational {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
     }
 
     /// `n / d` as an exact rational.
@@ -34,7 +40,10 @@ impl BigRational {
     /// Panics if `d == 0`.
     pub fn from_ratio(n: u64, d: u64) -> Self {
         assert!(d != 0, "zero denominator");
-        Self::new(BigInt::from_biguint(BigUint::from_u64(n)), BigUint::from_u64(d))
+        Self::new(
+            BigInt::from_biguint(BigUint::from_u64(n)),
+            BigUint::from_u64(d),
+        )
     }
 
     /// Signed ratio `n / d`.
@@ -48,7 +57,10 @@ impl BigRational {
 
     /// An integer as a rational.
     pub fn from_int(n: i64) -> Self {
-        BigRational { num: BigInt::from_i64(n), den: BigUint::one() }
+        BigRational {
+            num: BigInt::from_i64(n),
+            den: BigUint::one(),
+        }
     }
 
     /// Builds and reduces `num / den`.
@@ -66,7 +78,10 @@ impl BigRational {
         }
         let (nm, _) = num.magnitude().div_rem(&g);
         let (nd, _) = den.div_rem(&g);
-        BigRational { num: BigInt::from_sign_mag(num.sign(), nm), den: nd }
+        BigRational {
+            num: BigInt::from_sign_mag(num.sign(), nm),
+            den: nd,
+        }
     }
 
     /// Exact conversion from a finite `f64` (every finite `f64` is a dyadic
@@ -92,7 +107,10 @@ impl BigRational {
         let mag = BigUint::from_u64(m);
         let sign = if neg { Sign::Minus } else { Sign::Plus };
         if e >= 0 {
-            BigRational::new(BigInt::from_sign_mag(sign, mag.shl(e as usize)), BigUint::one())
+            BigRational::new(
+                BigInt::from_sign_mag(sign, mag.shl(e as usize)),
+                BigUint::one(),
+            )
         } else {
             BigRational::new(
                 BigInt::from_sign_mag(sign, mag),
@@ -146,8 +164,11 @@ impl BigRational {
     /// Panics if `other` is zero.
     pub fn div(&self, other: &BigRational) -> BigRational {
         assert!(!other.is_zero(), "division by zero rational");
-        let sign =
-            if self.num.sign() == other.num.sign() { Sign::Plus } else { Sign::Minus };
+        let sign = if self.num.sign() == other.num.sign() {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         let num = self.num.magnitude().mul(&other.den);
         let den = self.den.mul(other.num.magnitude());
         BigRational::new(BigInt::from_sign_mag(sign, num), den)
@@ -155,7 +176,10 @@ impl BigRational {
 
     /// `-self`.
     pub fn neg(&self) -> BigRational {
-        BigRational { num: self.num.neg(), den: self.den.clone() }
+        BigRational {
+            num: self.num.neg(),
+            den: self.den.clone(),
+        }
     }
 
     /// `1 - self` (the complement, ubiquitous in reliability formulas).
@@ -201,7 +225,9 @@ impl BigRational {
         let (q, _) = if shift >= 0 {
             self.num.magnitude().shl(shift as usize).div_rem(&self.den)
         } else {
-            self.num.magnitude().div_rem(&self.den.shl((-shift) as usize))
+            self.num
+                .magnitude()
+                .div_rem(&self.den.shl((-shift) as usize))
         };
         let val = ldexp(q.to_f64(), -shift as i32);
         if self.num.is_negative() {

@@ -16,13 +16,7 @@ pub struct CapacityScaling;
 
 impl CapacityScaling {
     /// BFS for an augmenting path using only arcs with residual ≥ `delta`.
-    fn find_path(
-        g: &FlowGraph,
-        s: usize,
-        t: usize,
-        delta: u64,
-        parent_arc: &mut [u32],
-    ) -> bool {
+    fn find_path(g: &FlowGraph, s: usize, t: usize, delta: u64, parent_arc: &mut [u32]) -> bool {
         parent_arc.fill(u32::MAX);
         let mut queue = VecDeque::new();
         queue.push_back(s);
@@ -50,8 +44,12 @@ impl MaxFlowSolver for CapacityScaling {
         let n = g.node_count();
         let mut parent_arc = vec![u32::MAX; n];
         // largest power of two not exceeding the biggest source-side residual
-        let max_cap =
-            g.arcs_from(s).iter().map(|&a| g.residual(a)).max().unwrap_or(0);
+        let max_cap = g
+            .arcs_from(s)
+            .iter()
+            .map(|&a| g.residual(a))
+            .max()
+            .unwrap_or(0);
         if max_cap == 0 {
             return 0;
         }

@@ -38,7 +38,12 @@ pub struct FlowGraph {
 impl FlowGraph {
     /// An empty graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        FlowGraph { head: Vec::new(), cap: Vec::new(), base: Vec::new(), adj: vec![Vec::new(); n] }
+        FlowGraph {
+            head: Vec::new(),
+            cap: Vec::new(),
+            base: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Adds a node, returning its index.
@@ -60,7 +65,10 @@ impl FlowGraph {
     }
 
     fn push_pair(&mut self, u: usize, v: usize, cap_uv: u64, cap_vu: u64) -> ArcId {
-        assert!(u < self.adj.len() && v < self.adj.len(), "arc endpoint out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "arc endpoint out of range"
+        );
         let id = self.head.len() as u32;
         self.head.push(v as u32);
         self.head.push(u as u32);
@@ -113,6 +121,11 @@ impl FlowGraph {
     #[inline]
     pub(crate) fn arcs_from(&self, u: usize) -> &[u32] {
         &self.adj[u]
+    }
+
+    #[inline]
+    pub(crate) fn base_of(&self, arc: u32) -> u64 {
+        self.base[arc as usize]
     }
 
     #[inline]

@@ -18,7 +18,12 @@
 //! * all solvers support an early-exit `limit`: augmentation stops as soon as
 //!   `limit` units are routed, since the reliability calculation only ever
 //!   asks "is max-flow ≥ d?";
-//! * [`min_cut`] — minimum s–t cut extraction from a residual graph.
+//! * [`min_cut`] — minimum s–t cut extraction from a residual graph;
+//! * monotonicity witnesses — after a solve, [`NetworkFlow::flow_support_bits`]
+//!   (feasible: the edges carrying flow) and
+//!   [`NetworkFlow::residual_cut_bits`] (infeasible: the edges crossing the
+//!   saturated cut) turn one solver call into a certificate that classifies
+//!   whole families of related failure configurations without solving again.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

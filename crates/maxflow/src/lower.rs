@@ -44,6 +44,82 @@ impl NetworkFlow {
     pub fn apply_all_alive(&mut self) {
         self.graph.reset();
     }
+
+    /// Bitmask of network edges carrying nonzero flow after a *successful*
+    /// feasibility solve.
+    ///
+    /// Because s–t flow feasibility is monotone in the set of alive links,
+    /// the returned support is a reusable certificate: any configuration
+    /// whose alive set contains it admits the same flow, with no further
+    /// solve. Only meaningful while the routed flow is still in the graph
+    /// (i.e. before the next [`apply_mask`](Self::apply_mask)).
+    ///
+    /// # Panics
+    /// Panics if the network has more than 64 edges.
+    pub fn flow_support_bits(&self) -> u64 {
+        assert!(
+            self.edge_arcs.len() <= 64,
+            "support certificates need <= 64 edges"
+        );
+        let mut bits = 0u64;
+        for (i, &arc) in self.edge_arcs.iter().enumerate() {
+            if self.graph.net_flow(arc) != 0 {
+                bits |= 1 << i;
+            }
+        }
+        bits
+    }
+
+    /// The saturated s–t cut witnessed by a *failed* (exhausted) solve, as
+    /// `(crossing, fixed)`: the bitmask of network edges crossing the cut and
+    /// the total base capacity of super-terminal arcs crossing it (arcs that
+    /// are not network edges and cannot fail). Returns `None` when the sink
+    /// is still reachable in the residual graph (the solve was not run to
+    /// completion).
+    ///
+    /// The cut is the residual-reachability partition. Flow is bounded by
+    /// the capacity of any cut, so for the same terminal setup *every*
+    /// configuration satisfies `max_flow ≤ fixed + Σ capacity(e)` over its
+    /// alive edges `e` in `crossing` — a reusable infeasibility certificate
+    /// for any configuration whose bound falls below the required flow. A
+    /// directed edge oriented sink-side → source-side contributes no cut
+    /// capacity and is excluded; undirected edges cross in either
+    /// orientation.
+    ///
+    /// # Panics
+    /// Panics if the network has more than 64 edges.
+    pub fn residual_cut_bits(&self) -> Option<(u64, u64)> {
+        assert!(
+            self.edge_arcs.len() <= 64,
+            "cut certificates need <= 64 edges"
+        );
+        let seen = crate::mincut::residual_reachable(&self.graph, self.source);
+        if seen[self.sink] {
+            return None;
+        }
+        let mut bits = 0u64;
+        for (i, &arc) in self.edge_arcs.iter().enumerate() {
+            let u = self.graph.arc_tail(arc.0);
+            let v = self.graph.arc_head(arc.0);
+            // forward orientation S -> T always crosses; the reverse
+            // orientation only carries capacity for undirected edges
+            // (their reverse arc has nonzero base capacity).
+            let crosses =
+                (seen[u] && !seen[v]) || (!seen[u] && seen[v] && self.graph.base_of(arc.0 ^ 1) > 0);
+            if crosses {
+                bits |= 1 << i;
+            }
+        }
+        let mut fixed = 0u64;
+        for &arc in self.source_arcs.iter().chain(&self.sink_arcs) {
+            let u = self.graph.arc_tail(arc.0);
+            let v = self.graph.arc_head(arc.0);
+            if seen[u] && !seen[v] {
+                fixed += self.graph.base_of(arc.0);
+            }
+        }
+        Some((bits, fixed))
+    }
 }
 
 fn lower_edges(net: &Network, g: &mut FlowGraph) -> Vec<ArcId> {
@@ -85,7 +161,10 @@ pub fn build_flow_multi(
     sources: &[(NodeId, u64)],
     sinks: &[(NodeId, u64)],
 ) -> NetworkFlow {
-    assert!(!sources.is_empty() && !sinks.is_empty(), "need at least one source and sink");
+    assert!(
+        !sources.is_empty() && !sinks.is_empty(),
+        "need at least one source and sink"
+    );
     let mut graph = FlowGraph::new(net.node_count());
     let edge_arcs = lower_edges(net, &mut graph);
     let mut source_arcs = Vec::new();
@@ -109,7 +188,14 @@ pub fn build_flow_multi(
         }
         st
     };
-    NetworkFlow { graph, edge_arcs, source, sink, source_arcs, sink_arcs }
+    NetworkFlow {
+        graph,
+        edge_arcs,
+        source,
+        sink,
+        source_arcs,
+        sink_arcs,
+    }
 }
 
 #[cfg(test)]
@@ -164,8 +250,7 @@ mod tests {
     fn multi_sink_demands_bound_flow() {
         let net = diamond(GraphKind::Directed);
         // demand 1 at node 1 and 2 at node 2: total 3, but node2 can only get 2
-        let mut nf =
-            build_flow_multi(&net, &[(NodeId(0), 10)], &[(NodeId(1), 1), (NodeId(2), 2)]);
+        let mut nf = build_flow_multi(&net, &[(NodeId(0), 10)], &[(NodeId(1), 1), (NodeId(2), 2)]);
         nf.apply_all_alive();
         let f = Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
         assert_eq!(f, 3);
@@ -174,12 +259,14 @@ mod tests {
     #[test]
     fn retuning_terminal_arcs() {
         let net = diamond(GraphKind::Directed);
-        let mut nf =
-            build_flow_multi(&net, &[(NodeId(0), 10)], &[(NodeId(1), 2), (NodeId(2), 2)]);
+        let mut nf = build_flow_multi(&net, &[(NodeId(0), 10)], &[(NodeId(1), 2), (NodeId(2), 2)]);
         nf.apply_all_alive();
         assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 4);
         // retarget to (0, 1): only one unit may drain via node 2
-        assert!(nf.source_arcs.is_empty(), "single plain source, no super node");
+        assert!(
+            nf.source_arcs.is_empty(),
+            "single plain source, no super node"
+        );
         let sink_arcs: Vec<ArcId> = nf.sink_arcs.clone();
         assert_eq!(sink_arcs.len(), 2);
         nf.graph.set_base_capacity(sink_arcs[0], 0);
@@ -189,10 +276,76 @@ mod tests {
     }
 
     #[test]
+    fn feasible_support_is_a_superset_certificate() {
+        let net = diamond(GraphKind::Directed);
+        let mut nf = build_flow(&net, NodeId(0), NodeId(3));
+        nf.apply_all_alive();
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, 2), 2);
+        let support = nf.flow_support_bits();
+        assert_ne!(support, 0);
+        // the support itself, run as a configuration, admits the demand
+        nf.apply_mask(EdgeMask::from_bits(support, 4));
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, 2), 2);
+    }
+
+    #[test]
+    fn infeasible_cut_witnesses_the_bottleneck() {
+        let net = diamond(GraphKind::Directed);
+        let mut nf = build_flow(&net, NodeId(0), NodeId(3));
+        // edges 0 (s->a) and 3 (b->t) dead: no flow at all
+        nf.apply_mask(EdgeMask::from_bits(0b0110, 4));
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 0);
+        let (crossing, fixed) = nf.residual_cut_bits().expect("sink unreachable");
+        // the cut separates s from t using only dead edges
+        assert_eq!(crossing & 0b0110, 0, "alive crossing capacity must be zero");
+        assert_ne!(crossing, 0);
+        assert_eq!(fixed, 0, "plain s-t lowering has no super-terminal arcs");
+    }
+
+    #[test]
+    fn unexhausted_solve_yields_no_cut() {
+        let net = diamond(GraphKind::Directed);
+        let mut nf = build_flow(&net, NodeId(0), NodeId(3));
+        nf.apply_all_alive();
+        // early exit at 1 unit: residual sink still reachable
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, 1), 1);
+        assert_eq!(nf.residual_cut_bits(), None);
+    }
+
+    #[test]
+    fn undirected_cut_crosses_both_orientations() {
+        // s - a declared both ways: kill the path and check both edges appear
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[1], 1, 0.1).unwrap(); // declared toward the middle
+        let net = b.build();
+        let mut nf = build_flow(&net, NodeId(0), NodeId(2));
+        nf.apply_mask(EdgeMask::from_bits(0b01, 2)); // edge 1 dead
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 0);
+        let (crossing, _) = nf.residual_cut_bits().expect("sink unreachable");
+        assert!(
+            crossing & 0b10 != 0,
+            "the dead reverse-declared edge crosses"
+        );
+    }
+
+    #[test]
+    fn super_terminal_arcs_count_toward_the_cut() {
+        let net = diamond(GraphKind::Directed);
+        // super-source supplies nodes 0 and 1; kill node 0's outgoing edges
+        let mut nf = build_flow_multi(&net, &[(NodeId(0), 1), (NodeId(1), 1)], &[(NodeId(3), 10)]);
+        nf.apply_mask(EdgeMask::from_bits(0b1100, 4));
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 1);
+        let (crossing, fixed) = nf.residual_cut_bits().expect("sink unreachable");
+        assert_eq!(crossing, 0b0011, "node 0's dead edges cross the cut");
+        assert_eq!(fixed, 1, "the saturated supply arc to node 1 crosses too");
+    }
+
+    #[test]
     fn multi_source_single_sink() {
         let net = diamond(GraphKind::Directed);
-        let mut nf =
-            build_flow_multi(&net, &[(NodeId(1), 1), (NodeId(2), 1)], &[(NodeId(3), 10)]);
+        let mut nf = build_flow_multi(&net, &[(NodeId(1), 1), (NodeId(2), 1)], &[(NodeId(3), 10)]);
         nf.apply_all_alive();
         // sinks.len()==1 and its node != super source, so plain node used:
         // flow bounded by the two supplies

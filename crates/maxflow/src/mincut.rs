@@ -1,6 +1,6 @@
 //! Minimum s–t cut extraction from a solved residual graph.
 
-use netgraph::{EdgeId, NodeId, Network};
+use netgraph::{EdgeId, Network, NodeId};
 
 use crate::graph::FlowGraph;
 use crate::lower::build_flow;
@@ -18,7 +18,7 @@ pub struct MinCut {
 }
 
 /// Nodes reachable from `s` in the residual graph (after a full solve).
-fn residual_reachable(g: &FlowGraph, s: usize) -> Vec<bool> {
+pub(crate) fn residual_reachable(g: &FlowGraph, s: usize) -> Vec<bool> {
     let mut seen = vec![false; g.node_count()];
     seen[s] = true;
     let mut stack = vec![s];
@@ -42,7 +42,9 @@ fn residual_reachable(g: &FlowGraph, s: usize) -> Vec<bool> {
 pub fn min_cut(net: &Network, s: NodeId, t: NodeId, solver: SolverKind) -> MinCut {
     let mut nf = build_flow(net, s, t);
     nf.apply_all_alive();
-    let value = solver.solver().solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
+    let value = solver
+        .solver()
+        .solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
     let seen = residual_reachable(&nf.graph, nf.source);
     let mut edges = Vec::new();
     for (id, e) in net.edge_refs() {
@@ -56,9 +58,17 @@ pub fn min_cut(net: &Network, s: NodeId, t: NodeId, solver: SolverKind) -> MinCu
             edges.push(id);
         }
     }
-    let source_side =
-        seen.iter().enumerate().filter(|&(_, &x)| x).map(|(i, _)| NodeId::from(i)).collect();
-    MinCut { value, edges, source_side }
+    let source_side = seen
+        .iter()
+        .enumerate()
+        .filter(|&(_, &x)| x)
+        .map(|(i, _)| NodeId::from(i))
+        .collect();
+    MinCut {
+        value,
+        edges,
+        source_side,
+    }
 }
 
 #[cfg(test)]

@@ -6,11 +6,12 @@ use maxflow::{build_flow, min_cut, SolverKind};
 use netgraph::{GraphKind, Network, NetworkBuilder, NodeId};
 use proptest::prelude::*;
 
-fn random_network(
-    kind: GraphKind,
-) -> impl Strategy<Value = (Network, NodeId, NodeId)> {
-    (2usize..10, proptest::collection::vec((0usize..10, 0usize..10, 1u64..8), 1..25)).prop_map(
-        move |(n, raw)| {
+fn random_network(kind: GraphKind) -> impl Strategy<Value = (Network, NodeId, NodeId)> {
+    (
+        2usize..10,
+        proptest::collection::vec((0usize..10, 0usize..10, 1u64..8), 1..25),
+    )
+        .prop_map(move |(n, raw)| {
             let mut b = NetworkBuilder::new(kind);
             let nodes = b.add_nodes(n);
             for (u, v, c) in raw {
@@ -18,14 +19,15 @@ fn random_network(
                 b.add_edge(nodes[u], nodes[v], c, 0.1).unwrap();
             }
             (b.build(), nodes[0], nodes[n - 1])
-        },
-    )
+        })
 }
 
 fn flow_with(kind: SolverKind, net: &Network, s: NodeId, t: NodeId, limit: u64) -> u64 {
     let mut nf = build_flow(net, s, t);
     nf.apply_all_alive();
-    let f = kind.solver().solve(&mut nf.graph, nf.source, nf.sink, limit);
+    let f = kind
+        .solver()
+        .solve(&mut nf.graph, nf.source, nf.sink, limit);
     // push-relabel leaves a preflow, not a flow; skip conservation for it
     if kind != SolverKind::PushRelabel && limit == u64::MAX {
         assert_eq!(nf.graph.check_conservation(nf.source, nf.sink).unwrap(), f);

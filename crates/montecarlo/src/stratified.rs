@@ -56,7 +56,10 @@ pub fn estimate_stratified(
     seed: u64,
 ) -> StratifiedEstimate {
     let m = net.edge_count();
-    assert!(m <= EdgeMask::MAX_EDGES, "sampling masks support at most 64 links");
+    assert!(
+        m <= EdgeMask::MAX_EDGES,
+        "sampling masks support at most 64 links"
+    );
     let k = strata_links.len();
     assert!(k <= 16, "too many strata links");
     let mut seen = std::collections::HashSet::new();
@@ -102,9 +105,7 @@ pub fn estimate_stratified(
                 }
             }
             nf.apply_mask(EdgeMask::from_bits(bits, m));
-            if demand == 0
-                || solver.solve(&mut nf.graph, nf.source, nf.sink, demand) >= demand
-            {
+            if demand == 0 || solver.solve(&mut nf.graph, nf.source, nf.sink, demand) >= demand {
                 successes += 1;
             }
         }
@@ -166,8 +167,7 @@ mod tests {
     fn variance_not_worse_than_plain() {
         let net = chain();
         let plain = crate::estimate(&net, NodeId(0), NodeId(2), 1, 20_000, 9);
-        let strat =
-            estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 20_000, 9);
+        let strat = estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 20_000, 9);
         assert!(
             strat.std_error <= plain.std_error * 1.05,
             "stratified {} vs plain {}",
@@ -188,7 +188,15 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn rejects_duplicate_strata() {
         let net = chain();
-        estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1), EdgeId(1)], 100, 1);
+        estimate_stratified(
+            &net,
+            NodeId(0),
+            NodeId(2),
+            1,
+            &[EdgeId(1), EdgeId(1)],
+            100,
+            1,
+        );
     }
 
     #[test]

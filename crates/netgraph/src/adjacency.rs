@@ -53,7 +53,10 @@ impl Adjacency {
             out[e.src.index()].push((id, e.dst));
             out[e.dst.index()].push((id, e.src));
         }
-        Adjacency { inc: out.clone(), out }
+        Adjacency {
+            inc: out.clone(),
+            out,
+        }
     }
 
     /// Edges leaving `n` as `(edge, neighbour)` pairs.

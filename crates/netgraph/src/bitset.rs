@@ -13,7 +13,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set able to hold values `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Creates a set holding every value in `0..capacity`.
@@ -45,14 +48,22 @@ impl BitSet {
     /// Inserts `i`. Panics if `i >= capacity`.
     #[inline]
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] |= 1 << (i % 64);
     }
 
     /// Removes `i`. Panics if `i >= capacity`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] &= !(1 << (i % 64));
     }
 
@@ -125,7 +136,10 @@ impl BitSet {
 
     /// True when every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 }
 

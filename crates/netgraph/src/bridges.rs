@@ -91,8 +91,7 @@ mod tests {
 
     #[test]
     fn two_triangles_one_bridge() {
-        let net =
-            build(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let net = build(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         assert_eq!(find_bridges(&net), vec![EdgeId(6)]);
     }
 

@@ -81,7 +81,10 @@ pub fn connected_components(
         }
         count += 1;
     }
-    ComponentLabels { labels, count: count as usize }
+    ComponentLabels {
+        labels,
+        count: count as usize,
+    }
 }
 
 #[cfg(test)]

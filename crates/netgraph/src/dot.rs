@@ -18,7 +18,11 @@ pub fn to_dot(net: &Network, highlight: &[crate::ids::EdgeId]) -> String {
         let _ = writeln!(out, "  n{i};");
     }
     for (id, e) in net.edge_refs() {
-        let color = if highlight.contains(&id) { ", color=red" } else { "" };
+        let color = if highlight.contains(&id) {
+            ", color=red"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  n{} {arrow} n{} [label=\"{id} c={} p={}\"{color}];",

@@ -39,13 +39,22 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range (network has {node_count} nodes)")
+                write!(
+                    f,
+                    "node {node} out of range (network has {node_count} nodes)"
+                )
             }
             GraphError::EdgeOutOfRange { edge, edge_count } => {
-                write!(f, "edge {edge} out of range (network has {edge_count} edges)")
+                write!(
+                    f,
+                    "edge {edge} out of range (network has {edge_count} edges)"
+                )
             }
             GraphError::InvalidProbability { edge, prob } => {
-                write!(f, "edge {edge} has failure probability {prob}, expected [0, 1)")
+                write!(
+                    f,
+                    "edge {edge} has failure probability {prob}, expected [0, 1)"
+                )
             }
             GraphError::EmptyNetwork => write!(f, "operation requires a non-empty network"),
         }
@@ -60,10 +69,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::InvalidProbability { edge: EdgeId(3), prob: 1.5 };
+        let e = GraphError::InvalidProbability {
+            edge: EdgeId(3),
+            prob: 1.5,
+        };
         assert!(e.to_string().contains("e3"));
         assert!(e.to_string().contains("1.5"));
-        let e = GraphError::NodeOutOfRange { node: NodeId(9), node_count: 4 };
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            node_count: 4,
+        };
         assert!(e.to_string().contains("n9"));
         assert!(e.to_string().contains('4'));
     }

@@ -57,9 +57,19 @@ impl EdgeMask {
     /// Panics if `len > 64`.
     #[inline]
     pub fn from_bits(bits: u64, len: usize) -> Self {
-        assert!(len <= Self::MAX_EDGES, "EdgeMask supports at most 64 edges, got {len}");
-        let keep = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
-        EdgeMask { bits: bits & keep, len: len as u32 }
+        assert!(
+            len <= Self::MAX_EDGES,
+            "EdgeMask supports at most 64 edges, got {len}"
+        );
+        let keep = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
+        EdgeMask {
+            bits: bits & keep,
+            len: len as u32,
+        }
     }
 
     /// A mask in which every one of the `len` edges is alive.
@@ -103,14 +113,20 @@ impl EdgeMask {
     #[inline]
     pub fn with_alive(self, i: usize) -> Self {
         debug_assert!(i < self.len as usize);
-        EdgeMask { bits: self.bits | 1 << i, len: self.len }
+        EdgeMask {
+            bits: self.bits | 1 << i,
+            len: self.len,
+        }
     }
 
     /// Returns the mask with edge `i` forced failed.
     #[inline]
     pub fn with_failed(self, i: usize) -> Self {
         debug_assert!(i < self.len as usize);
-        EdgeMask { bits: self.bits & !(1 << i), len: self.len }
+        EdgeMask {
+            bits: self.bits & !(1 << i),
+            len: self.len,
+        }
     }
 
     /// Number of alive edges.
@@ -188,7 +204,10 @@ impl Network {
 
     /// Iterates over `(EdgeId, &Edge)` pairs.
     pub fn edge_refs(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::from(i), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::from(i), e))
     }
 
     /// Checks that `n` names an existing node.
@@ -196,7 +215,10 @@ impl Network {
         if n.index() < self.node_count {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfRange { node: n, node_count: self.node_count })
+            Err(GraphError::NodeOutOfRange {
+                node: n,
+                node_count: self.node_count,
+            })
         }
     }
 
@@ -206,10 +228,18 @@ impl Network {
     /// # Panics
     /// Panics if `mask.len() != self.edge_count()`.
     pub fn config_probability(&self, mask: EdgeMask) -> f64 {
-        assert_eq!(mask.len(), self.edges.len(), "mask length must equal edge count");
+        assert_eq!(
+            mask.len(),
+            self.edges.len(),
+            "mask length must equal edge count"
+        );
         let mut p = 1.0;
         for (i, e) in self.edges.iter().enumerate() {
-            p *= if mask.alive(i) { 1.0 - e.fail_prob } else { e.fail_prob };
+            p *= if mask.alive(i) {
+                1.0 - e.fail_prob
+            } else {
+                e.fail_prob
+            };
         }
         p
     }
@@ -248,11 +278,19 @@ impl Network {
                 }
             }
             if let (Some(ns), Some(nd)) = (to_new[e.src.index()], to_new[e.dst.index()]) {
-                edges.push(Edge { src: ns, dst: nd, ..*e });
+                edges.push(Edge {
+                    src: ns,
+                    dst: nd,
+                    ..*e
+                });
                 edge_origin.push(EdgeId::from(i));
             }
         }
-        let net = Network { kind: self.kind, node_count: nodes.len(), edges };
+        let net = Network {
+            kind: self.kind,
+            node_count: nodes.len(),
+            edges,
+        };
         (net, NodeMap { to_new }, edge_origin)
     }
 }
@@ -293,12 +331,20 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts an empty network of the given directionality.
     pub fn new(kind: GraphKind) -> Self {
-        NetworkBuilder { kind, node_count: 0, edges: Vec::new() }
+        NetworkBuilder {
+            kind,
+            node_count: 0,
+            edges: Vec::new(),
+        }
     }
 
     /// Starts a network with `n` pre-allocated nodes.
     pub fn with_nodes(kind: GraphKind, n: usize) -> Self {
-        NetworkBuilder { kind, node_count: n, edges: Vec::new() }
+        NetworkBuilder {
+            kind,
+            node_count: n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds one node and returns its id.
@@ -333,10 +379,16 @@ impl NetworkBuilder {
         fail_prob: f64,
     ) -> Result<EdgeId, GraphError> {
         if src.index() >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: src, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: src,
+                node_count: self.node_count,
+            });
         }
         if dst.index() >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: dst, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: dst,
+                node_count: self.node_count,
+            });
         }
         if !(0.0..1.0).contains(&fail_prob) {
             return Err(GraphError::InvalidProbability {
@@ -345,7 +397,12 @@ impl NetworkBuilder {
             });
         }
         let id = EdgeId::from(self.edges.len());
-        self.edges.push(Edge { src, dst, capacity, fail_prob });
+        self.edges.push(Edge {
+            src,
+            dst,
+            capacity,
+            fail_prob,
+        });
         Ok(id)
     }
 
@@ -361,7 +418,11 @@ impl NetworkBuilder {
 
     /// Finalizes the network.
     pub fn build(self) -> Network {
-        Network { kind: self.kind, node_count: self.node_count, edges: self.edges }
+        Network {
+            kind: self.kind,
+            node_count: self.node_count,
+            edges: self.edges,
+        }
     }
 }
 

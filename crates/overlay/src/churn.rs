@@ -13,7 +13,10 @@ impl Peer {
     /// A peer with the given upload capacity and mean session time.
     pub fn new(upload_capacity: u64, mean_session_secs: f64) -> Self {
         assert!(mean_session_secs > 0.0, "mean session must be positive");
-        Peer { upload_capacity, mean_session_secs }
+        Peer {
+            upload_capacity,
+            mean_session_secs,
+        }
     }
 }
 
@@ -32,7 +35,10 @@ impl ChurnModel {
     /// transport loss.
     pub fn new(window_secs: f64) -> Self {
         assert!(window_secs >= 0.0);
-        ChurnModel { window_secs, base_loss: 0.0 }
+        ChurnModel {
+            window_secs,
+            base_loss: 0.0,
+        }
     }
 
     /// Adds residual connection loss.

@@ -51,16 +51,19 @@ pub fn hybrid_tree_mesh(
 
     // treebone: server -> chain of stable peers, full rate
     let p = churn.link_failure_prob(&server_peer);
-    b.add_edge(server, nodes[backbone[0]], stream_rate, p).expect("valid edge");
+    b.add_edge(server, nodes[backbone[0]], stream_rate, p)
+        .expect("valid edge");
     for w in backbone.windows(2) {
         let p = churn.link_failure_prob(&peers[w[0]]);
-        b.add_edge(nodes[w[0]], nodes[w[1]], stream_rate, p).expect("valid edge");
+        b.add_edge(nodes[w[0]], nodes[w[1]], stream_rate, p)
+            .expect("valid edge");
     }
     // leaves hang off the backbone round-robin, full rate
     for (slot, &i) in by_stability[backbone_len..].iter().enumerate() {
         let host = backbone[slot % backbone_len];
         let p = churn.link_failure_prob(&peers[host]);
-        b.add_edge(nodes[host], nodes[i], stream_rate, p).expect("valid edge");
+        b.add_edge(nodes[host], nodes[i], stream_rate, p)
+            .expect("valid edge");
     }
     // auxiliary mesh links: every peer pulls from random earlier peers
     for i in 1..peers.len() {
@@ -69,10 +72,16 @@ pub fn hybrid_tree_mesh(
         for &up in candidates.iter().take(mesh_links) {
             let cap = peers[up].upload_capacity.min(stream_rate).max(1);
             let p = churn.link_failure_prob(&peers[up]);
-            b.add_edge(nodes[up], nodes[i], cap.min(1), p).expect("valid edge");
+            b.add_edge(nodes[up], nodes[i], cap.min(1), p)
+                .expect("valid edge");
         }
     }
-    StreamingScenario { net: b.build(), server, peers: nodes, stream_rate }
+    StreamingScenario {
+        net: b.build(),
+        server,
+        peers: nodes,
+        stream_rate,
+    }
 }
 
 #[cfg(test)]

@@ -48,7 +48,12 @@ pub fn random_mesh(
             }
         }
     }
-    StreamingScenario { net: b.build(), server, peers: nodes, stream_rate }
+    StreamingScenario {
+        net: b.build(),
+        server,
+        peers: nodes,
+        stream_rate,
+    }
 }
 
 #[cfg(test)]
@@ -57,7 +62,9 @@ mod tests {
     use maxflow::{build_flow, SolverKind};
 
     fn peers(n: usize) -> Vec<Peer> {
-        (0..n).map(|i| Peer::new(2, 300.0 + 50.0 * i as f64)).collect()
+        (0..n)
+            .map(|i| Peer::new(2, 300.0 + 50.0 * i as f64))
+            .collect()
     }
 
     #[test]
@@ -97,6 +104,10 @@ mod tests {
     #[test]
     fn first_peer_always_pulls_from_server() {
         let sc = random_mesh(&peers(4), 2, 1, &ChurnModel::new(60.0), 1);
-        assert!(sc.net.edges().iter().any(|e| e.src == sc.server && e.dst == sc.peers[0]));
+        assert!(sc
+            .net
+            .edges()
+            .iter()
+            .any(|e| e.src == sc.server && e.dst == sc.peers[0]));
     }
 }

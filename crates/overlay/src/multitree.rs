@@ -23,18 +23,23 @@ use crate::scenario::StreamingScenario;
 pub fn multi_tree(peers: &[Peer], stream_rate: u64, churn: &ChurnModel) -> StreamingScenario {
     let d = stream_rate as usize;
     assert!(d >= 1, "stream rate must be at least 1");
-    assert!(d <= peers.len(), "need at least one interior peer per sub-stream");
+    assert!(
+        d <= peers.len(),
+        "need at least one interior peer per sub-stream"
+    );
     let mut b = NetworkBuilder::new(GraphKind::Directed);
     let server = b.add_node();
     let nodes: Vec<_> = (0..peers.len()).map(|_| b.add_node()).collect();
     for g in 0..d {
         let interior: Vec<usize> = (g..peers.len()).step_by(d).collect();
         // server feeds the head of the interior chain
-        b.add_edge(server, nodes[interior[0]], 1, 0.0).expect("valid edge");
+        b.add_edge(server, nodes[interior[0]], 1, 0.0)
+            .expect("valid edge");
         // interior chain
         for w in interior.windows(2) {
             let p = churn.link_failure_prob(&peers[w[0]]);
-            b.add_edge(nodes[w[0]], nodes[w[1]], 1, p).expect("valid edge");
+            b.add_edge(nodes[w[0]], nodes[w[1]], 1, p)
+                .expect("valid edge");
         }
         // leaves: everyone not interior in this tree, attached round-robin
         let mut slot = 0usize;
@@ -48,7 +53,12 @@ pub fn multi_tree(peers: &[Peer], stream_rate: u64, churn: &ChurnModel) -> Strea
             b.add_edge(nodes[host], leaf, 1, p).expect("valid edge");
         }
     }
-    StreamingScenario { net: b.build(), server, peers: nodes, stream_rate }
+    StreamingScenario {
+        net: b.build(),
+        server,
+        peers: nodes,
+        stream_rate,
+    }
 }
 
 #[cfg(test)]
@@ -57,7 +67,9 @@ mod tests {
     use maxflow::{build_flow, SolverKind};
 
     fn peers(n: usize) -> Vec<Peer> {
-        (0..n).map(|i| Peer::new(4, 600.0 + 10.0 * i as f64)).collect()
+        (0..n)
+            .map(|i| Peer::new(4, 600.0 + 10.0 * i as f64))
+            .collect()
     }
 
     #[test]
@@ -95,7 +107,10 @@ mod tests {
         // with 9 peers and 3 stripes, each stripe has 3 interior peers hosting
         // 2 chain links... at minimum, no peer's upload role explodes
         for (&node, count) in sc.peers.iter().zip(uploads.iter().skip(1)) {
-            assert!(*count <= 2 + n / d as usize, "peer {node} over-uploads: {count}");
+            assert!(
+                *count <= 2 + n / d as usize,
+                "peer {node} over-uploads: {count}"
+            );
         }
     }
 

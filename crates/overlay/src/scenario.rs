@@ -56,7 +56,12 @@ mod tests {
         let s = b.add_node();
         let p = b.add_node();
         b.add_edge(s, p, 2, 0.1).unwrap();
-        let sc = StreamingScenario { net: b.build(), server: s, peers: vec![p], stream_rate: 2 };
+        let sc = StreamingScenario {
+            net: b.build(),
+            server: s,
+            peers: vec![p],
+            stream_rate: 2,
+        };
         let d = sc.demand_for(p);
         assert_eq!(d.source, s);
         assert_eq!(d.sink, p);

@@ -36,9 +36,15 @@ pub fn single_tree(
             (nodes[parent_pos - 1], &peers[parent_pos - 1])
         };
         let p = churn.link_failure_prob(uploader);
-        b.add_edge(parent_node, child, stream_rate, p).expect("valid edge");
+        b.add_edge(parent_node, child, stream_rate, p)
+            .expect("valid edge");
     }
-    StreamingScenario { net: b.build(), server, peers: nodes, stream_rate }
+    StreamingScenario {
+        net: b.build(),
+        server,
+        peers: nodes,
+        stream_rate,
+    }
 }
 
 #[cfg(test)]
@@ -57,12 +63,7 @@ mod tests {
         assert_eq!(sc.net.node_count(), 8);
         assert_eq!(sc.net.edge_count(), 7);
         // server uploads to exactly 2 peers
-        let server_out = sc
-            .net
-            .edges()
-            .iter()
-            .filter(|e| e.src == sc.server)
-            .count();
+        let server_out = sc.net.edges().iter().filter(|e| e.src == sc.server).count();
         assert_eq!(server_out, 2);
     }
 

@@ -66,7 +66,8 @@ fn random_cluster(
     for i in 1..nodes {
         let parent = rng.gen_range(0..i);
         let cap = rng.gen_range(cap_range.0..=cap_range.1);
-        b.add_edge(ids[parent], ids[i], cap, random_prob(rng)).expect("valid edge");
+        b.add_edge(ids[parent], ids[i], cap, random_prob(rng))
+            .expect("valid edge");
     }
     let mut added = 0;
     while added < extra && nodes >= 2 {
@@ -76,7 +77,8 @@ fn random_cluster(
             continue; // redraw: the requested edge count is exact
         }
         let cap = rng.gen_range(cap_range.0..=cap_range.1);
-        b.add_edge(ids[u], ids[v], cap, random_prob(rng)).expect("valid edge");
+        b.add_edge(ids[u], ids[v], cap, random_prob(rng))
+            .expect("valid edge");
         added += 1;
     }
     ids
@@ -96,17 +98,28 @@ pub fn barbell(params: BarbellParams) -> (Instance, Vec<EdgeId>) {
     // demand is always feasible (tree paths alone carry it), so generated
     // instances never degenerate to reliability zero
     let caps = (params.demand.max(1), params.demand.max(1) + 1);
-    let left =
-        random_cluster(&mut b, params.cluster_nodes, params.cluster_extra_edges, caps, &mut rng);
-    let right =
-        random_cluster(&mut b, params.cluster_nodes, params.cluster_extra_edges, caps, &mut rng);
+    let left = random_cluster(
+        &mut b,
+        params.cluster_nodes,
+        params.cluster_extra_edges,
+        caps,
+        &mut rng,
+    );
+    let right = random_cluster(
+        &mut b,
+        params.cluster_nodes,
+        params.cluster_extra_edges,
+        caps,
+        &mut rng,
+    );
     let mut cut = Vec::new();
     for i in 0..params.cut_links {
         let u = left[rng.gen_range(0..left.len())];
         let v = right[rng.gen_range(0..right.len())];
         let _ = i;
         cut.push(
-            b.add_edge(u, v, params.cut_capacity, random_prob(&mut rng)).expect("valid edge"),
+            b.add_edge(u, v, params.cut_capacity, random_prob(&mut rng))
+                .expect("valid edge"),
         );
     }
     let instance = Instance {
@@ -130,19 +143,29 @@ pub fn bridge_chain(segments: usize, demand: u64, seed: u64) -> Instance {
         let a = b.add_node();
         let c = b.add_node();
         let d = b.add_node();
-        b.add_edge(prev, a, demand, random_prob(&mut rng)).expect("valid edge");
-        b.add_edge(prev, c, demand, random_prob(&mut rng)).expect("valid edge");
-        b.add_edge(a, d, demand, random_prob(&mut rng)).expect("valid edge");
-        b.add_edge(c, d, demand, random_prob(&mut rng)).expect("valid edge");
+        b.add_edge(prev, a, demand, random_prob(&mut rng))
+            .expect("valid edge");
+        b.add_edge(prev, c, demand, random_prob(&mut rng))
+            .expect("valid edge");
+        b.add_edge(a, d, demand, random_prob(&mut rng))
+            .expect("valid edge");
+        b.add_edge(c, d, demand, random_prob(&mut rng))
+            .expect("valid edge");
         if i + 1 < segments {
             let next = b.add_node();
-            b.add_edge(d, next, demand, random_prob(&mut rng)).expect("valid edge");
+            b.add_edge(d, next, demand, random_prob(&mut rng))
+                .expect("valid edge");
             prev = next;
         } else {
             prev = d;
         }
     }
-    Instance { net: b.build(), source, sink: prev, demand }
+    Instance {
+        net: b.build(),
+        source,
+        sink: prev,
+        demand,
+    }
 }
 
 /// A `w × h` grid with unit capacities; `s` top-left, `t` bottom-right.
@@ -164,7 +187,12 @@ pub fn grid(w: usize, h: usize, seed: u64) -> Instance {
             }
         }
     }
-    Instance { net: b.build(), source: ids[0], sink: ids[w * h - 1], demand: 1 }
+    Instance {
+        net: b.build(),
+        source: ids[0],
+        sink: ids[w * h - 1],
+        demand: 1,
+    }
 }
 
 /// Erdős–Rényi-style multigraph: `m` links drawn uniformly over node pairs
@@ -181,9 +209,15 @@ pub fn er_random(n: usize, m: usize, max_cap: u64, seed: u64) -> Instance {
             v = (v + 1) % n;
         }
         let cap = rng.gen_range(1..=max_cap.max(1));
-        b.add_edge(ids[u], ids[v], cap, random_prob(&mut rng)).expect("valid edge");
+        b.add_edge(ids[u], ids[v], cap, random_prob(&mut rng))
+            .expect("valid edge");
     }
-    Instance { net: b.build(), source: ids[0], sink: ids[n - 1], demand: 1 }
+    Instance {
+        net: b.build(),
+        source: ids[0],
+        sink: ids[n - 1],
+        demand: 1,
+    }
 }
 
 #[cfg(test)]
@@ -194,8 +228,7 @@ mod tests {
     #[test]
     fn barbell_planted_cut_separates() {
         let (inst, cut) = barbell(BarbellParams::default());
-        let comps =
-            connected_components(&inst.net, |e| cut.iter().any(|c| c.index() == e));
+        let comps = connected_components(&inst.net, |e| cut.iter().any(|c| c.index() == e));
         assert_eq!(comps.count(), 2);
         assert!(!comps.same(inst.source, inst.sink));
         // without removal: connected
@@ -211,7 +244,10 @@ mod tests {
         for (x, y) in a.net.edges().iter().zip(b.net.edges()) {
             assert_eq!(x, y);
         }
-        let (c, _) = barbell(BarbellParams { seed: 99, ..Default::default() });
+        let (c, _) = barbell(BarbellParams {
+            seed: 99,
+            ..Default::default()
+        });
         // different seed, different probabilities (overwhelmingly)
         assert!(a.net.edges().iter().zip(c.net.edges()).any(|(x, y)| x != y));
     }
@@ -257,7 +293,10 @@ mod tests {
         for e in inst.net.edges() {
             assert!((0.0..1.0).contains(&e.fail_prob));
             let scaled = e.fail_prob * 64.0;
-            assert!((scaled - scaled.round()).abs() < 1e-12, "prob on the /64 grid");
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-12,
+                "prob on the /64 grid"
+            );
         }
     }
 }

@@ -18,14 +18,22 @@ pub fn fig2_bridge() -> (Instance, EdgeId) {
     b.add_edge(n[1], n[3], 1, 0.15).unwrap(); // e2
     b.add_edge(n[2], n[3], 1, 0.25).unwrap(); // e3
     b.add_edge(n[1], n[2], 1, 0.30).unwrap(); // e4
-    // G_t: diamond 4-5-7, 4-6-7 with chord 5-6
+                                              // G_t: diamond 4-5-7, 4-6-7 with chord 5-6
     b.add_edge(n[4], n[5], 1, 0.12).unwrap(); // e5
     b.add_edge(n[4], n[6], 1, 0.22).unwrap(); // e6
     b.add_edge(n[5], n[7], 1, 0.18).unwrap(); // e7
     b.add_edge(n[6], n[7], 1, 0.28).unwrap(); // e8
-    // the bridge e9 (the figure's red link), capacity enough for the stream
+                                              // the bridge e9 (the figure's red link), capacity enough for the stream
     let bridge = b.add_edge(n[3], n[4], 2, 0.05).unwrap();
-    (Instance { net: b.build(), source: n[0], sink: n[7], demand: 1 }, bridge)
+    (
+        Instance {
+            net: b.build(),
+            source: n[0],
+            sink: n[7],
+            demand: 1,
+        },
+        bridge,
+    )
 }
 
 /// The reconstructed Fig. 4 graph: 9 links, two bottleneck links `e_1, e_2`
@@ -68,7 +76,12 @@ pub fn fig4_parts() -> (Instance, Vec<EdgeId>, Vec<EdgeId>) {
     b.add_edge(v1, t, 2, 0.12).unwrap(); // d1
     b.add_edge(v2, t, 2, 0.18).unwrap(); // d2
     (
-        Instance { net: b.build(), source: s, sink: t, demand: 2 },
+        Instance {
+            net: b.build(),
+            source: s,
+            sink: t,
+            demand: 2,
+        },
         vec![e1, e2],
         vec![c1, c2, c3, c4, c5],
     )
@@ -85,7 +98,10 @@ pub fn fig5_configurations() -> Vec<(Vec<usize>, Vec<Vec<i64>>)> {
         // (b): only c1 and c3 alive — realizes (1,1) only
         (vec![0, 2], vec![vec![1, 1]]),
         // (c): no failure — realizes all three assignments
-        (vec![0, 1, 2, 3, 4], vec![vec![0, 2], vec![1, 1], vec![2, 0]]),
+        (
+            vec![0, 1, 2, 3, 4],
+            vec![vec![0, 2], vec![1, 1], vec![2, 0]],
+        ),
     ]
 }
 
@@ -107,8 +123,8 @@ pub fn weaving_counterexample() -> (Instance, Vec<EdgeId>) {
     let x2 = b.add_node(); // 1 (side s)
     let y1 = b.add_node(); // 2 (side t)
     let t = b.add_node(); // 3 (side t)
-    // capacity-0 intra-side links keep each side one connected component
-    // while forcing every unit of flow across the cut
+                          // capacity-0 intra-side links keep each side one connected component
+                          // while forcing every unit of flow across the cut
     b.add_edge(s, x2, 0, 0.0).unwrap();
     b.add_edge(y1, t, 0, 0.0).unwrap();
     // cut: forward s→y1, backward y1→x2, forward x2→t — the unique routing
@@ -116,7 +132,15 @@ pub fn weaving_counterexample() -> (Instance, Vec<EdgeId>) {
     let e1 = b.add_edge(s, y1, 1, 0.125).unwrap();
     let e2 = b.add_edge(y1, x2, 1, 0.125).unwrap();
     let e3 = b.add_edge(x2, t, 1, 0.125).unwrap();
-    (Instance { net: b.build(), source: s, sink: t, demand: 1 }, vec![e1, e2, e3])
+    (
+        Instance {
+            net: b.build(),
+            source: s,
+            sink: t,
+            demand: 1,
+        },
+        vec![e1, e2, e3],
+    )
 }
 
 /// Node names for pretty-printing the Fig. 4 instance.
@@ -150,7 +174,10 @@ mod tests {
         let mut nf = build_flow(&inst.net, inst.source, inst.sink);
         nf.apply_all_alive();
         let f = SolverKind::Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX);
-        assert!(f >= 2, "the graph admits a flow of amount two (Example 3), got {f}");
+        assert!(
+            f >= 2,
+            "the graph admits a flow of amount two (Example 3), got {f}"
+        );
     }
 
     #[test]

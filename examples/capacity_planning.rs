@@ -12,15 +12,21 @@ fn harden(net: &Network, e: usize) -> Network {
     let mut b = NetworkBuilder::with_nodes(net.kind(), net.node_count());
     debug_assert_eq!(net.kind(), GraphKind::Directed);
     for (i, edge) in net.edges().iter().enumerate() {
-        let p = if i == e { edge.fail_prob / 2.0 } else { edge.fail_prob };
-        b.add_edge(edge.src, edge.dst, edge.capacity, p).expect("valid edge");
+        let p = if i == e {
+            edge.fail_prob / 2.0
+        } else {
+            edge.fail_prob
+        };
+        b.add_edge(edge.src, edge.dst, edge.capacity, p)
+            .expect("valid edge");
     }
     b.build()
 }
 
 fn main() {
-    let peers: Vec<Peer> =
-        (0..7).map(|i| Peer::new(3, 200.0 + 120.0 * (i % 3) as f64)).collect();
+    let peers: Vec<Peer> = (0..7)
+        .map(|i| Peer::new(3, 200.0 + 120.0 * (i % 3) as f64))
+        .collect();
     let churn = ChurnModel::new(90.0).with_base_loss(0.02);
     let sc = random_mesh(&peers, 2, 1, &churn, 5);
     let subscriber = *sc.peers.last().expect("peers");
@@ -28,7 +34,10 @@ fn main() {
     let opts = CalcOptions::default();
 
     let mut net = sc.net.clone();
-    println!("mesh overlay, {} links; subscriber = {subscriber}", net.edge_count());
+    println!(
+        "mesh overlay, {} links; subscriber = {subscriber}",
+        net.edge_count()
+    );
     println!("greedy hardening: halve the failure probability of the most");
     println!("improvement-potent link, three rounds\n");
 

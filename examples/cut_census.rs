@@ -21,12 +21,18 @@ fn main() {
     });
     let demand = FlowDemand::new(inst.source, inst.sink, inst.demand);
     let m = inst.net.edge_count();
-    println!("barbell instance: {} nodes, {m} links, demand {}", inst.net.node_count(), inst.demand);
+    println!(
+        "barbell instance: {} nodes, {m} links, demand {}",
+        inst.net.node_count(),
+        inst.demand
+    );
 
-    let sets = find_all_bottleneck_sets(&inst.net, demand.source, demand.sink, 3)
-        .expect("census");
+    let sets = find_all_bottleneck_sets(&inst.net, demand.source, demand.sink, 3).expect("census");
     println!("\n{} bottleneck sets with k <= 3:", sets.len());
-    println!("{:>4} {:>18} {:>8} {:>8} {:>7} {:>12} {:>14}", "k", "links", "|E_s|", "|E_t|", "alpha", "time", "reliability");
+    println!(
+        "{:>4} {:>18} {:>8} {:>8} {:>7} {:>12} {:>14}",
+        "k", "links", "|E_s|", "|E_t|", "alpha", "time", "reliability"
+    );
 
     let opts = CalcOptions::default();
     let naive = reliability_naive(&inst.net, demand, &opts).expect("naive");

@@ -8,7 +8,11 @@ use flowrel::montecarlo;
 use flowrel::workloads::generators::{barbell, BarbellParams};
 
 fn main() {
-    let (inst, _) = barbell(BarbellParams { cluster_nodes: 5, seed: 11, ..Default::default() });
+    let (inst, _) = barbell(BarbellParams {
+        cluster_nodes: 5,
+        seed: 11,
+        ..Default::default()
+    });
     let demand = FlowDemand::new(inst.source, inst.sink, inst.demand);
     let exact = reliability_naive(&inst.net, demand, &CalcOptions::default()).expect("exact");
     println!(
@@ -18,7 +22,10 @@ fn main() {
         inst.demand
     );
     println!("exact reliability: {exact:.9}\n");
-    println!("{:>10} {:>12} {:>12} {:>10}  covers?", "samples", "estimate", "abs error", "CI half");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}  covers?",
+        "samples", "estimate", "abs error", "CI half"
+    );
     for exp in [8u32, 10, 12, 14, 16, 18] {
         let samples = 1u64 << exp;
         let est = montecarlo::estimate(&inst.net, inst.source, inst.sink, inst.demand, samples, 7);

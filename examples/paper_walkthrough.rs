@@ -18,8 +18,10 @@ fn main() {
     // ---- Example 1: the assignment set ------------------------------------
     println!("== Example 1: d = 5 over three capacity-3 bottleneck links ==");
     let (d, caps) = paper::example1_caps();
-    let ranges: Vec<(i64, i64)> =
-        caps.iter().map(|&c| (0i64, (c as i64).min(d as i64))).collect();
+    let ranges: Vec<(i64, i64)> = caps
+        .iter()
+        .map(|&c| (0i64, (c as i64).min(d as i64)))
+        .collect();
     let set = enumerate_assignments(d, &ranges);
     let rendered: Vec<String> = set.iter().map(fmt_assignment).collect();
     println!("|D| = {}  D = {{{}}}\n", set.len(), rendered.join(", "));
@@ -56,7 +58,11 @@ fn main() {
         println!(
             "config {} alive c{{{}}}: realizes {{{}}}",
             labels[idx],
-            alive.iter().map(|i| (i + 1).to_string()).collect::<Vec<_>>().join(","),
+            alive
+                .iter()
+                .map(|i| (i + 1).to_string())
+                .collect::<Vec<_>>()
+                .join(","),
             realized.join(", ")
         );
     }

@@ -46,7 +46,10 @@ fn main() {
     );
 
     // peer-level churn: exact node-split computation per q
-    println!("\n{:>6} {:>18} {:>18} {:>10}", "q", "connection churn", "peer churn", "gap");
+    println!(
+        "\n{:>6} {:>18} {:>18} {:>10}",
+        "q", "connection churn", "peer churn", "gap"
+    );
     let caps = vec![u64::MAX; net.node_count()];
     for q10 in 0..=9 {
         let q = q10 as f64 / 10.0;
@@ -63,7 +66,10 @@ fn main() {
             &opts,
         )
         .unwrap();
-        println!("{q:>6.1} {r_link:>18.6} {r_node:>18.6} {:>10.4}", r_link - r_node);
+        println!(
+            "{q:>6.1} {r_link:>18.6} {r_node:>18.6} {:>10.4}",
+            r_link - r_node
+        );
     }
     println!(
         "\nAt equal failure probability, peer churn is *kinder* here: one peer\n\

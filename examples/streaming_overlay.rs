@@ -18,13 +18,17 @@ fn reliability_at_last_peer(sc: &StreamingScenario, demand: u64) -> f64 {
 }
 
 fn main() {
-    let peers: Vec<Peer> =
-        (0..8).map(|i| Peer::new(4, 300.0 + 150.0 * (i % 4) as f64)).collect();
+    let peers: Vec<Peer> = (0..8)
+        .map(|i| Peer::new(4, 300.0 + 150.0 * (i % 4) as f64))
+        .collect();
     let churn = ChurnModel::new(90.0).with_base_loss(0.02);
     let rate = 2;
 
     println!("8 peers, stream rate {rate}, 90 s window, 2% transport loss\n");
-    println!("{:<22} {:>14} {:>14}", "overlay", "full stream", "half stream");
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "overlay", "full stream", "half stream"
+    );
 
     let tree = single_tree(&peers, 2, rate, &churn);
     println!(

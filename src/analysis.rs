@@ -59,12 +59,14 @@ mod tests {
     fn tree_profile_degrades_with_depth() {
         let peers: Vec<Peer> = (0..7).map(|_| Peer::new(2, 600.0)).collect();
         let sc = single_tree(&peers, 2, 1, &ChurnModel::new(60.0));
-        let profile =
-            reliability_profile(&sc, 1, &CalcOptions::default()).expect("profile");
+        let profile = reliability_profile(&sc, 1, &CalcOptions::default()).expect("profile");
         assert_eq!(profile.per_peer.len(), 7);
         // the tree root's children are most reliable; leaves are weakest
         let (weak, weak_r) = profile.weakest().expect("non-empty");
-        assert!(sc.peers[2..].contains(&weak), "a deep peer is weakest, got {weak}");
+        assert!(
+            sc.peers[2..].contains(&weak),
+            "a deep peer is weakest, got {weak}"
+        );
         let first_r = profile.per_peer[0].1;
         assert!(first_r >= weak_r);
         assert!(profile.mean() <= first_r && profile.mean() >= weak_r);

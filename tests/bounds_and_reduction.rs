@@ -12,7 +12,8 @@ fn build(n: usize, raw: &[(usize, usize, u32)], kind: GraphKind) -> Network {
     let mut b = NetworkBuilder::new(kind);
     let nodes = b.add_nodes(n);
     for &(u, v, p) in raw {
-        b.add_edge(nodes[u % n], nodes[v % n], 1, p as f64 / 32.0).unwrap();
+        b.add_edge(nodes[u % n], nodes[v % n], 1, p as f64 / 32.0)
+            .unwrap();
     }
     b.build()
 }

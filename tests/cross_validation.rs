@@ -2,12 +2,12 @@
 //! same reliability on random networks, and the float paths must agree with
 //! the exact-rational path.
 
+use flowrel::core::algorithm::reliability_bottleneck;
 use flowrel::core::{
     find_bottleneck_set, reliability_bottleneck_exact, reliability_bridge, reliability_factoring,
     reliability_naive, reliability_naive_exact, AssignmentModel, CalcOptions, FlowDemand,
     ReliabilityError,
 };
-use flowrel::core::algorithm::reliability_bottleneck;
 use flowrel::netgraph::{GraphKind, Network, NetworkBuilder};
 use proptest::prelude::*;
 
@@ -24,7 +24,8 @@ fn random_network(kind: GraphKind) -> impl Strategy<Value = (Network, FlowDemand
                 let (u, v) = (u % n, v % n);
                 // probabilities on the /32 grid: exactly representable and
                 // cheap for rational validation
-                b.add_edge(nodes[u], nodes[v], cap, p32 as f64 / 32.0).unwrap();
+                b.add_edge(nodes[u], nodes[v], cap, p32 as f64 / 32.0)
+                    .unwrap();
             }
             (b.build(), FlowDemand::new(nodes[0], nodes[n - 1], demand))
         })

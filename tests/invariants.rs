@@ -19,7 +19,8 @@ fn build(kind: GraphKind, n: usize, raw: &[(usize, usize, u64, u32)]) -> Network
     let mut b = NetworkBuilder::new(kind);
     let nodes = b.add_nodes(n);
     for &(u, v, cap, p32) in raw {
-        b.add_edge(nodes[u % n], nodes[v % n], cap, p32 as f64 / 32.0).unwrap();
+        b.add_edge(nodes[u % n], nodes[v % n], cap, p32 as f64 / 32.0)
+            .unwrap();
     }
     b.build()
 }

@@ -21,7 +21,10 @@ fn forward_only_undercounts_on_weaving_instance() {
     // three cut links are up: R = (7/8)^3
     let naive = reliability_naive(&inst.net, d, &CalcOptions::default()).unwrap();
     let expected = (7.0f64 / 8.0).powi(3);
-    assert!((naive - expected).abs() < 1e-12, "naive {naive} vs {expected}");
+    assert!(
+        (naive - expected).abs() < 1e-12,
+        "naive {naive} vs {expected}"
+    );
 
     // the paper's forward-only model sees no realizable assignment at all
     let fwd_opts = CalcOptions {
@@ -33,7 +36,10 @@ fn forward_only_undercounts_on_weaving_instance() {
 
     // the net-crossing extension (the default) recovers the exact value
     let net = reliability_bottleneck(&inst.net, d, &cut, &CalcOptions::default()).unwrap();
-    assert!((net - expected).abs() < 1e-12, "net model {net} vs {expected}");
+    assert!(
+        (net - expected).abs() < 1e-12,
+        "net model {net} vs {expected}"
+    );
 }
 
 #[test]

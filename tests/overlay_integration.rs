@@ -7,7 +7,9 @@ use flowrel::core::{
 use flowrel::overlay::{multi_tree, random_mesh, single_tree, ChurnModel, Peer};
 
 fn peers(n: usize) -> Vec<Peer> {
-    (0..n).map(|i| Peer::new(4, 400.0 + 100.0 * (i % 3) as f64)).collect()
+    (0..n)
+        .map(|i| Peer::new(4, 400.0 + 100.0 * (i % 3) as f64))
+        .collect()
 }
 
 /// Multi-tree striping dominates a single tree for the same peer population:
@@ -72,7 +74,9 @@ fn mesh_reliability_grows_with_degree() {
     for neighbors in 1..=3 {
         let sc = random_mesh(&ps, neighbors, 1, &churn, 42);
         let sub = *sc.peers.last().unwrap();
-        let rep = calc.run(&sc.net, FlowDemand::new(sc.server, sub, 1)).unwrap();
+        let rep = calc
+            .run(&sc.net, FlowDemand::new(sc.server, sub, 1))
+            .unwrap();
         assert!(
             rep.reliability >= last - 1e-9,
             "more uploaders should not hurt: {} < {last} at degree {neighbors}",
@@ -80,7 +84,10 @@ fn mesh_reliability_grows_with_degree() {
         );
         last = rep.reliability;
     }
-    assert!(last > 0.5, "a 3-uploader mesh should be fairly reliable, got {last}");
+    assert!(
+        last > 0.5,
+        "a 3-uploader mesh should be fairly reliable, got {last}"
+    );
 }
 
 /// A single tree is a chain of bridges from the subscriber's perspective:

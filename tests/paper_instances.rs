@@ -33,8 +33,10 @@ fn fig2_all_algorithms_agree() {
 #[test]
 fn example1_assignment_count() {
     let (d, caps) = paper::example1_caps();
-    let ranges: Vec<(i64, i64)> =
-        caps.iter().map(|&c| (0i64, (c as i64).min(d as i64))).collect();
+    let ranges: Vec<(i64, i64)> = caps
+        .iter()
+        .map(|&c| (0i64, (c as i64).min(d as i64)))
+        .collect();
     let set = enumerate_assignments(d, &ranges);
     assert_eq!(set.len(), 12);
     assert_eq!(set[0].amounts, vec![0, 2, 3]);
@@ -56,7 +58,10 @@ fn fig4_reconstruction_reproduces_example_3() {
 
     let naive = reliability_naive(&inst.net, d, &opts).unwrap();
     let bn = reliability_bottleneck(&inst.net, d, &cut, &opts).unwrap();
-    assert!((naive - bn).abs() < 1e-12, "naive {naive} vs bottleneck {bn}");
+    assert!(
+        (naive - bn).abs() < 1e-12,
+        "naive {naive} vs bottleneck {bn}"
+    );
     assert!(naive > 0.0 && naive < 1.0);
 }
 
@@ -81,8 +86,7 @@ fn fig5_configurations_realize_paper_sets() {
     let amounts: Vec<Vec<i64>> = assignments.iter().map(|a| a.amounts.clone()).collect();
     assert_eq!(amounts, vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
 
-    let mut oracle =
-        SideOracle::new(&dec.side_s, &assignments, maxflow::SolverKind::Dinic);
+    let mut oracle = SideOracle::new(&dec.side_s, &assignments, maxflow::SolverKind::Dinic);
     let table = RealizationTable::build(&mut oracle, 26, 20, false).unwrap();
 
     for (alive, expected) in paper::fig5_configurations() {
@@ -108,8 +112,7 @@ fn fig4_array_dimensions_match_section_3c() {
     let set = validate_bottleneck_set(&inst.net, d.source, d.sink, &cut).unwrap();
     let dec = decompose(&inst.net, &d, &set);
     let assignments = enumerate_assignments(2, &[(0i64, 2), (0, 2)]);
-    let mut oracle =
-        SideOracle::new(&dec.side_s, &assignments, maxflow::SolverKind::Dinic);
+    let mut oracle = SideOracle::new(&dec.side_s, &assignments, maxflow::SolverKind::Dinic);
     let table = RealizationTable::build(&mut oracle, 26, 20, false).unwrap();
     assert_eq!(table.masks.len(), 1 << 5, "2^{{|E_s|}} entries");
     assert_eq!(table.assign_count, 3, "|D|-bit entries");

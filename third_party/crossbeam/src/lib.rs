@@ -1,0 +1,68 @@
+//! Offline shim for the `crossbeam` crate: just `crossbeam::thread::scope`,
+//! backed by `std::thread::scope` (which has subsumed it since Rust 1.63).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Handle for spawning threads inside a [`scope`] (the closure argument
+    /// crossbeam passes to spawned threads; unused by this workspace, so the
+    /// shim passes the scope itself only to the outer closure).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if it panicked).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a placeholder in
+        /// place of crossbeam's nested-scope argument.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before this returns. Always `Ok` (panics in `f`
+    /// propagate as panics, matching how this workspace consumes the API).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+}

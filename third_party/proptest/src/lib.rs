@@ -1,0 +1,459 @@
+//! Offline shim for the `proptest` crate: the subset of its API this
+//! workspace uses. Cases are generated from a deterministic per-test RNG, so
+//! runs are reproducible; failing inputs are reported via `Debug` but not
+//! shrunk (shrinking is the main upstream feature this shim omits).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generates values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "strategy over empty range");
+                    let span = (self.end - self.start) as u128;
+                    self.start + (rng.gen::<u128>() % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy over empty range");
+                    let span = (hi - lo) as u128 + 1;
+                    lo + (rng.gen::<u128>() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<i128> {
+        type Value = i128;
+
+        fn generate(&self, rng: &mut StdRng) -> i128 {
+            assert!(self.start < self.end, "strategy over empty range");
+            let span = self.end.wrapping_sub(self.start) as u128;
+            self.start.wrapping_add((rng.gen::<u128>() % span) as i128)
+        }
+    }
+
+    impl Strategy for std::ops::Range<u128> {
+        type Value = u128;
+
+        fn generate(&self, rng: &mut StdRng) -> u128 {
+            assert!(self.start < self.end, "strategy over empty range");
+            self.start + rng.gen::<u128>() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeFrom<u128> {
+        type Value = u128;
+
+        fn generate(&self, rng: &mut StdRng) -> u128 {
+            // uniform over start..=MAX; the span start..=MAX only overflows
+            // u128 when start is 0, where the full-domain draw is the answer
+            if self.start == 0 {
+                rng.gen()
+            } else {
+                self.start + rng.gen::<u128>() % (u128::MAX - self.start + 1)
+            }
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            self.start + rng.gen::<f64>() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Full-domain strategy for types with an obvious uniform draw.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// `any::<T>()` — uniform over the type's whole domain.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Types supporting [`any`].
+    pub trait ArbitraryValue {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arbitrary_via_gen {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    arbitrary_via_gen!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f64);
+
+    impl ArbitraryValue for crate::sample::Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            crate::sample::Index::new(rng.gen::<u64>())
+        }
+    }
+}
+
+pub mod sample {
+    //! Index sampling (`prop::sample::Index`).
+
+    /// A size-agnostic index: resolved against a concrete length at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn new(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Resolves to an index in `0..len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s; the length bound is best-effort (duplicates
+    /// are dropped, as upstream does before retrying).
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::hash_set(element, len_range)`.
+    pub fn hash_set<S>(element: S, size: std::ops::Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case plumbing used by the macros.
+
+    /// Per-test configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Runs `cases` deterministic random cases of a property. Used by the
+/// [`proptest!`] macro; callable directly when a closure is more convenient.
+pub fn run_cases(
+    name: &str,
+    cases: u32,
+    mut case: impl FnMut(&mut rand::rngs::StdRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    use rand::SeedableRng;
+    // deterministic per-test seed: FNV-1a over the test name
+    let mut seed = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    for i in 0..cases {
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest '{name}' case {i}/{cases} failed: {e}");
+        }
+    }
+}
+
+/// The `proptest!` block macro: wraps each contained function into a `#[test]`
+/// that draws its arguments from the given strategies for N cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($args:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::run_cases(stringify!($name), config.cases, |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng; $($args)*);
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Internal argument binder for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat_param in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $($crate::__proptest_bind!($rng; $($rest)*);)?
+    };
+}
+
+/// `prop_assert!`: like `assert!` but surfaces the failure through the
+/// proptest harness (non-unwinding return).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!`: inequality assertion through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+pub mod prop {
+    //! The `prop::` path exposed by the prelude.
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3usize..10, y in -4i64..=4, (a, b) in (0u32..5, 1u64..9)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!(a < 5 && (1..9).contains(&b));
+        }
+
+        #[test]
+        fn collections_and_maps(
+            v in crate::collection::vec(0u8..4, 1..6),
+            s in crate::collection::hash_set(0usize..100, 0..10),
+            neg in (1u32..5).prop_map(|n| -(n as i64)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(s.len() < 10);
+            prop_assert!(neg < 0);
+        }
+
+        #[test]
+        fn any_and_index(b in any::<bool>(), ix in any::<prop::sample::Index>()) {
+            let _ = b;
+            prop_assert!(ix.index(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'inner' case")]
+    fn failures_panic_with_context() {
+        crate::run_cases("inner", 4, |_rng| {
+            prop_assert!(false, "boom");
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+}

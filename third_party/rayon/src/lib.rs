@@ -1,0 +1,210 @@
+//! Offline shim for the `rayon` crate: the subset of its API this workspace
+//! uses, backed by `std::thread::scope`. Parallelism is real (one OS thread
+//! per chunk of work), only the work-stealing scheduler is missing, so
+//! callers should parallelize over coarse chunks rather than single items —
+//! which is exactly how the sweep engine and the naive enumeration use it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel iterator will fan out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join closure panicked");
+        (ra, rb)
+    })
+}
+
+pub mod iter {
+    //! Parallel iterators over indexable sources.
+
+    use super::current_num_threads;
+
+    /// Types convertible into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Item type produced by the iterator.
+        type Item: Send;
+        /// Concrete parallel iterator type.
+        type Iter;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A materialized parallel iterator (items are split into per-thread
+    /// contiguous chunks at the terminal operation).
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// A parallel iterator with a map stage applied.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Applies `f` to every item.
+        pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item for its side effects.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            self.map(f).reduce(|| (), |(), ()| ());
+        }
+    }
+
+    impl<T, R, F> ParMap<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Reduces the mapped items with `op`, seeding every thread-local
+        /// accumulator with `identity`.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+        where
+            ID: Fn() -> R + Sync,
+            OP: Fn(R, R) -> R + Sync,
+        {
+            let ParMap { mut items, f } = self;
+            let threads = current_num_threads().max(1);
+            if threads == 1 || items.len() <= 1 {
+                return items.drain(..).fold(identity(), |acc, x| op(acc, f(x)));
+            }
+            let chunk = items.len().div_ceil(threads);
+            let mut chunks: Vec<Vec<T>> = Vec::new();
+            while !items.is_empty() {
+                let rest = items.split_off(items.len().min(chunk));
+                chunks.push(std::mem::replace(&mut items, rest));
+            }
+            let f = &f;
+            let identity = &identity;
+            let op = &op;
+            let partials: Vec<R> = std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| {
+                        s.spawn(move || c.into_iter().fold(identity(), |acc, x| op(acc, f(x))))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("parallel worker panicked"))
+                    .collect()
+            });
+            partials.into_iter().fold(identity(), &op)
+        }
+
+        /// Collects the mapped items, preserving input order.
+        pub fn collect_vec(self) -> Vec<R> {
+            let ParMap { items, f } = self;
+            let threads = current_num_threads().max(1);
+            if threads == 1 || items.len() <= 1 {
+                return items.into_iter().map(f).collect();
+            }
+            let chunk = items.len().div_ceil(threads);
+            let mut rest = items;
+            let mut chunks: Vec<Vec<T>> = Vec::new();
+            while !rest.is_empty() {
+                let tail = rest.split_off(rest.len().min(chunk));
+                chunks.push(std::mem::replace(&mut rest, tail));
+            }
+            let f = &f;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("parallel worker panicked"))
+                    .collect()
+            })
+        }
+    }
+
+    macro_rules! range_into_par {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = ParIter<$t>;
+                fn into_par_iter(self) -> ParIter<$t> {
+                    ParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+    range_into_par!(u32, u64, usize, i32, i64);
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParIter<T>;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_serial() {
+        let par: u64 = (0u64..1000)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce(|| 0, |a, b| a + b);
+        let ser: u64 = (0u64..1000).map(|x| x * x).sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v = (0u32..100).into_par_iter().map(|x| x * 2).collect_vec();
+        assert_eq!(v, (0u32..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline shim for the `serde` crate. The workspace only references serde
+//! behind netgraph's default-off `serde` feature; this placeholder lets the
+//! dependency graph resolve without a registry. Enabling that feature
+//! requires restoring the real crate (the derive macros are not shimmed).
+
+#![forbid(unsafe_code)]
