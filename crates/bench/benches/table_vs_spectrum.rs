@@ -35,13 +35,13 @@ fn bench(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("table", m), &m, |b, _| {
             b.iter(|| {
-                let mut o = SideOracle::new(&dec.side_s, &assignments, SolverKind::Dinic);
+                let mut o = SideOracle::new(&dec.side_s, &assignments, SolverKind::Dinic).unwrap();
                 RealizationTable::build(&mut o, 30, 20, true).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("spectrum", m), &m, |b, _| {
             b.iter(|| {
-                let mut o = SideOracle::new(&dec.side_s, &assignments, SolverKind::Dinic);
+                let mut o = SideOracle::new(&dec.side_s, &assignments, SolverKind::Dinic).unwrap();
                 RealizationSpectrum::<f64>::build(&mut o, &weights, 30, 20, true).unwrap()
             })
         });

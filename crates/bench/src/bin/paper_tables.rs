@@ -107,7 +107,7 @@ fn fig4_side_table() -> (RealizationTable, Vec<Assignment>) {
     let set = validate_bottleneck_set(&inst.net, d.source, d.sink, &cut).unwrap();
     let dec = decompose(&inst.net, &d, &set);
     let assignments = enumerate_assignments(2, &[(0i64, 2), (0, 2)]);
-    let mut oracle = SideOracle::new(&dec.side_s, &assignments, SolverKind::Dinic);
+    let mut oracle = SideOracle::new(&dec.side_s, &assignments, SolverKind::Dinic).unwrap();
     let table = RealizationTable::build(&mut oracle, 26, 20, false).unwrap();
     (table, assignments)
 }
@@ -251,7 +251,7 @@ fn p2p() {
     let churn = ChurnModel::new(90.0).with_base_loss(0.02);
     let calc = ReliabilityCalculator::new();
     let run = |net: &netgraph::Network, s, t, d| {
-        calc.run(net, FlowDemand::new(s, t, d))
+        calc.run_complete(net, FlowDemand::new(s, t, d))
             .map(|r| r.reliability)
             .unwrap_or(f64::NAN)
     };

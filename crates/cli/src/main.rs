@@ -2,27 +2,155 @@
 //!
 //! ```text
 //! flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge] [--exact]
+//!                             [--timeout SECS] [--max-configs N]
+//!                             [--checkpoint PATH] [--resume PATH]
 //! flowrel analyze <file.fnet> [--max-k K]
 //! flowrel mc <file.fnet> [--samples N] [--seed S]
 //! flowrel generate <barbell|chain|grid|mesh> [args...]
 //! flowrel dot <file.fnet>
 //! ```
+//!
+//! ## Exit codes
+//!
+//! Every failure mode has its own status so scripts can branch without
+//! parsing stderr: `2` usage, `3` file I/O, `4` file parse, `10`–`23` one
+//! per [`flowrel_core::ReliabilityError`] variant (see [`CliError::from`]),
+//! and `20` for an *incomplete* run — the budget ran out and a partial
+//! result with rigorous bounds plus a checkpoint was produced.
 
 mod format;
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use flowrel_core::{
     birnbaum_importance, enumerate_minimal_cuts, esary_proschan_bounds, find_bottleneck_set,
-    reliability_bridge, reliability_naive_exact, reliability_sp_reduced, CalcOptions, FlowDemand,
-    ReliabilityCalculator, Strategy,
+    reliability_bridge, reliability_naive_exact, reliability_sp_reduced, Budget, CalcOptions,
+    CancelToken, Checkpoint, FlowDemand, Outcome, ReliabilityCalculator, ReliabilityError,
+    Strategy,
 };
 use netgraph::find_bridges;
+
+/// Exit status for a budget-limited run that produced bounds + checkpoint
+/// instead of an exact value.
+const EXIT_INCOMPLETE: u8 = 20;
+
+/// An error annotated with the process exit status it maps to.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            code: 2,
+            message: message.into(),
+        }
+    }
+
+    fn io(message: impl Into<String>) -> Self {
+        CliError {
+            code: 3,
+            message: message.into(),
+        }
+    }
+
+    fn parse(message: impl Into<String>) -> Self {
+        CliError {
+            code: 4,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<ReliabilityError> for CliError {
+    fn from(e: ReliabilityError) -> Self {
+        let code = match &e {
+            ReliabilityError::Graph(_) => 10,
+            ReliabilityError::TooManyEdges { .. } => 11,
+            ReliabilityError::EdgeMaskOverflow { .. } => 12,
+            ReliabilityError::SideTooLarge { .. } => 13,
+            ReliabilityError::TooManyAssignments { .. } => 14,
+            ReliabilityError::NotSeparating => 15,
+            ReliabilityError::NotMinimal { .. } => 16,
+            ReliabilityError::NotTwoComponents { .. } => 17,
+            ReliabilityError::NoBottleneckFound => 18,
+            ReliabilityError::Interrupted { .. } => 19,
+            ReliabilityError::ArityMismatch { .. } => 21,
+            ReliabilityError::DirectedOnly { .. } => 22,
+            ReliabilityError::CheckpointMismatch { .. } => 23,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Ctrl-C handling: the first SIGINT trips a [`CancelToken`] so the sweep
+/// stops cooperatively and writes its checkpoint; a second SIGINT hard-exits
+/// with the conventional status 130.
+#[cfg(unix)]
+mod sigint {
+    use flowrel_core::CancelToken;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    static TRIPPED: AtomicBool = AtomicBool::new(false);
+    static COUNT: AtomicUsize = AtomicUsize::new(0);
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    extern "C" fn on_sigint(_: i32) {
+        if COUNT.fetch_add(1, Ordering::SeqCst) >= 1 {
+            // the user insists: give up on the graceful checkpoint
+            unsafe { _exit(130) };
+        }
+        TRIPPED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler and returns the token it trips. A watcher thread
+    /// bridges the async-signal-safe flag to the token (signal handlers must
+    /// not touch the allocator, so they cannot own the `Arc` directly).
+    pub fn install() -> CancelToken {
+        let token = CancelToken::new();
+        unsafe {
+            signal(
+                SIGINT,
+                on_sigint as extern "C" fn(i32) as *const () as usize,
+            )
+        };
+        let bridge = token.clone();
+        std::thread::spawn(move || loop {
+            if TRIPPED.load(Ordering::SeqCst) {
+                bridge.trip();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+        token
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use flowrel_core::CancelToken;
+
+    /// No signal handling off Unix: the token simply never trips.
+    pub fn install() -> CancelToken {
+        CancelToken::new()
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp] [--exact] [--parallel] [--no-certs]\n  \
+         {:17}[--timeout SECS] [--max-configs N] [--checkpoint PATH] [--resume PATH]\n  \
          flowrel analyze <file.fnet> [--max-k K]\n  \
          flowrel importance <file.fnet>\n  \
          flowrel mc <file.fnet> [--samples N] [--seed S]\n  \
@@ -30,7 +158,8 @@ fn usage() -> ExitCode {
          flowrel generate chain <segments> <demand> <seed>\n  \
          flowrel generate grid <w> <h> <seed>\n  \
          flowrel generate mesh <peers> <neighbors> <rate> <seed>\n  \
-         flowrel dot <file.fnet>"
+         flowrel dot <file.fnet>",
+        ""
     );
     ExitCode::from(2)
 }
@@ -41,17 +170,17 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn load(path: &str) -> Result<format::NetFile, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    format::parse(&text).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<format::NetFile, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+    format::parse(&text).map_err(|e| CliError::parse(format!("{path}: {e}")))
 }
 
-fn demand_of(file: &format::NetFile) -> Result<FlowDemand, String> {
+fn demand_of(file: &format::NetFile) -> Result<FlowDemand, CliError> {
     file.demand
-        .ok_or_else(|| "the file has no 'demand' line".to_string())
+        .ok_or_else(|| CliError::parse("the file has no 'demand' line"))
 }
 
-fn cmd_compute(path: &str, args: &[String]) -> Result<(), String> {
+fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
     let file = load(path)?;
     let demand = demand_of(&file)?;
     let strategy = match flag_value(args, "--strategy").as_deref() {
@@ -59,29 +188,81 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), String> {
         Some("naive") => Strategy::Naive,
         Some("factoring") => Strategy::Factoring,
         Some("bridge") => {
-            let r = reliability_bridge(&file.net, demand, &CalcOptions::default())
-                .map_err(|e| e.to_string())?;
+            let r = reliability_bridge(&file.net, demand, &CalcOptions::default())?;
             println!("reliability = {r:.12}  (bridge decomposition)");
             return Ok(());
         }
         Some("sp") => {
-            let r = reliability_sp_reduced(&file.net, demand, &CalcOptions::default())
-                .map_err(|e| e.to_string())?;
+            let r = reliability_sp_reduced(&file.net, demand, &CalcOptions::default())?;
             println!("reliability = {r:.12}  (series-parallel reduction + factoring)");
             return Ok(());
         }
-        Some(other) => return Err(format!("unknown strategy '{other}'")),
+        Some(other) => return Err(CliError::usage(format!("unknown strategy '{other}'"))),
     };
+    let time_limit = flag_value(args, "--timeout")
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| *s > 0.0 && s.is_finite())
+                .ok_or_else(|| CliError::usage("bad --timeout (want seconds > 0)"))
+        })
+        .transpose()?
+        .map(Duration::from_secs_f64);
+    let max_configs = flag_value(args, "--max-configs")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| CliError::usage("bad --max-configs (want a count)"))
+        })
+        .transpose()?;
+    let checkpoint_path =
+        flag_value(args, "--checkpoint").unwrap_or_else(|| format!("{path}.ckpt"));
+    let cancel: CancelToken = sigint::install();
     let opts = CalcOptions {
         parallel: args.iter().any(|a| a == "--parallel"),
         certificate_cache: !args.iter().any(|a| a == "--no-certs"),
+        budget: Budget {
+            time_limit,
+            max_configs,
+            cancel: Some(cancel),
+        },
         ..Default::default()
     };
-    let report = ReliabilityCalculator::new()
+    let calc = ReliabilityCalculator::new()
         .with_strategy(strategy)
-        .with_options(opts)
-        .run(&file.net, demand)
-        .map_err(|e| e.to_string())?;
+        .with_options(opts);
+    let outcome = match flag_value(args, "--resume") {
+        Some(ck_path) => {
+            let text = std::fs::read_to_string(&ck_path)
+                .map_err(|e| CliError::io(format!("{ck_path}: {e}")))?;
+            let ck = Checkpoint::from_text(&text)?;
+            calc.resume(&file.net, demand, &ck)?
+        }
+        None => calc.run(&file.net, demand)?,
+    };
+    let report = match outcome {
+        Outcome::Complete(report) => report,
+        Outcome::Partial(partial) => {
+            std::fs::write(&checkpoint_path, partial.checkpoint.to_text())
+                .map_err(|e| CliError::io(format!("{checkpoint_path}: {e}")))?;
+            println!(
+                "partial result: reliability in [{:.12}, {:.12}]  (via {}, {:.3}% of the \
+                 configuration space explored)",
+                partial.r_low,
+                partial.r_high,
+                partial.algorithm,
+                100.0 * partial.explored
+            );
+            println!("checkpoint written to {checkpoint_path}");
+            println!("resume with: flowrel compute {path} --resume {checkpoint_path}");
+            return Err(CliError {
+                code: EXIT_INCOMPLETE,
+                message: format!(
+                    "incomplete: budget exhausted, bounds [{:.12}, {:.12}] certified",
+                    partial.r_low, partial.r_high
+                ),
+            });
+        }
+    };
     println!(
         "reliability = {:.12}  (via {})",
         report.reliability, report.algorithm
@@ -102,15 +283,14 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), String> {
         }
     }
     if args.iter().any(|a| a == "--exact") {
-        let exact = reliability_naive_exact(&file.net, demand, &CalcOptions::default())
-            .map_err(|e| e.to_string())?;
+        let exact = reliability_naive_exact(&file.net, demand, &CalcOptions::default())?;
         println!("exact       = {exact}");
         println!("            = {}…", exact.to_decimal_string(15));
     }
     Ok(())
 }
 
-fn cmd_analyze(path: &str, args: &[String]) -> Result<(), String> {
+fn cmd_analyze(path: &str, args: &[String]) -> Result<(), CliError> {
     let file = load(path)?;
     let net = &file.net;
     println!(
@@ -129,7 +309,7 @@ fn cmd_analyze(path: &str, args: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let max_k: usize = flag_value(args, "--max-k")
-        .map(|v| v.parse().map_err(|_| "bad --max-k".to_string()))
+        .map(|v| v.parse().map_err(|_| CliError::usage("bad --max-k")))
         .transpose()?
         .unwrap_or(3);
     let cut = maxflow::min_cut(net, demand.source, demand.sink, maxflow::SolverKind::Dinic);
@@ -158,15 +338,15 @@ fn cmd_analyze(path: &str, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mc(path: &str, args: &[String]) -> Result<(), String> {
+fn cmd_mc(path: &str, args: &[String]) -> Result<(), CliError> {
     let file = load(path)?;
     let demand = demand_of(&file)?;
     let samples: u64 = flag_value(args, "--samples")
-        .map(|v| v.parse().map_err(|_| "bad --samples".to_string()))
+        .map(|v| v.parse().map_err(|_| CliError::usage("bad --samples")))
         .transpose()?
         .unwrap_or(100_000);
     let seed: u64 = flag_value(args, "--seed")
-        .map(|v| v.parse().map_err(|_| "bad --seed".to_string()))
+        .map(|v| v.parse().map_err(|_| CliError::usage("bad --seed")))
         .transpose()?
         .unwrap_or(1);
     let est = montecarlo::estimate(
@@ -185,7 +365,7 @@ fn cmd_mc(path: &str, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let parse_or = |i: usize, default: u64| -> u64 {
         args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
@@ -240,17 +420,20 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             let sub = *sc.peers.last().expect("peers");
             (sc.net, FlowDemand::new(sc.server, sub, sc.stream_rate))
         }
-        _ => return Err("generate: expected barbell|chain|grid|mesh".to_string()),
+        _ => {
+            return Err(CliError::usage(
+                "generate: expected barbell|chain|grid|mesh",
+            ))
+        }
     };
     print!("{}", format::serialize(&net, Some(demand)));
     Ok(())
 }
 
-fn cmd_importance(path: &str) -> Result<(), String> {
+fn cmd_importance(path: &str) -> Result<(), CliError> {
     let file = load(path)?;
     let demand = demand_of(&file)?;
-    let imp = birnbaum_importance(&file.net, demand, &CalcOptions::default())
-        .map_err(|e| e.to_string())?;
+    let imp = birnbaum_importance(&file.net, demand, &CalcOptions::default())?;
     println!("reliability = {:.9}", imp.reliability);
     println!(
         "{:>6} {:>14} {:>12} {:>12}  link",
@@ -271,7 +454,7 @@ fn cmd_importance(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_dot(path: &str) -> Result<(), String> {
+fn cmd_dot(path: &str) -> Result<(), CliError> {
     let file = load(path)?;
     print!("{}", netgraph::dot::to_dot(&file.net, &[]));
     Ok(())
@@ -295,8 +478,8 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

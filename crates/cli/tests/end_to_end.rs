@@ -22,11 +22,11 @@ fn generated_barbell_roundtrips_and_computes() {
     let text = format::serialize(&inst.net, Some(demand));
     let parsed = format::parse(&text).expect("roundtrip parse");
     let direct = ReliabilityCalculator::new()
-        .run(&inst.net, demand)
+        .run_complete(&inst.net, demand)
         .unwrap()
         .reliability;
     let via_file = ReliabilityCalculator::new()
-        .run(&parsed.net, parsed.demand.expect("demand survives"))
+        .run_complete(&parsed.net, parsed.demand.expect("demand survives"))
         .unwrap()
         .reliability;
     assert!((direct - via_file).abs() < 1e-12, "{direct} vs {via_file}");

@@ -183,18 +183,22 @@ pub fn combine<W: Weight>(
     assert_eq!(mass_s.len(), 1 << assign_count);
     assert_eq!(mass_t.len(), 1 << assign_count);
 
-    // method-specific precomputation
-    let sup = match method {
+    // method-specific precomputation, bundled with the method so the loop
+    // below matches on one total enum instead of unwrapping options
+    enum Pre<W> {
+        Direct,
+        Zeta(Vec<W>, Vec<W>),
+        Comp(Vec<W>, W),
+    }
+    let pre = match method {
+        AccumulationMethod::PaperDirect => Pre::Direct,
         AccumulationMethod::ZetaInclusionExclusion => {
             let mut sup_s = mass_s.to_vec();
             let mut sup_t = mass_t.to_vec();
             superset_sums(&mut sup_s, assign_count);
             superset_sums(&mut sup_t, assign_count);
-            Some((sup_s, sup_t))
+            Pre::Zeta(sup_s, sup_t)
         }
-        _ => None,
-    };
-    let comp = match method {
         AccumulationMethod::Complement => {
             // none_t[S] = Σ_{m ∩ S = ∅} mass_t[m] = subset-sums of mass_t,
             // read at the complement of S
@@ -203,9 +207,8 @@ pub fn combine<W: Weight>(
             let full = (1usize << assign_count) - 1;
             let none_t: Vec<W> = (0..=full).map(|s| sub_t[full & !s].clone()).collect();
             let total_t = sub_t[full].clone();
-            Some((none_t, total_t))
+            Pre::Comp(none_t, total_t)
         }
-        _ => None,
     };
 
     let mut total = W::zero();
@@ -214,22 +217,71 @@ pub fn combine<W: Weight>(
         if supported == 0 {
             continue;
         }
-        let r = match method {
-            AccumulationMethod::PaperDirect => r_direct(supported, mass_s, mass_t),
-            AccumulationMethod::ZetaInclusionExclusion => {
-                let (sup_s, sup_t) = sup.as_ref().expect("precomputed");
-                r_zeta(supported, sup_s, sup_t)
-            }
-            AccumulationMethod::Complement => {
-                let (none_t, total_t) = comp.as_ref().expect("precomputed");
-                r_complement(supported, mass_s, none_t, total_t)
-            }
+        let r = match &pre {
+            Pre::Direct => r_direct(supported, mass_s, mass_t),
+            Pre::Zeta(sup_s, sup_t) => r_zeta(supported, sup_s, sup_t),
+            Pre::Comp(none_t, total_t) => r_complement(supported, mass_s, none_t, total_t),
         };
         if !r.is_zero() {
             total = total.add(&cut_config_weight(cut_weights, links_up).mul(&r));
         }
     }
     total
+}
+
+/// Rigorous `[R_low, R_high]` around the reliability when the two side
+/// spectra are only *partially* swept.
+///
+/// `mass_s` / `mass_t` hold the mass of the configurations examined so far,
+/// so each sums to its side's explored probability; `unexplored_*` is the
+/// residual (`1 − Σ mass`). The bounds assign that residual to the two
+/// extremes a side configuration can realize:
+///
+/// * **lower**: unexplored configurations realize *nothing* (mask `0`) —
+///   realization events are monotone, and the empty set is below every
+///   outcome, so the combined value can only shrink;
+/// * **upper**: unexplored configurations realize *every live assignment*
+///   (`live_mask_*`) — the spectrum's support is contained in the live mask,
+///   so this dominates every possible outcome.
+///
+/// Both evaluations reuse [`combine`] on spectra that are again full
+/// probability distributions, so the bounds inherit its exactness and stay
+/// in `[0, 1]` for probability weights.
+#[allow(clippy::too_many_arguments)]
+pub fn combine_interval<W: Weight>(
+    cut_weights: &[(W, W)],
+    support: &[u32],
+    mass_s: &[W],
+    unexplored_s: &W,
+    live_mask_s: u32,
+    mass_t: &[W],
+    unexplored_t: &W,
+    live_mask_t: u32,
+    assign_count: usize,
+    method: AccumulationMethod,
+) -> (W, W) {
+    let inject = |mass: &[W], u: &W, slot: u32| -> Vec<W> {
+        let mut v = mass.to_vec();
+        v[slot as usize] = v[slot as usize].add(u);
+        v
+    };
+    let lo = combine(
+        cut_weights,
+        support,
+        &inject(mass_s, unexplored_s, 0),
+        &inject(mass_t, unexplored_t, 0),
+        assign_count,
+        method,
+    );
+    let hi = combine(
+        cut_weights,
+        support,
+        &inject(mass_s, unexplored_s, live_mask_s),
+        &inject(mass_t, unexplored_t, live_mask_t),
+        assign_count,
+        method,
+    );
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -381,6 +433,30 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, c);
         assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn interval_collapses_when_fully_explored_and_brackets_otherwise() {
+        let q = 0.25f64;
+        let mass_s = vec![0.0, q, 2.0 * q, q];
+        let mass_t = vec![q, q, q, q];
+        let cut = vec![(0.9, 0.1)];
+        let support = vec![0b00u32, 0b11];
+        let method = AccumulationMethod::Complement;
+        let exact = combine(&cut, &support, &mass_s, &mass_t, 2, method);
+        // fully explored: both bounds equal the exact value
+        let (lo, hi) = combine_interval(
+            &cut, &support, &mass_s, &0.0, 0b11, &mass_t, &0.0, 0b11, 2, method,
+        );
+        assert!((lo - exact).abs() < 1e-12 && (hi - exact).abs() < 1e-12);
+        // withhold one side-s configuration's mass (c3 -> {b1,b2}, mass q)
+        let part_s = vec![0.0, q, 2.0 * q, 0.0];
+        let (lo, hi) = combine_interval(
+            &cut, &support, &part_s, &q, 0b11, &mass_t, &0.0, 0b11, 2, method,
+        );
+        assert!(lo <= exact + 1e-12, "{lo} <= {exact}");
+        assert!(exact <= hi + 1e-12, "{exact} <= {hi}");
+        assert!(hi - lo > 1e-9, "interval must be nondegenerate here");
     }
 
     #[test]

@@ -73,8 +73,12 @@ fn bridge_rec<W: Weight>(
         let r_s = bridge_rec(
             &s_net,
             FlowDemand::new(
-                s_map.get(demand.source).expect("source on s side"),
-                s_map.get(x).expect("bridge endpoint on s side"),
+                s_map
+                    .get(demand.source)
+                    .unwrap_or_else(|| unreachable!("source on s side")),
+                s_map
+                    .get(x)
+                    .unwrap_or_else(|| unreachable!("bridge endpoint on s side")),
                 demand.demand,
             ),
             &w_s,
@@ -83,8 +87,12 @@ fn bridge_rec<W: Weight>(
         let r_t = bridge_rec(
             &t_net,
             FlowDemand::new(
-                t_map.get(y).expect("bridge endpoint on t side"),
-                t_map.get(demand.sink).expect("sink on t side"),
+                t_map
+                    .get(y)
+                    .unwrap_or_else(|| unreachable!("bridge endpoint on t side")),
+                t_map
+                    .get(demand.sink)
+                    .unwrap_or_else(|| unreachable!("sink on t side")),
                 demand.demand,
             ),
             &w_t,

@@ -1,0 +1,223 @@
+//! Work and time budgets for the anytime sweep engine.
+//!
+//! Every exact path in this crate is exponential, so a slightly-too-large
+//! instance either trips a size bound up front or runs unboundedly. A
+//! [`Budget`] turns that cliff into graceful degradation: the sweep engine
+//! ([`crate::sweep`]) polls the budget between small batches of
+//! configurations and, when the wall-clock deadline passes, the
+//! configuration allowance runs out, or the cooperative [`CancelToken`] is
+//! tripped (e.g. from a Ctrl-C handler), it stops at a clean cursor and
+//! reports a rigorous partial result instead of an answer-or-nothing.
+//!
+//! The budget is *shared* across everything one calculation does: parallel
+//! workers and both sides of a bottleneck decomposition draw configuration
+//! grants from the same [`BudgetSentinel`], so "at most N configurations"
+//! means N in total, not N per worker.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag, cheap to clone and poll.
+///
+/// Tripping the token is sticky: once tripped it stays tripped. Polling is a
+/// single relaxed atomic load, safe to do from signal handlers and hot loops.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent and async-signal-safe (a single
+    /// atomic store).
+    pub fn trip(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_tripped(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Resource limits for one reliability calculation. The default is
+/// unlimited — identical behavior to the pre-anytime engine.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Wall-clock limit, measured from [`Budget::start`].
+    pub time_limit: Option<Duration>,
+    /// Maximum number of configurations (solver questions) to examine,
+    /// summed over all workers and both decomposition sides.
+    pub max_configs: Option<u64>,
+    /// Cooperative cancellation (e.g. tripped by a Ctrl-C handler).
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when no limit of any kind is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.time_limit.is_none() && self.max_configs.is_none() && self.cancel.is_none()
+    }
+
+    /// Arms the budget for one run: the deadline clock starts now.
+    pub fn start(&self) -> BudgetSentinel {
+        BudgetSentinel {
+            deadline: self.time_limit.map(|d| Instant::now() + d),
+            max_configs: self.max_configs,
+            used: AtomicU64::new(0),
+            cancel: self.cancel.clone(),
+            trivial: self.is_unlimited(),
+        }
+    }
+}
+
+/// The armed form of a [`Budget`], shared by reference across the workers of
+/// one calculation.
+#[derive(Debug)]
+pub struct BudgetSentinel {
+    deadline: Option<Instant>,
+    max_configs: Option<u64>,
+    used: AtomicU64,
+    cancel: Option<CancelToken>,
+    trivial: bool,
+}
+
+impl BudgetSentinel {
+    /// An always-granting sentinel (for the non-anytime entry points).
+    pub fn unlimited() -> Self {
+        Budget::unlimited().start()
+    }
+
+    /// True when this sentinel can never interrupt (no limit of any kind was
+    /// set). The sweep engine uses this to skip the explored-mass bookkeeping
+    /// that only a partial result would need.
+    pub fn is_unlimited(&self) -> bool {
+        self.trivial
+    }
+
+    /// Whether a stop has been requested by time or cancellation (the
+    /// configuration allowance is handled by [`BudgetSentinel::grant`]).
+    pub fn interrupted(&self) -> bool {
+        if self.trivial {
+            return false;
+        }
+        if let Some(c) = &self.cancel {
+            if c.is_tripped() {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Requests permission to examine up to `max_units` batches of `unit`
+    /// configurations each; returns how many whole batches are granted
+    /// (possibly 0). Grants are debited from the shared allowance, so the
+    /// sum of all grants never exceeds `max_configs` by more than a partial
+    /// final batch's rounding.
+    pub fn grant(&self, unit: u64, max_units: u64) -> u64 {
+        if self.trivial {
+            return max_units;
+        }
+        if max_units == 0 || self.interrupted() {
+            return 0;
+        }
+        let Some(max) = self.max_configs else {
+            return max_units;
+        };
+        debug_assert!(unit > 0);
+        let want = max_units.saturating_mul(unit);
+        let prev = self.used.fetch_add(want, Ordering::Relaxed);
+        if prev >= max {
+            return 0;
+        }
+        let avail = max - prev;
+        if avail >= want {
+            max_units
+        } else {
+            // partial grant: hand back whole batches only
+            avail / unit
+        }
+    }
+
+    /// Configurations charged so far (may slightly exceed `max_configs`
+    /// after the final, refused request).
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_grants() {
+        let s = BudgetSentinel::unlimited();
+        assert_eq!(s.grant(1, 1 << 40), 1 << 40);
+        assert!(!s.interrupted());
+    }
+
+    #[test]
+    fn max_configs_is_a_shared_allowance() {
+        let b = Budget {
+            max_configs: Some(100),
+            ..Default::default()
+        };
+        let s = b.start();
+        assert_eq!(s.grant(1, 64), 64);
+        assert_eq!(s.grant(1, 64), 36, "partial grant up to the allowance");
+        assert_eq!(s.grant(1, 64), 0, "exhausted");
+    }
+
+    #[test]
+    fn grants_are_whole_batches() {
+        let b = Budget {
+            max_configs: Some(10),
+            ..Default::default()
+        };
+        let s = b.start();
+        // unit 3: only 3 whole batches (9 configs) fit in 10
+        assert_eq!(s.grant(3, 5), 3);
+        assert_eq!(s.grant(3, 5), 0);
+    }
+
+    #[test]
+    fn cancel_token_trips_once_and_stays() {
+        let t = CancelToken::new();
+        let b = Budget {
+            cancel: Some(t.clone()),
+            ..Default::default()
+        };
+        let s = b.start();
+        assert!(!s.interrupted());
+        assert_eq!(s.grant(1, 8), 8);
+        t.trip();
+        assert!(s.interrupted());
+        assert_eq!(s.grant(1, 8), 0);
+        assert!(t.is_tripped());
+    }
+
+    #[test]
+    fn deadline_in_the_past_stops_immediately() {
+        let b = Budget {
+            time_limit: Some(Duration::from_secs(0)),
+            ..Default::default()
+        };
+        let s = b.start();
+        assert!(s.interrupted());
+        assert_eq!(s.grant(1, 8), 0);
+    }
+}

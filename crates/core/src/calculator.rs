@@ -2,14 +2,16 @@
 
 use netgraph::{EdgeId, Network};
 
-use crate::algorithm::{reliability_bottleneck_on_set, BottleneckReport};
-use crate::bottleneck::find_bottleneck_set;
+use crate::algorithm::{reliability_bottleneck_anytime, BottleneckOutcome, BottleneckReport};
+use crate::bottleneck::{find_bottleneck_set, validate_bottleneck_set, BottleneckSet};
+use crate::checkpoint::{
+    instance_fingerprint, Checkpoint, CheckpointKind, NaiveCheckpoint, SideCheckpoint,
+};
 use crate::demand::FlowDemand;
 use crate::error::ReliabilityError;
 use crate::factoring::reliability_factoring;
-use crate::naive::reliability_naive;
+use crate::naive::{reliability_naive_anytime, NaiveOutcome};
 use crate::options::CalcOptions;
-use crate::weight::edge_weights;
 
 /// Which algorithm to run.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -42,6 +44,52 @@ pub struct ReliabilityReport {
     pub bottleneck: Option<BottleneckReport>,
 }
 
+/// A budget-interrupted result: rigorous bounds plus resume state.
+#[derive(Clone, Debug)]
+pub struct PartialReport {
+    /// Certified lower bound on the reliability.
+    pub r_low: f64,
+    /// Certified upper bound on the reliability.
+    pub r_high: f64,
+    /// Fraction of the configuration space examined so far, in `[0, 1]`.
+    pub explored: f64,
+    /// Human-readable name of the interrupted algorithm.
+    pub algorithm: &'static str,
+    /// Present when a bottleneck decomposition was running.
+    pub bottleneck: Option<BottleneckReport>,
+    /// Resume state; feed to [`ReliabilityCalculator::resume`] (or serialize
+    /// with [`Checkpoint::to_text`]) to continue the sweep later.
+    pub checkpoint: Checkpoint,
+}
+
+/// Result of a budget-aware calculation ([`ReliabilityCalculator::run`]).
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The computation finished; the value is exact.
+    Complete(ReliabilityReport),
+    /// The budget ran out (or the run was cancelled): rigorous bounds and a
+    /// checkpoint. Never produced when the budget is unlimited.
+    Partial(Box<PartialReport>),
+}
+
+impl Outcome {
+    /// The exact reliability, if the computation finished.
+    pub fn reliability(&self) -> Option<f64> {
+        match self {
+            Outcome::Complete(rep) => Some(rep.reliability),
+            Outcome::Partial(_) => None,
+        }
+    }
+
+    /// `[r_low, r_high]` bounds: degenerate for a complete run.
+    pub fn bounds(&self) -> (f64, f64) {
+        match self {
+            Outcome::Complete(rep) => (rep.reliability, rep.reliability),
+            Outcome::Partial(p) => (p.r_low, p.r_high),
+        }
+    }
+}
+
 /// Facade that picks and runs a reliability algorithm.
 ///
 /// ```
@@ -56,9 +104,13 @@ pub struct ReliabilityReport {
 /// let net = b.build();
 ///
 /// let calc = ReliabilityCalculator::new();
-/// let report = calc.run(&net, FlowDemand::new(s, t, 1)).unwrap();
+/// let report = calc.run_complete(&net, FlowDemand::new(s, t, 1)).unwrap();
 /// assert!((report.reliability - (1.0 - 0.1 * 0.2)).abs() < 1e-12);
 /// ```
+///
+/// With a [`crate::budget::Budget`] set in the options, use [`Self::run`]
+/// instead: it returns [`Outcome::Partial`] — rigorous bounds plus a resume
+/// checkpoint — when the budget runs out.
 #[derive(Clone, Debug, Default)]
 pub struct ReliabilityCalculator {
     /// Strategy to apply.
@@ -85,102 +137,197 @@ impl ReliabilityCalculator {
         self
     }
 
-    /// Computes the reliability of `net` w.r.t. `demand`.
-    pub fn run(
-        &self,
-        net: &Network,
-        demand: FlowDemand,
-    ) -> Result<ReliabilityReport, ReliabilityError> {
+    /// Computes the reliability of `net` w.r.t. `demand` under the options'
+    /// budget.
+    ///
+    /// With the default unlimited [`crate::budget::Budget`] this always
+    /// returns [`Outcome::Complete`]. With a limit set, the enumeration
+    /// sweeps (naive and bottleneck strategies, and the auto strategy's
+    /// bottleneck attempt) stop cooperatively and return
+    /// [`Outcome::Partial`]. The factoring algorithm does not support
+    /// budgets: `Strategy::Factoring` always runs to completion, and
+    /// `Strategy::Auto` falls back to a budgeted naive sweep instead of
+    /// factoring when a budget is set.
+    pub fn run(&self, net: &Network, demand: FlowDemand) -> Result<Outcome, ReliabilityError> {
         match &self.strategy {
-            Strategy::Naive => {
-                let r = reliability_naive(net, demand, &self.options)?;
-                Ok(ReliabilityReport {
-                    reliability: r,
-                    algorithm: "naive",
-                    bottleneck: None,
-                })
-            }
+            Strategy::Naive => self.naive_outcome(net, demand, "naive", None),
             Strategy::Factoring => {
                 let r = reliability_factoring(net, demand, &self.options)?;
-                Ok(ReliabilityReport {
+                Ok(Outcome::Complete(ReliabilityReport {
                     reliability: r,
                     algorithm: "factoring",
                     bottleneck: None,
-                })
+                }))
             }
             Strategy::Bottleneck(cut) => {
-                let (r, rep) = crate::algorithm::reliability_bottleneck_weighted(
-                    net,
-                    demand,
-                    cut,
-                    &edge_weights(net),
-                    &self.options,
-                )?;
-                Ok(ReliabilityReport {
-                    reliability: r,
-                    algorithm: "bottleneck",
-                    bottleneck: Some(rep),
-                })
+                let set = validate_bottleneck_set(net, demand.source, demand.sink, cut)?;
+                self.bottleneck_outcome(net, demand, &set, "bottleneck", None)
             }
             Strategy::BottleneckAuto { max_k } => {
                 let set = find_bottleneck_set(net, demand.source, demand.sink, *max_k)?;
-                let (r, rep) = reliability_bottleneck_on_set(
-                    net,
-                    demand,
-                    &set,
-                    &edge_weights(net),
-                    &self.options,
-                )?;
-                Ok(ReliabilityReport {
-                    reliability: r,
-                    algorithm: "bottleneck-auto",
-                    bottleneck: Some(rep),
-                })
+                self.bottleneck_outcome(net, demand, &set, "bottleneck-auto", None)
             }
             Strategy::Auto => self.run_auto(net, demand),
         }
     }
 
-    /// Auto strategy: decompose along a bottleneck when one exists and the
-    /// assignment set stays small; otherwise factor; fall back to naive only
-    /// when factoring's (looser) edge bound also trips.
-    fn run_auto(
+    /// As [`Self::run`], but demands a finished answer: a budget interruption
+    /// surfaces as [`ReliabilityError::Interrupted`] carrying the bounds.
+    pub fn run_complete(
         &self,
         net: &Network,
         demand: FlowDemand,
     ) -> Result<ReliabilityReport, ReliabilityError> {
+        match self.run(net, demand)? {
+            Outcome::Complete(rep) => Ok(rep),
+            Outcome::Partial(p) => Err(ReliabilityError::Interrupted {
+                r_low: p.r_low,
+                r_high: p.r_high,
+            }),
+        }
+    }
+
+    /// Continues an interrupted run from a [`Checkpoint`].
+    ///
+    /// The checkpoint's fingerprint must match this instance (same network,
+    /// demand, and enumeration-relevant options); the algorithm is taken
+    /// from the checkpoint, not from [`Self::strategy`]. A resumed serial
+    /// run reproduces the uninterrupted serial result bit for bit.
+    pub fn resume(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        checkpoint: &Checkpoint,
+    ) -> Result<Outcome, ReliabilityError> {
+        let fp = instance_fingerprint(net, &demand, &self.options);
+        if checkpoint.fingerprint != fp {
+            return Err(ReliabilityError::CheckpointMismatch {
+                reason: format!(
+                    "checkpoint fingerprint {:016x} does not match this instance ({fp:016x}); \
+                     the network, demand, or enumeration options changed",
+                    checkpoint.fingerprint
+                ),
+            });
+        }
+        match &checkpoint.kind {
+            CheckpointKind::Naive(ck) => self.naive_outcome(net, demand, "naive", Some(ck)),
+            CheckpointKind::Bottleneck {
+                cut,
+                side_s,
+                side_t,
+            } => {
+                let set = validate_bottleneck_set(net, demand.source, demand.sink, cut)?;
+                self.bottleneck_outcome(net, demand, &set, "bottleneck", Some((side_s, side_t)))
+            }
+        }
+    }
+
+    /// Runs the budgeted naive sweep and wraps its outcome.
+    fn naive_outcome(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        algorithm: &'static str,
+        resume: Option<&NaiveCheckpoint>,
+    ) -> Result<Outcome, ReliabilityError> {
+        match reliability_naive_anytime(net, demand, &self.options, resume)? {
+            NaiveOutcome::Complete { reliability, .. } => {
+                Ok(Outcome::Complete(ReliabilityReport {
+                    reliability,
+                    algorithm,
+                    bottleneck: None,
+                }))
+            }
+            NaiveOutcome::Partial {
+                r_low,
+                r_high,
+                explored,
+                checkpoint,
+                ..
+            } => Ok(Outcome::Partial(Box::new(PartialReport {
+                r_low,
+                r_high,
+                explored,
+                algorithm,
+                bottleneck: None,
+                checkpoint: Checkpoint {
+                    fingerprint: instance_fingerprint(net, &demand, &self.options),
+                    kind: CheckpointKind::Naive(checkpoint),
+                },
+            }))),
+        }
+    }
+
+    /// Runs the budgeted bottleneck decomposition and wraps its outcome.
+    fn bottleneck_outcome(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        set: &BottleneckSet,
+        algorithm: &'static str,
+        resume: Option<(&SideCheckpoint, &SideCheckpoint)>,
+    ) -> Result<Outcome, ReliabilityError> {
+        match reliability_bottleneck_anytime(net, demand, set, &self.options, resume)? {
+            BottleneckOutcome::Complete {
+                reliability,
+                report,
+            } => Ok(Outcome::Complete(ReliabilityReport {
+                reliability,
+                algorithm,
+                bottleneck: Some(report),
+            })),
+            BottleneckOutcome::Partial {
+                r_low,
+                r_high,
+                explored,
+                side_s,
+                side_t,
+                report,
+            } => Ok(Outcome::Partial(Box::new(PartialReport {
+                r_low,
+                r_high,
+                explored,
+                algorithm,
+                bottleneck: Some(report),
+                checkpoint: Checkpoint {
+                    fingerprint: instance_fingerprint(net, &demand, &self.options),
+                    kind: CheckpointKind::Bottleneck {
+                        cut: set.edges.clone(),
+                        side_s: *side_s,
+                        side_t: *side_t,
+                    },
+                },
+            }))),
+        }
+    }
+
+    /// Auto strategy: decompose along a bottleneck when one exists and the
+    /// assignment set stays small; otherwise factor (or, under a budget, run
+    /// the interruptible naive sweep — factoring cannot be stopped); fall
+    /// back to naive only when factoring's (looser) edge bound also trips.
+    fn run_auto(&self, net: &Network, demand: FlowDemand) -> Result<Outcome, ReliabilityError> {
         if let Ok(set) = find_bottleneck_set(net, demand.source, demand.sink, 3) {
             let worth_it = set.side_s_edges.max(set.side_t_edges) + 2 < net.edge_count();
             if worth_it {
-                let attempt = reliability_bottleneck_on_set(
-                    net,
-                    demand,
-                    &set,
-                    &edge_weights(net),
-                    &self.options,
-                );
-                match attempt {
-                    Ok((r, rep)) => {
-                        return Ok(ReliabilityReport {
-                            reliability: r,
-                            algorithm: "auto:bottleneck",
-                            bottleneck: Some(rep),
-                        });
-                    }
+                match self.bottleneck_outcome(net, demand, &set, "auto:bottleneck", None) {
+                    Ok(out) => return Ok(out),
                     Err(
                         ReliabilityError::TooManyAssignments { .. }
                         | ReliabilityError::SideTooLarge { .. },
-                    ) => { /* fall through to factoring */ }
+                    ) => { /* fall through */ }
                     Err(e) => return Err(e),
                 }
             }
         }
+        if !self.options.budget.is_unlimited() {
+            return self.naive_outcome(net, demand, "auto:naive", None);
+        }
         let r = reliability_factoring(net, demand, &self.options)?;
-        Ok(ReliabilityReport {
+        Ok(Outcome::Complete(ReliabilityReport {
             reliability: r,
             algorithm: "auto:factoring",
             bottleneck: None,
-        })
+        }))
     }
 }
 
@@ -215,13 +362,13 @@ mod tests {
         ];
         let reference = ReliabilityCalculator::new()
             .with_strategy(Strategy::Naive)
-            .run(&net, d)
+            .run_complete(&net, d)
             .unwrap()
             .reliability;
         for s in strategies {
             let rep = ReliabilityCalculator::new()
                 .with_strategy(s.clone())
-                .run(&net, d)
+                .run_complete(&net, d)
                 .unwrap();
             assert!(
                 (rep.reliability - reference).abs() < 1e-12,
@@ -234,7 +381,7 @@ mod tests {
     #[test]
     fn auto_uses_bottleneck_on_barbell() {
         let (net, d) = barbell();
-        let rep = ReliabilityCalculator::new().run(&net, d).unwrap();
+        let rep = ReliabilityCalculator::new().run_complete(&net, d).unwrap();
         assert_eq!(rep.algorithm, "auto:bottleneck");
         let b = rep.bottleneck.expect("decomposition report");
         assert_eq!(b.set.edges, vec![EdgeId(3)]);
@@ -252,7 +399,7 @@ mod tests {
         }
         let net = b.build();
         let rep = ReliabilityCalculator::new()
-            .run(&net, FlowDemand::new(n[0], n[4], 1))
+            .run_complete(&net, FlowDemand::new(n[0], n[4], 1))
             .unwrap();
         assert_eq!(rep.algorithm, "auto:factoring");
         assert!(rep.bottleneck.is_none());
@@ -270,13 +417,120 @@ mod tests {
         }
         let net = b.build();
         let d = FlowDemand::new(n[0], n[3], 1);
-        let rep = ReliabilityCalculator::new().run(&net, d).unwrap();
+        let rep = ReliabilityCalculator::new().run_complete(&net, d).unwrap();
         assert_eq!(rep.algorithm, "auto:bottleneck");
         let naive = ReliabilityCalculator::new()
             .with_strategy(Strategy::Naive)
-            .run(&net, d)
+            .run_complete(&net, d)
             .unwrap();
         assert!((rep.reliability - naive.reliability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_run_yields_partial_and_resume_finishes() {
+        let (net, d) = barbell();
+        for strategy in [Strategy::Naive, Strategy::Bottleneck(vec![EdgeId(3)])] {
+            let exact = ReliabilityCalculator::new()
+                .with_strategy(strategy.clone())
+                .run_complete(&net, d)
+                .unwrap()
+                .reliability;
+            let budgeted = ReliabilityCalculator {
+                strategy: strategy.clone(),
+                options: CalcOptions {
+                    budget: crate::budget::Budget {
+                        max_configs: Some(2),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            };
+            let mut out = budgeted.run(&net, d).unwrap();
+            let mut partials = 0usize;
+            let r = loop {
+                match out {
+                    Outcome::Complete(rep) => break rep.reliability,
+                    Outcome::Partial(p) => {
+                        assert!(
+                            p.r_low <= exact + 1e-12 && exact <= p.r_high + 1e-12,
+                            "{strategy:?}: [{}, {}] must bracket {exact}",
+                            p.r_low,
+                            p.r_high
+                        );
+                        assert!(p.r_high - p.r_low < 1.0 || partials == 0);
+                        partials += 1;
+                        assert!(partials < 10_000, "resume loop must make progress");
+                        out = budgeted.resume(&net, d, &p.checkpoint).unwrap();
+                    }
+                }
+            };
+            assert!(
+                partials > 0,
+                "{strategy:?}: a 2-config budget must interrupt"
+            );
+            assert_eq!(
+                r, exact,
+                "{strategy:?}: serial resume must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_different_instance() {
+        let (net, d) = barbell();
+        let budgeted = ReliabilityCalculator {
+            strategy: Strategy::Naive,
+            options: CalcOptions {
+                budget: crate::budget::Budget {
+                    max_configs: Some(2),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        };
+        let out = budgeted.run(&net, d).unwrap();
+        let Outcome::Partial(p) = out else {
+            panic!("2-config budget must interrupt the barbell sweep");
+        };
+        // same topology, one failure probability nudged
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 1, 0.11).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[0], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 2, 0.1).unwrap();
+        b.add_edge(n[3], n[4], 1, 0.1).unwrap();
+        b.add_edge(n[4], n[5], 1, 0.1).unwrap();
+        b.add_edge(n[5], n[3], 1, 0.1).unwrap();
+        let other = b.build();
+        assert!(matches!(
+            budgeted.resume(&other, d, &p.checkpoint),
+            Err(ReliabilityError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_token_interrupts_immediately() {
+        let (net, d) = barbell();
+        let cancel = crate::budget::CancelToken::new();
+        cancel.trip();
+        let calc = ReliabilityCalculator {
+            strategy: Strategy::Naive,
+            options: CalcOptions {
+                budget: crate::budget::Budget {
+                    cancel: Some(cancel),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        };
+        match calc.run(&net, d).unwrap() {
+            Outcome::Partial(p) => {
+                assert_eq!(p.explored, 0.0);
+                assert_eq!((p.r_low, p.r_high), (0.0, 1.0));
+            }
+            Outcome::Complete(_) => panic!("a tripped token must stop the sweep"),
+        }
     }
 
     #[test]
@@ -284,7 +538,7 @@ mod tests {
         let (net, d) = barbell();
         let rep = ReliabilityCalculator::new()
             .with_strategy(Strategy::Bottleneck(vec![EdgeId(3)]))
-            .run(&net, d)
+            .run_complete(&net, d)
             .unwrap();
         let b = rep.bottleneck.unwrap();
         assert_eq!(b.set.k(), 1);

@@ -129,6 +129,21 @@ impl CertCache {
         }
     }
 
+    /// Exports every stored certificate, e.g. to warm-start the cache of a
+    /// resumed sweep. Certificates are exact and instance-bound but
+    /// advisory: dropping them only costs cold-cache solver calls.
+    pub fn export(&self) -> Vec<SolveCert> {
+        self.feasible
+            .iter()
+            .map(|&support| SolveCert::Feasible { support })
+            .chain(
+                self.infeasible
+                    .iter()
+                    .map(|&(crossing, needed)| SolveCert::Infeasible { crossing, needed }),
+            )
+            .collect()
+    }
+
     /// Number of stored certificates (both kinds).
     pub fn len(&self) -> usize {
         self.feasible.len() + self.infeasible.len()

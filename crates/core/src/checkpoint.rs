@@ -1,0 +1,534 @@
+//! Resume checkpoints for interrupted (anytime) calculations.
+//!
+//! When a budgeted run stops early, the calculator packages the sweep
+//! cursors, running accumulations, and advisory certificate warm-starts into
+//! a [`Checkpoint`], stamped with a fingerprint of the instance it belongs
+//! to. A later process can deserialize the checkpoint and continue exactly
+//! where the interrupted run stopped; for serial runs the final reliability
+//! is bit-identical to an uninterrupted computation.
+//!
+//! The on-disk form ([`Checkpoint::to_text`] / [`Checkpoint::from_text`]) is
+//! a small line-oriented text format rather than a serde derive: the
+//! workspace deliberately vendors no functional serialization crate, and the
+//! format must round-trip `f64` accumulator state *exactly*, which the text
+//! form guarantees by writing IEEE-754 bit patterns in hex. The crate stays
+//! I/O-free — reading and writing files is the caller's (CLI's) job.
+
+use netgraph::{EdgeId, GraphKind, Network};
+
+use crate::assign::AssignmentModel;
+use crate::certcache::SolveCert;
+use crate::demand::FlowDemand;
+use crate::error::ReliabilityError;
+use crate::options::CalcOptions;
+
+/// Where an interrupted sweep stopped: the size of its index space and the
+/// half-open index ranges never examined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepCursor {
+    /// Total number of configurations (`2^m`).
+    pub total: u64,
+    /// Half-open `[lo, hi)` unexamined ranges, ascending and disjoint.
+    pub remaining: Vec<(u64, u64)>,
+}
+
+impl SweepCursor {
+    /// Configurations not yet examined.
+    pub fn remaining_configs(&self) -> u64 {
+        self.remaining.iter().map(|&(lo, hi)| hi - lo).sum()
+    }
+
+    /// Fraction of the index space already examined, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        1.0 - self.remaining_configs() as f64 / self.total as f64
+    }
+}
+
+/// Checkpoint of an interrupted naive (full-enumeration) sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NaiveCheckpoint {
+    /// Enumeration cursor.
+    pub cursor: SweepCursor,
+    /// `(sum, compensation)` of the feasible-mass Neumaier accumulator.
+    pub feasible: (f64, f64),
+    /// `(sum, compensation)` of the explored-mass Neumaier accumulator.
+    pub explored: (f64, f64),
+    /// Advisory certificate warm-start for the resumed sweep.
+    pub certs: Vec<SolveCert>,
+}
+
+/// Checkpoint of one side of an interrupted bottleneck decomposition sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SideCheckpoint {
+    /// Enumeration cursor over the side's configurations.
+    pub cursor: SweepCursor,
+    /// Live (prunable-feasible) assignment indices this side realizes.
+    pub live: Vec<usize>,
+    /// Partial realization-spectrum mass per assignment mask (sums to the
+    /// explored probability, not to 1).
+    pub mass: Vec<f64>,
+    /// Advisory certificate warm-start, one list per live assignment.
+    pub certs: Vec<Vec<SolveCert>>,
+}
+
+/// Algorithm-specific checkpoint payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointKind {
+    /// Interrupted naive enumeration.
+    Naive(NaiveCheckpoint),
+    /// Interrupted bottleneck decomposition.
+    Bottleneck {
+        /// The bottleneck link set the decomposition was built on.
+        cut: Vec<EdgeId>,
+        /// Source-side sweep state.
+        side_s: SideCheckpoint,
+        /// Sink-side sweep state.
+        side_t: SideCheckpoint,
+    },
+}
+
+/// A resumable snapshot of an interrupted calculation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of the instance (network + demand + enumeration-relevant
+    /// options) the snapshot belongs to; checked on resume.
+    pub fingerprint: u64,
+    /// Algorithm-specific payload.
+    pub kind: CheckpointKind,
+}
+
+/// FNV-1a over the instance description: graph kind, nodes, every edge's
+/// endpoints/capacity/failure probability (as IEEE-754 bits), the demand,
+/// and the two options that change the enumeration itself
+/// (`factor_perfect_links`, `assignment_model`). Anything else — solver,
+/// parallelism, budget, cache sizes — may differ between the interrupted and
+/// the resuming run without affecting the result.
+pub fn instance_fingerprint(net: &Network, demand: &FlowDemand, opts: &CalcOptions) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(match net.kind() {
+        GraphKind::Directed => 1,
+        GraphKind::Undirected => 2,
+    });
+    h.write(net.node_count() as u64);
+    h.write(net.edge_count() as u64);
+    for e in net.edges() {
+        h.write(e.src.0 as u64);
+        h.write(e.dst.0 as u64);
+        h.write(e.capacity);
+        h.write(e.fail_prob.to_bits());
+    }
+    h.write(demand.source.0 as u64);
+    h.write(demand.sink.0 as u64);
+    h.write(demand.demand);
+    h.write(opts.factor_perfect_links as u64);
+    h.write(match opts.assignment_model {
+        AssignmentModel::ForwardOnly => 1,
+        AssignmentModel::Net => 2,
+    });
+    h.finish()
+}
+
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+const HEADER: &str = "flowrel-checkpoint v1";
+
+fn bad(reason: impl Into<String>) -> ReliabilityError {
+    ReliabilityError::CheckpointMismatch {
+        reason: reason.into(),
+    }
+}
+
+impl Checkpoint {
+    /// Serializes to the line-oriented text form. Floating-point state is
+    /// written as IEEE-754 bit patterns, so the round-trip is exact.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        match &self.kind {
+            CheckpointKind::Naive(n) => {
+                out.push_str("kind naive\n");
+                write_cursor(&mut out, &n.cursor);
+                out.push_str(&format!(
+                    "feasible {:016x} {:016x}\n",
+                    n.feasible.0.to_bits(),
+                    n.feasible.1.to_bits()
+                ));
+                out.push_str(&format!(
+                    "explored {:016x} {:016x}\n",
+                    n.explored.0.to_bits(),
+                    n.explored.1.to_bits()
+                ));
+                write_certs(&mut out, &n.certs);
+            }
+            CheckpointKind::Bottleneck {
+                cut,
+                side_s,
+                side_t,
+            } => {
+                out.push_str("kind bottleneck\n");
+                out.push_str(&format!("cut {}", cut.len()));
+                for e in cut {
+                    out.push_str(&format!(" {}", e.0));
+                }
+                out.push('\n');
+                for (label, side) in [("s", side_s), ("t", side_t)] {
+                    out.push_str(&format!("side {label}\n"));
+                    write_cursor(&mut out, &side.cursor);
+                    out.push_str(&format!("live {}", side.live.len()));
+                    for &j in &side.live {
+                        out.push_str(&format!(" {j}"));
+                    }
+                    out.push('\n');
+                    out.push_str(&format!("mass {}\n", side.mass.len()));
+                    for &m in &side.mass {
+                        out.push_str(&format!("m {:016x}\n", m.to_bits()));
+                    }
+                    out.push_str(&format!("certgroups {}\n", side.certs.len()));
+                    for group in &side.certs {
+                        write_certs(&mut out, group);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`Checkpoint::to_text`].
+    pub fn from_text(text: &str) -> Result<Checkpoint, ReliabilityError> {
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(bad("missing or unrecognized checkpoint header"));
+        }
+        let fingerprint = u64::from_str_radix(
+            field(&mut lines, "fingerprint")?
+                .first()
+                .ok_or_else(|| bad("fingerprint line is empty"))?,
+            16,
+        )
+        .map_err(|_| bad("unparseable fingerprint"))?;
+        let kind_line = field(&mut lines, "kind")?;
+        let kind = match kind_line.first().copied() {
+            Some("naive") => {
+                let cursor = read_cursor(&mut lines)?;
+                let feasible = read_f64_pair(&mut lines, "feasible")?;
+                let explored = read_f64_pair(&mut lines, "explored")?;
+                let certs = read_certs(&mut lines)?;
+                CheckpointKind::Naive(NaiveCheckpoint {
+                    cursor,
+                    feasible,
+                    explored,
+                    certs,
+                })
+            }
+            Some("bottleneck") => {
+                let cut_fields = field(&mut lines, "cut")?;
+                let n: usize = parse(cut_fields.first(), "cut count")?;
+                if cut_fields.len() != n + 1 {
+                    return Err(bad("cut line has the wrong arity"));
+                }
+                let cut = cut_fields[1..]
+                    .iter()
+                    .map(|s| parse(Some(s), "cut edge id").map(EdgeId))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let side_s = read_side(&mut lines, "s")?;
+                let side_t = read_side(&mut lines, "t")?;
+                CheckpointKind::Bottleneck {
+                    cut,
+                    side_s,
+                    side_t,
+                }
+            }
+            _ => return Err(bad("unknown checkpoint kind")),
+        };
+        Ok(Checkpoint { fingerprint, kind })
+    }
+}
+
+fn write_cursor(out: &mut String, cursor: &SweepCursor) {
+    out.push_str(&format!(
+        "cursor {:x} {}\n",
+        cursor.total,
+        cursor.remaining.len()
+    ));
+    for &(lo, hi) in &cursor.remaining {
+        out.push_str(&format!("range {lo:x} {hi:x}\n"));
+    }
+}
+
+fn write_certs(out: &mut String, certs: &[SolveCert]) {
+    let count = certs
+        .iter()
+        .filter(|c| !matches!(c, SolveCert::None))
+        .count();
+    out.push_str(&format!("certs {count}\n"));
+    for c in certs {
+        match *c {
+            SolveCert::Feasible { support } => out.push_str(&format!("F {support:x}\n")),
+            SolveCert::Infeasible { crossing, needed } => {
+                out.push_str(&format!("I {crossing:x} {needed}\n"))
+            }
+            SolveCert::None => {}
+        }
+    }
+}
+
+/// Reads the next non-empty line, checks its tag, and returns the fields
+/// after the tag.
+fn field<'a>(lines: &mut std::str::Lines<'a>, tag: &str) -> Result<Vec<&'a str>, ReliabilityError> {
+    let line = lines
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| bad(format!("unexpected end of checkpoint, wanted `{tag}`")))?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(tag) {
+        return Err(bad(format!("expected `{tag}` line, found `{line}`")));
+    }
+    Ok(parts.collect())
+}
+
+fn parse<T: std::str::FromStr>(s: Option<&&str>, what: &str) -> Result<T, ReliabilityError> {
+    s.ok_or_else(|| bad(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| bad(format!("unparseable {what}")))
+}
+
+fn parse_hex(s: Option<&&str>, what: &str) -> Result<u64, ReliabilityError> {
+    u64::from_str_radix(s.ok_or_else(|| bad(format!("missing {what}")))?, 16)
+        .map_err(|_| bad(format!("unparseable {what}")))
+}
+
+fn read_cursor(lines: &mut std::str::Lines<'_>) -> Result<SweepCursor, ReliabilityError> {
+    let f = field(lines, "cursor")?;
+    let total = parse_hex(f.first(), "cursor total")?;
+    let n: usize = parse(f.get(1), "cursor range count")?;
+    let mut remaining = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = field(lines, "range")?;
+        let lo = parse_hex(r.first(), "range lo")?;
+        let hi = parse_hex(r.get(1), "range hi")?;
+        if lo >= hi || hi > total {
+            return Err(bad("range out of bounds"));
+        }
+        remaining.push((lo, hi));
+    }
+    Ok(SweepCursor { total, remaining })
+}
+
+fn read_f64_pair(
+    lines: &mut std::str::Lines<'_>,
+    tag: &str,
+) -> Result<(f64, f64), ReliabilityError> {
+    let f = field(lines, tag)?;
+    Ok((
+        f64::from_bits(parse_hex(f.first(), tag)?),
+        f64::from_bits(parse_hex(f.get(1), tag)?),
+    ))
+}
+
+fn read_certs(lines: &mut std::str::Lines<'_>) -> Result<Vec<SolveCert>, ReliabilityError> {
+    let f = field(lines, "certs")?;
+    let n: usize = parse(f.first(), "certificate count")?;
+    let mut certs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = lines
+            .find(|l| !l.trim().is_empty())
+            .ok_or_else(|| bad("unexpected end of checkpoint in certificate list"))?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("F") => certs.push(SolveCert::Feasible {
+                support: parse_hex(parts.get(1), "certificate support")?,
+            }),
+            Some("I") => certs.push(SolveCert::Infeasible {
+                crossing: parse_hex(parts.get(1), "certificate crossing set")?,
+                needed: parse(parts.get(2), "certificate threshold")?,
+            }),
+            _ => return Err(bad(format!("unparseable certificate line `{line}`"))),
+        }
+    }
+    Ok(certs)
+}
+
+fn read_side(
+    lines: &mut std::str::Lines<'_>,
+    label: &str,
+) -> Result<SideCheckpoint, ReliabilityError> {
+    let f = field(lines, "side")?;
+    if f.first().copied() != Some(label) {
+        return Err(bad(format!("expected side `{label}`")));
+    }
+    let cursor = read_cursor(lines)?;
+    let lf = field(lines, "live")?;
+    let n: usize = parse(lf.first(), "live count")?;
+    if lf.len() != n + 1 {
+        return Err(bad("live line has the wrong arity"));
+    }
+    let live = lf[1..]
+        .iter()
+        .map(|s| parse(Some(s), "live assignment index"))
+        .collect::<Result<Vec<usize>, _>>()?;
+    let mf = field(lines, "mass")?;
+    let mn: usize = parse(mf.first(), "mass count")?;
+    let mut mass = Vec::with_capacity(mn);
+    for _ in 0..mn {
+        let m = field(lines, "m")?;
+        mass.push(f64::from_bits(parse_hex(m.first(), "mass entry")?));
+    }
+    let gf = field(lines, "certgroups")?;
+    let groups: usize = parse(gf.first(), "certificate group count")?;
+    let mut certs = Vec::with_capacity(groups);
+    for _ in 0..groups {
+        certs.push(read_certs(lines)?);
+    }
+    Ok(SideCheckpoint {
+        cursor,
+        live,
+        mass,
+        certs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_checkpoint() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0xdead_beef_0123_4567,
+            kind: CheckpointKind::Naive(NaiveCheckpoint {
+                cursor: SweepCursor {
+                    total: 1 << 12,
+                    remaining: vec![(100, 512), (1024, 1 << 12)],
+                },
+                feasible: (0.123456789, -3.2e-17),
+                explored: (0.5, 1.1e-18),
+                certs: vec![
+                    SolveCert::Feasible { support: 0b1011 },
+                    SolveCert::Infeasible {
+                        crossing: 0b0110,
+                        needed: 3,
+                    },
+                ],
+            }),
+        }
+    }
+
+    fn bottleneck_checkpoint() -> Checkpoint {
+        let side = |total: u64| SideCheckpoint {
+            cursor: SweepCursor {
+                total,
+                remaining: vec![(7, total)],
+            },
+            live: vec![0, 2, 3],
+            mass: vec![0.25, 0.0, 1e-300, 0.125],
+            certs: vec![
+                vec![SolveCert::Feasible { support: 1 }],
+                vec![],
+                vec![SolveCert::Infeasible {
+                    crossing: 3,
+                    needed: 2,
+                }],
+            ],
+        };
+        Checkpoint {
+            fingerprint: 42,
+            kind: CheckpointKind::Bottleneck {
+                cut: vec![EdgeId(2), EdgeId(5)],
+                side_s: side(64),
+                side_t: side(128),
+            },
+        }
+    }
+
+    #[test]
+    fn naive_round_trip_is_exact() {
+        let ck = naive_checkpoint();
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(back, ck);
+        // bit-exactness of the accumulator state, explicitly
+        if let (CheckpointKind::Naive(a), CheckpointKind::Naive(b)) = (&ck.kind, &back.kind) {
+            assert_eq!(a.feasible.0.to_bits(), b.feasible.0.to_bits());
+            assert_eq!(a.feasible.1.to_bits(), b.feasible.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn bottleneck_round_trip_is_exact() {
+        let ck = bottleneck_checkpoint();
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(Checkpoint::from_text("").is_err());
+        assert!(Checkpoint::from_text("not a checkpoint\n").is_err());
+        let text = naive_checkpoint().to_text();
+        let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(Checkpoint::from_text(&truncated).is_err());
+        let corrupted = text.replace("kind naive", "kind cubist");
+        assert!(Checkpoint::from_text(&corrupted).is_err());
+    }
+
+    #[test]
+    fn cursor_progress_is_sensible() {
+        let c = SweepCursor {
+            total: 100,
+            remaining: vec![(40, 60), (80, 100)],
+        };
+        assert_eq!(c.remaining_configs(), 40);
+        assert!((c.progress() - 0.6).abs() < 1e-15);
+        let done = SweepCursor {
+            total: 100,
+            remaining: vec![],
+        };
+        assert_eq!(done.progress(), 1.0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_instances() {
+        use netgraph::{GraphKind, NetworkBuilder, NodeId};
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 2, 0.2).unwrap();
+        let net = b.build();
+        let d = FlowDemand::new(NodeId(0), NodeId(2), 1);
+        let opts = CalcOptions::default();
+        let f0 = instance_fingerprint(&net, &d, &opts);
+        assert_eq!(f0, instance_fingerprint(&net, &d, &opts), "deterministic");
+        let d2 = FlowDemand::new(NodeId(0), NodeId(2), 2);
+        assert_ne!(f0, instance_fingerprint(&net, &d2, &opts));
+        let opts2 = CalcOptions {
+            factor_perfect_links: false,
+            ..Default::default()
+        };
+        assert_ne!(f0, instance_fingerprint(&net, &d, &opts2));
+        let mut b2 = NetworkBuilder::new(GraphKind::Directed);
+        let n2 = b2.add_nodes(3);
+        b2.add_edge(n2[0], n2[1], 1, 0.1).unwrap();
+        b2.add_edge(n2[1], n2[2], 2, 0.25).unwrap();
+        let net2 = b2.build();
+        assert_ne!(f0, instance_fingerprint(&net2, &d, &opts));
+    }
+}

@@ -58,13 +58,15 @@ fn build_side(
                 (true, false) | (false, true) => edge.dst,
             };
             map.get(endpoint)
-                .expect("bottleneck endpoint must lie on this side")
+                .unwrap_or_else(|| unreachable!("bottleneck endpoint must lie on this side"))
         })
         .collect();
     Side {
         net: sub,
         edge_origin,
-        terminal: map.get(terminal).expect("terminal must lie on this side"),
+        terminal: map
+            .get(terminal)
+            .unwrap_or_else(|| unreachable!("terminal must lie on this side")),
         attach,
         is_source_side,
     }

@@ -58,6 +58,40 @@ pub enum ReliabilityError {
     },
     /// No bottleneck set of the requested maximum cardinality exists.
     NoBottleneckFound,
+    /// Two user-supplied collections that must be index-aligned are not.
+    ArityMismatch {
+        /// What was misaligned (e.g. "assignment amounts").
+        what: &'static str,
+        /// Observed length.
+        got: usize,
+        /// Required length.
+        expected: usize,
+    },
+    /// The operation is only defined for directed networks.
+    DirectedOnly {
+        /// The operation that was requested.
+        operation: &'static str,
+    },
+    /// The computation was stopped by its [`crate::budget::Budget`] before
+    /// completing; the partial sweep certifies the rigorous interval
+    /// `[r_low, r_high]` around the exact reliability.
+    ///
+    /// Produced by [`crate::calculator::ReliabilityCalculator::run_complete`]
+    /// when the budgeted run returned a partial outcome; callers who want the
+    /// bounds *and* the resume checkpoint should use
+    /// [`crate::calculator::ReliabilityCalculator::run`] instead.
+    Interrupted {
+        /// Certified lower bound on the reliability.
+        r_low: f64,
+        /// Certified upper bound on the reliability.
+        r_high: f64,
+    },
+    /// A resume checkpoint does not belong to the given instance (different
+    /// network, demand, or enumeration-relevant options).
+    CheckpointMismatch {
+        /// What disagreed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ReliabilityError {
@@ -108,6 +142,25 @@ impl fmt::Display for ReliabilityError {
                     f,
                     "no bottleneck link set found within the cardinality bound"
                 )
+            }
+            ReliabilityError::ArityMismatch {
+                what,
+                got,
+                expected,
+            } => {
+                write!(f, "{what}: got {got} entries, expected {expected}")
+            }
+            ReliabilityError::DirectedOnly { operation } => {
+                write!(f, "{operation} is only defined for directed networks")
+            }
+            ReliabilityError::Interrupted { r_low, r_high } => {
+                write!(
+                    f,
+                    "interrupted by the budget; reliability is within [{r_low}, {r_high}]"
+                )
+            }
+            ReliabilityError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint does not match this instance: {reason}")
             }
         }
     }

@@ -35,11 +35,7 @@ impl LinkImportance {
     /// Indices of the links sorted by decreasing improvement potential.
     pub fn ranked(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.improvement.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.improvement[b]
-                .partial_cmp(&self.improvement[a])
-                .expect("importance values are finite")
-        });
+        order.sort_by(|&a, &b| self.improvement[b].total_cmp(&self.improvement[a]));
         order
     }
 }

@@ -38,8 +38,10 @@ pub mod assign;
 pub mod bottleneck;
 pub mod bounds;
 pub mod bridge;
+pub mod budget;
 pub mod calculator;
 pub mod certcache;
+pub mod checkpoint;
 pub mod decompose;
 pub mod demand;
 pub mod error;
@@ -57,8 +59,11 @@ pub mod sweep;
 pub mod table;
 pub mod weight;
 
-pub use accumulate::AccumulationMethod;
-pub use algorithm::{reliability_bottleneck, reliability_bottleneck_exact, BottleneckReport};
+pub use accumulate::{combine_interval, AccumulationMethod};
+pub use algorithm::{
+    reliability_bottleneck, reliability_bottleneck_anytime, reliability_bottleneck_exact,
+    BottleneckOutcome, BottleneckReport,
+};
 pub use assign::{enumerate_assignments, Assignment, AssignmentModel};
 pub use bottleneck::{
     find_all_bottleneck_sets, find_bottleneck_set, validate_bottleneck_set, BottleneckSet,
@@ -66,8 +71,12 @@ pub use bottleneck::{
 pub use bounds::{enumerate_minimal_cuts, enumerate_simple_paths, esary_proschan_bounds};
 pub use bridge::reliability_bridge;
 pub use bridge::reliability_bridge_exact;
-pub use calculator::{ReliabilityCalculator, ReliabilityReport, Strategy};
+pub use budget::{Budget, BudgetSentinel, CancelToken};
+pub use calculator::{Outcome, PartialReport, ReliabilityCalculator, ReliabilityReport, Strategy};
 pub use certcache::{CertCache, SolveCert, SweepStats};
+pub use checkpoint::{
+    instance_fingerprint, Checkpoint, CheckpointKind, NaiveCheckpoint, SideCheckpoint, SweepCursor,
+};
 pub use decompose::{decompose, Decomposition, Side};
 pub use demand::FlowDemand;
 pub use error::ReliabilityError;
@@ -75,8 +84,8 @@ pub use factoring::reliability_factoring;
 pub use factoring::reliability_factoring_exact;
 pub use importance::{birnbaum_importance, LinkImportance};
 pub use naive::{
-    reliability_naive, reliability_naive_exact, reliability_naive_weighted,
-    reliability_naive_with_stats,
+    reliability_naive, reliability_naive_anytime, reliability_naive_exact,
+    reliability_naive_weighted, reliability_naive_with_stats, NaiveOutcome,
 };
 pub use nodefail::{split_node_failures, NodeSplit};
 pub use options::CalcOptions;
@@ -85,6 +94,9 @@ pub use polynomial::{reliability_polynomial, ReliabilityPolynomial};
 pub use preprocess::{relevance_reduce, RelevantNetwork};
 pub use spectrum::RealizationSpectrum;
 pub use spreduce::{reduce_unit_demand, reliability_sp_reduced, ReducedNetwork, ReductionStats};
-pub use sweep::{sweep_spectrum, sweep_sum, sweep_table, SweepConfig, SweepOracle};
+pub use sweep::{
+    sweep_spectrum, sweep_spectrum_budgeted, sweep_sum, sweep_sum_budgeted, sweep_table,
+    sweep_table_budgeted, PartialSpectrum, PartialSum, PartialTable, SweepConfig, SweepOracle,
+};
 pub use table::RealizationTable;
 pub use weight::{edge_weights, edge_weights_exact, Weight};

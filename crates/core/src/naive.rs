@@ -15,12 +15,16 @@ use exactmath::BigRational;
 use netgraph::{EdgeMask, Network};
 
 use crate::certcache::SweepStats;
+use crate::checkpoint::{NaiveCheckpoint, SweepCursor};
 use crate::demand::FlowDemand;
 use crate::error::ReliabilityError;
 use crate::options::CalcOptions;
 use crate::oracle::DemandOracle;
 use crate::preprocess::relevance_reduce;
-use crate::sweep::{sweep_sum, CompensatedAcc, PlainAcc, SweepConfig, SweepGeometry};
+use crate::sweep::{
+    sweep_sum, sweep_sum_budgeted, CompensatedAcc, PartialSum, PlainAcc, SweepAccumulator,
+    SweepConfig, SweepGeometry,
+};
 use crate::weight::{edge_weights_exact, EdgeWeights, Weight};
 
 /// Splits edge indices into (fallible, pinned-alive) per the options.
@@ -116,6 +120,137 @@ pub fn reliability_naive_with_stats(
     Ok((r, stats))
 }
 
+/// Outcome of a budget-aware naive enumeration.
+#[derive(Clone, Debug)]
+pub enum NaiveOutcome {
+    /// The sweep examined every configuration.
+    Complete {
+        /// The exact reliability (up to compensated `f64` rounding).
+        reliability: f64,
+        /// Sweep-engine counters.
+        stats: SweepStats,
+    },
+    /// The budget stopped the sweep; `[r_low, r_high]` is a rigorous
+    /// interval around the exact reliability.
+    Partial {
+        /// Certified lower bound (mass of configurations proven feasible).
+        r_low: f64,
+        /// Certified upper bound (`r_low` plus all unexplored mass).
+        r_high: f64,
+        /// Probability mass of the configurations examined so far.
+        explored: f64,
+        /// Resume state; feed back in (same instance, same
+        /// `factor_perfect_links`) to continue the sweep.
+        checkpoint: NaiveCheckpoint,
+        /// Sweep-engine counters for this slice of work.
+        stats: SweepStats,
+    },
+}
+
+/// Budget-aware naive reliability: runs under `opts.budget` and returns
+/// either the exact value or a rigorous `[r_low, r_high]` interval plus a
+/// resume checkpoint.
+///
+/// A serial interrupted run resumed from its checkpoint reproduces the
+/// uninterrupted [`reliability_naive`] value bit for bit; a parallel one
+/// agrees to accumulation rounding.
+pub fn reliability_naive_anytime(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+    resume: Option<&NaiveCheckpoint>,
+) -> Result<NaiveOutcome, ReliabilityError> {
+    demand.validate(net)?;
+    let reduced = relevance_reduce(net, demand);
+    if reduced.removed > 0 {
+        // The reduction is deterministic, so checkpoint cursors always refer
+        // to the same reduced enumeration on both the interrupted and the
+        // resuming run.
+        return reliability_naive_anytime(&reduced.net, reduced.demand, opts, resume);
+    }
+    let (fallible, pinned) = check_bounds(net, demand, opts)?;
+    let mut oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
+    if demand.demand == 0 {
+        return Ok(NaiveOutcome::Complete {
+            reliability: 1.0,
+            stats: SweepStats::default(),
+        });
+    }
+    if oracle.max_flow_all_alive() < demand.demand {
+        return Ok(NaiveOutcome::Complete {
+            reliability: 0.0,
+            stats: SweepStats::default(),
+        });
+    }
+    let total = 1u64 << fallible.len();
+    let resume_partial = match resume {
+        Some(ck) => {
+            if ck.cursor.total != total {
+                return Err(ReliabilityError::CheckpointMismatch {
+                    reason: format!(
+                        "checkpoint enumerates {} configurations, this instance {}",
+                        ck.cursor.total, total
+                    ),
+                });
+            }
+            Some(PartialSum {
+                feasible: CompensatedAcc::from_state(ck.feasible),
+                explored: CompensatedAcc::from_state(ck.explored),
+                remaining: ck.cursor.remaining.clone(),
+                certs: ck.certs.clone(),
+            })
+        }
+        None => None,
+    };
+    let weights: Vec<(f64, f64)> = fallible
+        .iter()
+        .map(|&i| {
+            let p = net.edges()[i].fail_prob;
+            (1.0 - p, p)
+        })
+        .collect();
+    let geom = SweepGeometry {
+        fallible: &fallible,
+        pinned,
+        edge_count: net.edge_count(),
+    };
+    let sentinel = opts.budget.start();
+    let (partial, stats) = sweep_sum_budgeted::<f64, CompensatedAcc, _>(
+        &oracle,
+        &geom,
+        &weights,
+        &SweepConfig::from_opts(opts),
+        &sentinel,
+        resume_partial,
+    );
+    if partial.is_complete() {
+        return Ok(NaiveOutcome::Complete {
+            reliability: partial.feasible.finish(),
+            stats,
+        });
+    }
+    let feasible = partial.feasible.state();
+    let explored_state = partial.explored.state();
+    let explored = (explored_state.0 + explored_state.1).clamp(0.0, 1.0);
+    let r_low = (feasible.0 + feasible.1).clamp(0.0, 1.0);
+    let r_high = (r_low + (1.0 - explored).max(0.0)).min(1.0);
+    Ok(NaiveOutcome::Partial {
+        r_low,
+        r_high,
+        explored,
+        checkpoint: NaiveCheckpoint {
+            cursor: SweepCursor {
+                total,
+                remaining: partial.remaining,
+            },
+            feasible,
+            explored: explored_state,
+            certs: partial.certs,
+        },
+        stats,
+    })
+}
+
 /// Naive reliability with exact rational arithmetic (the validation oracle
 /// for every other algorithm). Probabilities are taken from the network's
 /// `f64` values via exact dyadic conversion.
@@ -140,7 +275,13 @@ pub fn reliability_naive_weighted<W: Weight>(
     opts: &CalcOptions,
 ) -> Result<W, ReliabilityError> {
     demand.validate(net)?;
-    assert_eq!(weights.len(), net.edge_count(), "one weight pair per link");
+    if weights.len() != net.edge_count() {
+        return Err(ReliabilityError::ArityMismatch {
+            what: "edge weights",
+            got: weights.len(),
+            expected: net.edge_count(),
+        });
+    }
     let reduced = relevance_reduce(net, demand);
     if reduced.removed > 0 {
         let w: EdgeWeights<W> = reduced
@@ -154,7 +295,7 @@ pub fn reliability_naive_weighted<W: Weight>(
     // weights enumerate everything to stay self-evidently exact.
     let opts_all = CalcOptions {
         factor_perfect_links: false,
-        ..*opts
+        ..opts.clone()
     };
     let (fallible, pinned) = check_bounds(net, demand, &opts_all)?;
     if demand.demand == 0 {

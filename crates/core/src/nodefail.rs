@@ -57,21 +57,25 @@ pub fn split_node_failures(
     node_probs: &[f64],
     relay_capacity: &[u64],
 ) -> Result<NodeSplit, ReliabilityError> {
-    assert_eq!(
-        node_probs.len(),
-        net.node_count(),
-        "one probability per node"
-    );
-    assert_eq!(
-        relay_capacity.len(),
-        net.node_count(),
-        "one relay capacity per node"
-    );
-    assert_eq!(
-        net.kind(),
-        GraphKind::Directed,
-        "node splitting is defined for directed networks"
-    );
+    if node_probs.len() != net.node_count() {
+        return Err(ReliabilityError::ArityMismatch {
+            what: "node failure probabilities",
+            got: node_probs.len(),
+            expected: net.node_count(),
+        });
+    }
+    if relay_capacity.len() != net.node_count() {
+        return Err(ReliabilityError::ArityMismatch {
+            what: "relay capacities",
+            got: relay_capacity.len(),
+            expected: net.node_count(),
+        });
+    }
+    if net.kind() != GraphKind::Directed {
+        return Err(ReliabilityError::DirectedOnly {
+            operation: "node splitting",
+        });
+    }
     let mut b = NetworkBuilder::new(GraphKind::Directed);
     let n = net.node_count();
     let mut entry = Vec::with_capacity(n);
@@ -207,6 +211,37 @@ mod tests {
         let d = FlowDemand::new(split.entry(n[0]), split.exit(n[1]), 1);
         let r = reliability_naive(&split.net, d, &CalcOptions::default()).unwrap();
         assert!((r - 0.9 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_arity_and_undirected_networks() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.0).unwrap();
+        let net = b.build();
+        assert!(matches!(
+            split_node_failures(&net, &[0.0], &[INF, INF]),
+            Err(ReliabilityError::ArityMismatch {
+                got: 1,
+                expected: 2,
+                ..
+            })
+        ));
+        assert!(matches!(
+            split_node_failures(&net, &[0.0, 0.0], &[INF]),
+            Err(ReliabilityError::ArityMismatch {
+                got: 1,
+                expected: 2,
+                ..
+            })
+        ));
+        let mut u = NetworkBuilder::new(GraphKind::Undirected);
+        let m = u.add_nodes(2);
+        u.add_edge(m[0], m[1], 1, 0.0).unwrap();
+        assert!(matches!(
+            split_node_failures(&u.build(), &[0.0, 0.0], &[INF, INF]),
+            Err(ReliabilityError::DirectedOnly { .. })
+        ));
     }
 
     #[test]

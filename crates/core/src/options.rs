@@ -4,9 +4,10 @@ use maxflow::SolverKind;
 
 use crate::accumulate::AccumulationMethod;
 use crate::assign::AssignmentModel;
+use crate::budget::Budget;
 
 /// Options shared by the reliability algorithms.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CalcOptions {
     /// Max-flow solver used for all feasibility oracles.
     pub solver: SolverKind,
@@ -42,6 +43,11 @@ pub struct CalcOptions {
     /// Certificates retained per cache (per kind; sweeps keep one cache per
     /// worker and, for side sweeps, per assignment).
     pub certificate_cache_size: usize,
+    /// Work/time limits for the run. The default is unlimited; with any
+    /// limit set, budget-aware entry points stop at a clean cursor and
+    /// return a rigorous `[R_low, R_high]` interval plus a resume
+    /// checkpoint instead of running to completion (see [`crate::budget`]).
+    pub budget: Budget,
 }
 
 impl Default for CalcOptions {
@@ -58,6 +64,7 @@ impl Default for CalcOptions {
             factor_perfect_links: true,
             certificate_cache: true,
             certificate_cache_size: 32,
+            budget: Budget::unlimited(),
         }
     }
 }

@@ -6,6 +6,7 @@ use netgraph::{EdgeMask, Network, NodeId};
 use crate::assign::Assignment;
 use crate::certcache::SolveCert;
 use crate::decompose::Side;
+use crate::error::ReliabilityError;
 
 /// Runs one feasibility solve and, when asked, extracts the monotonicity
 /// certificate the verdict carries (shared by both oracles).
@@ -136,36 +137,43 @@ impl SideOracle {
     /// Prepares the oracle for `side` with the given assignment set. The
     /// terminal's production is the assignment's net crossing total (`Σ a_i`,
     /// which equals the stream demand `d` for every assignment in `D`).
-    pub fn new(side: &Side, assignments: &[Assignment], solver: SolverKind) -> Self {
+    ///
+    /// Fails with [`ReliabilityError::ArityMismatch`] when an assignment's
+    /// amount vector does not have one entry per attach point.
+    pub fn new(
+        side: &Side,
+        assignments: &[Assignment],
+        solver: SolverKind,
+    ) -> Result<Self, ReliabilityError> {
         // terminal nodes: the demand terminal first, then the attach points
         let terminals: Vec<NodeId> = std::iter::once(side.terminal)
             .chain(side.attach.iter().copied())
             .collect();
-        let plans = assignments
-            .iter()
-            .map(|a| {
-                assert_eq!(
-                    a.amounts.len(),
-                    side.attach.len(),
-                    "assignment arity mismatch"
-                );
-                let crossing: i64 = a.amounts.iter().sum();
-                // net production of each terminal node
-                let mut production: Vec<i64> = Vec::with_capacity(terminals.len());
-                if side.is_source_side {
-                    production.push(crossing);
-                    production.extend(a.amounts.iter().map(|&x| -x));
-                } else {
-                    production.push(-crossing);
-                    production.extend(a.amounts.iter().copied());
-                }
-                let supplies: Vec<u64> = production.iter().map(|&p| p.max(0) as u64).collect();
-                let demands: Vec<u64> = production.iter().map(|&p| (-p).max(0) as u64).collect();
-                let required: u64 = supplies.iter().sum();
-                debug_assert_eq!(required, demands.iter().sum::<u64>());
-                (supplies, demands, required)
-            })
-            .collect();
+        let mut plans = Vec::with_capacity(assignments.len());
+        for a in assignments {
+            if a.amounts.len() != side.attach.len() {
+                return Err(ReliabilityError::ArityMismatch {
+                    what: "assignment amounts",
+                    got: a.amounts.len(),
+                    expected: side.attach.len(),
+                });
+            }
+            let crossing: i64 = a.amounts.iter().sum();
+            // net production of each terminal node
+            let mut production: Vec<i64> = Vec::with_capacity(terminals.len());
+            if side.is_source_side {
+                production.push(crossing);
+                production.extend(a.amounts.iter().map(|&x| -x));
+            } else {
+                production.push(-crossing);
+                production.extend(a.amounts.iter().copied());
+            }
+            let supplies: Vec<u64> = production.iter().map(|&p| p.max(0) as u64).collect();
+            let demands: Vec<u64> = production.iter().map(|&p| (-p).max(0) as u64).collect();
+            let required: u64 = supplies.iter().sum();
+            debug_assert_eq!(required, demands.iter().sum::<u64>());
+            plans.push((supplies, demands, required));
+        }
         let zeroed: Vec<(NodeId, u64)> = terminals.iter().map(|&n| (n, 0)).collect();
         let nf = build_flow_multi(&side.net, &zeroed, &zeroed);
         let edge_count = side.net.edge_count();
@@ -181,7 +189,7 @@ impl SideOracle {
         if !oracle.plans.is_empty() {
             oracle.set_assignment(0);
         }
-        oracle
+        Ok(oracle)
     }
 
     /// Number of assignments.
@@ -309,7 +317,7 @@ mod tests {
     fn side_oracle_source_side() {
         let side = source_side();
         let assignments = vec![asg(&[2, 0]), asg(&[1, 1]), asg(&[0, 2])];
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         assert_eq!(o.assignment_count(), 3);
         assert_eq!(o.edge_count(), 2);
         assert!(o.feasible_at_best(0), "(2,0): e0 carries 2");
@@ -340,7 +348,7 @@ mod tests {
             is_source_side: false,
         };
         let assignments = vec![asg(&[2, 0]), asg(&[1, 1])];
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         assert!(!o.feasible_at_best(0), "(2,0): y1->t has capacity 1");
         assert!(o.feasible_at_best(1));
     }
@@ -357,7 +365,7 @@ mod tests {
             is_source_side: true,
         };
         let assignments = vec![asg(&[1])];
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         assert!(o.feasible_at_best(0), "s is itself the attach point");
     }
 
@@ -378,7 +386,7 @@ mod tests {
             is_source_side: true,
         };
         let assignments = vec![asg(&[2, -1]), asg(&[1, 0])];
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         assert!(o.feasible_at_best(0), "(2,-1): 1 from s plus 1 from x2");
         assert!(o.feasible_at_best(1), "(1,0): direct");
     }

@@ -98,7 +98,7 @@ pub fn relevance_reduce(net: &Network, demand: FlowDemand) -> RelevantNetwork {
             e.capacity,
             e.fail_prob,
         )
-        .expect("probabilities are already validated");
+        .unwrap_or_else(|e| unreachable!("probabilities are already validated: {e}"));
     }
     let removed = net.edge_count() - keep.len();
     RelevantNetwork {

@@ -157,7 +157,7 @@ mod tests {
     fn spectrum_masses_sum_to_one() {
         let side = side_with_three_links();
         let assignments = vec![asg(&[2, 0]), asg(&[1, 1]), asg(&[0, 2])];
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let sp = RealizationSpectrum::build(&mut o, &weights_of(&side), 26, 20, true).unwrap();
         assert_eq!(sp.mass.len(), 8);
         assert!((sp.total() - 1.0).abs() < 1e-12);
@@ -169,10 +169,10 @@ mod tests {
         let assignments = vec![asg(&[2, 0]), asg(&[1, 1]), asg(&[0, 2])];
         let weights = weights_of(&side);
 
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let sp = RealizationSpectrum::build(&mut o, &weights, 26, 20, true).unwrap();
 
-        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let table = RealizationTable::build(&mut o2, 26, 20, true).unwrap();
         let mut expected = vec![0.0; 8];
         for (c, &mask) in table.masks.iter().enumerate() {
@@ -190,9 +190,9 @@ mod tests {
         let wf = weights_of(&side);
         let we = crate::weight::edge_weights_exact(&side.net);
 
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let spf = RealizationSpectrum::build(&mut o, &wf, 26, 20, true).unwrap();
-        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let spe: RealizationSpectrum<BigRational> =
             RealizationSpectrum::build(&mut o2, &we, 26, 20, false).unwrap();
         assert_eq!(spe.total(), BigRational::one());
@@ -206,11 +206,11 @@ mod tests {
         let side = side_with_three_links();
         let assignments = vec![asg(&[2, 0]), asg(&[1, 1]), asg(&[0, 2])];
         let weights = weights_of(&side);
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let (plain, s0) =
             RealizationSpectrum::build_with(&mut o, &weights, 26, 20, true, &SweepConfig::serial())
                 .unwrap();
-        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let cfg = SweepConfig {
             parallel: false,
             certificates: true,
@@ -246,7 +246,7 @@ mod tests {
         };
         let assignments = vec![asg(&[1]), asg(&[2])];
         let weights = crate::weight::edge_weights(&side.net);
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let sp = RealizationSpectrum::build(&mut o, &weights, 26, 20, true).unwrap();
         assert!((sp.total() - 1.0).abs() < 1e-12);
         // mask 0b10 alone (realizes (2) but not (1)) is impossible: monotone

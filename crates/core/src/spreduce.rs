@@ -182,7 +182,7 @@ pub fn reduce_unit_demand(net: &Network, s: NodeId, t: NodeId) -> ReducedNetwork
     }
     for e in &edges {
         b.add_edge(NodeId::from(remap[e.u]), NodeId::from(remap[e.v]), 1, e.p)
-            .expect("reduced probabilities stay in range");
+            .unwrap_or_else(|e| unreachable!("reduced probabilities stay in range: {e}"));
     }
     ReducedNetwork {
         net: b.build(),

@@ -25,11 +25,26 @@
 //! solver would, the weight factorization is algebraically identical, and
 //! the parallel merge only regroups additions (bit-identical for exact
 //! weights, within rounding for `f64`).
+//!
+//! ## Anytime operation
+//!
+//! Every sweep also exists in a `*_budgeted` form that polls a
+//! [`BudgetSentinel`] between small batches of configurations. When the
+//! budget runs out the sweep stops at a clean cursor and returns a partial
+//! result ([`PartialSum`] / [`PartialSpectrum`] / [`PartialTable`]) whose
+//! `remaining` ranges describe exactly which configuration indices were
+//! never examined. Passing that partial result back in as `resume` continues
+//! the walk; for the *serial* engine the feasible/explored accumulations are
+//! replayed in the identical order, so an interrupted-and-resumed run
+//! reproduces the uninterrupted result **bit for bit**. The non-budgeted
+//! entry points are thin wrappers over the budgeted ones with an unlimited
+//! sentinel, so there is exactly one enumeration code path.
 
 use exactmath::NeumaierSum;
 use netgraph::EdgeMask;
 use rayon::prelude::*;
 
+use crate::budget::BudgetSentinel;
 use crate::certcache::{CertCache, SolveCert, SweepStats};
 use crate::options::CalcOptions;
 use crate::oracle::{DemandOracle, SideOracle};
@@ -41,6 +56,11 @@ const BLOCK_BITS: usize = 12;
 
 /// Minimum enumeration exponent before chunked parallelism pays for itself.
 const PARALLEL_MIN_BITS: usize = 10;
+
+/// Configurations examined between budget polls: large enough that the poll
+/// (an atomic add) is noise next to a max-flow call, small enough that a
+/// deadline or cancellation is honored promptly.
+const BATCH: u64 = 64;
 
 /// How the engine should run one sweep.
 #[derive(Clone, Copy, Debug)]
@@ -176,6 +196,46 @@ fn seeded_cache(cfg: &SweepConfig, seeds: &[SolveCert]) -> Option<CertCache> {
     cache
 }
 
+/// Drops empty ranges, sorts, and merges adjacent/overlapping half-open
+/// `[lo, hi)` ranges.
+fn coalesce(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    ranges.retain(|&(lo, hi)| lo < hi);
+    ranges.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match out.last_mut() {
+            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// Splits a set of ranges into roughly `parts` contiguous pieces of near-equal
+/// length, preserving order within each input range.
+fn split_ranges(ranges: &[(u64, u64)], parts: usize) -> Vec<(u64, u64)> {
+    let total: u64 = ranges.iter().map(|&(lo, hi)| hi - lo).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let piece = total.div_ceil(parts.max(1) as u64).max(1);
+    let mut out = Vec::new();
+    for &(lo, hi) in ranges {
+        let mut c = lo;
+        while c < hi {
+            let e = hi.min(c + piece);
+            out.push((c, e));
+            c = e;
+        }
+    }
+    out
+}
+
+/// Total length of a set of half-open ranges.
+fn ranges_len(ranges: &[(u64, u64)]) -> u64 {
+    ranges.iter().map(|&(lo, hi)| hi - lo).sum()
+}
+
 /// Split-product weight table: `weight(config) = low[config & low_mask] ·
 /// high(config >> low_bits)`, where `low` is precomputed once (two
 /// multiplications per entry) and the high product changes only once per
@@ -231,6 +291,9 @@ impl<W: Weight> WeightTable<W> {
 /// Partial-sum strategy of a sweep: compensated for `f64`, plain ring
 /// addition for exact weights.
 pub trait SweepAccumulator<W>: Send {
+    /// A serializable snapshot of the running accumulation, for
+    /// checkpointing mid-sweep.
+    type State: Clone + Send;
     /// The zero accumulator.
     fn empty() -> Self;
     /// Adds one configuration's weight.
@@ -239,12 +302,20 @@ pub trait SweepAccumulator<W>: Send {
     fn merge(&mut self, other: Self);
     /// The accumulated total.
     fn finish(self) -> W;
+    /// Snapshots the running state. Rebuilding with
+    /// [`SweepAccumulator::from_state`] and continuing reproduces the
+    /// uninterrupted accumulation (bit-identical for the serial engine).
+    fn state(&self) -> Self::State;
+    /// Rebuilds an accumulator from a saved snapshot.
+    fn from_state(s: Self::State) -> Self;
 }
 
 /// Neumaier-compensated `f64` accumulation.
 pub struct CompensatedAcc(NeumaierSum);
 
 impl SweepAccumulator<f64> for CompensatedAcc {
+    type State = (f64, f64);
+
     fn empty() -> Self {
         CompensatedAcc(NeumaierSum::new())
     }
@@ -260,12 +331,22 @@ impl SweepAccumulator<f64> for CompensatedAcc {
     fn finish(self) -> f64 {
         self.0.total()
     }
+
+    fn state(&self) -> (f64, f64) {
+        self.0.parts()
+    }
+
+    fn from_state((sum, comp): (f64, f64)) -> Self {
+        CompensatedAcc(NeumaierSum::from_parts(sum, comp))
+    }
 }
 
 /// Plain `W` addition (exact for rational weights).
 pub struct PlainAcc<W>(W);
 
 impl<W: Weight> SweepAccumulator<W> for PlainAcc<W> {
+    type State = W;
+
     fn empty() -> Self {
         PlainAcc(W::zero())
     }
@@ -281,6 +362,14 @@ impl<W: Weight> SweepAccumulator<W> for PlainAcc<W> {
     fn finish(self) -> W {
         self.0
     }
+
+    fn state(&self) -> W {
+        self.0.clone()
+    }
+
+    fn from_state(s: W) -> Self {
+        PlainAcc(s)
+    }
 }
 
 /// Geometry of a naive sweep: which network edges are enumerated (compact
@@ -292,6 +381,39 @@ pub struct SweepGeometry<'a> {
     pub pinned: u64,
     /// Total network edge count (full mask width).
     pub edge_count: usize,
+}
+
+/// The state of a (possibly interrupted) [`sweep_sum_budgeted`] run.
+///
+/// `remaining` empty means the sweep completed and `feasible` holds the full
+/// sum. Otherwise `feasible` is a certified lower bound on the full sum,
+/// `explored` is the total weight of every configuration examined so far
+/// (feasible or not), and `remaining` lists the half-open index ranges that
+/// were never examined — feeding the whole value back in as `resume`
+/// continues exactly there.
+pub struct PartialSum<A> {
+    /// Accumulated weight of the feasible configurations examined so far.
+    pub feasible: A,
+    /// Accumulated weight of *all* configurations examined so far (only
+    /// tracked when the sweep runs under a real budget).
+    pub explored: A,
+    /// Half-open `[lo, hi)` index ranges not yet examined, ascending.
+    pub remaining: Vec<(u64, u64)>,
+    /// Certificates exported from the sweep's cache, to warm-start a resumed
+    /// run (advisory: an empty list only costs cold-cache solves).
+    pub certs: Vec<SolveCert>,
+}
+
+impl<A> PartialSum<A> {
+    /// Whether every configuration has been examined.
+    pub fn is_complete(&self) -> bool {
+        self.remaining.is_empty()
+    }
+
+    /// Number of configurations not yet examined.
+    pub fn remaining_configs(&self) -> u64 {
+        ranges_len(&self.remaining)
+    }
 }
 
 /// Sums the weights of all feasible configurations of a `2^m` enumeration
@@ -308,13 +430,44 @@ where
     A: SweepAccumulator<W>,
     O: SweepOracle + Clone + Send + Sync,
 {
+    let sentinel = BudgetSentinel::unlimited();
+    let (partial, stats) =
+        sweep_sum_budgeted::<W, A, O>(oracle, geom, weights, cfg, &sentinel, None);
+    debug_assert!(partial.is_complete(), "unlimited sweeps always finish");
+    (partial.feasible.finish(), stats)
+}
+
+/// Budget-guarded form of [`sweep_sum`]: examines configurations until done
+/// or until `sentinel` stops granting, and returns the (possibly partial)
+/// state plus counters. Pass a previous run's [`PartialSum`] as `resume` to
+/// continue it; a serial interrupted-and-resumed run reproduces the
+/// uninterrupted sum bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_sum_budgeted<W, A, O>(
+    oracle: &O,
+    geom: &SweepGeometry<'_>,
+    weights: &[(W, W)],
+    cfg: &SweepConfig,
+    sentinel: &BudgetSentinel,
+    resume: Option<PartialSum<A>>,
+) -> (PartialSum<A>, SweepStats)
+where
+    W: Weight,
+    A: SweepAccumulator<W>,
+    O: SweepOracle + Clone + Send + Sync,
+{
     let m = geom.fallible.len();
     assert_eq!(weights.len(), m, "one weight pair per enumerated edge");
     let total = 1u64 << m;
     let wt = WeightTable::new(weights);
+    let (mut feasible, mut explored, work, warm) = match resume {
+        Some(p) => (p.feasible, p.explored, coalesce(p.remaining), p.certs),
+        None => (A::empty(), A::empty(), vec![(0, total)], Vec::new()),
+    };
+    debug_assert!(work.iter().all(|&(_, hi)| hi <= total));
     if cfg.parallel && m >= PARALLEL_MIN_BITS {
         let mut seed_stats = SweepStats::default();
-        let seeds = if cfg.certificates {
+        let mut seeds = if cfg.certificates {
             let mut probe = oracle.clone();
             let alive = geom.fallible.iter().fold(geom.pinned, |b, &i| b | 1 << i);
             seed_certs(
@@ -328,46 +481,84 @@ where
         } else {
             Vec::new()
         };
-        let chunks = (rayon::current_num_threads() * 8).max(1) as u64;
-        let chunk_len = total.div_ceil(chunks);
-        let (acc, mut stats) = (0..chunks)
+        seeds.extend(warm.iter().copied().take(cfg.cache_size));
+        let pieces = split_ranges(&work, rayon::current_num_threads() * 8);
+        let results: Vec<_> = pieces
             .into_par_iter()
-            .map(|c| {
-                let lo = c * chunk_len;
-                let hi = ((c + 1) * chunk_len).min(total);
+            .map(|(lo, hi)| {
                 let mut local = oracle.clone();
                 let mut cache = seeded_cache(cfg, &seeds);
                 let mut stats = SweepStats::default();
-                let acc = sum_range::<W, A, O>(
-                    &mut local, &mut cache, &mut stats, lo, hi, geom, &wt, weights,
+                let mut f = A::empty();
+                let mut x = A::empty();
+                let stop = sum_range_guarded::<W, A, O>(
+                    &mut local, &mut cache, &mut stats, lo, hi, geom, &wt, weights, sentinel,
+                    &mut f, &mut x,
                 );
-                (acc, stats)
+                let certs = cache.map(|c| c.export()).unwrap_or_default();
+                (f, x, stop.map(|s| (s, hi)), certs, stats)
             })
-            .reduce(
-                || (A::empty(), SweepStats::default()),
-                |mut a, b| {
-                    a.0.merge(b.0);
-                    a.1.merge(&b.1);
-                    a
-                },
-            );
-        stats.merge(&seed_stats);
-        (acc.finish(), stats)
+            .collect_vec();
+        // merge in piece order: deterministic for a fixed piece layout
+        let mut stats = seed_stats;
+        let mut remaining = Vec::new();
+        let mut certs = Vec::new();
+        for (f, x, leftover, ex, st) in results {
+            feasible.merge(f);
+            explored.merge(x);
+            remaining.extend(leftover);
+            certs.extend(ex);
+            stats.merge(&st);
+        }
+        certs.truncate(4 * cfg.cache_size.max(1));
+        let partial = PartialSum {
+            feasible,
+            explored,
+            remaining: coalesce(remaining),
+            certs,
+        };
+        (partial, stats)
     } else {
         let mut local = oracle.clone();
-        let mut cache = cfg.cache();
+        let mut cache = seeded_cache(cfg, &warm);
         let mut stats = SweepStats::default();
-        let acc = sum_range::<W, A, O>(
-            &mut local, &mut cache, &mut stats, 0, total, geom, &wt, weights,
-        );
-        (acc.finish(), stats)
+        let mut remaining = Vec::new();
+        for (k, &(lo, hi)) in work.iter().enumerate() {
+            if let Some(stop) = sum_range_guarded::<W, A, O>(
+                &mut local,
+                &mut cache,
+                &mut stats,
+                lo,
+                hi,
+                geom,
+                &wt,
+                weights,
+                sentinel,
+                &mut feasible,
+                &mut explored,
+            ) {
+                remaining.push((stop, hi));
+                remaining.extend_from_slice(&work[k + 1..]);
+                break;
+            }
+        }
+        let certs = cache.map(|c| c.export()).unwrap_or_default();
+        let partial = PartialSum {
+            feasible,
+            explored,
+            remaining,
+            certs,
+        };
+        (partial, stats)
     }
 }
 
-/// One worker's share of [`sweep_sum`]: Gray-code walk over `lo..hi` with
-/// O(1) mask maintenance and split-product weights.
+/// One worker's share of [`sweep_sum_budgeted`]: Gray-code walk over
+/// `lo..hi` with O(1) mask maintenance, split-product weights, and a budget
+/// poll every [`BATCH`] configurations. Returns `Some(cursor)` when the
+/// budget stopped the walk with `cursor..hi` unexamined, `None` when done.
 #[allow(clippy::too_many_arguments)]
-fn sum_range<W, A, O>(
+fn sum_range_guarded<W, A, O>(
     oracle: &mut O,
     cache: &mut Option<CertCache>,
     stats: &mut SweepStats,
@@ -376,16 +567,19 @@ fn sum_range<W, A, O>(
     geom: &SweepGeometry<'_>,
     wt: &WeightTable<W>,
     weights: &[(W, W)],
-) -> A
+    sentinel: &BudgetSentinel,
+    feasible: &mut A,
+    explored: &mut A,
+) -> Option<u64>
 where
     W: Weight,
     A: SweepAccumulator<W>,
     O: SweepOracle,
 {
-    let mut acc = A::empty();
     if lo >= hi {
-        return acc;
+        return None;
     }
+    let track = !sentinel.is_unlimited();
     // Gray code of the starting index; `bits` scatters it onto the full
     // edge numbering.
     let mut g = lo ^ (lo >> 1);
@@ -398,28 +592,70 @@ where
     }
     let mut high = wt.high_product(weights, g >> wt.low_bits);
     let mut c = lo;
-    loop {
-        if classify_or_solve(
-            oracle,
-            cache,
-            EdgeMask::from_bits(bits, geom.edge_count),
-            stats,
-        ) {
-            acc.add(wt.weight(g, &high));
+    while c < hi {
+        let granted = sentinel.grant(1, (hi - c).min(BATCH));
+        if granted == 0 {
+            return Some(c);
         }
-        c += 1;
-        if c >= hi {
-            break;
-        }
-        // successive Gray codes differ in exactly bit tz(c)
-        let flip = c.trailing_zeros() as usize;
-        g ^= 1 << flip;
-        bits ^= 1 << geom.fallible[flip];
-        if flip >= wt.low_bits {
-            high = wt.high_product(weights, g >> wt.low_bits);
+        for _ in 0..granted {
+            let ok = classify_or_solve(
+                oracle,
+                cache,
+                EdgeMask::from_bits(bits, geom.edge_count),
+                stats,
+            );
+            if track {
+                let w = wt.weight(g, &high);
+                if ok {
+                    feasible.add(w.clone());
+                }
+                explored.add(w);
+            } else if ok {
+                feasible.add(wt.weight(g, &high));
+            }
+            c += 1;
+            if c >= hi {
+                break;
+            }
+            // successive Gray codes differ in exactly bit tz(c)
+            let flip = c.trailing_zeros() as usize;
+            g ^= 1 << flip;
+            bits ^= 1 << geom.fallible[flip];
+            if flip >= wt.low_bits {
+                high = wt.high_product(weights, g >> wt.low_bits);
+            }
         }
     }
-    acc
+    None
+}
+
+/// The state of a (possibly interrupted) [`sweep_spectrum_budgeted`] run.
+///
+/// `remaining` empty means `mass` is the complete realization spectrum.
+/// Otherwise `mass` holds the mass of the side configurations examined so
+/// far (so it sums to the explored probability, not to 1), and `remaining`
+/// lists the unexamined configuration ranges.
+pub struct PartialSpectrum<W> {
+    /// Per-realization-mask accumulated mass over the examined
+    /// configurations.
+    pub mass: Vec<W>,
+    /// Half-open `[lo, hi)` configuration ranges not yet examined, ascending.
+    pub remaining: Vec<(u64, u64)>,
+    /// Certificates per live assignment, to warm-start a resumed run
+    /// (advisory; may be empty).
+    pub certs: Vec<Vec<SolveCert>>,
+}
+
+impl<W> PartialSpectrum<W> {
+    /// Whether every side configuration has been examined.
+    pub fn is_complete(&self) -> bool {
+        self.remaining.is_empty()
+    }
+
+    /// Number of side configurations not yet examined.
+    pub fn remaining_configs(&self) -> u64 {
+        ranges_len(&self.remaining)
+    }
 }
 
 /// Builds the realization-spectrum masses for one side: `mass[r]` = total
@@ -433,25 +669,54 @@ pub fn sweep_spectrum<W: Weight>(
     assign_count: usize,
     cfg: &SweepConfig,
 ) -> (Vec<W>, SweepStats) {
+    let sentinel = BudgetSentinel::unlimited();
+    let (partial, stats) =
+        sweep_spectrum_budgeted(oracle, live, weights, assign_count, cfg, &sentinel, None);
+    debug_assert!(partial.is_complete(), "unlimited sweeps always finish");
+    (partial.mass, stats)
+}
+
+/// Budget-guarded form of [`sweep_spectrum`]. The budget is charged
+/// `live.len()` units per configuration (one solver question per live
+/// assignment). Serial interrupted-and-resumed runs reproduce the
+/// uninterrupted spectrum bit for bit: the per-slot mass additions happen in
+/// the same ascending-configuration order either way.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_spectrum_budgeted<W: Weight>(
+    oracle: &SideOracle,
+    live: &[usize],
+    weights: &[(W, W)],
+    assign_count: usize,
+    cfg: &SweepConfig,
+    sentinel: &BudgetSentinel,
+    resume: Option<PartialSpectrum<W>>,
+) -> (PartialSpectrum<W>, SweepStats) {
     let m = oracle.edge_count();
     assert_eq!(weights.len(), m, "one weight pair per side link");
     let total = 1u64 << m;
     let size = 1usize << assign_count;
     let wt = WeightTable::new(weights);
+    let (mut mass, work, warm) = match resume {
+        Some(p) => (p.mass, coalesce(p.remaining), p.certs),
+        None => (vec![W::zero(); size], vec![(0, total)], Vec::new()),
+    };
+    debug_assert_eq!(mass.len(), size, "resumed spectrum must match |D|");
+    debug_assert!(work.iter().all(|&(_, hi)| hi <= total));
     if cfg.parallel && m >= PARALLEL_MIN_BITS {
-        let (seeds, seed_stats) = side_seeds(oracle, live, cfg);
-        let chunks = (rayon::current_num_threads() * 8).max(1) as u64;
-        let chunk_len = total.div_ceil(chunks);
-        let (mass, mut stats) = (0..chunks)
+        let (mut seeds, seed_stats) = side_seeds(oracle, live, cfg);
+        for (s, w) in seeds.iter_mut().zip(&warm) {
+            s.extend(w.iter().copied().take(cfg.cache_size));
+        }
+        let pieces = split_ranges(&work, rayon::current_num_threads() * 8);
+        let results: Vec<_> = pieces
             .into_par_iter()
-            .map(|ci| {
-                let lo = ci * chunk_len;
-                let hi = ((ci + 1) * chunk_len).min(total);
+            .map(|(lo, hi)| {
                 let mut local = oracle.clone();
                 let mut caches: Vec<Option<CertCache>> =
                     seeds.iter().map(|s| seeded_cache(cfg, s)).collect();
                 let mut stats = SweepStats::default();
-                let mass = spectrum_range(
+                let mut part = vec![W::zero(); size];
+                let stop = spectrum_range_guarded(
                     &mut local,
                     &mut caches,
                     live,
@@ -459,39 +724,65 @@ pub fn sweep_spectrum<W: Weight>(
                     hi,
                     &wt,
                     weights,
-                    size,
+                    &mut part,
+                    sentinel,
                     &mut stats,
                 );
-                (mass, stats)
+                (part, stop.map(|s| (s, hi)), stats)
             })
-            .reduce(
-                || (vec![W::zero(); size], SweepStats::default()),
-                |mut a, b| {
-                    for (x, y) in a.0.iter_mut().zip(&b.0) {
-                        *x = x.add(y);
-                    }
-                    a.1.merge(&b.1);
-                    a
-                },
-            );
-        stats.merge(&seed_stats);
-        (mass, stats)
+            .collect_vec();
+        let mut stats = seed_stats;
+        let mut remaining = Vec::new();
+        for (part, leftover, st) in results {
+            for (x, y) in mass.iter_mut().zip(&part) {
+                *x = x.add(y);
+            }
+            remaining.extend(leftover);
+            stats.merge(&st);
+        }
+        let partial = PartialSpectrum {
+            mass,
+            remaining: coalesce(remaining),
+            // parallel caches are per worker; exporting one would be
+            // arbitrary, and warm-starts are advisory anyway
+            certs: Vec::new(),
+        };
+        (partial, stats)
     } else {
         let mut local = oracle.clone();
-        let mut caches: Vec<Option<CertCache>> = live.iter().map(|_| cfg.cache()).collect();
+        let mut caches: Vec<Option<CertCache>> = (0..live.len())
+            .map(|i| seeded_cache(cfg, warm.get(i).map(Vec::as_slice).unwrap_or(&[])))
+            .collect();
         let mut stats = SweepStats::default();
-        let mass = spectrum_range(
-            &mut local,
-            &mut caches,
-            live,
-            0,
-            total,
-            &wt,
-            weights,
-            size,
-            &mut stats,
-        );
-        (mass, stats)
+        let mut remaining = Vec::new();
+        for (k, &(lo, hi)) in work.iter().enumerate() {
+            if let Some(stop) = spectrum_range_guarded(
+                &mut local,
+                &mut caches,
+                live,
+                lo,
+                hi,
+                &wt,
+                weights,
+                &mut mass,
+                sentinel,
+                &mut stats,
+            ) {
+                remaining.push((stop, hi));
+                remaining.extend_from_slice(&work[k + 1..]);
+                break;
+            }
+        }
+        let certs = caches
+            .into_iter()
+            .map(|c| c.map(|c| c.export()).unwrap_or_default())
+            .collect();
+        let partial = PartialSpectrum {
+            mass,
+            remaining,
+            certs,
+        };
+        (partial, stats)
     }
 }
 
@@ -523,11 +814,12 @@ fn side_seeds(
     (seeds, stats)
 }
 
-/// One worker's share of [`sweep_spectrum`]: per table-block, realize every
-/// live assignment (amortizing assignment switches), then accumulate the
-/// block's configuration weights into the mask masses.
+/// One worker's share of [`sweep_spectrum_budgeted`]: per sub-batch of one
+/// table block, realize every live assignment (amortizing assignment
+/// switches), then accumulate the batch's configuration weights into the
+/// mask masses in ascending-configuration order.
 #[allow(clippy::too_many_arguments)]
-fn spectrum_range<W: Weight>(
+fn spectrum_range_guarded<W: Weight>(
     oracle: &mut SideOracle,
     caches: &mut [Option<CertCache>],
     live: &[usize],
@@ -535,36 +827,64 @@ fn spectrum_range<W: Weight>(
     hi: u64,
     wt: &WeightTable<W>,
     weights: &[(W, W)],
-    size: usize,
+    mass: &mut [W],
+    sentinel: &BudgetSentinel,
     stats: &mut SweepStats,
-) -> Vec<W> {
+) -> Option<u64> {
     let m = oracle.edge_count();
-    let mut mass = vec![W::zero(); size];
     let block = 1u64 << wt.low_bits;
-    let mut realized = vec![0u32; block as usize];
+    let unit = live.len().max(1) as u64;
+    let mut realized = [0u32; BATCH as usize];
     let mut blo = lo;
     while blo < hi {
         // stop at the next table-block boundary so one high product covers
         // the whole sub-range
         let bhi = hi.min((blo | (block - 1)) + 1);
-        realized[..(bhi - blo) as usize].fill(0);
-        for (idx, &j) in live.iter().enumerate() {
-            oracle.set_assignment(j);
-            let cache = &mut caches[idx];
-            for c in blo..bhi {
-                if classify_or_solve(oracle, cache, EdgeMask::from_bits(c, m), stats) {
-                    realized[(c - blo) as usize] |= 1 << j;
+        let high = wt.high_product(weights, blo >> wt.low_bits);
+        let mut c0 = blo;
+        while c0 < bhi {
+            let granted = sentinel.grant(unit, (bhi - c0).min(BATCH));
+            if granted == 0 {
+                return Some(c0);
+            }
+            let c1 = c0 + granted;
+            let n = (c1 - c0) as usize;
+            realized[..n].fill(0);
+            for (idx, &j) in live.iter().enumerate() {
+                oracle.set_assignment(j);
+                let cache = &mut caches[idx];
+                for c in c0..c1 {
+                    if classify_or_solve(oracle, cache, EdgeMask::from_bits(c, m), stats) {
+                        realized[(c - c0) as usize] |= 1 << j;
+                    }
                 }
             }
-        }
-        let high = wt.high_product(weights, blo >> wt.low_bits);
-        for c in blo..bhi {
-            let slot = &mut mass[realized[(c - blo) as usize] as usize];
-            *slot = slot.add(&wt.weight(c, &high));
+            for c in c0..c1 {
+                let slot = &mut mass[realized[(c - c0) as usize] as usize];
+                *slot = slot.add(&wt.weight(c, &high));
+            }
+            c0 = c1;
         }
         blo = bhi;
     }
-    mass
+    None
+}
+
+/// The state of a (possibly interrupted) [`sweep_table_budgeted`] run:
+/// `masks[c]` is valid for every examined configuration `c`; entries inside
+/// `remaining` are zero.
+pub struct PartialTable {
+    /// Realization mask per side configuration (zero where unexamined).
+    pub masks: Vec<u32>,
+    /// Half-open `[lo, hi)` configuration ranges not yet examined, ascending.
+    pub remaining: Vec<(u64, u64)>,
+}
+
+impl PartialTable {
+    /// Whether every side configuration has been examined.
+    pub fn is_complete(&self) -> bool {
+        self.remaining.is_empty()
+    }
 }
 
 /// Builds the paper-faithful realization array: `masks[c]` has bit `j` set
@@ -574,70 +894,126 @@ pub fn sweep_table(
     live: &[usize],
     cfg: &SweepConfig,
 ) -> (Vec<u32>, SweepStats) {
+    let sentinel = BudgetSentinel::unlimited();
+    let (partial, stats) = sweep_table_budgeted(oracle, live, cfg, &sentinel, None);
+    debug_assert!(partial.is_complete(), "unlimited sweeps always finish");
+    (partial.masks, stats)
+}
+
+/// Budget-guarded form of [`sweep_table`]; charged `live.len()` units per
+/// configuration, like the spectrum sweep.
+pub fn sweep_table_budgeted(
+    oracle: &SideOracle,
+    live: &[usize],
+    cfg: &SweepConfig,
+    sentinel: &BudgetSentinel,
+    resume: Option<PartialTable>,
+) -> (PartialTable, SweepStats) {
     let m = oracle.edge_count();
     let total = 1u64 << m;
+    let (mut masks, work) = match resume {
+        Some(p) => (p.masks, coalesce(p.remaining)),
+        None => (vec![0u32; total as usize], vec![(0, total)]),
+    };
+    debug_assert_eq!(masks.len(), total as usize);
+    debug_assert!(work.iter().all(|&(_, hi)| hi <= total));
     if cfg.parallel && m >= PARALLEL_MIN_BITS {
         let (seeds, seed_stats) = side_seeds(oracle, live, cfg);
-        let chunks = (rayon::current_num_threads() * 8).max(1) as u64;
-        let chunk_len = total.div_ceil(chunks);
-        let (mut segments, mut stats) = (0..chunks)
+        let pieces = split_ranges(&work, rayon::current_num_threads() * 8);
+        let results: Vec<_> = pieces
             .into_par_iter()
-            .map(|ci| {
-                let lo = ci * chunk_len;
-                let hi = ((ci + 1) * chunk_len).min(total);
+            .map(|(lo, hi)| {
                 let mut local = oracle.clone();
                 let mut caches: Vec<Option<CertCache>> =
                     seeds.iter().map(|s| seeded_cache(cfg, s)).collect();
                 let mut stats = SweepStats::default();
-                let masks = table_range(&mut local, &mut caches, live, lo, hi, &mut stats);
-                (vec![(lo, masks)], stats)
+                let (seg, stop) = table_range_guarded(
+                    &mut local,
+                    &mut caches,
+                    live,
+                    lo,
+                    hi,
+                    sentinel,
+                    &mut stats,
+                );
+                (lo, seg, stop.map(|s| (s, hi)), stats)
             })
-            .reduce(
-                || (Vec::new(), SweepStats::default()),
-                |mut a, mut b| {
-                    a.0.append(&mut b.0);
-                    a.1.merge(&b.1);
-                    a
-                },
-            );
-        segments.sort_by_key(|&(lo, _)| lo);
-        stats.merge(&seed_stats);
-        (segments.into_iter().flat_map(|(_, v)| v).collect(), stats)
+            .collect_vec();
+        let mut stats = seed_stats;
+        let mut remaining = Vec::new();
+        for (lo, seg, leftover, st) in results {
+            let done = leftover.map_or(lo + seg.len() as u64, |(s, _)| s);
+            masks[lo as usize..done as usize].copy_from_slice(&seg[..(done - lo) as usize]);
+            remaining.extend(leftover);
+            stats.merge(&st);
+        }
+        let partial = PartialTable {
+            masks,
+            remaining: coalesce(remaining),
+        };
+        (partial, stats)
     } else {
         let mut local = oracle.clone();
         let mut caches: Vec<Option<CertCache>> = live.iter().map(|_| cfg.cache()).collect();
         let mut stats = SweepStats::default();
-        let masks = table_range(&mut local, &mut caches, live, 0, total, &mut stats);
-        (masks, stats)
+        let mut remaining = Vec::new();
+        for (k, &(lo, hi)) in work.iter().enumerate() {
+            let (seg, stop) =
+                table_range_guarded(&mut local, &mut caches, live, lo, hi, sentinel, &mut stats);
+            let done = stop.unwrap_or(hi);
+            masks[lo as usize..done as usize].copy_from_slice(&seg[..(done - lo) as usize]);
+            if let Some(s) = stop {
+                remaining.push((s, hi));
+                remaining.extend_from_slice(&work[k + 1..]);
+                break;
+            }
+        }
+        let partial = PartialTable { masks, remaining };
+        (partial, stats)
     }
 }
 
-/// One worker's share of [`sweep_table`].
-fn table_range(
+/// One worker's share of [`sweep_table_budgeted`]: config-major over
+/// sub-batches of [`BATCH`] configurations, all live assignments per batch.
+/// Returns the segment for `lo..hi` (zeros past the stop cursor) and the
+/// stop cursor, if any.
+fn table_range_guarded(
     oracle: &mut SideOracle,
     caches: &mut [Option<CertCache>],
     live: &[usize],
     lo: u64,
     hi: u64,
+    sentinel: &BudgetSentinel,
     stats: &mut SweepStats,
-) -> Vec<u32> {
+) -> (Vec<u32>, Option<u64>) {
     let m = oracle.edge_count();
-    let mut masks = vec![0u32; (hi - lo) as usize];
-    for (idx, &j) in live.iter().enumerate() {
-        oracle.set_assignment(j);
-        let cache = &mut caches[idx];
-        for c in lo..hi {
-            if classify_or_solve(oracle, cache, EdgeMask::from_bits(c, m), stats) {
-                masks[(c - lo) as usize] |= 1 << j;
+    let unit = live.len().max(1) as u64;
+    let mut seg = vec![0u32; (hi - lo) as usize];
+    let mut c0 = lo;
+    while c0 < hi {
+        let granted = sentinel.grant(unit, (hi - c0).min(BATCH));
+        if granted == 0 {
+            return (seg, Some(c0));
+        }
+        let c1 = c0 + granted;
+        for (idx, &j) in live.iter().enumerate() {
+            oracle.set_assignment(j);
+            let cache = &mut caches[idx];
+            for c in c0..c1 {
+                if classify_or_solve(oracle, cache, EdgeMask::from_bits(c, m), stats) {
+                    seg[(c - lo) as usize] |= 1 << j;
+                }
             }
         }
+        c0 = c1;
     }
-    masks
+    (seg, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::Budget;
     use crate::demand::FlowDemand;
     use maxflow::SolverKind;
     use netgraph::{GraphKind, Network, NetworkBuilder, NodeId};
@@ -673,6 +1049,28 @@ mod tests {
         let empty: Vec<(f64, f64)> = Vec::new();
         let wt0 = WeightTable::new(&empty);
         assert!((wt0.weight(0, &wt0.high_product(&empty, 0)) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn coalesce_merges_and_sorts() {
+        assert_eq!(coalesce(vec![]), vec![]);
+        assert_eq!(coalesce(vec![(5, 5), (3, 3)]), vec![]);
+        assert_eq!(
+            coalesce(vec![(8, 10), (0, 4), (4, 6)]),
+            vec![(0, 6), (8, 10)]
+        );
+        assert_eq!(coalesce(vec![(0, 5), (2, 3), (4, 9)]), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        let work = vec![(0u64, 10u64), (20, 23)];
+        let pieces = split_ranges(&work, 4);
+        assert_eq!(ranges_len(&pieces), 13);
+        assert_eq!(coalesce(pieces), work);
+        assert!(split_ranges(&[], 4).is_empty());
+        // one part: ranges come back as-is
+        assert_eq!(split_ranges(&work, 1), work);
     }
 
     fn diamond() -> Network {
@@ -756,5 +1154,100 @@ mod tests {
         let expected = 1.0 - (1.0 - 0.7) * (1.0 - 0.8 * 0.6);
         assert!((r - expected).abs() < 1e-12, "{r} vs {expected}");
         assert_eq!(stats.configs, 8);
+    }
+
+    #[test]
+    fn budgeted_sum_stops_and_resumes_bit_identical() {
+        let net = diamond();
+        let d = FlowDemand::new(NodeId(0), NodeId(3), 1);
+        let oracle = DemandOracle::new(&net, d.source, d.sink, d.demand, SolverKind::Dinic);
+        let fallible: Vec<usize> = (0..4).collect();
+        let weights: Vec<(f64, f64)> = net
+            .edges()
+            .iter()
+            .map(|e| (1.0 - e.fail_prob, e.fail_prob))
+            .collect();
+        let geom = SweepGeometry {
+            fallible: &fallible,
+            pinned: 0,
+            edge_count: 4,
+        };
+        let cfg = SweepConfig {
+            parallel: false,
+            certificates: true,
+            cache_size: 8,
+        };
+        let (full, _) = sweep_sum::<f64, CompensatedAcc, _>(&oracle, &geom, &weights, &cfg);
+
+        // resume in slices of at most 5 configurations each
+        let mut partial: Option<PartialSum<CompensatedAcc>> = None;
+        let mut rounds = 0;
+        loop {
+            let budget = Budget {
+                max_configs: Some(5),
+                ..Default::default()
+            };
+            let sentinel = budget.start();
+            let (p, _) = sweep_sum_budgeted::<f64, CompensatedAcc, _>(
+                &oracle,
+                &geom,
+                &weights,
+                &cfg,
+                &sentinel,
+                partial.take(),
+            );
+            rounds += 1;
+            if p.is_complete() {
+                assert_eq!(
+                    p.feasible.finish().to_bits(),
+                    full.to_bits(),
+                    "serial resume must be bit-identical"
+                );
+                break;
+            }
+            assert!(p.remaining_configs() < 16);
+            partial = Some(p);
+        }
+        assert!(
+            rounds >= 3,
+            "16 configs in 5-config slices: {rounds} rounds"
+        );
+    }
+
+    #[test]
+    fn partial_sum_bounds_bracket_the_exact_value() {
+        let net = diamond();
+        let d = FlowDemand::new(NodeId(0), NodeId(3), 1);
+        let oracle = DemandOracle::new(&net, d.source, d.sink, d.demand, SolverKind::Dinic);
+        let fallible: Vec<usize> = (0..4).collect();
+        let weights: Vec<(f64, f64)> = net
+            .edges()
+            .iter()
+            .map(|e| (1.0 - e.fail_prob, e.fail_prob))
+            .collect();
+        let geom = SweepGeometry {
+            fallible: &fallible,
+            pinned: 0,
+            edge_count: 4,
+        };
+        let cfg = SweepConfig::serial();
+        let (exact, _) = sweep_sum::<f64, CompensatedAcc, _>(&oracle, &geom, &weights, &cfg);
+        for cut in 1..16u64 {
+            let budget = Budget {
+                max_configs: Some(cut),
+                ..Default::default()
+            };
+            let sentinel = budget.start();
+            let (p, _) = sweep_sum_budgeted::<f64, CompensatedAcc, _>(
+                &oracle, &geom, &weights, &cfg, &sentinel, None,
+            );
+            let r_low = p.feasible.state().0 + p.feasible.state().1;
+            let explored = p.explored.state().0 + p.explored.state().1;
+            let r_high = (r_low + (1.0 - explored).max(0.0)).min(1.0);
+            assert!(
+                r_low <= exact + 1e-12 && exact <= r_high + 1e-12,
+                "cut={cut}: [{r_low}, {r_high}] must bracket {exact}"
+            );
+        }
     }
 }

@@ -133,7 +133,7 @@ mod tests {
     fn table_records_monotone_realizations() {
         let side = simple_side();
         let assignments = vec![asg(&[1]), asg(&[2])];
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let t = RealizationTable::build(&mut o, 10, 10, true).unwrap();
         assert_eq!(t.masks.len(), 4);
         // config 00: nothing; 01/10: assignment (1) only; 11: both
@@ -149,9 +149,9 @@ mod tests {
         let side = simple_side();
         // (3) is infeasible even with both links alive
         let assignments = vec![asg(&[1]), asg(&[3])];
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let pruned = RealizationTable::build(&mut o, 10, 10, true).unwrap();
-        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let full = RealizationTable::build(&mut o2, 10, 10, false).unwrap();
         assert_eq!(pruned, full);
     }
@@ -160,10 +160,10 @@ mod tests {
     fn certificates_do_not_change_the_table() {
         let side = simple_side();
         let assignments = vec![asg(&[1]), asg(&[2])];
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let (plain, s0) =
             RealizationTable::build_with(&mut o, 10, 10, true, &SweepConfig::serial()).unwrap();
-        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let cfg = SweepConfig {
             parallel: false,
             certificates: true,
@@ -179,12 +179,12 @@ mod tests {
     fn bounds_enforced() {
         let side = simple_side();
         let assignments = vec![asg(&[1])];
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         assert!(matches!(
             RealizationTable::build(&mut o, 1, 10, true),
             Err(ReliabilityError::SideTooLarge { count: 2, max: 1 })
         ));
-        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic);
+        let mut o = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         assert!(matches!(
             RealizationTable::build(&mut o, 10, 0, true),
             Err(ReliabilityError::TooManyAssignments { .. })

@@ -273,13 +273,20 @@ impl BigUint {
         if other.is_zero() {
             return self.clone();
         }
-        let za = self.trailing_zeros().expect("nonzero");
-        let zb = other.trailing_zeros().expect("nonzero");
+        let za = self
+            .trailing_zeros()
+            .unwrap_or_else(|| unreachable!("nonzero"));
+        let zb = other
+            .trailing_zeros()
+            .unwrap_or_else(|| unreachable!("nonzero"));
         let shift = za.min(zb);
         let mut a = self.shr(za);
         let mut b = other.clone();
         loop {
-            b = b.shr(b.trailing_zeros().expect("nonzero"));
+            b = b.shr(
+                b.trailing_zeros()
+                    .unwrap_or_else(|| unreachable!("nonzero")),
+            );
             if a > b {
                 std::mem::swap(&mut a, &mut b);
             }
@@ -344,7 +351,10 @@ impl BigUint {
             chunks.push(r);
             cur = q;
         }
-        let mut out = chunks.pop().expect("nonzero").to_string();
+        let mut out = chunks
+            .pop()
+            .unwrap_or_else(|| unreachable!("nonzero"))
+            .to_string();
         for chunk in chunks.into_iter().rev() {
             out.push_str(&format!("{chunk:019}"));
         }

@@ -41,6 +41,18 @@ impl NeumaierSum {
     pub fn total(&self) -> f64 {
         self.sum + self.comp
     }
+
+    /// The internal `(sum, compensation)` state, for checkpointing a running
+    /// accumulation. Restoring via [`NeumaierSum::from_parts`] and continuing
+    /// reproduces the uninterrupted sequential sum bit for bit.
+    pub fn parts(&self) -> (f64, f64) {
+        (self.sum, self.comp)
+    }
+
+    /// Rebuilds an accumulator from a saved [`NeumaierSum::parts`] state.
+    pub fn from_parts(sum: f64, comp: f64) -> Self {
+        NeumaierSum { sum, comp }
+    }
 }
 
 impl FromIterator<f64> for NeumaierSum {
@@ -84,6 +96,22 @@ mod tests {
         let exact = 1.0 + n as f64 * tiny;
         assert!((comp.total() - exact).abs() <= (naive - exact).abs());
         assert!((comp.total() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parts_roundtrip_is_bit_identical() {
+        let xs: Vec<f64> = (0..100).map(|i| 1.0 / (i as f64 + 3.0)).collect();
+        let full: NeumaierSum = xs.iter().copied().collect();
+        let mut head = NeumaierSum::new();
+        for &x in &xs[..37] {
+            head.add(x);
+        }
+        let (sum, comp) = head.parts();
+        let mut resumed = NeumaierSum::from_parts(sum, comp);
+        for &x in &xs[37..] {
+            resumed.add(x);
+        }
+        assert_eq!(resumed.total().to_bits(), full.total().to_bits());
     }
 
     #[test]

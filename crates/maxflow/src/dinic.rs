@@ -49,7 +49,7 @@ impl Dinic {
                     .iter()
                     .map(|&a| g.residual(a))
                     .min()
-                    .expect("path to t cannot be empty")
+                    .unwrap_or_else(|| unreachable!("path to t cannot be empty"))
                     .min(limit - total);
                 for &a in &path {
                     g.push(a, aug);
@@ -90,7 +90,9 @@ impl Dinic {
             if u == s {
                 break;
             }
-            let arc = path.pop().expect("non-source dead end must have a path");
+            let arc = path
+                .pop()
+                .unwrap_or_else(|| unreachable!("non-source dead end must have a path"));
             u = g.arc_tail(arc);
             iter[u] += 1; // skip the arc that led to the dead end
         }

@@ -27,7 +27,7 @@ fn main() {
     let calc = ReliabilityCalculator::new();
     for d in 1..=4 {
         let demand = FlowDemand::new(s, t, d);
-        let report = calc.run(&net, demand).expect("reliability");
+        let report = calc.run_complete(&net, demand).expect("reliability");
         println!(
             "demand d={d}: reliability = {:.6}   (via {})",
             report.reliability, report.algorithm
@@ -37,7 +37,7 @@ fn main() {
     // force the naive baseline to confirm
     let naive = ReliabilityCalculator::new()
         .with_strategy(Strategy::Naive)
-        .run(&net, FlowDemand::new(s, t, 2))
+        .run_complete(&net, FlowDemand::new(s, t, 2))
         .unwrap();
     println!("naive check at d=2: {:.6}", naive.reliability);
 }

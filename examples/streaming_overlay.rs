@@ -12,7 +12,7 @@ use flowrel::overlay::{
 fn reliability_at_last_peer(sc: &StreamingScenario, demand: u64) -> f64 {
     let sub = *sc.peers.last().expect("at least one peer");
     ReliabilityCalculator::new()
-        .run(&sc.net, FlowDemand::new(sc.server, sub, demand))
+        .run_complete(&sc.net, FlowDemand::new(sc.server, sub, demand))
         .expect("reliability")
         .reliability
 }

@@ -41,10 +41,10 @@ pub fn reliability_profile(
 ) -> Result<ReliabilityProfile, ReliabilityError> {
     let calc = ReliabilityCalculator::new()
         .with_strategy(Strategy::Auto)
-        .with_options(*opts);
+        .with_options(opts.clone());
     let mut per_peer = Vec::with_capacity(sc.peers.len());
     for &p in &sc.peers {
-        let report = calc.run(&sc.net, FlowDemand::new(sc.server, p, rate))?;
+        let report = calc.run_complete(&sc.net, FlowDemand::new(sc.server, p, rate))?;
         per_peer.push((p, report.reliability));
     }
     Ok(ReliabilityProfile { per_peer, rate })

@@ -75,7 +75,7 @@ fn mesh_reliability_grows_with_degree() {
         let sc = random_mesh(&ps, neighbors, 1, &churn, 42);
         let sub = *sc.peers.last().unwrap();
         let rep = calc
-            .run(&sc.net, FlowDemand::new(sc.server, sub, 1))
+            .run_complete(&sc.net, FlowDemand::new(sc.server, sub, 1))
             .unwrap();
         assert!(
             rep.reliability >= last - 1e-9,
@@ -99,7 +99,7 @@ fn calculator_exploits_tree_bottleneck() {
     let sc = single_tree(&ps, 2, 1, &churn);
     let sub = *sc.peers.last().unwrap();
     let rep = ReliabilityCalculator::new()
-        .run(&sc.net, FlowDemand::new(sc.server, sub, 1))
+        .run_complete(&sc.net, FlowDemand::new(sc.server, sub, 1))
         .unwrap();
     assert_eq!(rep.algorithm, "auto:bottleneck");
     // tree reliability to a depth-2 peer = product of path survivals

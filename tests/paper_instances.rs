@@ -86,7 +86,8 @@ fn fig5_configurations_realize_paper_sets() {
     let amounts: Vec<Vec<i64>> = assignments.iter().map(|a| a.amounts.clone()).collect();
     assert_eq!(amounts, vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
 
-    let mut oracle = SideOracle::new(&dec.side_s, &assignments, maxflow::SolverKind::Dinic);
+    let mut oracle =
+        SideOracle::new(&dec.side_s, &assignments, maxflow::SolverKind::Dinic).unwrap();
     let table = RealizationTable::build(&mut oracle, 26, 20, false).unwrap();
 
     for (alive, expected) in paper::fig5_configurations() {
@@ -112,7 +113,8 @@ fn fig4_array_dimensions_match_section_3c() {
     let set = validate_bottleneck_set(&inst.net, d.source, d.sink, &cut).unwrap();
     let dec = decompose(&inst.net, &d, &set);
     let assignments = enumerate_assignments(2, &[(0i64, 2), (0, 2)]);
-    let mut oracle = SideOracle::new(&dec.side_s, &assignments, maxflow::SolverKind::Dinic);
+    let mut oracle =
+        SideOracle::new(&dec.side_s, &assignments, maxflow::SolverKind::Dinic).unwrap();
     let table = RealizationTable::build(&mut oracle, 26, 20, false).unwrap();
     assert_eq!(table.masks.len(), 1 << 5, "2^{{|E_s|}} entries");
     assert_eq!(table.assign_count, 3, "|D|-bit entries");

@@ -136,7 +136,7 @@ fn certificate_hits_never_change_spectrum_masses() {
         let dec = decompose(&net, &d, &set);
         for side in [&dec.side_s, &dec.side_t] {
             let weights = flowrel::core::edge_weights(&side.net);
-            let mut o = SideOracle::new(side, &assignments, Default::default());
+            let mut o = SideOracle::new(side, &assignments, Default::default()).unwrap();
             let (plain, _) = RealizationSpectrum::build_with(
                 &mut o,
                 &weights,
@@ -146,7 +146,7 @@ fn certificate_hits_never_change_spectrum_masses() {
                 &SweepConfig::serial(),
             )
             .unwrap();
-            let mut o2 = SideOracle::new(side, &assignments, Default::default());
+            let mut o2 = SideOracle::new(side, &assignments, Default::default()).unwrap();
             let cfg = SweepConfig {
                 parallel: false,
                 certificates: true,

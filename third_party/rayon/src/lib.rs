@@ -30,7 +30,7 @@ where
     std::thread::scope(|s| {
         let hb = s.spawn(b);
         let ra = a();
-        let rb = hb.join().expect("rayon::join closure panicked");
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
         (ra, rb)
     })
 }
@@ -120,7 +120,7 @@ pub mod iter {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("parallel worker panicked"))
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                     .collect()
             });
             partials.into_iter().fold(identity(), &op)
@@ -148,7 +148,7 @@ pub mod iter {
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("parallel worker panicked"))
+                    .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                     .collect()
             })
         }
