@@ -1,17 +1,23 @@
 //! Sweep-engine benchmark: measures what the shared configuration-sweep
 //! engine ([`flowrel_core::sweep`]) buys on the naive and bottleneck paths —
 //! wall time, configurations per second, solver calls avoided by
-//! monotonicity certificates, and cache hit rates — and emits the results as
-//! machine-readable JSON (`BENCH_sweep.json`).
+//! monotonicity certificates, warm-flow repairs by the incremental oracle —
+//! and emits the results as machine-readable JSON (`BENCH_sweep.json`).
 //!
-//! Usage: `bench_sweep [output.json]`
+//! Usage: `bench_sweep [--smoke] [output.json]`
+//!
+//! `--smoke` runs one rep on small graphs: a seconds-scale CI check that the
+//! full mode matrix still executes and agrees, not a measurement.
 
 use std::time::Instant;
 
-use flowrel_bench::{barbell_with_edges, demand_of, ring_barbell};
+use flowrel_bench::{barbell_with_edges, demand_of, ring_barbell, tight_barbell};
 use flowrel_core::algorithm::reliability_bottleneck_weighted;
 use flowrel_core::weight::edge_weights;
 use flowrel_core::{reliability_naive_with_stats, CalcOptions, SweepStats};
+
+/// Naive enumeration is skipped above this many links (2^|E| solves).
+const NAIVE_MAX_EDGES: usize = 20;
 
 /// One timed run: (reliability, stats, wall seconds). Best of `reps`.
 fn time_best<F: FnMut() -> (f64, SweepStats)>(reps: usize, mut f: F) -> (f64, SweepStats, f64) {
@@ -27,6 +33,7 @@ fn time_best<F: FnMut() -> (f64, SweepStats)>(reps: usize, mut f: F) -> (f64, Sw
 
 struct ModeRow {
     label: &'static str,
+    solver: &'static str,
     reliability: f64,
     stats: SweepStats,
     seconds: f64,
@@ -40,54 +47,96 @@ fn mode_json(m: &ModeRow, baseline_seconds: f64) -> String {
     };
     format!(
         concat!(
-            "{{\"mode\": \"{}\", \"wall_seconds\": {:.6}, \"configs\": {}, ",
-            "\"configs_per_sec\": {:.1}, \"solver_calls\": {}, ",
+            "{{\"mode\": \"{}\", \"solver\": \"{}\", \"wall_seconds\": {:.6}, ",
+            "\"configs\": {}, \"configs_per_sec\": {:.1}, \"solver_calls\": {}, ",
             "\"solver_calls_avoided\": {}, \"cache_hit_rate\": {:.4}, ",
+            "\"flips\": {}, \"repairs\": {}, \"full_resolves\": {}, ",
             "\"speedup_vs_baseline\": {:.3}}}"
         ),
         m.label,
+        m.solver,
         m.seconds,
         m.stats.configs,
         cps,
         m.stats.solver_calls,
         m.stats.solver_calls_avoided(),
         m.stats.hit_rate(),
+        m.stats.flips,
+        m.stats.repairs,
+        m.stats.full_resolves,
         baseline_seconds / m.seconds.max(1e-12),
     )
 }
 
-fn opts(parallel: bool, certs: bool) -> CalcOptions {
+fn opts(parallel: bool, certs: bool, incremental: bool) -> CalcOptions {
     CalcOptions {
         parallel,
         certificate_cache: certs,
+        incremental,
         ..Default::default()
     }
 }
 
-const MODES: [(&str, bool, bool); 4] = [
-    ("serial", false, false),
-    ("serial+certs", false, true),
-    ("parallel", true, false),
-    ("parallel+certs", true, true),
+/// (label, parallel, certificates, incremental). The first four reproduce
+/// the historical modes (incremental off, since the option now defaults on);
+/// the last two measure what warm-flow repair adds on top.
+const MODES: [(&str, bool, bool, bool); 7] = [
+    ("serial", false, false, false),
+    ("serial+certs", false, true, false),
+    ("parallel", true, false, false),
+    ("parallel+certs", true, true, false),
+    ("serial+incremental", false, false, true),
+    ("serial+certs+incremental", false, true, true),
+    ("parallel+certs+incremental", true, true, true),
 ];
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
-    let reps = 3;
+    let mut smoke = false;
+    let mut out_path = "BENCH_sweep.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench_sweep [--smoke] [output.json]");
+                return;
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    let reps = if smoke { 1 } else { 3 };
     let mut cases = Vec::new();
 
     let mut graphs = Vec::new();
-    for (target_edges, k, demand, seed) in [(18usize, 2usize, 2u64, 21u64), (20, 3, 2, 7)] {
+    let barbells: &[(usize, usize, u64, u64)] = if smoke {
+        &[(14, 2, 2, 21)]
+    } else {
+        &[(18, 2, 2, 21), (20, 3, 2, 7)]
+    };
+    for &(target_edges, k, demand, seed) in barbells {
         let (inst, cut) = barbell_with_edges(target_edges, k, demand, seed);
         graphs.push(("barbell", inst, cut));
     }
     // capacity-tight rings: every link is a unit-capacity bottleneck, the
     // regime where saturated-cut certificates refute the most configurations
-    for (cluster_nodes, k, seed) in [(11usize, 4usize, 5u64), (13, 4, 9)] {
+    let rings: &[(usize, usize, u64)] = if smoke {
+        &[(7, 3, 5)]
+    } else {
+        &[(11, 4, 5), (13, 4, 9)]
+    };
+    for &(cluster_nodes, k, seed) in rings {
         let (inst, cut) = ring_barbell(cluster_nodes, k, seed);
         graphs.push(("ring", inst, cut));
+    }
+    // demand pinned to the all-alive max flow: the certificate-hostile
+    // regime where warm-flow repair has to carry the sweep
+    let tights: &[(usize, usize, usize, u64)] = if smoke {
+        &[(4, 1, 3, 11)]
+    } else {
+        &[(6, 2, 4, 11), (7, 3, 4, 3)]
+    };
+    for &(n, extra, k, seed) in tights {
+        let (inst, cut) = tight_barbell(n, extra, k, seed);
+        graphs.push(("tight", inst, cut));
     }
 
     for (family, inst, cut) in graphs {
@@ -102,19 +151,23 @@ fn main() {
         // --- naive path (skipped for the larger graphs: 2^|E| is the point
         // of the bottleneck algorithm) ---
         let mut naive_rows = Vec::new();
-        if edges <= 20 {
-            for (label, par, certs) in MODES {
-                let o = opts(par, certs);
+        let naive_skipped = edges > NAIVE_MAX_EDGES;
+        if !naive_skipped {
+            for (label, par, certs, incr) in MODES {
+                let o = opts(par, certs, incr);
+                let solver = o.solver.name();
                 let (r, stats, secs) = time_best(reps, || {
                     reliability_naive_with_stats(&inst.net, d, &o).expect("naive")
                 });
                 eprintln!(
-                    "  naive {label:>15}: {secs:>9.4}s  R={r:.9}  solves={} avoided={}",
+                    "  naive {label:>26}: {secs:>9.4}s  R={r:.9}  solves={} avoided={} repairs={}",
                     stats.solver_calls,
-                    stats.solver_calls_avoided()
+                    stats.solver_calls_avoided(),
+                    stats.repairs,
                 );
                 naive_rows.push(ModeRow {
                     label,
+                    solver,
                     reliability: r,
                     stats,
                     seconds: secs,
@@ -124,20 +177,23 @@ fn main() {
 
         // --- bottleneck path ---
         let mut bn_rows = Vec::new();
-        for (label, par, certs) in MODES {
-            let o = opts(par, certs);
+        for (label, par, certs, incr) in MODES {
+            let o = opts(par, certs, incr);
+            let solver = o.solver.name();
             let (r, stats, secs) = time_best(reps, || {
                 let (r, report) = reliability_bottleneck_weighted(&inst.net, d, &cut, &weights, &o)
                     .expect("bottleneck");
                 (r, report.sweep)
             });
             eprintln!(
-                "  bottleneck {label:>10}: {secs:>9.4}s  R={r:.9}  solves={} avoided={}",
+                "  bottleneck {label:>21}: {secs:>9.4}s  R={r:.9}  solves={} avoided={} repairs={}",
                 stats.solver_calls,
-                stats.solver_calls_avoided()
+                stats.solver_calls_avoided(),
+                stats.repairs,
             );
             bn_rows.push(ModeRow {
                 label,
+                solver,
                 reliability: r,
                 stats,
                 seconds: secs,
@@ -156,16 +212,26 @@ fn main() {
             );
         }
 
+        // an explicit skip marker, so a reader of the JSON can tell "not run"
+        // from "ran and produced nothing"
+        let naive_json = if naive_skipped {
+            format!("{{\"skipped\": \"2^{edges} configs over naive budget\"}}")
+        } else {
+            format!(
+                "[\n    {}\n   ]",
+                naive_rows
+                    .iter()
+                    .map(|m| mode_json(m, naive_rows[0].seconds))
+                    .collect::<Vec<_>>()
+                    .join(",\n    ")
+            )
+        };
         let base_bn = bn_rows[0].seconds;
-        let naive_json: Vec<String> = naive_rows
-            .iter()
-            .map(|m| mode_json(m, naive_rows[0].seconds))
-            .collect();
         let bn_json: Vec<String> = bn_rows.iter().map(|m| mode_json(m, base_bn)).collect();
         cases.push(format!(
             concat!(
                 "  {{\"case\": \"{}\", \"edges\": {}, \"cut_links\": {}, \"demand\": {}, ",
-                "\"reliability\": {:.12},\n   \"naive\": [\n    {}\n   ],\n",
+                "\"reliability\": {:.12},\n   \"naive\": {},\n",
                 "   \"bottleneck\": [\n    {}\n   ]}}"
             ),
             name,
@@ -173,13 +239,14 @@ fn main() {
             k,
             demand,
             r0,
-            naive_json.join(",\n    "),
+            naive_json,
             bn_json.join(",\n    "),
         ));
     }
 
     let json = format!(
-        "{{\n \"bench\": \"sweep_engine\",\n \"threads\": {},\n \"cases\": [\n{}\n ]\n}}\n",
+        "{{\n \"bench\": \"sweep_engine\",\n \"smoke\": {},\n \"threads\": {},\n \"cases\": [\n{}\n ]\n}}\n",
+        smoke,
         rayon_threads(),
         cases.join(",\n")
     );

@@ -150,6 +150,74 @@ pub fn ring_barbell(
     )
 }
 
+/// A capacity-tight barbell: two random clusters with link capacities 1–2
+/// joined by `k` unit-capacity cut links, demand pinned to the all-alive max
+/// flow. Every configuration sits on the feasibility boundary, so verdicts
+/// depend on *capacity sums* across many distinct near-minimal cuts — the
+/// regime where a bounded certificate cache misses most and warm-flow repair
+/// carries the sweep.
+pub fn tight_barbell(
+    cluster_nodes: usize,
+    cluster_extra: usize,
+    k: usize,
+    seed: u64,
+) -> (Instance, Vec<netgraph::EdgeId>) {
+    use netgraph::{GraphKind, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(cluster_nodes >= 2 && k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let cluster = |b: &mut NetworkBuilder, rng: &mut StdRng| {
+        let ids = b.add_nodes(cluster_nodes);
+        for i in 1..cluster_nodes {
+            let parent = rng.gen_range(0..i);
+            let p = rng.gen_range(2..16) as f64 / 64.0;
+            b.add_edge(ids[parent], ids[i], rng.gen_range(1..=2), p)
+                .expect("edge");
+        }
+        let mut added = 0;
+        while added < cluster_extra {
+            let u = rng.gen_range(0..cluster_nodes);
+            let v = rng.gen_range(0..cluster_nodes);
+            if u == v {
+                continue;
+            }
+            let p = rng.gen_range(2..16) as f64 / 64.0;
+            b.add_edge(ids[u], ids[v], rng.gen_range(1..=2), p)
+                .expect("edge");
+            added += 1;
+        }
+        ids
+    };
+    let left = cluster(&mut b, &mut rng);
+    let right = cluster(&mut b, &mut rng);
+    let mut cut = Vec::new();
+    for _ in 0..k {
+        let u = left[rng.gen_range(0..left.len())];
+        let v = right[rng.gen_range(0..right.len())];
+        let p = rng.gen_range(2..16) as f64 / 64.0;
+        cut.push(b.add_edge(u, v, 1, p).expect("edge"));
+    }
+    let net = b.build();
+    let source = left[0];
+    let sink = *right.last().expect("non-empty cluster");
+    // pin the demand to the all-alive max flow: every link failure now
+    // threatens feasibility, which is exactly the hard regime
+    let mut probe =
+        flowrel_core::DemandOracle::new(&net, source, sink, 1, maxflow::SolverKind::Dinic);
+    let demand = probe.max_flow_all_alive().max(1);
+    (
+        Instance {
+            net,
+            source,
+            sink,
+            demand,
+        },
+        cut,
+    )
+}
+
 /// Demand triple of an instance.
 pub fn demand_of(inst: &Instance) -> FlowDemand {
     FlowDemand::new(inst.source, inst.sink, inst.demand)

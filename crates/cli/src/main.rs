@@ -150,7 +150,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp] [--exact] [--parallel] [--no-certs]\n  \
-         {:17}[--timeout SECS] [--max-configs N] [--checkpoint PATH] [--resume PATH]\n  \
+         {:17}[--no-incremental] [--parallel-threshold N] [--timeout SECS] [--max-configs N]\n  \
+         {:17}[--checkpoint PATH] [--resume PATH]\n  \
          flowrel analyze <file.fnet> [--max-k K]\n  \
          flowrel importance <file.fnet>\n  \
          flowrel mc <file.fnet> [--samples N] [--seed S]\n  \
@@ -159,6 +160,7 @@ fn usage() -> ExitCode {
          flowrel generate grid <w> <h> <seed>\n  \
          flowrel generate mesh <peers> <neighbors> <rate> <seed>\n  \
          flowrel dot <file.fnet>",
+        "",
         ""
     );
     ExitCode::from(2)
@@ -217,15 +219,24 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
     let checkpoint_path =
         flag_value(args, "--checkpoint").unwrap_or_else(|| format!("{path}.ckpt"));
     let cancel: CancelToken = sigint::install();
+    let parallel_threshold = flag_value(args, "--parallel-threshold")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| CliError::usage("bad --parallel-threshold (want a config count)"))
+        })
+        .transpose()?;
+    let defaults = CalcOptions::default();
     let opts = CalcOptions {
         parallel: args.iter().any(|a| a == "--parallel"),
         certificate_cache: !args.iter().any(|a| a == "--no-certs"),
+        incremental: !args.iter().any(|a| a == "--no-incremental"),
+        parallel_threshold: parallel_threshold.unwrap_or(defaults.parallel_threshold),
         budget: Budget {
             time_limit,
             max_configs,
             cancel: Some(cancel),
         },
-        ..Default::default()
+        ..defaults
     };
     let calc = ReliabilityCalculator::new()
         .with_strategy(strategy)
@@ -279,6 +290,12 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
                 b.sweep.solver_calls,
                 b.sweep.solver_calls_avoided(),
                 100.0 * b.sweep.hit_rate()
+            );
+        }
+        if b.sweep.flips > 0 || b.sweep.full_resolves > 0 {
+            println!(
+                "warm repair: {} edge flips absorbed, {} paths cancelled, {} full re-solves",
+                b.sweep.flips, b.sweep.repairs, b.sweep.full_resolves
             );
         }
     }

@@ -50,6 +50,18 @@ pub struct CertCache {
     cap: usize,
     next_feasible: usize,
     next_infeasible: usize,
+    /// Scan the infeasible certificates first. Adaptive: set to whichever
+    /// kind hit last, so a sweep dominated by one verdict (e.g. the mostly
+    /// infeasible tail of a tight instance) pays one short scan per config
+    /// instead of exhausting the other kind's list first. A correct
+    /// certificate pair can never match the same configuration both ways, so
+    /// the order changes cost only, never the verdict.
+    infeasible_first: bool,
+    /// Bitmask of unit-capacity edges, derived from the first `classify`
+    /// call's `caps` (capacities never change within a cache's lifetime). A
+    /// cut certificate whose crossing edges are all unit-capacity is checked
+    /// with one popcount instead of the per-edge capacity-sum walk.
+    unit_caps: Option<u64>,
 }
 
 impl CertCache {
@@ -62,6 +74,8 @@ impl CertCache {
             cap,
             next_feasible: 0,
             next_infeasible: 0,
+            infeasible_first: false,
+            unit_caps: None,
         }
     }
 
@@ -70,23 +84,50 @@ impl CertCache {
     /// capacity of edge `i` — cut certificates refute any configuration whose
     /// alive crossing edges cannot carry the certificate's `needed` flow.
     pub fn classify(&mut self, bits: u64, caps: &[u64]) -> Option<bool> {
+        if self.infeasible_first {
+            self.classify_infeasible(bits, caps)
+                .or_else(|| self.classify_feasible(bits))
+        } else {
+            self.classify_feasible(bits)
+                .or_else(|| self.classify_infeasible(bits, caps))
+        }
+    }
+
+    fn classify_feasible(&mut self, bits: u64) -> Option<bool> {
         for i in 0..self.feasible.len() {
             if self.feasible[i] & !bits == 0 {
                 self.feasible.swap(0, i);
+                self.infeasible_first = false;
                 return Some(true);
             }
         }
+        None
+    }
+
+    fn classify_infeasible(&mut self, bits: u64, caps: &[u64]) -> Option<bool> {
+        let unit = *self.unit_caps.get_or_insert_with(|| {
+            caps.iter()
+                .enumerate()
+                .filter(|&(_, &c)| c == 1)
+                .fold(0u64, |m, (i, _)| m | (1u64 << i))
+        });
         for i in 0..self.infeasible.len() {
             let (crossing, needed) = self.infeasible[i];
-            let mut alive = bits & crossing;
-            let mut capacity = 0u64;
-            while alive != 0 && capacity < needed {
-                let e = alive.trailing_zeros() as usize;
-                alive &= alive - 1;
-                capacity += caps[e];
-            }
-            if capacity < needed {
+            let refuted = if crossing & !unit == 0 {
+                u64::from((bits & crossing).count_ones()) < needed
+            } else {
+                let mut alive = bits & crossing;
+                let mut capacity = 0u64;
+                while alive != 0 && capacity < needed {
+                    let e = alive.trailing_zeros() as usize;
+                    alive &= alive - 1;
+                    capacity += caps[e];
+                }
+                capacity < needed
+            };
+            if refuted {
                 self.infeasible.swap(0, i);
+                self.infeasible_first = true;
                 return Some(false);
             }
         }
@@ -168,6 +209,13 @@ pub struct SweepStats {
     pub feasible_hits: u64,
     /// Configurations classified infeasible by a cached certificate.
     pub infeasible_hits: u64,
+    /// Link flips applied to a warm flow by the incremental oracle.
+    pub flips: u64,
+    /// Warm verdicts answered by repairing the carried flow in place.
+    pub repairs: u64,
+    /// Warm verdicts that fell back to a from-scratch re-solve (cold starts,
+    /// range boundaries, wide flip jumps, repair failures).
+    pub full_resolves: u64,
 }
 
 impl SweepStats {
@@ -191,6 +239,17 @@ impl SweepStats {
         self.solver_calls += other.solver_calls;
         self.feasible_hits += other.feasible_hits;
         self.infeasible_hits += other.infeasible_hits;
+        self.flips += other.flips;
+        self.repairs += other.repairs;
+        self.full_resolves += other.full_resolves;
+    }
+
+    /// Folds in the incremental-repair counters taken from an oracle (see
+    /// [`maxflow::incremental::RepairStats`]).
+    pub fn absorb_repairs(&mut self, r: &maxflow::RepairStats) {
+        self.flips += r.flips;
+        self.repairs += r.repairs;
+        self.full_resolves += r.full_resolves;
     }
 }
 
@@ -304,6 +363,7 @@ mod tests {
             solver_calls: 2,
             feasible_hits: 4,
             infeasible_hits: 2,
+            ..Default::default()
         };
         let b = SweepStats {
             configs: 8,

@@ -43,6 +43,16 @@ pub struct CalcOptions {
     /// Certificates retained per cache (per kind; sweeps keep one cache per
     /// worker and, for side sweeps, per assignment).
     pub certificate_cache_size: usize,
+    /// Carry a warm feasible flow across Gray-code configuration steps,
+    /// repairing it per flipped link instead of re-solving from scratch
+    /// (see [`maxflow::incremental`]). Exact: verdicts — and therefore all
+    /// sums, bounds, and checkpoints — are identical with it on or off.
+    pub incremental: bool,
+    /// Sweeps whose total configuration count falls below this threshold run
+    /// serially even when [`parallel`](Self::parallel) is set — below ~10k
+    /// configs the fork/join and per-worker clone overhead outweighs the
+    /// parallel speedup.
+    pub parallel_threshold: u64,
     /// Work/time limits for the run. The default is unlimited; with any
     /// limit set, budget-aware entry points stop at a clean cursor and
     /// return a rigorous `[R_low, R_high]` interval plus a resume
@@ -64,6 +74,8 @@ impl Default for CalcOptions {
             factor_perfect_links: true,
             certificate_cache: true,
             certificate_cache_size: 32,
+            incremental: true,
+            parallel_threshold: 10_000,
             budget: Budget::unlimited(),
         }
     }
@@ -89,6 +101,7 @@ impl CalcOptions {
             factor_perfect_links: false,
             parallel: false,
             certificate_cache: false,
+            incremental: false,
             ..Default::default()
         }
     }

@@ -1,5 +1,6 @@
 //! Flow-feasibility oracles over failure configurations.
 
+use maxflow::incremental::{RepairStats, WarmState};
 use maxflow::{build_flow, build_flow_multi, NetworkFlow, SolverKind};
 use netgraph::{EdgeMask, Network, NodeId};
 
@@ -8,21 +9,10 @@ use crate::certcache::SolveCert;
 use crate::decompose::Side;
 use crate::error::ReliabilityError;
 
-/// Runs one feasibility solve and, when asked, extracts the monotonicity
-/// certificate the verdict carries (shared by both oracles).
-fn solve_with_cert(
-    nf: &mut NetworkFlow,
-    solver: SolverKind,
-    mask: EdgeMask,
-    required: u64,
-    want_cert: bool,
-) -> (bool, SolveCert) {
-    nf.apply_mask(mask);
-    let ok = solver.solve(&mut nf.graph, nf.source, nf.sink, required) >= required;
-    if !want_cert {
-        return (ok, SolveCert::None);
-    }
-    let cert = if ok {
+/// Reads the monotonicity certificate a just-computed verdict carries off
+/// the residual graph (shared by the cold and warm solve paths).
+fn extract_cert(nf: &NetworkFlow, ok: bool, required: u64) -> SolveCert {
+    if ok {
         SolveCert::Feasible {
             support: nf.flow_support_bits(),
         }
@@ -38,8 +28,41 @@ fn solve_with_cert(
             },
             _ => SolveCert::None,
         }
-    };
-    (ok, cert)
+    }
+}
+
+/// Runs one feasibility solve and, when asked, extracts the monotonicity
+/// certificate the verdict carries (shared by both oracles).
+fn solve_with_cert(
+    nf: &mut NetworkFlow,
+    solver: SolverKind,
+    mask: EdgeMask,
+    required: u64,
+    want_cert: bool,
+) -> (bool, SolveCert) {
+    nf.apply_mask(mask);
+    let ok = solver.solve(&mut nf.graph, nf.source, nf.sink, required) >= required;
+    if !want_cert {
+        return (ok, SolveCert::None);
+    }
+    (ok, extract_cert(nf, ok, required))
+}
+
+/// As [`solve_with_cert`], but warm-starting from `warm`'s maintained flow
+/// (see [`maxflow::incremental`]); exact either way.
+fn warm_solve_with_cert(
+    nf: &mut NetworkFlow,
+    warm: &mut WarmState,
+    solver: SolverKind,
+    mask: EdgeMask,
+    required: u64,
+    want_cert: bool,
+) -> (bool, SolveCert) {
+    let ok = warm.admits(nf, solver, required, mask.bits(), want_cert);
+    if !want_cert {
+        return (ok, SolveCert::None);
+    }
+    (ok, extract_cert(nf, ok, required))
 }
 
 /// Answers "does this failure configuration admit the s–t demand?" for one
@@ -51,10 +74,13 @@ pub struct DemandOracle {
     solver: SolverKind,
     demand: u64,
     caps: Vec<u64>,
+    warm: Option<WarmState>,
 }
 
 impl DemandOracle {
-    /// Lowers `net` for the `s → t` demand `d`.
+    /// Lowers `net` for the `s → t` demand `d`. The incremental warm-start
+    /// path is off by default; enable it with
+    /// [`set_incremental`](Self::set_incremental).
     pub fn new(net: &Network, s: NodeId, t: NodeId, demand: u64, solver: SolverKind) -> Self {
         let caps = net.edges().iter().map(|e| e.capacity).collect();
         DemandOracle {
@@ -62,6 +88,7 @@ impl DemandOracle {
             solver,
             demand,
             caps,
+            warm: None,
         }
     }
 
@@ -75,10 +102,43 @@ impl DemandOracle {
         &self.caps
     }
 
+    /// Enables or disables the warm-start incremental solve path. Only
+    /// networks with ≤ 64 edges can use it (the sweeps cap enumeration well
+    /// below that); requesting it on a larger network is a silent no-op.
+    pub fn set_incremental(&mut self, on: bool) {
+        if on && self.caps.len() <= 64 {
+            if self.warm.is_none() {
+                self.warm = Some(WarmState::new());
+            }
+        } else {
+            self.warm = None;
+        }
+    }
+
+    /// Drops the maintained warm flow (if any); the next query re-solves
+    /// from scratch. Call at sweep chunk boundaries and on resume so results
+    /// never depend on warm state carried across scheduling decisions.
+    pub fn invalidate_warm(&mut self) {
+        if let Some(w) = &mut self.warm {
+            w.invalidate();
+        }
+    }
+
+    /// Returns and resets the incremental-repair telemetry.
+    pub fn take_repair_stats(&mut self) -> RepairStats {
+        self.warm
+            .as_mut()
+            .map(WarmState::take_stats)
+            .unwrap_or_default()
+    }
+
     /// Does the configuration `mask` (over the network's edges) admit `d`?
     pub fn admits(&mut self, mask: EdgeMask) -> bool {
         if self.demand == 0 {
             return true;
+        }
+        if let Some(w) = &mut self.warm {
+            return w.admits(&mut self.nf, self.solver, self.demand, mask.bits(), false);
         }
         self.nf.apply_mask(mask);
         self.solver.solve(
@@ -96,11 +156,22 @@ impl DemandOracle {
         if self.demand == 0 {
             return (true, SolveCert::Feasible { support: 0 });
         }
+        if let Some(w) = &mut self.warm {
+            return warm_solve_with_cert(
+                &mut self.nf,
+                w,
+                self.solver,
+                mask,
+                self.demand,
+                want_cert,
+            );
+        }
         solve_with_cert(&mut self.nf, self.solver, mask, self.demand, want_cert)
     }
 
     /// Maximum flow with every link alive (for quick infeasibility checks).
     pub fn max_flow_all_alive(&mut self) -> u64 {
+        self.invalidate_warm(); // about to mutate the graph behind the warm flow
         self.nf.apply_all_alive();
         self.solver
             .solve(&mut self.nf.graph, self.nf.source, self.nf.sink, u64::MAX)
@@ -131,6 +202,7 @@ pub struct SideOracle {
     edge_count: usize,
     caps: Vec<u64>,
     current: usize,
+    warm: Option<WarmState>,
 }
 
 impl SideOracle {
@@ -185,6 +257,7 @@ impl SideOracle {
             edge_count,
             caps,
             current: usize::MAX,
+            warm: None,
         };
         if !oracle.plans.is_empty() {
             oracle.set_assignment(0);
@@ -207,7 +280,37 @@ impl SideOracle {
         &self.caps
     }
 
+    /// Enables or disables the warm-start incremental solve path (sides with
+    /// more than 64 links cannot use it; the request is then a no-op).
+    pub fn set_incremental(&mut self, on: bool) {
+        if on && self.edge_count <= 64 {
+            if self.warm.is_none() {
+                self.warm = Some(WarmState::new());
+            }
+        } else {
+            self.warm = None;
+        }
+    }
+
+    /// Drops the maintained warm flow (if any); the next query re-solves
+    /// from scratch.
+    pub fn invalidate_warm(&mut self) {
+        if let Some(w) = &mut self.warm {
+            w.invalidate();
+        }
+    }
+
+    /// Returns and resets the incremental-repair telemetry.
+    pub fn take_repair_stats(&mut self) -> RepairStats {
+        self.warm
+            .as_mut()
+            .map(WarmState::take_stats)
+            .unwrap_or_default()
+    }
+
     /// Selects the assignment subsequent [`admits`](Self::admits) calls test.
+    /// Retuning the super-terminal base capacities invalidates any maintained
+    /// warm flow: the next query after a switch re-solves from scratch.
     pub fn set_assignment(&mut self, j: usize) {
         let (supplies, demands, _) = &self.plans[j];
         for (&arc, &cap) in self.nf.source_arcs.iter().zip(supplies) {
@@ -215,6 +318,9 @@ impl SideOracle {
         }
         for (&arc, &cap) in self.nf.sink_arcs.iter().zip(demands) {
             self.nf.graph.set_base_capacity(arc, cap);
+        }
+        if self.current != j {
+            self.invalidate_warm();
         }
         self.current = j;
     }
@@ -224,6 +330,9 @@ impl SideOracle {
         let required = self.plans[self.current].2;
         if required == 0 {
             return true;
+        }
+        if let Some(w) = &mut self.warm {
+            return w.admits(&mut self.nf, self.solver, required, mask.bits(), false);
         }
         self.nf.apply_mask(mask);
         self.solver
@@ -239,6 +348,9 @@ impl SideOracle {
         let required = self.plans[self.current].2;
         if required == 0 {
             return (true, SolveCert::Feasible { support: 0 });
+        }
+        if let Some(w) = &mut self.warm {
+            return warm_solve_with_cert(&mut self.nf, w, self.solver, mask, required, want_cert);
         }
         solve_with_cert(&mut self.nf, self.solver, mask, required, want_cert)
     }

@@ -212,9 +212,9 @@ mod tests {
                 .unwrap();
         let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let cfg = SweepConfig {
-            parallel: false,
             certificates: true,
             cache_size: 16,
+            ..SweepConfig::serial()
         };
         let (cached, s1) =
             RealizationSpectrum::build_with(&mut o2, &weights, 26, 20, true, &cfg).unwrap();

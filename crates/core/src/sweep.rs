@@ -41,6 +41,7 @@
 //! sentinel, so there is exactly one enumeration code path.
 
 use exactmath::NeumaierSum;
+use maxflow::RepairStats;
 use netgraph::EdgeMask;
 use rayon::prelude::*;
 
@@ -59,8 +60,10 @@ const PARALLEL_MIN_BITS: usize = 10;
 
 /// Configurations examined between budget polls: large enough that the poll
 /// (an atomic add) is noise next to a max-flow call, small enough that a
-/// deadline or cancellation is honored promptly.
-const BATCH: u64 = 64;
+/// deadline or cancellation is honored promptly. The side sweeps also switch
+/// assignments once per batch, so a larger batch means fewer warm-flow
+/// invalidations for the incremental oracle.
+const BATCH: u64 = 256;
 
 /// How the engine should run one sweep.
 #[derive(Clone, Copy, Debug)]
@@ -72,15 +75,28 @@ pub struct SweepConfig {
     /// Certificates retained per cache (per kind, per worker, and — for side
     /// sweeps — per assignment).
     pub cache_size: usize,
+    /// Carry a warm feasible flow across the configuration steps inside each
+    /// worker's contiguous range, repairing it per flipped link instead of
+    /// re-solving from scratch (see [`maxflow::incremental`]). Warm state is
+    /// dropped at every range boundary — worker start, chunk switch, and
+    /// resume-from-checkpoint — so verdicts (and therefore every sum, bound,
+    /// and checkpoint) are identical with it on or off.
+    pub incremental: bool,
+    /// Run serially when the sweep totals fewer solver questions than this,
+    /// even with [`parallel`](Self::parallel) set: below ~10k configurations
+    /// the fork/join and per-worker oracle clones cost more than they save.
+    pub parallel_threshold: u64,
 }
 
 impl SweepConfig {
-    /// Serial, certificate-free sweep (the legacy behavior).
+    /// Serial, certificate-free, cold-solve sweep (the legacy behavior).
     pub fn serial() -> Self {
         SweepConfig {
             parallel: false,
             certificates: false,
             cache_size: 0,
+            incremental: false,
+            parallel_threshold: 0,
         }
     }
 
@@ -90,6 +106,8 @@ impl SweepConfig {
             parallel: opts.parallel,
             certificates: opts.certificate_cache,
             cache_size: opts.certificate_cache_size,
+            incremental: opts.incremental,
+            parallel_threshold: opts.parallel_threshold,
         }
     }
 
@@ -99,6 +117,12 @@ impl SweepConfig {
         } else {
             None
         }
+    }
+
+    /// Whether a sweep of `m` enumerated bits totalling `work` solver
+    /// questions should fan out across rayon workers.
+    fn fan_out(&self, m: usize, work: u64) -> bool {
+        self.parallel && m >= PARALLEL_MIN_BITS && work >= self.parallel_threshold
     }
 }
 
@@ -111,6 +135,22 @@ pub trait SweepOracle {
     /// Per-link capacities in the mask's bit order, used by cut certificates
     /// to bound the flow a configuration can carry across a witnessed cut.
     fn edge_capacities(&self) -> &[u64];
+
+    /// Switches warm-start incremental flow repair on or off. The default is
+    /// a no-op for oracles without warm state.
+    fn set_incremental(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drops any warm flow so the next verdict re-solves from scratch. The
+    /// engine calls this at every range boundary — worker start, chunk
+    /// switch, and resume-from-checkpoint.
+    fn invalidate_warm(&mut self) {}
+
+    /// Takes the incremental-repair counters accumulated since the last call.
+    fn take_repair_stats(&mut self) -> RepairStats {
+        RepairStats::default()
+    }
 }
 
 impl SweepOracle for DemandOracle {
@@ -121,6 +161,18 @@ impl SweepOracle for DemandOracle {
     fn edge_capacities(&self) -> &[u64] {
         DemandOracle::edge_capacities(self)
     }
+
+    fn set_incremental(&mut self, on: bool) {
+        DemandOracle::set_incremental(self, on);
+    }
+
+    fn invalidate_warm(&mut self) {
+        DemandOracle::invalidate_warm(self);
+    }
+
+    fn take_repair_stats(&mut self) -> RepairStats {
+        DemandOracle::take_repair_stats(self)
+    }
 }
 
 impl SweepOracle for SideOracle {
@@ -130,6 +182,18 @@ impl SweepOracle for SideOracle {
 
     fn edge_capacities(&self) -> &[u64] {
         SideOracle::edge_capacities(self)
+    }
+
+    fn set_incremental(&mut self, on: bool) {
+        SideOracle::set_incremental(self, on);
+    }
+
+    fn invalidate_warm(&mut self) {
+        SideOracle::invalidate_warm(self);
+    }
+
+    fn take_repair_stats(&mut self) -> RepairStats {
+        SideOracle::take_repair_stats(self)
     }
 }
 
@@ -465,7 +529,7 @@ where
         None => (A::empty(), A::empty(), vec![(0, total)], Vec::new()),
     };
     debug_assert!(work.iter().all(|&(_, hi)| hi <= total));
-    if cfg.parallel && m >= PARALLEL_MIN_BITS {
+    if cfg.fan_out(m, ranges_len(&work)) {
         let mut seed_stats = SweepStats::default();
         let mut seeds = if cfg.certificates {
             let mut probe = oracle.clone();
@@ -487,6 +551,8 @@ where
             .into_par_iter()
             .map(|(lo, hi)| {
                 let mut local = oracle.clone();
+                local.set_incremental(cfg.incremental);
+                local.invalidate_warm();
                 let mut cache = seeded_cache(cfg, &seeds);
                 let mut stats = SweepStats::default();
                 let mut f = A::empty();
@@ -495,6 +561,7 @@ where
                     &mut local, &mut cache, &mut stats, lo, hi, geom, &wt, weights, sentinel,
                     &mut f, &mut x,
                 );
+                stats.absorb_repairs(&local.take_repair_stats());
                 let certs = cache.map(|c| c.export()).unwrap_or_default();
                 (f, x, stop.map(|s| (s, hi)), certs, stats)
             })
@@ -520,10 +587,15 @@ where
         (partial, stats)
     } else {
         let mut local = oracle.clone();
+        local.set_incremental(cfg.incremental);
         let mut cache = seeded_cache(cfg, &warm);
         let mut stats = SweepStats::default();
         let mut remaining = Vec::new();
         for (k, &(lo, hi)) in work.iter().enumerate() {
+            // warm flows never survive a range boundary (fresh start and
+            // every resume gap) — the verdict stream stays independent of
+            // how the walk was sliced
+            local.invalidate_warm();
             if let Some(stop) = sum_range_guarded::<W, A, O>(
                 &mut local,
                 &mut cache,
@@ -542,6 +614,7 @@ where
                 break;
             }
         }
+        stats.absorb_repairs(&local.take_repair_stats());
         let certs = cache.map(|c| c.export()).unwrap_or_default();
         let partial = PartialSum {
             feasible,
@@ -702,7 +775,8 @@ pub fn sweep_spectrum_budgeted<W: Weight>(
     };
     debug_assert_eq!(mass.len(), size, "resumed spectrum must match |D|");
     debug_assert!(work.iter().all(|&(_, hi)| hi <= total));
-    if cfg.parallel && m >= PARALLEL_MIN_BITS {
+    let unit = live.len().max(1) as u64;
+    if cfg.fan_out(m, ranges_len(&work) * unit) {
         let (mut seeds, seed_stats) = side_seeds(oracle, live, cfg);
         for (s, w) in seeds.iter_mut().zip(&warm) {
             s.extend(w.iter().copied().take(cfg.cache_size));
@@ -712,6 +786,8 @@ pub fn sweep_spectrum_budgeted<W: Weight>(
             .into_par_iter()
             .map(|(lo, hi)| {
                 let mut local = oracle.clone();
+                local.set_incremental(cfg.incremental);
+                local.invalidate_warm();
                 let mut caches: Vec<Option<CertCache>> =
                     seeds.iter().map(|s| seeded_cache(cfg, s)).collect();
                 let mut stats = SweepStats::default();
@@ -728,6 +804,7 @@ pub fn sweep_spectrum_budgeted<W: Weight>(
                     sentinel,
                     &mut stats,
                 );
+                stats.absorb_repairs(&local.take_repair_stats());
                 (part, stop.map(|s| (s, hi)), stats)
             })
             .collect_vec();
@@ -750,12 +827,14 @@ pub fn sweep_spectrum_budgeted<W: Weight>(
         (partial, stats)
     } else {
         let mut local = oracle.clone();
+        local.set_incremental(cfg.incremental);
         let mut caches: Vec<Option<CertCache>> = (0..live.len())
             .map(|i| seeded_cache(cfg, warm.get(i).map(Vec::as_slice).unwrap_or(&[])))
             .collect();
         let mut stats = SweepStats::default();
         let mut remaining = Vec::new();
         for (k, &(lo, hi)) in work.iter().enumerate() {
+            local.invalidate_warm();
             if let Some(stop) = spectrum_range_guarded(
                 &mut local,
                 &mut caches,
@@ -773,6 +852,7 @@ pub fn sweep_spectrum_budgeted<W: Weight>(
                 break;
             }
         }
+        stats.absorb_repairs(&local.take_repair_stats());
         let certs = caches
             .into_iter()
             .map(|c| c.map(|c| c.export()).unwrap_or_default())
@@ -917,13 +997,16 @@ pub fn sweep_table_budgeted(
     };
     debug_assert_eq!(masks.len(), total as usize);
     debug_assert!(work.iter().all(|&(_, hi)| hi <= total));
-    if cfg.parallel && m >= PARALLEL_MIN_BITS {
+    let unit = live.len().max(1) as u64;
+    if cfg.fan_out(m, ranges_len(&work) * unit) {
         let (seeds, seed_stats) = side_seeds(oracle, live, cfg);
         let pieces = split_ranges(&work, rayon::current_num_threads() * 8);
         let results: Vec<_> = pieces
             .into_par_iter()
             .map(|(lo, hi)| {
                 let mut local = oracle.clone();
+                local.set_incremental(cfg.incremental);
+                local.invalidate_warm();
                 let mut caches: Vec<Option<CertCache>> =
                     seeds.iter().map(|s| seeded_cache(cfg, s)).collect();
                 let mut stats = SweepStats::default();
@@ -936,6 +1019,7 @@ pub fn sweep_table_budgeted(
                     sentinel,
                     &mut stats,
                 );
+                stats.absorb_repairs(&local.take_repair_stats());
                 (lo, seg, stop.map(|s| (s, hi)), stats)
             })
             .collect_vec();
@@ -954,10 +1038,12 @@ pub fn sweep_table_budgeted(
         (partial, stats)
     } else {
         let mut local = oracle.clone();
+        local.set_incremental(cfg.incremental);
         let mut caches: Vec<Option<CertCache>> = live.iter().map(|_| cfg.cache()).collect();
         let mut stats = SweepStats::default();
         let mut remaining = Vec::new();
         for (k, &(lo, hi)) in work.iter().enumerate() {
+            local.invalidate_warm();
             let (seg, stop) =
                 table_range_guarded(&mut local, &mut caches, live, lo, hi, sentinel, &mut stats);
             let done = stop.unwrap_or(hi);
@@ -968,6 +1054,7 @@ pub fn sweep_table_budgeted(
                 break;
             }
         }
+        stats.absorb_repairs(&local.take_repair_stats());
         let partial = PartialTable { masks, remaining };
         (partial, stats)
     }
@@ -1116,9 +1203,9 @@ mod tests {
     fn certificates_preserve_the_sum_and_avoid_solves() {
         let (r0, _) = sum_with(&SweepConfig::serial());
         let cfg = SweepConfig {
-            parallel: false,
             certificates: true,
             cache_size: 16,
+            ..SweepConfig::serial()
         };
         let (r1, stats) = sum_with(&cfg);
         assert_eq!(r1, r0, "serial cert-cached sweep must be bit-identical");
@@ -1130,6 +1217,43 @@ mod tests {
             stats.solver_calls + stats.solver_calls_avoided(),
             stats.configs
         );
+    }
+
+    #[test]
+    fn incremental_sweep_is_bit_identical_and_repairs_in_place() {
+        let (r0, _) = sum_with(&SweepConfig::serial());
+        let cfg = SweepConfig {
+            incremental: true,
+            ..SweepConfig::serial()
+        };
+        let (r1, stats) = sum_with(&cfg);
+        assert_eq!(
+            r1.to_bits(),
+            r0.to_bits(),
+            "incremental repair must not change any verdict"
+        );
+        assert!(
+            stats.full_resolves >= 1,
+            "cold start re-solves from scratch"
+        );
+        assert!(
+            stats.repairs > 0,
+            "Gray steps must repair the warm flow in place: {stats:?}"
+        );
+        assert!(stats.flips >= stats.repairs, "every repair applies ≥1 flip");
+    }
+
+    #[test]
+    fn fan_out_honors_parallel_threshold() {
+        let par = SweepConfig {
+            parallel: true,
+            parallel_threshold: 10_000,
+            ..SweepConfig::serial()
+        };
+        assert!(!par.fan_out(12, 4_096), "small sweeps stay serial");
+        assert!(par.fan_out(14, 16_384), "big sweeps fan out");
+        assert!(!par.fan_out(4, 1 << 20), "tiny exponents stay serial");
+        assert!(!SweepConfig::serial().fan_out(20, 1 << 20));
     }
 
     #[test]
@@ -1173,9 +1297,9 @@ mod tests {
             edge_count: 4,
         };
         let cfg = SweepConfig {
-            parallel: false,
             certificates: true,
             cache_size: 8,
+            ..SweepConfig::serial()
         };
         let (full, _) = sweep_sum::<f64, CompensatedAcc, _>(&oracle, &geom, &weights, &cfg);
 

@@ -165,9 +165,9 @@ mod tests {
             RealizationTable::build_with(&mut o, 10, 10, true, &SweepConfig::serial()).unwrap();
         let mut o2 = SideOracle::new(&side, &assignments, SolverKind::Dinic).unwrap();
         let cfg = SweepConfig {
-            parallel: false,
             certificates: true,
             cache_size: 8,
+            ..SweepConfig::serial()
         };
         let (cached, s1) = RealizationTable::build_with(&mut o2, 10, 10, true, &cfg).unwrap();
         assert_eq!(plain, cached, "cache hits must reproduce every table entry");

@@ -5,10 +5,9 @@
 //! when capacities are large and skewed, which is where the unit-augmenting
 //! solvers degrade.
 
-use std::collections::VecDeque;
-
 use crate::graph::FlowGraph;
 use crate::solver::MaxFlowSolver;
+use crate::workspace::{prepare, Workspace};
 
 /// Capacity-scaling Ford–Fulkerson.
 #[derive(Clone, Copy, Debug, Default)]
@@ -16,11 +15,21 @@ pub struct CapacityScaling;
 
 impl CapacityScaling {
     /// BFS for an augmenting path using only arcs with residual ≥ `delta`.
-    fn find_path(g: &FlowGraph, s: usize, t: usize, delta: u64, parent_arc: &mut [u32]) -> bool {
+    fn find_path(
+        g: &FlowGraph,
+        s: usize,
+        t: usize,
+        delta: u64,
+        parent_arc: &mut [u32],
+        queue: &mut Vec<u32>,
+    ) -> bool {
         parent_arc.fill(u32::MAX);
-        let mut queue = VecDeque::new();
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
+        queue.clear();
+        queue.push(s as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
             for &arc in g.arcs_from(u) {
                 let v = g.arc_head(arc);
                 if v != s && parent_arc[v] == u32::MAX && g.residual(arc) >= delta {
@@ -28,7 +37,7 @@ impl CapacityScaling {
                     if v == t {
                         return true;
                     }
-                    queue.push_back(v);
+                    queue.push(v as u32);
                 }
             }
         }
@@ -37,12 +46,20 @@ impl CapacityScaling {
 }
 
 impl MaxFlowSolver for CapacityScaling {
-    fn solve(&self, g: &mut FlowGraph, s: usize, t: usize, limit: u64) -> u64 {
+    fn solve_ws(
+        &self,
+        g: &mut FlowGraph,
+        s: usize,
+        t: usize,
+        limit: u64,
+        ws: &mut Workspace,
+    ) -> u64 {
         if s == t {
             return limit;
         }
+        g.ensure_csr();
         let n = g.node_count();
-        let mut parent_arc = vec![u32::MAX; n];
+        prepare(&mut ws.parent, n, u32::MAX);
         // largest power of two not exceeding the biggest source-side residual
         let max_cap = g
             .arcs_from(s)
@@ -56,18 +73,18 @@ impl MaxFlowSolver for CapacityScaling {
         let mut delta = 1u64 << (63 - max_cap.leading_zeros());
         let mut flow = 0u64;
         while delta >= 1 {
-            while flow < limit && Self::find_path(g, s, t, delta, &mut parent_arc) {
+            while flow < limit && Self::find_path(g, s, t, delta, &mut ws.parent, &mut ws.queue) {
                 // bottleneck along the found path (≥ delta by construction)
                 let mut aug = limit - flow;
                 let mut v = t;
                 while v != s {
-                    let arc = parent_arc[v];
+                    let arc = ws.parent[v];
                     aug = aug.min(g.residual(arc));
                     v = g.arc_tail(arc);
                 }
                 let mut v = t;
                 while v != s {
-                    let arc = parent_arc[v];
+                    let arc = ws.parent[v];
                     g.push(arc, aug);
                     v = g.arc_tail(arc);
                 }

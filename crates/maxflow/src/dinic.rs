@@ -2,6 +2,7 @@
 
 use crate::graph::FlowGraph;
 use crate::solver::MaxFlowSolver;
+use crate::workspace::{prepare, Workspace};
 
 /// Dinic's algorithm, `O(|V|²|E|)` worst case and far better in practice;
 /// `O(√|E|·|E|)` on unit-capacity graphs. The workspace default.
@@ -9,12 +10,21 @@ use crate::solver::MaxFlowSolver;
 pub struct Dinic;
 
 impl Dinic {
-    fn bfs_levels(g: &FlowGraph, s: usize, t: usize, level: &mut [u32]) -> bool {
+    fn bfs_levels(
+        g: &FlowGraph,
+        s: usize,
+        t: usize,
+        level: &mut [u32],
+        queue: &mut Vec<u32>,
+    ) -> bool {
         level.fill(u32::MAX);
         level[s] = 0;
-        let mut queue = std::collections::VecDeque::new();
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
+        queue.clear();
+        queue.push(s as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
             for &arc in g.arcs_from(u) {
                 let v = g.arc_head(arc);
                 if level[v] == u32::MAX && g.residual(arc) > 0 {
@@ -22,7 +32,7 @@ impl Dinic {
                     if v == t {
                         return true;
                     }
-                    queue.push_back(v);
+                    queue.push(v as u32);
                 }
             }
         }
@@ -37,10 +47,11 @@ impl Dinic {
         limit: u64,
         level: &[u32],
         iter: &mut [usize],
+        path: &mut Vec<u32>,
     ) -> u64 {
         let mut total = 0u64;
         // path holds the arcs of the current partial path from s
-        let mut path: Vec<u32> = Vec::new();
+        path.clear();
         let mut u = s;
         while total < limit {
             if u == t {
@@ -51,7 +62,7 @@ impl Dinic {
                     .min()
                     .unwrap_or_else(|| unreachable!("path to t cannot be empty"))
                     .min(limit - total);
-                for &a in &path {
+                for &a in path.iter() {
                     g.push(a, aug);
                 }
                 total += aug;
@@ -101,17 +112,33 @@ impl Dinic {
 }
 
 impl MaxFlowSolver for Dinic {
-    fn solve(&self, g: &mut FlowGraph, s: usize, t: usize, limit: u64) -> u64 {
+    fn solve_ws(
+        &self,
+        g: &mut FlowGraph,
+        s: usize,
+        t: usize,
+        limit: u64,
+        ws: &mut Workspace,
+    ) -> u64 {
         if s == t {
             return limit;
         }
+        g.ensure_csr();
         let n = g.node_count();
-        let mut level = vec![u32::MAX; n];
-        let mut iter = vec![0usize; n];
+        prepare(&mut ws.level, n, u32::MAX);
+        prepare(&mut ws.cursor, n, 0);
         let mut flow = 0u64;
-        while flow < limit && Self::bfs_levels(g, s, t, &mut level) {
-            iter.fill(0);
-            let pushed = Self::blocking_flow(g, s, t, limit - flow, &level, &mut iter);
+        while flow < limit && Self::bfs_levels(g, s, t, &mut ws.level, &mut ws.queue) {
+            ws.cursor.fill(0);
+            let pushed = Self::blocking_flow(
+                g,
+                s,
+                t,
+                limit - flow,
+                &ws.level,
+                &mut ws.cursor,
+                &mut ws.path,
+            );
             if pushed == 0 {
                 break;
             }

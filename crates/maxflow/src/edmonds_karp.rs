@@ -1,9 +1,8 @@
 //! Edmonds–Karp: BFS shortest augmenting paths with saturating pushes.
 
-use std::collections::VecDeque;
-
 use crate::graph::FlowGraph;
 use crate::solver::MaxFlowSolver;
+use crate::workspace::{prepare, Workspace};
 
 /// Edmonds–Karp, `O(|V||E|²)`. Simple, dependable comparator for the
 /// solver-ablation bench.
@@ -11,28 +10,39 @@ use crate::solver::MaxFlowSolver;
 pub struct EdmondsKarp;
 
 impl MaxFlowSolver for EdmondsKarp {
-    fn solve(&self, g: &mut FlowGraph, s: usize, t: usize, limit: u64) -> u64 {
+    fn solve_ws(
+        &self,
+        g: &mut FlowGraph,
+        s: usize,
+        t: usize,
+        limit: u64,
+        ws: &mut Workspace,
+    ) -> u64 {
         if s == t {
             return limit;
         }
+        g.ensure_csr();
         let n = g.node_count();
-        let mut parent_arc = vec![u32::MAX; n];
+        prepare(&mut ws.parent, n, u32::MAX);
         let mut flow = 0u64;
         while flow < limit {
-            parent_arc.fill(u32::MAX);
-            let mut queue = VecDeque::new();
-            queue.push_back(s);
+            ws.parent.fill(u32::MAX);
+            ws.queue.clear();
+            ws.queue.push(s as u32);
+            let mut head = 0;
             let mut reached = false;
-            'bfs: while let Some(u) = queue.pop_front() {
+            'bfs: while head < ws.queue.len() {
+                let u = ws.queue[head] as usize;
+                head += 1;
                 for &arc in g.arcs_from(u) {
                     let v = g.arc_head(arc);
-                    if v != s && parent_arc[v] == u32::MAX && g.residual(arc) > 0 {
-                        parent_arc[v] = arc;
+                    if v != s && ws.parent[v] == u32::MAX && g.residual(arc) > 0 {
+                        ws.parent[v] = arc;
                         if v == t {
                             reached = true;
                             break 'bfs;
                         }
-                        queue.push_back(v);
+                        ws.queue.push(v as u32);
                     }
                 }
             }
@@ -43,13 +53,13 @@ impl MaxFlowSolver for EdmondsKarp {
             let mut aug = limit - flow;
             let mut v = t;
             while v != s {
-                let arc = parent_arc[v];
+                let arc = ws.parent[v];
                 aug = aug.min(g.residual(arc));
                 v = g.arc_tail(arc);
             }
             let mut v = t;
             while v != s {
-                let arc = parent_arc[v];
+                let arc = ws.parent[v];
                 g.push(arc, aug);
                 v = g.arc_tail(arc);
             }

@@ -1,4 +1,4 @@
-//! Residual flow graph with paired arcs and cheap reset.
+//! Residual flow graph with paired arcs, cheap reset, and a CSR adjacency.
 
 /// Handle to a forward arc in a [`FlowGraph`]; its reverse arc is implicit.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -27,12 +27,21 @@ impl ArcId {
 /// 1. [`FlowGraph::reset`] — restore residual = base;
 /// 2. [`FlowGraph::disable`] — zero out the arcs of failed links;
 /// 3. run a solver.
+///
+/// Adjacency is kept in CSR form (`csr_off`/`csr_arcs`): one flat arc array
+/// indexed by per-node offsets, rebuilt lazily after topology changes. The
+/// per-node arc order equals insertion order (ascending arc id), so solver
+/// traversal order is identical to the former `Vec<Vec<u32>>` layout while
+/// every adjacency scan walks contiguous memory.
 #[derive(Clone, Debug)]
 pub struct FlowGraph {
     head: Vec<u32>,
     cap: Vec<u64>,
     base: Vec<u64>,
-    adj: Vec<Vec<u32>>,
+    nodes: usize,
+    csr_off: Vec<u32>,
+    csr_arcs: Vec<u32>,
+    csr_valid: bool,
 }
 
 impl FlowGraph {
@@ -42,20 +51,24 @@ impl FlowGraph {
             head: Vec::new(),
             cap: Vec::new(),
             base: Vec::new(),
-            adj: vec![Vec::new(); n],
+            nodes: n,
+            csr_off: Vec::new(),
+            csr_arcs: Vec::new(),
+            csr_valid: false,
         }
     }
 
     /// Adds a node, returning its index.
     pub fn add_node(&mut self) -> usize {
-        self.adj.push(Vec::new());
-        self.adj.len() - 1
+        self.nodes += 1;
+        self.csr_valid = false;
+        self.nodes - 1
     }
 
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.nodes
     }
 
     /// Number of arc pairs.
@@ -66,7 +79,7 @@ impl FlowGraph {
 
     fn push_pair(&mut self, u: usize, v: usize, cap_uv: u64, cap_vu: u64) -> ArcId {
         assert!(
-            u < self.adj.len() && v < self.adj.len(),
+            u < self.nodes && v < self.nodes,
             "arc endpoint out of range"
         );
         let id = self.head.len() as u32;
@@ -76,8 +89,7 @@ impl FlowGraph {
         self.cap.push(cap_vu);
         self.base.push(cap_uv);
         self.base.push(cap_vu);
-        self.adj[u].push(id);
-        self.adj[v].push(id + 1);
+        self.csr_valid = false;
         ArcId(id)
     }
 
@@ -89,6 +101,35 @@ impl FlowGraph {
     /// Adds an undirected edge `u — v`: capacity `cap` in both directions.
     pub fn add_undirected(&mut self, u: usize, v: usize, cap: u64) -> ArcId {
         self.push_pair(u, v, cap, cap)
+    }
+
+    /// (Re)builds the CSR adjacency if a topology change invalidated it.
+    /// Solvers call this once at entry; afterwards [`arcs_from`](Self::arcs_from)
+    /// is a contiguous slice lookup. Capacity mutations never invalidate it.
+    pub fn ensure_csr(&mut self) {
+        if self.csr_valid {
+            return;
+        }
+        let n = self.nodes;
+        self.csr_off.clear();
+        self.csr_off.resize(n + 1, 0);
+        for a in 0..self.head.len() {
+            // the tail of arc `a` is the head of its partner
+            let tail = self.head[a ^ 1] as usize;
+            self.csr_off[tail + 1] += 1;
+        }
+        for u in 0..n {
+            self.csr_off[u + 1] += self.csr_off[u];
+        }
+        self.csr_arcs.clear();
+        self.csr_arcs.resize(self.head.len(), 0);
+        let mut cursor: Vec<u32> = self.csr_off[..n].to_vec();
+        for a in 0..self.head.len() {
+            let tail = self.head[a ^ 1] as usize;
+            self.csr_arcs[cursor[tail] as usize] = a as u32;
+            cursor[tail] += 1;
+        }
+        self.csr_valid = true;
     }
 
     /// Overwrites the *base* forward capacity of `a` (reverse base unchanged);
@@ -104,23 +145,61 @@ impl FlowGraph {
     }
 
     /// Zeroes the residual capacity of `a` in both directions (a failed link).
-    /// Call after [`reset`](FlowGraph::reset), before solving.
+    /// Call after [`reset`](FlowGraph::reset), before solving — or, in the
+    /// incremental path, after cancelling any flow the arc pair carries.
     pub fn disable(&mut self, a: ArcId) {
         self.cap[a.fwd()] = 0;
         self.cap[a.rev()] = 0;
     }
 
+    /// Restores the residual capacity of a [`disable`](Self::disable)d arc to
+    /// its base values in place (a revived link). The pair must carry no flow,
+    /// which holds for any arc disabled while flow-free.
+    pub fn revive(&mut self, a: ArcId) {
+        debug_assert!(
+            self.cap[a.fwd()] == 0 && self.cap[a.rev()] == 0,
+            "revive of a non-disabled arc"
+        );
+        self.cap[a.fwd()] = self.base[a.fwd()];
+        self.cap[a.rev()] = self.base[a.rev()];
+    }
+
     /// Net flow currently routed through forward arc `a`
     /// (positive = along the arc's forward direction).
+    ///
+    /// A disabled pair (both residuals zero) carries no flow by construction
+    /// and reports zero, so flow supports and conservation checks stay exact
+    /// under failure masks.
     pub fn net_flow(&self, a: ArcId) -> i64 {
+        if self.cap[a.fwd()] == 0 && self.cap[a.rev()] == 0 {
+            return 0;
+        }
         self.base[a.fwd()] as i64 - self.cap[a.fwd()] as i64
+    }
+
+    /// Net flow currently leaving node `s`, skipping disabled pairs. This is
+    /// the value of the maintained flow when `s` is the source; the
+    /// incremental oracle recomputes it after repairs instead of tracking
+    /// deltas. Requires a built CSR (any solver call builds it).
+    pub fn source_outflow(&self, s: usize) -> u64 {
+        let mut net = 0i64;
+        for &arc in self.arcs_from(s) {
+            let a = arc as usize;
+            let p = (arc ^ 1) as usize;
+            if self.cap[a] == 0 && self.cap[p] == 0 {
+                continue; // disabled pair: no flow
+            }
+            net += self.base[a] as i64 - self.cap[a] as i64;
+        }
+        net.max(0) as u64
     }
 
     // -- internal accessors used by the solvers ----------------------------
 
     #[inline]
     pub(crate) fn arcs_from(&self, u: usize) -> &[u32] {
-        &self.adj[u]
+        debug_assert!(self.csr_valid, "ensure_csr must run before adjacency scans");
+        &self.csr_arcs[self.csr_off[u] as usize..self.csr_off[u + 1] as usize]
     }
 
     #[inline]
@@ -141,6 +220,18 @@ impl FlowGraph {
     #[inline]
     pub(crate) fn residual(&self, arc: u32) -> u64 {
         self.cap[arc as usize]
+    }
+
+    /// Net flow along arc `arc` (in its own direction), zero for disabled
+    /// pairs. Companion to [`net_flow`](Self::net_flow) for raw arc ids.
+    #[inline]
+    pub(crate) fn flow_along(&self, arc: u32) -> i64 {
+        let a = arc as usize;
+        let p = (arc ^ 1) as usize;
+        if self.cap[a] == 0 && self.cap[p] == 0 {
+            return 0;
+        }
+        self.base[a] as i64 - self.cap[a] as i64
     }
 
     #[inline]
@@ -223,6 +314,25 @@ mod tests {
     }
 
     #[test]
+    fn revive_restores_base_in_place() {
+        let mut g = FlowGraph::new(2);
+        let a = g.add_undirected(0, 1, 4);
+        g.reset();
+        g.disable(a);
+        g.revive(a);
+        assert_eq!(g.residual(0), 4);
+        assert_eq!(g.residual(1), 4);
+    }
+
+    #[test]
+    fn disabled_arc_reports_zero_flow() {
+        let mut g = FlowGraph::new(2);
+        let a = g.add_arc(0, 1, 5);
+        g.disable(a);
+        assert_eq!(g.net_flow(a), 0, "a dead link carries no flow");
+    }
+
+    #[test]
     fn set_base_capacity_applies_on_reset() {
         let mut g = FlowGraph::new(2);
         let a = g.add_arc(0, 1, 5);
@@ -248,5 +358,40 @@ mod tests {
         g.push(a.0, 3); // flow enters node 1 but never leaves
         assert!(g.check_conservation(0, 2).is_err());
         assert!(g.check_conservation(0, 1).is_ok());
+    }
+
+    #[test]
+    fn csr_matches_insertion_order() {
+        let mut g = FlowGraph::new(3);
+        g.add_arc(0, 1, 1); // arcs 0 (0->1), 1 (1->0)
+        g.add_arc(0, 2, 1); // arcs 2 (0->2), 3 (2->0)
+        g.add_arc(1, 2, 1); // arcs 4 (1->2), 5 (2->1)
+        g.ensure_csr();
+        assert_eq!(g.arcs_from(0), &[0, 2]);
+        assert_eq!(g.arcs_from(1), &[1, 4]);
+        assert_eq!(g.arcs_from(2), &[3, 5]);
+    }
+
+    #[test]
+    fn csr_rebuilds_after_add_node() {
+        let mut g = FlowGraph::new(2);
+        g.add_arc(0, 1, 1);
+        g.ensure_csr();
+        let v = g.add_node();
+        g.add_arc(1, v, 1);
+        g.ensure_csr();
+        assert_eq!(g.arcs_from(1), &[1, 2]);
+        assert_eq!(g.arcs_from(v), &[3]);
+    }
+
+    #[test]
+    fn source_outflow_skips_disabled_pairs() {
+        let mut g = FlowGraph::new(3);
+        let a = g.add_arc(0, 1, 5);
+        let b = g.add_arc(0, 2, 7);
+        g.ensure_csr();
+        g.push(a.0, 3);
+        g.disable(b);
+        assert_eq!(g.source_outflow(0), 3);
     }
 }

@@ -1,0 +1,477 @@
+//! Warm-start incremental feasibility oracle.
+//!
+//! The configuration sweeps ask "does mask `c` admit `d` units of s–t flow?"
+//! for a Gray-code sequence of masks — successive queries differ in one edge.
+//! Re-solving from scratch throws away the previous answer's flow. This
+//! module instead **repairs** the maintained flow across a flip:
+//!
+//! * **death** — cancel the flow routed through the dying arc pair: first
+//!   zero the on-arc flow (push along the partner), which leaves an excess at
+//!   the arc's tail and a deficit at its head; then walk flow-carrying paths
+//!   backward from the excess node and forward from the deficit node
+//!   (reverse-residual BFS over the flow decomposition) and cancel them until
+//!   conservation holds again. The result is a valid flow on the smaller
+//!   graph, so `flow ≤ maxflow(new mask)` still holds.
+//! * **revival** — restore the arc pair's residual capacity in place
+//!   ([`FlowGraph::revive`]); the maintained flow is untouched and remains
+//!   valid because extra capacity never invalidates a flow.
+//!
+//! After the repairs the oracle re-reads the flow value straight off the
+//! source's incident arcs ([`FlowGraph::source_outflow`]) and only runs the
+//! (workspace-backed, allocation-free) solver to augment the *lost* amount —
+//! or not at all: a feasible flow that survived the flip answers "feasible"
+//! immediately, and a death can never turn an infeasible verdict feasible.
+//! Since every solver in this crate augments the *current residual graph* to
+//! exhaustion (up to `limit`), starting from a valid warm flow yields exactly
+//! `min(maxflow, limit)` — the verdict is exact, never a heuristic.
+//!
+//! Full from-scratch re-solves are kept as a fallback (first query, state
+//! explicitly invalidated by the caller, too many bits flipped at once, or a
+//! defensive bail-out if a repair BFS cannot find a cancellation path) and
+//! counted in [`RepairStats::full_resolves`].
+
+use netgraph::EdgeMask;
+
+use crate::graph::{ArcId, FlowGraph};
+use crate::lower::NetworkFlow;
+use crate::solver::SolverKind;
+use crate::workspace::{prepare, Workspace};
+
+/// Beyond this many flipped edges a from-scratch solve is cheaper than
+/// path-by-path repair.
+const MAX_WARM_FLIPS: u32 = 8;
+
+/// Telemetry for the incremental oracle: how often it repaired in place
+/// versus fell back to a cold solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Edge flips absorbed incrementally (deaths + revivals).
+    pub flips: u64,
+    /// Flow-decomposition paths cancelled while repairing deaths.
+    pub repairs: u64,
+    /// Full from-scratch re-solves (first query, invalidation, fallback).
+    pub full_resolves: u64,
+}
+
+impl RepairStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &RepairStats) {
+        self.flips += other.flips;
+        self.repairs += other.repairs;
+        self.full_resolves += other.full_resolves;
+    }
+}
+
+/// Warm-start state carried between successive feasibility queries against
+/// one [`NetworkFlow`]. Owns the solver scratch [`Workspace`] too, so a
+/// query allocates nothing once warmed up.
+#[derive(Clone, Debug)]
+pub struct WarmState {
+    ws: Workspace,
+    /// Alive-edge bits of the configuration the graph state reflects.
+    bits: u64,
+    /// Verdict of the last query.
+    verdict: bool,
+    /// Whether the residual graph was exhausted by the last query (no s–t
+    /// residual path), i.e. an infeasibility cut can be read off it.
+    cut_ready: bool,
+    /// Whether `bits`/`verdict` and the graph state are trustworthy.
+    valid: bool,
+    /// Repair telemetry.
+    pub stats: RepairStats,
+}
+
+impl Default for WarmState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WarmState {
+    /// A fresh state; the first query always runs a full solve.
+    pub fn new() -> Self {
+        WarmState {
+            ws: Workspace::new(),
+            bits: 0,
+            verdict: false,
+            cut_ready: false,
+            valid: false,
+            stats: RepairStats::default(),
+        }
+    }
+
+    /// Marks the maintained flow unusable. The next query runs a full solve.
+    /// Call whenever the graph is mutated behind the oracle's back
+    /// (terminal retuning, checkpoint resume, chunk handoff).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Returns the accumulated telemetry and resets it to zero.
+    pub fn take_stats(&mut self) -> RepairStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Answers whether configuration `new_bits` admits `required` units of
+    /// s–t flow, warm-starting from the previous query when possible.
+    ///
+    /// With `exhaust` set the residual graph is always driven to exhaustion
+    /// on an infeasible verdict (monotone shortcuts are skipped), so
+    /// [`NetworkFlow::residual_cut_bits`] yields a certificate afterwards;
+    /// on a feasible verdict [`NetworkFlow::flow_support_bits`] is always
+    /// valid because the maintained flow is in the graph either way.
+    pub fn admits(
+        &mut self,
+        nf: &mut NetworkFlow,
+        solver: SolverKind,
+        required: u64,
+        new_bits: u64,
+        exhaust: bool,
+    ) -> bool {
+        debug_assert!(nf.edge_arcs.len() <= 64, "warm oracle needs <= 64 edges");
+        if required == 0 {
+            return true; // trivially admitted; graph state left as-is
+        }
+        nf.graph.ensure_csr();
+        if !self.valid {
+            return self.full_solve(nf, solver, required, new_bits);
+        }
+        let diff = self.bits ^ new_bits;
+        if diff.count_ones() > MAX_WARM_FLIPS {
+            return self.full_solve(nf, solver, required, new_bits);
+        }
+        self.stats.flips += u64::from(diff.count_ones());
+        let deaths = self.bits & diff;
+        let revivals = new_bits & diff;
+        let mut d = deaths;
+        while d != 0 {
+            let e = d.trailing_zeros() as usize;
+            d &= d - 1;
+            let arc = nf.edge_arcs[e];
+            if cancel_arc_flow(
+                &mut nf.graph,
+                arc,
+                nf.source,
+                nf.sink,
+                &mut self.ws,
+                &mut self.stats,
+            )
+            .is_err()
+            {
+                // theory says a cancellation path always exists; if the walk
+                // ever fails, fall back to an exact cold solve
+                return self.full_solve(nf, solver, required, new_bits);
+            }
+            nf.graph.disable(arc);
+        }
+        let mut r = revivals;
+        while r != 0 {
+            let e = r.trailing_zeros() as usize;
+            r &= r - 1;
+            nf.graph.revive(nf.edge_arcs[e]);
+        }
+
+        let mut value = nf.graph.source_outflow(nf.source);
+        let verdict;
+        if value >= required {
+            // the surviving warm flow already meets the demand
+            verdict = true;
+            self.cut_ready = false;
+        } else if revivals == 0 && !self.verdict && (!exhaust || (diff == 0 && self.cut_ready)) {
+            // deaths only: maxflow is monotone in the alive set, so an
+            // infeasible verdict stands without touching the solver
+            verdict = false;
+            self.cut_ready = diff == 0 && self.cut_ready;
+        } else {
+            value += solver.solve_ws(
+                &mut nf.graph,
+                nf.source,
+                nf.sink,
+                required - value,
+                &mut self.ws,
+            );
+            verdict = value >= required;
+            // an augmentation that fell short ran to exhaustion
+            self.cut_ready = !verdict;
+        }
+        self.bits = new_bits;
+        self.verdict = verdict;
+        verdict
+    }
+
+    fn full_solve(
+        &mut self,
+        nf: &mut NetworkFlow,
+        solver: SolverKind,
+        required: u64,
+        new_bits: u64,
+    ) -> bool {
+        self.stats.full_resolves += 1;
+        nf.apply_mask(EdgeMask::from_bits(new_bits, nf.edge_arcs.len()));
+        let value = solver.solve_ws(&mut nf.graph, nf.source, nf.sink, required, &mut self.ws);
+        let verdict = value >= required;
+        self.bits = new_bits;
+        self.verdict = verdict;
+        self.cut_ready = !verdict;
+        self.valid = true;
+        verdict
+    }
+}
+
+/// Cancels all flow routed through the arc pair of `a`, restoring flow
+/// conservation at every non-terminal node. On return the pair carries no
+/// flow and the graph holds a valid (possibly smaller) s–t flow. Errors only
+/// if a cancellation path cannot be found, which a valid flow never exhibits;
+/// callers treat that defensively with a full re-solve.
+fn cancel_arc_flow(
+    g: &mut FlowGraph,
+    a: ArcId,
+    s: usize,
+    t: usize,
+    ws: &mut Workspace,
+    stats: &mut RepairStats,
+) -> Result<(), ()> {
+    let f = g.net_flow(a);
+    if f == 0 {
+        return Ok(());
+    }
+    // orient `af` along the direction the flow actually runs
+    let (af, x) = if f > 0 {
+        (a.0, f as u64)
+    } else {
+        (a.0 ^ 1, f.unsigned_abs())
+    };
+    let u = g.arc_tail(af); // flow left u ...
+    let v = g.arc_head(af); // ... and entered v
+    g.push(af ^ 1, x); // zero the on-arc flow
+    if u == v {
+        return Ok(()); // self-loop: excess and deficit coincide
+    }
+    // x units of inflow are now stranded at u (unless u is a terminal,
+    // whose imbalance is unconstrained), and v is short x units of inflow.
+    let mut excess = if u == s || u == t { 0 } else { x };
+    let mut deficit = if v == s || v == t { 0 } else { x };
+    while excess > 0 {
+        // walk the stranded inflow backward to its origin (s, t, or v —
+        // reaching v settles part of the deficit at the same time)
+        let (end, cancelled) = cancel_backward_path(
+            g,
+            u,
+            s,
+            t,
+            if deficit > 0 { Some(v) } else { None },
+            excess,
+            ws,
+        )?;
+        excess -= cancelled;
+        // `deficit > 0` guard: when v is a terminal the walk may still end
+        // there (as s or t), but there is no deficit to settle
+        if end == v && deficit > 0 {
+            deficit -= cancelled;
+        }
+        stats.repairs += 1;
+    }
+    while deficit > 0 {
+        // walk the missing inflow's former continuation forward to t (or s)
+        let cancelled = cancel_forward_path(g, v, s, t, deficit, ws)?;
+        deficit -= cancelled;
+        stats.repairs += 1;
+    }
+    Ok(())
+}
+
+/// BFS from `from` backward along flow-carrying arcs (arcs whose partner
+/// carries positive flow *into* the current node) until `s`, `t`, or `via`
+/// is reached; cancels the bottleneck (≤ `cap_amount`) along the found path.
+/// Returns the reached endpoint and the cancelled amount.
+fn cancel_backward_path(
+    g: &mut FlowGraph,
+    from: usize,
+    s: usize,
+    t: usize,
+    via: Option<usize>,
+    cap_amount: u64,
+    ws: &mut Workspace,
+) -> Result<(usize, u64), ()> {
+    let n = g.node_count();
+    prepare(&mut ws.parent, n, u32::MAX);
+    ws.queue.clear();
+    ws.queue.push(from as u32);
+    let mut head = 0;
+    let mut end = usize::MAX;
+    'bfs: while head < ws.queue.len() {
+        let w = ws.queue[head] as usize;
+        head += 1;
+        for &ar in g.arcs_from(w) {
+            // `ar` points w -> p; its partner p -> w feeds w if it carries flow
+            if g.flow_along(ar ^ 1) <= 0 {
+                continue;
+            }
+            let p = g.arc_head(ar);
+            if p == from || ws.parent[p] != u32::MAX {
+                continue;
+            }
+            ws.parent[p] = ar;
+            if p == s || p == t || Some(p) == via {
+                end = p;
+                break 'bfs;
+            }
+            ws.queue.push(p as u32);
+        }
+    }
+    if end == usize::MAX {
+        return Err(());
+    }
+    // bottleneck: the smallest flow on the partners along the path
+    let mut amount = cap_amount;
+    let mut p = end;
+    while p != from {
+        let ar = ws.parent[p];
+        amount = amount.min(g.flow_along(ar ^ 1).max(0) as u64);
+        p = g.arc_tail(ar);
+    }
+    let mut p = end;
+    while p != from {
+        let ar = ws.parent[p];
+        g.push(ar, amount); // cancels the partner's flow
+        p = g.arc_tail(ar);
+    }
+    Ok((end, amount))
+}
+
+/// BFS from `from` forward along flow-carrying arcs until `s` or `t` is
+/// reached; cancels the bottleneck (≤ `cap_amount`) along the found path.
+/// Returns the cancelled amount.
+fn cancel_forward_path(
+    g: &mut FlowGraph,
+    from: usize,
+    s: usize,
+    t: usize,
+    cap_amount: u64,
+    ws: &mut Workspace,
+) -> Result<u64, ()> {
+    let n = g.node_count();
+    prepare(&mut ws.parent, n, u32::MAX);
+    ws.queue.clear();
+    ws.queue.push(from as u32);
+    let mut head = 0;
+    let mut end = usize::MAX;
+    'bfs: while head < ws.queue.len() {
+        let w = ws.queue[head] as usize;
+        head += 1;
+        for &ar in g.arcs_from(w) {
+            if g.flow_along(ar) <= 0 {
+                continue;
+            }
+            let p = g.arc_head(ar);
+            if p == from || ws.parent[p] != u32::MAX {
+                continue;
+            }
+            ws.parent[p] = ar;
+            if p == s || p == t {
+                end = p;
+                break 'bfs;
+            }
+            ws.queue.push(p as u32);
+        }
+    }
+    if end == usize::MAX {
+        return Err(());
+    }
+    let mut amount = cap_amount;
+    let mut p = end;
+    while p != from {
+        let ar = ws.parent[p];
+        amount = amount.min(g.flow_along(ar).max(0) as u64);
+        p = g.arc_tail(ar);
+    }
+    let mut p = end;
+    while p != from {
+        let ar = ws.parent[p];
+        g.push(ar ^ 1, amount); // cancels the arc's flow
+        p = g.arc_tail(ar);
+    }
+    Ok(amount)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::build_flow;
+    use netgraph::{GraphKind, NetworkBuilder, NodeId};
+
+    fn diamond() -> netgraph::Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 2, 0.1).unwrap();
+        b.add_edge(n[1], n[3], 2, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 2, 0.1).unwrap();
+        b.build()
+    }
+
+    fn brute(nf: &mut NetworkFlow, solver: SolverKind, required: u64, bits: u64) -> bool {
+        nf.apply_mask(EdgeMask::from_bits(bits, nf.edge_arcs.len()));
+        solver.solve(&mut nf.graph, nf.source, nf.sink, required) >= required
+    }
+
+    #[test]
+    fn gray_walk_matches_cold_solves_on_diamond() {
+        let net = diamond();
+        for solver in SolverKind::ALL {
+            let mut warm_nf = build_flow(&net, NodeId(0), NodeId(3));
+            let mut cold_nf = warm_nf.clone();
+            let mut state = WarmState::new();
+            for i in 0..64u64 {
+                let c = i ^ (i >> 1); // Gray code: one flip per step
+                let bits = c & 0b1111;
+                for d in [1u64, 2, 3, 4] {
+                    let want = brute(&mut cold_nf, solver, d, bits);
+                    let got = state.admits(&mut warm_nf, solver, d, bits, false);
+                    assert_eq!(got, want, "solver {solver:?} bits {bits:b} demand {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_holds_after_every_repair() {
+        let net = diamond();
+        let mut nf = build_flow(&net, NodeId(0), NodeId(3));
+        let mut state = WarmState::new();
+        for i in 0..32u64 {
+            let bits = (i ^ (i >> 1)) & 0b1111;
+            state.admits(&mut nf, SolverKind::Dinic, 3, bits, false);
+            nf.graph
+                .check_conservation(nf.source, nf.sink)
+                .expect("maintained flow must conserve");
+        }
+        assert!(state.stats.flips > 0, "walk must exercise the warm path");
+    }
+
+    #[test]
+    fn exhaust_mode_yields_cut_certificates() {
+        let net = diamond();
+        let mut nf = build_flow(&net, NodeId(0), NodeId(3));
+        let mut state = WarmState::new();
+        // all alive: feasible at 4
+        assert!(state.admits(&mut nf, SolverKind::Dinic, 4, 0b1111, true));
+        assert_ne!(nf.flow_support_bits(), 0);
+        // kill edge 0: max flow drops to 2, infeasible at 4
+        assert!(!state.admits(&mut nf, SolverKind::Dinic, 4, 0b1110, true));
+        let (crossing, _) = nf.residual_cut_bits().expect("exhausted residual");
+        assert_ne!(crossing, 0);
+    }
+
+    #[test]
+    fn invalidate_forces_full_resolve() {
+        let net = diamond();
+        let mut nf = build_flow(&net, NodeId(0), NodeId(3));
+        let mut state = WarmState::new();
+        assert!(state.admits(&mut nf, SolverKind::Dinic, 2, 0b1111, false));
+        let before = state.stats.full_resolves;
+        state.invalidate();
+        assert!(state.admits(&mut nf, SolverKind::Dinic, 2, 0b1111, false));
+        assert_eq!(state.stats.full_resolves, before + 1);
+    }
+}

@@ -33,17 +33,21 @@ pub mod dinic;
 pub mod edmonds_karp;
 pub mod ford_fulkerson;
 pub mod graph;
+pub mod incremental;
 pub mod lower;
 pub mod mincut;
 pub mod push_relabel;
 pub mod solver;
+pub mod workspace;
 
 pub use capacity_scaling::CapacityScaling;
 pub use dinic::Dinic;
 pub use edmonds_karp::EdmondsKarp;
 pub use ford_fulkerson::BfsFordFulkerson;
 pub use graph::{ArcId, FlowGraph};
+pub use incremental::{RepairStats, WarmState};
 pub use lower::{build_flow, build_flow_multi, NetworkFlow};
 pub use mincut::min_cut;
 pub use push_relabel::PushRelabel;
 pub use solver::{max_flow_at_least, MaxFlowSolver, SolverKind};
+pub use workspace::Workspace;

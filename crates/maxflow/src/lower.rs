@@ -136,6 +136,7 @@ fn lower_edges(net: &Network, g: &mut FlowGraph) -> Vec<ArcId> {
 pub fn build_flow(net: &Network, s: NodeId, t: NodeId) -> NetworkFlow {
     let mut graph = FlowGraph::new(net.node_count());
     let edge_arcs = lower_edges(net, &mut graph);
+    graph.ensure_csr();
     NetworkFlow {
         graph,
         edge_arcs,
@@ -188,6 +189,7 @@ pub fn build_flow_multi(
         }
         st
     };
+    graph.ensure_csr();
     NetworkFlow {
         graph,
         edge_arcs,

@@ -5,46 +5,61 @@
 //! still be a valid flow). It is included as the asymptotically strongest
 //! comparator (`O(|V|³)`) for the solver-ablation bench.
 
-use std::collections::VecDeque;
-
 use crate::graph::FlowGraph;
 use crate::solver::MaxFlowSolver;
+use crate::workspace::{prepare, Workspace};
 
 /// FIFO push-relabel with gap relabelling.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PushRelabel;
 
 impl MaxFlowSolver for PushRelabel {
-    fn solve(&self, g: &mut FlowGraph, s: usize, t: usize, limit: u64) -> u64 {
+    fn solve_ws(
+        &self,
+        g: &mut FlowGraph,
+        s: usize,
+        t: usize,
+        limit: u64,
+        ws: &mut Workspace,
+    ) -> u64 {
         if s == t {
             return limit;
         }
+        g.ensure_csr();
         let n = g.node_count();
-        let mut height = vec![0usize; n];
-        let mut excess = vec![0u64; n];
-        let mut current = vec![0usize; n];
-        let mut count = vec![0usize; 2 * n + 1]; // nodes per height
-        let mut active: VecDeque<usize> = VecDeque::new();
+        prepare(&mut ws.height, n, 0);
+        prepare(&mut ws.excess, n, 0);
+        prepare(&mut ws.cursor, n, 0);
+        prepare(&mut ws.count, 2 * n + 1, 0); // nodes per height
+        let height = &mut ws.height;
+        let excess = &mut ws.excess;
+        let current = &mut ws.cursor;
+        let count = &mut ws.count;
+        let active = &mut ws.deque;
+        active.clear();
 
         height[s] = n;
         count[0] = n - 1;
         count[n] += 1;
 
-        // saturate source arcs
-        let src_arcs: Vec<u32> = g.arcs_from(s).to_vec();
-        for arc in src_arcs {
+        // saturate source arcs (snapshot them: pushing mutates g)
+        ws.path.clear();
+        ws.path.extend_from_slice(g.arcs_from(s));
+        for i in 0..ws.path.len() {
+            let arc = ws.path[i];
             let cap = g.residual(arc);
             if cap > 0 {
                 let v = g.arc_head(arc);
                 g.push(arc, cap);
                 excess[v] += cap;
                 if v != t && v != s && excess[v] == cap {
-                    active.push_back(v);
+                    active.push_back(v as u32);
                 }
             }
         }
 
         while let Some(u) = active.pop_front() {
+            let u = u as usize;
             // discharge u completely
             while excess[u] > 0 {
                 if current[u] == g.arcs_from(u).len() {
@@ -84,7 +99,7 @@ impl MaxFlowSolver for PushRelabel {
                     let was_inactive = excess[v] == 0;
                     excess[v] += amount;
                     if was_inactive && v != s && v != t {
-                        active.push_back(v);
+                        active.push_back(v as u32);
                     }
                 } else {
                     current[u] += 1;

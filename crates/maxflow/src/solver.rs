@@ -1,14 +1,31 @@
 //! The solver trait and dispatch.
 
 use crate::graph::FlowGraph;
+use crate::workspace::Workspace;
 
 /// A maximum-flow algorithm over a prepared [`FlowGraph`].
 pub trait MaxFlowSolver {
-    /// Computes a maximum s–t flow, stopping early once `limit` units are
-    /// routed (pass `u64::MAX` for an unbounded solve). Returns
-    /// `min(max_flow, limit)`. The graph retains the routed flow; call
-    /// [`FlowGraph::reset`] before reusing it.
-    fn solve(&self, g: &mut FlowGraph, s: usize, t: usize, limit: u64) -> u64;
+    /// Computes a maximum s–t flow using caller-owned scratch space,
+    /// stopping early once `limit` units are routed (pass `u64::MAX` for an
+    /// unbounded solve). Returns `min(max_flow, limit)`. The graph retains
+    /// the routed flow; call [`FlowGraph::reset`] before reusing it.
+    ///
+    /// Solvers never shrink the workspace: keep one [`Workspace`] per
+    /// oracle/thread and reuse it across solves for allocation-free queries.
+    fn solve_ws(
+        &self,
+        g: &mut FlowGraph,
+        s: usize,
+        t: usize,
+        limit: u64,
+        ws: &mut Workspace,
+    ) -> u64;
+
+    /// Convenience wrapper around [`solve_ws`](Self::solve_ws) with a
+    /// throwaway workspace, for one-off solves.
+    fn solve(&self, g: &mut FlowGraph, s: usize, t: usize, limit: u64) -> u64 {
+        self.solve_ws(g, s, t, limit, &mut Workspace::new())
+    }
 
     /// Human-readable solver name (for benches and logs).
     fn name(&self) -> &'static str;
@@ -52,15 +69,38 @@ impl SolverKind {
         }
     }
 
-    /// Solves directly without boxing.
+    /// The solver's human-readable name without instantiating it.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Dinic => "dinic",
+            SolverKind::EdmondsKarp => "edmonds-karp",
+            SolverKind::BfsFordFulkerson => "bfs-ford-fulkerson",
+            SolverKind::PushRelabel => "push-relabel",
+            SolverKind::CapacityScaling => "capacity-scaling",
+        }
+    }
+
+    /// Solves directly without boxing, with a throwaway workspace.
     pub fn solve(self, g: &mut FlowGraph, s: usize, t: usize, limit: u64) -> u64 {
+        self.solve_ws(g, s, t, limit, &mut Workspace::new())
+    }
+
+    /// Solves directly without boxing, reusing `ws` for scratch space.
+    pub fn solve_ws(
+        self,
+        g: &mut FlowGraph,
+        s: usize,
+        t: usize,
+        limit: u64,
+        ws: &mut Workspace,
+    ) -> u64 {
         use crate::solver::MaxFlowSolver as _;
         match self {
-            SolverKind::Dinic => crate::Dinic.solve(g, s, t, limit),
-            SolverKind::EdmondsKarp => crate::EdmondsKarp.solve(g, s, t, limit),
-            SolverKind::BfsFordFulkerson => crate::BfsFordFulkerson.solve(g, s, t, limit),
-            SolverKind::PushRelabel => crate::PushRelabel.solve(g, s, t, limit),
-            SolverKind::CapacityScaling => crate::CapacityScaling.solve(g, s, t, limit),
+            SolverKind::Dinic => crate::Dinic.solve_ws(g, s, t, limit, ws),
+            SolverKind::EdmondsKarp => crate::EdmondsKarp.solve_ws(g, s, t, limit, ws),
+            SolverKind::BfsFordFulkerson => crate::BfsFordFulkerson.solve_ws(g, s, t, limit, ws),
+            SolverKind::PushRelabel => crate::PushRelabel.solve_ws(g, s, t, limit, ws),
+            SolverKind::CapacityScaling => crate::CapacityScaling.solve_ws(g, s, t, limit, ws),
         }
     }
 }
@@ -96,11 +136,31 @@ mod tests {
         for kind in SolverKind::ALL {
             let s = kind.solver();
             assert!(!s.name().is_empty());
+            assert_eq!(s.name(), kind.name());
         }
     }
 
     #[test]
     fn default_is_dinic() {
         assert_eq!(SolverKind::default(), SolverKind::Dinic);
+    }
+
+    #[test]
+    fn workspace_reuse_across_solves_and_sizes() {
+        let mut ws = Workspace::new();
+        let mut g = FlowGraph::new(3);
+        g.add_arc(0, 1, 2);
+        g.add_arc(1, 2, 2);
+        for kind in SolverKind::ALL {
+            g.reset();
+            assert_eq!(kind.solve_ws(&mut g, 0, 2, u64::MAX, &mut ws), 2);
+        }
+        // a smaller graph with the same (now larger) workspace
+        let mut g2 = FlowGraph::new(2);
+        g2.add_arc(0, 1, 7);
+        for kind in SolverKind::ALL {
+            g2.reset();
+            assert_eq!(kind.solve_ws(&mut g2, 0, 1, u64::MAX, &mut ws), 7);
+        }
     }
 }

@@ -1,0 +1,52 @@
+//! Reusable solver scratch space.
+//!
+//! Every solver needs per-node scratch (BFS levels, parent arcs, cursors,
+//! queues). Allocating those inside `solve` put a handful of heap
+//! allocations on the hot path of the exponential configuration sweeps. A
+//! [`Workspace`] owns all of them; an oracle keeps one alive across millions
+//! of solves and passes it to
+//! [`MaxFlowSolver::solve_ws`](crate::MaxFlowSolver::solve_ws), so a solve
+//! allocates nothing once the buffers have grown to the graph's node count.
+
+use std::collections::VecDeque;
+
+/// Reusable scratch buffers shared by all bundled solvers and the
+/// incremental repair routines. Cheap to create empty; buffers grow on first
+/// use and are retained (and reused) afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// BFS levels (Dinic).
+    pub(crate) level: Vec<u32>,
+    /// Per-node arc cursor (Dinic's `iter`, push-relabel's `current`).
+    pub(crate) cursor: Vec<usize>,
+    /// Parent arc per node (BFS augmenting-path solvers, repair BFS).
+    pub(crate) parent: Vec<u32>,
+    /// Plain FIFO for bounded BFS passes (each node enqueued at most once).
+    pub(crate) queue: Vec<u32>,
+    /// Current-path arc stack (Dinic DFS) / source-arc snapshot (push-relabel).
+    pub(crate) path: Vec<u32>,
+    /// Per-node excess (push-relabel).
+    pub(crate) excess: Vec<u64>,
+    /// Per-node height (push-relabel).
+    pub(crate) height: Vec<usize>,
+    /// Nodes per height, `2n + 1` slots (push-relabel gap heuristic).
+    pub(crate) count: Vec<usize>,
+    /// Unbounded FIFO (push-relabel active set: nodes can re-enter).
+    pub(crate) deque: VecDeque<u32>,
+}
+
+impl Workspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resizes a scratch vector to `n` slots filled with `fill`. `resize` keeps
+/// the backing allocation when shrinking and `fill` rewrites live slots, so
+/// after the first growth this never touches the allocator.
+#[inline]
+pub(crate) fn prepare<T: Copy>(buf: &mut Vec<T>, n: usize, fill: T) {
+    buf.resize(n, fill);
+    buf.fill(fill);
+}

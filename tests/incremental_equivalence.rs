@@ -1,0 +1,254 @@
+//! Incremental-oracle equivalence: warm-start flow repair must be invisible
+//! everywhere except the counters. A [`WarmState`] walked along random
+//! Gray-code (and multi-flip) mask sequences returns exactly the verdicts of
+//! from-scratch `apply_mask` solves for every solver kind; serial, parallel,
+//! and incremental sweeps agree on the reliability; and checkpoint/resume
+//! never leaks warm state across a slice boundary — the resumed serial run
+//! stays bit-identical with incremental on or off.
+
+use flowrel::core::{
+    reliability_naive_with_stats, Budget, CalcOptions, Checkpoint, FlowDemand, Outcome,
+    ReliabilityCalculator, Strategy,
+};
+use flowrel::maxflow::{build_flow, SolverKind, WarmState};
+use flowrel::netgraph::{EdgeMask, GraphKind, Network, NetworkBuilder};
+use rand::prelude::*;
+
+fn random_network(rng: &mut SmallRng, kind: GraphKind) -> (Network, FlowDemand) {
+    let n = rng.gen_range(3usize..6);
+    let edges = rng.gen_range(5usize..11);
+    let mut b = NetworkBuilder::new(kind);
+    let nodes = b.add_nodes(n);
+    // a spine guarantees s and t are connected in most draws
+    for w in nodes.windows(2) {
+        let p = rng.gen_range(1u32..16) as f64 / 32.0;
+        b.add_edge(w[0], w[1], rng.gen_range(1u64..3), p).unwrap();
+    }
+    for _ in 0..edges {
+        let u = rng.gen_range(0usize..n);
+        let v = rng.gen_range(0usize..n);
+        let p = rng.gen_range(0u32..24) as f64 / 32.0;
+        b.add_edge(nodes[u], nodes[v], rng.gen_range(1u64..4), p)
+            .unwrap();
+    }
+    let demand = rng.gen_range(1u64..3);
+    (b.build(), FlowDemand::new(nodes[0], nodes[n - 1], demand))
+}
+
+/// Random mask walk mixing single-bit Gray steps with occasional wide jumps
+/// (which exceed the warm-repair flip budget and force cold solves) and
+/// explicit invalidations (as a resume or assignment switch would issue).
+#[test]
+fn warm_walks_match_cold_solves_for_every_solver() {
+    let mut rng = SmallRng::seed_from_u64(0x1c0_0001);
+    for case in 0..20 {
+        let (net, d) = random_network(
+            &mut rng,
+            if case % 2 == 0 {
+                GraphKind::Undirected
+            } else {
+                GraphKind::Directed
+            },
+        );
+        let m = net.edge_count();
+        assert!(m <= 64, "warm oracle needs <= 64 edges");
+        let full = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+        // one pre-generated walk so every solver sees the same masks
+        let mut walk = Vec::new();
+        let mut bits = full;
+        for _ in 0..120 {
+            match rng.gen_range(0u32..10) {
+                0 => bits = rng.gen::<u64>() & full,   // wide jump
+                _ => bits ^= 1 << rng.gen_range(0..m), // Gray step
+            }
+            walk.push((bits, rng.gen_range(0u32..16) == 0)); // rare invalidate
+        }
+        for solver in SolverKind::ALL {
+            let mut warm_nf = build_flow(&net, d.source, d.sink);
+            let mut cold_nf = warm_nf.clone();
+            let mut state = WarmState::new();
+            for (step, &(bits, drop)) in walk.iter().enumerate() {
+                if drop {
+                    state.invalidate();
+                }
+                let exhaust = step % 3 == 0;
+                let got = state.admits(&mut warm_nf, solver, d.demand, bits, exhaust);
+                cold_nf.apply_mask(EdgeMask::from_bits(bits, m));
+                let want = solver.solve(&mut cold_nf.graph, cold_nf.source, cold_nf.sink, d.demand)
+                    >= d.demand;
+                assert_eq!(
+                    got, want,
+                    "case {case} step {step} solver {solver:?} bits {bits:b}"
+                );
+                warm_nf
+                    .graph
+                    .check_conservation(warm_nf.source, warm_nf.sink)
+                    .unwrap_or_else(|e| panic!("case {case} step {step} solver {solver:?}: {e:?}"));
+            }
+            let stats = state.take_stats();
+            assert!(
+                stats.flips > 0 && stats.full_resolves > 0,
+                "case {case} solver {solver:?}: walk must exercise both paths ({stats:?})"
+            );
+        }
+    }
+}
+
+fn opts(parallel: bool, incremental: bool, solver: SolverKind) -> CalcOptions {
+    CalcOptions {
+        parallel,
+        incremental,
+        solver,
+        // exercise the fan-out even on tiny instances
+        parallel_threshold: 0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn serial_parallel_and_incremental_reliabilities_agree() {
+    let mut rng = SmallRng::seed_from_u64(0x1c0_0002);
+    let mut repairs = 0u64;
+    for case in 0..15 {
+        let (net, d) = random_network(&mut rng, GraphKind::Undirected);
+        let solver = SolverKind::ALL[case % SolverKind::ALL.len()];
+        let (base, _) = reliability_naive_with_stats(&net, d, &opts(false, false, solver))
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let (incr, s_incr) =
+            reliability_naive_with_stats(&net, d, &opts(false, true, solver)).unwrap();
+        let (par, _) = reliability_naive_with_stats(&net, d, &opts(true, false, solver)).unwrap();
+        let (par_incr, _) =
+            reliability_naive_with_stats(&net, d, &opts(true, true, solver)).unwrap();
+        assert_eq!(
+            base.to_bits(),
+            incr.to_bits(),
+            "case {case} {solver:?}: serial incremental must be bit-identical"
+        );
+        assert!(
+            (base - par).abs() < 1e-15,
+            "case {case} {solver:?}: serial {base} vs parallel {par}"
+        );
+        assert!(
+            (base - par_incr).abs() < 1e-15,
+            "case {case} {solver:?}: serial {base} vs parallel+incremental {par_incr}"
+        );
+        repairs += s_incr.flips;
+    }
+    assert!(repairs > 0, "the incremental path must actually engage");
+}
+
+fn calc(strategy: Strategy, incremental: bool, budget: Budget) -> ReliabilityCalculator {
+    ReliabilityCalculator {
+        strategy,
+        options: CalcOptions {
+            incremental,
+            budget,
+            parallel: false,
+            ..Default::default()
+        },
+    }
+}
+
+/// Slices a run to completion through the checkpoint text round trip;
+/// returns the final reliability and how many times the budget interrupted.
+fn sliced(c: &ReliabilityCalculator, net: &Network, d: FlowDemand) -> (f64, usize) {
+    let mut out = c.run(net, d).expect("budgeted run");
+    let mut slices = 0usize;
+    loop {
+        match out {
+            Outcome::Complete(rep) => return (rep.reliability, slices),
+            Outcome::Partial(p) => {
+                slices += 1;
+                assert!(slices < 100_000, "budget loop must make progress");
+                let ck = Checkpoint::from_text(&p.checkpoint.to_text()).expect("round trip");
+                out = c.resume(net, d, &ck).expect("resume");
+            }
+        }
+    }
+}
+
+/// Warm state must never leak across a resume: a serial run sliced into
+/// 7-config budget chunks is bit-identical to the uninterrupted run, with
+/// incremental on (warm flows invalidated at every resume boundary) and with
+/// `--no-incremental` (PR 2's original guarantee).
+#[test]
+fn checkpoint_resume_is_bit_identical_with_and_without_incremental() {
+    let mut rng = SmallRng::seed_from_u64(0x1c0_0003);
+    let mut interrupted = 0usize;
+    for case in 0..10 {
+        let (net, d) = random_network(&mut rng, GraphKind::Undirected);
+        let exact = calc(Strategy::Naive, false, Budget::unlimited())
+            .run_complete(&net, d)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"))
+            .reliability;
+        let exact_incr = calc(Strategy::Naive, true, Budget::unlimited())
+            .run_complete(&net, d)
+            .unwrap()
+            .reliability;
+        assert_eq!(
+            exact.to_bits(),
+            exact_incr.to_bits(),
+            "case {case}: incremental must not change the uninterrupted result"
+        );
+        let budget = Budget {
+            max_configs: Some(7),
+            ..Default::default()
+        };
+        for incremental in [false, true] {
+            let (resumed, slices) =
+                sliced(&calc(Strategy::Naive, incremental, budget.clone()), &net, d);
+            assert_eq!(
+                resumed.to_bits(),
+                exact.to_bits(),
+                "case {case} incremental={incremental}: sliced {resumed} vs {exact}"
+            );
+            // preprocessing can shrink tiny draws below the budget; count the
+            // genuinely interrupted runs and demand enough of them overall
+            interrupted += usize::from(slices > 0);
+        }
+    }
+    assert!(
+        interrupted >= 10,
+        "too few interrupted runs ({interrupted})"
+    );
+}
+
+/// Same no-leak guarantee on the bottleneck decomposition path, whose side
+/// sweeps carry warm state through `SideOracle` and invalidate it at every
+/// assignment switch and resume boundary.
+#[test]
+fn bottleneck_resume_is_bit_identical_with_and_without_incremental() {
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let n = b.add_nodes(8);
+    for (i, j, p) in [(0, 1, 0.1), (1, 2, 0.15), (2, 0, 0.2), (0, 2, 0.12)] {
+        b.add_edge(n[i], n[j], 2, p).unwrap();
+    }
+    b.add_edge(n[2], n[4], 1, 0.05).unwrap(); // cut link 1
+    b.add_edge(n[3], n[5], 1, 0.08).unwrap(); // cut link 2
+    b.add_edge(n[2], n[3], 1, 0.3).unwrap();
+    for (i, j, p) in [(4, 5, 0.1), (5, 6, 0.25), (6, 7, 0.3), (7, 4, 0.18)] {
+        b.add_edge(n[i], n[j], 2, p).unwrap();
+    }
+    let (net, d) = (b.build(), FlowDemand::new(n[0], n[6], 1));
+    let exact = calc(Strategy::Auto, false, Budget::unlimited())
+        .run_complete(&net, d)
+        .unwrap();
+    assert_eq!(
+        exact.algorithm, "auto:bottleneck",
+        "the barbell must engage the decomposition"
+    );
+    let exact = exact.reliability;
+    let budget = Budget {
+        max_configs: Some(9),
+        ..Default::default()
+    };
+    for incremental in [false, true] {
+        let (resumed, slices) = sliced(&calc(Strategy::Auto, incremental, budget.clone()), &net, d);
+        assert!(slices > 0, "9-config slices must interrupt the barbell");
+        assert_eq!(
+            resumed.to_bits(),
+            exact.to_bits(),
+            "incremental={incremental}: sliced {resumed} vs {exact}"
+        );
+    }
+}

@@ -148,9 +148,9 @@ fn certificate_hits_never_change_spectrum_masses() {
             .unwrap();
             let mut o2 = SideOracle::new(side, &assignments, Default::default()).unwrap();
             let cfg = SweepConfig {
-                parallel: false,
                 certificates: true,
                 cache_size: 32,
+                ..SweepConfig::serial()
             };
             let (cached, stats) =
                 RealizationSpectrum::build_with(&mut o2, &weights, 26, 20, true, &cfg).unwrap();
