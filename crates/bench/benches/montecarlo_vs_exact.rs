@@ -27,6 +27,7 @@ fn bench(c: &mut Criterion) {
             |b, &samples| {
                 b.iter(|| {
                     montecarlo::estimate(&inst.net, inst.source, inst.sink, d.demand, samples, 3)
+                        .unwrap()
                 })
             },
         );

@@ -1,9 +1,11 @@
 //! `flowrel` — command-line reliability calculator.
 //!
 //! ```text
-//! flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge] [--exact]
+//! flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|mc] [--exact]
 //!                             [--timeout SECS] [--max-configs N]
 //!                             [--checkpoint PATH] [--resume PATH]
+//!                             [--mc-estimator auto|crude|dagger|perm]
+//!                             [--rel-err EPS] [--ci HALF] [--samples N] [--seed S]
 //! flowrel analyze <file.fnet> [--max-k K]
 //! flowrel mc <file.fnet> [--samples N] [--seed S]
 //! flowrel generate <barbell|chain|grid|mesh> [args...]
@@ -13,10 +15,12 @@
 //! ## Exit codes
 //!
 //! Every failure mode has its own status so scripts can branch without
-//! parsing stderr: `2` usage, `3` file I/O, `4` file parse, `10`–`23` one
+//! parsing stderr: `2` usage, `3` file I/O, `4` file parse, `10`–`24` one
 //! per [`flowrel_core::ReliabilityError`] variant (see [`CliError::from`]),
 //! and `20` for an *incomplete* run — the budget ran out and a partial
-//! result with rigorous bounds plus a checkpoint was produced.
+//! result with rigorous bounds plus a checkpoint was produced. Monte-Carlo
+//! runs use the same scheme: an interrupted estimation writes its checkpoint
+//! and exits `20`; invalid sampling parameters exit `24`.
 
 mod format;
 
@@ -64,6 +68,12 @@ impl CliError {
     }
 }
 
+impl From<montecarlo::McError> for CliError {
+    fn from(e: montecarlo::McError) -> Self {
+        CliError::from(ReliabilityError::from(e))
+    }
+}
+
 impl From<ReliabilityError> for CliError {
     fn from(e: ReliabilityError) -> Self {
         let code = match &e {
@@ -80,6 +90,7 @@ impl From<ReliabilityError> for CliError {
             ReliabilityError::ArityMismatch { .. } => 21,
             ReliabilityError::DirectedOnly { .. } => 22,
             ReliabilityError::CheckpointMismatch { .. } => 23,
+            ReliabilityError::Sampling { .. } => 24,
         };
         CliError {
             code,
@@ -149,9 +160,10 @@ mod sigint {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp] [--exact] [--parallel] [--no-certs]\n  \
+         flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp|mc] [--exact] [--parallel] [--no-certs]\n  \
          {:17}[--no-incremental] [--parallel-threshold N] [--timeout SECS] [--max-configs N]\n  \
          {:17}[--checkpoint PATH] [--resume PATH]\n  \
+         {:17}[--mc-estimator auto|crude|dagger|perm] [--rel-err EPS] [--ci HALF] [--samples N] [--seed S]\n  \
          flowrel analyze <file.fnet> [--max-k K]\n  \
          flowrel importance <file.fnet>\n  \
          flowrel mc <file.fnet> [--samples N] [--seed S]\n  \
@@ -160,6 +172,7 @@ fn usage() -> ExitCode {
          flowrel generate grid <w> <h> <seed>\n  \
          flowrel generate mesh <peers> <neighbors> <rate> <seed>\n  \
          flowrel dot <file.fnet>",
+        "",
         "",
         ""
     );
@@ -182,6 +195,49 @@ fn demand_of(file: &format::NetFile) -> Result<FlowDemand, CliError> {
         .ok_or_else(|| CliError::parse("the file has no 'demand' line"))
 }
 
+/// Builds [`montecarlo::McSettings`] from the `--strategy mc` flags.
+fn mc_settings(args: &[String]) -> Result<montecarlo::McSettings, CliError> {
+    let estimator = match flag_value(args, "--mc-estimator").as_deref() {
+        None => montecarlo::EstimatorKind::Auto,
+        Some(name) => montecarlo::EstimatorKind::from_name(name)
+            .ok_or_else(|| CliError::usage(format!("unknown --mc-estimator '{name}'")))?,
+    };
+    let positive = |flag: &'static str| -> Result<Option<f64>, CliError> {
+        flag_value(args, flag)
+            .map(|v| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .ok_or_else(|| CliError::usage(format!("bad {flag} (want a value > 0)")))
+            })
+            .transpose()
+    };
+    let max_samples = flag_value(args, "--samples")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| CliError::usage("bad --samples (want a count)"))
+        })
+        .transpose()?
+        .unwrap_or(1_000_000);
+    let seed = flag_value(args, "--seed")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| CliError::usage("bad --seed (want an integer)"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    Ok(montecarlo::McSettings {
+        seed,
+        estimator,
+        target: montecarlo::StopTarget {
+            rel_err: positive("--rel-err")?,
+            ci_half: positive("--ci")?,
+            max_samples,
+        },
+        ..Default::default()
+    })
+}
+
 fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
     let file = load(path)?;
     let demand = demand_of(&file)?;
@@ -199,6 +255,7 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
             println!("reliability = {r:.12}  (series-parallel reduction + factoring)");
             return Ok(());
         }
+        Some("mc") => Strategy::MonteCarlo(mc_settings(args)?),
         Some(other) => return Err(CliError::usage(format!("unknown strategy '{other}'"))),
     };
     let time_limit = flag_value(args, "--timeout")
@@ -255,20 +312,33 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
         Outcome::Partial(partial) => {
             std::fs::write(&checkpoint_path, partial.checkpoint.to_text())
                 .map_err(|e| CliError::io(format!("{checkpoint_path}: {e}")))?;
-            println!(
-                "partial result: reliability in [{:.12}, {:.12}]  (via {}, {:.3}% of the \
-                 configuration space explored)",
-                partial.r_low,
-                partial.r_high,
-                partial.algorithm,
-                100.0 * partial.explored
-            );
+            if let Some(mc) = &partial.mc {
+                println!(
+                    "partial estimate: reliability in [{:.12}, {:.12}]  (via {}, 95% Wilson \
+                     interval from {} samples — statistical, not certified)",
+                    partial.r_low, partial.r_high, partial.algorithm, mc.samples
+                );
+            } else {
+                println!(
+                    "partial result: reliability in [{:.12}, {:.12}]  (via {}, {:.3}% of the \
+                     configuration space explored)",
+                    partial.r_low,
+                    partial.r_high,
+                    partial.algorithm,
+                    100.0 * partial.explored
+                );
+            }
             println!("checkpoint written to {checkpoint_path}");
             println!("resume with: flowrel compute {path} --resume {checkpoint_path}");
+            let quality = if partial.mc.is_some() {
+                "estimated (95% Wilson)"
+            } else {
+                "certified"
+            };
             return Err(CliError {
                 code: EXIT_INCOMPLETE,
                 message: format!(
-                    "incomplete: budget exhausted, bounds [{:.12}, {:.12}] certified",
+                    "incomplete: budget exhausted, bounds [{:.12}, {:.12}] {quality}",
                     partial.r_low, partial.r_high
                 ),
             });
@@ -296,6 +366,19 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
             println!(
                 "warm repair: {} edge flips absorbed, {} paths cancelled, {} full re-solves",
                 b.sweep.flips, b.sweep.repairs, b.sweep.full_resolves
+            );
+        }
+    }
+    if let Some(mc) = report.mc {
+        if mc.exact {
+            println!(
+                "mc: value classified exactly ({} flow evals, no sampling needed)",
+                mc.flow_evals
+            );
+        } else {
+            println!(
+                "mc: 95% CI [{:.12}, {:.12}]  se={:.3e}  {} samples, {} flow evals",
+                mc.ci_low, mc.ci_high, mc.std_error, mc.samples, mc.flow_evals
             );
         }
     }
@@ -373,7 +456,7 @@ fn cmd_mc(path: &str, args: &[String]) -> Result<(), CliError> {
         demand.demand,
         samples,
         seed,
-    );
+    )?;
     let (lo, hi) = est.ci95();
     println!(
         "estimate = {:.6}  (95% CI [{lo:.6}, {hi:.6}], {} samples)",

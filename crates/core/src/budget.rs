@@ -41,6 +41,13 @@ impl CancelToken {
     pub fn is_tripped(&self) -> bool {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// The shared atomic behind the token, for wiring into subsystems that
+    /// take a bare flag (e.g. [`montecarlo::McBudget`]). Tripping the token
+    /// and storing `true` into the flag are the same operation.
+    pub fn as_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.0)
+    }
 }
 
 /// Resource limits for one reliability calculation. The default is

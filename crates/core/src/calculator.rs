@@ -31,6 +31,16 @@ pub enum Strategy {
         /// Largest bottleneck-set cardinality to search for.
         max_k: usize,
     },
+    /// Monte-Carlo estimation (the scale path when enumeration is hopeless).
+    ///
+    /// Unlike the exact strategies the answer is a statistical estimate: the
+    /// report's `reliability` is the sample mean and the accompanying
+    /// [`montecarlo::McReport`] carries the Wilson 95% interval. With
+    /// [`montecarlo::EstimatorKind::Auto`] the calculator looks for a small
+    /// bottleneck set and conditions on it (dagger sampling); failing that it
+    /// falls back to the permutation estimator, which keeps its relative
+    /// error bounded even for very reliable networks.
+    MonteCarlo(montecarlo::McSettings),
 }
 
 /// What was computed and how.
@@ -42,6 +52,9 @@ pub struct ReliabilityReport {
     pub algorithm: &'static str,
     /// Present when a bottleneck decomposition ran.
     pub bottleneck: Option<BottleneckReport>,
+    /// Present when Monte-Carlo estimation ran: interval, sample and
+    /// flow-evaluation counts. `reliability` equals its `mean`.
+    pub mc: Option<montecarlo::McReport>,
 }
 
 /// A budget-interrupted result: rigorous bounds plus resume state.
@@ -57,6 +70,11 @@ pub struct PartialReport {
     pub algorithm: &'static str,
     /// Present when a bottleneck decomposition was running.
     pub bottleneck: Option<BottleneckReport>,
+    /// Present when Monte-Carlo estimation was interrupted. For Monte-Carlo
+    /// partials `[r_low, r_high]` is the Wilson 95% interval so far —
+    /// statistical, not the certified enumeration bounds of the exact
+    /// algorithms.
+    pub mc: Option<montecarlo::McReport>,
     /// Resume state; feed to [`ReliabilityCalculator::resume`] (or serialize
     /// with [`Checkpoint::to_text`]) to continue the sweep later.
     pub checkpoint: Checkpoint,
@@ -66,7 +84,7 @@ pub struct PartialReport {
 #[derive(Clone, Debug)]
 pub enum Outcome {
     /// The computation finished; the value is exact.
-    Complete(ReliabilityReport),
+    Complete(Box<ReliabilityReport>),
     /// The budget ran out (or the run was cancelled): rigorous bounds and a
     /// checkpoint. Never produced when the budget is unlimited.
     Partial(Box<PartialReport>),
@@ -153,11 +171,12 @@ impl ReliabilityCalculator {
             Strategy::Naive => self.naive_outcome(net, demand, "naive", None),
             Strategy::Factoring => {
                 let r = reliability_factoring(net, demand, &self.options)?;
-                Ok(Outcome::Complete(ReliabilityReport {
+                Ok(Outcome::Complete(Box::new(ReliabilityReport {
                     reliability: r,
                     algorithm: "factoring",
                     bottleneck: None,
-                }))
+                    mc: None,
+                })))
             }
             Strategy::Bottleneck(cut) => {
                 let set = validate_bottleneck_set(net, demand.source, demand.sink, cut)?;
@@ -167,6 +186,7 @@ impl ReliabilityCalculator {
                 let set = find_bottleneck_set(net, demand.source, demand.sink, *max_k)?;
                 self.bottleneck_outcome(net, demand, &set, "bottleneck-auto", None)
             }
+            Strategy::MonteCarlo(settings) => self.montecarlo_outcome(net, demand, settings),
             Strategy::Auto => self.run_auto(net, demand),
         }
     }
@@ -179,7 +199,7 @@ impl ReliabilityCalculator {
         demand: FlowDemand,
     ) -> Result<ReliabilityReport, ReliabilityError> {
         match self.run(net, demand)? {
-            Outcome::Complete(rep) => Ok(rep),
+            Outcome::Complete(rep) => Ok(*rep),
             Outcome::Partial(p) => Err(ReliabilityError::Interrupted {
                 r_low: p.r_low,
                 r_high: p.r_high,
@@ -219,6 +239,18 @@ impl ReliabilityCalculator {
                 let set = validate_bottleneck_set(net, demand.source, demand.sink, cut)?;
                 self.bottleneck_outcome(net, demand, &set, "bottleneck", Some((side_s, side_t)))
             }
+            CheckpointKind::MonteCarlo(ck) => {
+                let out = montecarlo::engine::resume(
+                    net,
+                    demand.source,
+                    demand.sink,
+                    demand.demand,
+                    ck,
+                    &self.mc_budget(),
+                    self.options.parallel,
+                )?;
+                self.wrap_mc_outcome(net, demand, out)
+            }
         }
     }
 
@@ -232,11 +264,12 @@ impl ReliabilityCalculator {
     ) -> Result<Outcome, ReliabilityError> {
         match reliability_naive_anytime(net, demand, &self.options, resume)? {
             NaiveOutcome::Complete { reliability, .. } => {
-                Ok(Outcome::Complete(ReliabilityReport {
+                Ok(Outcome::Complete(Box::new(ReliabilityReport {
                     reliability,
                     algorithm,
                     bottleneck: None,
-                }))
+                    mc: None,
+                })))
             }
             NaiveOutcome::Partial {
                 r_low,
@@ -250,6 +283,7 @@ impl ReliabilityCalculator {
                 explored,
                 algorithm,
                 bottleneck: None,
+                mc: None,
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
                     kind: CheckpointKind::Naive(checkpoint),
@@ -271,11 +305,12 @@ impl ReliabilityCalculator {
             BottleneckOutcome::Complete {
                 reliability,
                 report,
-            } => Ok(Outcome::Complete(ReliabilityReport {
+            } => Ok(Outcome::Complete(Box::new(ReliabilityReport {
                 reliability,
                 algorithm,
                 bottleneck: Some(report),
-            })),
+                mc: None,
+            }))),
             BottleneckOutcome::Partial {
                 r_low,
                 r_high,
@@ -289,6 +324,7 @@ impl ReliabilityCalculator {
                 explored,
                 algorithm,
                 bottleneck: Some(report),
+                mc: None,
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
                     kind: CheckpointKind::Bottleneck {
@@ -298,6 +334,104 @@ impl ReliabilityCalculator {
                     },
                 },
             }))),
+        }
+    }
+
+    /// Bridges the exact engine's [`crate::budget::Budget`] into the
+    /// sampler's [`montecarlo::McBudget`]: the deadline carries over, the
+    /// configuration allowance becomes a sample allowance, and the cancel
+    /// token is shared (one Ctrl-C stops either engine).
+    fn mc_budget(&self) -> montecarlo::McBudget {
+        let b = &self.options.budget;
+        montecarlo::McBudget {
+            time_limit: b.time_limit,
+            max_samples: b.max_configs,
+            cancel: b.cancel.as_ref().map(|t| t.as_flag()),
+        }
+    }
+
+    /// Resolves [`montecarlo::EstimatorKind::Auto`] to a concrete estimator
+    /// *before* the engine runs, so the settings stored in a checkpoint are
+    /// always concrete and resume cannot re-resolve differently.
+    fn resolve_mc_settings(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        settings: &montecarlo::McSettings,
+    ) -> montecarlo::McSettings {
+        let mut resolved = settings.clone();
+        if resolved.estimator == montecarlo::EstimatorKind::Auto {
+            match find_bottleneck_set(net, demand.source, demand.sink, 3) {
+                Ok(set) if set.edges.len() <= montecarlo::MAX_STRATA_LINKS => {
+                    resolved.estimator = montecarlo::EstimatorKind::Dagger;
+                    resolved.strata = set.edges;
+                }
+                _ => {
+                    resolved.estimator = montecarlo::EstimatorKind::Permutation;
+                }
+            }
+        }
+        resolved
+    }
+
+    /// Runs the Monte-Carlo engine and wraps its outcome.
+    fn montecarlo_outcome(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        settings: &montecarlo::McSettings,
+    ) -> Result<Outcome, ReliabilityError> {
+        let resolved = self.resolve_mc_settings(net, demand, settings);
+        let out = montecarlo::engine::run(
+            net,
+            demand.source,
+            demand.sink,
+            demand.demand,
+            &resolved,
+            &self.mc_budget(),
+            self.options.parallel,
+        )?;
+        self.wrap_mc_outcome(net, demand, out)
+    }
+
+    /// Wraps a Monte-Carlo outcome into the calculator's report types.
+    fn wrap_mc_outcome(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        out: montecarlo::McOutcome,
+    ) -> Result<Outcome, ReliabilityError> {
+        fn mc_algorithm(estimator: &str) -> &'static str {
+            match estimator {
+                "dagger" => "montecarlo:dagger",
+                "perm" => "montecarlo:perm",
+                _ => "montecarlo:crude",
+            }
+        }
+        match out {
+            montecarlo::McOutcome::Done(report) => {
+                Ok(Outcome::Complete(Box::new(ReliabilityReport {
+                    reliability: report.mean,
+                    algorithm: mc_algorithm(report.estimator),
+                    bottleneck: None,
+                    mc: Some(report),
+                })))
+            }
+            montecarlo::McOutcome::Interrupted { report, checkpoint } => {
+                let cap = checkpoint.settings.target.max_samples.max(1) as f64;
+                Ok(Outcome::Partial(Box::new(PartialReport {
+                    r_low: report.ci_low,
+                    r_high: report.ci_high,
+                    explored: (report.samples as f64 / cap).min(1.0),
+                    algorithm: mc_algorithm(report.estimator),
+                    bottleneck: None,
+                    mc: Some(report),
+                    checkpoint: Checkpoint {
+                        fingerprint: instance_fingerprint(net, &demand, &self.options),
+                        kind: CheckpointKind::MonteCarlo(checkpoint),
+                    },
+                })))
+            }
         }
     }
 
@@ -323,11 +457,12 @@ impl ReliabilityCalculator {
             return self.naive_outcome(net, demand, "auto:naive", None);
         }
         let r = reliability_factoring(net, demand, &self.options)?;
-        Ok(Outcome::Complete(ReliabilityReport {
+        Ok(Outcome::Complete(Box::new(ReliabilityReport {
             reliability: r,
             algorithm: "auto:factoring",
             bottleneck: None,
-        }))
+            mc: None,
+        })))
     }
 }
 
@@ -531,6 +666,128 @@ mod tests {
             }
             Outcome::Complete(_) => panic!("a tripped token must stop the sweep"),
         }
+    }
+
+    #[test]
+    fn montecarlo_strategy_covers_the_exact_value() {
+        let (net, d) = barbell();
+        let exact = ReliabilityCalculator::new()
+            .with_strategy(Strategy::Naive)
+            .run_complete(&net, d)
+            .unwrap()
+            .reliability;
+        for estimator in [
+            montecarlo::EstimatorKind::Auto,
+            montecarlo::EstimatorKind::Crude,
+            montecarlo::EstimatorKind::Permutation,
+        ] {
+            let settings = montecarlo::McSettings {
+                seed: 7,
+                estimator,
+                target: montecarlo::StopTarget {
+                    max_samples: 40_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let rep = ReliabilityCalculator::new()
+                .with_strategy(Strategy::MonteCarlo(settings))
+                .run_complete(&net, d)
+                .unwrap();
+            let mc = rep.mc.expect("Monte-Carlo strategies attach a report");
+            assert!(
+                rep.algorithm.starts_with("montecarlo:"),
+                "{}",
+                rep.algorithm
+            );
+            assert_eq!(rep.reliability, mc.mean);
+            assert!(
+                (mc.mean - exact).abs() <= 4.0 * mc.std_error.max(1e-12),
+                "{estimator:?}: {} vs exact {exact} (se {})",
+                mc.mean,
+                mc.std_error
+            );
+        }
+    }
+
+    #[test]
+    fn montecarlo_auto_conditions_on_the_barbell_bottleneck() {
+        let (net, d) = barbell();
+        let rep = ReliabilityCalculator::new()
+            .with_strategy(Strategy::MonteCarlo(montecarlo::McSettings {
+                estimator: montecarlo::EstimatorKind::Auto,
+                ..Default::default()
+            }))
+            .run_complete(&net, d)
+            .unwrap();
+        assert_eq!(rep.algorithm, "montecarlo:dagger");
+    }
+
+    #[test]
+    fn montecarlo_budget_interrupts_and_text_resume_is_bit_identical() {
+        let (net, d) = barbell();
+        let settings = montecarlo::McSettings {
+            seed: 11,
+            estimator: montecarlo::EstimatorKind::Crude,
+            target: montecarlo::StopTarget {
+                max_samples: 30_000,
+                ..Default::default()
+            },
+            batch: 1024,
+            ..Default::default()
+        };
+        let full = ReliabilityCalculator::new()
+            .with_strategy(Strategy::MonteCarlo(settings.clone()))
+            .run_complete(&net, d)
+            .unwrap();
+        let budgeted = ReliabilityCalculator {
+            strategy: Strategy::MonteCarlo(settings),
+            options: CalcOptions {
+                budget: crate::budget::Budget {
+                    max_configs: Some(10_000),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        };
+        let Outcome::Partial(p) = budgeted.run(&net, d).unwrap() else {
+            panic!("a 10k-sample allowance must interrupt a 30k-sample run");
+        };
+        let mc = p.mc.as_ref().expect("partial MC report");
+        assert!(mc.samples > 0 && mc.samples < 30_000);
+        assert!(p.explored > 0.0 && p.explored < 1.0);
+        assert_eq!((p.r_low, p.r_high), (mc.ci_low, mc.ci_high));
+        // serialize, parse back, resume without a budget: must reproduce the
+        // uninterrupted run bit for bit
+        let text = p.checkpoint.to_text();
+        let parsed = Checkpoint::from_text(&text).unwrap();
+        let resumed = ReliabilityCalculator {
+            strategy: Strategy::MonteCarlo(montecarlo::McSettings::default()),
+            options: CalcOptions::default(),
+        }
+        .resume(&net, d, &parsed)
+        .unwrap();
+        let Outcome::Complete(rep) = resumed else {
+            panic!("an unlimited resume must finish");
+        };
+        assert_eq!(rep.mc.unwrap(), full.mc.unwrap());
+        assert_eq!(rep.reliability, full.reliability);
+    }
+
+    #[test]
+    fn montecarlo_rejects_bad_settings_as_sampling_errors() {
+        let (net, d) = barbell();
+        let out = ReliabilityCalculator::new()
+            .with_strategy(Strategy::MonteCarlo(montecarlo::McSettings {
+                estimator: montecarlo::EstimatorKind::Crude,
+                target: montecarlo::StopTarget {
+                    rel_err: Some(-0.1),
+                    ..Default::default()
+                },
+                ..Default::default()
+            }))
+            .run(&net, d);
+        assert!(matches!(out, Err(ReliabilityError::Sampling { .. })));
     }
 
     #[test]

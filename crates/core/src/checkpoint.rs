@@ -88,6 +88,11 @@ pub enum CheckpointKind {
         /// Sink-side sweep state.
         side_t: SideCheckpoint,
     },
+    /// Interrupted Monte-Carlo estimation ([`montecarlo::engine`]). Unlike
+    /// the exact kinds, the resumed quantity is a statistical estimate — but
+    /// resume is still bit-identical: the finished run equals an
+    /// uninterrupted run with the same settings.
+    MonteCarlo(montecarlo::McCheckpoint),
 }
 
 /// A resumable snapshot of an interrupted calculation.
@@ -182,6 +187,10 @@ impl Checkpoint {
                 ));
                 write_certs(&mut out, &n.certs);
             }
+            CheckpointKind::MonteCarlo(mc) => {
+                out.push_str("kind montecarlo\n");
+                write_mc(&mut out, mc);
+            }
             CheckpointKind::Bottleneck {
                 cut,
                 side_s,
@@ -242,6 +251,7 @@ impl Checkpoint {
                     certs,
                 })
             }
+            Some("montecarlo") => CheckpointKind::MonteCarlo(read_mc(&mut lines)?),
             Some("bottleneck") => {
                 let cut_fields = field(&mut lines, "cut")?;
                 let n: usize = parse(cut_fields.first(), "cut count")?;
@@ -264,6 +274,138 @@ impl Checkpoint {
         };
         Ok(Checkpoint { fingerprint, kind })
     }
+}
+
+fn write_mc(out: &mut String, mc: &montecarlo::McCheckpoint) {
+    let s = &mc.settings;
+    out.push_str(&format!("mc-estimator {}\n", s.estimator.name()));
+    out.push_str(&format!("mc-seed {}\n", s.seed));
+    out.push_str(&format!("mc-batch {}\n", s.batch));
+    out.push_str(&format!("mc-solver {}\n", s.solver.name()));
+    out.push_str(&format!("mc-strata {}", s.strata.len()));
+    for e in &s.strata {
+        out.push_str(&format!(" {}", e.0));
+    }
+    out.push('\n');
+    let opt_bits = |v: Option<f64>| match v {
+        Some(x) => format!("{:016x}", x.to_bits()),
+        None => "-".to_string(),
+    };
+    out.push_str(&format!(
+        "mc-target {} {} {}\n",
+        opt_bits(s.target.rel_err),
+        opt_bits(s.target.ci_half),
+        s.target.max_samples
+    ));
+    out.push_str(&format!(
+        "mc-cursor {} {} {}\n",
+        mc.next_batch, mc.samples, mc.flow_evals
+    ));
+    match &mc.accum {
+        montecarlo::McAccum::Counts { successes } => {
+            out.push_str(&format!("mc-accum counts {successes}\n"));
+        }
+        montecarlo::McAccum::Strata { counts } => {
+            out.push_str(&format!("mc-accum strata {}\n", counts.len()));
+            for &(succ, n) in counts {
+                out.push_str(&format!("sc {succ} {n}\n"));
+            }
+        }
+        montecarlo::McAccum::Perm { sum, sum_sq } => {
+            out.push_str(&format!(
+                "mc-accum perm {:016x} {:016x} {:016x} {:016x}\n",
+                sum.0.to_bits(),
+                sum.1.to_bits(),
+                sum_sq.0.to_bits(),
+                sum_sq.1.to_bits()
+            ));
+        }
+    }
+}
+
+fn read_mc(lines: &mut std::str::Lines<'_>) -> Result<montecarlo::McCheckpoint, ReliabilityError> {
+    use montecarlo::{EstimatorKind, McAccum, McCheckpoint, McSettings, StopTarget};
+    let ef = field(lines, "mc-estimator")?;
+    let estimator = ef
+        .first()
+        .and_then(|s| EstimatorKind::from_name(s))
+        .ok_or_else(|| bad("unknown Monte-Carlo estimator"))?;
+    let seed: u64 = parse(field(lines, "mc-seed")?.first(), "mc seed")?;
+    let batch: u64 = parse(field(lines, "mc-batch")?.first(), "mc batch size")?;
+    let sf = field(lines, "mc-solver")?;
+    let solver = sf
+        .first()
+        .and_then(|s| maxflow::SolverKind::ALL.iter().find(|k| k.name() == *s))
+        .copied()
+        .ok_or_else(|| bad("unknown Monte-Carlo solver"))?;
+    let stf = field(lines, "mc-strata")?;
+    let n: usize = parse(stf.first(), "strata count")?;
+    if stf.len() != n + 1 {
+        return Err(bad("mc-strata line has the wrong arity"));
+    }
+    let strata = stf[1..]
+        .iter()
+        .map(|s| parse(Some(s), "stratum link id").map(EdgeId))
+        .collect::<Result<Vec<_>, _>>()?;
+    let tf = field(lines, "mc-target")?;
+    let opt_bits = |s: Option<&&str>, what: &str| -> Result<Option<f64>, ReliabilityError> {
+        match s {
+            Some(&"-") => Ok(None),
+            other => Ok(Some(f64::from_bits(parse_hex(other, what)?))),
+        }
+    };
+    let target = StopTarget {
+        rel_err: opt_bits(tf.first(), "mc rel-err target")?,
+        ci_half: opt_bits(tf.get(1), "mc ci target")?,
+        max_samples: parse(tf.get(2), "mc sample cap")?,
+    };
+    let cf = field(lines, "mc-cursor")?;
+    let next_batch: u64 = parse(cf.first(), "mc cursor batch")?;
+    let samples: u64 = parse(cf.get(1), "mc cursor samples")?;
+    let flow_evals: u64 = parse(cf.get(2), "mc cursor flow evals")?;
+    let af = field(lines, "mc-accum")?;
+    let accum = match af.first().copied() {
+        Some("counts") => McAccum::Counts {
+            successes: parse(af.get(1), "mc success count")?,
+        },
+        Some("strata") => {
+            let k: usize = parse(af.get(1), "mc stratum count")?;
+            let mut counts = Vec::with_capacity(k);
+            for _ in 0..k {
+                let sc = field(lines, "sc")?;
+                counts.push((
+                    parse(sc.first(), "stratum successes")?,
+                    parse(sc.get(1), "stratum samples")?,
+                ));
+            }
+            McAccum::Strata { counts }
+        }
+        Some("perm") => McAccum::Perm {
+            sum: (
+                f64::from_bits(parse_hex(af.get(1), "perm sum")?),
+                f64::from_bits(parse_hex(af.get(2), "perm sum compensation")?),
+            ),
+            sum_sq: (
+                f64::from_bits(parse_hex(af.get(3), "perm sum of squares")?),
+                f64::from_bits(parse_hex(af.get(4), "perm square compensation")?),
+            ),
+        },
+        _ => return Err(bad("unknown Monte-Carlo accumulator kind")),
+    };
+    Ok(McCheckpoint {
+        settings: McSettings {
+            seed,
+            estimator,
+            strata,
+            target,
+            batch,
+            solver,
+        },
+        next_batch,
+        samples,
+        flow_evals,
+        accum,
+    })
 }
 
 fn write_cursor(out: &mut String, cursor: &SweepCursor) {
@@ -477,6 +619,64 @@ mod tests {
         let ck = bottleneck_checkpoint();
         let back = Checkpoint::from_text(&ck.to_text()).unwrap();
         assert_eq!(back, ck);
+    }
+
+    fn mc_checkpoint(accum: montecarlo::McAccum) -> Checkpoint {
+        Checkpoint {
+            fingerprint: 7,
+            kind: CheckpointKind::MonteCarlo(montecarlo::McCheckpoint {
+                settings: montecarlo::McSettings {
+                    seed: 0x0123_4567_89ab_cdef,
+                    estimator: montecarlo::EstimatorKind::Dagger,
+                    strata: vec![EdgeId(3), EdgeId(0)],
+                    target: montecarlo::StopTarget {
+                        rel_err: Some(0.05),
+                        ci_half: None,
+                        max_samples: 1 << 20,
+                    },
+                    batch: 2048,
+                    solver: maxflow::SolverKind::PushRelabel,
+                },
+                next_batch: 17,
+                samples: 17 * 2048,
+                flow_evals: 40_000,
+                accum,
+            }),
+        }
+    }
+
+    #[test]
+    fn montecarlo_round_trips_every_accumulator_bit_exactly() {
+        use montecarlo::McAccum;
+        let accums = [
+            McAccum::Counts { successes: 12345 },
+            McAccum::Strata {
+                counts: vec![(10, 1024), (0, 512), (2048, 2048)],
+            },
+            McAccum::Perm {
+                sum: (1.0e-8, -3.1e-25),
+                sum_sq: (4.2e-16, 7.0e-33),
+            },
+        ];
+        for accum in accums {
+            let ck = mc_checkpoint(accum);
+            let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+            assert_eq!(back, ck);
+        }
+        // PartialEq on f64 would accept -0.0 == 0.0; check the hex encoding
+        // really is bit-exact for a negative-zero compensation term.
+        let ck = mc_checkpoint(montecarlo::McAccum::Perm {
+            sum: (0.1, -0.0),
+            sum_sq: (0.01, 0.0),
+        });
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        let CheckpointKind::MonteCarlo(mc) = &back.kind else {
+            panic!("kind must survive the round trip");
+        };
+        let montecarlo::McAccum::Perm { sum, .. } = &mc.accum else {
+            panic!("accumulator kind must survive the round trip");
+        };
+        assert_eq!(sum.1.to_bits(), (-0.0f64).to_bits());
     }
 
     #[test]

@@ -92,6 +92,12 @@ pub enum ReliabilityError {
         /// What disagreed.
         reason: String,
     },
+    /// A Monte-Carlo estimation run rejected its input (bad sampling
+    /// parameters, too many links for the sampling mask, invalid strata).
+    Sampling {
+        /// What was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ReliabilityError {
@@ -162,6 +168,9 @@ impl fmt::Display for ReliabilityError {
             ReliabilityError::CheckpointMismatch { reason } => {
                 write!(f, "checkpoint does not match this instance: {reason}")
             }
+            ReliabilityError::Sampling { reason } => {
+                write!(f, "sampling error: {reason}")
+            }
         }
     }
 }
@@ -171,6 +180,19 @@ impl std::error::Error for ReliabilityError {}
 impl From<GraphError> for ReliabilityError {
     fn from(e: GraphError) -> Self {
         ReliabilityError::Graph(e)
+    }
+}
+
+impl From<montecarlo::McError> for ReliabilityError {
+    fn from(e: montecarlo::McError) -> Self {
+        match e {
+            montecarlo::McError::CheckpointMismatch { reason } => {
+                ReliabilityError::CheckpointMismatch { reason }
+            }
+            other => ReliabilityError::Sampling {
+                reason: other.to_string(),
+            },
+        }
     }
 }
 

@@ -83,6 +83,9 @@ pub use error::ReliabilityError;
 pub use factoring::reliability_factoring;
 pub use factoring::reliability_factoring_exact;
 pub use importance::{birnbaum_importance, LinkImportance};
+pub use montecarlo::{
+    EstimatorKind, McBudget, McCheckpoint, McError, McOutcome, McReport, McSettings, StopTarget,
+};
 pub use naive::{
     reliability_naive, reliability_naive_anytime, reliability_naive_exact,
     reliability_naive_weighted, reliability_naive_with_stats, NaiveOutcome,

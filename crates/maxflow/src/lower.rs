@@ -45,6 +45,30 @@ impl NetworkFlow {
         self.graph.reset();
     }
 
+    /// Prepares the graph with every network edge disabled (super-terminal
+    /// arcs, which cannot fail, keep their base capacity). The starting state
+    /// of permutation-style samplers that revive links one at a time with
+    /// [`revive_edge`](Self::revive_edge).
+    pub fn apply_none_alive(&mut self) {
+        self.graph.reset();
+        for &arc in &self.edge_arcs {
+            self.graph.disable(arc);
+        }
+    }
+
+    /// Revives network edge `i`, restoring its base capacity in place while
+    /// keeping all flow currently routed through the rest of the graph —
+    /// follow-up solves only augment the *additional* flow the revived link
+    /// enables. The edge must currently be disabled and flow-free, which
+    /// holds for any edge not yet revived since the last
+    /// [`apply_mask`](Self::apply_mask) / [`apply_none_alive`](Self::apply_none_alive).
+    ///
+    /// # Panics
+    /// Panics if `i` is not a network edge index.
+    pub fn revive_edge(&mut self, i: usize) {
+        self.graph.revive(self.edge_arcs[i]);
+    }
+
     /// Bitmask of network edges carrying nonzero flow after a *successful*
     /// feasibility solve.
     ///
@@ -342,6 +366,24 @@ mod tests {
         let (crossing, fixed) = nf.residual_cut_bits().expect("sink unreachable");
         assert_eq!(crossing, 0b0011, "node 0's dead edges cross the cut");
         assert_eq!(fixed, 1, "the saturated supply arc to node 1 crosses too");
+    }
+
+    #[test]
+    fn revive_edges_augments_incrementally() {
+        let net = diamond(GraphKind::Directed);
+        let mut nf = build_flow(&net, NodeId(0), NodeId(3));
+        nf.apply_none_alive();
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 0);
+        // revive the a-path one link at a time; flow only appears once the
+        // path is complete, and each solve augments on the warm residual
+        nf.revive_edge(0); // s->a
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 0);
+        nf.revive_edge(2); // a->t
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 2);
+        // the b-path adds two more units on top of the retained flow
+        nf.revive_edge(1);
+        nf.revive_edge(3);
+        assert_eq!(Dinic.solve(&mut nf.graph, nf.source, nf.sink, u64::MAX), 2);
     }
 
     #[test]

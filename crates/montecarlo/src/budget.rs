@@ -1,0 +1,142 @@
+//! Sampling budgets: wall-clock deadlines, per-run sample allowances, and
+//! cooperative cancellation for the estimation engine.
+//!
+//! This mirrors `flowrel_core::Budget`, but stays independent of that crate
+//! (the dependency points the other way: `core` wires its budget into this
+//! one). The cancellation flag is a bare `Arc<AtomicBool>` so any caller —
+//! core's `CancelToken`, a signal handler bridge, a test — can share one.
+//!
+//! A budget never changes *what* the engine computes, only *how far* it gets
+//! before handing back a checkpoint: the sequence of batches, their RNG
+//! streams, and the stopping decision are functions of the
+//! [`crate::engine::McSettings`] alone, so an interrupted-and-resumed run
+//! reproduces the uninterrupted estimate bit for bit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one estimation run. The default is unlimited.
+#[derive(Clone, Debug, Default)]
+pub struct McBudget {
+    /// Wall-clock limit, measured from [`McBudget::start`].
+    pub time_limit: Option<Duration>,
+    /// Maximum samples to draw *in this run* (an interrupted run's resume
+    /// gets a fresh allowance, matching the exact sweeps' `max_configs`).
+    pub max_samples: Option<u64>,
+    /// Cooperative cancellation flag (e.g. shared with a Ctrl-C handler).
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl McBudget {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when no limit of any kind is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.time_limit.is_none() && self.max_samples.is_none() && self.cancel.is_none()
+    }
+
+    /// Arms the budget: the deadline clock starts now.
+    pub fn start(&self) -> McSentinel {
+        McSentinel {
+            deadline: self.time_limit.map(|d| Instant::now() + d),
+            max_samples: self.max_samples,
+            cancel: self.cancel.clone(),
+            trivial: self.is_unlimited(),
+        }
+    }
+}
+
+/// The armed form of an [`McBudget`], polled between sampling batches.
+#[derive(Debug)]
+pub struct McSentinel {
+    deadline: Option<Instant>,
+    max_samples: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+    trivial: bool,
+}
+
+impl McSentinel {
+    /// True when this sentinel can never interrupt.
+    pub fn is_unlimited(&self) -> bool {
+        self.trivial
+    }
+
+    /// Whether a stop has been requested by the deadline or the cancellation
+    /// flag.
+    pub fn interrupted(&self) -> bool {
+        if self.trivial {
+            return false;
+        }
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `drawn` samples exhaust this run's sample allowance.
+    pub fn samples_exhausted(&self, drawn: u64) -> bool {
+        self.max_samples.is_some_and(|m| drawn >= m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_interrupts() {
+        let s = McBudget::unlimited().start();
+        assert!(s.is_unlimited());
+        assert!(!s.interrupted());
+        assert!(!s.samples_exhausted(u64::MAX));
+    }
+
+    #[test]
+    fn cancel_flag_interrupts() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let s = McBudget {
+            cancel: Some(flag.clone()),
+            ..Default::default()
+        }
+        .start();
+        assert!(!s.interrupted());
+        flag.store(true, Ordering::Relaxed);
+        assert!(s.interrupted());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts() {
+        let s = McBudget {
+            time_limit: Some(Duration::from_secs(0)),
+            ..Default::default()
+        }
+        .start();
+        assert!(s.interrupted());
+    }
+
+    #[test]
+    fn sample_allowance_is_per_run() {
+        let s = McBudget {
+            max_samples: Some(100),
+            ..Default::default()
+        }
+        .start();
+        assert!(!s.samples_exhausted(99));
+        assert!(s.samples_exhausted(100));
+        assert!(
+            !s.interrupted(),
+            "sample cap is not a time/cancel interrupt"
+        );
+    }
+}

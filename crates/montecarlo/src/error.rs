@@ -1,0 +1,111 @@
+//! Errors of the statistical estimators.
+//!
+//! Mirrors the shape of `flowrel_core::ReliabilityError`: every way user
+//! input can be rejected has its own variant, `Display` is informative, and
+//! nothing in the library panics on bad input (enforced by the CI
+//! `clippy::unwrap_used`/`expect_used` gate on this crate).
+
+use std::fmt;
+
+use netgraph::EdgeId;
+
+/// Errors produced by the Monte-Carlo estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McError {
+    /// The network has more links than a [`netgraph::EdgeMask`] can
+    /// represent, so failure configurations cannot be sampled.
+    TooManyEdges {
+        /// Links in the network.
+        count: usize,
+        /// The mask capacity ([`netgraph::EdgeMask::MAX_EDGES`]).
+        max: usize,
+    },
+    /// Zero samples (or sample pairs) were requested; an estimate needs at
+    /// least one.
+    NoSamples,
+    /// A numeric parameter is out of its valid range.
+    BadParameter {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Too many strata links: `2^k` strata must stay enumerable.
+    TooManyStrataLinks {
+        /// Strata links requested.
+        count: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The same link appears twice in the strata set.
+    DuplicateStratumLink {
+        /// The repeated link.
+        link: EdgeId,
+    },
+    /// A strata link id does not exist in the network.
+    StratumLinkOutOfRange {
+        /// The offending link id.
+        link: EdgeId,
+        /// Links in the network.
+        edges: usize,
+    },
+    /// A resume checkpoint is inconsistent with the instance or settings it
+    /// is being resumed against.
+    CheckpointMismatch {
+        /// What disagreed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::TooManyEdges { count, max } => {
+                write!(
+                    f,
+                    "{count} links exceed the {max}-bit sampling-mask capacity"
+                )
+            }
+            McError::NoSamples => write!(f, "at least one sample is required"),
+            McError::BadParameter { what, reason } => write!(f, "bad {what}: {reason}"),
+            McError::TooManyStrataLinks { count, max } => {
+                write!(f, "{count} strata links exceed the maximum of {max}")
+            }
+            McError::DuplicateStratumLink { link } => {
+                write!(f, "duplicate stratum link {link:?}")
+            }
+            McError::StratumLinkOutOfRange { link, edges } => {
+                write!(
+                    f,
+                    "stratum link {link:?} out of range (network has {edges} links)"
+                )
+            }
+            McError::CheckpointMismatch { reason } => {
+                write!(f, "Monte-Carlo checkpoint does not match: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = McError::TooManyEdges { count: 70, max: 64 };
+        assert!(e.to_string().contains("70"));
+        let e = McError::BadParameter {
+            what: "rel_err",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("rel_err"));
+        let e = McError::StratumLinkOutOfRange {
+            link: EdgeId(9),
+            edges: 4,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

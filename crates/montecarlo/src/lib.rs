@@ -1,37 +1,141 @@
 //! # montecarlo — statistical reliability estimation
 //!
-//! The exact algorithms are exponential; Monte-Carlo sampling is the standard
-//! practical alternative and the natural baseline to compare the paper's
-//! algorithm against. This crate provides:
+//! The exact algorithms are exponential; Monte-Carlo sampling is the only
+//! practical path at scale and the natural baseline to compare the paper's
+//! algorithm against. This crate provides two layers:
 //!
-//! * [`estimate`] — fixed-sample-count estimation with a normal-approximation
-//!   confidence interval;
-//! * [`estimate_parallel`] — the same sweep fanned out over crossbeam scoped
-//!   threads, each with its own independently seeded RNG;
+//! **Basic estimators** (fixed experiment, no budget):
+//!
+//! * [`estimate`] — fixed-sample-count estimation;
+//! * [`estimate_parallel`] — the same sweep fanned out over rayon workers,
+//!   each with its own hash-derived RNG stream;
 //! * [`estimate_until`] — a sequential stopping rule: sample until the
-//!   half-width of the confidence interval falls below a target (or a sample
-//!   budget is exhausted);
+//!   Wilson 95% half-width falls below a target (or a sample budget is
+//!   exhausted);
 //! * [`estimate_antithetic`] — antithetic variates: negatively correlated
 //!   sample pairs, never worse than plain sampling for this monotone system;
 //! * [`estimate_stratified`] — stratify on a chosen link subset (naturally
-//!   the bottleneck links of the paper's decomposition): each of the `2^k`
-//!   availability configurations of those links becomes a stratum whose
-//!   probability is computed exactly, and only the remaining links are
-//!   sampled. This removes the strata links' variance contribution entirely.
+//!   the bottleneck links of the paper's decomposition).
 //!
-//! Sampling is deterministic per seed, so experiments are reproducible.
+//! **The estimation engine** ([`engine`]): budget-aware, checkpointable
+//! estimation with variance-reduced estimators for the rare-event regime —
+//! a conditional ("dagger") sampler over bottleneck-link strata and a
+//! permutation ("turnip") estimator — driven by relative-error or CI-width
+//! stopping targets. See [`engine::run`].
+//!
+//! ## Confidence intervals
+//!
+//! All intervals are **Wilson score intervals**, not the textbook normal
+//! approximation: at an observed proportion of exactly 0 or 1 the normal
+//! interval collapses to a point (claiming certainty after finitely many
+//! samples), while the Wilson interval keeps a nonzero width of order
+//! `z²/(n+z²)` until coverage is actually established. This is exactly the
+//! regime that matters here, where reliabilities near 1 routinely produce
+//! all-success batches.
+//!
+//! ## Determinism
+//!
+//! Sampling is deterministic per seed. Every worker/batch RNG stream is
+//! derived with [`stream_seed`], a splitmix64-style hash of
+//! `(seed, domain | index)`, so streams never collide across rounds,
+//! workers, or estimators (plain `seed + i` offsets did: round `r` of the
+//! sequential rule reused worker `i = r`'s stream).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
+pub mod engine;
+pub mod error;
+pub mod pmc;
 pub mod stratified;
 
-pub use stratified::{estimate_stratified, StratifiedEstimate};
+pub use budget::{McBudget, McSentinel};
+pub use engine::{
+    EstimatorKind, McAccum, McCheckpoint, McOutcome, McReport, McSettings, StopTarget,
+};
+pub use error::McError;
+pub use stratified::{estimate_stratified, StratifiedEstimate, MAX_STRATA_LINKS};
 
-use maxflow::{build_flow, SolverKind};
+use maxflow::{build_flow, SolverKind, Workspace};
 use netgraph::{EdgeMask, Network, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// z-score of the two-sided 95% interval, matching the exact crates' docs.
+pub(crate) const Z95: f64 = 1.96;
+
+// Stream-domain tags for `stream_seed`: the high byte separates the users of
+// the base seed so no two consumers can hash onto the same RNG stream.
+pub(crate) const STREAM_CRUDE: u64 = 1 << 56;
+pub(crate) const STREAM_WORKER: u64 = 2 << 56;
+pub(crate) const STREAM_BATCH: u64 = 3 << 56;
+pub(crate) const STREAM_ANTITHETIC: u64 = 4 << 56;
+pub(crate) const STREAM_STRATIFIED: u64 = 5 << 56;
+pub(crate) const STREAM_ENGINE: u64 = 6 << 56;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent RNG seed for stream `stream` of the base `seed`.
+///
+/// Splitmix64-style bit mixing: both stages are bijections, so distinct
+/// streams of one seed never produce the same derived seed, unlike additive
+/// `seed + i` schemes where worker `i` and batch round `r = i` collide.
+pub fn stream_seed(seed: u64, stream: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(stream))
+}
+
+/// The Wilson score interval `(lo, hi)` for an observed proportion `mean`
+/// over an (effective) sample size `n`, clamped to `[0, 1]`.
+///
+/// Unlike the normal approximation, the interval has nonzero width for every
+/// finite `n`, even at `mean` 0 or 1 where it spans about `z²/(n+z²)` from
+/// the boundary. `n` may be fractional: variance-reduced estimators pass the
+/// effective sample size `mean(1−mean)/se²`.
+pub fn wilson_interval(mean: f64, n: f64, z: f64) -> (f64, f64) {
+    if n.is_nan() || n <= 0.0 || !mean.is_finite() {
+        return (0.0, 1.0);
+    }
+    let mean = mean.clamp(0.0, 1.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (mean + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (mean * (1.0 - mean) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Unclamped Wilson half-width: the stopping statistic of the sequential
+/// rules. Strictly positive for every finite `n`.
+pub(crate) fn wilson_half(mean: f64, n: f64, z: f64) -> f64 {
+    if n.is_nan() || n <= 0.0 || !mean.is_finite() {
+        return f64::INFINITY;
+    }
+    let mean = mean.clamp(0.0, 1.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    (z / denom) * (mean * (1.0 - mean) / n + z2 / (4.0 * n * n)).sqrt()
+}
+
+/// Effective sample size backing a `(mean, std_error)` pair: the number of
+/// Bernoulli samples whose binomial error would equal the measured one,
+/// floored at the actual count so a noisy variance estimate can never claim
+/// an interval narrower than plain sampling's... wider, rather: the floor
+/// keeps variance-reduced estimators from *widening* past the plain Wilson
+/// interval, which is a valid 95% interval for any `[0,1]`-valued estimator
+/// because `Var(X) ≤ E[X](1−E[X])` for `X ∈ [0,1]`.
+pub(crate) fn effective_n(mean: f64, samples: u64, std_error: f64) -> f64 {
+    let binom_var = mean.clamp(0.0, 1.0) * (1.0 - mean.clamp(0.0, 1.0));
+    if std_error > 0.0 && binom_var > 0.0 {
+        (binom_var / (std_error * std_error)).max(samples as f64)
+    } else {
+        samples as f64
+    }
+}
 
 /// A Monte-Carlo reliability estimate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,27 +146,49 @@ pub struct Estimate {
     pub samples: u64,
     /// Number of samples in which the demand was admitted.
     pub successes: u64,
-    /// Standard error of the mean (binomial).
+    /// Standard error of the mean (binomial, or the estimator's measured
+    /// standard error for variance-reduced estimators).
     pub std_error: f64,
 }
 
 impl Estimate {
-    fn from_counts(successes: u64, samples: u64) -> Estimate {
-        assert!(samples > 0, "at least one sample required");
+    /// Builds an estimate from raw success/sample counts.
+    pub fn from_counts(successes: u64, samples: u64) -> Result<Estimate, McError> {
+        if samples == 0 {
+            return Err(McError::NoSamples);
+        }
+        if successes > samples {
+            return Err(McError::BadParameter {
+                what: "successes",
+                reason: format!("{successes} successes exceed {samples} samples"),
+            });
+        }
         let mean = successes as f64 / samples as f64;
         let std_error = (mean * (1.0 - mean) / samples as f64).sqrt();
-        Estimate {
+        Ok(Estimate {
             mean,
             samples,
             successes,
             std_error,
-        }
+        })
     }
 
-    /// The 95% confidence interval `(lo, hi)`, clamped to `[0, 1]`.
+    /// The 95% **Wilson score** confidence interval `(lo, hi)`, clamped to
+    /// `[0, 1]`.
+    ///
+    /// Guarantee: the interval has nonzero width for every finite sample
+    /// count — in particular it never collapses to a point at an observed
+    /// mean of exactly 0 or 1, where it still spans roughly `z²/(n+z²)`.
+    /// For estimators whose measured standard error beats the binomial one
+    /// (antithetic pairs, stratification), the interval uses the effective
+    /// sample size `mean(1−mean)/se²`; this stays conservative because a
+    /// `[0,1]`-valued estimator's variance never exceeds `mean(1−mean)`.
     pub fn ci95(&self) -> (f64, f64) {
-        let half = 1.96 * self.std_error;
-        ((self.mean - half).max(0.0), (self.mean + half).min(1.0))
+        wilson_interval(
+            self.mean,
+            effective_n(self.mean, self.samples, self.std_error),
+            Z95,
+        )
     }
 
     /// True when `value` lies inside the 95% confidence interval.
@@ -71,17 +197,44 @@ impl Estimate {
         lo <= value && value <= hi
     }
 
-    /// Merges two independent estimates.
+    /// Merges two independent count-based estimates.
     pub fn merge(&self, other: &Estimate) -> Estimate {
-        Estimate::from_counts(
-            self.successes + other.successes,
-            self.samples + other.samples,
-        )
+        let successes = self.successes + other.successes;
+        let samples = self.samples + other.samples;
+        let mean = if samples == 0 {
+            0.0
+        } else {
+            successes as f64 / samples as f64
+        };
+        let std_error = if samples == 0 {
+            0.0
+        } else {
+            (mean * (1.0 - mean) / samples as f64).sqrt()
+        };
+        Estimate {
+            mean,
+            samples,
+            successes,
+            std_error,
+        }
     }
 }
 
-/// One sampling worker: draws `samples` failure configurations and counts how
-/// many admit the demand.
+/// Checks the network fits in a sampling mask.
+pub(crate) fn check_edges(net: &Network) -> Result<usize, McError> {
+    let m = net.edge_count();
+    if m > EdgeMask::MAX_EDGES {
+        return Err(McError::TooManyEdges {
+            count: m,
+            max: EdgeMask::MAX_EDGES,
+        });
+    }
+    Ok(m)
+}
+
+/// One sampling worker: draws `samples` failure configurations from the
+/// given RNG stream and counts how many admit the demand. Builds the flow
+/// graph once and reuses one [`Workspace`] across all solves.
 fn sample_run(
     net: &Network,
     s: NodeId,
@@ -89,15 +242,12 @@ fn sample_run(
     demand: u64,
     solver: SolverKind,
     samples: u64,
-    seed: u64,
+    stream: u64,
 ) -> u64 {
     let m = net.edge_count();
-    assert!(
-        m <= EdgeMask::MAX_EDGES,
-        "sampling masks support at most 64 links"
-    );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(stream);
     let mut nf = build_flow(net, s, t);
+    let mut ws = Workspace::new();
     let probs: Vec<f64> = net.edges().iter().map(|e| e.fail_prob).collect();
     let mut successes = 0u64;
     for _ in 0..samples {
@@ -108,7 +258,9 @@ fn sample_run(
             }
         }
         nf.apply_mask(EdgeMask::from_bits(bits, m));
-        if demand == 0 || solver.solve(&mut nf.graph, nf.source, nf.sink, demand) >= demand {
+        if demand == 0
+            || solver.solve_ws(&mut nf.graph, nf.source, nf.sink, demand, &mut ws) >= demand
+        {
             successes += 1;
         }
     }
@@ -124,14 +276,27 @@ pub fn estimate(
     demand: u64,
     samples: u64,
     seed: u64,
-) -> Estimate {
-    let successes = sample_run(net, s, t, demand, SolverKind::Dinic, samples, seed);
+) -> Result<Estimate, McError> {
+    check_edges(net)?;
+    if samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    let successes = sample_run(
+        net,
+        s,
+        t,
+        demand,
+        SolverKind::Dinic,
+        samples,
+        stream_seed(seed, STREAM_CRUDE),
+    );
     Estimate::from_counts(successes, samples)
 }
 
-/// As [`estimate`], with the sweep split over `threads` crossbeam scoped
-/// threads. Deterministic: worker `i` uses seed `seed + i`, so the result
-/// depends only on `(seed, threads, samples)`.
+/// As [`estimate`], with the sweep split over `threads` rayon workers.
+/// Deterministic: worker `i` uses the hash-derived stream
+/// `stream_seed(seed, WORKER | i)`, so the result depends only on
+/// `(seed, threads, samples)` — never on scheduling.
 pub fn estimate_parallel(
     net: &Network,
     s: NodeId,
@@ -140,33 +305,30 @@ pub fn estimate_parallel(
     samples: u64,
     seed: u64,
     threads: usize,
-) -> Estimate {
-    let threads = threads.max(1).min(samples.max(1) as usize);
+) -> Result<Estimate, McError> {
+    check_edges(net)?;
+    if samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    use rayon::prelude::*;
+    let threads = threads.clamp(1, samples.max(1) as usize);
     let per = samples / threads as u64;
     let extra = samples % threads as u64;
-    let successes = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for i in 0..threads {
-            let quota = per + if (i as u64) < extra { 1 } else { 0 };
-            let net_ref = &net;
-            handles.push(scope.spawn(move |_| {
-                sample_run(
-                    net_ref,
-                    s,
-                    t,
-                    demand,
-                    SolverKind::Dinic,
-                    quota,
-                    seed + i as u64,
-                )
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sampler panicked"))
-            .sum::<u64>()
-    })
-    .expect("crossbeam scope");
+    let successes: u64 = (0..threads as u64)
+        .into_par_iter()
+        .map(|i| {
+            let quota = per + u64::from(i < extra);
+            sample_run(
+                net,
+                s,
+                t,
+                demand,
+                SolverKind::Dinic,
+                quota,
+                stream_seed(seed, STREAM_WORKER | i),
+            )
+        })
+        .reduce(|| 0, |a, b| a + b);
     Estimate::from_counts(successes, samples)
 }
 
@@ -183,20 +345,19 @@ pub fn estimate_antithetic(
     demand: u64,
     pairs: u64,
     seed: u64,
-) -> Estimate {
-    let m = net.edge_count();
-    assert!(
-        m <= EdgeMask::MAX_EDGES,
-        "sampling masks support at most 64 links"
-    );
-    assert!(pairs > 0, "at least one pair required");
-    let mut rng = StdRng::seed_from_u64(seed);
+) -> Result<Estimate, McError> {
+    let m = check_edges(net)?;
+    if pairs == 0 {
+        return Err(McError::NoSamples);
+    }
+    let mut rng = StdRng::seed_from_u64(stream_seed(seed, STREAM_ANTITHETIC));
     let mut nf = build_flow(net, s, t);
+    let mut ws = Workspace::new();
     let solver = SolverKind::Dinic;
     let probs: Vec<f64> = net.edges().iter().map(|e| e.fail_prob).collect();
-    let mut admits = |bits: u64| -> bool {
+    let mut admits = |bits: u64, ws: &mut Workspace| -> bool {
         nf.apply_mask(EdgeMask::from_bits(bits, m));
-        demand == 0 || solver.solve(&mut nf.graph, nf.source, nf.sink, demand) >= demand
+        demand == 0 || solver.solve_ws(&mut nf.graph, nf.source, nf.sink, demand, ws) >= demand
     };
     // pair sums: 0, 1 or 2 successes per pair
     let mut sum = 0u64;
@@ -213,7 +374,7 @@ pub fn estimate_antithetic(
                 b |= 1 << i;
             }
         }
-        let pair = admits(a) as u64 + admits(b) as u64;
+        let pair = admits(a, &mut ws) as u64 + admits(b, &mut ws) as u64;
         sum += pair;
         sum_sq += pair * pair;
     }
@@ -223,16 +384,24 @@ pub fn estimate_antithetic(
     let pair_avg_sq = sum_sq as f64 / n / 4.0;
     let var_pair_avg = (pair_avg_sq - mean_pair * mean_pair).max(0.0);
     let std_error = (var_pair_avg / n).sqrt();
-    Estimate {
+    Ok(Estimate {
         mean: mean_pair,
         samples: pairs * 2,
         successes: sum,
         std_error,
-    }
+    })
 }
 
-/// Samples in batches until the 95% CI half-width drops below `target_half`
-/// or `max_samples` is reached. Returns the running estimate.
+/// Samples in batches until the **Wilson** 95% half-width drops below
+/// `target_half` or `max_samples` is reached. Returns the running estimate.
+///
+/// The stopping statistic is the Wilson half-width, not `1.96·se`: when a
+/// batch sees 0 or `n` successes the binomial standard error is exactly 0,
+/// and the normal-approximation rule would stop after one batch with a
+/// zero-width "certain" interval — precisely wrong in the rare-event regime
+/// this rule exists for. The Wilson half-width stays above `z²/(2(n+z²))`
+/// at the extremes, so sampling continues until the target is genuinely met
+/// or the budget runs out.
 pub fn estimate_until(
     net: &Network,
     s: NodeId,
@@ -241,31 +410,46 @@ pub fn estimate_until(
     target_half: f64,
     max_samples: u64,
     seed: u64,
-) -> Estimate {
+) -> Result<Estimate, McError> {
+    check_edges(net)?;
+    if max_samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    if !target_half.is_finite() || target_half <= 0.0 {
+        return Err(McError::BadParameter {
+            what: "target_half",
+            reason: format!("want a finite positive CI half-width, got {target_half}"),
+        });
+    }
     const BATCH: u64 = 4096;
-    let mut total = Estimate::from_counts(
-        sample_run(
-            net,
-            s,
-            t,
-            demand,
-            SolverKind::Dinic,
-            BATCH.min(max_samples),
-            seed,
-        ),
-        BATCH.min(max_samples),
-    );
-    let mut round = 1u64;
-    while total.samples < max_samples && 1.96 * total.std_error > target_half {
+    let mut total = Estimate {
+        mean: 0.0,
+        samples: 0,
+        successes: 0,
+        std_error: 0.0,
+    };
+    let mut round = 0u64;
+    loop {
         let quota = BATCH.min(max_samples - total.samples);
         let batch = Estimate::from_counts(
-            sample_run(net, s, t, demand, SolverKind::Dinic, quota, seed + round),
+            sample_run(
+                net,
+                s,
+                t,
+                demand,
+                SolverKind::Dinic,
+                quota,
+                stream_seed(seed, STREAM_BATCH | round),
+            ),
             quota,
-        );
+        )?;
         total = total.merge(&batch);
         round += 1;
+        let half = wilson_half(total.mean, total.samples as f64, Z95);
+        if half <= target_half || total.samples >= max_samples {
+            return Ok(total);
+        }
     }
-    total
 }
 
 #[cfg(test)]
@@ -282,65 +466,139 @@ mod tests {
         b.build()
     }
 
+    /// Two parallel near-perfect links: R = 1 - 1e-8 for d=1 — the
+    /// rare-event regression instance.
+    fn two_parallel_rare() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 1e-4).unwrap();
+        b.add_edge(n[0], n[1], 1, 1e-4).unwrap();
+        b.build()
+    }
+
     #[test]
     fn estimate_converges_to_truth() {
         let net = two_parallel();
-        let e = estimate(&net, NodeId(0), NodeId(1), 1, 50_000, 7);
+        let e = estimate(&net, NodeId(0), NodeId(1), 1, 50_000, 7).unwrap();
         assert!(e.covers(0.99), "estimate {} should cover 0.99", e.mean);
         assert!((e.mean - 0.99).abs() < 0.01);
-        let e2 = estimate(&net, NodeId(0), NodeId(1), 2, 50_000, 7);
+        let e2 = estimate(&net, NodeId(0), NodeId(1), 2, 50_000, 7).unwrap();
         assert!(e2.covers(0.81), "estimate {} should cover 0.81", e2.mean);
     }
 
     #[test]
     fn deterministic_per_seed() {
         let net = two_parallel();
-        let a = estimate(&net, NodeId(0), NodeId(1), 1, 1000, 42);
-        let b = estimate(&net, NodeId(0), NodeId(1), 1, 1000, 42);
+        let a = estimate(&net, NodeId(0), NodeId(1), 1, 1000, 42).unwrap();
+        let b = estimate(&net, NodeId(0), NodeId(1), 1, 1000, 42).unwrap();
         assert_eq!(a, b);
-        let c = estimate(&net, NodeId(0), NodeId(1), 1, 1000, 43);
-        assert_ne!(
-            a.successes,
-            c.successes + 1_000_000,
-            "different seeds sample differently"
+    }
+
+    #[test]
+    fn zero_samples_is_an_error_not_a_panic() {
+        let net = two_parallel();
+        assert_eq!(
+            estimate(&net, NodeId(0), NodeId(1), 1, 0, 1),
+            Err(McError::NoSamples)
         );
+        assert_eq!(
+            estimate_antithetic(&net, NodeId(0), NodeId(1), 1, 0, 1),
+            Err(McError::NoSamples)
+        );
+        assert_eq!(Estimate::from_counts(1, 0), Err(McError::NoSamples));
+        assert!(Estimate::from_counts(5, 3).is_err());
     }
 
     #[test]
     fn parallel_matches_structure() {
         let net = two_parallel();
-        let e = estimate_parallel(&net, NodeId(0), NodeId(1), 1, 20_000, 3, 4);
+        let e = estimate_parallel(&net, NodeId(0), NodeId(1), 1, 20_000, 3, 4).unwrap();
         assert_eq!(e.samples, 20_000);
         assert!(e.covers(0.99));
         // same (seed, threads) is reproducible
-        let e2 = estimate_parallel(&net, NodeId(0), NodeId(1), 1, 20_000, 3, 4);
+        let e2 = estimate_parallel(&net, NodeId(0), NodeId(1), 1, 20_000, 3, 4).unwrap();
         assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn stream_seeds_do_not_collide() {
+        // the old scheme had worker i and batch round r = i share seed+i;
+        // hash-derived streams are distinct across domains and indices
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            assert!(seen.insert(stream_seed(42, STREAM_WORKER | i)));
+            assert!(seen.insert(stream_seed(42, STREAM_BATCH | i)));
+        }
+        // and deterministic
+        assert_eq!(
+            stream_seed(7, STREAM_WORKER | 3),
+            stream_seed(7, STREAM_WORKER | 3)
+        );
     }
 
     #[test]
     fn stopping_rule_stops() {
         let net = two_parallel();
-        let e = estimate_until(&net, NodeId(0), NodeId(1), 2, 0.02, 1_000_000, 5);
-        assert!(1.96 * e.std_error <= 0.02 || e.samples == 1_000_000);
+        let e = estimate_until(&net, NodeId(0), NodeId(1), 2, 0.02, 1_000_000, 5).unwrap();
+        assert!(wilson_half(e.mean, e.samples as f64, Z95) <= 0.02 || e.samples == 1_000_000);
         // a fixed seed pins one sample path; assert a 3-sigma band rather
         // than the 95% CI so the test does not hinge on landing inside
         // +/-1.96 sigma exactly
         assert!((e.mean - 0.81).abs() <= 3.0 * e.std_error);
         // loose target stops immediately after one batch
-        let quick = estimate_until(&net, NodeId(0), NodeId(1), 2, 0.5, 1_000_000, 5);
+        let quick = estimate_until(&net, NodeId(0), NodeId(1), 2, 0.5, 1_000_000, 5).unwrap();
         assert_eq!(quick.samples, 4096);
+    }
+
+    #[test]
+    fn rare_event_does_not_stop_on_a_degenerate_batch() {
+        // regression: p = 1e-4 two-link instance, true R = 1 - 1e-8. The
+        // first 4096-sample batch is (for these seeds) all successes, so the
+        // old `1.96·se > target` rule stopped immediately with the
+        // zero-width interval [1, 1], which excludes the exact answer.
+        let net = two_parallel_rare();
+        let exact = 1.0 - 1e-8;
+        let e = estimate_until(&net, NodeId(0), NodeId(1), 1, 1e-4, 50_000, 11).unwrap();
+        assert!(
+            e.samples > 4096,
+            "Wilson stopping must keep sampling past one degenerate batch"
+        );
+        let (lo, hi) = e.ci95();
+        assert!(hi > lo, "interval must never be zero-width");
+        assert!(
+            lo <= exact && exact <= hi,
+            "[{lo}, {hi}] must cover {exact}"
+        );
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        // nonzero width at the extremes
+        let (lo, hi) = wilson_interval(1.0, 4096.0, Z95);
+        assert!(hi - lo > 0.0 && hi == 1.0 && lo < 1.0);
+        let (lo0, hi0) = wilson_interval(0.0, 4096.0, Z95);
+        assert!(hi0 - lo0 > 0.0 && lo0 == 0.0 && hi0 > 0.0);
+        // symmetric counterparts mirror
+        assert!((hi0 - (1.0 - lo)).abs() < 1e-12);
+        // width shrinks with n
+        assert!(
+            wilson_half(1.0, 10_000.0, Z95) < wilson_half(1.0, 100.0, Z95),
+            "half-width must shrink with n"
+        );
+        // degenerate n
+        assert_eq!(wilson_interval(0.5, 0.0, Z95), (0.0, 1.0));
     }
 
     #[test]
     fn antithetic_converges_and_does_not_lose() {
         let net = two_parallel();
-        let anti = estimate_antithetic(&net, NodeId(0), NodeId(1), 2, 25_000, 7);
+        let anti = estimate_antithetic(&net, NodeId(0), NodeId(1), 2, 25_000, 7).unwrap();
         assert!(
             anti.covers(0.81),
             "antithetic {} should cover 0.81",
             anti.mean
         );
-        let plain = estimate(&net, NodeId(0), NodeId(1), 2, 50_000, 7);
+        let plain = estimate(&net, NodeId(0), NodeId(1), 2, 50_000, 7).unwrap();
         assert!(
             anti.std_error <= plain.std_error * 1.1,
             "antithetic {} vs plain {}",
@@ -352,23 +610,26 @@ mod tests {
     #[test]
     fn antithetic_deterministic_per_seed() {
         let net = two_parallel();
-        let a = estimate_antithetic(&net, NodeId(0), NodeId(1), 1, 2_000, 5);
-        let b = estimate_antithetic(&net, NodeId(0), NodeId(1), 1, 2_000, 5);
+        let a = estimate_antithetic(&net, NodeId(0), NodeId(1), 1, 2_000, 5).unwrap();
+        let b = estimate_antithetic(&net, NodeId(0), NodeId(1), 1, 2_000, 5).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn zero_demand_always_succeeds() {
         let net = two_parallel();
-        let e = estimate(&net, NodeId(0), NodeId(1), 0, 100, 1);
+        let e = estimate(&net, NodeId(0), NodeId(1), 0, 100, 1).unwrap();
         assert_eq!(e.mean, 1.0);
         assert_eq!(e.std_error, 0.0);
+        // ...but the CI is still honest about the finite sample size
+        let (lo, hi) = e.ci95();
+        assert!(lo < 1.0 && hi > 1.0 - 1e-9);
     }
 
     #[test]
     fn ci_is_clamped() {
         let net = two_parallel();
-        let e = estimate(&net, NodeId(0), NodeId(1), 0, 10, 1);
+        let e = estimate(&net, NodeId(0), NodeId(1), 0, 10, 1).unwrap();
         let (lo, hi) = e.ci95();
         assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
     }

@@ -6,11 +6,26 @@
 //! estimator samples only the remaining links within each stratum and
 //! combines: `R = Σ_j p_j · R_j`. The strata links contribute zero sampling
 //! variance, and within-stratum variance is weighted by `p_j²/n_j < p_j/n`.
+//!
+//! [`StrataPlan`] is the shared foundation: it additionally *classifies* each
+//! stratum by monotonicity — if the demand is infeasible with every free link
+//! alive the stratum contributes exactly 0; if it is feasible with every free
+//! link dead it contributes exactly its probability — so only genuinely
+//! *mixed* strata are ever sampled. This is the conditional ("dagger")
+//! decomposition the engine's rare-event estimator builds on: the exact mass
+//! absorbs the overwhelming bulk of the probability near R → 1, leaving the
+//! sampler to resolve only the strata where the answer is in doubt.
 
-use maxflow::{build_flow, SolverKind};
+use maxflow::{build_flow, NetworkFlow, SolverKind, Workspace};
 use netgraph::{EdgeId, EdgeMask, Network, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::error::McError;
+use crate::{check_edges, effective_n, wilson_interval, Z95};
+
+/// Maximum strata links: `2^k` strata must stay enumerable.
+pub const MAX_STRATA_LINKS: usize = 16;
 
 /// A stratified estimate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,10 +41,22 @@ pub struct StratifiedEstimate {
 }
 
 impl StratifiedEstimate {
-    /// The 95% confidence interval, clamped to `[0, 1]`.
+    /// The 95% **Wilson** confidence interval, clamped to `[0, 1]`, using the
+    /// effective sample size implied by the stratified standard error. Like
+    /// [`crate::Estimate::ci95`], it never collapses to a point for a finite
+    /// sample count unless the estimate is exactly known (zero variance with
+    /// every stratum resolved exactly, reported as `std_error == 0` with
+    /// `samples == 0`).
     pub fn ci95(&self) -> (f64, f64) {
-        let half = 1.96 * self.std_error;
-        ((self.mean - half).max(0.0), (self.mean + half).min(1.0))
+        if self.samples == 0 {
+            // fully exact: every stratum was classified, nothing was sampled
+            return (self.mean, self.mean);
+        }
+        wilson_interval(
+            self.mean,
+            effective_n(self.mean, self.samples, self.std_error),
+            Z95,
+        )
     }
 
     /// True when `value` lies inside the 95% confidence interval.
@@ -39,13 +66,211 @@ impl StratifiedEstimate {
     }
 }
 
+/// How a stratum resolved during classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StratumClass {
+    /// Feasible even with every free link failed: contributes exactly `p`.
+    AlwaysUp,
+    /// Infeasible even with every free link alive: contributes exactly 0.
+    AlwaysDown,
+    /// Feasibility depends on the free links: must be sampled.
+    Mixed,
+}
+
+/// A stratum that classification could not resolve and must be sampled.
+#[derive(Clone, Debug)]
+pub(crate) struct MixedStratum {
+    /// Exact probability of the strata-link configuration.
+    pub p: f64,
+    /// Alive-bits of the strata links in this configuration.
+    pub fixed_bits: u64,
+}
+
+/// Validated, classified sampling plan over the strata of `strata_links`.
+///
+/// Construction performs at most `2·2^k` flow evaluations to classify every
+/// stratum (monotonicity gives one-sided shortcuts), recording the exact
+/// probability mass of always-feasible strata in `exact_mass` and the list of
+/// mixed strata left to sample.
+#[derive(Clone, Debug)]
+pub(crate) struct StrataPlan {
+    /// Network link count.
+    pub m: usize,
+    /// Per-link failure probabilities.
+    pub probs: Vec<f64>,
+    /// Links not in the strata set, sampled within each stratum.
+    pub free: Vec<usize>,
+    /// Strata needing sampling, in ascending configuration order.
+    pub mixed: Vec<MixedStratum>,
+    /// Exact probability mass of strata proven always-feasible.
+    pub exact_mass: f64,
+    /// Flow evaluations spent on classification.
+    pub classify_evals: u64,
+    /// Total strata (`2^k`), for reporting.
+    pub strata: usize,
+}
+
+impl StrataPlan {
+    /// Validates the strata set and classifies every stratum.
+    pub fn build(
+        net: &Network,
+        s: NodeId,
+        t: NodeId,
+        demand: u64,
+        strata_links: &[EdgeId],
+        solver: SolverKind,
+    ) -> Result<StrataPlan, McError> {
+        let m = check_edges(net)?;
+        let k = strata_links.len();
+        if k > MAX_STRATA_LINKS {
+            return Err(McError::TooManyStrataLinks {
+                count: k,
+                max: MAX_STRATA_LINKS,
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &e in strata_links {
+            if e.index() >= m {
+                return Err(McError::StratumLinkOutOfRange { link: e, edges: m });
+            }
+            if !seen.insert(e) {
+                return Err(McError::DuplicateStratumLink { link: e });
+            }
+        }
+        let strata_set: Vec<usize> = strata_links.iter().map(|e| e.index()).collect();
+        let free: Vec<usize> = (0..m).filter(|i| !strata_set.contains(i)).collect();
+        let probs: Vec<f64> = net.edges().iter().map(|e| e.fail_prob).collect();
+        let free_bits: u64 = free.iter().fold(0u64, |acc, &i| acc | 1 << i);
+
+        let mut nf = build_flow(net, s, t);
+        let mut ws = Workspace::new();
+        let mut admits = |bits: u64, evals: &mut u64| -> bool {
+            if demand == 0 {
+                return true;
+            }
+            *evals += 1;
+            nf.apply_mask(EdgeMask::from_bits(bits, m));
+            solver.solve_ws(&mut nf.graph, nf.source, nf.sink, demand, &mut ws) >= demand
+        };
+
+        let strata = 1usize << k;
+        let mut mixed = Vec::new();
+        let mut exact_mass = 0.0f64;
+        let mut classify_evals = 0u64;
+        for stratum in 0..strata {
+            let mut p = 1.0f64;
+            let mut fixed_bits = 0u64;
+            for (bit, &ei) in strata_set.iter().enumerate() {
+                if stratum >> bit & 1 == 1 {
+                    p *= 1.0 - probs[ei];
+                    fixed_bits |= 1 << ei;
+                } else {
+                    p *= probs[ei];
+                }
+            }
+            if p == 0.0 {
+                continue;
+            }
+            let class = if !admits(fixed_bits | free_bits, &mut classify_evals) {
+                StratumClass::AlwaysDown
+            } else if admits(fixed_bits, &mut classify_evals) {
+                StratumClass::AlwaysUp
+            } else {
+                StratumClass::Mixed
+            };
+            match class {
+                StratumClass::AlwaysUp => exact_mass += p,
+                StratumClass::AlwaysDown => {}
+                StratumClass::Mixed => mixed.push(MixedStratum { p, fixed_bits }),
+            }
+        }
+        Ok(StrataPlan {
+            m,
+            probs,
+            free,
+            mixed,
+            exact_mass,
+            classify_evals,
+            strata,
+        })
+    }
+
+    /// Splits `batch` samples across the mixed strata proportionally to their
+    /// probability (largest-remainder rounding, at least one sample each).
+    /// Returns an empty vector when nothing needs sampling.
+    pub fn alloc(&self, batch: u64) -> Vec<u64> {
+        let k = self.mixed.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let total_p: f64 = self.mixed.iter().map(|s| s.p).sum();
+        let batch = batch.max(k as u64);
+        let mut alloc: Vec<u64> = Vec::with_capacity(k);
+        let mut rems: Vec<(usize, f64)> = Vec::with_capacity(k);
+        let mut assigned = 0u64;
+        for (j, st) in self.mixed.iter().enumerate() {
+            let share = if total_p > 0.0 {
+                batch as f64 * st.p / total_p
+            } else {
+                batch as f64 / k as f64
+            };
+            let base = (share.floor() as u64).max(1);
+            alloc.push(base);
+            assigned += base;
+            rems.push((j, share - share.floor()));
+        }
+        // distribute any shortfall to the largest remainders
+        rems.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut left = batch.saturating_sub(assigned);
+        for (j, _) in rems {
+            if left == 0 {
+                break;
+            }
+            alloc[j] += 1;
+            left -= 1;
+        }
+        alloc
+    }
+
+    /// Draws `quota` conditional samples inside mixed stratum `j` using `rng`
+    /// and counts successes. `evals` accrues the flow evaluations spent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_stratum(
+        &self,
+        j: usize,
+        quota: u64,
+        demand: u64,
+        solver: SolverKind,
+        nf: &mut NetworkFlow,
+        ws: &mut Workspace,
+        rng: &mut StdRng,
+        evals: &mut u64,
+    ) -> u64 {
+        let st = &self.mixed[j];
+        let mut successes = 0u64;
+        for _ in 0..quota {
+            let mut bits = st.fixed_bits;
+            for &i in &self.free {
+                if rng.gen::<f64>() >= self.probs[i] {
+                    bits |= 1 << i;
+                }
+            }
+            nf.apply_mask(EdgeMask::from_bits(bits, self.m));
+            *evals += 1;
+            if demand == 0
+                || solver.solve_ws(&mut nf.graph, nf.source, nf.sink, demand, ws) >= demand
+            {
+                successes += 1;
+            }
+        }
+        successes
+    }
+}
+
 /// Stratified reliability estimation: `total_samples` are allocated to the
 /// `2^k` strata proportionally to their probability (at least 2 each; strata
-/// whose probability is 0 are skipped).
-///
-/// # Panics
-/// Panics when `strata_links` has more than 16 links, contains duplicates or
-/// invalid ids, or when the network exceeds 64 links.
+/// whose probability is 0 are skipped, and strata resolved exactly by
+/// monotonicity are not sampled at all).
 pub fn estimate_stratified(
     net: &Network,
     s: NodeId,
@@ -54,72 +279,36 @@ pub fn estimate_stratified(
     strata_links: &[EdgeId],
     total_samples: u64,
     seed: u64,
-) -> StratifiedEstimate {
-    let m = net.edge_count();
-    assert!(
-        m <= EdgeMask::MAX_EDGES,
-        "sampling masks support at most 64 links"
-    );
-    let k = strata_links.len();
-    assert!(k <= 16, "too many strata links");
-    let mut seen = std::collections::HashSet::new();
-    for &e in strata_links {
-        assert!(e.index() < m, "strata link out of range");
-        assert!(seen.insert(e), "duplicate strata link");
+) -> Result<StratifiedEstimate, McError> {
+    if total_samples == 0 {
+        return Err(McError::NoSamples);
     }
-    let strata_set: Vec<usize> = strata_links.iter().map(|e| e.index()).collect();
-    let free: Vec<usize> = (0..m).filter(|i| !strata_set.contains(i)).collect();
-    let probs: Vec<f64> = net.edges().iter().map(|e| e.fail_prob).collect();
-
-    let mut nf = build_flow(net, s, t);
     let solver = SolverKind::Dinic;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = StrataPlan::build(net, s, t, demand, strata_links, solver)?;
+    let mut nf = build_flow(net, s, t);
+    let mut ws = Workspace::new();
+    let mut rng = StdRng::seed_from_u64(crate::stream_seed(seed, crate::STREAM_STRATIFIED));
 
-    let strata_count = 1usize << k;
-    let mut mean = 0.0f64;
+    let mut mean = plan.exact_mass;
     let mut variance = 0.0f64;
     let mut samples_used = 0u64;
-
-    for stratum in 0..strata_count {
-        // exact stratum probability and fixed strata-link bits
-        let mut p_stratum = 1.0f64;
-        let mut fixed_bits = 0u64;
-        for (bit, &ei) in strata_set.iter().enumerate() {
-            if stratum >> bit & 1 == 1 {
-                p_stratum *= 1.0 - probs[ei];
-                fixed_bits |= 1 << ei;
-            } else {
-                p_stratum *= probs[ei];
-            }
-        }
-        if p_stratum == 0.0 {
-            continue;
-        }
-        let n_j = ((total_samples as f64 * p_stratum).round() as u64).max(2);
-        let mut successes = 0u64;
-        for _ in 0..n_j {
-            let mut bits = fixed_bits;
-            for &i in &free {
-                if rng.gen::<f64>() >= probs[i] {
-                    bits |= 1 << i;
-                }
-            }
-            nf.apply_mask(EdgeMask::from_bits(bits, m));
-            if demand == 0 || solver.solve(&mut nf.graph, nf.source, nf.sink, demand) >= demand {
-                successes += 1;
-            }
-        }
+    let mut evals = 0u64;
+    for (j, st) in plan.mixed.iter().enumerate() {
+        let n_j = ((total_samples as f64 * st.p).round() as u64).max(2);
+        let successes = plan.sample_stratum(
+            j, n_j, demand, solver, &mut nf, &mut ws, &mut rng, &mut evals,
+        );
         samples_used += n_j;
         let r_j = successes as f64 / n_j as f64;
-        mean += p_stratum * r_j;
-        variance += p_stratum * p_stratum * r_j * (1.0 - r_j) / n_j as f64;
+        mean += st.p * r_j;
+        variance += st.p * st.p * r_j * (1.0 - r_j) / n_j as f64;
     }
-    StratifiedEstimate {
+    Ok(StratifiedEstimate {
         mean,
         std_error: variance.sqrt(),
-        strata: strata_count,
+        strata: plan.strata,
         samples: samples_used,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -141,14 +330,16 @@ mod tests {
     fn matches_exact_value() {
         let net = chain();
         let exact = 0.9 * 0.6;
-        let e = estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 20_000, 3);
+        let e =
+            estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 20_000, 3).unwrap();
         assert!(e.covers(exact), "stratified {:?} misses exact {exact}", e);
         assert_eq!(e.strata, 2);
     }
 
     #[test]
     fn stratifying_all_links_is_exact() {
-        // every link a stratum link: nothing left to sample, zero variance
+        // every link a stratum link: classification resolves every stratum
+        // by monotonicity, nothing is left to sample, zero variance
         let net = chain();
         let e = estimate_stratified(
             &net,
@@ -158,16 +349,20 @@ mod tests {
             &[EdgeId(0), EdgeId(1)],
             100,
             1,
-        );
+        )
+        .unwrap();
         assert!((e.mean - 0.9 * 0.6).abs() < 1e-12);
         assert_eq!(e.std_error, 0.0);
+        assert_eq!(e.samples, 0, "fully classified plans sample nothing");
+        assert_eq!(e.ci95(), (e.mean, e.mean));
     }
 
     #[test]
     fn variance_not_worse_than_plain() {
         let net = chain();
-        let plain = crate::estimate(&net, NodeId(0), NodeId(2), 1, 20_000, 9);
-        let strat = estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 20_000, 9);
+        let plain = crate::estimate(&net, NodeId(0), NodeId(2), 1, 20_000, 9).unwrap();
+        let strat =
+            estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 20_000, 9).unwrap();
         assert!(
             strat.std_error <= plain.std_error * 1.05,
             "stratified {} vs plain {}",
@@ -179,16 +374,15 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let net = chain();
-        let a = estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 5_000, 4);
-        let b = estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 5_000, 4);
+        let a = estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 5_000, 4).unwrap();
+        let b = estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(1)], 5_000, 4).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "duplicate")]
     fn rejects_duplicate_strata() {
         let net = chain();
-        estimate_stratified(
+        let e = estimate_stratified(
             &net,
             NodeId(0),
             NodeId(2),
@@ -196,6 +390,15 @@ mod tests {
             &[EdgeId(1), EdgeId(1)],
             100,
             1,
+        );
+        assert_eq!(e, Err(McError::DuplicateStratumLink { link: EdgeId(1) }));
+        let e = estimate_stratified(&net, NodeId(0), NodeId(2), 1, &[EdgeId(7)], 100, 1);
+        assert_eq!(
+            e,
+            Err(McError::StratumLinkOutOfRange {
+                link: EdgeId(7),
+                edges: 2
+            })
         );
     }
 
@@ -205,8 +408,58 @@ mod tests {
         let n = b.add_nodes(2);
         b.add_edge(n[0], n[1], 1, 0.0).unwrap(); // never fails
         let net = b.build();
-        let e = estimate_stratified(&net, NodeId(0), NodeId(1), 1, &[EdgeId(0)], 100, 1);
+        let e = estimate_stratified(&net, NodeId(0), NodeId(1), 1, &[EdgeId(0)], 100, 1).unwrap();
         assert_eq!(e.mean, 1.0);
         assert_eq!(e.std_error, 0.0);
+    }
+
+    #[test]
+    fn classification_shortcuts_are_sound() {
+        // two parallel links p=0.1, demand 1, stratify on e0:
+        //   stratum e0-up   -> feasible with e1 dead  => AlwaysUp (mass 0.9)
+        //   stratum e0-down -> mixed (depends on e1)
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        let net = b.build();
+        let plan = StrataPlan::build(
+            &net,
+            NodeId(0),
+            NodeId(1),
+            1,
+            &[EdgeId(0)],
+            SolverKind::Dinic,
+        )
+        .unwrap();
+        assert!((plan.exact_mass - 0.9).abs() < 1e-12);
+        assert_eq!(plan.mixed.len(), 1);
+        assert!((plan.mixed[0].p - 0.1).abs() < 1e-12);
+        assert!(plan.classify_evals <= 4);
+    }
+
+    #[test]
+    fn alloc_is_proportional_and_exhaustive() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.3).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.3).unwrap();
+        b.add_edge(n[0], n[2], 1, 0.3).unwrap();
+        let net = b.build();
+        let plan = StrataPlan::build(
+            &net,
+            NodeId(0),
+            NodeId(2),
+            1,
+            &[EdgeId(0), EdgeId(2)],
+            SolverKind::Dinic,
+        )
+        .unwrap();
+        if !plan.mixed.is_empty() {
+            let alloc = plan.alloc(1000);
+            assert_eq!(alloc.len(), plan.mixed.len());
+            assert!(alloc.iter().all(|&a| a >= 1));
+            assert!(alloc.iter().sum::<u64>() >= 1000.min(plan.mixed.len() as u64));
+        }
     }
 }

@@ -28,13 +28,15 @@ fn main() {
     );
     for exp in [8u32, 10, 12, 14, 16, 18] {
         let samples = 1u64 << exp;
-        let est = montecarlo::estimate(&inst.net, inst.source, inst.sink, inst.demand, samples, 7);
+        let est = montecarlo::estimate(&inst.net, inst.source, inst.sink, inst.demand, samples, 7)
+            .expect("estimate");
+        let (lo, hi) = est.ci95();
         println!(
             "{:>10} {:>12.6} {:>12.2e} {:>10.2e}  {}",
             samples,
             est.mean,
             (est.mean - exact).abs(),
-            1.96 * est.std_error,
+            (hi - lo) / 2.0,
             if est.covers(exact) { "yes" } else { "NO" }
         );
     }
@@ -47,7 +49,8 @@ fn main() {
         0.002,
         1 << 22,
         13,
-    );
+    )
+    .expect("estimate");
     println!(
         "stopped after {} samples at {:.6} (exact {:.6}, covered: {})",
         est.samples,

@@ -78,14 +78,16 @@ fn stratified_mc_on_bottleneck_instance() {
         &cut,
         40_000,
         11,
-    );
+    )
+    .unwrap();
     assert!(
         strat.covers(exact) || (strat.mean - exact).abs() < 0.01,
         "stratified {:?} misses exact {exact}",
         strat
     );
     let plain =
-        flowrel::montecarlo::estimate(&inst.net, inst.source, inst.sink, inst.demand, 40_000, 11);
+        flowrel::montecarlo::estimate(&inst.net, inst.source, inst.sink, inst.demand, 40_000, 11)
+            .unwrap();
     assert!(
         strat.std_error <= plain.std_error * 1.25,
         "stratification should not inflate variance: {} vs {}",

@@ -121,7 +121,7 @@ fn monte_carlo_covers_exact() {
     let d = FlowDemand::new(n[0], n[3], 1);
     let exact = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
     for seed in 0..5 {
-        let est = montecarlo::estimate(&net, n[0], n[3], 1, 40_000, seed);
+        let est = montecarlo::estimate(&net, n[0], n[3], 1, 40_000, seed).unwrap();
         assert!(
             est.covers(exact) || (est.mean - exact).abs() < 0.01,
             "seed {seed}: CI {:?} misses exact {exact}",
