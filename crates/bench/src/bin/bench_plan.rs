@@ -1,0 +1,239 @@
+//! Recursive decomposition planner benchmark: measures what nested splits
+//! buy over the flat one-level bottleneck decomposition on chained-barbell
+//! and nested-bottleneck instances, cross-checks the two results against
+//! each other (and against naive enumeration where it is affordable), and
+//! emits the results as machine-readable JSON (`BENCH_plan.json`).
+//!
+//! The headline number is wall-clock speedup: a one-level split of a chain
+//! of `n` clusters leaves two sides of ~`m/2` links and sweeps `2^(m/2)`
+//! configurations per side, while the recursive planner keeps splitting at
+//! every nested bridge until the leaves hold a single cluster each — the
+//! sweep cost collapses from exponential in the half to exponential in the
+//! largest cluster. The run asserts the ISSUE's acceptance bar — at least
+//! 5x faster than the flat decomposition on the nested-bottleneck family —
+//! and fails loudly if a change regresses it.
+//!
+//! Usage: `bench_plan [--smoke] [output.json]`
+//!
+//! `--smoke` shrinks the instances so the whole matrix runs in well under a
+//! second: a CI check that the planner still recurses and agrees with the
+//! flat engine, not a measurement.
+
+use std::time::Instant;
+
+use flowrel_core::{
+    find_bottleneck_set, reliability_naive, CalcOptions, DecompositionPlan, FlowDemand,
+    ReliabilityCalculator, Strategy,
+};
+use netgraph::Network;
+use workloads::generators::{chained_barbell, nested_barbell, Instance};
+
+/// Naive enumeration is used as the ground-truth cross-check only below
+/// this many links (it is `2^m`; beyond ~24 links it dominates the run).
+const NAIVE_CHECK_MAX_EDGES: usize = 22;
+
+struct Row {
+    instance: &'static str,
+    edges: usize,
+    plan_leaves: usize,
+    predicted_cost_recursive: f64,
+    predicted_cost_flat: f64,
+    recursive_ms: f64,
+    flat_ms: f64,
+    r_recursive: f64,
+    r_flat: f64,
+    naive_checked: bool,
+    /// Whether this row is held to the 5x acceptance bar (the headline
+    /// nested-bottleneck instance at measurement size; smoke rows and the
+    /// small cross-check rows are reported for context only).
+    assert_speedup: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.flat_ms / self.recursive_ms.max(1e-6)
+    }
+
+    fn agrees(&self) -> bool {
+        (self.r_recursive - self.r_flat).abs() < 1e-12
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"instance\": \"{}\", \"edges\": {}, \"plan_leaves\": {}, ",
+                "\"predicted_cost_recursive\": {:.6e}, \"predicted_cost_flat\": {:.6e}, ",
+                "\"recursive_ms\": {:.3}, \"flat_ms\": {:.3}, \"speedup\": {:.1}, ",
+                "\"reliability_recursive\": {:.12e}, \"reliability_flat\": {:.12e}, ",
+                "\"agree_1e12\": {}, \"naive_checked\": {}, \"held_to_5x_bar\": {}}}"
+            ),
+            self.instance,
+            self.edges,
+            self.plan_leaves,
+            self.predicted_cost_recursive,
+            self.predicted_cost_flat,
+            self.recursive_ms,
+            self.flat_ms,
+            self.speedup(),
+            self.r_recursive,
+            self.r_flat,
+            self.agrees(),
+            self.naive_checked,
+            self.assert_speedup
+        )
+    }
+}
+
+/// Runs `BottleneckAuto { max_k: 1 }` (the bridge split the planner
+/// recurses on) at the given depth cap and returns (reliability, millis).
+fn timed_run(net: &Network, d: FlowDemand, max_depth: usize) -> (f64, f64) {
+    let calc = ReliabilityCalculator::new()
+        .with_strategy(Strategy::BottleneckAuto { max_k: 1 })
+        .with_options(CalcOptions {
+            max_depth,
+            ..CalcOptions::default()
+        });
+    let start = Instant::now();
+    let rep = calc.run_complete(net, d).expect("bench instance solves");
+    (rep.reliability, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn plan_stats(net: &Network, d: FlowDemand, max_depth: usize) -> (usize, f64) {
+    let opts = CalcOptions {
+        max_depth,
+        ..CalcOptions::default()
+    };
+    let set = find_bottleneck_set(net, d.source, d.sink, 1).expect("a bridge exists");
+    let plan = DecompositionPlan::plan_on_set(net, d, &set, &opts, 1).expect("plannable");
+    (plan.leaf_count(), plan.predicted_cost())
+}
+
+fn run_case(instance: &'static str, inst: &Instance, assert_speedup: bool) -> Row {
+    let d = FlowDemand::new(inst.source, inst.sink, inst.demand);
+    let (leaves, cost_rec) = plan_stats(&inst.net, d, CalcOptions::default().max_depth);
+    let (_, cost_flat) = plan_stats(&inst.net, d, 0);
+    let (r_flat, flat_ms) = timed_run(&inst.net, d, 0);
+    let (r_rec, rec_ms) = timed_run(&inst.net, d, CalcOptions::default().max_depth);
+    let naive_checked = inst.net.edge_count() <= NAIVE_CHECK_MAX_EDGES;
+    if naive_checked {
+        let exact = reliability_naive(&inst.net, d, &CalcOptions::default()).expect("naive");
+        assert!(
+            (r_rec - exact).abs() < 1e-12,
+            "{instance}: recursive {r_rec} vs naive {exact}"
+        );
+    }
+    Row {
+        instance,
+        edges: inst.net.edge_count(),
+        plan_leaves: leaves,
+        predicted_cost_recursive: cost_rec,
+        predicted_cost_flat: cost_flat,
+        recursive_ms: rec_ms,
+        flat_ms,
+        r_recursive: r_rec,
+        r_flat,
+        naive_checked,
+        assert_speedup,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_plan.json".to_string());
+
+    let mut rows = Vec::new();
+    if smoke {
+        rows.push(run_case(
+            "chained-barbell-3x3",
+            &chained_barbell(3, 3, 1, 11),
+            false,
+        ));
+        rows.push(run_case(
+            "nested-barbell-d2",
+            &nested_barbell(2, 3, 1, 13),
+            false,
+        ));
+    } else {
+        rows.push(run_case(
+            "chained-barbell-4x3",
+            &chained_barbell(4, 3, 1, 11),
+            false,
+        ));
+        rows.push(run_case(
+            "chained-barbell-6x4",
+            &chained_barbell(6, 4, 1, 11),
+            false,
+        ));
+        rows.push(run_case(
+            "nested-barbell-d2",
+            &nested_barbell(2, 4, 1, 13),
+            false,
+        ));
+        rows.push(run_case(
+            "nested-barbell-d3",
+            &nested_barbell(3, 4, 1, 13),
+            true,
+        ));
+    }
+
+    let mut failures = Vec::new();
+    for row in &rows {
+        println!(
+            "{:>20}: {} links, {} plan leaves, recursive {:.2} ms vs flat {:.2} ms \
+             ({:.1}x), predicted cost {:.2e} vs {:.2e}, agree={}",
+            row.instance,
+            row.edges,
+            row.plan_leaves,
+            row.recursive_ms,
+            row.flat_ms,
+            row.speedup(),
+            row.predicted_cost_recursive,
+            row.predicted_cost_flat,
+            row.agrees()
+        );
+        if !row.agrees() {
+            failures.push(format!(
+                "{}: recursive {:.15e} vs flat {:.15e} differ beyond 1e-12",
+                row.instance, row.r_recursive, row.r_flat
+            ));
+        }
+        if row.plan_leaves < 2 {
+            failures.push(format!(
+                "{}: the planner found no recursive split ({} leaf)",
+                row.instance, row.plan_leaves
+            ));
+        }
+        // The acceptance bar: nested bottlenecks make the recursive plan at
+        // least 5x faster than the flat one-level decomposition. Only
+        // meaningful at measurement size; smoke instances are too small for
+        // stable timings.
+        if !smoke && row.assert_speedup && row.speedup() < 5.0 {
+            failures.push(format!(
+                "{}: only {:.1}x faster than the flat decomposition (need >= 5x)",
+                row.instance,
+                row.speedup()
+            ));
+        }
+    }
+
+    let body: Vec<String> = rows.iter().map(|r| format!("    {}", r.json())).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"bench_plan\",\n  \"smoke\": {smoke},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,8 +1,9 @@
 //! `flowrel` — command-line reliability calculator.
 //!
 //! ```text
-//! flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|mc] [--exact]
+//! flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp|mc] [--exact]
 //!                             [--timeout SECS] [--max-configs N]
+//!                             [--max-depth N] [--explain]
 //!                             [--checkpoint PATH] [--resume PATH]
 //!                             [--mc-estimator auto|crude|dagger|perm]
 //!                             [--rel-err EPS] [--ci HALF] [--samples N] [--seed S]
@@ -11,6 +12,11 @@
 //! flowrel generate <barbell|chain|grid|mesh> [args...]
 //! flowrel dot <file.fnet>
 //! ```
+//!
+//! `--explain` prints the recursive decomposition plan (node kinds, per-node
+//! link counts, predicted sweep cost) before the computation runs;
+//! `--max-depth` caps how many nested bridge splits the planner may stack
+//! (`0` forces the flat one-level decomposition).
 //!
 //! ## Exit codes
 //!
@@ -29,9 +35,9 @@ use std::time::Duration;
 
 use flowrel_core::{
     birnbaum_importance, enumerate_minimal_cuts, esary_proschan_bounds, find_bottleneck_set,
-    reliability_bridge, reliability_naive_exact, reliability_sp_reduced, Budget, CalcOptions,
-    CancelToken, Checkpoint, FlowDemand, Outcome, ReliabilityCalculator, ReliabilityError,
-    Strategy,
+    reliability_bridge, reliability_naive_exact, reliability_sp_reduced, validate_bottleneck_set,
+    Budget, CalcOptions, CancelToken, Checkpoint, DecompositionPlan, FlowDemand, Outcome,
+    ReliabilityCalculator, ReliabilityError, Strategy,
 };
 use netgraph::find_bridges;
 
@@ -162,7 +168,7 @@ fn usage() -> ExitCode {
         "usage:\n  \
          flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp|mc] [--exact] [--parallel] [--no-certs]\n  \
          {:17}[--no-incremental] [--parallel-threshold N] [--timeout SECS] [--max-configs N]\n  \
-         {:17}[--checkpoint PATH] [--resume PATH]\n  \
+         {:17}[--max-depth N] [--explain] [--checkpoint PATH] [--resume PATH]\n  \
          {:17}[--mc-estimator auto|crude|dagger|perm] [--rel-err EPS] [--ci HALF] [--samples N] [--seed S]\n  \
          flowrel analyze <file.fnet> [--max-k K]\n  \
          flowrel importance <file.fnet>\n  \
@@ -238,6 +244,30 @@ fn mc_settings(args: &[String]) -> Result<montecarlo::McSettings, CliError> {
     })
 }
 
+/// `--explain`: prints the decomposition plan the calculator will execute
+/// for the bottleneck-planning strategies, or says why there is none.
+/// Informational only — planning failures here never abort the computation.
+fn explain(net: &netgraph::Network, demand: FlowDemand, strategy: &Strategy, opts: &CalcOptions) {
+    let planned = match strategy {
+        Strategy::Bottleneck(cut) => validate_bottleneck_set(net, demand.source, demand.sink, cut)
+            .and_then(|set| DecompositionPlan::plan_on_set(net, demand, &set, opts, 3)),
+        Strategy::BottleneckAuto { max_k } => {
+            find_bottleneck_set(net, demand.source, demand.sink, *max_k)
+                .and_then(|set| DecompositionPlan::plan_on_set(net, demand, &set, opts, *max_k))
+        }
+        Strategy::Auto => find_bottleneck_set(net, demand.source, demand.sink, 3)
+            .and_then(|set| DecompositionPlan::plan_on_set(net, demand, &set, opts, 3)),
+        other => {
+            println!("plan: not applicable ({other:?} does not use the decomposition planner)");
+            return;
+        }
+    };
+    match planned {
+        Ok(plan) => print!("{}", plan.render()),
+        Err(e) => println!("plan: none ({e}); the strategy will fall back or fail accordingly"),
+    }
+}
+
 fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
     let file = load(path)?;
     let demand = demand_of(&file)?;
@@ -282,12 +312,20 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
                 .map_err(|_| CliError::usage("bad --parallel-threshold (want a config count)"))
         })
         .transpose()?;
+    let max_depth = flag_value(args, "--max-depth")
+        .map(|v| {
+            v.parse::<usize>().map_err(|_| {
+                CliError::usage("bad --max-depth (want a depth, 0 disables recursion)")
+            })
+        })
+        .transpose()?;
     let defaults = CalcOptions::default();
     let opts = CalcOptions {
         parallel: args.iter().any(|a| a == "--parallel"),
         certificate_cache: !args.iter().any(|a| a == "--no-certs"),
         incremental: !args.iter().any(|a| a == "--no-incremental"),
         parallel_threshold: parallel_threshold.unwrap_or(defaults.parallel_threshold),
+        max_depth: max_depth.unwrap_or(defaults.max_depth),
         budget: Budget {
             time_limit,
             max_configs,
@@ -298,6 +336,9 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
     let calc = ReliabilityCalculator::new()
         .with_strategy(strategy)
         .with_options(opts);
+    if args.iter().any(|a| a == "--explain") {
+        explain(&file.net, demand, &calc.strategy, &calc.options);
+    }
     let outcome = match flag_value(args, "--resume") {
         Some(ck_path) => {
             let text = std::fs::read_to_string(&ck_path)

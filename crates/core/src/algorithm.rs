@@ -12,6 +12,7 @@ use netgraph::{EdgeId, Network};
 use crate::accumulate::{combine, combine_interval};
 use crate::assign::{crossing_ranges, enumerate_assignments, supported_assignment_masks};
 use crate::bottleneck::{validate_bottleneck_set, BottleneckSet};
+use crate::budget::BudgetSentinel;
 use crate::certcache::SweepStats;
 use crate::checkpoint::{SideCheckpoint, SweepCursor};
 use crate::decompose::{decompose, Side};
@@ -240,6 +241,22 @@ pub fn reliability_bottleneck_anytime(
     opts: &CalcOptions,
     resume: Option<(&SideCheckpoint, &SideCheckpoint)>,
 ) -> Result<BottleneckOutcome, ReliabilityError> {
+    let sentinel = opts.budget.start();
+    reliability_bottleneck_anytime_on(net, demand, set, opts, &sentinel, resume)
+}
+
+/// As [`reliability_bottleneck_anytime`], but drawing from an externally
+/// owned [`BudgetSentinel`] instead of starting a fresh one from
+/// `opts.budget`, so a plan interpreter can hold several cut sweeps (and
+/// naive leaf sweeps) to one shared budget.
+pub fn reliability_bottleneck_anytime_on(
+    net: &Network,
+    demand: FlowDemand,
+    set: &BottleneckSet,
+    opts: &CalcOptions,
+    sentinel: &BudgetSentinel,
+    resume: Option<(&SideCheckpoint, &SideCheckpoint)>,
+) -> Result<BottleneckOutcome, ReliabilityError> {
     demand.validate(net)?;
     let report = |count: usize, sweep: SweepStats| BottleneckReport {
         set: set.clone(),
@@ -309,16 +326,15 @@ pub fn reliability_bottleneck_anytime(
     };
 
     let cfg = SweepConfig::from_opts(opts);
-    let sentinel = opts.budget.start();
     let ((part_s, stats_s), (part_t, stats_t)) = if opts.parallel {
         rayon::join(
-            || sweep_spectrum_budgeted(&oracle_s, &live_s, &w_s, dn, &cfg, &sentinel, res_s),
-            || sweep_spectrum_budgeted(&oracle_t, &live_t, &w_t, dn, &cfg, &sentinel, res_t),
+            || sweep_spectrum_budgeted(&oracle_s, &live_s, &w_s, dn, &cfg, sentinel, res_s),
+            || sweep_spectrum_budgeted(&oracle_t, &live_t, &w_t, dn, &cfg, sentinel, res_t),
         )
     } else {
         (
-            sweep_spectrum_budgeted(&oracle_s, &live_s, &w_s, dn, &cfg, &sentinel, res_s),
-            sweep_spectrum_budgeted(&oracle_t, &live_t, &w_t, dn, &cfg, &sentinel, res_t),
+            sweep_spectrum_budgeted(&oracle_s, &live_s, &w_s, dn, &cfg, sentinel, res_s),
+            sweep_spectrum_budgeted(&oracle_t, &live_t, &w_t, dn, &cfg, sentinel, res_t),
         )
     };
     let mut sweep = stats_s;

@@ -133,7 +133,11 @@ impl BudgetSentinel {
     /// configurations each; returns how many whole batches are granted
     /// (possibly 0). Grants are debited from the shared allowance, so the
     /// sum of all grants never exceeds `max_configs` by more than a partial
-    /// final batch's rounding.
+    /// final batch's rounding. While any allowance remains the grant is at
+    /// least one batch, even when `unit` exceeds the leftover — otherwise a
+    /// caller whose batch unit is larger than a small `max_configs` (e.g. a
+    /// side sweep charging one unit per live assignment) could be refused
+    /// forever and a resume loop would spin without progress.
     pub fn grant(&self, unit: u64, max_units: u64) -> u64 {
         if self.trivial {
             return max_units;
@@ -154,8 +158,9 @@ impl BudgetSentinel {
         if avail >= want {
             max_units
         } else {
-            // partial grant: hand back whole batches only
-            avail / unit
+            // partial grant: hand back whole batches only, but never refuse
+            // outright while allowance remained (liveness)
+            (avail / unit).max(1)
         }
     }
 
@@ -199,6 +204,21 @@ mod tests {
         // unit 3: only 3 whole batches (9 configs) fit in 10
         assert_eq!(s.grant(3, 5), 3);
         assert_eq!(s.grant(3, 5), 0);
+    }
+
+    #[test]
+    fn tiny_allowance_still_grants_one_batch() {
+        let b = Budget {
+            max_configs: Some(3),
+            ..Default::default()
+        };
+        let s = b.start();
+        assert_eq!(
+            s.grant(4, 8),
+            1,
+            "a unit larger than the allowance must still make progress"
+        );
+        assert_eq!(s.grant(4, 8), 0, "the overshooting batch exhausts it");
     }
 
     #[test]

@@ -5,13 +5,20 @@ use netgraph::{EdgeId, Network};
 use crate::algorithm::{reliability_bottleneck_anytime, BottleneckOutcome, BottleneckReport};
 use crate::bottleneck::{find_bottleneck_set, validate_bottleneck_set, BottleneckSet};
 use crate::checkpoint::{
-    instance_fingerprint, Checkpoint, CheckpointKind, NaiveCheckpoint, SideCheckpoint,
+    instance_fingerprint, Checkpoint, CheckpointKind, FactoringCheckpoint, NaiveCheckpoint,
+    PlanCheckpoint, SideCheckpoint,
 };
 use crate::demand::FlowDemand;
 use crate::error::ReliabilityError;
-use crate::factoring::reliability_factoring;
+use crate::factoring::{reliability_factoring, reliability_factoring_anytime, FactoringOutcome};
 use crate::naive::{reliability_naive_anytime, NaiveOutcome};
 use crate::options::CalcOptions;
+use crate::plan::{DecompositionPlan, PlanOutcome};
+
+/// Recursive-cut cardinality searched below the root split when the strategy
+/// does not name one (explicit [`Strategy::Bottleneck`] cuts and the auto
+/// strategies all recurse with this `k`).
+const PLAN_RECURSE_K: usize = 3;
 
 /// Which algorithm to run.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -159,32 +166,42 @@ impl ReliabilityCalculator {
     /// budget.
     ///
     /// With the default unlimited [`crate::budget::Budget`] this always
-    /// returns [`Outcome::Complete`]. With a limit set, the enumeration
-    /// sweeps (naive and bottleneck strategies, and the auto strategy's
-    /// bottleneck attempt) stop cooperatively and return
-    /// [`Outcome::Partial`]. The factoring algorithm does not support
-    /// budgets: `Strategy::Factoring` always runs to completion, and
-    /// `Strategy::Auto` falls back to a budgeted naive sweep instead of
-    /// factoring when a budget is set.
+    /// returns [`Outcome::Complete`]. With a limit set, every exact strategy
+    /// stops cooperatively and returns [`Outcome::Partial`]: the enumeration
+    /// sweeps at clean sweep cursors, the recursive decomposition planner at
+    /// plan-leaf granularity, and factoring between conditioning steps.
+    ///
+    /// The bottleneck strategies (and the auto strategy's bottleneck
+    /// attempt) run through the recursive decomposition planner
+    /// ([`crate::plan`]): the cut's sides are themselves decomposed along
+    /// nested bottlenecks up to [`CalcOptions::max_depth`] levels before any
+    /// sweep runs. `max_depth: 0` restores the flat one-level decomposition.
     pub fn run(&self, net: &Network, demand: FlowDemand) -> Result<Outcome, ReliabilityError> {
         match &self.strategy {
             Strategy::Naive => self.naive_outcome(net, demand, "naive", None),
             Strategy::Factoring => {
-                let r = reliability_factoring(net, demand, &self.options)?;
-                Ok(Outcome::Complete(Box::new(ReliabilityReport {
-                    reliability: r,
-                    algorithm: "factoring",
-                    bottleneck: None,
-                    mc: None,
-                })))
+                if self.options.budget.is_unlimited() {
+                    // The recursive engine and the flat anytime engine agree
+                    // to ~1e-15 but not bit for bit (the summation order
+                    // differs); keep the long-standing recursive path for
+                    // unbudgeted runs.
+                    let r = reliability_factoring(net, demand, &self.options)?;
+                    return Ok(Outcome::Complete(Box::new(ReliabilityReport {
+                        reliability: r,
+                        algorithm: "factoring",
+                        bottleneck: None,
+                        mc: None,
+                    })));
+                }
+                self.factoring_outcome(net, demand, "factoring", None)
             }
             Strategy::Bottleneck(cut) => {
                 let set = validate_bottleneck_set(net, demand.source, demand.sink, cut)?;
-                self.bottleneck_outcome(net, demand, &set, "bottleneck", None)
+                self.plan_outcome(net, demand, &set, PLAN_RECURSE_K, "bottleneck", None)
             }
             Strategy::BottleneckAuto { max_k } => {
                 let set = find_bottleneck_set(net, demand.source, demand.sink, *max_k)?;
-                self.bottleneck_outcome(net, demand, &set, "bottleneck-auto", None)
+                self.plan_outcome(net, demand, &set, *max_k, "bottleneck-auto", None)
             }
             Strategy::MonteCarlo(settings) => self.montecarlo_outcome(net, demand, settings),
             Strategy::Auto => self.run_auto(net, demand),
@@ -231,6 +248,8 @@ impl ReliabilityCalculator {
         }
         match &checkpoint.kind {
             CheckpointKind::Naive(ck) => self.naive_outcome(net, demand, "naive", Some(ck)),
+            // Flat one-level decomposition checkpoints from before the
+            // recursive planner; still honored so serialized v1 resumes work.
             CheckpointKind::Bottleneck {
                 cut,
                 side_s,
@@ -238,6 +257,28 @@ impl ReliabilityCalculator {
             } => {
                 let set = validate_bottleneck_set(net, demand.source, demand.sink, cut)?;
                 self.bottleneck_outcome(net, demand, &set, "bottleneck", Some((side_s, side_t)))
+            }
+            CheckpointKind::Plan(ck) => {
+                let set = validate_bottleneck_set(net, demand.source, demand.sink, &ck.root_cut)?;
+                // The plan tree is not serialized: it is re-derived here from
+                // the checkpoint's planning inputs, and `execute` verifies the
+                // re-derived tree's shape fingerprint against the checkpoint.
+                let opts = CalcOptions {
+                    max_depth: ck.max_depth,
+                    ..self.options.clone()
+                };
+                self.plan_outcome_with(
+                    net,
+                    demand,
+                    &set,
+                    ck.root_max_k,
+                    "bottleneck",
+                    &opts,
+                    Some(ck),
+                )
+            }
+            CheckpointKind::Factoring(ck) => {
+                self.factoring_outcome(net, demand, "factoring", Some(ck))
             }
             CheckpointKind::MonteCarlo(ck) => {
                 let out = montecarlo::engine::resume(
@@ -251,6 +292,102 @@ impl ReliabilityCalculator {
                 )?;
                 self.wrap_mc_outcome(net, demand, out)
             }
+        }
+    }
+
+    /// Plans a recursive decomposition rooted at `set` and executes it under
+    /// the calculator's options.
+    fn plan_outcome(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        set: &BottleneckSet,
+        max_k: usize,
+        algorithm: &'static str,
+        resume: Option<&PlanCheckpoint>,
+    ) -> Result<Outcome, ReliabilityError> {
+        self.plan_outcome_with(net, demand, set, max_k, algorithm, &self.options, resume)
+    }
+
+    /// As [`Self::plan_outcome`], with explicit options (resume overrides
+    /// `max_depth` with the checkpoint's planning depth so the re-derived
+    /// tree matches).
+    #[allow(clippy::too_many_arguments)]
+    fn plan_outcome_with(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        set: &BottleneckSet,
+        max_k: usize,
+        algorithm: &'static str,
+        opts: &CalcOptions,
+        resume: Option<&PlanCheckpoint>,
+    ) -> Result<Outcome, ReliabilityError> {
+        let plan = DecompositionPlan::plan_on_set(net, demand, set, opts, max_k)?;
+        match plan.execute(opts, resume)? {
+            PlanOutcome::Complete { reliability, stats } => {
+                Ok(Outcome::Complete(Box::new(ReliabilityReport {
+                    reliability,
+                    algorithm,
+                    bottleneck: Some(plan.report(net, stats)),
+                    mc: None,
+                })))
+            }
+            PlanOutcome::Partial {
+                r_low,
+                r_high,
+                explored,
+                checkpoint,
+                stats,
+            } => Ok(Outcome::Partial(Box::new(PartialReport {
+                r_low,
+                r_high,
+                explored,
+                algorithm,
+                bottleneck: Some(plan.report(net, stats)),
+                mc: None,
+                checkpoint: Checkpoint {
+                    fingerprint: instance_fingerprint(net, &demand, &self.options),
+                    kind: CheckpointKind::Plan(checkpoint),
+                },
+            }))),
+        }
+    }
+
+    /// Runs the budget-aware factoring engine and wraps its outcome.
+    fn factoring_outcome(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        algorithm: &'static str,
+        resume: Option<&FactoringCheckpoint>,
+    ) -> Result<Outcome, ReliabilityError> {
+        match reliability_factoring_anytime(net, demand, &self.options, resume)? {
+            FactoringOutcome::Complete { reliability, .. } => {
+                Ok(Outcome::Complete(Box::new(ReliabilityReport {
+                    reliability,
+                    algorithm,
+                    bottleneck: None,
+                    mc: None,
+                })))
+            }
+            FactoringOutcome::Partial {
+                r_low,
+                r_high,
+                explored,
+                checkpoint,
+            } => Ok(Outcome::Partial(Box::new(PartialReport {
+                r_low,
+                r_high,
+                explored,
+                algorithm,
+                bottleneck: None,
+                mc: None,
+                checkpoint: Checkpoint {
+                    fingerprint: instance_fingerprint(net, &demand, &self.options),
+                    kind: CheckpointKind::Factoring(checkpoint),
+                },
+            }))),
         }
     }
 
@@ -435,19 +572,22 @@ impl ReliabilityCalculator {
         }
     }
 
-    /// Auto strategy: decompose along a bottleneck when one exists and the
-    /// assignment set stays small; otherwise factor (or, under a budget, run
-    /// the interruptible naive sweep — factoring cannot be stopped); fall
-    /// back to naive only when factoring's (looser) edge bound also trips.
+    /// Auto strategy: decompose recursively along a bottleneck when one
+    /// exists and the split pays off; otherwise factor (or, under a budget,
+    /// run the interruptible naive sweep, whose checkpoints carry the
+    /// uniform explored metric); fall back to naive only when factoring's
+    /// (looser) edge bound also trips.
     fn run_auto(&self, net: &Network, demand: FlowDemand) -> Result<Outcome, ReliabilityError> {
         if let Ok(set) = find_bottleneck_set(net, demand.source, demand.sink, 3) {
             let worth_it = set.side_s_edges.max(set.side_t_edges) + 2 < net.edge_count();
             if worth_it {
-                match self.bottleneck_outcome(net, demand, &set, "auto:bottleneck", None) {
+                match self.plan_outcome(net, demand, &set, PLAN_RECURSE_K, "auto:bottleneck", None)
+                {
                     Ok(out) => return Ok(out),
                     Err(
                         ReliabilityError::TooManyAssignments { .. }
-                        | ReliabilityError::SideTooLarge { .. },
+                        | ReliabilityError::SideTooLarge { .. }
+                        | ReliabilityError::TooManyEdges { .. },
                     ) => { /* fall through */ }
                     Err(e) => return Err(e),
                 }

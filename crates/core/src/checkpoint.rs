@@ -74,6 +74,63 @@ pub struct SideCheckpoint {
     pub certs: Vec<Vec<SolveCert>>,
 }
 
+/// Resume state of one leaf slot of an interrupted plan execution
+/// ([`crate::plan`]), in DFS order over the plan tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanLeafState {
+    /// The leaf was never started (budget ran out before reaching it).
+    Fresh,
+    /// The leaf finished; its exact contribution is recorded so a resumed
+    /// run reuses it without re-sweeping.
+    Done {
+        /// The leaf's exact reliability.
+        value: f64,
+    },
+    /// The leaf is an interrupted naive sweep.
+    Naive(NaiveCheckpoint),
+    /// The leaf is an interrupted one-level bottleneck (cut) sweep.
+    Cut {
+        /// Source-side sweep state.
+        side_s: Box<SideCheckpoint>,
+        /// Sink-side sweep state.
+        side_t: Box<SideCheckpoint>,
+    },
+}
+
+/// Checkpoint of an interrupted recursive-plan execution ([`crate::plan`]).
+///
+/// The plan tree itself is *not* serialized: planning is deterministic, so
+/// the resuming process re-derives the tree from the network, the stored
+/// root cut, and the stored planner knobs, then verifies the shape
+/// fingerprint before splicing the leaf states back in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanCheckpoint {
+    /// The validated bottleneck set the root split was built on.
+    pub root_cut: Vec<EdgeId>,
+    /// `max_k` the planner searched recursive cuts with.
+    pub root_max_k: usize,
+    /// `max_depth` the plan was built with (overrides the resuming options).
+    pub max_depth: usize,
+    /// Fingerprint of the plan tree's shape; a resumed run must re-derive a
+    /// tree with the identical fingerprint.
+    pub shape: u64,
+    /// Per-leaf resume state, in DFS (execution) order.
+    pub leaves: Vec<PlanLeafState>,
+}
+
+/// Checkpoint of an interrupted budgeted factoring (conditioning) run
+/// ([`crate::factoring::reliability_factoring_anytime`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FactoringCheckpoint {
+    /// `(sum, compensation)` of the feasible-mass Neumaier accumulator.
+    pub accum: (f64, f64),
+    /// Conditioning leaves resolved so far.
+    pub leaves: u64,
+    /// Unresolved `(alive, undecided)` subtree frames, in the exact order
+    /// the uninterrupted depth-first conditioning would visit them.
+    pub pending: Vec<(u64, u64)>,
+}
+
 /// Algorithm-specific checkpoint payload.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CheckpointKind {
@@ -93,6 +150,10 @@ pub enum CheckpointKind {
     /// resume is still bit-identical: the finished run equals an
     /// uninterrupted run with the same settings.
     MonteCarlo(montecarlo::McCheckpoint),
+    /// Interrupted recursive-plan execution ([`crate::plan`]).
+    Plan(PlanCheckpoint),
+    /// Interrupted budgeted factoring (conditioning) run.
+    Factoring(FactoringCheckpoint),
 }
 
 /// A resumable snapshot of an interrupted calculation.
@@ -136,21 +197,21 @@ pub fn instance_fingerprint(net: &Network, demand: &FlowDemand, opts: &CalcOptio
     h.finish()
 }
 
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, v: u64) {
+    pub(crate) fn write(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -174,18 +235,7 @@ impl Checkpoint {
         match &self.kind {
             CheckpointKind::Naive(n) => {
                 out.push_str("kind naive\n");
-                write_cursor(&mut out, &n.cursor);
-                out.push_str(&format!(
-                    "feasible {:016x} {:016x}\n",
-                    n.feasible.0.to_bits(),
-                    n.feasible.1.to_bits()
-                ));
-                out.push_str(&format!(
-                    "explored {:016x} {:016x}\n",
-                    n.explored.0.to_bits(),
-                    n.explored.1.to_bits()
-                ));
-                write_certs(&mut out, &n.certs);
+                write_naive_body(&mut out, n);
             }
             CheckpointKind::MonteCarlo(mc) => {
                 out.push_str("kind montecarlo\n");
@@ -202,22 +252,49 @@ impl Checkpoint {
                     out.push_str(&format!(" {}", e.0));
                 }
                 out.push('\n');
-                for (label, side) in [("s", side_s), ("t", side_t)] {
-                    out.push_str(&format!("side {label}\n"));
-                    write_cursor(&mut out, &side.cursor);
-                    out.push_str(&format!("live {}", side.live.len()));
-                    for &j in &side.live {
-                        out.push_str(&format!(" {j}"));
+                write_side(&mut out, "s", side_s);
+                write_side(&mut out, "t", side_t);
+            }
+            CheckpointKind::Plan(p) => {
+                out.push_str("kind plan\n");
+                out.push_str(&format!("root-cut {}", p.root_cut.len()));
+                for e in &p.root_cut {
+                    out.push_str(&format!(" {}", e.0));
+                }
+                out.push('\n');
+                out.push_str(&format!("root-maxk {}\n", p.root_max_k));
+                out.push_str(&format!("max-depth {}\n", p.max_depth));
+                out.push_str(&format!("shape {:016x}\n", p.shape));
+                out.push_str(&format!("leaves {}\n", p.leaves.len()));
+                for leaf in &p.leaves {
+                    match leaf {
+                        PlanLeafState::Fresh => out.push_str("leaf fresh\n"),
+                        PlanLeafState::Done { value } => {
+                            out.push_str(&format!("leaf done {:016x}\n", value.to_bits()))
+                        }
+                        PlanLeafState::Naive(n) => {
+                            out.push_str("leaf naive\n");
+                            write_naive_body(&mut out, n);
+                        }
+                        PlanLeafState::Cut { side_s, side_t } => {
+                            out.push_str("leaf cut\n");
+                            write_side(&mut out, "s", side_s);
+                            write_side(&mut out, "t", side_t);
+                        }
                     }
-                    out.push('\n');
-                    out.push_str(&format!("mass {}\n", side.mass.len()));
-                    for &m in &side.mass {
-                        out.push_str(&format!("m {:016x}\n", m.to_bits()));
-                    }
-                    out.push_str(&format!("certgroups {}\n", side.certs.len()));
-                    for group in &side.certs {
-                        write_certs(&mut out, group);
-                    }
+                }
+            }
+            CheckpointKind::Factoring(fc) => {
+                out.push_str("kind factoring\n");
+                out.push_str(&format!(
+                    "accum {:016x} {:016x}\n",
+                    fc.accum.0.to_bits(),
+                    fc.accum.1.to_bits()
+                ));
+                out.push_str(&format!("leafcount {}\n", fc.leaves));
+                out.push_str(&format!("pending {}\n", fc.pending.len()));
+                for &(alive, undecided) in &fc.pending {
+                    out.push_str(&format!("frame {alive:x} {undecided:x}\n"));
                 }
             }
         }
@@ -239,18 +316,7 @@ impl Checkpoint {
         .map_err(|_| bad("unparseable fingerprint"))?;
         let kind_line = field(&mut lines, "kind")?;
         let kind = match kind_line.first().copied() {
-            Some("naive") => {
-                let cursor = read_cursor(&mut lines)?;
-                let feasible = read_f64_pair(&mut lines, "feasible")?;
-                let explored = read_f64_pair(&mut lines, "explored")?;
-                let certs = read_certs(&mut lines)?;
-                CheckpointKind::Naive(NaiveCheckpoint {
-                    cursor,
-                    feasible,
-                    explored,
-                    certs,
-                })
-            }
+            Some("naive") => CheckpointKind::Naive(read_naive_body(&mut lines)?),
             Some("montecarlo") => CheckpointKind::MonteCarlo(read_mc(&mut lines)?),
             Some("bottleneck") => {
                 let cut_fields = field(&mut lines, "cut")?;
@@ -269,6 +335,73 @@ impl Checkpoint {
                     side_s,
                     side_t,
                 }
+            }
+            Some("plan") => {
+                let cf = field(&mut lines, "root-cut")?;
+                let n: usize = parse(cf.first(), "root cut count")?;
+                if cf.len() != n + 1 {
+                    return Err(bad("root-cut line has the wrong arity"));
+                }
+                let root_cut = cf[1..]
+                    .iter()
+                    .map(|s| parse(Some(s), "root cut edge id").map(EdgeId))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let root_max_k = parse(field(&mut lines, "root-maxk")?.first(), "root max k")?;
+                let max_depth = parse(field(&mut lines, "max-depth")?.first(), "plan max depth")?;
+                let shape = parse_hex(field(&mut lines, "shape")?.first(), "plan shape")?;
+                let count: usize = parse(field(&mut lines, "leaves")?.first(), "plan leaf count")?;
+                let mut leaves = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let lf = field(&mut lines, "leaf")?;
+                    match lf.first().copied() {
+                        Some("fresh") => leaves.push(PlanLeafState::Fresh),
+                        Some("done") => leaves.push(PlanLeafState::Done {
+                            value: f64::from_bits(parse_hex(lf.get(1), "leaf value")?),
+                        }),
+                        Some("naive") => {
+                            leaves.push(PlanLeafState::Naive(read_naive_body(&mut lines)?))
+                        }
+                        Some("cut") => {
+                            let side_s = read_side(&mut lines, "s")?;
+                            let side_t = read_side(&mut lines, "t")?;
+                            leaves.push(PlanLeafState::Cut {
+                                side_s: Box::new(side_s),
+                                side_t: Box::new(side_t),
+                            });
+                        }
+                        _ => return Err(bad("unknown plan leaf state")),
+                    }
+                }
+                CheckpointKind::Plan(PlanCheckpoint {
+                    root_cut,
+                    root_max_k,
+                    max_depth,
+                    shape,
+                    leaves,
+                })
+            }
+            Some("factoring") => {
+                let accum = read_f64_pair(&mut lines, "accum")?;
+                let leaves = parse(
+                    field(&mut lines, "leafcount")?.first(),
+                    "factoring leaf count",
+                )?;
+                let pn: usize = parse(field(&mut lines, "pending")?.first(), "pending count")?;
+                let mut pending = Vec::with_capacity(pn);
+                for _ in 0..pn {
+                    let fr = field(&mut lines, "frame")?;
+                    let alive = parse_hex(fr.first(), "frame alive mask")?;
+                    let undecided = parse_hex(fr.get(1), "frame undecided mask")?;
+                    if alive & undecided != 0 {
+                        return Err(bad("frame alive and undecided masks overlap"));
+                    }
+                    pending.push((alive, undecided));
+                }
+                CheckpointKind::Factoring(FactoringCheckpoint {
+                    accum,
+                    leaves,
+                    pending,
+                })
             }
             _ => return Err(bad("unknown checkpoint kind")),
         };
@@ -406,6 +539,52 @@ fn read_mc(lines: &mut std::str::Lines<'_>) -> Result<montecarlo::McCheckpoint, 
         flow_evals,
         accum,
     })
+}
+
+fn write_naive_body(out: &mut String, n: &NaiveCheckpoint) {
+    write_cursor(out, &n.cursor);
+    out.push_str(&format!(
+        "feasible {:016x} {:016x}\n",
+        n.feasible.0.to_bits(),
+        n.feasible.1.to_bits()
+    ));
+    out.push_str(&format!(
+        "explored {:016x} {:016x}\n",
+        n.explored.0.to_bits(),
+        n.explored.1.to_bits()
+    ));
+    write_certs(out, &n.certs);
+}
+
+fn read_naive_body(lines: &mut std::str::Lines<'_>) -> Result<NaiveCheckpoint, ReliabilityError> {
+    let cursor = read_cursor(lines)?;
+    let feasible = read_f64_pair(lines, "feasible")?;
+    let explored = read_f64_pair(lines, "explored")?;
+    let certs = read_certs(lines)?;
+    Ok(NaiveCheckpoint {
+        cursor,
+        feasible,
+        explored,
+        certs,
+    })
+}
+
+fn write_side(out: &mut String, label: &str, side: &SideCheckpoint) {
+    out.push_str(&format!("side {label}\n"));
+    write_cursor(out, &side.cursor);
+    out.push_str(&format!("live {}", side.live.len()));
+    for &j in &side.live {
+        out.push_str(&format!(" {j}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("mass {}\n", side.mass.len()));
+    for &m in &side.mass {
+        out.push_str(&format!("m {:016x}\n", m.to_bits()));
+    }
+    out.push_str(&format!("certgroups {}\n", side.certs.len()));
+    for group in &side.certs {
+        write_certs(out, group);
+    }
 }
 
 fn write_cursor(out: &mut String, cursor: &SweepCursor) {
@@ -677,6 +856,73 @@ mod tests {
             panic!("accumulator kind must survive the round trip");
         };
         assert_eq!(sum.1.to_bits(), (-0.0f64).to_bits());
+    }
+
+    fn plan_checkpoint() -> Checkpoint {
+        let CheckpointKind::Naive(naive) = naive_checkpoint().kind else {
+            panic!("naive fixture must be naive");
+        };
+        let CheckpointKind::Bottleneck { side_s, side_t, .. } = bottleneck_checkpoint().kind else {
+            panic!("bottleneck fixture must be bottleneck");
+        };
+        Checkpoint {
+            fingerprint: 0x1234_5678_9abc_def0,
+            kind: CheckpointKind::Plan(PlanCheckpoint {
+                root_cut: vec![EdgeId(3), EdgeId(9)],
+                root_max_k: 3,
+                max_depth: 7,
+                shape: 0xfeed_face_cafe_beef,
+                leaves: vec![
+                    PlanLeafState::Done { value: 0.875 },
+                    PlanLeafState::Naive(naive),
+                    PlanLeafState::Fresh,
+                    PlanLeafState::Cut {
+                        side_s: Box::new(side_s),
+                        side_t: Box::new(side_t),
+                    },
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn plan_round_trip_is_exact() {
+        let ck = plan_checkpoint();
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn factoring_round_trip_is_exact() {
+        let ck = Checkpoint {
+            fingerprint: 99,
+            kind: CheckpointKind::Factoring(FactoringCheckpoint {
+                accum: (0.98765, -0.0),
+                leaves: 1234,
+                pending: vec![(0b1010, 0b0101), (0, u64::MAX >> 1)],
+            }),
+        };
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(back, ck);
+        let CheckpointKind::Factoring(fc) = &back.kind else {
+            panic!("kind must survive the round trip");
+        };
+        assert_eq!(fc.accum.1.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn factoring_rejects_overlapping_frame_masks() {
+        let text = Checkpoint {
+            fingerprint: 1,
+            kind: CheckpointKind::Factoring(FactoringCheckpoint {
+                accum: (0.0, 0.0),
+                leaves: 0,
+                pending: vec![(0b11, 0b100)],
+            }),
+        }
+        .to_text()
+        .replace("frame 3 4", "frame 3 7");
+        assert!(Checkpoint::from_text(&text).is_err());
     }
 
     #[test]

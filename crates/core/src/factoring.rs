@@ -18,6 +18,7 @@
 use exactmath::BigRational;
 use netgraph::{EdgeMask, Network};
 
+use crate::checkpoint::FactoringCheckpoint;
 use crate::demand::FlowDemand;
 use crate::error::ReliabilityError;
 use crate::options::CalcOptions;
@@ -118,6 +119,176 @@ pub fn reliability_factoring(
     reliability_factoring_weighted(net, demand, &edge_weights(net), opts).map(|(r, _)| r)
 }
 
+/// Result of a budgeted factoring (conditioning) run.
+#[derive(Clone, Debug)]
+pub enum FactoringOutcome {
+    /// The budget sufficed: every conditioning subtree was resolved.
+    Complete {
+        /// The exact reliability (up to compensated `f64` rounding; the
+        /// flat traversal may differ from [`reliability_factoring`] in the
+        /// last bits because the summation order differs).
+        reliability: f64,
+        /// Conditioning leaves resolved.
+        leaves: u64,
+    },
+    /// The budget ran out between conditioning steps; `[r_low, r_high]` is
+    /// a rigorous interval around the exact reliability.
+    Partial {
+        /// Certified lower bound (mass of subtrees proven feasible).
+        r_low: f64,
+        /// Certified upper bound (`r_low` plus all unresolved mass).
+        r_high: f64,
+        /// Probability mass of the conditioning frames resolved so far.
+        explored: f64,
+        /// Resume state; feed back in (same instance) to continue.
+        checkpoint: FactoringCheckpoint,
+    },
+}
+
+/// Probability mass of a conditioning frame: the product, over links already
+/// conditioned (neither undecided nor outside the network), of the alive or
+/// failed weight. A pure function of the frame, so an interrupted run and
+/// its resumption compute identical masses.
+fn frame_mass(weights: &[(f64, f64)], all: u64, alive: u64, undecided: u64) -> f64 {
+    let mut decided = all & !undecided;
+    let mut mass = 1.0;
+    while decided != 0 {
+        let i = decided.trailing_zeros() as usize;
+        mass *= if alive >> i & 1 == 1 {
+            weights[i].0
+        } else {
+            weights[i].1
+        };
+        decided &= decided - 1;
+    }
+    mass
+}
+
+/// Neumaier-compensated `acc += x`.
+fn neumaier_add(acc: &mut (f64, f64), x: f64) {
+    let t = acc.0 + x;
+    if acc.0.abs() >= x.abs() {
+        acc.1 += (acc.0 - t) + x;
+    } else {
+        acc.1 += (x - t) + acc.0;
+    }
+    acc.0 = t;
+}
+
+/// Budget-aware factoring: conditions depth-first exactly like
+/// [`reliability_factoring`], but polls `opts.budget` between conditioning
+/// steps (one grant unit per frame) and, when interrupted, returns the
+/// bounds accumulated so far plus a checkpoint of the unresolved subtrees.
+///
+/// Determinism: the explicit stack reproduces the recursive visit order
+/// (alive-branch first), frame masses are pure functions of the frame, and
+/// feasible-leaf masses enter one compensated accumulator in visit order —
+/// so an interrupted run resumed to completion returns the same bits as an
+/// uninterrupted `reliability_factoring_anytime` run.
+pub fn reliability_factoring_anytime(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+    resume: Option<&FactoringCheckpoint>,
+) -> Result<FactoringOutcome, ReliabilityError> {
+    demand.validate(net)?;
+    let reduced = relevance_reduce(net, demand);
+    if reduced.removed > 0 {
+        // The reduction is deterministic, so checkpoint frames always refer
+        // to the same reduced link indexing on both runs.
+        return reliability_factoring_anytime(&reduced.net, reduced.demand, opts, resume);
+    }
+    let m = net.edge_count();
+    if m > EdgeMask::MAX_EDGES {
+        return Err(ReliabilityError::EdgeMaskOverflow {
+            count: m,
+            max: EdgeMask::MAX_EDGES,
+        });
+    }
+    if m > opts.max_enum_edges.max(40) {
+        return Err(ReliabilityError::TooManyEdges {
+            count: m,
+            max: opts.max_enum_edges.max(40),
+        });
+    }
+    if demand.demand == 0 {
+        return Ok(FactoringOutcome::Complete {
+            reliability: 1.0,
+            leaves: 1,
+        });
+    }
+    let weights: Vec<(f64, f64)> = net
+        .edges()
+        .iter()
+        .map(|e| (1.0 - e.fail_prob, e.fail_prob))
+        .collect();
+    let all = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+    let (mut acc, mut leaves, mut stack) = match resume {
+        Some(ck) => {
+            for &(alive, undecided) in &ck.pending {
+                if alive & undecided != 0 || (alive | undecided) & !all != 0 {
+                    return Err(ReliabilityError::CheckpointMismatch {
+                        reason: "factoring frame does not fit this network's links".into(),
+                    });
+                }
+            }
+            // `pending` is stored in visit order; the stack pops from the
+            // back, so reverse it.
+            let mut st = ck.pending.clone();
+            st.reverse();
+            (ck.accum, ck.leaves, st)
+        }
+        None => ((0.0, 0.0), 0, vec![(0u64, all)]),
+    };
+    let mut oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
+    let sentinel = opts.budget.start();
+    while let Some((alive, undecided)) = stack.pop() {
+        if sentinel.grant(1, 1) == 0 {
+            // This frame and everything below it on the stack is pending;
+            // restore visit order for the checkpoint.
+            stack.push((alive, undecided));
+            stack.reverse();
+            let pending_mass: f64 = stack
+                .iter()
+                .map(|&(a, u)| frame_mass(&weights, all, a, u))
+                .sum();
+            let r_low = (acc.0 + acc.1).clamp(0.0, 1.0);
+            return Ok(FactoringOutcome::Partial {
+                r_low,
+                r_high: (r_low + pending_mass).clamp(r_low, 1.0),
+                explored: (1.0 - pending_mass).clamp(0.0, 1.0),
+                checkpoint: FactoringCheckpoint {
+                    accum: acc,
+                    leaves,
+                    pending: stack,
+                },
+            });
+        }
+        // optimistic: all undecided alive
+        if !oracle.admits(EdgeMask::from_bits(alive | undecided, m)) {
+            leaves += 1;
+            continue;
+        }
+        // pessimistic: all undecided failed
+        if oracle.admits(EdgeMask::from_bits(alive, m)) {
+            leaves += 1;
+            neumaier_add(&mut acc, frame_mass(&weights, all, alive, undecided));
+            continue;
+        }
+        // both bounds open: condition on the lowest undecided link; push the
+        // failed branch first so the alive branch pops first, matching the
+        // recursive visit order.
+        let e = undecided.trailing_zeros();
+        let rest = undecided & !(1u64 << e);
+        stack.push((alive, rest));
+        stack.push((alive | 1 << e, rest));
+    }
+    Ok(FactoringOutcome::Complete {
+        reliability: (acc.0 + acc.1).clamp(0.0, 1.0),
+        leaves,
+    })
+}
+
 /// Factoring reliability, exact.
 pub fn reliability_factoring_exact(
     net: &Network,
@@ -208,5 +379,118 @@ mod tests {
         let f = reliability_factoring(&net, d, &CalcOptions::default()).unwrap();
         let e = reliability_factoring_exact(&net, d, &CalcOptions::default()).unwrap();
         assert!((f - e.to_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anytime_unbudgeted_matches_recursive() {
+        let (net, d) = mesh();
+        let recursive = reliability_factoring(&net, d, &CalcOptions::default()).unwrap();
+        match reliability_factoring_anytime(&net, d, &CalcOptions::default(), None).unwrap() {
+            FactoringOutcome::Complete {
+                reliability,
+                leaves,
+            } => {
+                assert!((reliability - recursive).abs() < 1e-12);
+                assert!(leaves > 0);
+            }
+            FactoringOutcome::Partial { .. } => panic!("unlimited budget must complete"),
+        }
+    }
+
+    #[test]
+    fn anytime_resume_is_bit_identical() {
+        let (net, d) = mesh();
+        let uninterrupted =
+            match reliability_factoring_anytime(&net, d, &CalcOptions::default(), None).unwrap() {
+                FactoringOutcome::Complete {
+                    reliability,
+                    leaves,
+                } => (reliability, leaves),
+                FactoringOutcome::Partial { .. } => panic!("unlimited budget must complete"),
+            };
+        let tiny = CalcOptions {
+            budget: crate::budget::Budget {
+                max_configs: Some(3),
+                ..crate::budget::Budget::unlimited()
+            },
+            ..CalcOptions::default()
+        };
+        let mut ck = None;
+        let mut last_low = 0.0f64;
+        let mut last_high = 1.0f64;
+        for step in 0..100_000 {
+            match reliability_factoring_anytime(&net, d, &tiny, ck.as_ref()).unwrap() {
+                FactoringOutcome::Complete {
+                    reliability,
+                    leaves,
+                } => {
+                    assert_eq!(reliability.to_bits(), uninterrupted.0.to_bits());
+                    assert_eq!(leaves, uninterrupted.1);
+                    assert!(step > 0, "budget of 3 frames cannot finish in one run");
+                    return;
+                }
+                FactoringOutcome::Partial {
+                    r_low,
+                    r_high,
+                    explored,
+                    checkpoint,
+                } => {
+                    assert!(r_low >= last_low - 1e-15, "lower bound must not regress");
+                    assert!(r_high <= last_high + 1e-15, "upper bound must not regress");
+                    assert!(r_low <= uninterrupted.0 + 1e-12);
+                    assert!(r_high >= uninterrupted.0 - 1e-12);
+                    assert!((0.0..=1.0).contains(&explored));
+                    last_low = r_low;
+                    last_high = r_high;
+                    ck = Some(checkpoint);
+                }
+            }
+        }
+        panic!("resume loop failed to converge");
+    }
+
+    #[test]
+    fn anytime_immediate_cancel_reports_vacuous_bounds() {
+        let (net, d) = mesh();
+        let cancel = crate::budget::CancelToken::new();
+        cancel.trip();
+        let opts = CalcOptions {
+            budget: crate::budget::Budget {
+                cancel: Some(cancel),
+                ..crate::budget::Budget::unlimited()
+            },
+            ..CalcOptions::default()
+        };
+        match reliability_factoring_anytime(&net, d, &opts, None).unwrap() {
+            FactoringOutcome::Partial {
+                r_low,
+                r_high,
+                explored,
+                checkpoint,
+            } => {
+                assert_eq!(r_low, 0.0);
+                assert_eq!(r_high, 1.0);
+                assert_eq!(explored, 0.0);
+                assert_eq!(
+                    checkpoint.pending.len(),
+                    1,
+                    "only the root frame is pending"
+                );
+            }
+            FactoringOutcome::Complete { .. } => panic!("tripped token must interrupt"),
+        }
+    }
+
+    #[test]
+    fn anytime_rejects_foreign_frames() {
+        let (net, d) = mesh();
+        let bad = FactoringCheckpoint {
+            accum: (0.0, 0.0),
+            leaves: 0,
+            pending: vec![(1u64 << 63, 0)],
+        };
+        let err = reliability_factoring_anytime(&net, d, &CalcOptions::default(), Some(&bad))
+            .unwrap_err();
+        assert!(matches!(err, ReliabilityError::CheckpointMismatch { .. }));
     }
 }

@@ -51,6 +51,7 @@ pub mod naive;
 pub mod nodefail;
 pub mod options;
 pub mod oracle;
+pub mod plan;
 pub mod polynomial;
 pub mod preprocess;
 pub mod spectrum;
@@ -61,8 +62,8 @@ pub mod weight;
 
 pub use accumulate::{combine_interval, AccumulationMethod};
 pub use algorithm::{
-    reliability_bottleneck, reliability_bottleneck_anytime, reliability_bottleneck_exact,
-    BottleneckOutcome, BottleneckReport,
+    reliability_bottleneck, reliability_bottleneck_anytime, reliability_bottleneck_anytime_on,
+    reliability_bottleneck_exact, BottleneckOutcome, BottleneckReport,
 };
 pub use assign::{enumerate_assignments, Assignment, AssignmentModel};
 pub use bottleneck::{
@@ -75,24 +76,29 @@ pub use budget::{Budget, BudgetSentinel, CancelToken};
 pub use calculator::{Outcome, PartialReport, ReliabilityCalculator, ReliabilityReport, Strategy};
 pub use certcache::{CertCache, SolveCert, SweepStats};
 pub use checkpoint::{
-    instance_fingerprint, Checkpoint, CheckpointKind, NaiveCheckpoint, SideCheckpoint, SweepCursor,
+    instance_fingerprint, Checkpoint, CheckpointKind, FactoringCheckpoint, NaiveCheckpoint,
+    PlanCheckpoint, PlanLeafState, SideCheckpoint, SweepCursor,
 };
 pub use decompose::{decompose, Decomposition, Side};
 pub use demand::FlowDemand;
 pub use error::ReliabilityError;
-pub use factoring::reliability_factoring;
-pub use factoring::reliability_factoring_exact;
+pub use factoring::{
+    reliability_factoring, reliability_factoring_anytime, reliability_factoring_exact,
+    FactoringOutcome,
+};
 pub use importance::{birnbaum_importance, LinkImportance};
 pub use montecarlo::{
     EstimatorKind, McBudget, McCheckpoint, McError, McOutcome, McReport, McSettings, StopTarget,
 };
 pub use naive::{
-    reliability_naive, reliability_naive_anytime, reliability_naive_exact,
-    reliability_naive_weighted, reliability_naive_with_stats, NaiveOutcome,
+    reliability_naive, reliability_naive_anytime, reliability_naive_anytime_on,
+    reliability_naive_exact, reliability_naive_weighted, reliability_naive_with_stats,
+    NaiveOutcome,
 };
 pub use nodefail::{split_node_failures, NodeSplit};
 pub use options::CalcOptions;
 pub use oracle::{DemandOracle, SideOracle};
+pub use plan::{CutNode, DecompositionPlan, LeafNode, PlanNode, PlanOutcome};
 pub use polynomial::{reliability_polynomial, ReliabilityPolynomial};
 pub use preprocess::{relevance_reduce, RelevantNetwork};
 pub use spectrum::RealizationSpectrum;

@@ -14,6 +14,7 @@
 use exactmath::BigRational;
 use netgraph::{EdgeMask, Network};
 
+use crate::budget::BudgetSentinel;
 use crate::certcache::SweepStats;
 use crate::checkpoint::{NaiveCheckpoint, SweepCursor};
 use crate::demand::FlowDemand;
@@ -160,13 +161,31 @@ pub fn reliability_naive_anytime(
     opts: &CalcOptions,
     resume: Option<&NaiveCheckpoint>,
 ) -> Result<NaiveOutcome, ReliabilityError> {
+    let sentinel = opts.budget.start();
+    reliability_naive_anytime_on(net, demand, opts, &sentinel, resume)
+}
+
+/// As [`reliability_naive_anytime`], but drawing from an externally owned
+/// [`BudgetSentinel`] instead of starting a fresh one from `opts.budget`.
+///
+/// This is what lets the plan interpreter share a single budget across every
+/// leaf sweep of a decomposition tree: each leaf consumes grants from the same
+/// sentinel, so time/config limits apply to the whole recursive calculation
+/// rather than resetting per leaf.
+pub fn reliability_naive_anytime_on(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+    sentinel: &BudgetSentinel,
+    resume: Option<&NaiveCheckpoint>,
+) -> Result<NaiveOutcome, ReliabilityError> {
     demand.validate(net)?;
     let reduced = relevance_reduce(net, demand);
     if reduced.removed > 0 {
         // The reduction is deterministic, so checkpoint cursors always refer
         // to the same reduced enumeration on both the interrupted and the
         // resuming run.
-        return reliability_naive_anytime(&reduced.net, reduced.demand, opts, resume);
+        return reliability_naive_anytime_on(&reduced.net, reduced.demand, opts, sentinel, resume);
     }
     let (fallible, pinned) = check_bounds(net, demand, opts)?;
     let mut oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
@@ -214,13 +233,12 @@ pub fn reliability_naive_anytime(
         pinned,
         edge_count: net.edge_count(),
     };
-    let sentinel = opts.budget.start();
     let (partial, stats) = sweep_sum_budgeted::<f64, CompensatedAcc, _>(
         &oracle,
         &geom,
         &weights,
         &SweepConfig::from_opts(opts),
-        &sentinel,
+        sentinel,
         resume_partial,
     );
     if partial.is_complete() {

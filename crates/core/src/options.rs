@@ -58,6 +58,14 @@ pub struct CalcOptions {
     /// return a rigorous `[R_low, R_high]` interval plus a resume
     /// checkpoint instead of running to completion (see [`crate::budget`]).
     pub budget: Budget,
+    /// Maximum recursion depth of the decomposition planner
+    /// ([`crate::plan`]): how many nested `Bridge` splits the planner may
+    /// stack before it stops looking for structure and emits a leaf. `0`
+    /// disables recursive decomposition entirely (every strategy degenerates
+    /// to its one-level PR-1 behavior). Depth is consumed only by recursive
+    /// splits, so the default comfortably covers any chain the enumeration
+    /// bounds could accept.
+    pub max_depth: usize,
 }
 
 impl Default for CalcOptions {
@@ -77,6 +85,7 @@ impl Default for CalcOptions {
             incremental: true,
             parallel_threshold: 10_000,
             budget: Budget::unlimited(),
+            max_depth: 64,
         }
     }
 }

@@ -1,0 +1,1127 @@
+//! Recursive decomposition planner and plan interpreter.
+//!
+//! The paper's Eq. 1 bridge split and the Section III–IV bottleneck
+//! decomposition are both *one-level* rewrites. This module generalizes them
+//! into a [`DecompositionPlan`]: a tree whose internal nodes are combinators
+//! and whose leaves are atomic subnetworks swept by the existing engines.
+//!
+//! Node kinds and their interval-combination rules (every child evaluates to
+//! a certified interval `[lo, hi]` around its exact reliability):
+//!
+//! - [`PlanNode::Const`] — a value decided at plan time (zero demand,
+//!   infeasible demand, empty assignment set): `[v, v]`.
+//! - [`PlanNode::Preprocess`] — relevance reduction removed dead links; the
+//!   child is computed on the reduced network and the interval passes
+//!   through unchanged (the reduction is exact).
+//! - [`PlanNode::SpReduce`] — series-parallel reduction for unit demand on
+//!   undirected networks; exact, so the interval passes through unchanged.
+//! - [`PlanNode::Bridge`] — a cut whose assignment set is a single
+//!   all-nonnegative assignment `x`. Flow conservation forces *exactly*
+//!   `x_i` across cut link `i`, so the sides are independent given the cut
+//!   links with `x_i ≠ 0` alive (Eq. 1 generalized to `k ≥ 1`):
+//!   `[up·lo_L·lo_R, up·hi_L·hi_R]` with `up = Π_{x_i≠0} (1 − p(e_i))`.
+//! - [`PlanNode::Cut`] — a general bottleneck split executed by the PR-1
+//!   spectrum engine, which produces its own certified interval.
+//! - [`PlanNode::Leaf`] — an atomic subnetwork swept by the budgeted naive
+//!   engine, which produces its own certified interval.
+//!
+//! The interpreter ([`DecompositionPlan::execute`]) threads one shared
+//! [`BudgetSentinel`] through every leaf sweep, optionally runs the two
+//! sides of a `Bridge` on rayon, and — when the budget runs out — returns a
+//! [`PlanOutcome::Partial`] whose [`PlanCheckpoint`] records each leaf
+//! slot's resume state in DFS order. The plan tree itself is *not*
+//! serialized: planning is deterministic, so resume re-derives it and
+//! verifies a shape fingerprint. A serial interrupted run resumed to
+//! completion reproduces the uninterrupted value bit for bit, because leaf
+//! execution order, per-leaf sweeps (PR-2 semantics), and the combination
+//! arithmetic are all deterministic.
+
+use std::sync::Mutex;
+
+use netgraph::{EdgeId, EdgeMask, GraphKind, Network, NodeId};
+
+use crate::algorithm::{reliability_bottleneck_anytime_on, BottleneckOutcome, BottleneckReport};
+use crate::assign::{crossing_ranges, enumerate_assignments, Assignment};
+use crate::bottleneck::{find_bottleneck_set, BottleneckSet};
+use crate::budget::BudgetSentinel;
+use crate::certcache::SweepStats;
+use crate::checkpoint::{Fnv1a, PlanCheckpoint, PlanLeafState};
+use crate::decompose::{decompose, Side};
+use crate::demand::FlowDemand;
+use crate::error::ReliabilityError;
+use crate::naive::{reliability_naive_anytime_on, NaiveOutcome};
+use crate::options::CalcOptions;
+use crate::oracle::DemandOracle;
+use crate::preprocess::relevance_reduce;
+use crate::spreduce::{reduce_unit_demand, ReductionStats};
+
+/// A leaf: an atomic subnetwork swept exhaustively by the naive engine.
+#[derive(Clone, Debug)]
+pub struct LeafNode {
+    /// The subnetwork.
+    pub net: Network,
+    /// The demand inside the subnetwork.
+    pub demand: FlowDemand,
+    /// Fallible links the sweep enumerates (`2^fallible` configurations).
+    pub fallible: usize,
+    /// DFS slot index into the plan checkpoint's leaf array.
+    pub index: usize,
+}
+
+/// A general bottleneck split executed by the one-level spectrum engine.
+#[derive(Clone, Debug)]
+pub struct CutNode {
+    /// The (sub)network the split applies to.
+    pub net: Network,
+    /// The demand inside that network.
+    pub demand: FlowDemand,
+    /// The validated bottleneck set.
+    pub set: BottleneckSet,
+    /// Number of feasible flow assignments across the cut (`|D|`).
+    pub assignments: usize,
+    /// DFS slot index into the plan checkpoint's leaf array.
+    pub index: usize,
+}
+
+/// One node of a [`DecompositionPlan`] tree.
+#[derive(Clone, Debug)]
+pub enum PlanNode {
+    /// A value decided at plan time.
+    Const {
+        /// The exact reliability of this subtree.
+        value: f64,
+        /// Why the planner could decide it without sweeping.
+        reason: &'static str,
+    },
+    /// An atomic subnetwork swept by the budgeted naive engine.
+    Leaf(Box<LeafNode>),
+    /// Relevance reduction removed links irrelevant to the demand; the
+    /// child is planned on the reduced network (exact pass-through).
+    Preprocess {
+        /// Links removed by the reduction.
+        removed: usize,
+        /// The plan for the reduced network.
+        child: Box<PlanNode>,
+    },
+    /// Series-parallel reduction for unit demand on an undirected network
+    /// (exact pass-through).
+    SpReduce {
+        /// What the reduction collapsed.
+        stats: ReductionStats,
+        /// The plan for the reduced network.
+        child: Box<PlanNode>,
+    },
+    /// Eq. 1 generalized: a cut with a single all-nonnegative assignment
+    /// `x`. Conservation forces exactly `x_i` across link `i`, so
+    /// `R = up · R_left · R_right` with `up = Π_{x_i≠0} (1 − p(e_i))`.
+    Bridge {
+        /// The cut links.
+        cut: Vec<EdgeId>,
+        /// Survival probability of the cut links the assignment uses.
+        up: f64,
+        /// Source-side subproblem (with a super-terminal absorbing `x`).
+        left: Box<PlanNode>,
+        /// Sink-side subproblem (with a super-terminal producing `x`).
+        right: Box<PlanNode>,
+    },
+    /// A bottleneck split with more than one feasible assignment, executed
+    /// by the one-level spectrum engine.
+    Cut(Box<CutNode>),
+}
+
+/// Result of executing a plan under a budget.
+#[derive(Clone, Debug)]
+pub enum PlanOutcome {
+    /// The budget sufficed: every leaf ran to completion.
+    Complete {
+        /// The exact reliability (up to compensated `f64` rounding).
+        reliability: f64,
+        /// Merged sweep-engine counters over all leaves.
+        stats: SweepStats,
+    },
+    /// The budget ran out; `[r_low, r_high]` is a rigorous interval.
+    Partial {
+        /// Certified lower bound.
+        r_low: f64,
+        /// Certified upper bound.
+        r_high: f64,
+        /// Mean explored fraction over the plan's leaf slots.
+        explored: f64,
+        /// Resume state (leaf states in DFS order plus re-planning inputs).
+        checkpoint: PlanCheckpoint,
+        /// Merged sweep-engine counters for this slice of work.
+        stats: SweepStats,
+    },
+}
+
+/// A decomposition plan: the tree, the root split it was built on, and the
+/// planner knobs needed to re-derive it deterministically on resume.
+#[derive(Clone, Debug)]
+pub struct DecompositionPlan {
+    root: PlanNode,
+    root_set: BottleneckSet,
+    root_assignments: usize,
+    max_k: usize,
+    max_depth: usize,
+    shape: u64,
+    slots: usize,
+}
+
+fn mismatch(reason: impl Into<String>) -> ReliabilityError {
+    ReliabilityError::CheckpointMismatch {
+        reason: reason.into(),
+    }
+}
+
+impl DecompositionPlan {
+    /// Builds a plan whose root is a split on the given (already validated)
+    /// bottleneck set; the sides are then decomposed recursively up to
+    /// `opts.max_depth` nested splits, searching recursive cuts of up to
+    /// `max_k` links.
+    pub fn plan_on_set(
+        net: &Network,
+        demand: FlowDemand,
+        set: &BottleneckSet,
+        opts: &CalcOptions,
+        max_k: usize,
+    ) -> Result<DecompositionPlan, ReliabilityError> {
+        demand.validate(net)?;
+        let (mut root, root_assignments) = if demand.demand == 0 {
+            (
+                PlanNode::Const {
+                    value: 1.0,
+                    reason: "zero demand",
+                },
+                0,
+            )
+        } else {
+            let ranges = crossing_ranges(
+                net,
+                &set.edges,
+                &set.forward_oriented,
+                demand.demand,
+                opts.assignment_model,
+            );
+            let assignments = enumerate_assignments(demand.demand, &ranges);
+            let count = assignments.len();
+            let node = split_node(net, demand, set, assignments, opts.max_depth, opts, max_k)?;
+            (node, count)
+        };
+        let mut slots = 0;
+        number(&mut root, &mut slots);
+        let mut h = Fnv1a::new();
+        h.write(max_k as u64);
+        h.write(opts.max_depth as u64);
+        hash_node(&root, &mut h);
+        Ok(DecompositionPlan {
+            root,
+            root_set: set.clone(),
+            root_assignments,
+            max_k,
+            max_depth: opts.max_depth,
+            shape: h.finish(),
+            slots,
+        })
+    }
+
+    /// The root node, for inspection and rendering.
+    pub fn root_node(&self) -> &PlanNode {
+        &self.root
+    }
+
+    /// The root bottleneck set the plan splits on.
+    pub fn root_set(&self) -> &BottleneckSet {
+        &self.root_set
+    }
+
+    /// Number of feasible assignments at the root split.
+    pub fn root_assignments(&self) -> usize {
+        self.root_assignments
+    }
+
+    /// Shape fingerprint; a resumed run must re-derive an identical value.
+    pub fn shape(&self) -> u64 {
+        self.shape
+    }
+
+    /// Number of leaf slots (atomic sweeps) in the tree.
+    pub fn leaf_count(&self) -> usize {
+        self.slots
+    }
+
+    /// `max_depth` the plan was built with.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// `max_k` recursive cut searches used.
+    pub fn max_k(&self) -> usize {
+        self.max_k
+    }
+
+    /// Total configurations the leaf sweeps will enumerate in the worst
+    /// case — the quantity recursion is meant to shrink.
+    pub fn predicted_cost(&self) -> f64 {
+        cost(&self.root)
+    }
+
+    /// The plan's run report, shaped like the one-level engine's so callers
+    /// (and tests) keep seeing the root geometry.
+    pub fn report(&self, net: &Network, sweep: SweepStats) -> BottleneckReport {
+        BottleneckReport {
+            set: self.root_set.clone(),
+            assignment_count: self.root_assignments,
+            alpha: self.root_set.alpha(net.edge_count()),
+            sweep,
+        }
+    }
+
+    /// Renders the tree with per-node link counts and predicted sweep cost.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "plan: {} leaf slot(s), root |D| = {}, max_k = {}, max_depth = {}, predicted cost ~{:.3e} configs\n",
+            self.slots,
+            self.root_assignments,
+            self.max_k,
+            self.max_depth,
+            self.predicted_cost()
+        );
+        render_node(&self.root, 1, &mut out);
+        out
+    }
+
+    /// Executes the plan bottom-up under `opts.budget`, optionally resuming
+    /// from a checkpoint produced by an earlier interrupted execution.
+    pub fn execute(
+        &self,
+        opts: &CalcOptions,
+        resume: Option<&PlanCheckpoint>,
+    ) -> Result<PlanOutcome, ReliabilityError> {
+        if let Some(ck) = resume {
+            if ck.shape != self.shape {
+                return Err(mismatch(format!(
+                    "checkpoint plan shape {:016x} does not match the re-derived plan {:016x}",
+                    ck.shape, self.shape
+                )));
+            }
+            if ck.leaves.len() != self.slots {
+                return Err(mismatch(format!(
+                    "checkpoint has {} leaf states, plan has {} slots",
+                    ck.leaves.len(),
+                    self.slots
+                )));
+            }
+        }
+        let slots: Vec<Mutex<LeafSlot>> = (0..self.slots)
+            .map(|i| {
+                let state = match resume {
+                    Some(ck) => ck.leaves[i].clone(),
+                    None => PlanLeafState::Fresh,
+                };
+                let explored = match &state {
+                    PlanLeafState::Done { .. } => 1.0,
+                    _ => 0.0,
+                };
+                Mutex::new(LeafSlot {
+                    state,
+                    explored,
+                    stats: SweepStats::default(),
+                })
+            })
+            .collect();
+        let sentinel = opts.budget.start();
+        let ctx = ExecCtx {
+            opts,
+            sentinel: &sentinel,
+            slots: &slots,
+        };
+        let eval = exec_node(&self.root, &ctx)?;
+        let slots: Vec<LeafSlot> = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect();
+        let mut stats = SweepStats::default();
+        for s in &slots {
+            stats.merge(&s.stats);
+        }
+        if eval.complete {
+            return Ok(PlanOutcome::Complete {
+                reliability: eval.lo,
+                stats,
+            });
+        }
+        let explored = if slots.is_empty() {
+            1.0
+        } else {
+            slots.iter().map(|s| s.explored).sum::<f64>() / slots.len() as f64
+        };
+        let r_low = eval.lo.clamp(0.0, 1.0);
+        Ok(PlanOutcome::Partial {
+            r_low,
+            r_high: eval.hi.clamp(r_low, 1.0),
+            explored: explored.clamp(0.0, 1.0),
+            checkpoint: PlanCheckpoint {
+                root_cut: self.root_set.edges.clone(),
+                root_max_k: self.max_k,
+                max_depth: self.max_depth,
+                shape: self.shape,
+                leaves: slots.into_iter().map(|s| s.state).collect(),
+            },
+            stats,
+        })
+    }
+}
+
+struct LeafSlot {
+    state: PlanLeafState,
+    explored: f64,
+    stats: SweepStats,
+}
+
+struct ExecCtx<'a> {
+    opts: &'a CalcOptions,
+    sentinel: &'a BudgetSentinel,
+    slots: &'a [Mutex<LeafSlot>],
+}
+
+/// A certified interval around a subtree's exact reliability.
+#[derive(Clone, Copy)]
+struct Eval {
+    lo: f64,
+    hi: f64,
+    complete: bool,
+}
+
+fn lock(m: &Mutex<LeafSlot>) -> std::sync::MutexGuard<'_, LeafSlot> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn exec_node(node: &PlanNode, ctx: &ExecCtx<'_>) -> Result<Eval, ReliabilityError> {
+    match node {
+        PlanNode::Const { value, .. } => Ok(Eval {
+            lo: *value,
+            hi: *value,
+            complete: true,
+        }),
+        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => {
+            exec_node(child, ctx)
+        }
+        PlanNode::Bridge {
+            up, left, right, ..
+        } => {
+            let (l, r) = if ctx.opts.parallel {
+                rayon::join(|| exec_node(left, ctx), || exec_node(right, ctx))
+            } else {
+                // Serial order is left-then-right: together with the naive
+                // engine's serial determinism this makes interrupted runs
+                // resume bit-identically.
+                (exec_node(left, ctx), exec_node(right, ctx))
+            };
+            let (l, r) = (l?, r?);
+            Ok(Eval {
+                lo: up * l.lo * r.lo,
+                hi: up * l.hi * r.hi,
+                complete: l.complete && r.complete,
+            })
+        }
+        PlanNode::Leaf(leaf) => {
+            let mut slot = lock(&ctx.slots[leaf.index]);
+            let prev = std::mem::replace(&mut slot.state, PlanLeafState::Fresh);
+            let resume = match prev {
+                PlanLeafState::Done { value } => {
+                    slot.state = PlanLeafState::Done { value };
+                    return Ok(Eval {
+                        lo: value,
+                        hi: value,
+                        complete: true,
+                    });
+                }
+                PlanLeafState::Naive(ck) => Some(ck),
+                PlanLeafState::Fresh => None,
+                PlanLeafState::Cut { .. } => {
+                    return Err(mismatch("checkpoint stores a cut state for a naive leaf"))
+                }
+            };
+            let out = reliability_naive_anytime_on(
+                &leaf.net,
+                leaf.demand,
+                ctx.opts,
+                ctx.sentinel,
+                resume.as_ref(),
+            )?;
+            Ok(settle_naive(&mut slot, out))
+        }
+        PlanNode::Cut(cut) => {
+            let mut slot = lock(&ctx.slots[cut.index]);
+            let prev = std::mem::replace(&mut slot.state, PlanLeafState::Fresh);
+            let resume = match prev {
+                PlanLeafState::Done { value } => {
+                    slot.state = PlanLeafState::Done { value };
+                    return Ok(Eval {
+                        lo: value,
+                        hi: value,
+                        complete: true,
+                    });
+                }
+                PlanLeafState::Cut { side_s, side_t } => Some((side_s, side_t)),
+                PlanLeafState::Fresh => None,
+                PlanLeafState::Naive(_) => {
+                    return Err(mismatch("checkpoint stores a naive state for a cut leaf"))
+                }
+            };
+            let out = reliability_bottleneck_anytime_on(
+                &cut.net,
+                cut.demand,
+                &cut.set,
+                ctx.opts,
+                ctx.sentinel,
+                resume.as_ref().map(|(s, t)| (s.as_ref(), t.as_ref())),
+            )?;
+            match out {
+                BottleneckOutcome::Complete {
+                    reliability,
+                    report,
+                } => {
+                    slot.stats.merge(&report.sweep);
+                    slot.explored = 1.0;
+                    slot.state = PlanLeafState::Done { value: reliability };
+                    Ok(Eval {
+                        lo: reliability,
+                        hi: reliability,
+                        complete: true,
+                    })
+                }
+                BottleneckOutcome::Partial {
+                    r_low,
+                    r_high,
+                    explored,
+                    side_s,
+                    side_t,
+                    report,
+                } => {
+                    slot.stats.merge(&report.sweep);
+                    slot.explored = explored;
+                    slot.state = PlanLeafState::Cut { side_s, side_t };
+                    Ok(Eval {
+                        lo: r_low,
+                        hi: r_high,
+                        complete: false,
+                    })
+                }
+            }
+        }
+    }
+}
+
+fn settle_naive(slot: &mut LeafSlot, out: NaiveOutcome) -> Eval {
+    match out {
+        NaiveOutcome::Complete { reliability, stats } => {
+            slot.stats.merge(&stats);
+            slot.explored = 1.0;
+            slot.state = PlanLeafState::Done { value: reliability };
+            Eval {
+                lo: reliability,
+                hi: reliability,
+                complete: true,
+            }
+        }
+        NaiveOutcome::Partial {
+            r_low,
+            r_high,
+            explored,
+            checkpoint,
+            stats,
+        } => {
+            slot.stats.merge(&stats);
+            slot.explored = explored;
+            slot.state = PlanLeafState::Naive(checkpoint);
+            Eval {
+                lo: r_low,
+                hi: r_high,
+                complete: false,
+            }
+        }
+    }
+}
+
+/// Builds the node for a split on an explicit, validated set. Emits a
+/// [`PlanNode::Bridge`] (recursing into the sides) when the assignment set
+/// is a single all-nonnegative assignment and depth remains; otherwise a
+/// [`PlanNode::Cut`] for the one-level engine, after checking the same
+/// enumeration bounds that engine would.
+fn split_node(
+    net: &Network,
+    demand: FlowDemand,
+    set: &BottleneckSet,
+    assignments: Vec<Assignment>,
+    depth: usize,
+    opts: &CalcOptions,
+    max_k: usize,
+) -> Result<PlanNode, ReliabilityError> {
+    if assignments.is_empty() {
+        return Ok(PlanNode::Const {
+            value: 0.0,
+            reason: "cut capacity below demand",
+        });
+    }
+    let singleton = assignments.len() == 1 && assignments[0].amounts.iter().all(|&x| x >= 0);
+    if depth > 0 && singleton {
+        let amounts = &assignments[0].amounts;
+        let mut up = 1.0;
+        for (i, &e) in set.edges.iter().enumerate() {
+            if amounts[i] != 0 {
+                up *= 1.0 - net.edges()[e.index()].fail_prob;
+            }
+        }
+        let dec = decompose(net, &demand, set);
+        let (left_net, left_demand) = side_subproblem(&dec.side_s, amounts, demand.demand)?;
+        let (right_net, right_demand) = side_subproblem(&dec.side_t, amounts, demand.demand)?;
+        let left = build_node(&left_net, left_demand, depth - 1, opts, max_k)?;
+        let right = build_node(&right_net, right_demand, depth - 1, opts, max_k)?;
+        return Ok(PlanNode::Bridge {
+            cut: set.edges.clone(),
+            up,
+            left: Box::new(left),
+            right: Box::new(right),
+        });
+    }
+    // One-level engine: check its enumeration bounds at plan time, so the
+    // caller learns the plan is infeasible before any budget is spent.
+    if assignments.len() > opts.max_assignments || assignments.len() > 31 {
+        return Err(ReliabilityError::TooManyAssignments {
+            count: assignments.len(),
+            max: opts.max_assignments.min(31),
+        });
+    }
+    let widest = set.side_s_edges.max(set.side_t_edges);
+    if widest > opts.max_side_edges {
+        return Err(ReliabilityError::SideTooLarge {
+            count: widest,
+            max: opts.max_side_edges,
+        });
+    }
+    Ok(PlanNode::Cut(Box::new(CutNode {
+        net: net.clone(),
+        demand,
+        set: set.clone(),
+        assignments: assignments.len(),
+        index: 0,
+    })))
+}
+
+/// Recursively plans a subproblem: constant-folds decided cases, peels
+/// reductions, splits on a worthwhile bottleneck while depth remains, and
+/// otherwise emits a naive leaf (checking its enumeration bound).
+fn build_node(
+    net: &Network,
+    demand: FlowDemand,
+    depth: usize,
+    opts: &CalcOptions,
+    max_k: usize,
+) -> Result<PlanNode, ReliabilityError> {
+    if demand.demand == 0 || demand.source == demand.sink {
+        return Ok(PlanNode::Const {
+            value: 1.0,
+            reason: "zero demand",
+        });
+    }
+    demand.validate(net)?;
+    let reduced = relevance_reduce(net, demand);
+    if reduced.removed > 0 {
+        let child = build_node(&reduced.net, reduced.demand, depth, opts, max_k)?;
+        return Ok(PlanNode::Preprocess {
+            removed: reduced.removed,
+            child: Box::new(child),
+        });
+    }
+    let mut oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
+    if oracle.max_flow_all_alive() < demand.demand {
+        return Ok(PlanNode::Const {
+            value: 0.0,
+            reason: "demand exceeds the all-alive max flow",
+        });
+    }
+    if demand.demand == 1 && net.kind() == GraphKind::Undirected {
+        let red = reduce_unit_demand(net, demand.source, demand.sink);
+        if red.net.edge_count() < net.edge_count() {
+            let child = if red.source == red.sink {
+                PlanNode::Const {
+                    value: 1.0,
+                    reason: "terminals merged by series-parallel reduction",
+                }
+            } else {
+                build_node(
+                    &red.net,
+                    FlowDemand::new(red.source, red.sink, 1),
+                    depth,
+                    opts,
+                    max_k,
+                )?
+            };
+            return Ok(PlanNode::SpReduce {
+                stats: red.stats,
+                child: Box::new(child),
+            });
+        }
+    }
+    if depth > 0 {
+        if let Ok(set) = find_bottleneck_set(net, demand.source, demand.sink, max_k) {
+            // Same heuristic as the auto strategy, plus: a split with an
+            // empty side gains nothing (its subproblem is the whole
+            // network again) and could recurse in place.
+            let worth_it = set.side_s_edges > 0
+                && set.side_t_edges > 0
+                && set.side_s_edges.max(set.side_t_edges) + 2 < net.edge_count();
+            if worth_it {
+                let ranges = crossing_ranges(
+                    net,
+                    &set.edges,
+                    &set.forward_oriented,
+                    demand.demand,
+                    opts.assignment_model,
+                );
+                let assignments = enumerate_assignments(demand.demand, &ranges);
+                match split_node(net, demand, &set, assignments, depth, opts, max_k) {
+                    Ok(node) => return Ok(node),
+                    // The split exceeds the one-level engine's bounds; a
+                    // plain leaf may still fit.
+                    Err(
+                        ReliabilityError::TooManyAssignments { .. }
+                        | ReliabilityError::SideTooLarge { .. },
+                    ) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    leaf_node(net, demand, opts)
+}
+
+fn leaf_node(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<PlanNode, ReliabilityError> {
+    if net.edge_count() > EdgeMask::MAX_EDGES {
+        return Err(ReliabilityError::EdgeMaskOverflow {
+            count: net.edge_count(),
+            max: EdgeMask::MAX_EDGES,
+        });
+    }
+    let fallible = net
+        .edges()
+        .iter()
+        .filter(|e| !(opts.factor_perfect_links && e.fail_prob == 0.0))
+        .count();
+    if fallible > opts.max_enum_edges {
+        return Err(ReliabilityError::TooManyEdges {
+            count: fallible,
+            max: opts.max_enum_edges,
+        });
+    }
+    Ok(PlanNode::Leaf(Box::new(LeafNode {
+        net: net.clone(),
+        demand,
+        fallible,
+        index: 0,
+    })))
+}
+
+/// Rebuilds one side as a standalone subproblem: the side's links plus one
+/// perfect link of capacity `x_i` from attach point `i` to a super-terminal
+/// (source side: attach → aug; sink side: aug → attach), for every
+/// `x_i ≠ 0`. Routing `d = Σ x_i` between the side's demand terminal and
+/// the super-terminal then forces exactly `x_i` through attach point `i`,
+/// so the subproblem's reliability equals the probability the side
+/// realizes the assignment.
+fn side_subproblem(
+    side: &Side,
+    amounts: &[i64],
+    d: u64,
+) -> Result<(Network, FlowDemand), ReliabilityError> {
+    let aug = NodeId(side.net.node_count() as u32);
+    let mut b = netgraph::NetworkBuilder::with_nodes(side.net.kind(), side.net.node_count() + 1);
+    for e in side.net.edges() {
+        b.add_edge(e.src, e.dst, e.capacity, e.fail_prob)?;
+    }
+    for (i, &x) in amounts.iter().enumerate() {
+        if x != 0 {
+            if side.is_source_side {
+                b.add_perfect_edge(side.attach[i], aug, x as u64)?;
+            } else {
+                b.add_perfect_edge(aug, side.attach[i], x as u64)?;
+            }
+        }
+    }
+    let demand = if side.is_source_side {
+        FlowDemand::new(side.terminal, aug, d)
+    } else {
+        FlowDemand::new(aug, side.terminal, d)
+    };
+    Ok((b.build(), demand))
+}
+
+/// Assigns DFS slot indices to leaves (Leaf and Cut nodes) after the tree
+/// is final, so abandoned split attempts never leave gaps.
+fn number(node: &mut PlanNode, next: &mut usize) {
+    match node {
+        PlanNode::Leaf(l) => {
+            l.index = *next;
+            *next += 1;
+        }
+        PlanNode::Cut(c) => {
+            c.index = *next;
+            *next += 1;
+        }
+        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => {
+            number(child, next)
+        }
+        PlanNode::Bridge { left, right, .. } => {
+            number(left, next);
+            number(right, next);
+        }
+        PlanNode::Const { .. } => {}
+    }
+}
+
+fn hash_node(node: &PlanNode, h: &mut Fnv1a) {
+    match node {
+        PlanNode::Const { value, .. } => {
+            h.write(1);
+            h.write(value.to_bits());
+        }
+        PlanNode::Leaf(l) => {
+            h.write(2);
+            h.write(l.net.edge_count() as u64);
+            h.write(l.net.node_count() as u64);
+            h.write(l.fallible as u64);
+            h.write(l.demand.source.0 as u64);
+            h.write(l.demand.sink.0 as u64);
+            h.write(l.demand.demand);
+        }
+        PlanNode::Preprocess { removed, child } => {
+            h.write(3);
+            h.write(*removed as u64);
+            hash_node(child, h);
+        }
+        PlanNode::SpReduce { stats, child } => {
+            h.write(4);
+            h.write(stats.series as u64);
+            h.write(stats.parallel as u64);
+            h.write(stats.dangling as u64);
+            h.write(stats.dropped as u64);
+            hash_node(child, h);
+        }
+        PlanNode::Bridge {
+            cut,
+            up,
+            left,
+            right,
+        } => {
+            h.write(5);
+            h.write(cut.len() as u64);
+            for e in cut {
+                h.write(e.0 as u64);
+            }
+            h.write(up.to_bits());
+            hash_node(left, h);
+            hash_node(right, h);
+        }
+        PlanNode::Cut(c) => {
+            h.write(6);
+            h.write(c.set.edges.len() as u64);
+            for e in &c.set.edges {
+                h.write(e.0 as u64);
+            }
+            h.write(c.assignments as u64);
+            h.write(c.net.edge_count() as u64);
+            h.write(c.demand.demand);
+        }
+    }
+}
+
+fn cost(node: &PlanNode) -> f64 {
+    match node {
+        PlanNode::Const { .. } => 0.0,
+        PlanNode::Leaf(l) => (1u64 << l.fallible.min(63)) as f64,
+        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => cost(child),
+        PlanNode::Bridge { left, right, .. } => cost(left) + cost(right),
+        PlanNode::Cut(c) => {
+            let side = |m: usize| (1u64 << m.min(63)) as f64;
+            c.assignments as f64 * (side(c.set.side_s_edges) + side(c.set.side_t_edges))
+        }
+    }
+}
+
+fn render_node(node: &PlanNode, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match node {
+        PlanNode::Const { value, reason } => {
+            out.push_str(&format!("{pad}const {value} ({reason})\n"));
+        }
+        PlanNode::Leaf(l) => {
+            out.push_str(&format!(
+                "{pad}leaf #{}: {} links ({} fallible), demand {}, ~{:.3e} configs\n",
+                l.index,
+                l.net.edge_count(),
+                l.fallible,
+                l.demand.demand,
+                cost(node)
+            ));
+        }
+        PlanNode::Preprocess { removed, child } => {
+            out.push_str(&format!("{pad}preprocess: -{removed} irrelevant links\n"));
+            render_node(child, indent + 1, out);
+        }
+        PlanNode::SpReduce { stats, child } => {
+            out.push_str(&format!(
+                "{pad}sp-reduce: {} series, {} parallel, {} dangling, {} dropped\n",
+                stats.series, stats.parallel, stats.dangling, stats.dropped
+            ));
+            render_node(child, indent + 1, out);
+        }
+        PlanNode::Bridge {
+            cut,
+            up,
+            left,
+            right,
+        } => {
+            let ids: Vec<String> = cut.iter().map(|e| e.0.to_string()).collect();
+            out.push_str(&format!("{pad}bridge cut=[{}] up={up:.6}\n", ids.join(",")));
+            render_node(left, indent + 1, out);
+            render_node(right, indent + 1, out);
+        }
+        PlanNode::Cut(c) => {
+            let ids: Vec<String> = c.set.edges.iter().map(|e| e.0.to_string()).collect();
+            out.push_str(&format!(
+                "{pad}cut #{} [{}]: {} links, |D|={}, sides {}/{} links, ~{:.3e} configs\n",
+                c.index,
+                ids.join(","),
+                c.set.edges.len(),
+                c.assignments,
+                c.set.side_s_edges,
+                c.set.side_t_edges,
+                cost(node)
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::naive::reliability_naive;
+    use netgraph::NetworkBuilder;
+
+    /// A chain of `segments` triangles joined by bridges; unit capacities
+    /// except bridge capacity 2 so demand 2 is routable end to end.
+    fn chained_barbell(segments: usize, p: f64) -> (Network, FlowDemand) {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let mut prev: Option<NodeId> = None;
+        let mut first = None;
+        let mut last = None;
+        for _ in 0..segments {
+            let n = b.add_nodes(3);
+            b.add_edge(n[0], n[1], 2, p).unwrap();
+            b.add_edge(n[1], n[2], 2, p).unwrap();
+            b.add_edge(n[2], n[0], 2, p).unwrap();
+            if let Some(prev) = prev {
+                b.add_edge(prev, n[0], 2, p).unwrap();
+            }
+            if first.is_none() {
+                first = Some(n[0]);
+            }
+            prev = Some(n[2]);
+            last = Some(n[2]);
+        }
+        let net = b.build();
+        (net, FlowDemand::new(first.unwrap(), last.unwrap(), 1))
+    }
+
+    fn plan_for_k(
+        net: &Network,
+        demand: FlowDemand,
+        opts: &CalcOptions,
+        max_k: usize,
+    ) -> DecompositionPlan {
+        let set = find_bottleneck_set(net, demand.source, demand.sink, max_k).unwrap();
+        DecompositionPlan::plan_on_set(net, demand, &set, opts, max_k).unwrap()
+    }
+
+    /// On the chained barbell the balanced `k = 3` search prefers a 2-link
+    /// cut (a `Cut` engine leaf); the `k = 1` search finds the joining
+    /// bridge and recurses. Tests cover both roots.
+    fn plan_for(net: &Network, demand: FlowDemand, opts: &CalcOptions) -> DecompositionPlan {
+        plan_for_k(net, demand, opts, 3)
+    }
+
+    fn run_complete(plan: &DecompositionPlan, opts: &CalcOptions) -> f64 {
+        match plan.execute(opts, None).unwrap() {
+            PlanOutcome::Complete { reliability, .. } => reliability,
+            PlanOutcome::Partial { .. } => panic!("unlimited run must complete"),
+        }
+    }
+
+    #[test]
+    fn plan_matches_naive_on_chained_barbells() {
+        for segments in 2..=4 {
+            let (net, demand) = chained_barbell(segments, 0.1);
+            let opts = CalcOptions::default();
+            let exact = reliability_naive(&net, demand, &opts).unwrap();
+            for max_k in [1, 3] {
+                let plan = plan_for_k(&net, demand, &opts, max_k);
+                let r = run_complete(&plan, &opts);
+                assert!(
+                    (r - exact).abs() < 1e-12,
+                    "{segments} segments, k={max_k}: plan {r} vs naive {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_recursion_shrinks_predicted_cost() {
+        let (net, demand) = chained_barbell(4, 0.1);
+        let opts = CalcOptions::default();
+        let plan = plan_for_k(&net, demand, &opts, 1);
+        assert!(plan.leaf_count() >= 2, "expected a recursive split");
+        let flat = CalcOptions {
+            max_depth: 0,
+            ..CalcOptions::default()
+        };
+        let one_level = plan_for_k(&net, demand, &flat, 1);
+        assert!(
+            plan.predicted_cost() < one_level.predicted_cost(),
+            "recursive {} vs one-level {}",
+            plan.predicted_cost(),
+            one_level.predicted_cost()
+        );
+    }
+
+    #[test]
+    fn max_depth_zero_degenerates_to_one_level_cut() {
+        let (net, demand) = chained_barbell(2, 0.2);
+        let opts = CalcOptions {
+            max_depth: 0,
+            ..CalcOptions::default()
+        };
+        let plan = plan_for(&net, demand, &opts);
+        assert!(
+            matches!(plan.root_node(), PlanNode::Cut(_)),
+            "depth 0 must emit the one-level engine"
+        );
+        let r = run_complete(&plan, &opts);
+        let exact = reliability_naive(&net, demand, &opts).unwrap();
+        assert!((r - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_names_the_nodes() {
+        let (net, demand) = chained_barbell(3, 0.1);
+        let opts = CalcOptions::default();
+        let plan = plan_for_k(&net, demand, &opts, 1);
+        let text = plan.render();
+        assert!(text.contains("bridge"), "{text}");
+        assert!(text.contains("leaf #"), "{text}");
+        assert!(text.contains("configs"), "{text}");
+    }
+
+    #[test]
+    fn budgeted_execution_resumes_bit_identically() {
+        let (net, demand) = chained_barbell(3, 0.15);
+        let opts = CalcOptions::default();
+        let plan = plan_for(&net, demand, &opts);
+        let exact = run_complete(&plan, &opts);
+        let tiny = CalcOptions {
+            budget: Budget {
+                max_configs: Some(3),
+                ..Budget::unlimited()
+            },
+            ..CalcOptions::default()
+        };
+        let mut ck = match plan.execute(&tiny, None).unwrap() {
+            PlanOutcome::Partial {
+                r_low,
+                r_high,
+                checkpoint,
+                ..
+            } => {
+                assert!(r_low <= exact + 1e-15 && exact <= r_high + 1e-15);
+                checkpoint
+            }
+            PlanOutcome::Complete { .. } => panic!("tiny budget must interrupt"),
+        };
+        let mut finished = None;
+        for _ in 0..100_000 {
+            match plan.execute(&tiny, Some(&ck)).unwrap() {
+                PlanOutcome::Partial {
+                    r_low,
+                    r_high,
+                    checkpoint,
+                    ..
+                } => {
+                    assert!(r_low <= exact + 1e-15 && exact <= r_high + 1e-15);
+                    ck = checkpoint;
+                }
+                PlanOutcome::Complete { reliability, .. } => {
+                    finished = Some(reliability);
+                    break;
+                }
+            }
+        }
+        let resumed = finished.expect("resume loop must finish");
+        assert_eq!(
+            resumed.to_bits(),
+            exact.to_bits(),
+            "serial resume must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn execute_rejects_a_foreign_checkpoint_shape() {
+        let (net, demand) = chained_barbell(3, 0.1);
+        let opts = CalcOptions::default();
+        let plan = plan_for(&net, demand, &opts);
+        let ck = PlanCheckpoint {
+            root_cut: plan.root_set().edges.clone(),
+            root_max_k: plan.max_k(),
+            max_depth: plan.max_depth(),
+            shape: plan.shape() ^ 1,
+            leaves: vec![PlanLeafState::Fresh; plan.leaf_count()],
+        };
+        assert!(plan.execute(&opts, Some(&ck)).is_err());
+    }
+
+    #[test]
+    fn plan_matches_naive_on_a_directed_chain() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(6);
+        // diamond -> bridge -> diamond
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 1, 0.2).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 2, 0.05).unwrap();
+        b.add_edge(n[3], n[4], 1, 0.1).unwrap();
+        b.add_edge(n[3], n[5], 1, 0.2).unwrap();
+        b.add_edge(n[4], n[5], 1, 0.1).unwrap();
+        let net = b.build();
+        let demand = FlowDemand::new(n[0], n[5], 1);
+        let opts = CalcOptions::default();
+        let plan = plan_for(&net, demand, &opts);
+        let r = run_complete(&plan, &opts);
+        let exact = reliability_naive(&net, demand, &opts).unwrap();
+        assert!((r - exact).abs() < 1e-12, "plan {r} vs naive {exact}");
+    }
+
+    #[test]
+    fn plan_matches_naive_at_demand_two() {
+        let (net, mut demand) = chained_barbell(3, 0.1);
+        demand.demand = 2;
+        let opts = CalcOptions::default();
+        let plan = plan_for(&net, demand, &opts);
+        let r = run_complete(&plan, &opts);
+        let exact = reliability_naive(&net, demand, &opts).unwrap();
+        assert!((r - exact).abs() < 1e-12, "plan {r} vs naive {exact}");
+    }
+}

@@ -168,6 +168,75 @@ pub fn bridge_chain(segments: usize, demand: u64, seed: u64) -> Instance {
     }
 }
 
+/// A chain of `segments` random clusters, consecutive clusters joined by a
+/// single bridge of capacity `demand`: the `segments - 1` bridges are nested
+/// bottlenecks, every one separating `s` from `t` — the recursive
+/// decomposition planner's best case. `s` sits in the first cluster, `t` in
+/// the last.
+pub fn chained_barbell(segments: usize, cluster_nodes: usize, demand: u64, seed: u64) -> Instance {
+    assert!(segments >= 1);
+    assert!(cluster_nodes >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let caps = (demand.max(1), demand.max(1) + 1);
+    let mut source = None;
+    let mut exit = None;
+    for _ in 0..segments {
+        let ids = random_cluster(&mut b, cluster_nodes, 1, caps, &mut rng);
+        if let Some(prev) = exit {
+            b.add_edge(prev, ids[0], demand.max(1), random_prob(&mut rng))
+                .expect("valid edge");
+        }
+        if source.is_none() {
+            source = Some(ids[0]);
+        }
+        exit = Some(*ids.last().expect("cluster is non-empty"));
+    }
+    Instance {
+        net: b.build(),
+        source: source.expect("at least one segment"),
+        sink: exit.expect("at least one segment"),
+        demand,
+    }
+}
+
+/// Recursively nested bottlenecks: a depth-`d` instance is two depth-`d-1`
+/// halves joined by one bridge, bottoming out at a single random cluster —
+/// `2^depth` clusters total, with the bridge at every nesting level
+/// separating `s` (leftmost cluster) from `t` (rightmost cluster).
+pub fn nested_barbell(depth: usize, cluster_nodes: usize, demand: u64, seed: u64) -> Instance {
+    assert!(cluster_nodes >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let caps = (demand.max(1), demand.max(1) + 1);
+    // Returns the (entry, exit) attachment nodes of a depth-`d` sub-instance.
+    fn build(
+        b: &mut NetworkBuilder,
+        d: usize,
+        cluster_nodes: usize,
+        caps: (u64, u64),
+        demand: u64,
+        rng: &mut StdRng,
+    ) -> (NodeId, NodeId) {
+        if d == 0 {
+            let ids = random_cluster(b, cluster_nodes, 1, caps, rng);
+            return (ids[0], *ids.last().expect("cluster is non-empty"));
+        }
+        let (entry, left_exit) = build(b, d - 1, cluster_nodes, caps, demand, rng);
+        let (right_entry, exit) = build(b, d - 1, cluster_nodes, caps, demand, rng);
+        b.add_edge(left_exit, right_entry, demand.max(1), random_prob(rng))
+            .expect("valid edge");
+        (entry, exit)
+    }
+    let (source, sink) = build(&mut b, depth, cluster_nodes, caps, demand, &mut rng);
+    Instance {
+        net: b.build(),
+        source,
+        sink,
+        demand,
+    }
+}
+
 /// A `w × h` grid with unit capacities; `s` top-left, `t` bottom-right.
 pub fn grid(w: usize, h: usize, seed: u64) -> Instance {
     assert!(w >= 1 && h >= 1);
@@ -270,6 +339,39 @@ mod tests {
         let inst = bridge_chain(3, 1, 7);
         assert_eq!(inst.net.edge_count(), 3 * 4 + 2);
         assert_eq!(netgraph::find_bridges(&inst.net).len(), 2);
+    }
+
+    #[test]
+    fn chained_barbell_has_nested_bridges() {
+        let inst = chained_barbell(4, 4, 1, 3);
+        // 4 clusters of (3 tree + 1 extra) edges + 3 joining bridges
+        assert_eq!(inst.net.edge_count(), 4 * 4 + 3);
+        assert!(netgraph::find_bridges(&inst.net).len() >= 3);
+        assert_ne!(inst.source, inst.sink);
+        let whole = connected_components(&inst.net, |_| false);
+        assert_eq!(whole.count(), 1);
+    }
+
+    #[test]
+    fn nested_barbell_doubles_clusters_per_level() {
+        for depth in 0..3 {
+            let inst = nested_barbell(depth, 3, 1, 5);
+            let clusters = 1usize << depth;
+            // each cluster: 2 tree + 1 extra edges; bridges: clusters - 1
+            assert_eq!(inst.net.edge_count(), clusters * 3 + clusters - 1);
+            assert!(netgraph::find_bridges(&inst.net).len() >= clusters - 1);
+            let whole = connected_components(&inst.net, |_| false);
+            assert_eq!(whole.count(), 1);
+        }
+    }
+
+    #[test]
+    fn nested_barbell_is_deterministic() {
+        let a = nested_barbell(2, 4, 1, 9);
+        let b = nested_barbell(2, 4, 1, 9);
+        for (x, y) in a.net.edges().iter().zip(b.net.edges()) {
+            assert_eq!(x, y);
+        }
     }
 
     #[test]

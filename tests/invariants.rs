@@ -1,8 +1,11 @@
 //! Property-based invariants of the reliability function itself.
 
-use flowrel::core::{reliability_naive, CalcOptions, FlowDemand};
+use flowrel::core::{
+    find_all_bottleneck_sets, reliability_naive, validate_bottleneck_set, CalcOptions, FlowDemand,
+};
 use flowrel::montecarlo;
 use flowrel::netgraph::{GraphKind, Network, NetworkBuilder, NodeId};
+use flowrel::workloads::generators;
 use proptest::prelude::*;
 
 type Draw = (usize, Vec<(usize, usize, u64, u32)>, u64);
@@ -103,6 +106,41 @@ proptest! {
         let left = reliability_naive(&net, FlowDemand::new(s, m, 1), &opts).unwrap();
         let right = reliability_naive(&net, FlowDemand::new(m, t, 1), &opts).unwrap();
         prop_assert!((whole - left * right).abs() < 1e-10);
+    }
+    /// Every candidate the bottleneck search enumerates is a genuine
+    /// bottleneck set: `validate_bottleneck_set` accepts it (separating,
+    /// minimal, leaving exactly two components), on random instances from
+    /// every generator family.
+    #[test]
+    fn enumerated_bottleneck_sets_all_validate(seed in 0u64..1000, family in 0usize..4) {
+        let inst = match family {
+            0 => generators::er_random(6, 9, 3, seed),
+            1 => generators::grid(3, 3, seed),
+            2 => generators::chained_barbell(3, 3, 1, seed),
+            3 => generators::nested_barbell(2, 3, 1, seed),
+            _ => unreachable!(),
+        };
+        let sets = match find_all_bottleneck_sets(&inst.net, inst.source, inst.sink, 3) {
+            Ok(sets) => sets,
+            // disconnected draws legitimately have no bottleneck set
+            Err(_) => return Ok(()),
+        };
+        for set in sets {
+            let revalidated =
+                validate_bottleneck_set(&inst.net, inst.source, inst.sink, &set.edges);
+            prop_assert!(
+                revalidated.is_ok(),
+                "enumerated set {:?} fails validation: {:?}",
+                set.edges,
+                revalidated.err()
+            );
+            let ok = revalidated.unwrap();
+            prop_assert_eq!(ok.edges, set.edges);
+            prop_assert_eq!(
+                (ok.side_s_edges, ok.side_t_edges),
+                (set.side_s_edges, set.side_t_edges)
+            );
+        }
     }
 }
 
