@@ -1,140 +1,345 @@
 //! Recursive decomposition planner benchmark: measures what nested splits
-//! buy over the flat one-level bottleneck decomposition on chained-barbell
-//! and nested-bottleneck instances, cross-checks the two results against
-//! each other (and against naive enumeration where it is affordable), and
-//! emits the results as machine-readable JSON (`BENCH_plan.json`).
+//! buy over two baselines — the flat one-level bottleneck decomposition
+//! (`max_depth = 0`) and the bridge-only recursive planner
+//! (`recursive_cut_sides = false`, the PR 5 planner) — on chained-barbell,
+//! nested-bottleneck, k-ary nested-cut, and barbell-mesh instances,
+//! cross-checks results against each other (and against naive enumeration
+//! where it is affordable), and emits machine-readable JSON
+//! (`BENCH_plan.json`).
 //!
-//! The headline number is wall-clock speedup: a one-level split of a chain
-//! of `n` clusters leaves two sides of ~`m/2` links and sweeps `2^(m/2)`
-//! configurations per side, while the recursive planner keeps splitting at
-//! every nested bridge until the leaves hold a single cluster each — the
-//! sweep cost collapses from exponential in the half to exponential in the
-//! largest cluster. The run asserts the ISSUE's acceptance bar — at least
-//! 5x faster than the flat decomposition on the nested-bottleneck family —
-//! and fails loudly if a change regresses it.
+//! The headline numbers are wall-clock speedups, each asserted *per
+//! instance* on rows designed to hold them (`speedup_bar`): the deep-cut
+//! family must beat the PR 5 planner by at least 3x (its sides are
+//! multi-assignment cuts the bridge-only planner sweeps whole), and the
+//! nested-bottleneck family must beat the flat decomposition by at least
+//! 5x. Rows without a bar are coverage: they still assert agreement,
+//! minimum leaf counts, and report per-slot budget shares and sweep repair
+//! statistics.
 //!
 //! Usage: `bench_plan [--smoke] [output.json]`
 //!
-//! `--smoke` shrinks the instances so the whole matrix runs in well under a
-//! second: a CI check that the planner still recurses and agrees with the
-//! flat engine, not a measurement.
+//! `--smoke` shrinks the matrix so it runs in well under a second: a CI
+//! check that the planner still recurses (including one >= 8-leaf deep-cut
+//! instance) and agrees with the baselines, not a measurement — timing
+//! bars are not asserted.
 
 use std::time::Instant;
 
 use flowrel_core::{
     find_bottleneck_set, reliability_naive, CalcOptions, DecompositionPlan, FlowDemand,
-    ReliabilityCalculator, Strategy,
+    PlanSlotReport, ReliabilityCalculator, Strategy, SweepStats,
 };
 use netgraph::Network;
-use workloads::generators::{chained_barbell, nested_barbell, Instance};
+use workloads::generators::{
+    barbell_mesh, chained_barbell, kary_nested_cut, nested_barbell, Instance,
+};
 
 /// Naive enumeration is used as the ground-truth cross-check only below
 /// this many links (it is `2^m`; beyond ~24 links it dominates the run).
 const NAIVE_CHECK_MAX_EDGES: usize = 22;
 
+/// Which configuration the deep planner is measured against.
+#[derive(Clone, Copy, PartialEq)]
+enum Baseline {
+    /// `max_depth = 0`: the one-level PR 1 decomposition.
+    Flat,
+    /// `recursive_cut_sides = false`: the PR 5 bridge-only recursion.
+    Pr5,
+}
+
+impl Baseline {
+    fn name(self) -> &'static str {
+        match self {
+            Baseline::Flat => "flat",
+            Baseline::Pr5 => "pr5",
+        }
+    }
+
+    fn options(self) -> CalcOptions {
+        match self {
+            Baseline::Flat => CalcOptions {
+                max_depth: 0,
+                ..CalcOptions::default()
+            },
+            Baseline::Pr5 => CalcOptions {
+                recursive_cut_sides: false,
+                ..CalcOptions::default()
+            },
+        }
+    }
+}
+
+struct Case {
+    instance: &'static str,
+    inst: Instance,
+    max_k: usize,
+    baseline: Baseline,
+    /// Wall-clock speedup this row must reach over its baseline, asserted
+    /// per instance (skipped in smoke mode, where timings are noise).
+    speedup_bar: Option<f64>,
+    /// Minimum leaf-slot count the deep plan must reach, asserted always.
+    min_leaves: usize,
+}
+
 struct Row {
     instance: &'static str,
+    baseline: &'static str,
     edges: usize,
     plan_leaves: usize,
     predicted_cost_recursive: f64,
-    predicted_cost_flat: f64,
+    predicted_cost_baseline: f64,
     recursive_ms: f64,
-    flat_ms: f64,
+    baseline_ms: f64,
     r_recursive: f64,
-    r_flat: f64,
+    r_baseline: f64,
     naive_checked: bool,
-    /// Whether this row is held to the 5x acceptance bar (the headline
-    /// nested-bottleneck instance at measurement size; smoke rows and the
-    /// small cross-check rows are reported for context only).
-    assert_speedup: bool,
+    speedup_bar: Option<f64>,
+    min_leaves: usize,
+    /// Largest per-subtree apportioned budget share among the plan's slots.
+    max_share: f64,
+    /// Sweep-engine counters of the recursive run.
+    stats: SweepStats,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
-        self.flat_ms / self.recursive_ms.max(1e-6)
+        self.baseline_ms / self.recursive_ms.max(1e-6)
     }
 
     fn agrees(&self) -> bool {
-        (self.r_recursive - self.r_flat).abs() < 1e-12
+        (self.r_recursive - self.r_baseline).abs() < 1e-12
+    }
+
+    fn held_to_bar(&self) -> bool {
+        self.speedup_bar.is_none_or(|bar| self.speedup() >= bar)
     }
 
     fn json(&self) -> String {
+        let bar = self
+            .speedup_bar
+            .map_or("null".to_string(), |b| format!("{b:.1}"));
         format!(
             concat!(
-                "{{\"instance\": \"{}\", \"edges\": {}, \"plan_leaves\": {}, ",
-                "\"predicted_cost_recursive\": {:.6e}, \"predicted_cost_flat\": {:.6e}, ",
-                "\"recursive_ms\": {:.3}, \"flat_ms\": {:.3}, \"speedup\": {:.1}, ",
-                "\"reliability_recursive\": {:.12e}, \"reliability_flat\": {:.12e}, ",
-                "\"agree_1e12\": {}, \"naive_checked\": {}, \"held_to_5x_bar\": {}}}"
+                "{{\"instance\": \"{}\", \"baseline\": \"{}\", \"edges\": {}, ",
+                "\"plan_leaves\": {}, \"min_leaves\": {}, ",
+                "\"predicted_cost_recursive\": {:.6e}, \"predicted_cost_baseline\": {:.6e}, ",
+                "\"recursive_ms\": {:.3}, \"baseline_ms\": {:.3}, \"speedup\": {:.1}, ",
+                "\"speedup_bar\": {}, \"held_to_bar\": {}, ",
+                "\"reliability_recursive\": {:.12e}, \"reliability_baseline\": {:.12e}, ",
+                "\"agree_1e12\": {}, \"naive_checked\": {}, \"max_budget_share\": {:.4}, ",
+                "\"solver_calls\": {}, \"flips\": {}, \"repairs\": {}, \"full_resolves\": {}}}"
             ),
             self.instance,
+            self.baseline,
             self.edges,
             self.plan_leaves,
+            self.min_leaves,
             self.predicted_cost_recursive,
-            self.predicted_cost_flat,
+            self.predicted_cost_baseline,
             self.recursive_ms,
-            self.flat_ms,
+            self.baseline_ms,
             self.speedup(),
+            bar,
+            self.held_to_bar(),
             self.r_recursive,
-            self.r_flat,
+            self.r_baseline,
             self.agrees(),
             self.naive_checked,
-            self.assert_speedup
+            self.max_share,
+            self.stats.solver_calls,
+            self.stats.flips,
+            self.stats.repairs,
+            self.stats.full_resolves,
         )
     }
 }
 
-/// Runs `BottleneckAuto { max_k: 1 }` (the bridge split the planner
-/// recurses on) at the given depth cap and returns (reliability, millis).
-fn timed_run(net: &Network, d: FlowDemand, max_depth: usize) -> (f64, f64) {
-    let calc = ReliabilityCalculator::new()
-        .with_strategy(Strategy::BottleneckAuto { max_k: 1 })
-        .with_options(CalcOptions {
-            max_depth,
-            ..CalcOptions::default()
-        });
-    let start = Instant::now();
-    let rep = calc.run_complete(net, d).expect("bench instance solves");
-    (rep.reliability, start.elapsed().as_secs_f64() * 1e3)
+struct RunOut {
+    r: f64,
+    ms: f64,
+    stats: SweepStats,
+    slots: Vec<PlanSlotReport>,
 }
 
-fn plan_stats(net: &Network, d: FlowDemand, max_depth: usize) -> (usize, f64) {
-    let opts = CalcOptions {
-        max_depth,
-        ..CalcOptions::default()
-    };
-    let set = find_bottleneck_set(net, d.source, d.sink, 1).expect("a bridge exists");
-    let plan = DecompositionPlan::plan_on_set(net, d, &set, &opts, 1).expect("plannable");
+fn timed_run(net: &Network, d: FlowDemand, max_k: usize, opts: CalcOptions) -> RunOut {
+    let calc = ReliabilityCalculator::new()
+        .with_strategy(Strategy::BottleneckAuto { max_k })
+        .with_options(opts);
+    let start = Instant::now();
+    let rep = calc.run_complete(net, d).expect("bench instance solves");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let (stats, slots) = rep
+        .bottleneck
+        .map(|b| (b.sweep, b.plan_slots))
+        .unwrap_or_default();
+    RunOut {
+        r: rep.reliability,
+        ms,
+        stats,
+        slots,
+    }
+}
+
+fn plan_stats(net: &Network, d: FlowDemand, max_k: usize, opts: &CalcOptions) -> (usize, f64) {
+    let set = find_bottleneck_set(net, d.source, d.sink, max_k).expect("a bottleneck exists");
+    let plan = DecompositionPlan::plan_on_set(net, d, &set, opts, max_k).expect("plannable");
     (plan.leaf_count(), plan.predicted_cost())
 }
 
-fn run_case(instance: &'static str, inst: &Instance, assert_speedup: bool) -> Row {
+fn run_case(case: &Case) -> Row {
+    let inst = &case.inst;
     let d = FlowDemand::new(inst.source, inst.sink, inst.demand);
-    let (leaves, cost_rec) = plan_stats(&inst.net, d, CalcOptions::default().max_depth);
-    let (_, cost_flat) = plan_stats(&inst.net, d, 0);
-    let (r_flat, flat_ms) = timed_run(&inst.net, d, 0);
-    let (r_rec, rec_ms) = timed_run(&inst.net, d, CalcOptions::default().max_depth);
+    let deep_opts = CalcOptions::default();
+    let base_opts = case.baseline.options();
+    let (leaves, cost_rec) = plan_stats(&inst.net, d, case.max_k, &deep_opts);
+    let (_, cost_base) = plan_stats(&inst.net, d, case.max_k, &base_opts);
+    let base = timed_run(&inst.net, d, case.max_k, base_opts);
+    let deep = timed_run(&inst.net, d, case.max_k, deep_opts);
+    let max_share = deep.slots.iter().map(|s| s.share).fold(0.0, f64::max);
     let naive_checked = inst.net.edge_count() <= NAIVE_CHECK_MAX_EDGES;
     if naive_checked {
         let exact = reliability_naive(&inst.net, d, &CalcOptions::default()).expect("naive");
         assert!(
-            (r_rec - exact).abs() < 1e-12,
-            "{instance}: recursive {r_rec} vs naive {exact}"
+            (deep.r - exact).abs() < 1e-12,
+            "{}: recursive {} vs naive {exact}",
+            case.instance,
+            deep.r
         );
     }
     Row {
-        instance,
+        instance: case.instance,
+        baseline: case.baseline.name(),
         edges: inst.net.edge_count(),
         plan_leaves: leaves,
         predicted_cost_recursive: cost_rec,
-        predicted_cost_flat: cost_flat,
-        recursive_ms: rec_ms,
-        flat_ms,
-        r_recursive: r_rec,
-        r_flat,
+        predicted_cost_baseline: cost_base,
+        recursive_ms: deep.ms,
+        baseline_ms: base.ms,
+        r_recursive: deep.r,
+        r_baseline: base.r,
         naive_checked,
-        assert_speedup,
+        speedup_bar: case.speedup_bar,
+        min_leaves: case.min_leaves,
+        max_share,
+        stats: deep.stats,
     }
+}
+
+fn cases(smoke: bool) -> Vec<Case> {
+    if smoke {
+        return vec![
+            Case {
+                instance: "chained-barbell-3x3",
+                inst: chained_barbell(3, 3, 1, 11),
+                max_k: 1,
+                baseline: Baseline::Flat,
+                speedup_bar: None,
+                min_leaves: 2,
+            },
+            Case {
+                instance: "nested-barbell-d2",
+                inst: nested_barbell(2, 3, 1, 13),
+                max_k: 1,
+                baseline: Baseline::Flat,
+                speedup_bar: None,
+                min_leaves: 2,
+            },
+            // the CI smoke's >= 8-leaf deep-cut instance
+            Case {
+                instance: "kary-nested-cut-4x2",
+                inst: kary_nested_cut(4, 2, 11),
+                max_k: 2,
+                baseline: Baseline::Pr5,
+                speedup_bar: None,
+                min_leaves: 8,
+            },
+        ];
+    }
+    vec![
+        Case {
+            instance: "chained-barbell-4x3",
+            inst: chained_barbell(4, 3, 1, 11),
+            max_k: 1,
+            baseline: Baseline::Flat,
+            speedup_bar: None,
+            min_leaves: 2,
+        },
+        Case {
+            instance: "chained-barbell-6x4",
+            inst: chained_barbell(6, 4, 1, 11),
+            max_k: 1,
+            baseline: Baseline::Flat,
+            speedup_bar: None,
+            min_leaves: 2,
+        },
+        Case {
+            instance: "nested-barbell-d2",
+            inst: nested_barbell(2, 4, 1, 13),
+            max_k: 1,
+            baseline: Baseline::Flat,
+            speedup_bar: None,
+            min_leaves: 2,
+        },
+        // designed to hold the 5x bar: the flat split leaves two 2^(m/2)
+        // sides while recursion bottoms out at single clusters
+        Case {
+            instance: "nested-barbell-d3",
+            inst: nested_barbell(3, 4, 1, 13),
+            max_k: 1,
+            baseline: Baseline::Flat,
+            speedup_bar: Some(5.0),
+            min_leaves: 2,
+        },
+        // small deep-cut instance, cheap enough for the naive cross-check
+        Case {
+            instance: "kary-nested-cut-2x2",
+            inst: kary_nested_cut(2, 2, 11),
+            max_k: 2,
+            baseline: Baseline::Pr5,
+            speedup_bar: None,
+            min_leaves: 4,
+        },
+        // >= 8-leaf deep-cut instance; at this size the baseline's 2^16
+        // side sweeps are still cheap enough that planning overhead eats
+        // the win, so no timing bar — the bars sit on the larger siblings
+        Case {
+            instance: "kary-nested-cut-4x2",
+            inst: kary_nested_cut(4, 2, 11),
+            max_k: 2,
+            baseline: Baseline::Pr5,
+            speedup_bar: None,
+            min_leaves: 8,
+        },
+        // designed to hold the 3x bar vs the PR 5 planner: the root is a
+        // width-2 multi-assignment cut the bridge-only planner sweeps whole
+        // (2^20 configs per side) while the deep planner peels each side to
+        // single-link leaves
+        Case {
+            instance: "kary-nested-cut-5x2",
+            inst: kary_nested_cut(5, 2, 11),
+            max_k: 2,
+            baseline: Baseline::Pr5,
+            speedup_bar: Some(3.0),
+            min_leaves: 8,
+        },
+        Case {
+            instance: "kary-nested-cut-6x2",
+            inst: kary_nested_cut(6, 2, 11),
+            max_k: 2,
+            baseline: Baseline::Pr5,
+            speedup_bar: Some(3.0),
+            min_leaves: 8,
+        },
+        // wide coverage family: dozens of leaves, no timing bar
+        Case {
+            instance: "barbell-mesh-8",
+            inst: barbell_mesh(8, 13),
+            max_k: 2,
+            baseline: Baseline::Pr5,
+            speedup_bar: None,
+            min_leaves: 8,
+        },
+    ]
 }
 
 fn main() {
@@ -146,77 +351,55 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_plan.json".to_string());
 
-    let mut rows = Vec::new();
-    if smoke {
-        rows.push(run_case(
-            "chained-barbell-3x3",
-            &chained_barbell(3, 3, 1, 11),
-            false,
-        ));
-        rows.push(run_case(
-            "nested-barbell-d2",
-            &nested_barbell(2, 3, 1, 13),
-            false,
-        ));
-    } else {
-        rows.push(run_case(
-            "chained-barbell-4x3",
-            &chained_barbell(4, 3, 1, 11),
-            false,
-        ));
-        rows.push(run_case(
-            "chained-barbell-6x4",
-            &chained_barbell(6, 4, 1, 11),
-            false,
-        ));
-        rows.push(run_case(
-            "nested-barbell-d2",
-            &nested_barbell(2, 4, 1, 13),
-            false,
-        ));
-        rows.push(run_case(
-            "nested-barbell-d3",
-            &nested_barbell(3, 4, 1, 13),
-            true,
-        ));
-    }
+    let cases = cases(smoke);
+    let rows: Vec<Row> = cases.iter().map(run_case).collect();
 
     let mut failures = Vec::new();
     for row in &rows {
         println!(
-            "{:>20}: {} links, {} plan leaves, recursive {:.2} ms vs flat {:.2} ms \
-             ({:.1}x), predicted cost {:.2e} vs {:.2e}, agree={}",
+            "{:>20}: {} links, {} plan leaves (need >= {}), recursive {:.2} ms vs {} {:.2} ms \
+             ({:.1}x{}), predicted cost {:.2e} vs {:.2e}, max share {:.2}, \
+             {} repairs / {} full resolves, agree={}",
             row.instance,
             row.edges,
             row.plan_leaves,
+            row.min_leaves,
             row.recursive_ms,
-            row.flat_ms,
+            row.baseline,
+            row.baseline_ms,
             row.speedup(),
+            row.speedup_bar
+                .map_or(String::new(), |b| format!(", bar {b:.0}x")),
             row.predicted_cost_recursive,
-            row.predicted_cost_flat,
+            row.predicted_cost_baseline,
+            row.max_share,
+            row.stats.repairs,
+            row.stats.full_resolves,
             row.agrees()
         );
         if !row.agrees() {
             failures.push(format!(
-                "{}: recursive {:.15e} vs flat {:.15e} differ beyond 1e-12",
-                row.instance, row.r_recursive, row.r_flat
+                "{}: recursive {:.15e} vs {} {:.15e} differ beyond 1e-12",
+                row.instance, row.r_recursive, row.baseline, row.r_baseline
             ));
         }
-        if row.plan_leaves < 2 {
+        if row.plan_leaves < row.min_leaves {
             failures.push(format!(
-                "{}: the planner found no recursive split ({} leaf)",
-                row.instance, row.plan_leaves
+                "{}: the deep plan has {} leaf slots, need >= {}",
+                row.instance, row.plan_leaves, row.min_leaves
             ));
         }
-        // The acceptance bar: nested bottlenecks make the recursive plan at
-        // least 5x faster than the flat one-level decomposition. Only
+        // The per-instance acceptance bars — every row carrying a bar was
+        // designed to hold it, so a miss is a regression, not noise. Only
         // meaningful at measurement size; smoke instances are too small for
         // stable timings.
-        if !smoke && row.assert_speedup && row.speedup() < 5.0 {
+        if !smoke && !row.held_to_bar() {
             failures.push(format!(
-                "{}: only {:.1}x faster than the flat decomposition (need >= 5x)",
+                "{}: only {:.1}x faster than the {} baseline (bar {:.1}x)",
                 row.instance,
-                row.speedup()
+                row.speedup(),
+                row.baseline,
+                row.speedup_bar.unwrap_or(f64::NAN)
             ));
         }
     }

@@ -14,9 +14,11 @@
 //! ```
 //!
 //! `--explain` prints the recursive decomposition plan (node kinds, per-node
-//! link counts, predicted sweep cost) before the computation runs;
-//! `--max-depth` caps how many nested bridge splits the planner may stack
-//! (`0` forces the flat one-level decomposition).
+//! link counts, predicted sweep cost) before the computation runs, and — when
+//! the planner executed — a per-subtree accounting table afterwards showing
+//! each leaf slot's apportioned budget share and its predicted vs. actual
+//! sweep cost; `--max-depth` caps how many nested splits the planner may
+//! stack (`0` forces the flat one-level decomposition).
 //!
 //! ## Exit codes
 //!
@@ -268,6 +270,41 @@ fn explain(net: &netgraph::Network, demand: FlowDemand, strategy: &Strategy, opt
     }
 }
 
+/// `--explain`, after the run: per-leaf-slot accounting from the plan
+/// interpreter — how the configuration budget was apportioned across the
+/// subtrees and what each sweep actually cost compared to the planner's
+/// prediction. Empty for one-level (non-planned) runs.
+fn explain_slots(slots: &[flowrel_core::PlanSlotReport]) {
+    if slots.is_empty() {
+        return;
+    }
+    println!(
+        "plan accounting: {} leaf slot{} (predicted = configs left at start; share = budget fraction granted)",
+        slots.len(),
+        if slots.len() == 1 { "" } else { "s" }
+    );
+    println!(
+        "{:>6} {:>6} {:>12} {:>8} {:>12} {:>10}",
+        "slot", "kind", "predicted", "share", "configs", "explored"
+    );
+    for s in slots {
+        let share = if s.share > 0.0 {
+            format!("{:.1}%", 100.0 * s.share)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:>6} {:>6} {:>12.3e} {:>8} {:>12} {:>9.3}%",
+            format!("#{}", s.index),
+            s.kind,
+            s.predicted,
+            share,
+            s.configs,
+            100.0 * s.explored
+        );
+    }
+}
+
 fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
     let file = load(path)?;
     let demand = demand_of(&file)?;
@@ -336,7 +373,8 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
     let calc = ReliabilityCalculator::new()
         .with_strategy(strategy)
         .with_options(opts);
-    if args.iter().any(|a| a == "--explain") {
+    let explaining = args.iter().any(|a| a == "--explain");
+    if explaining {
         explain(&file.net, demand, &calc.strategy, &calc.options);
     }
     let outcome = match flag_value(args, "--resume") {
@@ -353,6 +391,11 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
         Outcome::Partial(partial) => {
             std::fs::write(&checkpoint_path, partial.checkpoint.to_text())
                 .map_err(|e| CliError::io(format!("{checkpoint_path}: {e}")))?;
+            if explaining {
+                if let Some(b) = &partial.bottleneck {
+                    explain_slots(&b.plan_slots);
+                }
+            }
             if let Some(mc) = &partial.mc {
                 println!(
                     "partial estimate: reliability in [{:.12}, {:.12}]  (via {}, 95% Wilson \
@@ -408,6 +451,9 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
                 "warm repair: {} edge flips absorbed, {} paths cancelled, {} full re-solves",
                 b.sweep.flips, b.sweep.repairs, b.sweep.full_resolves
             );
+        }
+        if explaining {
+            explain_slots(&b.plan_slots);
         }
     }
     if let Some(mc) = report.mc {

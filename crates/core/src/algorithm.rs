@@ -36,6 +36,31 @@ pub struct BottleneckReport {
     /// Sweep-engine counters, merged over both side spectra (configurations
     /// tested, solver calls, certificate hits).
     pub sweep: SweepStats,
+    /// Per-leaf-slot planner accounting (empty for one-level runs): how the
+    /// plan interpreter apportioned the budget and what each sweep actually
+    /// cost. See [`PlanSlotReport`].
+    pub plan_slots: Vec<PlanSlotReport>,
+}
+
+/// Budget and cost accounting for one plan leaf slot, in DFS slot order.
+#[derive(Clone, Debug)]
+pub struct PlanSlotReport {
+    /// DFS slot index (matches `leaf #i` / `sweep #i` in the rendered plan).
+    pub index: usize,
+    /// Leaf kind: `"naive"`, `"cut"`, or `"sweep"`.
+    pub kind: &'static str,
+    /// Configurations the planner predicted this slot still had to
+    /// enumerate when the run started (resume-aware).
+    pub predicted: f64,
+    /// Cost-proportional fraction of the configuration budget the
+    /// apportioner grants this slot's subtree (predicted cost over the total
+    /// predicted cost; the sentinel fork uses exactly this ratio when the
+    /// budget tracks a configuration allowance).
+    pub share: f64,
+    /// Configurations the sweep actually tested during this run.
+    pub configs: u64,
+    /// Fraction of this slot's own configuration space explored so far.
+    pub explored: f64,
 }
 
 /// Projects parent-network weights onto a side's own edge numbering.
@@ -72,6 +97,7 @@ pub fn reliability_bottleneck_on_set<W: Weight>(
         assignment_count: count,
         alpha: set.alpha(net.edge_count()),
         sweep,
+        plan_slots: Vec::new(),
     };
     if demand.demand == 0 {
         return Ok((W::one(), report(0, SweepStats::default())));
@@ -186,7 +212,7 @@ pub enum BottleneckOutcome {
 /// Validates a side checkpoint against this decomposition and unpacks it into
 /// the sweep engine's resume form. The checkpoint's `live` set is
 /// authoritative — it records which assignments the interrupted run swept.
-fn side_resume(
+pub(crate) fn side_resume(
     ck: &SideCheckpoint,
     which: &str,
     m: usize,
@@ -263,6 +289,7 @@ pub fn reliability_bottleneck_anytime_on(
         assignment_count: count,
         alpha: set.alpha(net.edge_count()),
         sweep,
+        plan_slots: Vec::new(),
     };
     if demand.demand == 0 {
         return Ok(BottleneckOutcome::Complete {

@@ -11,8 +11,17 @@
 //!
 //! The budget is *shared* across everything one calculation does: parallel
 //! workers and both sides of a bottleneck decomposition draw configuration
-//! grants from the same [`BudgetSentinel`], so "at most N configurations"
-//! means N in total, not N per worker.
+//! grants from the same allowance, so "at most N configurations" means N in
+//! total, not N per worker.
+//!
+//! Sentinels form a *hierarchy*: [`BudgetSentinel::child`] carves a share of
+//! the remaining allowance out of a parent into a sentinel with its own
+//! atomics, so independent plan subtrees poll disjoint cache lines instead
+//! of contending on one global counter. A starved child pulls chunked
+//! refills from its ancestors (so allowance released by an early-finishing
+//! sibling is rebalanced to the subtrees still running), and
+//! [`BudgetSentinel::release`] returns whatever a finished subtree did not
+//! spend.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -77,24 +86,86 @@ impl Budget {
     /// Arms the budget for one run: the deadline clock starts now.
     pub fn start(&self) -> BudgetSentinel {
         BudgetSentinel {
-            deadline: self.time_limit.map(|d| Instant::now() + d),
-            max_configs: self.max_configs,
-            used: AtomicU64::new(0),
-            cancel: self.cancel.clone(),
-            trivial: self.is_unlimited(),
+            core: Arc::new(Core {
+                deadline: self.time_limit.map(|d| Instant::now() + d),
+                cancel: self.cancel.clone(),
+                trivial: self.is_unlimited(),
+                limited: self.max_configs.is_some(),
+                limit: AtomicU64::new(self.max_configs.unwrap_or(u64::MAX)),
+                used: AtomicU64::new(0),
+                parent: None,
+            }),
         }
     }
 }
 
+/// When a child's local allowance runs dry it pulls at least this many
+/// configurations from its ancestors in one refill, so rebalancing costs one
+/// ancestor round-trip per ~thousand configurations instead of one per batch.
+const REFILL: u64 = 1024;
+
+/// Shared accounting state of one sentinel in the hierarchy. `limit` and
+/// `used` both only grow (a refill raises `limit`); the spendable allowance
+/// is `limit − used`.
+#[derive(Debug)]
+struct Core {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    /// No limit of any kind: every grant is free and children share this core.
+    trivial: bool,
+    /// Whether a configuration allowance is being tracked at all.
+    limited: bool,
+    limit: AtomicU64,
+    used: AtomicU64,
+    parent: Option<Arc<Core>>,
+}
+
+impl Core {
+    /// Takes up to `want` configurations, pulling chunked refills from the
+    /// ancestor chain when the local allowance is dry. Returns how many were
+    /// actually debited (0 when the whole chain is exhausted).
+    fn take_upto(&self, want: u64) -> u64 {
+        let mut taken = 0u64;
+        while taken < want {
+            let used = self.used.load(Ordering::Relaxed);
+            let limit = self.limit.load(Ordering::Relaxed);
+            if used < limit {
+                let got = (want - taken).min(limit - used);
+                if self
+                    .used
+                    .compare_exchange_weak(used, used + got, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    taken += got;
+                }
+                continue; // CAS race: retry with fresh counters
+            }
+            let Some(parent) = &self.parent else {
+                break;
+            };
+            let refill = parent.take_upto((want - taken).max(REFILL));
+            if refill == 0 {
+                break;
+            }
+            self.limit.fetch_add(refill, Ordering::Relaxed);
+        }
+        taken
+    }
+
+    /// Current spendable allowance (saturating; racy but only read at fork
+    /// points where the subtree is quiescent).
+    fn avail(&self) -> u64 {
+        let limit = self.limit.load(Ordering::Relaxed);
+        let used = self.used.load(Ordering::Relaxed);
+        limit.saturating_sub(used)
+    }
+}
+
 /// The armed form of a [`Budget`], shared by reference across the workers of
-/// one calculation.
+/// one calculation (or one plan subtree — see [`BudgetSentinel::child`]).
 #[derive(Debug)]
 pub struct BudgetSentinel {
-    deadline: Option<Instant>,
-    max_configs: Option<u64>,
-    used: AtomicU64,
-    cancel: Option<CancelToken>,
-    trivial: bool,
+    core: Arc<Core>,
 }
 
 impl BudgetSentinel {
@@ -107,21 +178,21 @@ impl BudgetSentinel {
     /// set). The sweep engine uses this to skip the explored-mass bookkeeping
     /// that only a partial result would need.
     pub fn is_unlimited(&self) -> bool {
-        self.trivial
+        self.core.trivial
     }
 
     /// Whether a stop has been requested by time or cancellation (the
     /// configuration allowance is handled by [`BudgetSentinel::grant`]).
     pub fn interrupted(&self) -> bool {
-        if self.trivial {
+        if self.core.trivial {
             return false;
         }
-        if let Some(c) = &self.cancel {
+        if let Some(c) = &self.core.cancel {
             if c.is_tripped() {
                 return true;
             }
         }
-        if let Some(d) = self.deadline {
+        if let Some(d) = self.core.deadline {
             if Instant::now() >= d {
                 return true;
             }
@@ -131,43 +202,108 @@ impl BudgetSentinel {
 
     /// Requests permission to examine up to `max_units` batches of `unit`
     /// configurations each; returns how many whole batches are granted
-    /// (possibly 0). Grants are debited from the shared allowance, so the
-    /// sum of all grants never exceeds `max_configs` by more than a partial
-    /// final batch's rounding. While any allowance remains the grant is at
-    /// least one batch, even when `unit` exceeds the leftover — otherwise a
-    /// caller whose batch unit is larger than a small `max_configs` (e.g. a
-    /// side sweep charging one unit per live assignment) could be refused
-    /// forever and a resume loop would spin without progress.
+    /// (possibly 0). Grants are debited exactly from the shared allowance
+    /// (the sum of all grants never exceeds `max_configs`), except that
+    /// while any allowance remains the grant is at least one batch, even
+    /// when `unit` exceeds the leftover — otherwise a caller whose batch
+    /// unit is larger than a small `max_configs` (e.g. a side sweep
+    /// charging one unit per live assignment) could be refused forever and
+    /// a resume loop would spin without progress.
     pub fn grant(&self, unit: u64, max_units: u64) -> u64 {
-        if self.trivial {
+        if self.core.trivial {
             return max_units;
         }
         if max_units == 0 || self.interrupted() {
             return 0;
         }
-        let Some(max) = self.max_configs else {
+        if !self.core.limited {
             return max_units;
-        };
-        debug_assert!(unit > 0);
-        let want = max_units.saturating_mul(unit);
-        let prev = self.used.fetch_add(want, Ordering::Relaxed);
-        if prev >= max {
-            return 0;
         }
-        let avail = max - prev;
-        if avail >= want {
-            max_units
+        debug_assert!(unit > 0);
+        let got = self.core.take_upto(max_units.saturating_mul(unit));
+        if got == 0 {
+            0
         } else {
-            // partial grant: hand back whole batches only, but never refuse
-            // outright while allowance remained (liveness)
-            (avail / unit).max(1)
+            (got / unit).max(1)
         }
     }
 
-    /// Configurations charged so far (may slightly exceed `max_configs`
-    /// after the final, refused request).
+    /// Configurations debited from this sentinel so far. For a parent with
+    /// forked children this includes shares handed to the children; a
+    /// child's [`release`](Self::release) returns its unspent part, so after
+    /// every subtree finishes the root's `used()` equals the configurations
+    /// actually charged.
     pub fn used(&self) -> u64 {
-        self.used.load(Ordering::Relaxed)
+        if !self.core.limited {
+            return 0;
+        }
+        self.core.used.load(Ordering::Relaxed)
+    }
+
+    /// Forks a child sentinel holding `share` configurations debited from
+    /// this sentinel's allowance up front (clamped to what remains). The
+    /// child polls its own atomics — no contention with siblings on the hot
+    /// path — and pulls chunked refills from this sentinel only when its
+    /// share runs dry, so allowance released by finished siblings flows to
+    /// the subtrees still running. When no configuration allowance is
+    /// tracked the child shares this sentinel's state (zero overhead).
+    pub fn child(&self, share: u64) -> BudgetSentinel {
+        if !self.core.limited {
+            return BudgetSentinel {
+                core: Arc::clone(&self.core),
+            };
+        }
+        let granted = self.core.take_upto(share);
+        BudgetSentinel {
+            core: Arc::new(Core {
+                deadline: self.core.deadline,
+                cancel: self.core.cancel.clone(),
+                trivial: false,
+                limited: true,
+                limit: AtomicU64::new(granted),
+                used: AtomicU64::new(0),
+                parent: Some(Arc::clone(&self.core)),
+            }),
+        }
+    }
+
+    /// Returns this child's unspent allowance to its parent and pins the
+    /// child's limit to what it used, so the rebalanced configurations can
+    /// only be granted once. Call after the subtree served by this sentinel
+    /// has finished (no concurrent users); a no-op for the root and for
+    /// untracked sentinels.
+    pub fn release(&self) {
+        if !self.core.limited {
+            return;
+        }
+        let Some(parent) = &self.core.parent else {
+            return;
+        };
+        let used = self.core.used.load(Ordering::Relaxed);
+        let limit = self.core.limit.load(Ordering::Relaxed);
+        let unspent = limit.saturating_sub(used);
+        if unspent > 0 {
+            self.core.limit.store(used, Ordering::Relaxed);
+            parent.used.fetch_sub(unspent, Ordering::Relaxed);
+        }
+    }
+
+    /// Current spendable configurations (`u64::MAX`-ish when untracked);
+    /// meaningful at fork points where the subtree is quiescent.
+    pub fn remaining(&self) -> u64 {
+        if !self.core.limited {
+            return u64::MAX;
+        }
+        self.core.avail()
+    }
+
+    /// True when a configuration allowance is tracked at all. Distinguishes
+    /// an untracked sentinel from a tracked one whose limit merely happens
+    /// to be enormous — [`remaining`](Self::remaining) alone cannot tell
+    /// `max_configs: Some(u64::MAX)` apart from `None`, and fork points must
+    /// only apportion shares when shares are actually debited.
+    pub fn tracks_configs(&self) -> bool {
+        self.core.limited
     }
 }
 
@@ -246,5 +382,84 @@ mod tests {
         let s = b.start();
         assert!(s.interrupted());
         assert_eq!(s.grant(1, 8), 0);
+    }
+
+    #[test]
+    fn children_hold_disjoint_shares() {
+        let b = Budget {
+            max_configs: Some(100),
+            ..Default::default()
+        };
+        let root = b.start();
+        let left = root.child(60);
+        let right = root.child(40);
+        assert_eq!(root.remaining(), 0, "shares debit the parent up front");
+        assert_eq!(left.grant(1, 1000), 60, "left is capped at its share");
+        assert_eq!(right.grant(1, 1000), 40);
+        assert_eq!(left.grant(1, 8), 0);
+        assert_eq!(right.grant(1, 8), 0);
+    }
+
+    #[test]
+    fn release_rebalances_to_the_sibling_still_running() {
+        let b = Budget {
+            max_configs: Some(100),
+            ..Default::default()
+        };
+        let root = b.start();
+        let left = root.child(60);
+        let right = root.child(40);
+        assert_eq!(left.grant(1, 10), 10, "left spends 10 of its 60");
+        left.release();
+        assert_eq!(root.remaining(), 50, "unspent share flows back");
+        // right's own 40 plus a refill pulled from the released 50
+        assert_eq!(right.grant(1, 90), 90);
+        assert_eq!(root.used(), 100);
+        assert_eq!(right.grant(1, 8), 0, "everything is spent");
+    }
+
+    #[test]
+    fn a_zero_share_child_still_refills_from_its_parent() {
+        let b = Budget {
+            max_configs: Some(7),
+            ..Default::default()
+        };
+        let root = b.start();
+        let child = root.child(0);
+        assert_eq!(child.grant(1, 5), 5, "refill pulls from the parent");
+        assert_eq!(child.grant(1, 5), 2);
+        assert_eq!(child.grant(1, 5), 0);
+    }
+
+    #[test]
+    fn untracked_children_share_state_and_honor_cancel() {
+        let t = CancelToken::new();
+        let b = Budget {
+            cancel: Some(t.clone()),
+            ..Default::default()
+        };
+        let root = b.start();
+        let child = root.child(1 << 20);
+        assert_eq!(child.grant(1, 8), 8, "no config limit: grants pass through");
+        t.trip();
+        assert!(child.interrupted(), "children see the shared cancel token");
+        assert_eq!(child.grant(1, 8), 0);
+        child.release(); // no-op, must not panic
+    }
+
+    #[test]
+    fn grandchildren_refill_through_the_chain() {
+        let b = Budget {
+            max_configs: Some(64),
+            ..Default::default()
+        };
+        let root = b.start();
+        let mid = root.child(16);
+        let leaf = mid.child(4);
+        assert_eq!(leaf.grant(1, 64), 64, "refills climb mid and root");
+        assert_eq!(leaf.grant(1, 1), 0);
+        leaf.release();
+        mid.release();
+        assert_eq!(root.used(), 64);
     }
 }

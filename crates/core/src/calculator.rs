@@ -265,6 +265,7 @@ impl ReliabilityCalculator {
                 // re-derived tree's shape fingerprint against the checkpoint.
                 let opts = CalcOptions {
                     max_depth: ck.max_depth,
+                    recursive_cut_sides: ck.recursive_cut_sides,
                     ..self.options.clone()
                 };
                 self.plan_outcome_with(
@@ -325,26 +326,29 @@ impl ReliabilityCalculator {
     ) -> Result<Outcome, ReliabilityError> {
         let plan = DecompositionPlan::plan_on_set(net, demand, set, opts, max_k)?;
         match plan.execute(opts, resume)? {
-            PlanOutcome::Complete { reliability, stats } => {
-                Ok(Outcome::Complete(Box::new(ReliabilityReport {
-                    reliability,
-                    algorithm,
-                    bottleneck: Some(plan.report(net, stats)),
-                    mc: None,
-                })))
-            }
+            PlanOutcome::Complete {
+                reliability,
+                stats,
+                slots,
+            } => Ok(Outcome::Complete(Box::new(ReliabilityReport {
+                reliability,
+                algorithm,
+                bottleneck: Some(plan.report(net, stats, slots)),
+                mc: None,
+            }))),
             PlanOutcome::Partial {
                 r_low,
                 r_high,
                 explored,
                 checkpoint,
                 stats,
+                slots,
             } => Ok(Outcome::Partial(Box::new(PartialReport {
                 r_low,
                 r_high,
                 explored,
                 algorithm,
-                bottleneck: Some(plan.report(net, stats)),
+                bottleneck: Some(plan.report(net, stats, slots)),
                 mc: None,
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),

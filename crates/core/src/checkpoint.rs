@@ -95,6 +95,9 @@ pub enum PlanLeafState {
         /// Sink-side sweep state.
         side_t: Box<SideCheckpoint>,
     },
+    /// The leaf is an interrupted single-side spectrum sweep (a `sweep`
+    /// leaf under a recursive `DeepCut` node).
+    Side(Box<SideCheckpoint>),
 }
 
 /// Checkpoint of an interrupted recursive-plan execution ([`crate::plan`]).
@@ -111,9 +114,18 @@ pub struct PlanCheckpoint {
     pub root_max_k: usize,
     /// `max_depth` the plan was built with (overrides the resuming options).
     pub max_depth: usize,
+    /// Whether the plan was built with `recursive_cut_sides` (overrides the
+    /// resuming options, like `max_depth`, so the re-derived tree matches).
+    pub recursive_cut_sides: bool,
     /// Fingerprint of the plan tree's shape; a resumed run must re-derive a
     /// tree with the identical fingerprint.
     pub shape: u64,
+    /// Budget share apportioned to each leaf slot's subtree when the
+    /// interrupted run started (DFS slot order; bit-exact `f64`). Purely
+    /// informational for resume — shares are recomputed from the remaining
+    /// work — but recorded so interrupted runs can report how the budget
+    /// was split.
+    pub shares: Vec<f64>,
     /// Per-leaf resume state, in DFS (execution) order.
     pub leaves: Vec<PlanLeafState>,
 }
@@ -264,7 +276,12 @@ impl Checkpoint {
                 out.push('\n');
                 out.push_str(&format!("root-maxk {}\n", p.root_max_k));
                 out.push_str(&format!("max-depth {}\n", p.max_depth));
+                out.push_str(&format!("deep {}\n", p.recursive_cut_sides as u8));
                 out.push_str(&format!("shape {:016x}\n", p.shape));
+                out.push_str(&format!("shares {}\n", p.shares.len()));
+                for &sh in &p.shares {
+                    out.push_str(&format!("sh {:016x}\n", sh.to_bits()));
+                }
                 out.push_str(&format!("leaves {}\n", p.leaves.len()));
                 for leaf in &p.leaves {
                     match leaf {
@@ -280,6 +297,10 @@ impl Checkpoint {
                             out.push_str("leaf cut\n");
                             write_side(&mut out, "s", side_s);
                             write_side(&mut out, "t", side_t);
+                        }
+                        PlanLeafState::Side(side) => {
+                            out.push_str("leaf side\n");
+                            write_side(&mut out, "x", side);
                         }
                     }
                 }
@@ -348,7 +369,18 @@ impl Checkpoint {
                     .collect::<Result<Vec<_>, _>>()?;
                 let root_max_k = parse(field(&mut lines, "root-maxk")?.first(), "root max k")?;
                 let max_depth = parse(field(&mut lines, "max-depth")?.first(), "plan max depth")?;
+                let deep: u8 = parse(field(&mut lines, "deep")?.first(), "plan deep flag")?;
+                if deep > 1 {
+                    return Err(bad("plan deep flag must be 0 or 1"));
+                }
                 let shape = parse_hex(field(&mut lines, "shape")?.first(), "plan shape")?;
+                let share_count: usize =
+                    parse(field(&mut lines, "shares")?.first(), "plan share count")?;
+                let mut shares = Vec::with_capacity(share_count);
+                for _ in 0..share_count {
+                    let s = field(&mut lines, "sh")?;
+                    shares.push(f64::from_bits(parse_hex(s.first(), "share entry")?));
+                }
                 let count: usize = parse(field(&mut lines, "leaves")?.first(), "plan leaf count")?;
                 let mut leaves = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -369,6 +401,10 @@ impl Checkpoint {
                                 side_t: Box::new(side_t),
                             });
                         }
+                        Some("side") => {
+                            let side = read_side(&mut lines, "x")?;
+                            leaves.push(PlanLeafState::Side(Box::new(side)));
+                        }
                         _ => return Err(bad("unknown plan leaf state")),
                     }
                 }
@@ -376,7 +412,9 @@ impl Checkpoint {
                     root_cut,
                     root_max_k,
                     max_depth,
+                    recursive_cut_sides: deep == 1,
                     shape,
+                    shares,
                     leaves,
                 })
             }
@@ -865,13 +903,16 @@ mod tests {
         let CheckpointKind::Bottleneck { side_s, side_t, .. } = bottleneck_checkpoint().kind else {
             panic!("bottleneck fixture must be bottleneck");
         };
+        let side_x = side_s.clone();
         Checkpoint {
             fingerprint: 0x1234_5678_9abc_def0,
             kind: CheckpointKind::Plan(PlanCheckpoint {
                 root_cut: vec![EdgeId(3), EdgeId(9)],
                 root_max_k: 3,
                 max_depth: 7,
+                recursive_cut_sides: true,
                 shape: 0xfeed_face_cafe_beef,
+                shares: vec![0.5, 0.25, 0.125, 0.0625, 0.0625],
                 leaves: vec![
                     PlanLeafState::Done { value: 0.875 },
                     PlanLeafState::Naive(naive),
@@ -880,6 +921,7 @@ mod tests {
                         side_s: Box::new(side_s),
                         side_t: Box::new(side_t),
                     },
+                    PlanLeafState::Side(Box::new(side_x)),
                 ],
             }),
         }

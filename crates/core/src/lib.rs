@@ -63,7 +63,7 @@ pub mod weight;
 pub use accumulate::{combine_interval, AccumulationMethod};
 pub use algorithm::{
     reliability_bottleneck, reliability_bottleneck_anytime, reliability_bottleneck_anytime_on,
-    reliability_bottleneck_exact, BottleneckOutcome, BottleneckReport,
+    reliability_bottleneck_exact, BottleneckOutcome, BottleneckReport, PlanSlotReport,
 };
 pub use assign::{enumerate_assignments, Assignment, AssignmentModel};
 pub use bottleneck::{
@@ -98,7 +98,9 @@ pub use naive::{
 pub use nodefail::{split_node_failures, NodeSplit};
 pub use options::CalcOptions;
 pub use oracle::{DemandOracle, SideOracle};
-pub use plan::{CutNode, DecompositionPlan, LeafNode, PlanNode, PlanOutcome};
+pub use plan::{
+    CutNode, DecompositionPlan, DeepCutNode, LeafNode, PlanNode, PlanOutcome, SidePlan, SweepNode,
+};
 pub use polynomial::{reliability_polynomial, ReliabilityPolynomial};
 pub use preprocess::{relevance_reduce, RelevantNetwork};
 pub use spectrum::RealizationSpectrum;

@@ -66,6 +66,13 @@ pub struct CalcOptions {
     /// splits, so the default comfortably covers any chain the enumeration
     /// bounds could accept.
     pub max_depth: usize,
+    /// Let the planner re-enter itself on the sides of multi-assignment
+    /// `Cut` nodes (not only single-assignment bridges): a side is *peeled*
+    /// at an internal cut that separates its terminal from every attach
+    /// point with a unique assignment, factoring the side spectrum into a
+    /// scalar subtree times a smaller side. Off, every multi-assignment cut
+    /// is swept whole (the PR 5 planner).
+    pub recursive_cut_sides: bool,
 }
 
 impl Default for CalcOptions {
@@ -86,6 +93,7 @@ impl Default for CalcOptions {
             parallel_threshold: 10_000,
             budget: Budget::unlimited(),
             max_depth: 64,
+            recursive_cut_sides: true,
         }
     }
 }

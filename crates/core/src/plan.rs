@@ -20,40 +20,73 @@
 //!   `x_i` across cut link `i`, so the sides are independent given the cut
 //!   links with `x_i ≠ 0` alive (Eq. 1 generalized to `k ≥ 1`):
 //!   `[up·lo_L·lo_R, up·hi_L·hi_R]` with `up = Π_{x_i≠0} (1 − p(e_i))`.
-//! - [`PlanNode::Cut`] — a general bottleneck split executed by the PR-1
-//!   spectrum engine, which produces its own certified interval.
+//! - [`PlanNode::Cut`] — a general bottleneck split executed whole by the
+//!   PR-1 spectrum engine, which produces its own certified interval.
+//! - [`PlanNode::DeepCut`] — a general bottleneck split whose sides are
+//!   themselves decomposed ([`SidePlan`]): each side is either swept whole
+//!   or *peeled* at an internal cut that separates the side's terminal from
+//!   every attach point with a unique all-nonnegative crossing `x'`. The
+//!   peel factors the side spectrum exactly: with `P(A)` the probability
+//!   the terminal part delivers `x'` across the peel cut, `up` the survival
+//!   of the peel-cut links `x'` uses, and `B[r]` the residual part's
+//!   spectrum, `S[r] = up·P(A)·B[r]` for `r ≠ 0` and
+//!   `S[0] = 1 − up·P(A)·(1 − B[0])`. Under partial execution `P(A)` is an
+//!   interval `[a_lo, a_hi]` and `B` a pointwise underestimate, so the
+//!   transformed mass stays a pointwise underestimate of the true spectrum
+//!   and the cut-level interval combination remains certified.
 //! - [`PlanNode::Leaf`] — an atomic subnetwork swept by the budgeted naive
 //!   engine, which produces its own certified interval.
 //!
-//! The interpreter ([`DecompositionPlan::execute`]) threads one shared
-//! [`BudgetSentinel`] through every leaf sweep, optionally runs the two
-//! sides of a `Bridge` on rayon, and — when the budget runs out — returns a
+//! The interpreter ([`DecompositionPlan::execute`]) apportions the budget
+//! hierarchically: at every fork (the two sides of a `Bridge` or `DeepCut`,
+//! or a peel's scalar/residual pair) the parent sentinel's whole remaining
+//! allowance is split into per-subtree [`BudgetSentinel`] children
+//! proportional to each subtree's *remaining* predicted cost (resume-aware,
+//! so finished subtrees get nothing). A subtree that finishes early releases
+//! its unspent allowance back to the fork, where the sibling's grants pick
+//! it up — no global atomic sits on the hot path. Each subtree returns
+//! *owned* leaf slots that are concatenated in DFS order, so the parallel
+//! path (rayon join at every fork) shares no mutable state at all.
+//!
+//! When the budget runs out the interpreter returns a
 //! [`PlanOutcome::Partial`] whose [`PlanCheckpoint`] records each leaf
-//! slot's resume state in DFS order. The plan tree itself is *not*
-//! serialized: planning is deterministic, so resume re-derives it and
-//! verifies a shape fingerprint. A serial interrupted run resumed to
-//! completion reproduces the uninterrupted value bit for bit, because leaf
-//! execution order, per-leaf sweeps (PR-2 semantics), and the combination
+//! slot's resume state in DFS order (plus the informational per-slot budget
+//! shares). The plan tree itself is *not* serialized: planning is
+//! deterministic, so resume re-derives it and verifies a shape fingerprint.
+//! A serial interrupted run resumed to completion reproduces the
+//! uninterrupted value bit for bit, because leaf execution order, per-leaf
+//! sweeps (PR-2 semantics), budget apportionment, and the combination
 //! arithmetic are all deterministic.
-
-use std::sync::Mutex;
 
 use netgraph::{EdgeId, EdgeMask, GraphKind, Network, NodeId};
 
-use crate::algorithm::{reliability_bottleneck_anytime_on, BottleneckOutcome, BottleneckReport};
-use crate::assign::{crossing_ranges, enumerate_assignments, Assignment};
-use crate::bottleneck::{find_bottleneck_set, BottleneckSet};
+use crate::accumulate::{combine, combine_interval};
+use crate::algorithm::{
+    reliability_bottleneck_anytime_on, side_resume, BottleneckOutcome, BottleneckReport,
+    PlanSlotReport,
+};
+use crate::assign::{
+    crossing_ranges, enumerate_assignments, supported_assignment_masks, Assignment, AssignmentModel,
+};
+use crate::bottleneck::{find_all_bottleneck_sets, find_bottleneck_set, BottleneckSet};
 use crate::budget::BudgetSentinel;
 use crate::certcache::SweepStats;
-use crate::checkpoint::{Fnv1a, PlanCheckpoint, PlanLeafState};
+use crate::checkpoint::{Fnv1a, PlanCheckpoint, PlanLeafState, SideCheckpoint, SweepCursor};
 use crate::decompose::{decompose, Side};
 use crate::demand::FlowDemand;
 use crate::error::ReliabilityError;
 use crate::naive::{reliability_naive_anytime_on, NaiveOutcome};
 use crate::options::CalcOptions;
-use crate::oracle::DemandOracle;
+use crate::oracle::{DemandOracle, SideOracle};
 use crate::preprocess::relevance_reduce;
 use crate::spreduce::{reduce_unit_demand, ReductionStats};
+use crate::sweep::{sweep_spectrum_budgeted, SweepConfig};
+use crate::weight::edge_weights;
+
+/// A side smaller than this is always swept whole: a peel replaces the side
+/// with a scalar subtree *plus* a residual side, so it cannot pay off below
+/// a few links.
+const PEEL_MIN_EDGES: usize = 4;
 
 /// A leaf: an atomic subnetwork swept exhaustively by the naive engine.
 #[derive(Clone, Debug)]
@@ -81,6 +114,55 @@ pub struct CutNode {
     pub assignments: usize,
     /// DFS slot index into the plan checkpoint's leaf array.
     pub index: usize,
+}
+
+/// One side spectrum swept whole against the cut's assignment set.
+#[derive(Clone, Debug)]
+pub struct SweepNode {
+    /// The side (its subnetwork, demand terminal, and attach points).
+    pub side: Side,
+    /// Number of assignments of the owning [`DeepCutNode`] (`|D|`).
+    pub dn: usize,
+    /// DFS slot index into the plan checkpoint's leaf array.
+    pub index: usize,
+}
+
+/// How one side of a [`DeepCutNode`] is evaluated.
+#[derive(Clone, Debug)]
+pub enum SidePlan {
+    /// Sweep the side whole with the PR-1 side-spectrum engine.
+    Sweep(Box<SweepNode>),
+    /// Peel the side at an internal cut separating its terminal from every
+    /// attach point with a unique all-nonnegative crossing `x'`:
+    /// `S[r] = up·P(scalar)·B[r]` for `r ≠ 0`,
+    /// `S[0] = 1 − up·P(scalar)·(1 − B[0])`.
+    Peel {
+        /// Survival probability of the peel-cut links `x'` uses.
+        up: f64,
+        /// Scalar subtree: probability the terminal part delivers `x'`.
+        scalar: Box<PlanNode>,
+        /// The residual side (original attach points, peel cut replaced by
+        /// a perfect super-terminal), evaluated recursively.
+        inner: Box<SidePlan>,
+    },
+}
+
+/// A bottleneck split whose sides are recursively decomposed instead of
+/// being handed whole to the one-level engine.
+#[derive(Clone, Debug)]
+pub struct DeepCutNode {
+    /// The validated bottleneck set of the parent network.
+    pub set: BottleneckSet,
+    /// The feasible flow assignments across the cut (`D`).
+    pub assignments: Vec<Assignment>,
+    /// `(alive, failed)` weight pairs of the cut links.
+    pub cut_weights: Vec<(f64, f64)>,
+    /// Per cut configuration, the mask of assignments it supports.
+    pub support: Vec<u32>,
+    /// Source-side evaluation.
+    pub side_s: SidePlan,
+    /// Sink-side evaluation.
+    pub side_t: SidePlan,
 }
 
 /// One node of a [`DecompositionPlan`] tree.
@@ -125,8 +207,10 @@ pub enum PlanNode {
         right: Box<PlanNode>,
     },
     /// A bottleneck split with more than one feasible assignment, executed
-    /// by the one-level spectrum engine.
+    /// whole by the one-level spectrum engine.
     Cut(Box<CutNode>),
+    /// A bottleneck split whose sides are recursively decomposed.
+    DeepCut(Box<DeepCutNode>),
 }
 
 /// Result of executing a plan under a budget.
@@ -138,6 +222,8 @@ pub enum PlanOutcome {
         reliability: f64,
         /// Merged sweep-engine counters over all leaves.
         stats: SweepStats,
+        /// Per-leaf-slot budget shares and cost accounting, in DFS order.
+        slots: Vec<PlanSlotReport>,
     },
     /// The budget ran out; `[r_low, r_high]` is a rigorous interval.
     Partial {
@@ -151,6 +237,8 @@ pub enum PlanOutcome {
         checkpoint: PlanCheckpoint,
         /// Merged sweep-engine counters for this slice of work.
         stats: SweepStats,
+        /// Per-leaf-slot budget shares and cost accounting, in DFS order.
+        slots: Vec<PlanSlotReport>,
     },
 }
 
@@ -163,6 +251,7 @@ pub struct DecompositionPlan {
     root_assignments: usize,
     max_k: usize,
     max_depth: usize,
+    recursive: bool,
     shape: u64,
     slots: usize,
 }
@@ -219,6 +308,7 @@ impl DecompositionPlan {
             root_assignments,
             max_k,
             max_depth: opts.max_depth,
+            recursive: opts.recursive_cut_sides,
             shape: h.finish(),
             slots,
         })
@@ -254,6 +344,11 @@ impl DecompositionPlan {
         self.max_depth
     }
 
+    /// `recursive_cut_sides` the plan was built with.
+    pub fn recursive_cut_sides(&self) -> bool {
+        self.recursive
+    }
+
     /// `max_k` recursive cut searches used.
     pub fn max_k(&self) -> usize {
         self.max_k
@@ -266,13 +361,20 @@ impl DecompositionPlan {
     }
 
     /// The plan's run report, shaped like the one-level engine's so callers
-    /// (and tests) keep seeing the root geometry.
-    pub fn report(&self, net: &Network, sweep: SweepStats) -> BottleneckReport {
+    /// (and tests) keep seeing the root geometry, plus per-slot budget and
+    /// cost accounting.
+    pub fn report(
+        &self,
+        net: &Network,
+        sweep: SweepStats,
+        slots: Vec<PlanSlotReport>,
+    ) -> BottleneckReport {
         BottleneckReport {
             set: self.root_set.clone(),
             assignment_count: self.root_assignments,
             alpha: self.root_set.alpha(net.edge_count()),
             sweep,
+            plan_slots: slots,
         }
     }
 
@@ -291,7 +393,9 @@ impl DecompositionPlan {
     }
 
     /// Executes the plan bottom-up under `opts.budget`, optionally resuming
-    /// from a checkpoint produced by an earlier interrupted execution.
+    /// from a checkpoint produced by an earlier interrupted execution. The
+    /// budget is apportioned across subtrees proportional to their
+    /// remaining predicted cost (see the module docs).
     pub fn execute(
         &self,
         opts: &CalcOptions,
@@ -311,43 +415,62 @@ impl DecompositionPlan {
                     self.slots
                 )));
             }
+            // Shares are informational (recomputed from remaining work), so
+            // an empty list is tolerated; a wrong-length one is corruption.
+            if !ck.shares.is_empty() && ck.shares.len() != self.slots {
+                return Err(mismatch(format!(
+                    "checkpoint carries {} budget shares, plan has {} slots",
+                    ck.shares.len(),
+                    self.slots
+                )));
+            }
         }
-        let slots: Vec<Mutex<LeafSlot>> = (0..self.slots)
+        let mut infos = Vec::new();
+        collect_slots(&self.root, resume, &mut infos);
+        debug_assert_eq!(infos.len(), self.slots, "slot walk must match number()");
+        let total_rem: f64 = infos.iter().map(|i| i.predicted).sum();
+        let shares: Vec<f64> = infos
+            .iter()
             .map(|i| {
-                let state = match resume {
-                    Some(ck) => ck.leaves[i].clone(),
-                    None => PlanLeafState::Fresh,
-                };
-                let explored = match &state {
-                    PlanLeafState::Done { .. } => 1.0,
-                    _ => 0.0,
-                };
-                Mutex::new(LeafSlot {
-                    state,
-                    explored,
-                    stats: SweepStats::default(),
-                })
+                if total_rem > 0.0 {
+                    i.predicted / total_rem
+                } else {
+                    0.0
+                }
             })
             .collect();
         let sentinel = opts.budget.start();
-        let ctx = ExecCtx {
-            opts,
-            sentinel: &sentinel,
-            slots: &slots,
-        };
-        let eval = exec_node(&self.root, &ctx)?;
-        let slots: Vec<LeafSlot> = slots
-            .into_iter()
-            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
-            .collect();
+        let ctx = ExecCtx { opts, resume };
+        let SubtreeOut { eval, slots } = exec_node(&self.root, &ctx, &sentinel)?;
+        if slots.len() != self.slots {
+            return Err(mismatch(format!(
+                "execution produced {} leaf slots, plan numbered {}",
+                slots.len(),
+                self.slots
+            )));
+        }
         let mut stats = SweepStats::default();
         for s in &slots {
             stats.merge(&s.stats);
         }
+        let reports: Vec<PlanSlotReport> = infos
+            .iter()
+            .zip(&slots)
+            .enumerate()
+            .map(|(i, (info, s))| PlanSlotReport {
+                index: i,
+                kind: info.kind,
+                predicted: info.predicted,
+                share: shares[i],
+                configs: s.stats.configs,
+                explored: s.explored,
+            })
+            .collect();
         if eval.complete {
             return Ok(PlanOutcome::Complete {
                 reliability: eval.lo,
                 stats,
+                slots: reports,
             });
         }
         let explored = if slots.is_empty() {
@@ -364,24 +487,35 @@ impl DecompositionPlan {
                 root_cut: self.root_set.edges.clone(),
                 root_max_k: self.max_k,
                 max_depth: self.max_depth,
+                recursive_cut_sides: self.recursive,
                 shape: self.shape,
+                shares,
                 leaves: slots.into_iter().map(|s| s.state).collect(),
             },
             stats,
+            slots: reports,
         })
     }
 }
 
+/// Owned resume/accounting state of one leaf slot after execution.
 struct LeafSlot {
     state: PlanLeafState,
     explored: f64,
     stats: SweepStats,
 }
 
+/// Immutable execution context shared (read-only) by every subtree.
+#[derive(Clone, Copy)]
 struct ExecCtx<'a> {
     opts: &'a CalcOptions,
-    sentinel: &'a BudgetSentinel,
-    slots: &'a [Mutex<LeafSlot>],
+    resume: Option<&'a PlanCheckpoint>,
+}
+
+impl ExecCtx<'_> {
+    fn leaf_state(&self, index: usize) -> Option<&PlanLeafState> {
+        self.resume.and_then(|ck| ck.leaves.get(index))
+    }
 }
 
 /// A certified interval around a subtree's exact reliability.
@@ -392,81 +526,161 @@ struct Eval {
     complete: bool,
 }
 
-fn lock(m: &Mutex<LeafSlot>) -> std::sync::MutexGuard<'_, LeafSlot> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
+/// A subtree's evaluation plus its owned leaf slots in DFS order.
+struct SubtreeOut {
+    eval: Eval,
+    slots: Vec<LeafSlot>,
 }
 
-fn exec_node(node: &PlanNode, ctx: &ExecCtx<'_>) -> Result<Eval, ReliabilityError> {
+/// One side's (possibly peel-transformed) spectrum plus owned leaf slots.
+struct SideOut {
+    mass: Vec<f64>,
+    live: Vec<usize>,
+    complete: bool,
+    slots: Vec<LeafSlot>,
+}
+
+/// Splits a sentinel's whole remaining allowance between two subtrees,
+/// proportional to their remaining predicted costs. The parent retains
+/// nothing: until a child releases, refills only come from sibling
+/// releases, so the apportionment is a real partition of the allowance.
+fn fork2(sentinel: &BudgetSentinel, cost_a: f64, cost_b: f64) -> (BudgetSentinel, BudgetSentinel) {
+    if !sentinel.tracks_configs() {
+        // Untracked children share the parent's state (deadline/cancel
+        // still apply); apportioning would be meaningless.
+        return (sentinel.child(0), sentinel.child(0));
+    }
+    let avail = sentinel.remaining();
+    let total = cost_a + cost_b;
+    let frac = if total > 0.0 {
+        (cost_a / total).clamp(0.0, 1.0)
+    } else {
+        0.5
+    };
+    let share_a = (((avail as f64) * frac) as u64).min(avail);
+    let a = sentinel.child(share_a);
+    let b = sentinel.child(sentinel.remaining());
+    (a, b)
+}
+
+/// Runs two subtree thunks against their apportioned sentinels — serially
+/// in deterministic a-then-b order, or via rayon work stealing — releasing
+/// each child's unspent allowance the moment its subtree returns (the
+/// subtree is quiescent then, so the sibling can pick the refill up early).
+fn join2<A, B>(
+    parallel: bool,
+    sa: BudgetSentinel,
+    sb: BudgetSentinel,
+    fa: impl FnOnce(&BudgetSentinel) -> A + Send,
+    fb: impl FnOnce(&BudgetSentinel) -> B + Send,
+) -> (A, B)
+where
+    A: Send,
+    B: Send,
+{
+    if parallel {
+        rayon::join(
+            move || {
+                let out = fa(&sa);
+                sa.release();
+                out
+            },
+            move || {
+                let out = fb(&sb);
+                sb.release();
+                out
+            },
+        )
+    } else {
+        // Serial order is a-then-b: together with the engines' serial
+        // determinism this makes interrupted runs resume bit-identically.
+        let a = fa(&sa);
+        sa.release();
+        let b = fb(&sb);
+        sb.release();
+        (a, b)
+    }
+}
+
+fn exec_node(
+    node: &PlanNode,
+    ctx: &ExecCtx<'_>,
+    sentinel: &BudgetSentinel,
+) -> Result<SubtreeOut, ReliabilityError> {
     match node {
-        PlanNode::Const { value, .. } => Ok(Eval {
-            lo: *value,
-            hi: *value,
-            complete: true,
+        PlanNode::Const { value, .. } => Ok(SubtreeOut {
+            eval: Eval {
+                lo: *value,
+                hi: *value,
+                complete: true,
+            },
+            slots: Vec::new(),
         }),
         PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => {
-            exec_node(child, ctx)
+            exec_node(child, ctx, sentinel)
         }
         PlanNode::Bridge {
             up, left, right, ..
         } => {
-            let (l, r) = if ctx.opts.parallel {
-                rayon::join(|| exec_node(left, ctx), || exec_node(right, ctx))
-            } else {
-                // Serial order is left-then-right: together with the naive
-                // engine's serial determinism this makes interrupted runs
-                // resume bit-identically.
-                (exec_node(left, ctx), exec_node(right, ctx))
+            let (sa, sb) = fork2(
+                sentinel,
+                remaining_cost(left, ctx.resume),
+                remaining_cost(right, ctx.resume),
+            );
+            let (l, r) = join2(
+                ctx.opts.parallel,
+                sa,
+                sb,
+                |s| exec_node(left, ctx, s),
+                |s| exec_node(right, ctx, s),
+            );
+            let (mut l, r) = (l?, r?);
+            let eval = Eval {
+                lo: up * l.eval.lo * r.eval.lo,
+                hi: up * l.eval.hi * r.eval.hi,
+                complete: l.eval.complete && r.eval.complete,
             };
-            let (l, r) = (l?, r?);
-            Ok(Eval {
-                lo: up * l.lo * r.lo,
-                hi: up * l.hi * r.hi,
-                complete: l.complete && r.complete,
+            l.slots.extend(r.slots);
+            Ok(SubtreeOut {
+                eval,
+                slots: l.slots,
             })
         }
         PlanNode::Leaf(leaf) => {
-            let mut slot = lock(&ctx.slots[leaf.index]);
-            let prev = std::mem::replace(&mut slot.state, PlanLeafState::Fresh);
-            let resume = match prev {
-                PlanLeafState::Done { value } => {
-                    slot.state = PlanLeafState::Done { value };
-                    return Ok(Eval {
-                        lo: value,
-                        hi: value,
-                        complete: true,
-                    });
+            let resume = match ctx.leaf_state(leaf.index) {
+                Some(PlanLeafState::Done { value }) => {
+                    let value = *value;
+                    return Ok(done_slot(value));
                 }
-                PlanLeafState::Naive(ck) => Some(ck),
-                PlanLeafState::Fresh => None,
-                PlanLeafState::Cut { .. } => {
-                    return Err(mismatch("checkpoint stores a cut state for a naive leaf"))
+                Some(PlanLeafState::Naive(ck)) => Some(ck.clone()),
+                None | Some(PlanLeafState::Fresh) => None,
+                Some(_) => {
+                    return Err(mismatch(
+                        "checkpoint stores a foreign state for a naive leaf",
+                    ))
                 }
             };
             let out = reliability_naive_anytime_on(
                 &leaf.net,
                 leaf.demand,
                 ctx.opts,
-                ctx.sentinel,
+                sentinel,
                 resume.as_ref(),
             )?;
-            Ok(settle_naive(&mut slot, out))
+            Ok(settle_naive(out))
         }
         PlanNode::Cut(cut) => {
-            let mut slot = lock(&ctx.slots[cut.index]);
-            let prev = std::mem::replace(&mut slot.state, PlanLeafState::Fresh);
-            let resume = match prev {
-                PlanLeafState::Done { value } => {
-                    slot.state = PlanLeafState::Done { value };
-                    return Ok(Eval {
-                        lo: value,
-                        hi: value,
-                        complete: true,
-                    });
+            let resume = match ctx.leaf_state(cut.index) {
+                Some(PlanLeafState::Done { value }) => {
+                    let value = *value;
+                    return Ok(done_slot(value));
                 }
-                PlanLeafState::Cut { side_s, side_t } => Some((side_s, side_t)),
-                PlanLeafState::Fresh => None,
-                PlanLeafState::Naive(_) => {
-                    return Err(mismatch("checkpoint stores a naive state for a cut leaf"))
+                Some(PlanLeafState::Cut { side_s, side_t }) => {
+                    Some((side_s.clone(), side_t.clone()))
+                }
+                None | Some(PlanLeafState::Fresh) => None,
+                Some(_) => {
+                    return Err(mismatch("checkpoint stores a foreign state for a cut leaf"))
                 }
             };
             let out = reliability_bottleneck_anytime_on(
@@ -474,23 +688,25 @@ fn exec_node(node: &PlanNode, ctx: &ExecCtx<'_>) -> Result<Eval, ReliabilityErro
                 cut.demand,
                 &cut.set,
                 ctx.opts,
-                ctx.sentinel,
+                sentinel,
                 resume.as_ref().map(|(s, t)| (s.as_ref(), t.as_ref())),
             )?;
-            match out {
+            let (eval, slot) = match out {
                 BottleneckOutcome::Complete {
                     reliability,
                     report,
-                } => {
-                    slot.stats.merge(&report.sweep);
-                    slot.explored = 1.0;
-                    slot.state = PlanLeafState::Done { value: reliability };
-                    Ok(Eval {
+                } => (
+                    Eval {
                         lo: reliability,
                         hi: reliability,
                         complete: true,
-                    })
-                }
+                    },
+                    LeafSlot {
+                        state: PlanLeafState::Done { value: reliability },
+                        explored: 1.0,
+                        stats: report.sweep,
+                    },
+                ),
                 BottleneckOutcome::Partial {
                     r_low,
                     r_high,
@@ -498,57 +714,245 @@ fn exec_node(node: &PlanNode, ctx: &ExecCtx<'_>) -> Result<Eval, ReliabilityErro
                     side_s,
                     side_t,
                     report,
-                } => {
-                    slot.stats.merge(&report.sweep);
-                    slot.explored = explored;
-                    slot.state = PlanLeafState::Cut { side_s, side_t };
-                    Ok(Eval {
+                } => (
+                    Eval {
                         lo: r_low,
                         hi: r_high,
                         complete: false,
-                    })
-                }
-            }
+                    },
+                    LeafSlot {
+                        state: PlanLeafState::Cut { side_s, side_t },
+                        explored,
+                        stats: report.sweep,
+                    },
+                ),
+            };
+            Ok(SubtreeOut {
+                eval,
+                slots: vec![slot],
+            })
         }
+        PlanNode::DeepCut(dc) => exec_deepcut(dc, ctx, sentinel),
     }
 }
 
-fn settle_naive(slot: &mut LeafSlot, out: NaiveOutcome) -> Eval {
+/// A leaf already finished by an earlier run: its value passes through and
+/// its slot stays `Done`.
+fn done_slot(value: f64) -> SubtreeOut {
+    SubtreeOut {
+        eval: Eval {
+            lo: value,
+            hi: value,
+            complete: true,
+        },
+        slots: vec![LeafSlot {
+            state: PlanLeafState::Done { value },
+            explored: 1.0,
+            stats: SweepStats::default(),
+        }],
+    }
+}
+
+fn settle_naive(out: NaiveOutcome) -> SubtreeOut {
     match out {
-        NaiveOutcome::Complete { reliability, stats } => {
-            slot.stats.merge(&stats);
-            slot.explored = 1.0;
-            slot.state = PlanLeafState::Done { value: reliability };
-            Eval {
+        NaiveOutcome::Complete { reliability, stats } => SubtreeOut {
+            eval: Eval {
                 lo: reliability,
                 hi: reliability,
                 complete: true,
-            }
-        }
+            },
+            slots: vec![LeafSlot {
+                state: PlanLeafState::Done { value: reliability },
+                explored: 1.0,
+                stats,
+            }],
+        },
         NaiveOutcome::Partial {
             r_low,
             r_high,
             explored,
             checkpoint,
             stats,
-        } => {
-            slot.stats.merge(&stats);
-            slot.explored = explored;
-            slot.state = PlanLeafState::Naive(checkpoint);
-            Eval {
+        } => SubtreeOut {
+            eval: Eval {
                 lo: r_low,
                 hi: r_high,
                 complete: false,
+            },
+            slots: vec![LeafSlot {
+                state: PlanLeafState::Naive(checkpoint),
+                explored,
+                stats,
+            }],
+        },
+    }
+}
+
+fn exec_deepcut(
+    dc: &DeepCutNode,
+    ctx: &ExecCtx<'_>,
+    sentinel: &BudgetSentinel,
+) -> Result<SubtreeOut, ReliabilityError> {
+    let opts = ctx.opts;
+    let dn = dc.assignments.len();
+    let (sa, sb) = fork2(
+        sentinel,
+        side_remaining(&dc.side_s, ctx.resume),
+        side_remaining(&dc.side_t, ctx.resume),
+    );
+    let (s, t) = join2(
+        opts.parallel,
+        sa,
+        sb,
+        |sent| exec_side(&dc.side_s, dc, ctx, sent),
+        |sent| exec_side(&dc.side_t, dc, ctx, sent),
+    );
+    let (s, t) = (s?, t?);
+    let eval = if s.complete && t.complete {
+        let r = combine(
+            &dc.cut_weights,
+            &dc.support,
+            &s.mass,
+            &t.mass,
+            dn,
+            opts.accumulation,
+        );
+        Eval {
+            lo: r,
+            hi: r,
+            complete: true,
+        }
+    } else {
+        let explored_mass = |mass: &[f64]| mass.iter().sum::<f64>().clamp(0.0, 1.0);
+        let live_mask = |live: &[usize]| live.iter().fold(0u32, |a, &j| a | 1 << j);
+        let (sum_s, sum_t) = (explored_mass(&s.mass), explored_mass(&t.mass));
+        let (lo, hi) = combine_interval(
+            &dc.cut_weights,
+            &dc.support,
+            &s.mass,
+            &(1.0 - sum_s).max(0.0),
+            live_mask(&s.live),
+            &t.mass,
+            &(1.0 - sum_t).max(0.0),
+            live_mask(&t.live),
+            dn,
+            opts.accumulation,
+        );
+        let lo = lo.clamp(0.0, 1.0);
+        Eval {
+            lo,
+            hi: hi.clamp(lo, 1.0),
+            complete: false,
+        }
+    };
+    let mut slots = s.slots;
+    slots.extend(t.slots);
+    Ok(SubtreeOut { eval, slots })
+}
+
+fn exec_side(
+    sp: &SidePlan,
+    dc: &DeepCutNode,
+    ctx: &ExecCtx<'_>,
+    sentinel: &BudgetSentinel,
+) -> Result<SideOut, ReliabilityError> {
+    match sp {
+        SidePlan::Sweep(sw) => exec_sweep(sw, dc, ctx, sentinel),
+        SidePlan::Peel { up, scalar, inner } => {
+            let (sa, sb) = fork2(
+                sentinel,
+                remaining_cost(scalar, ctx.resume),
+                side_remaining(inner, ctx.resume),
+            );
+            let (a, b) = join2(
+                ctx.opts.parallel,
+                sa,
+                sb,
+                |sent| exec_node(scalar, ctx, sent),
+                |sent| exec_side(inner, dc, ctx, sent),
+            );
+            let (a, mut b) = (a?, b?);
+            // Peel transform (see the module docs): pointwise-exact when
+            // both parts are complete, pointwise underestimate plus a
+            // nonnegative residual otherwise.
+            let m0 = b.mass[0];
+            for v in b.mass.iter_mut() {
+                *v *= up * a.eval.lo;
             }
+            b.mass[0] = (1.0 - up * a.eval.hi * (1.0 - m0)).max(0.0);
+            b.complete = b.complete && a.eval.complete;
+            let mut slots = a.slots;
+            slots.extend(b.slots);
+            b.slots = slots;
+            Ok(b)
         }
     }
 }
 
+fn exec_sweep(
+    sw: &SweepNode,
+    dc: &DeepCutNode,
+    ctx: &ExecCtx<'_>,
+    sentinel: &BudgetSentinel,
+) -> Result<SideOut, ReliabilityError> {
+    let opts = ctx.opts;
+    let dn = dc.assignments.len();
+    let mut oracle = SideOracle::new(&sw.side, &dc.assignments, opts.solver)?;
+    let m = oracle.edge_count();
+    let (live, res) = match ctx.leaf_state(sw.index) {
+        None | Some(PlanLeafState::Fresh) => {
+            let live: Vec<usize> = (0..dn)
+                .filter(|&j| !opts.prune_infeasible_assignments || oracle.feasible_at_best(j))
+                .collect();
+            (live, None)
+        }
+        Some(PlanLeafState::Side(ck)) => {
+            let (live, part) = side_resume(ck, "side-sweep", m, dn)?;
+            (live, Some(part))
+        }
+        Some(_) => {
+            return Err(mismatch(
+                "checkpoint stores a foreign state for a sweep leaf",
+            ))
+        }
+    };
+    let weights = edge_weights(&sw.side.net);
+    let cfg = SweepConfig::from_opts(opts);
+    let (part, stats) = sweep_spectrum_budgeted(&oracle, &live, &weights, dn, &cfg, sentinel, res);
+    let complete = part.is_complete();
+    let total = 1u64 << m;
+    let explored = 1.0 - part.remaining_configs() as f64 / total as f64;
+    let mass = part.mass.clone();
+    // Even a completed sweep stays a `Side` state (with nothing remaining):
+    // the parent cut needs the mass vector, not a scalar, so `Done` never
+    // applies to sweep slots. Resuming a completed sweep is a no-op.
+    let state = PlanLeafState::Side(Box::new(SideCheckpoint {
+        cursor: SweepCursor {
+            total,
+            remaining: part.remaining,
+        },
+        live: live.clone(),
+        mass: part.mass,
+        certs: part.certs,
+    }));
+    Ok(SideOut {
+        mass,
+        live,
+        complete,
+        slots: vec![LeafSlot {
+            state,
+            explored,
+            stats,
+        }],
+    })
+}
+
 /// Builds the node for a split on an explicit, validated set. Emits a
 /// [`PlanNode::Bridge`] (recursing into the sides) when the assignment set
-/// is a single all-nonnegative assignment and depth remains; otherwise a
-/// [`PlanNode::Cut`] for the one-level engine, after checking the same
-/// enumeration bounds that engine would.
+/// is a single all-nonnegative assignment and depth remains; otherwise
+/// tries a [`PlanNode::DeepCut`] with recursively decomposed sides, falling
+/// back to a [`PlanNode::Cut`] for the one-level engine — after checking
+/// the same enumeration bounds that engine would.
 fn split_node(
     net: &Network,
     demand: FlowDemand,
@@ -585,7 +989,7 @@ fn split_node(
             right: Box::new(right),
         });
     }
-    // One-level engine: check its enumeration bounds at plan time, so the
+    // One-level engine bounds: checked at plan time either way, so the
     // caller learns the plan is infeasible before any budget is spent.
     if assignments.len() > opts.max_assignments || assignments.len() > 31 {
         return Err(ReliabilityError::TooManyAssignments {
@@ -600,6 +1004,11 @@ fn split_node(
             max: opts.max_side_edges,
         });
     }
+    if opts.recursive_cut_sides && depth > 0 && set.edges.len() <= 16 {
+        if let Some(node) = deep_cut_node(net, demand, set, &assignments, depth, opts, max_k)? {
+            return Ok(node);
+        }
+    }
     Ok(PlanNode::Cut(Box::new(CutNode {
         net: net.clone(),
         demand,
@@ -607,6 +1016,250 @@ fn split_node(
         assignments: assignments.len(),
         index: 0,
     })))
+}
+
+/// Tries to build a [`PlanNode::DeepCut`] by peeling both sides. Returns
+/// `None` when neither side peels — a plain `Cut` then executes the same
+/// work with less machinery (and keeps the PR 5 plan shapes, so existing
+/// checkpoints stay resumable).
+fn deep_cut_node(
+    net: &Network,
+    demand: FlowDemand,
+    set: &BottleneckSet,
+    assignments: &[Assignment],
+    depth: usize,
+    opts: &CalcOptions,
+    max_k: usize,
+) -> Result<Option<PlanNode>, ReliabilityError> {
+    let dec = decompose(net, &demand, set);
+    let side_s = peel_side(
+        dec.side_s,
+        assignments,
+        demand.demand,
+        depth - 1,
+        opts,
+        max_k,
+    )?;
+    let side_t = peel_side(
+        dec.side_t,
+        assignments,
+        demand.demand,
+        depth - 1,
+        opts,
+        max_k,
+    )?;
+    if matches!(side_s, SidePlan::Sweep(_)) && matches!(side_t, SidePlan::Sweep(_)) {
+        return Ok(None);
+    }
+    let weights = edge_weights(net);
+    let cut_weights: Vec<(f64, f64)> = dec.cut.iter().map(|&e| weights[e.index()]).collect();
+    let support = supported_assignment_masks(assignments, set.edges.len());
+    Ok(Some(PlanNode::DeepCut(Box::new(DeepCutNode {
+        set: set.clone(),
+        assignments: assignments.to_vec(),
+        cut_weights,
+        support,
+        side_s,
+        side_t,
+    }))))
+}
+
+/// Recursively decomposes one side of a cut. Searches the side (augmented
+/// with a perfect super-terminal standing for the cut) for an internal
+/// *peel cut* that separates the side's terminal from every attach point
+/// with a unique all-nonnegative crossing `x'`; when one is found, the
+/// side factors into a scalar subtree (the terminal part delivering `x'`)
+/// times a smaller residual side, and the residual recurses. Falls back to
+/// sweeping the side whole.
+fn peel_side(
+    side: Side,
+    assignments: &[Assignment],
+    d: u64,
+    depth: usize,
+    opts: &CalcOptions,
+    max_k: usize,
+) -> Result<SidePlan, ReliabilityError> {
+    let dn = assignments.len();
+    let sweep = |side: Side| SidePlan::Sweep(Box::new(SweepNode { side, dn, index: 0 }));
+    if depth == 0 || side.net.edge_count() < PEEL_MIN_EDGES || side.attach.is_empty() {
+        return Ok(sweep(side));
+    }
+    let m = side.net.edge_count();
+    // Augment the side with a super-terminal `aug` joined to the attach
+    // points by perfect links whose capacities cover every assignment's
+    // positive *and* negative amounts, so every assignment's side routing
+    // embeds in the augmented network — the property the uniqueness
+    // argument below rests on.
+    let n_attach = side.attach.len();
+    let mut pos = vec![0i64; n_attach];
+    let mut neg = vec![0i64; n_attach];
+    for a in assignments {
+        for (i, &x) in a.amounts.iter().enumerate() {
+            pos[i] = pos[i].max(x);
+            neg[i] = neg[i].max(-x);
+        }
+    }
+    let aug = NodeId(side.net.node_count() as u32);
+    let mut b = netgraph::NetworkBuilder::with_nodes(side.net.kind(), side.net.node_count() + 1);
+    for e in side.net.edges() {
+        b.add_edge(e.src, e.dst, e.capacity, e.fail_prob)?;
+    }
+    for i in 0..n_attach {
+        match side.net.kind() {
+            GraphKind::Undirected => {
+                let cap = pos[i].max(neg[i]);
+                if cap > 0 {
+                    b.add_perfect_edge(side.attach[i], aug, cap as u64)?;
+                }
+            }
+            GraphKind::Directed => {
+                let (fwd, rev) = if side.is_source_side {
+                    ((side.attach[i], aug), (aug, side.attach[i]))
+                } else {
+                    ((aug, side.attach[i]), (side.attach[i], aug))
+                };
+                if pos[i] > 0 {
+                    b.add_perfect_edge(fwd.0, fwd.1, pos[i] as u64)?;
+                }
+                if neg[i] > 0 {
+                    b.add_perfect_edge(rev.0, rev.1, neg[i] as u64)?;
+                }
+            }
+        }
+    }
+    let aug_net = b.build();
+    let (from, to) = if side.is_source_side {
+        (side.terminal, aug)
+    } else {
+        (aug, side.terminal)
+    };
+    let aug_demand = FlowDemand::new(from, to, d);
+    let Ok(mut sets) = find_all_bottleneck_sets(&aug_net, from, to, max_k) else {
+        return Ok(sweep(side));
+    };
+    // Prefer balanced, small peel cuts: they shave the most off the sweep
+    // exponent per unit of scalar-subtree work.
+    sets.sort_by_key(|c| (c.side_s_edges.max(c.side_t_edges), c.k()));
+    for cand in sets {
+        // Peel cuts must consist of original side links (never the perfect
+        // attach links, whose aliveness is not part of the side spectrum).
+        if cand.edges.iter().any(|e| e.index() >= m) {
+            continue;
+        }
+        // In the augmented flow direction, `side_s` holds `from` and
+        // `side_t` holds `to`; the terminal part is the one with the
+        // side's own terminal, the residual part the one with `aug`.
+        let (term_edges, b_part_nodes) = if side.is_source_side {
+            (cand.side_s_edges, &cand.side_t_nodes)
+        } else {
+            (cand.side_t_edges, &cand.side_s_nodes)
+        };
+        if term_edges == 0 {
+            // The residual side would not shrink.
+            continue;
+        }
+        // The peel is exact only when the crossing is unique and
+        // all-nonnegative; check in the exact net model regardless of the
+        // caller's assignment model (`ForwardOnly` could miss crossings
+        // and "prove" a spurious uniqueness).
+        let ranges = crossing_ranges(
+            &aug_net,
+            &cand.edges,
+            &cand.forward_oriented,
+            d,
+            AssignmentModel::Net,
+        );
+        let unique = enumerate_assignments(d, &ranges);
+        if unique.len() != 1 || unique[0].amounts.iter().any(|&x| x < 0) {
+            continue;
+        }
+        let xp = &unique[0].amounts;
+        // Terminal part: a standalone scalar subproblem (probability the
+        // part delivers `x'` across the peel cut), planned recursively.
+        let pdec = decompose(&aug_net, &aug_demand, &cand);
+        let a_side = if side.is_source_side {
+            &pdec.side_s
+        } else {
+            &pdec.side_t
+        };
+        let (a_net, a_demand) = side_subproblem(a_side, xp, d)?;
+        let scalar = match build_node(&a_net, a_demand, depth, opts, max_k) {
+            Ok(node) => node,
+            // The scalar subproblem exceeds an enumeration bound; another
+            // candidate may still fit.
+            Err(
+                ReliabilityError::TooManyAssignments { .. }
+                | ReliabilityError::SideTooLarge { .. }
+                | ReliabilityError::TooManyEdges { .. }
+                | ReliabilityError::EdgeMaskOverflow { .. },
+            ) => continue,
+            Err(e) => return Err(e),
+        };
+        // Residual part: the original attach points with the peel cut
+        // replaced by a perfect super-terminal delivering `x'`. Peel-cut
+        // links with `x'_j = 0` are forced to carry nothing and vanish
+        // (their aliveness marginalizes out of the spectrum); links with
+        // `x'_j ≠ 0` contribute the `up` factor.
+        let b_core: Vec<NodeId> = b_part_nodes.iter().copied().filter(|&n| n != aug).collect();
+        let (sub, map, _) = side.net.induced(&b_core, None);
+        let t_new = NodeId(sub.node_count() as u32);
+        let mut bb = netgraph::NetworkBuilder::with_nodes(sub.kind(), sub.node_count() + 1);
+        let mut builder_ok = true;
+        for e in sub.edges() {
+            bb.add_edge(e.src, e.dst, e.capacity, e.fail_prob)?;
+        }
+        let mut up = 1.0;
+        for (j, &e) in cand.edges.iter().enumerate() {
+            if xp[j] == 0 {
+                continue;
+            }
+            let edge = side.net.edge(e);
+            up *= 1.0 - edge.fail_prob;
+            let inside = if b_core.contains(&edge.src) {
+                edge.src
+            } else {
+                edge.dst
+            };
+            let Some(mapped) = map.get(inside) else {
+                builder_ok = false;
+                break;
+            };
+            if side.is_source_side {
+                bb.add_perfect_edge(t_new, mapped, xp[j] as u64)?;
+            } else {
+                bb.add_perfect_edge(mapped, t_new, xp[j] as u64)?;
+            }
+        }
+        if !builder_ok {
+            continue;
+        }
+        let b_net = bb.build();
+        if b_net.edge_count() > opts.max_side_edges {
+            continue;
+        }
+        // Attach points carrying zero in every assignment may sit in the
+        // terminal part; their node choice is irrelevant (zero production),
+        // so they fall back to the super-terminal.
+        let attach: Vec<NodeId> = side
+            .attach
+            .iter()
+            .map(|&a| map.get(a).unwrap_or(t_new))
+            .collect();
+        let b_side = Side {
+            net: b_net,
+            edge_origin: Vec::new(),
+            terminal: t_new,
+            attach,
+            is_source_side: side.is_source_side,
+        };
+        let inner = peel_side(b_side, assignments, d, depth - 1, opts, max_k)?;
+        return Ok(SidePlan::Peel {
+            up,
+            scalar: Box::new(scalar),
+            inner: Box::new(inner),
+        });
+    }
+    Ok(sweep(side))
 }
 
 /// Recursively plans a subproblem: constant-folds decided cases, peels
@@ -761,8 +1414,8 @@ fn side_subproblem(
     Ok((b.build(), demand))
 }
 
-/// Assigns DFS slot indices to leaves (Leaf and Cut nodes) after the tree
-/// is final, so abandoned split attempts never leave gaps.
+/// Assigns DFS slot indices to leaves (Leaf, Cut, and side-sweep nodes)
+/// after the tree is final, so abandoned split attempts never leave gaps.
 fn number(node: &mut PlanNode, next: &mut usize) {
     match node {
         PlanNode::Leaf(l) => {
@@ -780,7 +1433,24 @@ fn number(node: &mut PlanNode, next: &mut usize) {
             number(left, next);
             number(right, next);
         }
+        PlanNode::DeepCut(dc) => {
+            number_side(&mut dc.side_s, next);
+            number_side(&mut dc.side_t, next);
+        }
         PlanNode::Const { .. } => {}
+    }
+}
+
+fn number_side(sp: &mut SidePlan, next: &mut usize) {
+    match sp {
+        SidePlan::Sweep(sw) => {
+            sw.index = *next;
+            *next += 1;
+        }
+        SidePlan::Peel { scalar, inner, .. } => {
+            number(scalar, next);
+            number_side(inner, next);
+        }
     }
 }
 
@@ -837,6 +1507,35 @@ fn hash_node(node: &PlanNode, h: &mut Fnv1a) {
             h.write(c.net.edge_count() as u64);
             h.write(c.demand.demand);
         }
+        PlanNode::DeepCut(dc) => {
+            h.write(7);
+            h.write(dc.set.edges.len() as u64);
+            for e in &dc.set.edges {
+                h.write(e.0 as u64);
+            }
+            h.write(dc.assignments.len() as u64);
+            hash_side(&dc.side_s, h);
+            hash_side(&dc.side_t, h);
+        }
+    }
+}
+
+fn hash_side(sp: &SidePlan, h: &mut Fnv1a) {
+    match sp {
+        SidePlan::Sweep(sw) => {
+            h.write(8);
+            h.write(sw.side.net.edge_count() as u64);
+            h.write(sw.side.net.node_count() as u64);
+            h.write(sw.side.attach.len() as u64);
+            h.write(sw.side.terminal.0 as u64);
+            h.write(sw.side.is_source_side as u64);
+        }
+        SidePlan::Peel { up, scalar, inner } => {
+            h.write(9);
+            h.write(up.to_bits());
+            hash_node(scalar, h);
+            hash_side(inner, h);
+        }
     }
 }
 
@@ -849,6 +1548,105 @@ fn cost(node: &PlanNode) -> f64 {
         PlanNode::Cut(c) => {
             let side = |m: usize| (1u64 << m.min(63)) as f64;
             c.assignments as f64 * (side(c.set.side_s_edges) + side(c.set.side_t_edges))
+        }
+        PlanNode::DeepCut(dc) => side_cost(&dc.side_s) + side_cost(&dc.side_t),
+    }
+}
+
+fn side_cost(sp: &SidePlan) -> f64 {
+    match sp {
+        SidePlan::Sweep(sw) => sw.dn as f64 * (1u64 << sw.side.net.edge_count().min(63)) as f64,
+        SidePlan::Peel { scalar, inner, .. } => cost(scalar) + side_cost(inner),
+    }
+}
+
+/// Resume-aware remaining cost: like [`cost`], but leaves already finished
+/// (or partially swept) by a previous run count only their leftover work.
+/// This is what budget forks apportion on, so finished subtrees get
+/// nothing and partially-done ones get their fair remainder.
+fn remaining_cost(node: &PlanNode, resume: Option<&PlanCheckpoint>) -> f64 {
+    let state = |i: usize| resume.and_then(|ck| ck.leaves.get(i));
+    match node {
+        PlanNode::Const { .. } => 0.0,
+        PlanNode::Leaf(l) => match state(l.index) {
+            Some(PlanLeafState::Done { .. }) => 0.0,
+            Some(PlanLeafState::Naive(ck)) => ck.cursor.remaining_configs() as f64,
+            _ => (1u64 << l.fallible.min(63)) as f64,
+        },
+        PlanNode::Cut(c) => match state(c.index) {
+            Some(PlanLeafState::Done { .. }) => 0.0,
+            Some(PlanLeafState::Cut { side_s, side_t }) => {
+                side_s.live.len().max(1) as f64 * side_s.cursor.remaining_configs() as f64
+                    + side_t.live.len().max(1) as f64 * side_t.cursor.remaining_configs() as f64
+            }
+            _ => cost(node),
+        },
+        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => {
+            remaining_cost(child, resume)
+        }
+        PlanNode::Bridge { left, right, .. } => {
+            remaining_cost(left, resume) + remaining_cost(right, resume)
+        }
+        PlanNode::DeepCut(dc) => {
+            side_remaining(&dc.side_s, resume) + side_remaining(&dc.side_t, resume)
+        }
+    }
+}
+
+fn side_remaining(sp: &SidePlan, resume: Option<&PlanCheckpoint>) -> f64 {
+    match sp {
+        SidePlan::Sweep(sw) => match resume.and_then(|ck| ck.leaves.get(sw.index)) {
+            Some(PlanLeafState::Side(ck)) => {
+                ck.live.len().max(1) as f64 * ck.cursor.remaining_configs() as f64
+            }
+            _ => side_cost(sp),
+        },
+        SidePlan::Peel { scalar, inner, .. } => {
+            remaining_cost(scalar, resume) + side_remaining(inner, resume)
+        }
+    }
+}
+
+/// Per-slot reporting info, gathered in the same DFS order as [`number`].
+struct SlotInfo {
+    kind: &'static str,
+    predicted: f64,
+}
+
+fn collect_slots(node: &PlanNode, resume: Option<&PlanCheckpoint>, out: &mut Vec<SlotInfo>) {
+    match node {
+        PlanNode::Const { .. } => {}
+        PlanNode::Leaf(_) => out.push(SlotInfo {
+            kind: "naive",
+            predicted: remaining_cost(node, resume),
+        }),
+        PlanNode::Cut(_) => out.push(SlotInfo {
+            kind: "cut",
+            predicted: remaining_cost(node, resume),
+        }),
+        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => {
+            collect_slots(child, resume, out)
+        }
+        PlanNode::Bridge { left, right, .. } => {
+            collect_slots(left, resume, out);
+            collect_slots(right, resume, out);
+        }
+        PlanNode::DeepCut(dc) => {
+            collect_side_slots(&dc.side_s, resume, out);
+            collect_side_slots(&dc.side_t, resume, out);
+        }
+    }
+}
+
+fn collect_side_slots(sp: &SidePlan, resume: Option<&PlanCheckpoint>, out: &mut Vec<SlotInfo>) {
+    match sp {
+        SidePlan::Sweep(_) => out.push(SlotInfo {
+            kind: "sweep",
+            predicted: side_remaining(sp, resume),
+        }),
+        SidePlan::Peel { scalar, inner, .. } => {
+            collect_slots(scalar, resume, out);
+            collect_side_slots(inner, resume, out);
         }
     }
 }
@@ -904,6 +1702,38 @@ fn render_node(node: &PlanNode, indent: usize, out: &mut String) {
                 cost(node)
             ));
         }
+        PlanNode::DeepCut(dc) => {
+            let ids: Vec<String> = dc.set.edges.iter().map(|e| e.0.to_string()).collect();
+            out.push_str(&format!(
+                "{pad}deep-cut [{}]: {} links, |D|={}, ~{:.3e} configs\n",
+                ids.join(","),
+                dc.set.edges.len(),
+                dc.assignments.len(),
+                cost(node)
+            ));
+            render_side(&dc.side_s, indent + 1, out);
+            render_side(&dc.side_t, indent + 1, out);
+        }
+    }
+}
+
+fn render_side(sp: &SidePlan, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match sp {
+        SidePlan::Sweep(sw) => {
+            out.push_str(&format!(
+                "{pad}sweep #{}: {} links, |D|={}, ~{:.3e} configs\n",
+                sw.index,
+                sw.side.net.edge_count(),
+                sw.dn,
+                side_cost(sp)
+            ));
+        }
+        SidePlan::Peel { up, scalar, inner } => {
+            out.push_str(&format!("{pad}peel up={up:.6}\n"));
+            render_node(scalar, indent + 1, out);
+            render_side(inner, indent + 1, out);
+        }
     }
 }
 
@@ -937,6 +1767,27 @@ mod tests {
         }
         let net = b.build();
         (net, FlowDemand::new(first.unwrap(), last.unwrap(), 1))
+    }
+
+    /// Two triangles joined through a 2-link parallel hub: the balanced cut
+    /// is the hub pair (|D| = 2, no bridge), and each side then peels at
+    /// its own internal bridge — the smallest instance exercising
+    /// [`PlanNode::DeepCut`] with nested peels on both sides.
+    fn hub_barbell(p: f64) -> (Network, FlowDemand) {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(8);
+        b.add_edge(n[0], n[1], 2, p).unwrap();
+        b.add_edge(n[1], n[2], 2, p).unwrap();
+        b.add_edge(n[2], n[0], 2, p).unwrap();
+        b.add_edge(n[2], n[3], 2, p).unwrap();
+        b.add_edge(n[3], n[4], 1, p).unwrap();
+        b.add_edge(n[3], n[4], 1, p).unwrap();
+        b.add_edge(n[4], n[5], 2, p).unwrap();
+        b.add_edge(n[5], n[6], 2, p).unwrap();
+        b.add_edge(n[6], n[7], 2, p).unwrap();
+        b.add_edge(n[7], n[5], 2, p).unwrap();
+        let net = b.build();
+        (net, FlowDemand::new(n[0], n[6], 1))
     }
 
     fn plan_for_k(
@@ -1087,7 +1938,9 @@ mod tests {
             root_cut: plan.root_set().edges.clone(),
             root_max_k: plan.max_k(),
             max_depth: plan.max_depth(),
+            recursive_cut_sides: plan.recursive_cut_sides(),
             shape: plan.shape() ^ 1,
+            shares: Vec::new(),
             leaves: vec![PlanLeafState::Fresh; plan.leaf_count()],
         };
         assert!(plan.execute(&opts, Some(&ck)).is_err());
@@ -1123,5 +1976,153 @@ mod tests {
         let r = run_complete(&plan, &opts);
         let exact = reliability_naive(&net, demand, &opts).unwrap();
         assert!((r - exact).abs() < 1e-12, "plan {r} vs naive {exact}");
+    }
+
+    #[test]
+    fn deep_cut_plan_matches_naive_and_shrinks_cost() {
+        let (net, demand) = hub_barbell(0.1);
+        let opts = CalcOptions::default();
+        let plan = plan_for_k(&net, demand, &opts, 2);
+        assert!(
+            matches!(plan.root_node(), PlanNode::DeepCut(_)),
+            "hub barbell must deep-split: {}",
+            plan.render()
+        );
+        assert!(
+            plan.leaf_count() >= 3,
+            "peeled sides must add slots: {}",
+            plan.render()
+        );
+        let exact = reliability_naive(&net, demand, &opts).unwrap();
+        let r = run_complete(&plan, &opts);
+        assert!((r - exact).abs() < 1e-12, "deep plan {r} vs naive {exact}");
+        // The PR 5 planner (recursive cut sides off) sweeps the same cut
+        // whole; the deep plan must agree with it and predict less work.
+        let pr5 = CalcOptions {
+            recursive_cut_sides: false,
+            ..CalcOptions::default()
+        };
+        let flat = plan_for_k(&net, demand, &pr5, 2);
+        assert!(
+            matches!(flat.root_node(), PlanNode::Cut(_)),
+            "with recursion off the root must stay a plain cut"
+        );
+        let rf = run_complete(&flat, &pr5);
+        assert!(
+            (rf - exact).abs() < 1e-12,
+            "flat plan {rf} vs naive {exact}"
+        );
+        assert!(
+            plan.predicted_cost() < flat.predicted_cost(),
+            "deep {} vs flat {}",
+            plan.predicted_cost(),
+            flat.predicted_cost()
+        );
+    }
+
+    #[test]
+    fn deep_budgeted_execution_resumes_bit_identically() {
+        let (net, demand) = hub_barbell(0.15);
+        let opts = CalcOptions::default();
+        let plan = plan_for_k(&net, demand, &opts, 2);
+        assert!(matches!(plan.root_node(), PlanNode::DeepCut(_)));
+        let exact = run_complete(&plan, &opts);
+        let tiny = CalcOptions {
+            budget: Budget {
+                max_configs: Some(2),
+                ..Budget::unlimited()
+            },
+            ..CalcOptions::default()
+        };
+        let mut ck = match plan.execute(&tiny, None).unwrap() {
+            PlanOutcome::Partial {
+                r_low,
+                r_high,
+                checkpoint,
+                ..
+            } => {
+                assert!(r_low <= exact + 1e-15 && exact <= r_high + 1e-15);
+                checkpoint
+            }
+            PlanOutcome::Complete { .. } => panic!("tiny budget must interrupt"),
+        };
+        let mut finished = None;
+        for _ in 0..100_000 {
+            match plan.execute(&tiny, Some(&ck)).unwrap() {
+                PlanOutcome::Partial {
+                    r_low,
+                    r_high,
+                    checkpoint,
+                    ..
+                } => {
+                    assert!(
+                        r_low <= exact + 1e-15 && exact <= r_high + 1e-15,
+                        "[{r_low}, {r_high}] must enclose {exact}"
+                    );
+                    ck = checkpoint;
+                }
+                PlanOutcome::Complete { reliability, .. } => {
+                    finished = Some(reliability);
+                    break;
+                }
+            }
+        }
+        let resumed = finished.expect("resume loop must finish");
+        assert_eq!(
+            resumed.to_bits(),
+            exact.to_bits(),
+            "serial deep resume must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn parallel_deep_execution_agrees_with_serial() {
+        let (net, demand) = hub_barbell(0.12);
+        let serial = CalcOptions::default();
+        let parallel = CalcOptions {
+            parallel: true,
+            ..CalcOptions::default()
+        };
+        let plan = plan_for_k(&net, demand, &serial, 2);
+        assert!(matches!(plan.root_node(), PlanNode::DeepCut(_)));
+        let rs = run_complete(&plan, &serial);
+        let rp = run_complete(&plan, &parallel);
+        assert!(
+            (rs - rp).abs() < 1e-12,
+            "parallel {rp} vs serial {rs} must agree"
+        );
+    }
+
+    #[test]
+    fn partial_runs_report_budget_shares() {
+        let (net, demand) = hub_barbell(0.1);
+        let opts = CalcOptions::default();
+        let plan = plan_for_k(&net, demand, &opts, 2);
+        let tiny = CalcOptions {
+            budget: Budget {
+                max_configs: Some(2),
+                ..Budget::unlimited()
+            },
+            ..CalcOptions::default()
+        };
+        match plan.execute(&tiny, None).unwrap() {
+            PlanOutcome::Partial {
+                checkpoint, slots, ..
+            } => {
+                assert_eq!(checkpoint.shares.len(), plan.leaf_count());
+                let sum: f64 = checkpoint.shares.iter().sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "fresh shares must partition the budget, got {sum}"
+                );
+                assert_eq!(slots.len(), plan.leaf_count());
+                assert!(slots.iter().any(|s| s.kind == "sweep"));
+                for s in &slots {
+                    assert!((s.share - checkpoint.shares[s.index]).abs() < 1e-15);
+                    assert!(s.predicted >= 0.0);
+                }
+            }
+            PlanOutcome::Complete { .. } => panic!("tiny budget must interrupt"),
+        }
     }
 }

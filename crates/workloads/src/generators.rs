@@ -53,6 +53,16 @@ fn random_prob(rng: &mut StdRng) -> f64 {
     rng.gen_range(1..=24) as f64 / 64.0
 }
 
+/// Adds a generated edge. Generators only emit positive capacities and
+/// probabilities in `[0, 1)`, so a builder rejection is a generator bug,
+/// not an input error — hence panic rather than `Result` plumbing.
+fn push_edge(b: &mut NetworkBuilder, u: NodeId, v: NodeId, cap: u64, p: f64) -> EdgeId {
+    match b.add_edge(u, v, cap, p) {
+        Ok(e) => e,
+        Err(e) => panic!("generator produced an invalid edge: {e}"),
+    }
+}
+
 /// Builds one random connected cluster: a random spanning tree over
 /// `nodes` plus `extra` random chords. Returns the node ids.
 fn random_cluster(
@@ -66,8 +76,7 @@ fn random_cluster(
     for i in 1..nodes {
         let parent = rng.gen_range(0..i);
         let cap = rng.gen_range(cap_range.0..=cap_range.1);
-        b.add_edge(ids[parent], ids[i], cap, random_prob(rng))
-            .expect("valid edge");
+        push_edge(b, ids[parent], ids[i], cap, random_prob(rng));
     }
     let mut added = 0;
     while added < extra && nodes >= 2 {
@@ -77,8 +86,7 @@ fn random_cluster(
             continue; // redraw: the requested edge count is exact
         }
         let cap = rng.gen_range(cap_range.0..=cap_range.1);
-        b.add_edge(ids[u], ids[v], cap, random_prob(rng))
-            .expect("valid edge");
+        push_edge(b, ids[u], ids[v], cap, random_prob(rng));
         added += 1;
     }
     ids
@@ -117,15 +125,18 @@ pub fn barbell(params: BarbellParams) -> (Instance, Vec<EdgeId>) {
         let u = left[rng.gen_range(0..left.len())];
         let v = right[rng.gen_range(0..right.len())];
         let _ = i;
-        cut.push(
-            b.add_edge(u, v, params.cut_capacity, random_prob(&mut rng))
-                .expect("valid edge"),
-        );
+        cut.push(push_edge(
+            &mut b,
+            u,
+            v,
+            params.cut_capacity,
+            random_prob(&mut rng),
+        ));
     }
     let instance = Instance {
         net: b.build(),
         source: left[0],
-        sink: *right.last().expect("cluster is non-empty"),
+        sink: right[right.len() - 1],
         demand: params.demand,
     };
     (instance, cut)
@@ -143,18 +154,13 @@ pub fn bridge_chain(segments: usize, demand: u64, seed: u64) -> Instance {
         let a = b.add_node();
         let c = b.add_node();
         let d = b.add_node();
-        b.add_edge(prev, a, demand, random_prob(&mut rng))
-            .expect("valid edge");
-        b.add_edge(prev, c, demand, random_prob(&mut rng))
-            .expect("valid edge");
-        b.add_edge(a, d, demand, random_prob(&mut rng))
-            .expect("valid edge");
-        b.add_edge(c, d, demand, random_prob(&mut rng))
-            .expect("valid edge");
+        push_edge(&mut b, prev, a, demand, random_prob(&mut rng));
+        push_edge(&mut b, prev, c, demand, random_prob(&mut rng));
+        push_edge(&mut b, a, d, demand, random_prob(&mut rng));
+        push_edge(&mut b, c, d, demand, random_prob(&mut rng));
         if i + 1 < segments {
             let next = b.add_node();
-            b.add_edge(d, next, demand, random_prob(&mut rng))
-                .expect("valid edge");
+            push_edge(&mut b, d, next, demand, random_prob(&mut rng));
             prev = next;
         } else {
             prev = d;
@@ -184,18 +190,20 @@ pub fn chained_barbell(segments: usize, cluster_nodes: usize, demand: u64, seed:
     for _ in 0..segments {
         let ids = random_cluster(&mut b, cluster_nodes, 1, caps, &mut rng);
         if let Some(prev) = exit {
-            b.add_edge(prev, ids[0], demand.max(1), random_prob(&mut rng))
-                .expect("valid edge");
+            push_edge(&mut b, prev, ids[0], demand.max(1), random_prob(&mut rng));
         }
         if source.is_none() {
             source = Some(ids[0]);
         }
-        exit = Some(*ids.last().expect("cluster is non-empty"));
+        exit = Some(ids[ids.len() - 1]);
     }
+    let (Some(source), Some(sink)) = (source, exit) else {
+        panic!("at least one segment");
+    };
     Instance {
         net: b.build(),
-        source: source.expect("at least one segment"),
-        sink: exit.expect("at least one segment"),
+        source,
+        sink,
         demand,
     }
 }
@@ -220,12 +228,11 @@ pub fn nested_barbell(depth: usize, cluster_nodes: usize, demand: u64, seed: u64
     ) -> (NodeId, NodeId) {
         if d == 0 {
             let ids = random_cluster(b, cluster_nodes, 1, caps, rng);
-            return (ids[0], *ids.last().expect("cluster is non-empty"));
+            return (ids[0], ids[ids.len() - 1]);
         }
         let (entry, left_exit) = build(b, d - 1, cluster_nodes, caps, demand, rng);
         let (right_entry, exit) = build(b, d - 1, cluster_nodes, caps, demand, rng);
-        b.add_edge(left_exit, right_entry, demand.max(1), random_prob(rng))
-            .expect("valid edge");
+        push_edge(b, left_exit, right_entry, demand.max(1), random_prob(rng));
         (entry, exit)
     }
     let (source, sink) = build(&mut b, depth, cluster_nodes, caps, demand, &mut rng);
@@ -234,6 +241,100 @@ pub fn nested_barbell(depth: usize, cluster_nodes: usize, demand: u64, seed: u64
         source,
         sink,
         demand,
+    }
+}
+
+/// The deep planner's target family: two chains of `clusters_per_side`
+/// triangle clusters meet at a hub of `cut_width` parallel unit-capacity
+/// links. With demand 1 the hub is the balanced root bottleneck and admits
+/// `cut_width` one-hot assignments (a genuine multi-assignment cut, never a
+/// bridge), while every triangle-joining link inside a side is a nested
+/// peel cut with the unique crossing `x' = (1)` — so the recursive planner
+/// peels each side cluster by cluster into `~2·clusters_per_side + 2` leaf
+/// slots, where the one-level engine sweeps `2^(4·clusters_per_side)`
+/// configurations per side.
+///
+/// `s` sits at the far end of the left chain, `t` at the far end of the
+/// right chain. Needs a bottleneck search width of at least `cut_width`.
+pub fn kary_nested_cut(clusters_per_side: usize, cut_width: usize, seed: u64) -> Instance {
+    assert!(clusters_per_side >= 1);
+    assert!(cut_width >= 2, "width 1 would degenerate to a bridge");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    // One side: triangles chained by capacity-2 links, ending at a hub
+    // node. Returns (far terminal, hub).
+    let side = |b: &mut NetworkBuilder, rng: &mut StdRng| {
+        let mut entry = None;
+        let mut exit = None;
+        for _ in 0..clusters_per_side {
+            let t = b.add_nodes(3);
+            push_edge(b, t[0], t[1], 2, random_prob(rng));
+            push_edge(b, t[1], t[2], 2, random_prob(rng));
+            push_edge(b, t[2], t[0], 2, random_prob(rng));
+            if let Some(prev) = exit {
+                push_edge(b, prev, t[0], 2, random_prob(rng));
+            }
+            if entry.is_none() {
+                entry = Some(t[0]);
+            }
+            exit = Some(t[2]);
+        }
+        let hub = b.add_node();
+        let (Some(entry), Some(exit)) = (entry, exit) else {
+            panic!("at least one cluster per side");
+        };
+        push_edge(b, exit, hub, 2, random_prob(rng));
+        (entry, hub)
+    };
+    let (source, left_hub) = side(&mut b, &mut rng);
+    let (sink, right_hub) = side(&mut b, &mut rng);
+    for _ in 0..cut_width {
+        push_edge(&mut b, left_hub, right_hub, 1, random_prob(&mut rng));
+    }
+    Instance {
+        net: b.build(),
+        source,
+        sink,
+        demand: 1,
+    }
+}
+
+/// A mesh of barbells: `segments` four-node diamond meshes, consecutive
+/// meshes joined by *two* parallel unit-capacity links. At demand 2 every
+/// joining pair admits the single crossing `(1, 1)` — a width-2 bridge in
+/// the generalized Eq. 1 sense — so the planner chains `segments` leaf
+/// slots regardless of recursion settings: a wide coverage family for deep
+/// plans (dozens of leaves) rather than a speedup showcase.
+pub fn barbell_mesh(segments: usize, seed: u64) -> Instance {
+    assert!(segments >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let mut source = None;
+    let mut exit = None;
+    for _ in 0..segments {
+        let n = b.add_nodes(4);
+        push_edge(&mut b, n[0], n[1], 2, random_prob(&mut rng));
+        push_edge(&mut b, n[0], n[2], 2, random_prob(&mut rng));
+        push_edge(&mut b, n[1], n[3], 2, random_prob(&mut rng));
+        push_edge(&mut b, n[2], n[3], 2, random_prob(&mut rng));
+        push_edge(&mut b, n[1], n[2], 1, random_prob(&mut rng));
+        if let Some(prev) = exit {
+            push_edge(&mut b, prev, n[0], 1, random_prob(&mut rng));
+            push_edge(&mut b, prev, n[0], 1, random_prob(&mut rng));
+        }
+        if source.is_none() {
+            source = Some(n[0]);
+        }
+        exit = Some(n[3]);
+    }
+    let (Some(source), Some(sink)) = (source, exit) else {
+        panic!("at least two segments");
+    };
+    Instance {
+        net: b.build(),
+        source,
+        sink,
+        demand: 2,
     }
 }
 
@@ -247,12 +348,10 @@ pub fn grid(w: usize, h: usize, seed: u64) -> Instance {
         for x in 0..w {
             let me = ids[y * w + x];
             if x + 1 < w {
-                b.add_edge(me, ids[y * w + x + 1], 1, random_prob(&mut rng))
-                    .expect("valid edge");
+                push_edge(&mut b, me, ids[y * w + x + 1], 1, random_prob(&mut rng));
             }
             if y + 1 < h {
-                b.add_edge(me, ids[(y + 1) * w + x], 1, random_prob(&mut rng))
-                    .expect("valid edge");
+                push_edge(&mut b, me, ids[(y + 1) * w + x], 1, random_prob(&mut rng));
             }
         }
     }
@@ -278,8 +377,7 @@ pub fn er_random(n: usize, m: usize, max_cap: u64, seed: u64) -> Instance {
             v = (v + 1) % n;
         }
         let cap = rng.gen_range(1..=max_cap.max(1));
-        b.add_edge(ids[u], ids[v], cap, random_prob(&mut rng))
-            .expect("valid edge");
+        push_edge(&mut b, ids[u], ids[v], cap, random_prob(&mut rng));
     }
     Instance {
         net: b.build(),
@@ -371,6 +469,43 @@ mod tests {
         let b = nested_barbell(2, 4, 1, 9);
         for (x, y) in a.net.edges().iter().zip(b.net.edges()) {
             assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn kary_nested_cut_counts_and_connects() {
+        for c in 1..=4 {
+            let inst = kary_nested_cut(c, 2, 13);
+            // per side: 3 per triangle + (c - 1) joins + 1 hub link; + 2 cut
+            assert_eq!(inst.net.edge_count(), 2 * (4 * c) + 2);
+            assert_eq!(inst.demand, 1);
+            let whole = connected_components(&inst.net, |_| false);
+            assert_eq!(whole.count(), 1);
+            assert_ne!(inst.source, inst.sink);
+        }
+        let wide = kary_nested_cut(2, 3, 13);
+        assert_eq!(wide.net.edge_count(), 2 * 8 + 3);
+    }
+
+    #[test]
+    fn kary_nested_cut_is_deterministic() {
+        let a = kary_nested_cut(3, 2, 21);
+        let b = kary_nested_cut(3, 2, 21);
+        for (x, y) in a.net.edges().iter().zip(b.net.edges()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn barbell_mesh_counts_and_connects() {
+        for segments in 2..=9 {
+            let inst = barbell_mesh(segments, 17);
+            assert_eq!(inst.net.edge_count(), 5 * segments + 2 * (segments - 1));
+            assert_eq!(inst.demand, 2);
+            let whole = connected_components(&inst.net, |_| false);
+            assert_eq!(whole.count(), 1);
+            // no single-link bridge: every junction is a parallel pair
+            assert!(netgraph::find_bridges(&inst.net).is_empty());
         }
     }
 

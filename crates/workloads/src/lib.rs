@@ -15,4 +15,7 @@
 pub mod generators;
 pub mod paper;
 
-pub use generators::{barbell, bridge_chain, er_random, grid, Instance};
+pub use generators::{
+    barbell, barbell_mesh, bridge_chain, chained_barbell, er_random, grid, kary_nested_cut,
+    nested_barbell, Instance,
+};

@@ -4,6 +4,16 @@ use netgraph::{EdgeId, GraphKind, Network, NetworkBuilder, NodeId};
 
 use crate::generators::Instance;
 
+/// Adds a hard-coded paper edge. The literals below are all valid, so a
+/// builder rejection is a typo in this file — hence panic rather than
+/// `Result` plumbing.
+fn edge(b: &mut NetworkBuilder, u: NodeId, v: NodeId, cap: u64, p: f64) -> EdgeId {
+    match b.add_edge(u, v, cap, p) {
+        Ok(e) => e,
+        Err(e) => panic!("paper instance edge rejected: {e}"),
+    }
+}
+
 /// Fig. 2: a graph whose red link `e_9` is a bridge connecting `G_s` and
 /// `G_t`. The figure shows two four-node clusters; we instantiate each as a
 /// diamond with one chord, joined by the bridge.
@@ -13,18 +23,18 @@ pub fn fig2_bridge() -> (Instance, EdgeId) {
     let mut b = NetworkBuilder::new(GraphKind::Undirected);
     let n = b.add_nodes(8);
     // G_s: diamond s(0)-1-3, s-2-3 with chord 1-2
-    b.add_edge(n[0], n[1], 1, 0.10).unwrap(); // e0
-    b.add_edge(n[0], n[2], 1, 0.20).unwrap(); // e1
-    b.add_edge(n[1], n[3], 1, 0.15).unwrap(); // e2
-    b.add_edge(n[2], n[3], 1, 0.25).unwrap(); // e3
-    b.add_edge(n[1], n[2], 1, 0.30).unwrap(); // e4
-                                              // G_t: diamond 4-5-7, 4-6-7 with chord 5-6
-    b.add_edge(n[4], n[5], 1, 0.12).unwrap(); // e5
-    b.add_edge(n[4], n[6], 1, 0.22).unwrap(); // e6
-    b.add_edge(n[5], n[7], 1, 0.18).unwrap(); // e7
-    b.add_edge(n[6], n[7], 1, 0.28).unwrap(); // e8
-                                              // the bridge e9 (the figure's red link), capacity enough for the stream
-    let bridge = b.add_edge(n[3], n[4], 2, 0.05).unwrap();
+    edge(&mut b, n[0], n[1], 1, 0.10); // e0
+    edge(&mut b, n[0], n[2], 1, 0.20); // e1
+    edge(&mut b, n[1], n[3], 1, 0.15); // e2
+    edge(&mut b, n[2], n[3], 1, 0.25); // e3
+    edge(&mut b, n[1], n[2], 1, 0.30); // e4
+                                       // G_t: diamond 4-5-7, 4-6-7 with chord 5-6
+    edge(&mut b, n[4], n[5], 1, 0.12); // e5
+    edge(&mut b, n[4], n[6], 1, 0.22); // e6
+    edge(&mut b, n[5], n[7], 1, 0.18); // e7
+    edge(&mut b, n[6], n[7], 1, 0.28); // e8
+                                       // the bridge e9 (the figure's red link), capacity enough for the stream
+    let bridge = edge(&mut b, n[3], n[4], 2, 0.05);
     (
         Instance {
             net: b.build(),
@@ -66,15 +76,15 @@ pub fn fig4_parts() -> (Instance, Vec<EdgeId>, Vec<EdgeId>) {
     let v1 = b.add_node(); // 3
     let v2 = b.add_node(); // 4
     let t = b.add_node(); // 5
-    let c1 = b.add_edge(s, u1, 1, 0.10).unwrap();
-    let c2 = b.add_edge(s, u1, 1, 0.20).unwrap();
-    let c3 = b.add_edge(s, u2, 1, 0.15).unwrap();
-    let c4 = b.add_edge(s, u2, 1, 0.25).unwrap();
-    let c5 = b.add_edge(u1, u2, 1, 0.30).unwrap();
-    let e1 = b.add_edge(u1, v1, 2, 0.05).unwrap();
-    let e2 = b.add_edge(u2, v2, 2, 0.08).unwrap();
-    b.add_edge(v1, t, 2, 0.12).unwrap(); // d1
-    b.add_edge(v2, t, 2, 0.18).unwrap(); // d2
+    let c1 = edge(&mut b, s, u1, 1, 0.10);
+    let c2 = edge(&mut b, s, u1, 1, 0.20);
+    let c3 = edge(&mut b, s, u2, 1, 0.15);
+    let c4 = edge(&mut b, s, u2, 1, 0.25);
+    let c5 = edge(&mut b, u1, u2, 1, 0.30);
+    let e1 = edge(&mut b, u1, v1, 2, 0.05);
+    let e2 = edge(&mut b, u2, v2, 2, 0.08);
+    edge(&mut b, v1, t, 2, 0.12); // d1
+    edge(&mut b, v2, t, 2, 0.18); // d2
     (
         Instance {
             net: b.build(),
@@ -125,13 +135,13 @@ pub fn weaving_counterexample() -> (Instance, Vec<EdgeId>) {
     let t = b.add_node(); // 3 (side t)
                           // capacity-0 intra-side links keep each side one connected component
                           // while forcing every unit of flow across the cut
-    b.add_edge(s, x2, 0, 0.0).unwrap();
-    b.add_edge(y1, t, 0, 0.0).unwrap();
+    edge(&mut b, s, x2, 0, 0.0);
+    edge(&mut b, y1, t, 0, 0.0);
     // cut: forward s→y1, backward y1→x2, forward x2→t — the unique routing
     // of the unit demand crosses the cut three times
-    let e1 = b.add_edge(s, y1, 1, 0.125).unwrap();
-    let e2 = b.add_edge(y1, x2, 1, 0.125).unwrap();
-    let e3 = b.add_edge(x2, t, 1, 0.125).unwrap();
+    let e1 = edge(&mut b, s, y1, 1, 0.125);
+    let e2 = edge(&mut b, y1, x2, 1, 0.125);
+    let e3 = edge(&mut b, x2, t, 1, 0.125);
     (
         Instance {
             net: b.build(),

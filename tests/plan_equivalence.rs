@@ -189,6 +189,149 @@ fn budgeted_factoring_resumes_bit_identically_through_text_checkpoints() {
     assert_eq!(finished.to_bits(), rep.reliability.to_bits());
 }
 
+/// Recursive-Cut plans agree with naive enumeration to 1e-12 across all
+/// four generator families, with recursion both on (deep planner) and off
+/// (the flat PR 5 planner) — a proptest-style seed loop standing in for
+/// property testing without the crate.
+#[test]
+fn deep_planner_matches_naive_across_all_generator_families() {
+    for seed in [1u64, 7, 19] {
+        let cases = [
+            (generators::chained_barbell(3, 3, 1, seed), 1usize),
+            (generators::nested_barbell(2, 3, 1, seed), 1),
+            (generators::kary_nested_cut(1, 2, seed), 2),
+            (generators::kary_nested_cut(2, 2, seed), 2),
+            (generators::barbell_mesh(2, seed), 2),
+        ];
+        for (inst, max_k) in cases {
+            let exact = exact_naive(&inst);
+            for recursive_cut_sides in [true, false] {
+                let rep = ReliabilityCalculator::new()
+                    .with_strategy(Strategy::BottleneckAuto { max_k })
+                    .with_options(CalcOptions {
+                        recursive_cut_sides,
+                        ..CalcOptions::default()
+                    })
+                    .run_complete(&inst.net, demand_of(&inst))
+                    .expect("plannable instance");
+                assert!(
+                    (rep.reliability - exact).abs() < 1e-12,
+                    "seed {seed}, {} links, deep={recursive_cut_sides}: plan {} vs naive {exact}",
+                    inst.net.edge_count(),
+                    rep.reliability
+                );
+            }
+        }
+    }
+}
+
+/// Budget-apportioned partial runs of deep plans return certified
+/// `[r_low, r_high]` intervals enclosing the exact value at every stop.
+#[test]
+fn deep_partial_runs_bracket_the_exact_value() {
+    let inst = generators::kary_nested_cut(2, 2, 31);
+    let demand = demand_of(&inst);
+    let exact = exact_naive(&inst);
+    for budget in [1u64, 5, 17, 64] {
+        let calc = ReliabilityCalculator::new()
+            .with_strategy(Strategy::BottleneckAuto { max_k: 2 })
+            .with_options(CalcOptions {
+                budget: Budget {
+                    max_configs: Some(budget),
+                    ..Budget::unlimited()
+                },
+                ..CalcOptions::default()
+            });
+        match calc.run(&inst.net, demand).expect("budgeted deep run") {
+            Outcome::Partial(p) => {
+                assert!(
+                    p.r_low <= exact + 1e-12 && exact <= p.r_high + 1e-12,
+                    "budget {budget}: [{}, {}] must bracket {exact}",
+                    p.r_low,
+                    p.r_high
+                );
+                assert!(p.r_low <= p.r_high);
+                let rep = p.bottleneck.as_ref().expect("plan runs report the cut");
+                assert!(
+                    !rep.plan_slots.is_empty(),
+                    "partial deep runs report per-slot budget shares"
+                );
+                let share_sum: f64 = rep.plan_slots.iter().map(|s| s.share).sum();
+                assert!(
+                    (share_sum - 1.0).abs() < 1e-9,
+                    "fresh-run shares partition the budget, got {share_sum}"
+                );
+            }
+            Outcome::Complete(rep) => {
+                assert!(
+                    (rep.reliability - exact).abs() < 1e-12,
+                    "budget {budget} completed: {} vs {exact}",
+                    rep.reliability
+                );
+            }
+        }
+    }
+}
+
+/// An interrupted deep-plan run resumed through v1 text checkpoints (every
+/// checkpoint serialized and parsed back) finishes on the same bits as the
+/// uninterrupted serial run.
+#[test]
+fn deep_plan_resumes_bit_identically_through_text_checkpoints() {
+    let inst = generators::kary_nested_cut(2, 2, 17);
+    let demand = demand_of(&inst);
+    let strategy = Strategy::BottleneckAuto { max_k: 2 };
+    let exact = ReliabilityCalculator::new()
+        .with_strategy(strategy.clone())
+        .run_complete(&inst.net, demand)
+        .expect("uninterrupted deep run")
+        .reliability;
+    let reference = exact_naive(&inst);
+    assert!(
+        (exact - reference).abs() < 1e-12,
+        "deep plan {exact} vs naive {reference}"
+    );
+    let budgeted = ReliabilityCalculator::new()
+        .with_strategy(strategy)
+        .with_options(CalcOptions {
+            budget: Budget {
+                max_configs: Some(3),
+                ..Budget::unlimited()
+            },
+            ..CalcOptions::default()
+        });
+    let mut out = budgeted.run(&inst.net, demand).expect("budgeted deep run");
+    let mut partials = 0usize;
+    let finished = loop {
+        match out {
+            Outcome::Complete(rep) => break rep.reliability,
+            Outcome::Partial(p) => {
+                assert!(
+                    p.r_low <= exact + 1e-12 && exact <= p.r_high + 1e-12,
+                    "[{}, {}] must bracket {exact}",
+                    p.r_low,
+                    p.r_high
+                );
+                let text = p.checkpoint.to_text();
+                let parsed = Checkpoint::from_text(&text).expect("round trip");
+                assert_eq!(parsed, p.checkpoint, "text round trip must be lossless");
+                partials += 1;
+                assert!(partials < 100_000, "deep resume loop must make progress");
+                out = budgeted.resume(&inst.net, demand, &parsed).expect("resume");
+            }
+        }
+    };
+    assert!(
+        partials > 0,
+        "a 3-config budget must interrupt this instance"
+    );
+    assert_eq!(
+        finished.to_bits(),
+        exact.to_bits(),
+        "serial deep resume must be bit-identical"
+    );
+}
+
 /// `--max-depth 0` (flat) and deep recursion disagree on plan shape, so a
 /// checkpoint from one refuses to resume under the other only when shapes
 /// differ — the checkpoint carries its own planning depth and re-derives
