@@ -30,11 +30,10 @@
 //! runs use the same scheme: an interrupted estimation writes its checkpoint
 //! and exits `20`; invalid sampling parameters exit `24`.
 
-mod format;
-
 use std::process::ExitCode;
 use std::time::Duration;
 
+use flowrel_core::fnet as format;
 use flowrel_core::{
     birnbaum_importance, enumerate_minimal_cuts, esary_proschan_bounds, find_bottleneck_set,
     reliability_bridge, reliability_naive_exact, reliability_sp_reduced, validate_bottleneck_set,
@@ -84,84 +83,10 @@ impl From<montecarlo::McError> for CliError {
 
 impl From<ReliabilityError> for CliError {
     fn from(e: ReliabilityError) -> Self {
-        let code = match &e {
-            ReliabilityError::Graph(_) => 10,
-            ReliabilityError::TooManyEdges { .. } => 11,
-            ReliabilityError::EdgeMaskOverflow { .. } => 12,
-            ReliabilityError::SideTooLarge { .. } => 13,
-            ReliabilityError::TooManyAssignments { .. } => 14,
-            ReliabilityError::NotSeparating => 15,
-            ReliabilityError::NotMinimal { .. } => 16,
-            ReliabilityError::NotTwoComponents { .. } => 17,
-            ReliabilityError::NoBottleneckFound => 18,
-            ReliabilityError::Interrupted { .. } => 19,
-            ReliabilityError::ArityMismatch { .. } => 21,
-            ReliabilityError::DirectedOnly { .. } => 22,
-            ReliabilityError::CheckpointMismatch { .. } => 23,
-            ReliabilityError::Sampling { .. } => 24,
-        };
         CliError {
-            code,
+            code: e.code(),
             message: e.to_string(),
         }
-    }
-}
-
-/// Ctrl-C handling: the first SIGINT trips a [`CancelToken`] so the sweep
-/// stops cooperatively and writes its checkpoint; a second SIGINT hard-exits
-/// with the conventional status 130.
-#[cfg(unix)]
-mod sigint {
-    use flowrel_core::CancelToken;
-    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-
-    static TRIPPED: AtomicBool = AtomicBool::new(false);
-    static COUNT: AtomicUsize = AtomicUsize::new(0);
-    const SIGINT: i32 = 2;
-
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-        fn _exit(code: i32) -> !;
-    }
-
-    extern "C" fn on_sigint(_: i32) {
-        if COUNT.fetch_add(1, Ordering::SeqCst) >= 1 {
-            // the user insists: give up on the graceful checkpoint
-            unsafe { _exit(130) };
-        }
-        TRIPPED.store(true, Ordering::SeqCst);
-    }
-
-    /// Installs the handler and returns the token it trips. A watcher thread
-    /// bridges the async-signal-safe flag to the token (signal handlers must
-    /// not touch the allocator, so they cannot own the `Arc` directly).
-    pub fn install() -> CancelToken {
-        let token = CancelToken::new();
-        unsafe {
-            signal(
-                SIGINT,
-                on_sigint as extern "C" fn(i32) as *const () as usize,
-            )
-        };
-        let bridge = token.clone();
-        std::thread::spawn(move || loop {
-            if TRIPPED.load(Ordering::SeqCst) {
-                bridge.trip();
-                return;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(25));
-        });
-        token
-    }
-}
-
-#[cfg(not(unix))]
-mod sigint {
-    use flowrel_core::CancelToken;
-
-    /// No signal handling off Unix: the token simply never trips.
-    pub fn install() -> CancelToken {
-        CancelToken::new()
     }
 }
 
@@ -342,7 +267,11 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
         .transpose()?;
     let checkpoint_path =
         flag_value(args, "--checkpoint").unwrap_or_else(|| format!("{path}.ckpt"));
-    let cancel: CancelToken = sigint::install();
+    // Shared two-stage handler: first SIGINT/SIGTERM trips the token (the
+    // sweep stops at a clean cursor and writes its checkpoint), the second
+    // hard-exits 128+signo. Shared with flowrel-server so both binaries
+    // behave identically under init systems and Ctrl-C alike.
+    let cancel: CancelToken = flowrel_shutdown::ShutdownSignal::install().token();
     let parallel_threshold = flag_value(args, "--parallel-threshold")
         .map(|v| {
             v.parse::<u64>()
@@ -604,7 +533,9 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
                 &flowrel_overlay::ChurnModel::new(90.0),
                 parse_or(4, 1),
             );
-            let sub = *sc.peers.last().expect("peers");
+            let Some(&sub) = sc.peers.last() else {
+                return Err(CliError::usage("mesh: need at least one peer"));
+            };
             (sc.net, FlowDemand::new(sc.server, sub, sc.stream_rate))
         }
         _ => {

@@ -2,11 +2,8 @@
 //! uses: generate → serialize → parse → compute must agree with a direct
 //! computation, for every generator the CLI exposes.
 
+use flowrel_core::fnet as format;
 use flowrel_core::{reliability_factoring, CalcOptions, FlowDemand, ReliabilityCalculator};
-
-// the format module is private to the binary; include it directly
-#[path = "../src/format.rs"]
-mod format;
 
 #[test]
 fn generated_barbell_roundtrips_and_computes() {

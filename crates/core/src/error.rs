@@ -100,6 +100,32 @@ pub enum ReliabilityError {
     },
 }
 
+impl ReliabilityError {
+    /// Stable small-integer code for this error variant, shared by the CLI
+    /// (as a process exit status) and the server wire protocol (as the
+    /// `code` field of structured error replies). `2`–`4` are reserved for
+    /// usage/IO/parse failures and `20` for budget-incomplete results, so
+    /// variants start at 10.
+    pub fn code(&self) -> u8 {
+        match self {
+            ReliabilityError::Graph(_) => 10,
+            ReliabilityError::TooManyEdges { .. } => 11,
+            ReliabilityError::EdgeMaskOverflow { .. } => 12,
+            ReliabilityError::SideTooLarge { .. } => 13,
+            ReliabilityError::TooManyAssignments { .. } => 14,
+            ReliabilityError::NotSeparating => 15,
+            ReliabilityError::NotMinimal { .. } => 16,
+            ReliabilityError::NotTwoComponents { .. } => 17,
+            ReliabilityError::NoBottleneckFound => 18,
+            ReliabilityError::Interrupted { .. } => 19,
+            ReliabilityError::ArityMismatch { .. } => 21,
+            ReliabilityError::DirectedOnly { .. } => 22,
+            ReliabilityError::CheckpointMismatch { .. } => 23,
+            ReliabilityError::Sampling { .. } => 24,
+        }
+    }
+}
+
 impl fmt::Display for ReliabilityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

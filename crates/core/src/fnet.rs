@@ -1,5 +1,5 @@
 //! The `.fnet` text format: a human-editable description of a flow network
-//! and its demand.
+//! and its demand, shared by the CLI, the server, and the test harnesses.
 //!
 //! ```text
 //! # comments and blank lines are ignored
@@ -14,8 +14,9 @@
 
 use std::fmt::Write as _;
 
-use flowrel_core::FlowDemand;
 use netgraph::{GraphKind, Network, NetworkBuilder, NodeId};
+
+use crate::demand::FlowDemand;
 
 /// A parsed `.fnet` file.
 #[derive(Clone, Debug)]
@@ -60,11 +61,10 @@ pub fn parse(text: &str) -> Result<NetFile, ParseError> {
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
         let mut parts = line.split_whitespace();
-        let keyword = parts.next().expect("non-empty line");
+        let Some(keyword) = parts.next() else {
+            continue; // blank or comment-only line
+        };
         let rest: Vec<&str> = parts.collect();
         match keyword {
             "directed" | "undirected" => {

@@ -46,6 +46,7 @@ pub mod decompose;
 pub mod demand;
 pub mod error;
 pub mod factoring;
+pub mod fnet;
 pub mod importance;
 pub mod naive;
 pub mod nodefail;
@@ -86,6 +87,7 @@ pub use factoring::{
     reliability_factoring, reliability_factoring_anytime, reliability_factoring_exact,
     FactoringOutcome,
 };
+pub use fnet::NetFile;
 pub use importance::{birnbaum_importance, LinkImportance};
 pub use montecarlo::{
     EstimatorKind, McBudget, McCheckpoint, McError, McOutcome, McReport, McSettings, StopTarget,

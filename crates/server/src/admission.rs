@@ -1,0 +1,166 @@
+//! Admission control: a bounded worker pool with a bounded wait queue.
+//!
+//! At most `max_concurrent` requests compute at once. Up to `max_waiting`
+//! more may wait (briefly — bounded by `max_wait`) for a slot; anything
+//! beyond that is shed immediately with a `retry_after_ms` hint so clients
+//! back off instead of piling on. Permits are RAII: a worker that panics or
+//! whose client vanishes still releases its slot.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why admission was refused.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Overloaded {
+    /// Suggested client back-off before retrying.
+    pub retry_after_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    active: usize,
+    waiting: usize,
+}
+
+/// The semaphore guarding the worker pool.
+#[derive(Debug)]
+pub struct Admission {
+    state: Mutex<State>,
+    freed: Condvar,
+    max_concurrent: usize,
+    max_waiting: usize,
+    max_wait: Duration,
+}
+
+/// RAII permit for one computing request.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    pool: &'a Admission,
+}
+
+impl Admission {
+    /// A pool running `max_concurrent` requests with `max_waiting` queued
+    /// admissions, each waiting at most `max_wait`.
+    pub fn new(max_concurrent: usize, max_waiting: usize, max_wait: Duration) -> Self {
+        Admission {
+            state: Mutex::new(State::default()),
+            freed: Condvar::new(),
+            max_concurrent: max_concurrent.max(1),
+            max_waiting,
+            max_wait,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Tries to admit one request, waiting up to `max_wait` in the bounded
+    /// queue if the pool is full.
+    pub fn admit(&self) -> Result<Permit<'_>, Overloaded> {
+        let mut st = self.lock();
+        if st.active < self.max_concurrent {
+            st.active += 1;
+            return Ok(Permit { pool: self });
+        }
+        if st.waiting >= self.max_waiting {
+            // Shed immediately: the queue is full too. Hint scales with how
+            // deep the queue is — the later you arrive, the longer you wait.
+            let hint = self.max_wait.as_millis() as u64 * (1 + st.waiting as u64)
+                / self.max_waiting.max(1) as u64;
+            return Err(Overloaded {
+                retry_after_ms: hint.clamp(50, 30_000),
+            });
+        }
+        st.waiting += 1;
+        let deadline = Instant::now() + self.max_wait;
+        loop {
+            let now = Instant::now();
+            if st.active < self.max_concurrent {
+                st.waiting -= 1;
+                st.active += 1;
+                return Ok(Permit { pool: self });
+            }
+            if now >= deadline {
+                st.waiting -= 1;
+                return Err(Overloaded {
+                    retry_after_ms: (self.max_wait.as_millis() as u64).clamp(50, 30_000),
+                });
+            }
+            let (guard, _timeout) = self
+                .freed
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Requests currently computing.
+    pub fn active(&self) -> usize {
+        self.lock().active
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.pool.lock();
+        st.active = st.active.saturating_sub(1);
+        drop(st);
+        self.pool.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let pool = Admission::new(2, 0, Duration::from_millis(10));
+        let a = pool.admit().unwrap();
+        let _b = pool.admit().unwrap();
+        let e = pool.admit().unwrap_err();
+        assert!(e.retry_after_ms >= 50);
+        drop(a);
+        let _c = pool.admit().unwrap();
+    }
+
+    #[test]
+    fn waiter_gets_the_freed_slot() {
+        let pool = Arc::new(Admission::new(1, 4, Duration::from_secs(5)));
+        let permit = pool.admit().unwrap();
+        let p2 = Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || p2.admit().map(|_| ()).is_ok());
+        std::thread::sleep(Duration::from_millis(50));
+        drop(permit);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn queue_overflow_sheds_immediately() {
+        let pool = Arc::new(Admission::new(1, 1, Duration::from_secs(2)));
+        let _permit = pool.admit().unwrap();
+        let p2 = Arc::clone(&pool);
+        let _waiter = std::thread::spawn(move || {
+            let _ = p2.admit();
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let start = Instant::now();
+        assert!(pool.admit().is_err(), "queue is full: shed without waiting");
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn panicking_worker_releases_its_slot() {
+        let pool = Arc::new(Admission::new(1, 0, Duration::from_millis(10)));
+        let p2 = Arc::clone(&pool);
+        let h = std::thread::spawn(move || {
+            let _permit = p2.admit().unwrap();
+            panic!("worker dies");
+        });
+        assert!(h.join().is_err());
+        assert_eq!(pool.active(), 0, "RAII permit survived the panic");
+        let _ = pool.admit().unwrap();
+    }
+}

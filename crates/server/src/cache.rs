@@ -1,0 +1,212 @@
+//! Instance and result caching for graceful degradation under load.
+//!
+//! Two layers, both bounded and both safe to lose (pure caches, no
+//! correctness state):
+//!
+//! * **parse cache** — `.fnet` text (keyed by FNV-1a of the bytes) → parsed
+//!   network + demand, so a client hammering the same instance does not pay
+//!   the parse on every request;
+//! * **result cache** — `(instance fingerprint, strategy key)` → finished
+//!   answer, so repeated identical questions are answered from memory even
+//!   while the worker pool is saturated. Only *complete* results are cached;
+//!   partials carry resume state and are parked instead (see
+//!   [`crate::park`]).
+//!
+//! Eviction is FIFO at a fixed capacity: reliability workloads are
+//! few-instances-many-queries, so anything smarter buys nothing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use flowrel_core::fnet::NetFile;
+
+/// FNV-1a over arbitrary bytes — same family as the checkpoint fingerprint,
+/// used here only as a cache key for raw `.fnet` text.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A cached complete answer.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// The reliability value.
+    pub reliability: f64,
+    /// Algorithm that produced it.
+    pub algorithm: String,
+}
+
+#[derive(Debug)]
+struct Shelf<V> {
+    map: HashMap<u64, V>,
+    order: Vec<u64>,
+}
+
+impl<V> Default for Shelf<V> {
+    fn default() -> Self {
+        Shelf {
+            map: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+}
+
+impl<V: Clone> Shelf<V> {
+    fn get(&self, key: u64) -> Option<V> {
+        self.map.get(&key).cloned()
+    }
+
+    fn put(&mut self, key: u64, value: V, cap: usize) {
+        if self.map.insert(key, value).is_none() {
+            self.order.push(key);
+            if self.order.len() > cap {
+                let evicted = self.order.remove(0);
+                self.map.remove(&evicted);
+            }
+        }
+    }
+}
+
+/// Hit/miss counters (monotonic, read for `stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheCounters {
+    /// Parse-cache hits.
+    pub hits: u64,
+    /// Parse-cache misses.
+    pub misses: u64,
+    /// Result-cache hits.
+    pub result_hits: u64,
+}
+
+/// The two-layer cache. All methods take `&self`; internal locking.
+#[derive(Debug)]
+pub struct InstanceCache {
+    parsed: Mutex<Shelf<Arc<NetFile>>>,
+    results: Mutex<Shelf<CachedResult>>,
+    counters: Mutex<CacheCounters>,
+    capacity: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl InstanceCache {
+    /// A cache holding at most `capacity` entries per layer.
+    pub fn new(capacity: usize) -> Self {
+        InstanceCache {
+            parsed: Mutex::new(Shelf::default()),
+            results: Mutex::new(Shelf::default()),
+            counters: Mutex::new(CacheCounters::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up (or parses and stores) the network for `text`. Parse errors
+    /// are not cached — a retransmitted fixed file must get a fresh parse.
+    pub fn parse(&self, text: &str) -> Result<Arc<NetFile>, flowrel_core::fnet::ParseError> {
+        let key = fnv1a(text.as_bytes());
+        if let Some(hit) = lock(&self.parsed).get(key) {
+            lock(&self.counters).hits += 1;
+            return Ok(hit);
+        }
+        lock(&self.counters).misses += 1;
+        let parsed = Arc::new(flowrel_core::fnet::parse(text)?);
+        lock(&self.parsed).put(key, Arc::clone(&parsed), self.capacity);
+        Ok(parsed)
+    }
+
+    /// Result-cache key for one (instance fingerprint, strategy) pair.
+    fn result_key(fingerprint: u64, strategy_key: &str) -> u64 {
+        let mut bytes = fingerprint.to_be_bytes().to_vec();
+        bytes.extend_from_slice(strategy_key.as_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Fetches a cached complete answer.
+    pub fn result(&self, fingerprint: u64, strategy_key: &str) -> Option<CachedResult> {
+        let hit = lock(&self.results).get(Self::result_key(fingerprint, strategy_key));
+        if hit.is_some() {
+            lock(&self.counters).result_hits += 1;
+        }
+        hit
+    }
+
+    /// Stores a complete answer.
+    pub fn store_result(&self, fingerprint: u64, strategy_key: &str, result: CachedResult) {
+        lock(&self.results).put(
+            Self::result_key(fingerprint, strategy_key),
+            result,
+            self.capacity,
+        );
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        *lock(&self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET: &str = "directed\nnodes 2\nedge 0 1 1 0.1\ndemand 0 1 1\n";
+
+    #[test]
+    fn parse_cache_hits_on_identical_text() {
+        let cache = InstanceCache::new(4);
+        let a = cache.parse(NET).unwrap();
+        let b = cache.parse(NET).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let cache = InstanceCache::new(4);
+        assert!(cache.parse("nonsense").is_err());
+        assert!(cache.parse("nonsense").is_err());
+        assert_eq!(cache.counters().hits, 0);
+    }
+
+    #[test]
+    fn result_cache_distinguishes_strategies() {
+        let cache = InstanceCache::new(4);
+        cache.store_result(
+            42,
+            "naive",
+            CachedResult {
+                reliability: 0.5,
+                algorithm: "naive".into(),
+            },
+        );
+        assert!(cache.result(42, "naive").is_some());
+        assert!(cache.result(42, "factoring").is_none());
+        assert!(cache.result(41, "naive").is_none());
+    }
+
+    #[test]
+    fn eviction_keeps_the_cache_bounded() {
+        let cache = InstanceCache::new(2);
+        for i in 0..5u64 {
+            cache.store_result(
+                i,
+                "naive",
+                CachedResult {
+                    reliability: 0.1,
+                    algorithm: "naive".into(),
+                },
+            );
+        }
+        let held: usize = (0..5u64)
+            .filter(|&i| cache.result(i, "naive").is_some())
+            .count();
+        assert_eq!(held, 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Client library for the flowrel wire protocol.
+//!
+//! Shared by `flowrelctl`, the lifecycle test, and the fault-injection
+//! harness (which uses the raw escape hatches — [`Client::send_raw`],
+//! [`Client::shutdown_write`] — to misbehave on purpose).
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+use crate::conn::{BindAddr, Conn};
+use crate::frame::{encode, FrameError, FrameReader};
+use crate::json::JsonLimits;
+use crate::proto::{ComputeRequest, Request, Response, StrategySpec, WireError};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's reply could not be framed/decoded.
+    Frame(FrameError),
+    /// The reply decoded but violated the protocol.
+    Wire(WireError),
+    /// No complete reply arrived within the read deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad reply frame: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Timeout => write!(f, "timed out waiting for a reply"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a flowrel server.
+pub struct Client {
+    conn: Conn,
+    reader: FrameReader,
+    max_frame: usize,
+    read_deadline: Duration,
+}
+
+impl Client {
+    /// Dials `addr` with default limits and a 10-minute reply deadline
+    /// (server-side deadlines are the real clock; this one only bounds a
+    /// hung transport).
+    pub fn connect(addr: &BindAddr) -> Result<Client, ClientError> {
+        Self::connect_with(addr, 64 << 20, Duration::from_secs(600))
+    }
+
+    /// Dials `addr` with an explicit frame cap and reply deadline.
+    pub fn connect_with(
+        addr: &BindAddr,
+        max_frame: usize,
+        read_deadline: Duration,
+    ) -> Result<Client, ClientError> {
+        let conn = Conn::connect(addr)?;
+        conn.set_read_timeout(Some(Duration::from_millis(50)))?;
+        Ok(Client {
+            conn,
+            reader: FrameReader::new(max_frame, JsonLimits::default()),
+            max_frame,
+            read_deadline,
+        })
+    }
+
+    /// Sends one request and waits for its reply.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let bytes = encode(&req.to_json(), self.max_frame).map_err(ClientError::Frame)?;
+        self.conn.write_all(&bytes)?;
+        self.conn.flush()?;
+        self.recv()
+    }
+
+    /// Waits for the next reply frame.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let deadline = Instant::now() + self.read_deadline;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.reader.try_frame() {
+                Ok(Some(v)) => {
+                    return Response::from_json(&v).map_err(ClientError::Wire);
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Frame(e)),
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            match self.conn.read(&mut buf) {
+                Ok(0) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(n) => self.reader.push(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Heartbeat round-trip.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Wire(WireError::protocol(format!(
+                "expected pong, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Submits a compute request.
+    pub fn compute(&mut self, req: ComputeRequest) -> Result<Response, ClientError> {
+        self.request(&Request::Compute(req))
+    }
+
+    /// Convenience: compute with just a net and a strategy.
+    pub fn compute_net(
+        &mut self,
+        net: &str,
+        strategy: StrategySpec,
+    ) -> Result<Response, ClientError> {
+        self.compute(ComputeRequest {
+            net: net.to_string(),
+            strategy,
+            timeout_ms: None,
+            max_configs: None,
+            checkpoint: None,
+        })
+    }
+
+    /// Resumes a parked session by token.
+    pub fn resume(&mut self, token: &str) -> Result<Response, ClientError> {
+        self.request(&Request::Resume {
+            token: token.to_string(),
+        })
+    }
+
+    /// Asks for statistics.
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Stats)
+    }
+
+    /// Requests a graceful server shutdown.
+    pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Shutdown)
+    }
+
+    // ---- misbehavior escape hatches (fault-injection harness) ----
+
+    /// Writes raw bytes, bypassing the codec entirely.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.conn.write_all(bytes)?;
+        self.conn.flush()?;
+        Ok(())
+    }
+
+    /// Sends a request without waiting for the reply.
+    pub fn send_only(&mut self, req: &Request) -> Result<(), ClientError> {
+        let bytes = encode(&req.to_json(), self.max_frame).map_err(ClientError::Frame)?;
+        self.conn.write_all(&bytes)?;
+        self.conn.flush()?;
+        Ok(())
+    }
+
+    /// Slams the connection shut (both directions), mid-whatever.
+    pub fn slam(&mut self) {
+        let _ = self.conn.shutdown(std::net::Shutdown::Both);
+    }
+}

@@ -1,0 +1,212 @@
+//! Length-prefixed JSON framing.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many bytes
+//! of UTF-8 JSON. The codec here is *pure* (buffers in, frames out) so the
+//! property suite can hammer it without sockets; stream plumbing lives in
+//! the session loop.
+//!
+//! Hardening rules:
+//! * a length of `0` or one exceeding the configured maximum is **fatal** —
+//!   the stream can no longer be trusted to be frame-aligned, so the caller
+//!   replies with a structured error and closes;
+//! * malformed JSON inside a well-delimited frame is **recoverable** — the
+//!   frame is consumed, an error is returned, and the connection lives on;
+//! * an incomplete frame is simply "not yet" ([`FrameReader::try_frame`]
+//!   returns `Ok(None)`); the session loop enforces the slow-loris deadline
+//!   by watching how long a partial frame has been pending.
+
+use std::fmt;
+
+use crate::json::{self, Json, JsonError, JsonLimits};
+
+/// Byte length of the frame header (big-endian `u32` payload length).
+pub const HEADER_LEN: usize = 4;
+
+/// Hard ceiling on `max_frame` no configuration may exceed.
+pub const ABSOLUTE_MAX_FRAME: usize = 64 << 20;
+
+/// Framing / decoding failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameError {
+    /// The advertised payload length exceeds the limit. Fatal.
+    TooLarge {
+        /// Advertised payload length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// A zero-length payload was advertised. Fatal.
+    EmptyFrame,
+    /// The payload is not valid UTF-8 or not valid JSON. Recoverable: the
+    /// frame was consumed and the stream stays aligned.
+    Malformed(JsonError),
+}
+
+impl FrameError {
+    /// Whether the stream is still frame-aligned after this error (the
+    /// caller may keep the connection open).
+    pub fn recoverable(&self) -> bool {
+        matches!(self, FrameError::Malformed(_))
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::EmptyFrame => write!(f, "zero-length frame"),
+            FrameError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one value as a frame. Fails (rather than panics or truncates) if
+/// the rendered payload exceeds `max_frame`.
+pub fn encode(value: &Json, max_frame: usize) -> Result<Vec<u8>, FrameError> {
+    let payload = value.render();
+    if payload.len() > max_frame.min(ABSOLUTE_MAX_FRAME) {
+        return Err(FrameError::TooLarge {
+            len: payload.len(),
+            max: max_frame.min(ABSOLUTE_MAX_FRAME),
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    Ok(out)
+}
+
+/// Incremental frame decoder over an internal byte buffer.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    max_frame: usize,
+    limits: JsonLimits,
+}
+
+impl FrameReader {
+    /// A reader enforcing the given frame-size cap and JSON limits.
+    pub fn new(max_frame: usize, limits: JsonLimits) -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            max_frame: max_frame.min(ABSOLUTE_MAX_FRAME),
+            limits,
+        }
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether a partial frame is buffered (used for the slow-loris clock).
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Tries to decode the next frame from the buffer.
+    ///
+    /// `Ok(Some(v))` — one frame decoded and consumed. `Ok(None)` — need
+    /// more bytes. `Err(e)` — on a recoverable error the offending frame has
+    /// been consumed; on a fatal one the buffer is poisoned and the caller
+    /// must close the connection.
+    pub fn try_frame(&mut self) -> Result<Option<Json>, FrameError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len == 0 {
+            return Err(FrameError::EmptyFrame);
+        }
+        if len > self.max_frame {
+            return Err(FrameError::TooLarge {
+                len,
+                max: self.max_frame,
+            });
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload: Vec<u8> = self
+            .buf
+            .drain(..HEADER_LEN + len)
+            .skip(HEADER_LEN)
+            .collect();
+        let text = match std::str::from_utf8(&payload) {
+            Ok(t) => t,
+            Err(e) => {
+                return Err(FrameError::Malformed(JsonError {
+                    at: e.valid_up_to(),
+                    message: "payload is not valid utf-8".into(),
+                }))
+            }
+        };
+        match json::parse(text, &self.limits) {
+            Ok(v) => Ok(Some(v)),
+            Err(e) => Err(FrameError::Malformed(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+
+    fn reader() -> FrameReader {
+        FrameReader::new(1 << 20, JsonLimits::default())
+    }
+
+    #[test]
+    fn roundtrip_and_pipelining() {
+        let a = obj([("op", Json::Str("ping".into()))]);
+        let b = Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)]);
+        let mut bytes = encode(&a, 1 << 20).unwrap();
+        bytes.extend(encode(&b, 1 << 20).unwrap());
+        let mut r = reader();
+        // trickle one byte at a time: no progress until complete
+        for chunk in bytes.chunks(1) {
+            r.push(chunk);
+        }
+        assert_eq!(r.try_frame().unwrap(), Some(a));
+        assert_eq!(r.try_frame().unwrap(), Some(b));
+        assert_eq!(r.try_frame().unwrap(), None);
+        assert!(!r.has_partial());
+    }
+
+    #[test]
+    fn oversized_and_empty_frames_are_fatal() {
+        let mut r = FrameReader::new(8, JsonLimits::default());
+        r.push(&100u32.to_be_bytes());
+        assert!(matches!(r.try_frame(), Err(FrameError::TooLarge { .. })));
+        let mut r2 = reader();
+        r2.push(&0u32.to_be_bytes());
+        let e = r2.try_frame().unwrap_err();
+        assert_eq!(e, FrameError::EmptyFrame);
+        assert!(!e.recoverable());
+    }
+
+    #[test]
+    fn malformed_payload_is_recoverable_and_consumed() {
+        let mut r = reader();
+        let garbage = b"{not json";
+        r.push(&(garbage.len() as u32).to_be_bytes());
+        r.push(garbage);
+        let ping = obj([("op", Json::Str("ping".into()))]);
+        r.push(&encode(&ping, 1 << 20).unwrap());
+        let e = r.try_frame().unwrap_err();
+        assert!(e.recoverable(), "{e}");
+        // the stream stays aligned: the next frame decodes
+        assert_eq!(r.try_frame().unwrap(), Some(ping));
+    }
+
+    #[test]
+    fn encode_refuses_oversized_payloads() {
+        let big = Json::Str("x".repeat(100));
+        assert!(matches!(encode(&big, 16), Err(FrameError::TooLarge { .. })));
+    }
+}

@@ -1,0 +1,40 @@
+//! flowrel-server: reliability calculation as a fault-tolerant service.
+//!
+//! The library behind the `flowrel-server` daemon and the `flowrelctl`
+//! client. It exposes [`flowrel_core::ReliabilityCalculator`] over TCP or
+//! Unix-domain sockets with a length-prefixed JSON frame protocol, built
+//! around three robustness pillars:
+//!
+//! 1. **hardened wire layer** ([`json`], [`frame`], [`proto`]) — size and
+//!    depth limits at every level, malformed input answered with structured
+//!    errors from the shared exit-code taxonomy, never panics;
+//! 2. **admission control and deadlines** ([`admission`], [`server`]) — a
+//!    bounded worker pool, per-request budgets with their own cancel
+//!    tokens, client disconnects interrupting abandoned sweeps,
+//!    load-shedding with retry hints;
+//! 3. **graceful degradation and crash safety** ([`cache`], [`park`]) —
+//!    answers cached by instance fingerprint, interrupted work returned as
+//!    certified `[r_low, r_high]` bounds with resume tokens, drains that
+//!    park unfinished sessions to disk and restore them on restart,
+//!    bit-identically.
+//!
+//! Wire format: each frame is a 4-byte big-endian payload length followed
+//! by a JSON object; requests carry `"op"`, replies carry `"ok"`. See
+//! `DESIGN.md` §13 for the full protocol.
+
+#![deny(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod conn;
+pub mod frame;
+pub mod json;
+pub mod park;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use conn::BindAddr;
+pub use proto::{ComputeRequest, Request, Response, StrategySpec, WireError};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,216 @@
+//! Full-lifecycle test for the daemon: concurrent mixed-deadline traffic,
+//! SIGTERM-style drain with in-flight work, crash-safe restart from the
+//! state directory, and bit-identical resume of every parked session.
+//!
+//! The drain path is exercised exactly as the signal handler drives it
+//! (`ServerHandle::begin_shutdown` is what the SIGTERM bridge trips), so the
+//! test covers the same state machine without needing to fork a process.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use flowrel_core::{fnet, FlowDemand, ReliabilityCalculator, Strategy};
+use flowrel_server::server::{start, ServerConfig};
+use flowrel_server::{Client, ComputeRequest, Response, StrategySpec};
+use workloads::grid;
+
+/// A grid instance as `.fnet` text plus its exact naive reliability.
+fn instance(w: usize, h: usize, seed: u64) -> (String, f64) {
+    let inst = grid(w, h, seed);
+    let demand = FlowDemand::new(inst.source, inst.sink, inst.demand);
+    let text = fnet::serialize(&inst.net, Some(demand));
+    let reference = ReliabilityCalculator::new()
+        .with_strategy(Strategy::Naive)
+        .run_complete(&inst.net, demand)
+        .unwrap()
+        .reliability;
+    (text, reference)
+}
+
+fn naive_compute(net: String) -> ComputeRequest {
+    ComputeRequest {
+        net,
+        strategy: StrategySpec::Naive,
+        timeout_ms: Some(120_000),
+        max_configs: None,
+        checkpoint: None,
+    }
+}
+
+fn temp_state_dir() -> PathBuf {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    std::env::temp_dir().join(format!("flowrel-lifecycle-{}-{nanos}", std::process::id()))
+}
+
+fn config(state_dir: PathBuf) -> ServerConfig {
+    ServerConfig {
+        state_dir: Some(state_dir),
+        max_concurrent: 3,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn drain_restart_resume_is_bit_identical() {
+    let state_dir = temp_state_dir();
+    let server = start(config(state_dir.clone())).unwrap();
+    let addr = server.addr().clone();
+
+    // Small instances: 12 edges, 4096 configs — exact answers in
+    // milliseconds. The big instance: 24 edges, ~17M configs — a sweep of
+    // hundreds of milliseconds, still running when the drain begins.
+    let (small_net, small_ref) = instance(3, 3, 5);
+    let (park_a_net, park_a_ref) = instance(3, 3, 1);
+    let (park_b_net, park_b_ref) = instance(3, 3, 2);
+    let (big_net, big_ref) = instance(4, 4, 5);
+
+    // Phase 1: mixed-deadline traffic against the live server.
+    // An unbudgeted request completes with the exact answer...
+    let mut client = Client::connect(&addr).unwrap();
+    match client.compute(naive_compute(small_net.clone())).unwrap() {
+        Response::Complete {
+            reliability,
+            cached,
+            ..
+        } => {
+            assert_eq!(reliability, small_ref, "server answer must be exact");
+            assert!(!cached, "first ask cannot be a cache hit");
+        }
+        other => panic!("expected Complete, got {other:?}"),
+    }
+
+    // ...while config-budgeted requests on two distinct instances come back
+    // partial, each with certified bounds and its own resume token.
+    let park = |net: &str, reference: f64| -> String {
+        let mut c = Client::connect(&addr).unwrap();
+        let resp = c
+            .compute(ComputeRequest {
+                max_configs: Some(64),
+                ..naive_compute(net.to_string())
+            })
+            .unwrap();
+        match resp {
+            Response::Partial {
+                r_low,
+                r_high,
+                explored,
+                token,
+                ..
+            } => {
+                assert!(
+                    r_low <= reference && reference <= r_high,
+                    "bounds [{r_low}, {r_high}] must bracket {reference}"
+                );
+                assert!(explored < 1.0);
+                token
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+    };
+    let token_a = park(&park_a_net, park_a_ref);
+    let token_b = park(&park_b_net, park_b_ref);
+    assert_ne!(token_a, token_b, "every parked session gets its own token");
+
+    // Phase 2: drain with a long request in flight. The client thread holds
+    // the connection; the main thread waits for admission, then trips the
+    // same token the SIGTERM handler would.
+    let big_clone = big_net.clone();
+    let big_addr = addr.clone();
+    let big_thread = std::thread::spawn(move || {
+        let mut c = Client::connect(&big_addr).unwrap();
+        c.compute(naive_compute(big_clone)).unwrap()
+    });
+    let admitted = Instant::now();
+    while server.stats().active_requests == 0 {
+        assert!(
+            admitted.elapsed() < Duration::from_secs(10),
+            "big request never admitted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    server.begin_shutdown();
+
+    // The in-flight request is interrupted, parked, and answered — the
+    // client is not just hung up on.
+    let token_big = match big_thread.join().unwrap() {
+        Response::Partial {
+            r_low,
+            r_high,
+            token,
+            ..
+        } => {
+            assert!(
+                r_low <= big_ref && big_ref <= r_high,
+                "drain bounds [{r_low}, {r_high}] must bracket {big_ref}"
+            );
+            Some(token)
+        }
+        // On a very fast machine the sweep may have finished first.
+        Response::Complete { reliability, .. } => {
+            assert_eq!(reliability, big_ref);
+            None
+        }
+        other => panic!("expected Partial or Complete at drain, got {other:?}"),
+    };
+    eprintln!("drain outcome: token_big = {token_big:?}");
+    assert_eq!(server.stats().panics, 0);
+    server.join();
+
+    // Phase 3: restart against the same state directory — a new process
+    // image, same disk. Every parked session must have survived.
+    let server = start(config(state_dir.clone())).unwrap();
+    let addr = server.addr().clone();
+    let expected_parked = 2 + u64::from(token_big.is_some());
+    assert_eq!(server.stats().parked, expected_parked);
+
+    // Phase 4: resume each token; the completed answers must be exactly the
+    // serial reference values — bit-identical, not merely close.
+    let resume_exact = |token: &str, reference: f64| {
+        let mut c = Client::connect(&addr).unwrap();
+        match c.resume(token).unwrap() {
+            Response::Complete { reliability, .. } => {
+                assert_eq!(
+                    reliability.to_bits(),
+                    reference.to_bits(),
+                    "resume must be bit-identical: {reliability} vs {reference}"
+                );
+            }
+            other => panic!("expected Complete from resume, got {other:?}"),
+        }
+    };
+    resume_exact(&token_a, park_a_ref);
+    resume_exact(&token_b, park_b_ref);
+    if let Some(token) = &token_big {
+        resume_exact(token, big_ref);
+    }
+    assert_eq!(server.stats().parked, 0, "resumed sessions leave the lot");
+
+    // A second identical ask is served from the result cache.
+    let mut client = Client::connect(&addr).unwrap();
+    for expect_cached in [false, true] {
+        match client.compute(naive_compute(small_net.clone())).unwrap() {
+            Response::Complete {
+                reliability,
+                cached,
+                ..
+            } => {
+                assert_eq!(reliability, small_ref);
+                assert_eq!(cached, expect_cached);
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    // Phase 5: shutdown over the wire; join must return.
+    assert!(matches!(
+        client.shutdown_server().unwrap(),
+        Response::ShuttingDown
+    ));
+    assert_eq!(server.stats().panics, 0);
+    server.join();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

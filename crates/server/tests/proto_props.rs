@@ -1,0 +1,235 @@
+//! Property suite for the wire codec: whatever bytes arrive — valid,
+//! truncated, bit-flipped, oversized, or pure noise — the frame/JSON layer
+//! must either decode or return a structured error. It must never panic,
+//! never hang, and never mis-frame the stream after a recoverable error.
+//!
+//! The vendored proptest shim has no recursive/regex strategies, so
+//! arbitrary JSON trees and requests are built deterministically from drawn
+//! byte scripts (`json_from_script`, `request_from_script`).
+
+use proptest::prelude::*;
+
+use flowrel_server::frame::{encode, FrameError, FrameReader, HEADER_LEN};
+use flowrel_server::json::{obj, Json, JsonLimits};
+use flowrel_server::proto::{ComputeRequest, ProtoLimits, Request, Response, StrategySpec};
+
+fn reader() -> FrameReader {
+    FrameReader::new(1 << 20, JsonLimits::default())
+}
+
+/// Byte-script interpreter producing an arbitrary JSON value of bounded
+/// depth and size. Consumes from the front of `script`; deterministic.
+fn json_from_script(script: &mut &[u8], depth: usize) -> Json {
+    let op = take(script);
+    match op % if depth == 0 { 5 } else { 7 } {
+        0 => Json::Null,
+        1 => Json::Bool(take(script) % 2 == 0),
+        2 => {
+            // finite numbers only: the renderer maps non-finite to null
+            let raw = i64::from(take(script)) * 257 - 31000;
+            Json::Num(raw as f64 / 7.0)
+        }
+        3 => Json::Num(f64::from(take(script))),
+        4 => Json::Str(string_from_script(script)),
+        5 => {
+            let n = usize::from(take(script)) % 5;
+            Json::Arr(
+                (0..n)
+                    .map(|_| json_from_script(script, depth - 1))
+                    .collect(),
+            )
+        }
+        _ => {
+            let n = usize::from(take(script)) % 5;
+            let mut seen = std::collections::HashSet::new();
+            Json::Obj(
+                (0..n)
+                    .filter_map(|i| {
+                        let key = format!("k{}-{}", i, take(script) % 16);
+                        seen.insert(key.clone())
+                            .then(|| (key, json_from_script(script, depth - 1)))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn take(script: &mut &[u8]) -> u8 {
+    let (&b, rest) = script.split_first().unwrap_or((&0, &[]));
+    *script = rest;
+    b
+}
+
+/// Printable ASCII (plus escapes-in-waiting like quotes and backslashes).
+fn string_from_script(script: &mut &[u8]) -> String {
+    let n = usize::from(take(script)) % 20;
+    (0..n)
+        .map(|_| char::from(0x20 + take(script) % 0x5f))
+        .collect()
+}
+
+/// Byte-script interpreter for *valid* requests.
+fn request_from_script(script: &mut &[u8]) -> Request {
+    match take(script) % 5 {
+        0 => Request::Ping,
+        1 => Request::Stats,
+        2 => Request::Shutdown,
+        3 => {
+            let n = 1 + usize::from(take(script)) % 20;
+            let token: String = (0..n)
+                .map(|i| {
+                    let c = take(script);
+                    if i > 0 && i % 7 == 0 {
+                        '-'
+                    } else {
+                        char::from_digit(u32::from(c % 16), 16).unwrap_or('0')
+                    }
+                })
+                .collect();
+            Request::Resume { token }
+        }
+        _ => {
+            let strategy = match take(script) % 4 {
+                0 => StrategySpec::Auto,
+                1 => StrategySpec::Naive,
+                2 => StrategySpec::Factoring,
+                _ => StrategySpec::Mc {
+                    seed: u64::from(take(script)) << 8 | u64::from(take(script)),
+                    samples: 1 + u64::from(take(script)),
+                },
+            };
+            let mut text = string_from_script(script);
+            if take(script) % 2 == 0 {
+                text.push('\n');
+                text.push_str(&string_from_script(script));
+            }
+            Request::Compute(ComputeRequest {
+                net: text,
+                strategy,
+                timeout_ms: (take(script) % 2 == 0).then(|| u64::from(take(script)) * 1000),
+                max_configs: (take(script) % 2 == 0).then(|| u64::from(take(script)) + 1),
+                checkpoint: (take(script) % 3 == 0).then(|| string_from_script(script)),
+            })
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → trickled decode reproduces the value exactly.
+    #[test]
+    fn frame_roundtrip(script in prop::collection::vec(any::<u8>(), 0..200), chunk in 1usize..7) {
+        let v = json_from_script(&mut script.as_slice(), 3);
+        let bytes = encode(&v, 1 << 20).unwrap();
+        let mut r = reader();
+        let mut out = None;
+        for c in bytes.chunks(chunk) {
+            r.push(c);
+            if let Some(got) = r.try_frame().unwrap() {
+                prop_assert!(out.is_none(), "one frame in, one frame out");
+                out = Some(got);
+            }
+        }
+        prop_assert_eq!(out, Some(v));
+        prop_assert!(!r.has_partial());
+    }
+
+    /// Every strict prefix of a frame is just "not yet" — never an error,
+    /// never a spurious frame.
+    #[test]
+    fn truncation_never_panics(script in prop::collection::vec(any::<u8>(), 0..200), cut in 0.0f64..1.0) {
+        let v = json_from_script(&mut script.as_slice(), 3);
+        let bytes = encode(&v, 1 << 20).unwrap();
+        let keep = ((bytes.len() - 1) as f64 * cut) as usize;
+        let mut r = reader();
+        r.push(&bytes[..keep.min(bytes.len() - 1)]);
+        prop_assert_eq!(r.try_frame().unwrap(), None);
+    }
+
+    /// A bit flip anywhere yields a decoded value, a structured error, or
+    /// "need more bytes" — never a panic or a hang. When the flip lands in
+    /// the payload (not the length header), the stream stays frame-aligned
+    /// and the next frame still decodes.
+    #[test]
+    fn bit_flips_never_panic(
+        script in prop::collection::vec(any::<u8>(), 0..200),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let v = json_from_script(&mut script.as_slice(), 3);
+        let mut bytes = encode(&v, 1 << 20).unwrap();
+        let i = byte_idx.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        let flipped_header = i < HEADER_LEN;
+        let ping = obj([("op", Json::Str("ping".into()))]);
+        bytes.extend(encode(&ping, 1 << 20).unwrap());
+        let mut r = reader();
+        r.push(&bytes);
+        match r.try_frame() {
+            Ok(_) => {}
+            Err(e) => {
+                if !flipped_header {
+                    prop_assert!(e.recoverable(), "payload flip must not poison the stream: {e}");
+                }
+            }
+        }
+        if !flipped_header {
+            prop_assert_eq!(r.try_frame().unwrap(), Some(ping));
+        }
+    }
+
+    /// Arbitrary byte soup: the reader may reject or wait, never panic or
+    /// loop — each `try_frame` call either consumes bytes or stops.
+    #[test]
+    fn byte_soup_never_panics(noise in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut r = FrameReader::new(4096, JsonLimits::default());
+        r.push(&noise);
+        for _ in 0..64 {
+            match r.try_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) if e.recoverable() => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Length headers beyond the cap are rejected as fatal, regardless of
+    /// what follows.
+    #[test]
+    fn oversized_lengths_are_fatal(
+        len in 4097u32..u32::MAX,
+        tail in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut r = FrameReader::new(4096, JsonLimits::default());
+        r.push(&len.to_be_bytes());
+        r.push(&tail);
+        let e = r.try_frame().unwrap_err();
+        prop_assert!(matches!(e, FrameError::TooLarge { .. }));
+        prop_assert!(!e.recoverable());
+    }
+
+    /// Valid requests survive the full request → JSON → frame → JSON →
+    /// request pipeline unchanged.
+    #[test]
+    fn request_roundtrip(script in prop::collection::vec(any::<u8>(), 0..200)) {
+        let req = request_from_script(&mut script.as_slice());
+        let bytes = encode(&req.to_json(), 1 << 20).unwrap();
+        let mut r = reader();
+        r.push(&bytes);
+        let v = r.try_frame().unwrap().expect("complete frame");
+        let back = Request::from_json(&v, &ProtoLimits::default()).expect("valid request");
+        prop_assert_eq!(back, req);
+    }
+
+    /// Arbitrary JSON fed to the request/response parsers: accept or
+    /// structured error, never panic.
+    #[test]
+    fn parsers_never_panic(script in prop::collection::vec(any::<u8>(), 0..200)) {
+        let v = json_from_script(&mut script.as_slice(), 3);
+        let _ = Request::from_json(&v, &ProtoLimits::default());
+        let _ = Response::from_json(&v);
+    }
+}

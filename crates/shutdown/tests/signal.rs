@@ -1,0 +1,39 @@
+//! The one test that actually raises a signal at this process.
+//!
+//! It lives alone in its own integration-test binary on purpose: the second
+//! shutdown signal a process receives hard-exits it, so at most one test per
+//! binary may ever raise one — two tests racing would kill the harness.
+
+#![cfg(unix)]
+
+use std::time::{Duration, Instant};
+
+use flowrel_shutdown::ShutdownSignal;
+
+extern "C" {
+    fn getpid() -> i32;
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+#[test]
+fn first_sigterm_trips_the_token_without_killing_the_process() {
+    let sig = ShutdownSignal::install();
+    let again = ShutdownSignal::install(); // idempotent: same state
+    assert!(!sig.fired());
+    assert!(!sig.token().is_tripped());
+    const SIGTERM: i32 = 15;
+    unsafe {
+        assert_eq!(kill(getpid(), SIGTERM), 0);
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !sig.token().is_tripped() {
+        assert!(Instant::now() < deadline, "token must trip within 5s");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(sig.fired());
+    assert!(again.token().is_tripped(), "all handles share the state");
+    assert_eq!(sig.signal_name(), Some("SIGTERM"));
+    // handles installed after the fact observe the already-fired signal
+    let late = ShutdownSignal::install();
+    assert!(late.token().is_tripped());
+}
