@@ -1,0 +1,305 @@
+//! Structural-reduction benchmark: measures what the fixed-point reduction
+//! pipeline ([`flowrel_core::reduce`]) buys end to end — how many fallible
+//! link *bits* it removes from the exponent, and the wall-clock speedup of
+//! the full calculator with reduction on versus off — and emits
+//! machine-readable JSON (`BENCH_reduce.json`).
+//!
+//! Acceptance, asserted per run:
+//!
+//! - every `slack-barbell` row removes at least 30% of the fallible bits
+//!   (the family is built so each pass — capacity clamp, parallel merge,
+//!   spur prune, perfect-link contraction — fires);
+//! - at least one non-smoke row is at least 3x faster end to end with
+//!   reduction on;
+//! - every row's reduced and unreduced reliabilities agree to 1e-12.
+//!
+//! Usage: `bench_reduce [--smoke] [output.json]`
+//!
+//! `--smoke` shrinks the matrix to sub-second instances: a CI check that
+//! the pipeline still fires on every family and agrees with the unreduced
+//! sweep, not a measurement — the speedup bar is not asserted.
+
+use std::time::Instant;
+
+use flowrel_core::{
+    reduce, reliability_naive, CalcOptions, FlowDemand, ReliabilityCalculator, Strategy,
+};
+use workloads::generators::{chained_barbell, grid, kary_nested_cut, slack_barbell, Instance};
+
+/// Naive enumeration is used as a ground-truth cross-check only below this
+/// many links.
+const NAIVE_CHECK_MAX_EDGES: usize = 22;
+
+/// Fraction of fallible bits every `slack-barbell` row must shed.
+const SLACK_BIT_BAR: f64 = 0.30;
+
+/// End-to-end speedup at least one non-smoke row must reach.
+const SPEEDUP_BAR: f64 = 3.0;
+
+struct Case {
+    instance: &'static str,
+    inst: Instance,
+    /// Rows in the slack-barbell family carry the 30% bit-reduction bar.
+    slack: bool,
+}
+
+struct Row {
+    instance: &'static str,
+    edges: usize,
+    fallible_before: usize,
+    fallible_after: usize,
+    relevance_removed: usize,
+    bound_removed: usize,
+    clamped: usize,
+    merged: usize,
+    contracted: usize,
+    rounds: usize,
+    on_ms: f64,
+    off_ms: f64,
+    r_on: f64,
+    r_off: f64,
+    naive_checked: bool,
+    slack: bool,
+}
+
+impl Row {
+    fn bit_reduction(&self) -> f64 {
+        1.0 - self.fallible_after as f64 / self.fallible_before.max(1) as f64
+    }
+
+    fn speedup(&self) -> f64 {
+        self.off_ms / self.on_ms.max(1e-6)
+    }
+
+    fn agrees(&self) -> bool {
+        (self.r_on - self.r_off).abs() < 1e-12
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"instance\": \"{}\", \"edges\": {}, ",
+                "\"fallible_before\": {}, \"fallible_after\": {}, ",
+                "\"bit_reduction\": {:.4}, \"relevance_removed\": {}, ",
+                "\"bound_removed\": {}, \"clamped\": {}, \"merged\": {}, ",
+                "\"contracted\": {}, \"rounds\": {}, ",
+                "\"on_ms\": {:.3}, \"off_ms\": {:.3}, \"speedup\": {:.1}, ",
+                "\"reliability_on\": {:.12e}, \"reliability_off\": {:.12e}, ",
+                "\"agree_1e12\": {}, \"naive_checked\": {}}}"
+            ),
+            self.instance,
+            self.edges,
+            self.fallible_before,
+            self.fallible_after,
+            self.bit_reduction(),
+            self.relevance_removed,
+            self.bound_removed,
+            self.clamped,
+            self.merged,
+            self.contracted,
+            self.rounds,
+            self.on_ms,
+            self.off_ms,
+            self.speedup(),
+            self.r_on,
+            self.r_off,
+            self.agrees(),
+            self.naive_checked,
+        )
+    }
+}
+
+/// Times one configuration: warm run (kept for the reliability) plus a
+/// best-of-3, batching sub-2 ms runs so the ratio is not scheduler noise.
+fn timed(net: &netgraph::Network, d: FlowDemand, reduce_on: bool) -> (f64, f64) {
+    let calc = ReliabilityCalculator::new()
+        .with_strategy(Strategy::Auto)
+        .with_options(CalcOptions {
+            reduce: reduce_on,
+            ..CalcOptions::default()
+        });
+    let start = Instant::now();
+    let rep = calc.run_complete(net, d).expect("bench instance solves");
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    let reps = if warm_ms < 2.0 { 25 } else { 1 };
+    let mut ms = warm_ms;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            calc.run_complete(net, d).expect("bench instance solves");
+        }
+        ms = ms.min(start.elapsed().as_secs_f64() * 1e3 / reps as f64);
+    }
+    (rep.reliability, ms)
+}
+
+fn run_case(case: &Case) -> Row {
+    let inst = &case.inst;
+    let d = FlowDemand::new(inst.source, inst.sink, inst.demand);
+    let opts = CalcOptions::default();
+    let red = reduce(&inst.net, d, true, opts.solver);
+    let (r_on, on_ms) = timed(&inst.net, d, true);
+    let (r_off, off_ms) = timed(&inst.net, d, false);
+    let naive_checked = inst.net.edge_count() <= NAIVE_CHECK_MAX_EDGES;
+    if naive_checked {
+        let exact = reliability_naive(&inst.net, d, &opts).expect("naive");
+        assert!(
+            (r_on - exact).abs() < 1e-12,
+            "{}: reduced {} vs naive {exact}",
+            case.instance,
+            r_on
+        );
+    }
+    Row {
+        instance: case.instance,
+        edges: inst.net.edge_count(),
+        fallible_before: red.original_fallible,
+        fallible_after: red.fallible_links(),
+        relevance_removed: red.stats.relevance_removed,
+        bound_removed: red.stats.bound_removed,
+        clamped: red.stats.clamped,
+        merged: red.stats.merged,
+        contracted: red.stats.contracted,
+        rounds: red.stats.rounds,
+        on_ms,
+        off_ms,
+        r_on,
+        r_off,
+        naive_checked,
+        slack: case.slack,
+    }
+}
+
+fn cases(smoke: bool) -> Vec<Case> {
+    if smoke {
+        return vec![
+            Case {
+                instance: "slack-barbell-3x2",
+                inst: slack_barbell(3, 2, 1),
+                slack: true,
+            },
+            Case {
+                instance: "chained-barbell-3x3",
+                inst: chained_barbell(3, 3, 1, 11),
+                slack: false,
+            },
+        ];
+    }
+    vec![
+        // the designed workload: every reduction pass fires, and the row is
+        // small enough for the naive ground-truth cross-check
+        Case {
+            instance: "slack-barbell-3x2",
+            inst: slack_barbell(3, 2, 1),
+            slack: true,
+        },
+        Case {
+            instance: "slack-barbell-4x2",
+            inst: slack_barbell(4, 2, 7),
+            slack: true,
+        },
+        // the headline speedup rows: unreduced, the calculator faces a
+        // 40+-bit sweep; reduced, a third of the bits are gone and the
+        // decomposition collapses further
+        Case {
+            instance: "slack-barbell-5x3",
+            inst: slack_barbell(5, 3, 1),
+            slack: true,
+        },
+        Case {
+            instance: "slack-barbell-6x3",
+            inst: slack_barbell(6, 3, 1),
+            slack: true,
+        },
+        // bridge chains: contraction + relevance feedback dominate
+        Case {
+            instance: "chained-barbell-4x3",
+            inst: chained_barbell(4, 3, 1, 11),
+            slack: false,
+        },
+        // deep-cut family: slack in the cluster interiors clamps away
+        Case {
+            instance: "kary-nested-cut-2x2",
+            inst: kary_nested_cut(2, 2, 11),
+            slack: false,
+        },
+        // near-identity coverage: a uniform grid barely reduces, and the
+        // pipeline must not slow the calculator down when it has nothing
+        // to do
+        Case {
+            instance: "grid-3x3",
+            inst: grid(3, 3, 5),
+            slack: false,
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_reduce.json".to_string());
+
+    let cases = cases(smoke);
+    let rows: Vec<Row> = cases.iter().map(run_case).collect();
+
+    let mut failures = Vec::new();
+    for row in &rows {
+        println!(
+            "{:>20}: {} links, {} -> {} fallible bits (-{:.0}%), on {:.2} ms vs off {:.2} ms \
+             ({:.1}x), -{} bound, {} clamped, {} merged, {} contracted, {} rounds, agree={}",
+            row.instance,
+            row.edges,
+            row.fallible_before,
+            row.fallible_after,
+            100.0 * row.bit_reduction(),
+            row.on_ms,
+            row.off_ms,
+            row.speedup(),
+            row.bound_removed,
+            row.clamped,
+            row.merged,
+            row.contracted,
+            row.rounds,
+            row.agrees(),
+        );
+        if !row.agrees() {
+            failures.push(format!(
+                "{}: reduced {:.15e} vs unreduced {:.15e} differ beyond 1e-12",
+                row.instance, row.r_on, row.r_off
+            ));
+        }
+        if row.slack && row.bit_reduction() < SLACK_BIT_BAR {
+            failures.push(format!(
+                "{}: only {:.0}% of fallible bits removed (bar {:.0}%)",
+                row.instance,
+                100.0 * row.bit_reduction(),
+                100.0 * SLACK_BIT_BAR
+            ));
+        }
+    }
+    if !smoke && !rows.iter().any(|r| r.speedup() >= SPEEDUP_BAR) {
+        failures.push(format!(
+            "no row reached the {SPEEDUP_BAR:.0}x end-to-end speedup bar"
+        ));
+    }
+
+    let body: Vec<String> = rows.iter().map(|r| format!("    {}", r.json())).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"bench_reduce\",\n  \"smoke\": {smoke},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

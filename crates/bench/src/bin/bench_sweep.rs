@@ -8,6 +8,15 @@
 //!
 //! `--smoke` runs one rep on small graphs: a seconds-scale CI check that the
 //! full mode matrix still executes and agrees, not a measurement.
+//!
+//! ## JSON schema
+//!
+//! Every mode row — measured or skipped — carries the same key set: `mode`,
+//! `solver`, `wall_seconds`, `configs`, `configs_per_sec`, `solver_calls`,
+//! `solver_calls_avoided`, `cache_hit_rate`, `flips`, `repairs`,
+//! `full_resolves`, `speedup_vs_baseline`, `skipped`. Skipped rows (the
+//! naive path on graphs past the `2^|E|` budget) null every metric and set
+//! `skipped` to the reason; measured rows set `skipped` to `null`.
 
 use std::time::Instant;
 
@@ -51,7 +60,7 @@ fn mode_json(m: &ModeRow, baseline_seconds: f64) -> String {
             "\"configs\": {}, \"configs_per_sec\": {:.1}, \"solver_calls\": {}, ",
             "\"solver_calls_avoided\": {}, \"cache_hit_rate\": {:.4}, ",
             "\"flips\": {}, \"repairs\": {}, \"full_resolves\": {}, ",
-            "\"speedup_vs_baseline\": {:.3}}}"
+            "\"speedup_vs_baseline\": {:.3}, \"skipped\": null}}"
         ),
         m.label,
         m.solver,
@@ -65,6 +74,23 @@ fn mode_json(m: &ModeRow, baseline_seconds: f64) -> String {
         m.stats.repairs,
         m.stats.full_resolves,
         baseline_seconds / m.seconds.max(1e-12),
+    )
+}
+
+/// A mode row that did not run: identical key set to [`mode_json`], every
+/// metric `null`, and a non-null `skipped` reason — so JSON consumers can
+/// treat skipped and measured rows uniformly and tell "not run" from "ran
+/// and produced nothing".
+fn skipped_mode_json(label: &str, solver: &str, reason: &str) -> String {
+    format!(
+        concat!(
+            "{{\"mode\": \"{}\", \"solver\": \"{}\", \"wall_seconds\": null, ",
+            "\"configs\": null, \"configs_per_sec\": null, \"solver_calls\": null, ",
+            "\"solver_calls_avoided\": null, \"cache_hit_rate\": null, ",
+            "\"flips\": null, \"repairs\": null, \"full_resolves\": null, ",
+            "\"speedup_vs_baseline\": null, \"skipped\": \"{}\"}}"
+        ),
+        label, solver, reason,
     )
 }
 
@@ -212,10 +238,17 @@ fn main() {
             );
         }
 
-        // an explicit skip marker, so a reader of the JSON can tell "not run"
-        // from "ran and produced nothing"
         let naive_json = if naive_skipped {
-            format!("{{\"skipped\": \"2^{edges} configs over naive budget\"}}")
+            let reason = format!("2^{edges} configs over naive budget");
+            let solver = CalcOptions::default().solver.name();
+            format!(
+                "[\n    {}\n   ]",
+                MODES
+                    .iter()
+                    .map(|(label, ..)| skipped_mode_json(label, solver, &reason))
+                    .collect::<Vec<_>>()
+                    .join(",\n    ")
+            )
         } else {
             format!(
                 "[\n    {}\n   ]",

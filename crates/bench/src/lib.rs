@@ -2,6 +2,12 @@
 //! binary. Each experiment id in DESIGN.md maps to one bench target in
 //! `benches/` plus (where the artifact is a table/figure rather than a
 //! timing) a `paper_tables` subcommand.
+//!
+//! JSON artifacts follow a uniform row convention: rows that were skipped
+//! (e.g. the naive path past its `2^|E|` budget in `BENCH_sweep.json`) keep
+//! the exact key set of measured rows with every metric `null` and a
+//! non-null `skipped` reason, so downstream tooling never branches on row
+//! shape.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

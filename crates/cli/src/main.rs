@@ -9,7 +9,7 @@
 //!                             [--rel-err EPS] [--ci HALF] [--samples N] [--seed S]
 //! flowrel analyze <file.fnet> [--max-k K]
 //! flowrel mc <file.fnet> [--samples N] [--seed S]
-//! flowrel generate <barbell|chain|grid|mesh> [args...]
+//! flowrel generate <barbell|chain|grid|mesh|slack-barbell> [args...]
 //! flowrel dot <file.fnet>
 //! ```
 //!
@@ -94,7 +94,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp|mc] [--exact] [--parallel] [--no-certs]\n  \
-         {:17}[--no-incremental] [--parallel-threshold N] [--timeout SECS] [--max-configs N]\n  \
+         {:17}[--no-incremental] [--no-reduce] [--parallel-threshold N] [--timeout SECS] [--max-configs N]\n  \
          {:17}[--max-depth N] [--explain] [--checkpoint PATH] [--resume PATH]\n  \
          {:17}[--mc-estimator auto|crude|dagger|perm] [--rel-err EPS] [--ci HALF] [--samples N] [--seed S]\n  \
          flowrel analyze <file.fnet> [--max-k K]\n  \
@@ -104,6 +104,7 @@ fn usage() -> ExitCode {
          flowrel generate chain <segments> <demand> <seed>\n  \
          flowrel generate grid <w> <h> <seed>\n  \
          flowrel generate mesh <peers> <neighbors> <rate> <seed>\n  \
+         flowrel generate slack-barbell <segments> <spurs> <seed>\n  \
          flowrel dot <file.fnet>",
         "",
         "",
@@ -175,22 +176,72 @@ fn mc_settings(args: &[String]) -> Result<montecarlo::McSettings, CliError> {
 /// for the bottleneck-planning strategies, or says why there is none.
 /// Informational only — planning failures here never abort the computation.
 fn explain(net: &netgraph::Network, demand: FlowDemand, strategy: &Strategy, opts: &CalcOptions) {
-    let planned = match strategy {
-        Strategy::Bottleneck(cut) => validate_bottleneck_set(net, demand.source, demand.sink, cut)
-            .and_then(|set| DecompositionPlan::plan_on_set(net, demand, &set, opts, 3)),
-        Strategy::BottleneckAuto { max_k } => {
-            find_bottleneck_set(net, demand.source, demand.sink, *max_k)
-                .and_then(|set| DecompositionPlan::plan_on_set(net, demand, &set, opts, *max_k))
-        }
-        Strategy::Auto => find_bottleneck_set(net, demand.source, demand.sink, 3)
-            .and_then(|set| DecompositionPlan::plan_on_set(net, demand, &set, opts, 3)),
-        other => {
-            println!("plan: not applicable ({other:?} does not use the decomposition planner)");
-            return;
-        }
+    if matches!(
+        strategy,
+        Strategy::Naive | Strategy::Factoring | Strategy::MonteCarlo(_)
+    ) {
+        println!("plan: not applicable ({strategy:?} does not use the decomposition planner)");
+        return;
+    }
+    // Mirror the calculator: reduce first (when enabled), plan the remnant,
+    // and render the plan wrapped in the reduction node so link references
+    // read in the original numbering.
+    let mut red = opts
+        .reduce
+        .then(|| flowrel_core::reduce(net, demand, true, opts.solver))
+        .filter(|r| !r.is_identity());
+    // An explicit cut arrives in original link ids; translate it into the
+    // reduced id space, or drop the reduction when a referenced link no
+    // longer exists (the calculator runs such strategies unreduced too).
+    let cut = match strategy {
+        Strategy::Bottleneck(cut) => Some(match &red {
+            Some(r) => {
+                let map = r.original_to_reduced();
+                let mut translated = Vec::new();
+                let ok = cut
+                    .iter()
+                    .all(|e| match map.get(e.index()).copied().flatten() {
+                        Some(x) => {
+                            if !translated.contains(&x) {
+                                translated.push(x);
+                            }
+                            true
+                        }
+                        None => false,
+                    });
+                if ok {
+                    translated
+                } else {
+                    red = None;
+                    cut.clone()
+                }
+            }
+            None => cut.clone(),
+        }),
+        _ => None,
+    };
+    if let Some(r) = &red {
+        println!("{}", r.summary());
+    }
+    let (pnet, pdemand) = red.as_ref().map_or((net, demand), |r| (&r.net, r.demand));
+    let max_k = match strategy {
+        Strategy::BottleneckAuto { max_k } => *max_k,
+        _ => 3,
+    };
+    let planned = match &cut {
+        Some(c) => validate_bottleneck_set(pnet, pdemand.source, pdemand.sink, c)
+            .and_then(|set| DecompositionPlan::plan_on_set(pnet, pdemand, &set, opts, max_k)),
+        None => find_bottleneck_set(pnet, pdemand.source, pdemand.sink, max_k)
+            .and_then(|set| DecompositionPlan::plan_on_set(pnet, pdemand, &set, opts, max_k)),
     };
     match planned {
-        Ok(plan) => print!("{}", plan.render()),
+        Ok(plan) => {
+            let plan = match &red {
+                Some(r) => plan.with_reduction(r),
+                None => plan,
+            };
+            print!("{}", plan.render());
+        }
         Err(e) => println!("plan: none ({e}); the strategy will fall back or fail accordingly"),
     }
 }
@@ -290,6 +341,7 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
         parallel: args.iter().any(|a| a == "--parallel"),
         certificate_cache: !args.iter().any(|a| a == "--no-certs"),
         incremental: !args.iter().any(|a| a == "--no-incremental"),
+        reduce: !args.iter().any(|a| a == "--no-reduce"),
         parallel_threshold: parallel_threshold.unwrap_or(defaults.parallel_threshold),
         max_depth: max_depth.unwrap_or(defaults.max_depth),
         budget: Budget {
@@ -538,9 +590,20 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
             };
             (sc.net, FlowDemand::new(sc.server, sub, sc.stream_rate))
         }
+        Some("slack-barbell") => {
+            let inst = workloads::generators::slack_barbell(
+                parse_or(1, 3) as usize,
+                parse_or(2, 2) as usize,
+                parse_or(3, 1),
+            );
+            (
+                inst.net,
+                FlowDemand::new(inst.source, inst.sink, inst.demand),
+            )
+        }
         _ => {
             return Err(CliError::usage(
-                "generate: expected barbell|chain|grid|mesh",
+                "generate: expected barbell|chain|grid|mesh|slack-barbell",
             ))
         }
     };

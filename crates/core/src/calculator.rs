@@ -14,11 +14,30 @@ use crate::factoring::{reliability_factoring, reliability_factoring_anytime, Fac
 use crate::naive::{reliability_naive_anytime, NaiveOutcome};
 use crate::options::CalcOptions;
 use crate::plan::{DecompositionPlan, PlanOutcome};
+use crate::reduce::{reduce, Reduction};
 
 /// Recursive-cut cardinality searched below the root split when the strategy
 /// does not name one (explicit [`Strategy::Bottleneck`] cuts and the auto
 /// strategies all recurse with this `k`).
 const PLAN_RECURSE_K: usize = 3;
+
+/// Marks an algorithm name as having run on the structurally reduced
+/// instance. Idempotent, so resume restamping can't double-prefix.
+fn reduced_name(alg: &'static str) -> &'static str {
+    match alg {
+        "naive" => "reduce+naive",
+        "factoring" => "reduce+factoring",
+        "bottleneck" => "reduce+bottleneck",
+        "bottleneck-auto" => "reduce+bottleneck-auto",
+        "auto:bottleneck" => "reduce+auto:bottleneck",
+        "auto:naive" => "reduce+auto:naive",
+        "auto:factoring" => "reduce+auto:factoring",
+        "montecarlo:dagger" => "reduce+montecarlo:dagger",
+        "montecarlo:perm" => "reduce+montecarlo:perm",
+        "montecarlo:crude" => "reduce+montecarlo:crude",
+        other => other,
+    }
+}
 
 /// Which algorithm to run.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -176,7 +195,26 @@ impl ReliabilityCalculator {
     /// ([`crate::plan`]): the cut's sides are themselves decomposed along
     /// nested bottlenecks up to [`CalcOptions::max_depth`] levels before any
     /// sweep runs. `max_depth: 0` restores the flat one-level decomposition.
+    ///
+    /// With [`CalcOptions::reduce`] (the default) the instance first goes
+    /// through the structural reduction pipeline ([`crate::reduce`]); every
+    /// strategy then sweeps the — exactly equivalent — reduced instance.
+    /// Partial checkpoints stay stamped with the *original* instance
+    /// fingerprint plus the reduced shape, so resume re-derives and verifies
+    /// the reduction ([`Checkpoint::reduce_shape`]).
     pub fn run(&self, net: &Network, demand: FlowDemand) -> Result<Outcome, ReliabilityError> {
+        if self.options.reduce {
+            demand.validate(net)?;
+            let red = reduce(net, demand, true, self.options.solver);
+            if !red.is_identity() {
+                return self.run_reduced(net, demand, &red);
+            }
+        }
+        self.run_strategy(net, demand)
+    }
+
+    /// Strategy dispatch on the instance exactly as given (no reduction).
+    fn run_strategy(&self, net: &Network, demand: FlowDemand) -> Result<Outcome, ReliabilityError> {
         match &self.strategy {
             Strategy::Naive => self.naive_outcome(net, demand, "naive", None),
             Strategy::Factoring => {
@@ -208,6 +246,65 @@ impl ReliabilityCalculator {
         }
     }
 
+    /// Runs the strategy on a (non-identity) reduced instance and restamps
+    /// the outcome: partial checkpoints keep the *original* fingerprint and
+    /// record the reduced shape, and the algorithm name gains a `reduce+`
+    /// prefix so reports show that the sweep ran on the reduced instance.
+    fn run_reduced(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        red: &Reduction,
+    ) -> Result<Outcome, ReliabilityError> {
+        // explicit original-id link references must be translated into the
+        // reduced id space; when one was removed outright the explicit
+        // strategy is not expressible on the reduced instance — run unreduced
+        let Some(strategy) = self.translate_strategy(red) else {
+            return self.run_strategy(net, demand);
+        };
+        let calc = ReliabilityCalculator {
+            strategy,
+            options: self.options.clone(),
+        };
+        let mut out = calc.run_strategy(&red.net, red.demand)?;
+        match &mut out {
+            Outcome::Complete(rep) => rep.algorithm = reduced_name(rep.algorithm),
+            Outcome::Partial(p) => {
+                p.algorithm = reduced_name(p.algorithm);
+                p.checkpoint.fingerprint = instance_fingerprint(net, &demand, &self.options);
+                p.checkpoint.reduce_shape =
+                    Some(instance_fingerprint(&red.net, &red.demand, &self.options));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rewrites explicit original link ids in the strategy into reduced ids
+    /// (merged links translate to their merged representative). `None` when
+    /// a referenced link no longer exists in the reduced instance.
+    fn translate_strategy(&self, red: &Reduction) -> Option<Strategy> {
+        let map = red.original_to_reduced();
+        let translate = |edges: &[EdgeId]| -> Option<Vec<EdgeId>> {
+            let mut out: Vec<EdgeId> = Vec::with_capacity(edges.len());
+            for e in edges {
+                let r = (*map.get(e.index())?)?;
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+            Some(out)
+        };
+        Some(match &self.strategy {
+            Strategy::Bottleneck(cut) => Strategy::Bottleneck(translate(cut)?),
+            Strategy::MonteCarlo(s) if !s.strata.is_empty() => {
+                let mut s = s.clone();
+                s.strata = translate(&s.strata)?;
+                Strategy::MonteCarlo(s)
+            }
+            other => other.clone(),
+        })
+    }
+
     /// As [`Self::run`], but demands a finished answer: a budget interruption
     /// surfaces as [`ReliabilityError::Interrupted`] carrying the bounds.
     pub fn run_complete(
@@ -230,6 +327,12 @@ impl ReliabilityCalculator {
     /// demand, and enumeration-relevant options); the algorithm is taken
     /// from the checkpoint, not from [`Self::strategy`]. A resumed serial
     /// run reproduces the uninterrupted serial result bit for bit.
+    ///
+    /// A checkpoint written against a reduced instance
+    /// ([`Checkpoint::reduce_shape`]) re-derives the (deterministic)
+    /// reduction and verifies its shape before splicing the cursors back in;
+    /// legacy checkpoints without the shape resume on the instance exactly
+    /// as given, whatever [`CalcOptions::reduce`] says now.
     pub fn resume(
         &self,
         net: &Network,
@@ -246,6 +349,49 @@ impl ReliabilityCalculator {
                 ),
             });
         }
+        // Pin `reduce` to what the checkpoint recorded: the plan shape is
+        // re-derived below (per-side reduction included), so a `--no-reduce`
+        // flip between write and resume must not change the derivation.
+        let pinned = |reduce: bool| ReliabilityCalculator {
+            strategy: self.strategy.clone(),
+            options: CalcOptions {
+                reduce,
+                ..self.options.clone()
+            },
+        };
+        let Some(shape) = checkpoint.reduce_shape else {
+            return pinned(false).resume_kind(net, demand, checkpoint);
+        };
+        let red = reduce(net, demand, true, self.options.solver);
+        let got = instance_fingerprint(&red.net, &red.demand, &self.options);
+        if got != shape {
+            return Err(ReliabilityError::CheckpointMismatch {
+                reason: format!(
+                    "checkpoint was written against reduced shape {shape:016x}, but the \
+                     reduction now yields {got:016x}; the instance or pipeline changed"
+                ),
+            });
+        }
+        let mut out = pinned(true).resume_kind(&red.net, red.demand, checkpoint)?;
+        match &mut out {
+            Outcome::Complete(rep) => rep.algorithm = reduced_name(rep.algorithm),
+            Outcome::Partial(p) => {
+                p.algorithm = reduced_name(p.algorithm);
+                p.checkpoint.fingerprint = fp;
+                p.checkpoint.reduce_shape = Some(shape);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dispatches a resume on the instance the checkpoint's cursors index
+    /// (the reduced instance when a shape was recorded).
+    fn resume_kind(
+        &self,
+        net: &Network,
+        demand: FlowDemand,
+        checkpoint: &Checkpoint,
+    ) -> Result<Outcome, ReliabilityError> {
         match &checkpoint.kind {
             CheckpointKind::Naive(ck) => self.naive_outcome(net, demand, "naive", Some(ck)),
             // Flat one-level decomposition checkpoints from before the
@@ -352,6 +498,7 @@ impl ReliabilityCalculator {
                 mc: None,
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
+                    reduce_shape: None,
                     kind: CheckpointKind::Plan(checkpoint),
                 },
             }))),
@@ -389,6 +536,7 @@ impl ReliabilityCalculator {
                 mc: None,
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
+                    reduce_shape: None,
                     kind: CheckpointKind::Factoring(checkpoint),
                 },
             }))),
@@ -427,6 +575,7 @@ impl ReliabilityCalculator {
                 mc: None,
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
+                    reduce_shape: None,
                     kind: CheckpointKind::Naive(checkpoint),
                 },
             }))),
@@ -468,6 +617,7 @@ impl ReliabilityCalculator {
                 mc: None,
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
+                    reduce_shape: None,
                     kind: CheckpointKind::Bottleneck {
                         cut: set.edges.clone(),
                         side_s: *side_s,
@@ -569,6 +719,7 @@ impl ReliabilityCalculator {
                     mc: Some(report),
                     checkpoint: Checkpoint {
                         fingerprint: instance_fingerprint(net, &demand, &self.options),
+                        reduce_shape: None,
                         kind: CheckpointKind::MonteCarlo(checkpoint),
                     },
                 })))
@@ -661,7 +812,9 @@ mod tests {
     fn auto_uses_bottleneck_on_barbell() {
         let (net, d) = barbell();
         let rep = ReliabilityCalculator::new().run_complete(&net, d).unwrap();
-        assert_eq!(rep.algorithm, "auto:bottleneck");
+        // the barbell's overprovisioned bridge gets clamped by reduction,
+        // so the auto strategy reports sweeping the reduced instance
+        assert_eq!(rep.algorithm, "reduce+auto:bottleneck");
         let b = rep.bottleneck.expect("decomposition report");
         assert_eq!(b.set.edges, vec![EdgeId(3)]);
     }
@@ -755,6 +908,77 @@ mod tests {
     }
 
     #[test]
+    fn reduced_checkpoint_round_trips_and_resumes_bit_identically() {
+        // the barbell reduces (its cap-2 bridge clamps to the demand), so a
+        // budgeted run writes a reduce-shape stamped checkpoint
+        let (net, d) = barbell();
+        let exact = ReliabilityCalculator::new()
+            .with_strategy(Strategy::Naive)
+            .run_complete(&net, d)
+            .unwrap()
+            .reliability;
+        let budgeted = ReliabilityCalculator {
+            strategy: Strategy::Naive,
+            options: CalcOptions {
+                budget: crate::budget::Budget {
+                    max_configs: Some(16),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        };
+        let Outcome::Partial(p) = budgeted.run(&net, d).unwrap() else {
+            panic!("a 16-config budget must interrupt the barbell sweep");
+        };
+        assert!(p.checkpoint.reduce_shape.is_some());
+        assert_eq!(p.algorithm, "reduce+naive");
+        let text = p.checkpoint.to_text();
+        assert!(text.contains("reduce-shape"));
+        let parsed = Checkpoint::from_text(&text).unwrap();
+        let resumed = ReliabilityCalculator::new()
+            .resume(&net, d, &parsed)
+            .unwrap();
+        let Outcome::Complete(rep) = resumed else {
+            panic!("an unlimited resume must finish");
+        };
+        assert_eq!(rep.reliability, exact, "resume must be bit-identical");
+        assert_eq!(rep.algorithm, "reduce+naive");
+        // turning reduction off on resume is irrelevant: the shape line wins
+        let no_reduce = ReliabilityCalculator {
+            strategy: Strategy::Naive,
+            options: CalcOptions {
+                reduce: false,
+                ..Default::default()
+            },
+        };
+        let Outcome::Complete(rep2) = no_reduce.resume(&net, d, &parsed).unwrap() else {
+            panic!("resume must finish");
+        };
+        assert_eq!(rep2.reliability, exact);
+    }
+
+    #[test]
+    fn no_reduce_option_sweeps_the_original_instance() {
+        let (net, d) = barbell();
+        let rep = ReliabilityCalculator {
+            strategy: Strategy::Naive,
+            options: CalcOptions {
+                reduce: false,
+                ..Default::default()
+            },
+        }
+        .run_complete(&net, d)
+        .unwrap();
+        assert_eq!(rep.algorithm, "naive");
+        let reduced = ReliabilityCalculator::new()
+            .with_strategy(Strategy::Naive)
+            .run_complete(&net, d)
+            .unwrap();
+        assert_eq!(reduced.algorithm, "reduce+naive");
+        assert!((rep.reliability - reduced.reliability).abs() < 1e-12);
+    }
+
+    #[test]
     fn resume_rejects_a_different_instance() {
         let (net, d) = barbell();
         let budgeted = ReliabilityCalculator {
@@ -839,11 +1063,7 @@ mod tests {
                 .run_complete(&net, d)
                 .unwrap();
             let mc = rep.mc.expect("Monte-Carlo strategies attach a report");
-            assert!(
-                rep.algorithm.starts_with("montecarlo:"),
-                "{}",
-                rep.algorithm
-            );
+            assert!(rep.algorithm.contains("montecarlo:"), "{}", rep.algorithm);
             assert_eq!(rep.reliability, mc.mean);
             assert!(
                 (mc.mean - exact).abs() <= 4.0 * mc.std_error.max(1e-12),
@@ -864,7 +1084,7 @@ mod tests {
             }))
             .run_complete(&net, d)
             .unwrap();
-        assert_eq!(rep.algorithm, "montecarlo:dagger");
+        assert_eq!(rep.algorithm, "reduce+montecarlo:dagger");
     }
 
     #[test]

@@ -172,8 +172,17 @@ pub enum CheckpointKind {
 #[derive(Clone, Debug, PartialEq)]
 pub struct Checkpoint {
     /// Fingerprint of the instance (network + demand + enumeration-relevant
-    /// options) the snapshot belongs to; checked on resume.
+    /// options) the snapshot belongs to; checked on resume. Always the
+    /// fingerprint of the *original* instance as the user posed it, whether
+    /// or not structural reduction ran.
     pub fingerprint: u64,
+    /// When the run swept a structurally reduced instance
+    /// ([`crate::reduce`]), the fingerprint of that reduced instance. The
+    /// resuming process re-runs the (deterministic) reduction and verifies
+    /// the shape before splicing cursors back in; `None` means the sweep ran
+    /// on the original instance, so legacy checkpoints — whose text form has
+    /// no `reduce-shape` line — resume exactly as before.
+    pub reduce_shape: Option<u64>,
     /// Algorithm-specific payload.
     pub kind: CheckpointKind,
 }
@@ -244,6 +253,11 @@ impl Checkpoint {
         out.push_str(HEADER);
         out.push('\n');
         out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        if let Some(shape) = self.reduce_shape {
+            // v1 extension: absent for unreduced runs, so files written
+            // without reduction are byte-identical to the legacy format
+            out.push_str(&format!("reduce-shape {shape:016x}\n"));
+        }
         match &self.kind {
             CheckpointKind::Naive(n) => {
                 out.push_str("kind naive\n");
@@ -335,6 +349,16 @@ impl Checkpoint {
             16,
         )
         .map_err(|_| bad("unparseable fingerprint"))?;
+        // optional v1 extension line; `field` errors on a tag mismatch, so
+        // peek on a clone and only commit the advance when the tag matches
+        let save = lines.clone();
+        let reduce_shape = match field(&mut lines, "reduce-shape") {
+            Ok(f) => Some(parse_hex(f.first(), "reduce shape")?),
+            Err(_) => {
+                lines = save;
+                None
+            }
+        };
         let kind_line = field(&mut lines, "kind")?;
         let kind = match kind_line.first().copied() {
             Some("naive") => CheckpointKind::Naive(read_naive_body(&mut lines)?),
@@ -443,7 +467,11 @@ impl Checkpoint {
             }
             _ => return Err(bad("unknown checkpoint kind")),
         };
-        Ok(Checkpoint { fingerprint, kind })
+        Ok(Checkpoint {
+            fingerprint,
+            reduce_shape,
+            kind,
+        })
     }
 }
 
@@ -774,6 +802,7 @@ mod tests {
     fn naive_checkpoint() -> Checkpoint {
         Checkpoint {
             fingerprint: 0xdead_beef_0123_4567,
+            reduce_shape: None,
             kind: CheckpointKind::Naive(NaiveCheckpoint {
                 cursor: SweepCursor {
                     total: 1 << 12,
@@ -811,6 +840,7 @@ mod tests {
         };
         Checkpoint {
             fingerprint: 42,
+            reduce_shape: None,
             kind: CheckpointKind::Bottleneck {
                 cut: vec![EdgeId(2), EdgeId(5)],
                 side_s: side(64),
@@ -841,6 +871,7 @@ mod tests {
     fn mc_checkpoint(accum: montecarlo::McAccum) -> Checkpoint {
         Checkpoint {
             fingerprint: 7,
+            reduce_shape: None,
             kind: CheckpointKind::MonteCarlo(montecarlo::McCheckpoint {
                 settings: montecarlo::McSettings {
                     seed: 0x0123_4567_89ab_cdef,
@@ -906,6 +937,7 @@ mod tests {
         let side_x = side_s.clone();
         Checkpoint {
             fingerprint: 0x1234_5678_9abc_def0,
+            reduce_shape: None,
             kind: CheckpointKind::Plan(PlanCheckpoint {
                 root_cut: vec![EdgeId(3), EdgeId(9)],
                 root_max_k: 3,
@@ -938,6 +970,7 @@ mod tests {
     fn factoring_round_trip_is_exact() {
         let ck = Checkpoint {
             fingerprint: 99,
+            reduce_shape: None,
             kind: CheckpointKind::Factoring(FactoringCheckpoint {
                 accum: (0.98765, -0.0),
                 leaves: 1234,
@@ -956,6 +989,7 @@ mod tests {
     fn factoring_rejects_overlapping_frame_masks() {
         let text = Checkpoint {
             fingerprint: 1,
+            reduce_shape: None,
             kind: CheckpointKind::Factoring(FactoringCheckpoint {
                 accum: (0.0, 0.0),
                 leaves: 0,
@@ -976,6 +1010,25 @@ mod tests {
         assert!(Checkpoint::from_text(&truncated).is_err());
         let corrupted = text.replace("kind naive", "kind cubist");
         assert!(Checkpoint::from_text(&corrupted).is_err());
+    }
+
+    #[test]
+    fn reduce_shape_round_trips_and_stays_optional() {
+        // with a shape: the line round-trips
+        let mut ck = naive_checkpoint();
+        ck.reduce_shape = Some(0x0123_4567_89ab_cdef);
+        let text = ck.to_text();
+        assert!(text.contains("reduce-shape 0123456789abcdef"));
+        assert_eq!(Checkpoint::from_text(&text).unwrap(), ck);
+        // without: the text form is byte-identical to the legacy format,
+        // and legacy files (no reduce-shape line) parse to None
+        let legacy = naive_checkpoint();
+        assert!(!legacy.to_text().contains("reduce-shape"));
+        let back = Checkpoint::from_text(&legacy.to_text()).unwrap();
+        assert_eq!(back.reduce_shape, None);
+        // a malformed shape value is an error, not a silent None
+        let corrupt = text.replace("reduce-shape 0123456789abcdef", "reduce-shape zzz");
+        assert!(Checkpoint::from_text(&corrupt).is_err());
     }
 
     #[test]

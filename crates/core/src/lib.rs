@@ -55,6 +55,7 @@ pub mod oracle;
 pub mod plan;
 pub mod polynomial;
 pub mod preprocess;
+pub mod reduce;
 pub mod spectrum;
 pub mod spreduce;
 pub mod sweep;
@@ -105,6 +106,7 @@ pub use plan::{
 };
 pub use polynomial::{reliability_polynomial, ReliabilityPolynomial};
 pub use preprocess::{relevance_reduce, RelevantNetwork};
+pub use reduce::{reduce, ReduceStats, Reduction};
 pub use spectrum::RealizationSpectrum;
 pub use spreduce::{reduce_unit_demand, reliability_sp_reduced, ReducedNetwork, ReductionStats};
 pub use sweep::{

@@ -73,6 +73,13 @@ pub struct CalcOptions {
     /// scalar subtree times a smaller side. Off, every multi-assignment cut
     /// is swept whole (the PR 5 planner).
     pub recursive_cut_sides: bool,
+    /// Run the structural reduction pipeline ([`crate::reduce`]) — capacity-
+    /// factor pruning, forced-link conditioning, parallel-link merging — on
+    /// the instance before planning or sweeping. Exact: the reduced instance
+    /// has the identical reliability; reports and checkpoints carry a
+    /// reconstruction map back to original link ids. `--no-reduce` on the
+    /// CLI turns it off.
+    pub reduce: bool,
 }
 
 impl Default for CalcOptions {
@@ -94,6 +101,7 @@ impl Default for CalcOptions {
             budget: Budget::unlimited(),
             max_depth: 64,
             recursive_cut_sides: true,
+            reduce: true,
         }
     }
 }
@@ -119,6 +127,7 @@ impl CalcOptions {
             parallel: false,
             certificate_cache: false,
             incremental: false,
+            reduce: false,
             ..Default::default()
         }
     }

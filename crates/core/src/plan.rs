@@ -79,6 +79,7 @@ use crate::naive::{reliability_naive_anytime_on, NaiveOutcome};
 use crate::options::CalcOptions;
 use crate::oracle::{DemandOracle, SideOracle};
 use crate::preprocess::relevance_reduce;
+use crate::reduce::{reduce, ReduceStats};
 use crate::spreduce::{reduce_unit_demand, ReductionStats};
 use crate::sweep::{sweep_spectrum_budgeted, SweepConfig};
 use crate::weight::edge_weights;
@@ -211,6 +212,21 @@ pub enum PlanNode {
     Cut(Box<CutNode>),
     /// A bottleneck split whose sides are recursively decomposed.
     DeepCut(Box<DeepCutNode>),
+    /// Structural reduction ([`crate::reduce`]) rewrote this subproblem —
+    /// capacity-factor pruning, perfect-link contraction, parallel-link
+    /// merging — and the child is planned on the reduced instance. The
+    /// reduction is value-exact, so the interval passes through unchanged.
+    /// `origin` is the reconstruction map: `origin[i]` lists the original
+    /// link ids that reduced link `i` stands for, so renders and per-leaf
+    /// accounting can speak in the caller's ids.
+    Reduce {
+        /// What each pass of the reduction did.
+        stats: ReduceStats,
+        /// Reduced link id → original link ids it stands for.
+        origin: Vec<Vec<EdgeId>>,
+        /// The plan for the reduced instance.
+        child: Box<PlanNode>,
+    },
 }
 
 /// Result of executing a plan under a budget.
@@ -388,8 +404,24 @@ impl DecompositionPlan {
             self.max_depth,
             self.predicted_cost()
         );
-        render_node(&self.root, 1, &mut out);
+        render_node(&self.root, 1, &mut out, None);
         out
+    }
+
+    /// Wraps the plan's root in a [`PlanNode::Reduce`] node describing a
+    /// whole-instance structural reduction that ran *before* planning (the
+    /// calculator reduces first and plans on the reduced instance). This is
+    /// a presentation-layer wrapper for [`render`](Self::render): link ids
+    /// in the tree then print as the original instance's ids. The shape
+    /// fingerprint is deliberately left unchanged — it must keep matching
+    /// the checkpoints written by executing the unwrapped plan.
+    pub fn with_reduction(mut self, red: &crate::reduce::Reduction) -> Self {
+        self.root = PlanNode::Reduce {
+            stats: red.stats,
+            origin: red.edge_origin.clone(),
+            child: Box::new(self.root),
+        };
+        self
     }
 
     /// Executes the plan bottom-up under `opts.budget`, optionally resuming
@@ -616,9 +648,9 @@ fn exec_node(
             },
             slots: Vec::new(),
         }),
-        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => {
-            exec_node(child, ctx, sentinel)
-        }
+        PlanNode::Preprocess { child, .. }
+        | PlanNode::SpReduce { child, .. }
+        | PlanNode::Reduce { child, .. } => exec_node(child, ctx, sentinel),
         PlanNode::Bridge {
             up, left, right, ..
         } => {
@@ -1004,9 +1036,27 @@ fn split_node(
             max: opts.max_side_edges,
         });
     }
-    if opts.recursive_cut_sides && depth > 0 && set.edges.len() <= 16 {
+    // A DeepCut pays per-assignment spectrum transforms and a deeper slot
+    // walk on top of its sweeps, so a marginal predicted saving loses to
+    // the flat engine in practice. Charge each leaf slot a fixed setup
+    // equivalent (sweep init, warm state, spectrum assembly dominate
+    // sub-hundred-config leaves) and accept the deep shape only when it
+    // still wins by at least 2×; otherwise the plain `Cut` below is the
+    // cheaper shape. A flat sweep under the skip threshold can never be
+    // beaten by that margin (a deep tree has >= 2 slots), so don't even pay
+    // for constructing the candidate.
+    const LEAF_SETUP_COST: f64 = 128.0;
+    const DEEP_SKIP_FLAT_COST: f64 = 2048.0;
+    let side = |m: usize| (1u64 << m.min(63)) as f64;
+    let flat = assignments.len() as f64 * (side(set.side_s_edges) + side(set.side_t_edges));
+    if opts.recursive_cut_sides && depth > 0 && set.edges.len() <= 16 && flat > DEEP_SKIP_FLAT_COST
+    {
         if let Some(node) = deep_cut_node(net, demand, set, &assignments, depth, opts, max_k)? {
-            return Ok(node);
+            let mut slots = Vec::new();
+            collect_slots(&node, None, &mut slots);
+            if (cost(&node) + LEAF_SETUP_COST * slots.len() as f64) * 2.0 <= flat {
+                return Ok(node);
+            }
         }
     }
     Ok(PlanNode::Cut(Box::new(CutNode {
@@ -1279,6 +1329,23 @@ fn build_node(
         });
     }
     demand.validate(net)?;
+    // Structural reduction on every planner side: side subproblems carry
+    // perfect attach links and clamped slack that the whole-instance pass
+    // (which ran before planning) could not see from the outside. The
+    // per-side pass never clamps to the side demand — side values must stay
+    // value-exact, not merely predicate-exact. Reduction reaches a fixed
+    // point, so the recursive call finds nothing further and terminates.
+    if opts.reduce {
+        let red = reduce(net, demand, false, opts.solver);
+        if !red.is_identity() {
+            let child = build_node(&red.net, red.demand, depth, opts, max_k)?;
+            return Ok(PlanNode::Reduce {
+                stats: red.stats,
+                origin: red.edge_origin,
+                child: Box::new(child),
+            });
+        }
+    }
     let reduced = relevance_reduce(net, demand);
     if reduced.removed > 0 {
         let child = build_node(&reduced.net, reduced.demand, depth, opts, max_k)?;
@@ -1426,9 +1493,9 @@ fn number(node: &mut PlanNode, next: &mut usize) {
             c.index = *next;
             *next += 1;
         }
-        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => {
-            number(child, next)
-        }
+        PlanNode::Preprocess { child, .. }
+        | PlanNode::SpReduce { child, .. }
+        | PlanNode::Reduce { child, .. } => number(child, next),
         PlanNode::Bridge { left, right, .. } => {
             number(left, next);
             number(right, next);
@@ -1517,6 +1584,26 @@ fn hash_node(node: &PlanNode, h: &mut Fnv1a) {
             hash_side(&dc.side_s, h);
             hash_side(&dc.side_t, h);
         }
+        PlanNode::Reduce {
+            stats,
+            origin,
+            child,
+        } => {
+            h.write(10);
+            h.write(stats.relevance_removed as u64);
+            h.write(stats.bound_removed as u64);
+            h.write(stats.clamped as u64);
+            h.write(stats.merged as u64);
+            h.write(stats.contracted as u64);
+            h.write(origin.len() as u64);
+            for o in origin {
+                h.write(o.len() as u64);
+                for e in o {
+                    h.write(e.0 as u64);
+                }
+            }
+            hash_node(child, h);
+        }
     }
 }
 
@@ -1543,7 +1630,9 @@ fn cost(node: &PlanNode) -> f64 {
     match node {
         PlanNode::Const { .. } => 0.0,
         PlanNode::Leaf(l) => (1u64 << l.fallible.min(63)) as f64,
-        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => cost(child),
+        PlanNode::Preprocess { child, .. }
+        | PlanNode::SpReduce { child, .. }
+        | PlanNode::Reduce { child, .. } => cost(child),
         PlanNode::Bridge { left, right, .. } => cost(left) + cost(right),
         PlanNode::Cut(c) => {
             let side = |m: usize| (1u64 << m.min(63)) as f64;
@@ -1581,9 +1670,9 @@ fn remaining_cost(node: &PlanNode, resume: Option<&PlanCheckpoint>) -> f64 {
             }
             _ => cost(node),
         },
-        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => {
-            remaining_cost(child, resume)
-        }
+        PlanNode::Preprocess { child, .. }
+        | PlanNode::SpReduce { child, .. }
+        | PlanNode::Reduce { child, .. } => remaining_cost(child, resume),
         PlanNode::Bridge { left, right, .. } => {
             remaining_cost(left, resume) + remaining_cost(right, resume)
         }
@@ -1624,9 +1713,9 @@ fn collect_slots(node: &PlanNode, resume: Option<&PlanCheckpoint>, out: &mut Vec
             kind: "cut",
             predicted: remaining_cost(node, resume),
         }),
-        PlanNode::Preprocess { child, .. } | PlanNode::SpReduce { child, .. } => {
-            collect_slots(child, resume, out)
-        }
+        PlanNode::Preprocess { child, .. }
+        | PlanNode::SpReduce { child, .. }
+        | PlanNode::Reduce { child, .. } => collect_slots(child, resume, out),
         PlanNode::Bridge { left, right, .. } => {
             collect_slots(left, resume, out);
             collect_slots(right, resume, out);
@@ -1651,7 +1740,34 @@ fn collect_side_slots(sp: &SidePlan, resume: Option<&PlanCheckpoint>, out: &mut 
     }
 }
 
-fn render_node(node: &PlanNode, indent: usize, out: &mut String) {
+/// Renders one link id through the enclosing reduction maps, if any:
+/// a merged link prints as its member originals joined by `+`.
+fn render_id(e: EdgeId, origin: Option<&[Vec<EdgeId>]>) -> String {
+    match origin.and_then(|m| m.get(e.index())) {
+        Some(orig) if !orig.is_empty() => {
+            let parts: Vec<String> = orig.iter().map(|o| o.0.to_string()).collect();
+            parts.join("+")
+        }
+        _ => e.0.to_string(),
+    }
+}
+
+/// Composes a child reduction map with the enclosing one, so nested
+/// [`PlanNode::Reduce`] levels still render in the outermost (original) ids.
+fn compose_origin(outer: Option<&[Vec<EdgeId>]>, inner: &[Vec<EdgeId>]) -> Vec<Vec<EdgeId>> {
+    inner
+        .iter()
+        .map(|mids| match outer {
+            None => mids.clone(),
+            Some(o) => mids
+                .iter()
+                .flat_map(|m| o.get(m.index()).cloned().unwrap_or_else(|| vec![*m]))
+                .collect(),
+        })
+        .collect()
+}
+
+fn render_node(node: &PlanNode, indent: usize, out: &mut String, origin: Option<&[Vec<EdgeId>]>) {
     let pad = "  ".repeat(indent);
     match node {
         PlanNode::Const { value, reason } => {
@@ -1669,14 +1785,32 @@ fn render_node(node: &PlanNode, indent: usize, out: &mut String) {
         }
         PlanNode::Preprocess { removed, child } => {
             out.push_str(&format!("{pad}preprocess: -{removed} irrelevant links\n"));
-            render_node(child, indent + 1, out);
+            render_node(child, indent + 1, out, origin);
         }
         PlanNode::SpReduce { stats, child } => {
             out.push_str(&format!(
                 "{pad}sp-reduce: {} series, {} parallel, {} dangling, {} dropped\n",
                 stats.series, stats.parallel, stats.dangling, stats.dropped
             ));
-            render_node(child, indent + 1, out);
+            render_node(child, indent + 1, out, origin);
+        }
+        PlanNode::Reduce {
+            stats,
+            origin: map,
+            child,
+        } => {
+            out.push_str(&format!(
+                "{pad}reduce: -{} irrelevant, -{} capacity-bound, {} clamped, {} merged, {} contracted ({} round{})\n",
+                stats.relevance_removed,
+                stats.bound_removed,
+                stats.clamped,
+                stats.merged,
+                stats.contracted,
+                stats.rounds,
+                if stats.rounds == 1 { "" } else { "s" },
+            ));
+            let composed = compose_origin(origin, map);
+            render_node(child, indent + 1, out, Some(&composed));
         }
         PlanNode::Bridge {
             cut,
@@ -1684,13 +1818,15 @@ fn render_node(node: &PlanNode, indent: usize, out: &mut String) {
             left,
             right,
         } => {
-            let ids: Vec<String> = cut.iter().map(|e| e.0.to_string()).collect();
+            let ids: Vec<String> = cut.iter().map(|e| render_id(*e, origin)).collect();
             out.push_str(&format!("{pad}bridge cut=[{}] up={up:.6}\n", ids.join(",")));
-            render_node(left, indent + 1, out);
-            render_node(right, indent + 1, out);
+            // Side subproblems renumber links; the enclosing map does not
+            // apply below a split.
+            render_node(left, indent + 1, out, None);
+            render_node(right, indent + 1, out, None);
         }
         PlanNode::Cut(c) => {
-            let ids: Vec<String> = c.set.edges.iter().map(|e| e.0.to_string()).collect();
+            let ids: Vec<String> = c.set.edges.iter().map(|e| render_id(*e, origin)).collect();
             out.push_str(&format!(
                 "{pad}cut #{} [{}]: {} links, |D|={}, sides {}/{} links, ~{:.3e} configs\n",
                 c.index,
@@ -1703,7 +1839,7 @@ fn render_node(node: &PlanNode, indent: usize, out: &mut String) {
             ));
         }
         PlanNode::DeepCut(dc) => {
-            let ids: Vec<String> = dc.set.edges.iter().map(|e| e.0.to_string()).collect();
+            let ids: Vec<String> = dc.set.edges.iter().map(|e| render_id(*e, origin)).collect();
             out.push_str(&format!(
                 "{pad}deep-cut [{}]: {} links, |D|={}, ~{:.3e} configs\n",
                 ids.join(","),
@@ -1731,7 +1867,7 @@ fn render_side(sp: &SidePlan, indent: usize, out: &mut String) {
         }
         SidePlan::Peel { up, scalar, inner } => {
             out.push_str(&format!("{pad}peel up={up:.6}\n"));
-            render_node(scalar, indent + 1, out);
+            render_node(scalar, indent + 1, out, None);
             render_side(inner, indent + 1, out);
         }
     }
@@ -1769,25 +1905,33 @@ mod tests {
         (net, FlowDemand::new(first.unwrap(), last.unwrap(), 1))
     }
 
-    /// Two triangles joined through a 2-link parallel hub: the balanced cut
-    /// is the hub pair (|D| = 2, no bridge), and each side then peels at
-    /// its own internal bridge — the smallest instance exercising
-    /// [`PlanNode::DeepCut`] with nested peels on both sides.
+    /// Two sides — each a chain of three triangles joined by bridges,
+    /// 11 links a side — joined through a 2-link parallel hub: the balanced
+    /// cut is the hub pair (|D| = 2, no bridge), each side then peels at
+    /// its own internal bridges, and the sides are large enough (2^11 flat
+    /// configs each) that the deep split clears the acceptance gate's
+    /// per-leaf setup charge instead of falling back to a flat cut.
     fn hub_barbell(p: f64) -> (Network, FlowDemand) {
         let mut b = NetworkBuilder::new(GraphKind::Undirected);
-        let n = b.add_nodes(8);
-        b.add_edge(n[0], n[1], 2, p).unwrap();
-        b.add_edge(n[1], n[2], 2, p).unwrap();
-        b.add_edge(n[2], n[0], 2, p).unwrap();
-        b.add_edge(n[2], n[3], 2, p).unwrap();
-        b.add_edge(n[3], n[4], 1, p).unwrap();
-        b.add_edge(n[3], n[4], 1, p).unwrap();
-        b.add_edge(n[4], n[5], 2, p).unwrap();
-        b.add_edge(n[5], n[6], 2, p).unwrap();
-        b.add_edge(n[6], n[7], 2, p).unwrap();
-        b.add_edge(n[7], n[5], 2, p).unwrap();
+        let side = |b: &mut NetworkBuilder| {
+            let n = b.add_nodes(9);
+            for t in 0..3 {
+                let base = 3 * t;
+                b.add_edge(n[base], n[base + 1], 2, p).unwrap();
+                b.add_edge(n[base + 1], n[base + 2], 2, p).unwrap();
+                b.add_edge(n[base + 2], n[base], 2, p).unwrap();
+                if t > 0 {
+                    b.add_edge(n[base - 1], n[base], 2, p).unwrap();
+                }
+            }
+            (n[0], n[8])
+        };
+        let (s, left_end) = side(&mut b);
+        let (right_start, t) = side(&mut b);
+        b.add_edge(left_end, right_start, 1, p).unwrap();
+        b.add_edge(left_end, right_start, 1, p).unwrap();
         let net = b.build();
-        (net, FlowDemand::new(n[0], n[6], 1))
+        (net, FlowDemand::new(s, t, 1))
     }
 
     fn plan_for_k(
@@ -1979,7 +2123,7 @@ mod tests {
     }
 
     #[test]
-    fn deep_cut_plan_matches_naive_and_shrinks_cost() {
+    fn deep_cut_plan_matches_flat_and_shrinks_cost() {
         let (net, demand) = hub_barbell(0.1);
         let opts = CalcOptions::default();
         let plan = plan_for_k(&net, demand, &opts, 2);
@@ -1993,11 +2137,11 @@ mod tests {
             "peeled sides must add slots: {}",
             plan.render()
         );
-        let exact = reliability_naive(&net, demand, &opts).unwrap();
-        let r = run_complete(&plan, &opts);
-        assert!((r - exact).abs() < 1e-12, "deep plan {r} vs naive {exact}");
         // The PR 5 planner (recursive cut sides off) sweeps the same cut
-        // whole; the deep plan must agree with it and predict less work.
+        // whole; the deep plan must agree with it (the flat path itself is
+        // naive-validated on smaller instances across the planner suites —
+        // this fixture's 2^24 naive sweep is out of unit-test range) and
+        // predict less work even after the per-leaf setup charge.
         let pr5 = CalcOptions {
             recursive_cut_sides: false,
             ..CalcOptions::default()
@@ -2008,10 +2152,8 @@ mod tests {
             "with recursion off the root must stay a plain cut"
         );
         let rf = run_complete(&flat, &pr5);
-        assert!(
-            (rf - exact).abs() < 1e-12,
-            "flat plan {rf} vs naive {exact}"
-        );
+        let r = run_complete(&plan, &opts);
+        assert!((r - rf).abs() < 1e-12, "deep plan {r} vs flat {rf}");
         assert!(
             plan.predicted_cost() < flat.predicted_cost(),
             "deep {} vs flat {}",

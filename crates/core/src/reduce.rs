@@ -1,0 +1,674 @@
+//! Structural reduction: capacity-factor pruning, forced-link conditioning,
+//! and parallel-link merging, iterated to a fixed point.
+//!
+//! Every engine in the crate pays `2^|fallible links|`; this module shrinks
+//! the exponent itself before any enumeration starts. Three exact passes run
+//! in a loop until none of them changes the instance:
+//!
+//! 1. **Capacity-factor pruning.** For a bundle of parallel links between
+//!    `u` and `v`, the flow any s–t routing can push through the bundle is
+//!    bounded by the *capacity factor*
+//!    `B = min(mincut(s → u), mincut(v → t))` computed in the graph with the
+//!    bundle removed (for undirected networks, the max of that bound over
+//!    both orientations): flow-decomposition paths crossing the bundle must
+//!    first reach `u` from `s` without the bundle and then reach `t` from
+//!    `v` without it. Capacities above `B` are clamped down to `B` (the
+//!    max-flow value of every configuration is unchanged); a zero bound
+//!    deletes the bundle outright. Note the bound is *not* the min-cut
+//!    between the endpoints themselves — `mincut(u, v)` over-credits
+//!    capacity for links incident to a terminal.
+//! 2. **Forced-link conditioning.** A perfect (`p = 0`) undirected link
+//!    whose capacity covers its bundle's capacity factor can carry every
+//!    unit that could ever cross between its endpoints, so the endpoints
+//!    merge into one node (never merging `s` into `t`). Self-loops and
+//!    directed links into `s` / out of `t` are deleted; relevance reduction
+//!    ([`crate::preprocess`]) re-runs each round so deletions cascade.
+//! 3. **Parallel-link merging.** When every link of a bundle has capacity at
+//!    least the bundle bound `B ≥ 1`, the bundle's realized capacity
+//!    spectrum is two-valued — `B` if any member survives, `0` otherwise —
+//!    so the bundle collapses exactly into one link of capacity `B` failing
+//!    with probability `Π pᵢ`. Bundles with a member below the bound are
+//!    left alone (their spectrum has distinguishable intermediate levels).
+//!
+//! The `clamp_to_demand` flag additionally caps every bound at the demand
+//! `d`. That preserves the *predicate* `max_flow ≥ d` but not per-
+//! configuration flow values, so it is only sound for a top-level
+//! reliability query — planner sides, whose spectra feed arithmetic above
+//! them, must reduce with the flag off.
+//!
+//! Every pass is exact: the reduced instance has the identical reliability,
+//! and [`Reduction::edge_origin`] maps each surviving link back to the
+//! original link(s) it stands for, so reports and `--explain` trees can
+//! render in original ids.
+
+use maxflow::{CutProber, SolverKind};
+use netgraph::{EdgeId, GraphKind, Network, NetworkBuilder, NodeId};
+
+use crate::demand::FlowDemand;
+use crate::preprocess::relevance_reduce;
+
+/// What the reduction pipeline did, pass by pass (cumulative over rounds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Links deleted by relevance reduction (includes self-loops created by
+    /// contractions and links orphaned by other deletions).
+    pub relevance_removed: usize,
+    /// Links deleted because their capacity factor is zero, plus directed
+    /// links into the source / out of the sink.
+    pub bound_removed: usize,
+    /// Links whose capacity was clamped down to their capacity factor.
+    pub clamped: usize,
+    /// Links removed by merging parallel bundles (bundle size minus one per
+    /// merged bundle).
+    pub merged: usize,
+    /// Perfect links contracted away.
+    pub contracted: usize,
+    /// Fixed-point rounds run.
+    pub rounds: usize,
+}
+
+impl ReduceStats {
+    /// Total links removed from the instance.
+    pub fn removed_links(&self) -> usize {
+        self.relevance_removed + self.bound_removed + self.merged + self.contracted
+    }
+
+    /// True when any pass changed the instance.
+    pub fn changed(&self) -> bool {
+        self.removed_links() > 0 || self.clamped > 0
+    }
+}
+
+/// The reduced instance plus the exact reconstruction map.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The reduced network (identical reliability to the original).
+    pub net: Network,
+    /// The demand, endpoints renumbered for the reduced network.
+    pub demand: FlowDemand,
+    /// For each reduced link, the original link ids it stands for — a
+    /// singleton unless parallel links were merged into it.
+    pub edge_origin: Vec<Vec<EdgeId>>,
+    /// Per-pass counters.
+    pub stats: ReduceStats,
+    /// Link count of the original instance.
+    pub original_edges: usize,
+    /// Fallible (`p > 0`) link count of the original instance.
+    pub original_fallible: usize,
+}
+
+impl Reduction {
+    /// True when the pipeline changed nothing — callers should then use the
+    /// original instance (and legacy checkpoint/report shapes) untouched.
+    pub fn is_identity(&self) -> bool {
+        !self.stats.changed()
+    }
+
+    /// Fallible (`p > 0`) links of the reduced instance — the enumeration
+    /// exponent under `factor_perfect_links`.
+    pub fn fallible_links(&self) -> usize {
+        count_fallible(&self.net)
+    }
+
+    /// Renders a reduced link id in terms of the original ids it stands for:
+    /// `"3"`, or `"3+7"` for a merged bundle.
+    pub fn describe_edge(&self, e: EdgeId) -> String {
+        match self.edge_origin.get(e.index()) {
+            Some(origin) if !origin.is_empty() => origin
+                .iter()
+                .map(|o| o.index().to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+            _ => e.index().to_string(),
+        }
+    }
+
+    /// The inverse of [`Self::edge_origin`]: for each original link id, the
+    /// reduced link standing for it (`None` when the link was removed).
+    pub fn original_to_reduced(&self) -> Vec<Option<EdgeId>> {
+        let mut map = vec![None; self.original_edges];
+        for (r, origin) in self.edge_origin.iter().enumerate() {
+            for o in origin {
+                if let Some(slot) = map.get_mut(o.index()) {
+                    *slot = Some(EdgeId::from(r));
+                }
+            }
+        }
+        map
+    }
+
+    /// All original link ids behind the reduced links in `set`, ascending.
+    pub fn originals_of(&self, set: &[EdgeId]) -> Vec<EdgeId> {
+        let mut out: Vec<EdgeId> = set
+            .iter()
+            .flat_map(|e| {
+                self.edge_origin
+                    .get(e.index())
+                    .cloned()
+                    .unwrap_or_else(|| vec![*e])
+            })
+            .collect();
+        out.sort_unstable_by_key(|e| e.index());
+        out.dedup();
+        out
+    }
+
+    /// One-line human summary for reports and `--explain`.
+    pub fn summary(&self) -> String {
+        format!(
+            "reduce: {} -> {} links ({} fallible -> {}); relevance {}, bound {}, merged {}, contracted {}, clamped {}, {} rounds",
+            self.original_edges,
+            self.net.edge_count(),
+            self.original_fallible,
+            self.fallible_links(),
+            self.stats.relevance_removed,
+            self.stats.bound_removed,
+            self.stats.merged,
+            self.stats.contracted,
+            self.stats.clamped,
+            self.stats.rounds,
+        )
+    }
+}
+
+fn count_fallible(net: &Network) -> usize {
+    net.edges().iter().filter(|e| e.fail_prob > 0.0).count()
+}
+
+/// Safety cap on fixed-point rounds. Each productive round removes or clamps
+/// at least one link or contracts one node, so termination is structural;
+/// the cap only guards against a (logic-bug) livelock.
+const MAX_ROUNDS: usize = 64;
+
+/// The planned fate of one link within a round.
+#[derive(Clone, Copy, PartialEq)]
+enum Fate {
+    Keep {
+        capacity: u64,
+    },
+    Delete,
+    /// Member of a bundle that merges into one link this round.
+    Merge,
+}
+
+/// Runs the reduction pipeline to a fixed point.
+///
+/// `clamp_to_demand` additionally caps capacity factors at `demand.demand`
+/// (sound only for top-level `≥ d` queries; pass `false` for planner sides
+/// whose flow spectra feed arithmetic above them).
+pub fn reduce(
+    net: &Network,
+    demand: FlowDemand,
+    clamp_to_demand: bool,
+    solver: SolverKind,
+) -> Reduction {
+    let original_edges = net.edge_count();
+    let original_fallible = count_fallible(net);
+    let mut cur = net.clone();
+    let mut cur_demand = demand;
+    let mut edge_origin: Vec<Vec<EdgeId>> =
+        (0..original_edges).map(|i| vec![EdgeId::from(i)]).collect();
+    let mut stats = ReduceStats::default();
+
+    if demand.source == demand.sink {
+        // degenerate query; nothing to reduce against
+        return Reduction {
+            net: cur,
+            demand: cur_demand,
+            edge_origin,
+            stats,
+            original_edges,
+            original_fallible,
+        };
+    }
+
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        stats.rounds += 1;
+
+        // -- relevance (also sweeps self-loops and zero-capacity links) --
+        let rel = relevance_reduce(&cur, cur_demand);
+        if rel.removed > 0 {
+            edge_origin = rel
+                .edge_origin
+                .iter()
+                .map(|&old| edge_origin[old].clone())
+                .collect();
+            cur = rel.net;
+            cur_demand = rel.demand;
+            stats.relevance_removed += rel.removed;
+            changed = true;
+        }
+        if cur.edge_count() == 0 {
+            break;
+        }
+
+        // -- capacity-factor pass over parallel bundles --
+        let s = cur_demand.source;
+        let t = cur_demand.sink;
+        let mut prober = CutProber::new(&cur, solver);
+        let bound_of = |prober: &mut CutProber, a: NodeId, b: NodeId, skip: &[EdgeId]| -> u64 {
+            // flow through the bundle a -> b is limited by reaching a from s
+            // and t from b without the bundle
+            let from_s = if a == s {
+                u64::MAX
+            } else {
+                prober.min_cut_value(s, a, skip)
+            };
+            let to_t = if b == t {
+                u64::MAX
+            } else {
+                prober.min_cut_value(b, t, skip)
+            };
+            from_s.min(to_t)
+        };
+
+        let m = cur.edge_count();
+        let mut fate: Vec<Fate> = cur
+            .edges()
+            .iter()
+            .map(|e| Fate::Keep {
+                capacity: e.capacity,
+            })
+            .collect();
+        // bundle key: endpoint pair (unordered for undirected links)
+        let key_of = |i: usize| -> (usize, usize) {
+            let e = &cur.edges()[i];
+            let (a, b) = (e.src.index(), e.dst.index());
+            match cur.kind() {
+                GraphKind::Directed => (a, b),
+                GraphKind::Undirected => (a.min(b), a.max(b)),
+            }
+        };
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_unstable_by_key(|&i| key_of(i));
+        // one contraction per round: it renumbers nodes, invalidating the
+        // other bundles' bounds
+        let mut contraction: Option<(NodeId, NodeId, usize)> = None;
+        let mut merges: Vec<(Vec<usize>, u64, f64)> = Vec::new();
+
+        let mut at = 0;
+        while at < order.len() {
+            let mut end = at + 1;
+            while end < order.len() && key_of(order[end]) == key_of(order[at]) {
+                end += 1;
+            }
+            let members: Vec<usize> = order[at..end].to_vec();
+            at = end;
+            let skip: Vec<EdgeId> = members.iter().map(|&i| EdgeId::from(i)).collect();
+            let first = &cur.edges()[members[0]];
+            let (u, v) = (first.src, first.dst);
+            let bound = match cur.kind() {
+                GraphKind::Directed => bound_of(&mut prober, u, v, &skip),
+                GraphKind::Undirected => {
+                    bound_of(&mut prober, u, v, &skip).max(bound_of(&mut prober, v, u, &skip))
+                }
+            };
+            let eff = if clamp_to_demand {
+                bound.min(cur_demand.demand)
+            } else {
+                bound
+            };
+
+            if eff == 0 {
+                for &i in &members {
+                    fate[i] = Fate::Delete;
+                    stats.bound_removed += 1;
+                }
+                changed = true;
+                continue;
+            }
+            // clamp members above the bound (exact: no configuration can
+            // push more than `eff` through the bundle, let alone one link)
+            for &i in &members {
+                let cap = cur.edges()[i].capacity;
+                if eff != u64::MAX && cap > eff {
+                    fate[i] = Fate::Keep { capacity: eff };
+                    stats.clamped += 1;
+                    changed = true;
+                }
+            }
+            // forced-link conditioning: a perfect link covering the whole
+            // (unclamped) bundle bound makes its endpoints one node
+            if contraction.is_none()
+                && cur.kind() == GraphKind::Undirected
+                && bound != u64::MAX
+                && !(u == s && v == t)
+                && !(u == t && v == s)
+            {
+                if let Some(&i) = members
+                    .iter()
+                    .find(|&&i| cur.edges()[i].fail_prob == 0.0 && cur.edges()[i].capacity >= bound)
+                {
+                    contraction = Some((u, v, i));
+                    changed = true;
+                    continue; // bundle partners become self-loops next round
+                }
+            }
+            // parallel merge: exact when the bundle spectrum is two-valued
+            if members.len() >= 2
+                && eff != u64::MAX
+                && members.iter().all(|&i| cur.edges()[i].capacity >= eff)
+            {
+                let fail: f64 = members.iter().map(|&i| cur.edges()[i].fail_prob).product();
+                for &i in &members {
+                    fate[i] = Fate::Merge;
+                }
+                stats.merged += members.len() - 1;
+                merges.push((members, eff, fail));
+                changed = true;
+            }
+        }
+
+        // -- directed terminal trivia: links into s / out of t never carry
+        //    s-t flow in an optimal routing --
+        if cur.kind() == GraphKind::Directed {
+            for (i, e) in cur.edges().iter().enumerate() {
+                if (e.dst == s || e.src == t) && !matches!(fate[i], Fate::Delete) {
+                    fate[i] = Fate::Delete;
+                    stats.bound_removed += 1;
+                    changed = true;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+
+        // -- rebuild --
+        if contraction.is_some() {
+            stats.contracted += 1;
+        }
+        let merge_into = contraction.map(|(keep, gone, _)| (keep, gone));
+        let remap = |n: NodeId| -> NodeId {
+            match merge_into {
+                Some((keep, gone)) if n == gone => keep,
+                _ => n,
+            }
+        };
+        let mut b = NetworkBuilder::with_nodes(cur.kind(), cur.node_count());
+        let mut next_origin: Vec<Vec<EdgeId>> = Vec::new();
+        for (i, e) in cur.edges().iter().enumerate() {
+            if let Some((_, _, perfect)) = contraction {
+                if i == perfect {
+                    continue; // the contracted link itself disappears
+                }
+            }
+            match fate[i] {
+                Fate::Delete | Fate::Merge => {}
+                Fate::Keep { capacity } => {
+                    push_edge(&mut b, remap(e.src), remap(e.dst), capacity, e.fail_prob);
+                    next_origin.push(edge_origin[i].clone());
+                }
+            }
+        }
+        for (members, capacity, fail) in &merges {
+            let e = &cur.edges()[members[0]];
+            push_edge(&mut b, remap(e.src), remap(e.dst), *capacity, *fail);
+            let mut origin: Vec<EdgeId> = members
+                .iter()
+                .flat_map(|&i| edge_origin[i].iter().copied())
+                .collect();
+            origin.sort_unstable_by_key(|e| e.index());
+            next_origin.push(origin);
+        }
+        cur = b.build();
+        cur_demand = FlowDemand::new(
+            remap(cur_demand.source),
+            remap(cur_demand.sink),
+            cur_demand.demand,
+        );
+        edge_origin = next_origin;
+    }
+
+    // -- node compaction: the rounds above can strand nodes with no
+    //    incident links (deleted bundles, contracted partners). Structure
+    //    searches downstream count connected components, and a stranded
+    //    node would make every cut look non-bipartitioning, so strip them.
+    //    Edge order is preserved; `edge_origin` is untouched. Skipped on
+    //    identity reductions so callers get the instance back verbatim.
+    if stats.changed() {
+        let mut used = vec![false; cur.node_count()];
+        used[cur_demand.source.index()] = true;
+        used[cur_demand.sink.index()] = true;
+        for e in cur.edges() {
+            used[e.src.index()] = true;
+            used[e.dst.index()] = true;
+        }
+        if used.iter().any(|&u| !u) {
+            let mut map = vec![NodeId::from(0usize); cur.node_count()];
+            let mut next = 0usize;
+            for (i, &u) in used.iter().enumerate() {
+                if u {
+                    map[i] = NodeId::from(next);
+                    next += 1;
+                }
+            }
+            let mut b = NetworkBuilder::with_nodes(cur.kind(), next);
+            for e in cur.edges() {
+                push_edge(
+                    &mut b,
+                    map[e.src.index()],
+                    map[e.dst.index()],
+                    e.capacity,
+                    e.fail_prob,
+                );
+            }
+            cur = b.build();
+            cur_demand = FlowDemand::new(
+                map[cur_demand.source.index()],
+                map[cur_demand.sink.index()],
+                cur_demand.demand,
+            );
+        }
+    }
+
+    Reduction {
+        net: cur,
+        demand: cur_demand,
+        edge_origin,
+        stats,
+        original_edges,
+        original_fallible,
+    }
+}
+
+/// Rebuild helper: probabilities and node ids are re-emitted from an already
+/// validated network, so a builder rejection is a pipeline bug.
+fn push_edge(b: &mut NetworkBuilder, src: NodeId, dst: NodeId, capacity: u64, fail_prob: f64) {
+    if let Err(e) = b.add_edge(src, dst, capacity, fail_prob) {
+        unreachable!("reduction re-emitted an invalid edge: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::reliability_naive;
+    use crate::options::CalcOptions;
+
+    fn check_exact(net: &Network, demand: FlowDemand) -> Reduction {
+        let red = reduce(net, demand, true, SolverKind::Dinic);
+        let opts = CalcOptions::default();
+        let before = reliability_naive(net, demand, &opts).unwrap();
+        let after = reliability_naive(&red.net, red.demand, &opts).unwrap();
+        assert!(
+            (before - after).abs() < 1e-12,
+            "reduction must be exact: {before} vs {after}\n{}",
+            red.summary()
+        );
+        red
+    }
+
+    #[test]
+    fn identity_on_a_tight_path() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.2).unwrap();
+        let net = b.build();
+        let red = check_exact(&net, FlowDemand::new(n[0], n[2], 1));
+        assert!(red.is_identity());
+        assert_eq!(red.net.edge_count(), 2);
+    }
+
+    #[test]
+    fn clamps_overprovisioned_middle_link() {
+        // s -1- a -9- b -1- t : the middle link can never carry more than 1
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 9, 0.2).unwrap();
+        b.add_edge(n[2], n[3], 1, 0.1).unwrap();
+        let net = b.build();
+        let red = check_exact(&net, FlowDemand::new(n[0], n[3], 1));
+        assert_eq!(red.stats.clamped, 1);
+        assert!(red.net.edges().iter().all(|e| e.capacity == 1));
+    }
+
+    #[test]
+    fn merges_slack_parallel_pair() {
+        // s =(5,5)= a -1- t with demand 1: the pair's bound is 1, both caps
+        // cover it, so the bundle collapses to one link with p = p1 * p2
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 5, 0.25).unwrap();
+        b.add_edge(n[0], n[1], 5, 0.5).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.125).unwrap();
+        let net = b.build();
+        let red = check_exact(&net, FlowDemand::new(n[0], n[2], 1));
+        assert_eq!(red.net.edge_count(), 2);
+        assert_eq!(red.stats.merged, 1);
+        // the merged link carries both original ids in the reconstruction map
+        let merged = red
+            .edge_origin
+            .iter()
+            .position(|o| o.len() == 2)
+            .unwrap_or_else(|| panic!("no merged link in {:?}", red.edge_origin));
+        assert_eq!(red.edge_origin[merged], vec![EdgeId(0), EdgeId(1)]);
+        let e = &red.net.edges()[merged];
+        assert_eq!(e.capacity, 1);
+        assert!((e.fail_prob - 0.125).abs() < 1e-15, "p = 0.25 * 0.5");
+    }
+
+    #[test]
+    fn keeps_distinguishable_parallel_pair() {
+        // caps 1 + 1 against demand 2: the spectrum {0, 1, 2} is three-valued
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.25).unwrap();
+        b.add_edge(n[0], n[1], 1, 0.5).unwrap();
+        let net = b.build();
+        let red = check_exact(&net, FlowDemand::new(n[0], n[1], 2));
+        assert_eq!(red.net.edge_count(), 2, "no exact merge exists");
+        assert_eq!(red.stats.merged, 0);
+    }
+
+    #[test]
+    fn contracts_perfect_backbone_link() {
+        // a perfect link wide enough for its bundle bound merges its nodes
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 99, 0.0).unwrap(); // perfect backbone
+        b.add_edge(n[2], n[3], 2, 0.2).unwrap();
+        let net = b.build();
+        let red = check_exact(&net, FlowDemand::new(n[0], n[3], 2));
+        assert_eq!(red.stats.contracted, 1);
+        assert_eq!(red.net.edge_count(), 2);
+        assert!(red.net.edges().iter().all(|e| e.fail_prob > 0.0));
+    }
+
+    #[test]
+    fn contraction_never_merges_the_terminals() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 99, 0.0).unwrap();
+        b.add_edge(n[0], n[1], 1, 0.5).unwrap();
+        let net = b.build();
+        let d = FlowDemand::new(n[0], n[1], 1);
+        let red = check_exact(&net, d);
+        assert_eq!(red.stats.contracted, 0);
+        assert_ne!(red.demand.source, red.demand.sink);
+    }
+
+    #[test]
+    fn directed_terminal_trivia_deleted() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.2).unwrap();
+        b.add_edge(n[1], n[0], 1, 0.3).unwrap(); // into s
+        b.add_edge(n[2], n[1], 1, 0.4).unwrap(); // out of t
+        let net = b.build();
+        let red = check_exact(&net, FlowDemand::new(n[0], n[2], 1));
+        assert_eq!(red.net.edge_count(), 2);
+    }
+
+    #[test]
+    fn per_side_mode_skips_demand_clamp() {
+        // s -3- a -9- t, demand 1: top-level clamps both to 1; value-exact
+        // mode may clamp the 9 down to 3 (the bundle bound) but not below
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 3, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 9, 0.2).unwrap();
+        let net = b.build();
+        let d = FlowDemand::new(n[0], n[2], 1);
+        let side = reduce(&net, d, false, SolverKind::Dinic);
+        assert_eq!(
+            side.net.edges()[1].capacity,
+            3,
+            "clamped to bound, not demand"
+        );
+        assert_eq!(
+            side.net.edges()[0].capacity,
+            3,
+            "already at its bound, untouched"
+        );
+        let top = reduce(&net, d, true, SolverKind::Dinic);
+        assert!(top.net.edges().iter().all(|e| e.capacity == 1));
+    }
+
+    #[test]
+    fn reduction_composes_with_dead_spurs() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 8, 0.1).unwrap();
+        b.add_edge(n[0], n[1], 8, 0.2).unwrap(); // slack parallel pair
+        b.add_edge(n[1], n[2], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 1, 0.3).unwrap(); // spur chain off the path
+        b.add_edge(n[3], n[4], 1, 0.3).unwrap();
+        b.add_edge(n[2], n[5], 1, 0.3).unwrap(); // t reached via n2
+        let net = b.build();
+        let red = check_exact(&net, FlowDemand::new(n[0], n[5], 1));
+        // the spur chain is inside the s-t component, so relevance keeps it;
+        // the capacity-factor pass proves its bound is zero and deletes it
+        // (the far link first, then the newly dangling one next round)
+        assert_eq!(red.stats.bound_removed, 2, "{}", red.summary());
+        assert_eq!(red.stats.merged, 1, "{}", red.summary());
+        assert_eq!(red.net.edge_count(), 3);
+        assert!(!red.originals_of(&[EdgeId(0)]).is_empty());
+    }
+
+    #[test]
+    fn describe_edge_renders_merges() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 5, 0.25).unwrap();
+        b.add_edge(n[0], n[1], 5, 0.5).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.125).unwrap();
+        let net = b.build();
+        let red = reduce(
+            &net,
+            FlowDemand::new(n[0], n[2], 1),
+            true,
+            SolverKind::Dinic,
+        );
+        let rendered: Vec<String> = (0..red.net.edge_count())
+            .map(|i| red.describe_edge(EdgeId::from(i)))
+            .collect();
+        assert!(rendered.iter().any(|s| s == "0+1"), "{rendered:?}");
+    }
+}

@@ -36,6 +36,7 @@ pub mod graph;
 pub mod incremental;
 pub mod lower;
 pub mod mincut;
+pub mod prober;
 pub mod push_relabel;
 pub mod solver;
 pub mod workspace;
@@ -48,6 +49,7 @@ pub use graph::{ArcId, FlowGraph};
 pub use incremental::{RepairStats, WarmState};
 pub use lower::{build_flow, build_flow_multi, NetworkFlow};
 pub use mincut::min_cut;
+pub use prober::CutProber;
 pub use push_relabel::PushRelabel;
 pub use solver::{max_flow_at_least, MaxFlowSolver, SolverKind};
 pub use workspace::Workspace;

@@ -1,0 +1,120 @@
+//! Repeated min-cut probing over one lowered graph.
+//!
+//! The structural reduction pipeline (`flowrel_core::reduce`) certifies that
+//! a link's capacity can never bind by comparing it against min-cuts between
+//! *many* different node pairs of the same network, each with a few edges
+//! masked out. Rebuilding a [`crate::FlowGraph`] per query would dominate the
+//! cost; [`CutProber`] lowers the network once and answers every
+//! `(source, sink, skipped edges)` query against the same graph, reusing one
+//! [`Workspace`] — no allocation after construction.
+
+use netgraph::{EdgeId, Network, NodeId};
+
+use crate::lower::{build_flow, NetworkFlow};
+use crate::solver::SolverKind;
+use crate::workspace::Workspace;
+
+/// Answers repeated "min-cut value between these two nodes, with these edges
+/// removed" queries against a single lowered graph.
+///
+/// The solvers take terminals as plain node indices, so one lowering serves
+/// arbitrary terminal pairs; `skip` masking uses the same per-edge arc
+/// handles as configuration sweeps.
+#[derive(Debug)]
+pub struct CutProber {
+    flow: NetworkFlow,
+    ws: Workspace,
+    solver: SolverKind,
+}
+
+impl CutProber {
+    /// Lowers `net` once for probing with `solver`.
+    pub fn new(net: &Network, solver: SolverKind) -> Self {
+        // the terminals passed here are placeholders: every query names its
+        // own pair, and build_flow adds no super-terminal structure
+        let anchor = NodeId::from(0);
+        CutProber {
+            flow: build_flow(net, anchor, anchor),
+            ws: Workspace::new(),
+            solver,
+        }
+    }
+
+    /// The min `s`–`t` cut value (equivalently, the max-flow value) of the
+    /// network with every edge in `skip` removed. Returns [`u64::MAX`] when
+    /// `s == t` (no cut separates a node from itself).
+    ///
+    /// # Panics
+    /// Panics if a node or edge id is out of range for the probed network.
+    pub fn min_cut_value(&mut self, s: NodeId, t: NodeId, skip: &[EdgeId]) -> u64 {
+        if s == t {
+            return u64::MAX;
+        }
+        self.flow.apply_all_alive();
+        for &e in skip {
+            self.flow.graph.disable(self.flow.edge_arcs[e.index()]);
+        }
+        self.solver.solve_ws(
+            &mut self.flow.graph,
+            s.index(),
+            t.index(),
+            u64::MAX,
+            &mut self.ws,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{GraphKind, NetworkBuilder};
+
+    fn diamond(kind: GraphKind) -> Network {
+        let mut b = NetworkBuilder::new(kind);
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 3, 0.1).unwrap();
+        b.add_edge(n[1], n[3], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 4, 0.1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn probes_arbitrary_pairs() {
+        let net = diamond(GraphKind::Directed);
+        let mut p = CutProber::new(&net, SolverKind::Dinic);
+        assert_eq!(p.min_cut_value(NodeId(0), NodeId(3), &[]), 4); // 1 + 3
+        assert_eq!(p.min_cut_value(NodeId(0), NodeId(1), &[]), 2);
+        assert_eq!(p.min_cut_value(NodeId(1), NodeId(3), &[]), 1);
+        assert_eq!(p.min_cut_value(NodeId(3), NodeId(0), &[]), 0); // directed
+    }
+
+    #[test]
+    fn skip_masks_edges_per_query() {
+        let net = diamond(GraphKind::Directed);
+        let mut p = CutProber::new(&net, SolverKind::Dinic);
+        // remove the top path: only 0 -> 2 -> 3 remains, min(3, 4) = 3
+        assert_eq!(p.min_cut_value(NodeId(0), NodeId(3), &[EdgeId(0)]), 3);
+        // queries after a skipped query see the full graph again
+        assert_eq!(p.min_cut_value(NodeId(0), NodeId(3), &[]), 4);
+        // removing both source edges disconnects
+        assert_eq!(
+            p.min_cut_value(NodeId(0), NodeId(3), &[EdgeId(0), EdgeId(1)]),
+            0
+        );
+    }
+
+    #[test]
+    fn same_node_is_infinite() {
+        let net = diamond(GraphKind::Undirected);
+        let mut p = CutProber::new(&net, SolverKind::Dinic);
+        assert_eq!(p.min_cut_value(NodeId(2), NodeId(2), &[]), u64::MAX);
+    }
+
+    #[test]
+    fn undirected_cuts_ignore_orientation() {
+        let net = diamond(GraphKind::Undirected);
+        let mut p = CutProber::new(&net, SolverKind::Dinic);
+        assert_eq!(p.min_cut_value(NodeId(3), NodeId(0), &[]), 4);
+    }
+}

@@ -66,6 +66,8 @@ fn print_stats(s: &StatsSnapshot) {
     println!("cache_hits       {}", s.cache_hits);
     println!("cache_misses     {}", s.cache_misses);
     println!("result_hits      {}", s.result_hits);
+    println!("  raw            {}", s.result_hits_raw);
+    println!("  reduced        {}", s.result_hits_reduced);
     println!("shutting_down    {}", s.shutting_down);
 }
 

@@ -8,8 +8,12 @@
 //!   the parse on every request;
 //! * **result cache** — `(instance fingerprint, strategy key)` → finished
 //!   answer, so repeated identical questions are answered from memory even
-//!   while the worker pool is saturated. Only *complete* results are cached;
-//!   partials carry resume state and are parked instead (see
+//!   while the worker pool is saturated. Complete answers are stored under
+//!   *both* the raw instance fingerprint and (when the calculator reduces)
+//!   the post-reduction fingerprint, so two different raw instances that
+//!   the structural reduction collapses to the same shape share one entry;
+//!   hits are counted separately per key kind. Only *complete* results are
+//!   cached; partials carry resume state and are parked instead (see
 //!   [`crate::park`]).
 //!
 //! Eviction is FIFO at a fixed capacity: reliability workloads are
@@ -78,8 +82,15 @@ pub struct CacheCounters {
     pub hits: u64,
     /// Parse-cache misses.
     pub misses: u64,
-    /// Result-cache hits.
+    /// Result-cache hits, total (raw + reduced).
     pub result_hits: u64,
+    /// Result-cache hits keyed by the *raw* instance fingerprint — the
+    /// client resent a byte-equivalent instance.
+    pub result_hits_raw: u64,
+    /// Result-cache hits keyed by the *post-reduction* fingerprint — a
+    /// different raw instance that the structural reduction collapsed to an
+    /// already-answered shape.
+    pub result_hits_reduced: u64,
 }
 
 /// The two-layer cache. All methods take `&self`; internal locking.
@@ -127,11 +138,30 @@ impl InstanceCache {
         fnv1a(&bytes)
     }
 
-    /// Fetches a cached complete answer.
+    /// Fetches a cached complete answer under the *raw* instance
+    /// fingerprint (the instance exactly as the client sent it).
     pub fn result(&self, fingerprint: u64, strategy_key: &str) -> Option<CachedResult> {
+        self.lookup(fingerprint, strategy_key, false)
+    }
+
+    /// Fetches a cached complete answer under the *post-reduction*
+    /// fingerprint — counted separately, since a hit here means the
+    /// structural reduction unified two raw instances the byte-level key
+    /// could not.
+    pub fn result_reduced(&self, fingerprint: u64, strategy_key: &str) -> Option<CachedResult> {
+        self.lookup(fingerprint, strategy_key, true)
+    }
+
+    fn lookup(&self, fingerprint: u64, strategy_key: &str, reduced: bool) -> Option<CachedResult> {
         let hit = lock(&self.results).get(Self::result_key(fingerprint, strategy_key));
         if hit.is_some() {
-            lock(&self.counters).result_hits += 1;
+            let mut c = lock(&self.counters);
+            c.result_hits += 1;
+            if reduced {
+                c.result_hits_reduced += 1;
+            } else {
+                c.result_hits_raw += 1;
+            }
         }
         hit
     }
@@ -189,6 +219,28 @@ mod tests {
         assert!(cache.result(42, "naive").is_some());
         assert!(cache.result(42, "factoring").is_none());
         assert!(cache.result(41, "naive").is_none());
+    }
+
+    #[test]
+    fn result_hits_split_by_fingerprint_kind() {
+        let cache = InstanceCache::new(4);
+        cache.store_result(
+            7,
+            "naive",
+            CachedResult {
+                reliability: 0.5,
+                algorithm: "naive".into(),
+            },
+        );
+        assert!(cache.result(7, "naive").is_some());
+        assert!(cache.result_reduced(7, "naive").is_some());
+        assert!(cache.result_reduced(7, "naive").is_some());
+        assert!(cache.result_reduced(8, "naive").is_none());
+        let c = cache.counters();
+        assert_eq!(
+            (c.result_hits, c.result_hits_raw, c.result_hits_reduced),
+            (3, 1, 2)
+        );
     }
 
     #[test]

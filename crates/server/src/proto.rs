@@ -359,6 +359,11 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Result-cache hits (whole answers served from memory) since start.
     pub result_hits: u64,
+    /// Result-cache hits keyed by the raw instance fingerprint.
+    pub result_hits_raw: u64,
+    /// Result-cache hits keyed by the post-reduction fingerprint — distinct
+    /// raw instances unified by the structural reduction.
+    pub result_hits_reduced: u64,
     /// Whether the server is draining.
     pub shutting_down: bool,
 }
@@ -422,6 +427,11 @@ impl Response {
                 ("cache_hits", Json::Num(s.cache_hits as f64)),
                 ("cache_misses", Json::Num(s.cache_misses as f64)),
                 ("result_hits", Json::Num(s.result_hits as f64)),
+                ("result_hits_raw", Json::Num(s.result_hits_raw as f64)),
+                (
+                    "result_hits_reduced",
+                    Json::Num(s.result_hits_reduced as f64),
+                ),
                 ("shutting_down", Json::Bool(s.shutting_down)),
             ]),
             Response::Complete {
@@ -509,6 +519,8 @@ impl Response {
                         cache_hits: n("cache_hits"),
                         cache_misses: n("cache_misses"),
                         result_hits: n("result_hits"),
+                        result_hits_raw: n("result_hits_raw"),
+                        result_hits_reduced: n("result_hits_reduced"),
                         shutting_down: v
                             .get("shutting_down")
                             .and_then(Json::as_bool)
@@ -600,6 +612,9 @@ mod tests {
             Response::Stats(StatsSnapshot {
                 active_sessions: 3,
                 served: 17,
+                result_hits: 5,
+                result_hits_raw: 3,
+                result_hits_reduced: 2,
                 shutting_down: true,
                 ..Default::default()
             }),

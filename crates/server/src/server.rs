@@ -174,6 +174,8 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         cache_hits: cc.hits,
         cache_misses: cc.misses,
         result_hits: cc.result_hits,
+        result_hits_raw: cc.result_hits_raw,
+        result_hits_reduced: cc.result_hits_reduced,
         shutting_down: shared.shutdown.is_tripped(),
     }
 }
@@ -543,10 +545,16 @@ fn probe_frames(conn: &mut Conn, shared: &Shared, reader: &mut FrameReader, canc
 }
 
 /// Wraps a finished outcome: caches completes, parks partials under a token.
+///
+/// `reduced_fingerprint` is the post-reduction instance fingerprint when the
+/// calculator reduced and the reduction actually changed the instance;
+/// complete answers are stored under it too, so a *different* raw instance
+/// that reduces to the same shape is served from memory.
 fn finish_outcome(
     shared: &Shared,
     outcome: Result<Outcome, flowrel_core::ReliabilityError>,
     fingerprint: u64,
+    reduced_fingerprint: Option<u64>,
     strategy_key: &str,
     net_text: &str,
 ) -> Response {
@@ -561,6 +569,16 @@ fn finish_outcome(
                     algorithm: rep.algorithm.to_string(),
                 },
             );
+            if let Some(rfp) = reduced_fingerprint.filter(|&rfp| rfp != fingerprint) {
+                shared.cache.store_result(
+                    rfp,
+                    strategy_key,
+                    CachedResult {
+                        reliability: rep.reliability,
+                        algorithm: rep.algorithm.to_string(),
+                    },
+                );
+            }
             Response::Complete {
                 reliability: rep.reliability,
                 algorithm: rep.algorithm.to_string(),
@@ -630,7 +648,12 @@ fn serve_compute(
     let fingerprint = instance_fingerprint(&parsed.net, &demand, &calc.options);
     // A cached complete answer short-circuits admission entirely — cheap
     // service stays available even when the pool is saturated. Fresh runs
-    // (and anything carrying a checkpoint) go through the pool.
+    // (and anything carrying a checkpoint) go through the pool. The raw
+    // fingerprint is tried first (free); on a miss, the post-reduction
+    // fingerprint catches clients resending instances that are structurally
+    // equivalent after capacity clamping, pruning, and merging — the
+    // reduction costs a few min-cuts, far below any sweep it saves.
+    let mut reduced_fingerprint = None;
     if checkpoint.is_none() {
         if let Some(hit) = shared.cache.result(fingerprint, &strategy_key) {
             return Response::Complete {
@@ -639,6 +662,20 @@ fn serve_compute(
                 cached: true,
             };
         }
+        if calc.options.reduce && demand.validate(&parsed.net).is_ok() {
+            let red = flowrel_core::reduce(&parsed.net, demand, true, calc.options.solver);
+            if !red.is_identity() {
+                let rfp = instance_fingerprint(&red.net, &red.demand, &calc.options);
+                reduced_fingerprint = Some(rfp);
+                if let Some(hit) = shared.cache.result_reduced(rfp, &strategy_key) {
+                    return Response::Complete {
+                        reliability: hit.reliability,
+                        algorithm: hit.algorithm,
+                        cached: true,
+                    };
+                }
+            }
+        }
     }
     let net = Arc::clone(&parsed);
     admit_and_run(conn, shared, reader, &cancel, move || {
@@ -646,7 +683,14 @@ fn serve_compute(
             None => calc.run(&net.net, demand),
             Some(ck) => calc.resume(&net.net, demand, ck),
         };
-        finish_outcome(shared, result, fingerprint, &strategy_key, &req.net)
+        finish_outcome(
+            shared,
+            result,
+            fingerprint,
+            reduced_fingerprint,
+            &strategy_key,
+            &req.net,
+        )
     })
 }
 
@@ -702,7 +746,14 @@ fn serve_resume(
     let net = Arc::clone(&parsed);
     let resp = admit_and_run(conn, shared, reader, &cancel, move || {
         let result = calc.resume(&net.net, demand, &checkpoint);
-        finish_outcome(shared, result, fingerprint, &strategy_key, &parked.net_text)
+        finish_outcome(
+            shared,
+            result,
+            fingerprint,
+            None,
+            &strategy_key,
+            &parked.net_text,
+        )
     });
     // If admission shed the resume (or the server was draining), the claimed
     // session would otherwise be lost: put it back so the token stays valid.

@@ -53,6 +53,49 @@ fn config(state_dir: PathBuf) -> ServerConfig {
     }
 }
 
+/// Two byte-distinct instances whose only difference — slack capacity on the
+/// first hop — the structural reduction's capacity clamp erases: the second
+/// ask must be served from the result cache under the post-reduction
+/// fingerprint, and the stats must attribute the hit to the reduced key.
+#[test]
+fn reduction_unifies_structurally_equivalent_instances_in_the_cache() {
+    let server = start(ServerConfig::default()).unwrap();
+    let addr = server.addr().clone();
+    let net_a = "directed\nnodes 3\nedge 0 1 5 0.9\nedge 1 2 1 0.8\ndemand 0 2 1\n";
+    let net_b = "directed\nnodes 3\nedge 0 1 9 0.9\nedge 1 2 1 0.8\ndemand 0 2 1\n";
+    let mut client = Client::connect(&addr).unwrap();
+    let mut ask = |net: &str| match client.compute(naive_compute(net.to_string())).unwrap() {
+        Response::Complete {
+            reliability,
+            cached,
+            ..
+        } => (reliability, cached),
+        other => panic!("expected Complete, got {other:?}"),
+    };
+    let (r_a, cached_a) = ask(net_a);
+    assert!(!cached_a, "first ask cannot be a cache hit");
+    let (r_b, cached_b) = ask(net_b);
+    assert!(
+        cached_b,
+        "net_b clamps to net_a's reduced shape and must hit the result cache"
+    );
+    assert_eq!(r_a.to_bits(), r_b.to_bits());
+    let (_, cached_raw) = ask(net_a);
+    assert!(cached_raw, "identical retransmit hits under the raw key");
+    let stats = server.stats();
+    assert_eq!(
+        (
+            stats.result_hits,
+            stats.result_hits_raw,
+            stats.result_hits_reduced
+        ),
+        (2, 1, 1),
+        "one raw hit, one reduced hit"
+    );
+    server.begin_shutdown();
+    server.join();
+}
+
 #[test]
 fn drain_restart_resume_is_bit_identical() {
     let state_dir = temp_state_dir();

@@ -338,6 +338,73 @@ pub fn barbell_mesh(segments: usize, seed: u64) -> Instance {
     }
 }
 
+/// The structural-reduction showcase family: a chain of `segments` diamond
+/// cores (the irreducible work the engines must sweep) whose joints are
+/// deliberately over-provisioned.
+///
+/// Between consecutive cores sits a *slack bundle* — two parallel capacity-8
+/// links where the chain can carry at most the demand — so capacity-factor
+/// clamping pulls both down to the bundle bound and the parallel merge
+/// collapses them into one link (one fallible bit per joint). Each core
+/// also hangs `spurs` dead-end spur links that no s–t flow can ever use
+/// (bound 0, pruned), and the middle joint is spliced through a perfect
+/// capacity-99 link that forced-link conditioning contracts away.
+///
+/// With `segments = 3, spurs = 2` the reduction removes 8 of 22 fallible
+/// links (~36%), comfortably past the 30% the reduction benchmark asserts,
+/// while the residual diamond chain still costs `2^14` configurations —
+/// a real instance, not a toy that reduces to nothing.
+pub fn slack_barbell(segments: usize, spurs: usize, seed: u64) -> Instance {
+    assert!(segments >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let mut source = None;
+    let mut exit: Option<NodeId> = None;
+    for seg in 0..segments {
+        // diamond core: entry n0, parallel middles n1/n2, exit n3
+        let n = b.add_nodes(4);
+        push_edge(&mut b, n[0], n[1], 2, random_prob(&mut rng));
+        push_edge(&mut b, n[0], n[2], 2, random_prob(&mut rng));
+        push_edge(&mut b, n[1], n[3], 2, random_prob(&mut rng));
+        push_edge(&mut b, n[2], n[3], 2, random_prob(&mut rng));
+        for _ in 0..spurs {
+            let leaf = b.add_node();
+            let at = n[rng.gen_range(0..4usize)];
+            push_edge(&mut b, at, leaf, 1, random_prob(&mut rng));
+        }
+        if let Some(prev) = exit {
+            // the middle joint splices through a perfect link (contracted
+            // by forced-link conditioning); every joint carries the slack
+            // bundle (clamped, then merged)
+            let joint = if seg == segments / 2 {
+                let m = b.add_node();
+                match b.add_perfect_edge(prev, m, 99) {
+                    Ok(_) => {}
+                    Err(e) => panic!("generator produced an invalid edge: {e}"),
+                }
+                m
+            } else {
+                prev
+            };
+            push_edge(&mut b, joint, n[0], 8, random_prob(&mut rng));
+            push_edge(&mut b, joint, n[0], 8, random_prob(&mut rng));
+        }
+        if source.is_none() {
+            source = Some(n[0]);
+        }
+        exit = Some(n[3]);
+    }
+    let (Some(source), Some(sink)) = (source, exit) else {
+        panic!("at least two segments");
+    };
+    Instance {
+        net: b.build(),
+        source,
+        sink,
+        demand: 2,
+    }
+}
+
 /// A `w × h` grid with unit capacities; `s` top-left, `t` bottom-right.
 pub fn grid(w: usize, h: usize, seed: u64) -> Instance {
     assert!(w >= 1 && h >= 1);
@@ -430,6 +497,34 @@ mod tests {
         // 2 * (5 tree + up to 3 extra) + 3 cut
         assert!(inst.net.edge_count() >= 2 * 5 + 3);
         assert_eq!(cut.len(), 3);
+    }
+
+    #[test]
+    fn slack_barbell_counts_and_slack() {
+        let inst = slack_barbell(3, 2, 11);
+        // 3 diamonds (4 links) + 2 joints (2 slack links) + 3*2 spurs + 1 perfect splice
+        assert_eq!(inst.net.edge_count(), 3 * 4 + 2 * 2 + 3 * 2 + 1);
+        let perfect = inst
+            .net
+            .edges()
+            .iter()
+            .filter(|e| e.fail_prob == 0.0)
+            .count();
+        assert_eq!(perfect, 1, "exactly the contraction splice is perfect");
+        let slack = inst.net.edges().iter().filter(|e| e.capacity == 8).count();
+        assert_eq!(slack, 4, "two over-provisioned links per joint");
+        let whole = connected_components(&inst.net, |_| false);
+        assert_eq!(whole.count(), 1);
+        assert_ne!(inst.source, inst.sink);
+    }
+
+    #[test]
+    fn slack_barbell_is_deterministic() {
+        let a = slack_barbell(3, 2, 4);
+        let b = slack_barbell(3, 2, 4);
+        for (x, y) in a.net.edges().iter().zip(b.net.edges()) {
+            assert_eq!(x, y);
+        }
     }
 
     #[test]

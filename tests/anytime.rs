@@ -152,8 +152,8 @@ fn bottleneck_budget_cutoffs_bracket_and_serial_resume_is_bit_identical() {
         .run_complete(&net, d)
         .unwrap();
     assert_eq!(
-        exact.algorithm, "auto:bottleneck",
-        "the barbell must engage the decomposition"
+        exact.algorithm, "reduce+auto:bottleneck",
+        "the barbell must engage the decomposition (after reduction)"
     );
     let exact = exact.reliability;
     // every cutoff produces a valid bracketing interval

@@ -234,8 +234,8 @@ fn bottleneck_resume_is_bit_identical_with_and_without_incremental() {
         .run_complete(&net, d)
         .unwrap();
     assert_eq!(
-        exact.algorithm, "auto:bottleneck",
-        "the barbell must engage the decomposition"
+        exact.algorithm, "reduce+auto:bottleneck",
+        "the barbell must engage the decomposition (after reduction)"
     );
     let exact = exact.reliability;
     let budget = Budget {

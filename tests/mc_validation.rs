@@ -203,8 +203,8 @@ fn strategy_montecarlo_checkpoint_text_round_trip() {
         .run_complete(&net, d)
         .unwrap();
     assert_eq!(
-        full.algorithm, "montecarlo:dagger",
-        "auto must condition on the barbell bottleneck"
+        full.algorithm, "reduce+montecarlo:dagger",
+        "auto must condition on the barbell bottleneck (after reduction)"
     );
     let budgeted = ReliabilityCalculator::new()
         .with_strategy(Strategy::MonteCarlo(settings))

@@ -101,7 +101,15 @@ fn calculator_exploits_tree_bottleneck() {
     let rep = ReliabilityCalculator::new()
         .run_complete(&sc.net, FlowDemand::new(sc.server, sub, 1))
         .unwrap();
-    assert_eq!(rep.algorithm, "auto:bottleneck");
+    // The bridge chain is exactly what structural reduction collapses:
+    // the reduced instance is a couple of links, and the auto strategy
+    // picks whatever is cheapest for the remnant. The decomposition win
+    // the tree offers is realized by the reduction itself.
+    assert!(
+        rep.algorithm.starts_with("reduce+auto:"),
+        "tree chains must engage the structural reduction, got {}",
+        rep.algorithm
+    );
     // tree reliability to a depth-2 peer = product of path survivals
     let naive = reliability_naive(
         &sc.net,

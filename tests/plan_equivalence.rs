@@ -145,11 +145,13 @@ fn budgeted_factoring_resumes_bit_identically_through_text_checkpoints() {
     let finished = loop {
         match out {
             Outcome::Complete(rep) => {
-                assert_eq!(rep.algorithm, "factoring");
+                // This instance reduces (slack clamps + a parallel merge),
+                // so the calculator stamps the reduction prefix.
+                assert_eq!(rep.algorithm, "reduce+factoring");
                 break rep.reliability;
             }
             Outcome::Partial(p) => {
-                assert_eq!(p.algorithm, "factoring");
+                assert_eq!(p.algorithm, "reduce+factoring");
                 assert!(
                     p.r_low <= exact + 1e-12 && exact <= p.r_high + 1e-12,
                     "[{}, {}] must bracket {exact}",
