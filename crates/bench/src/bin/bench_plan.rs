@@ -21,17 +21,20 @@
 //! `--smoke` shrinks the matrix so it runs in well under a second: a CI
 //! check that the planner still recurses (including one >= 8-leaf deep-cut
 //! instance) and agrees with the baselines, not a measurement — timing
-//! bars are not asserted.
+//! bars are not asserted. Smoke mode also runs one hybrid row whose config
+//! budget forces at least one Monte-Carlo leaf, asserting the answer comes
+//! back labelled statistical with an interval covering the exact value.
 
 use std::time::Instant;
 
 use flowrel_core::{
-    find_bottleneck_set, reliability_naive, CalcOptions, DecompositionPlan, FlowDemand,
-    PlanSlotReport, ReliabilityCalculator, Strategy, SweepStats,
+    find_bottleneck_set, reliability_naive, Budget, CalcOptions, DecompositionPlan, EstimatorKind,
+    FlowDemand, McSettings, PlanSlotReport, ReliabilityCalculator, StopTarget, Strategy,
+    SweepStats,
 };
 use netgraph::Network;
 use workloads::generators::{
-    barbell_mesh, chained_barbell, kary_nested_cut, nested_barbell, Instance,
+    barbell_mesh, chained_barbell, kary_nested_cut, nested_barbell, slack_barbell, Instance,
 };
 
 /// Naive enumeration is used as the ground-truth cross-check only below
@@ -400,6 +403,76 @@ fn cases(smoke: bool) -> Vec<Case> {
     ]
 }
 
+/// Smoke-only hybrid row: a slack-barbell whose two 16-config leaves get an
+/// 8-config budget, forcing both onto the Monte-Carlo path. Returns a JSON
+/// fragment for the report plus any failures.
+///
+/// Uses the crude estimator so the answer is genuinely sampled (the exact
+/// estimators shortcut small leaves to closed form and would come back
+/// certified); `batch >= target` lets each forced leaf finish in one visit.
+fn hybrid_smoke_row(failures: &mut Vec<String>) -> String {
+    let inst = slack_barbell(2, 1, 11);
+    let d = FlowDemand::new(inst.source, inst.sink, inst.demand);
+    let opts = CalcOptions {
+        hybrid: true,
+        hybrid_mc: McSettings {
+            seed: 11,
+            estimator: EstimatorKind::Crude,
+            target: StopTarget {
+                max_samples: 4096,
+                ..StopTarget::default()
+            },
+            batch: 4096,
+            ..McSettings::default()
+        },
+        budget: Budget {
+            max_configs: Some(8),
+            ..Budget::unlimited()
+        },
+        ..bench_options()
+    };
+    let start = Instant::now();
+    let rep = ReliabilityCalculator::new()
+        .with_strategy(Strategy::BottleneckAuto { max_k: 1 })
+        .with_options(opts)
+        .run_complete(&inst.net, d)
+        .expect("hybrid smoke instance completes");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let exact = reliability_naive(&inst.net, d, &CalcOptions::default()).expect("naive");
+    let slots = rep.bottleneck.map(|b| b.plan_slots).unwrap_or_default();
+    let mc_leaves = slots.iter().filter(|s| s.kind == "mc").count();
+    let (lo, hi) = rep.interval;
+    println!(
+        "{:>20}: {} links, {} mc leaves, statistical [{:.6}, {:.6}] covers exact {:.6}, {:.2} ms",
+        "hybrid-slack-2x1",
+        inst.net.edge_count(),
+        mc_leaves,
+        lo,
+        hi,
+        exact,
+        ms
+    );
+    if mc_leaves == 0 {
+        failures.push("hybrid smoke: the budget forced no MC leaf".to_string());
+    }
+    if rep.certified {
+        failures.push("hybrid smoke: a sampled answer must be labelled statistical".to_string());
+    }
+    if !(0.0 <= lo && lo <= exact && exact <= hi && hi <= 1.0) {
+        failures.push(format!(
+            "hybrid smoke: interval [{lo}, {hi}] must sit in [0, 1] and cover {exact}"
+        ));
+    }
+    format!(
+        concat!(
+            "{{\"instance\": \"hybrid-slack-2x1\", \"mc_leaves\": {}, ",
+            "\"r_low\": {:.12e}, \"r_high\": {:.12e}, \"exact\": {:.12e}, ",
+            "\"certified\": {}, \"ms\": {:.3}}}"
+        ),
+        mc_leaves, lo, hi, exact, rep.certified, ms
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -480,10 +553,12 @@ fn main() {
         }
     }
 
+    let hybrid = smoke.then(|| hybrid_smoke_row(&mut failures));
     let body: Vec<String> = rows.iter().map(|r| format!("    {}", r.json())).collect();
+    let hybrid_field = hybrid.map_or(String::new(), |h| format!(",\n  \"hybrid\": {h}"));
     let json = format!(
         "{{\n  \"benchmark\": \"bench_plan\",\n  \"smoke\": {smoke},\n  \
-         \"rows\": [\n{}\n  ]\n}}\n",
+         \"rows\": [\n{}\n  ]{hybrid_field}\n}}\n",
         body.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write json");

@@ -3,7 +3,7 @@
 //! ```text
 //! flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp|mc] [--exact]
 //!                             [--timeout SECS] [--max-configs N]
-//!                             [--max-depth N] [--explain]
+//!                             [--max-depth N] [--explain] [--hybrid]
 //!                             [--checkpoint PATH] [--resume PATH]
 //!                             [--mc-estimator auto|crude|dagger|perm]
 //!                             [--rel-err EPS] [--ci HALF] [--samples N] [--seed S]
@@ -19,6 +19,15 @@
 //! each leaf slot's apportioned budget share and its predicted vs. actual
 //! sweep cost; `--max-depth` caps how many nested splits the planner may
 //! stack (`0` forces the flat one-level decomposition).
+//!
+//! `--hybrid` (off by default) lets the plan interpreter place a Monte-Carlo
+//! estimator at any scalar leaf whose predicted sweep cost exceeds the
+//! configuration share its subtree was apportioned (`--max-configs` sets the
+//! allowance). The answer is then *labelled*: `certified` when every leaf ran
+//! exactly, `statistical` with a 95% interval as soon as any leaf sampled.
+//! The sampling flags (`--seed`, `--samples`, `--rel-err`, `--ci`,
+//! `--mc-estimator`) configure the leaf estimators; with `--explain`, the
+//! accounting table marks sampled leaves `mc` and says why they sampled.
 //!
 //! ## Exit codes
 //!
@@ -95,7 +104,7 @@ fn usage() -> ExitCode {
         "usage:\n  \
          flowrel compute <file.fnet> [--strategy auto|naive|factoring|bridge|sp|mc] [--exact] [--parallel] [--no-certs]\n  \
          {:17}[--no-incremental] [--no-reduce] [--parallel-threshold N] [--timeout SECS] [--max-configs N]\n  \
-         {:17}[--max-depth N] [--explain] [--checkpoint PATH] [--resume PATH]\n  \
+         {:17}[--max-depth N] [--explain] [--hybrid] [--checkpoint PATH] [--resume PATH]\n  \
          {:17}[--mc-estimator auto|crude|dagger|perm] [--rel-err EPS] [--ci HALF] [--samples N] [--seed S]\n  \
          flowrel analyze <file.fnet> [--max-k K]\n  \
          flowrel importance <file.fnet>\n  \
@@ -279,6 +288,17 @@ fn explain_slots(slots: &[flowrel_core::PlanSlotReport]) {
             100.0 * s.explored
         );
     }
+    for s in slots.iter().filter(|s| s.kind == "mc") {
+        println!(
+            "slot #{} sampled: predicted exact cost {:.3e} configs exceeded its apportioned \
+             budget share ({:.1}%), so the leaf ran the Monte-Carlo estimator instead \
+             ({} samples drawn)",
+            s.index,
+            s.predicted,
+            100.0 * s.share,
+            s.configs
+        );
+    }
 }
 
 fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
@@ -337,6 +357,7 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
         })
         .transpose()?;
     let defaults = CalcOptions::default();
+    let hybrid = args.iter().any(|a| a == "--hybrid");
     let opts = CalcOptions {
         parallel: args.iter().any(|a| a == "--parallel"),
         certificate_cache: !args.iter().any(|a| a == "--no-certs"),
@@ -344,6 +365,13 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
         reduce: !args.iter().any(|a| a == "--no-reduce"),
         parallel_threshold: parallel_threshold.unwrap_or(defaults.parallel_threshold),
         max_depth: max_depth.unwrap_or(defaults.max_depth),
+        hybrid,
+        // the sampling flags double as the hybrid leaf-estimator settings
+        hybrid_mc: if hybrid {
+            mc_settings(args)?
+        } else {
+            defaults.hybrid_mc.clone()
+        },
         budget: Budget {
             time_limit,
             max_configs,
@@ -395,10 +423,10 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
             }
             println!("checkpoint written to {checkpoint_path}");
             println!("resume with: flowrel compute {path} --resume {checkpoint_path}");
-            let quality = if partial.mc.is_some() {
-                "estimated (95% Wilson)"
-            } else {
+            let quality = if partial.certified {
                 "certified"
+            } else {
+                "statistical (95% Wilson)"
             };
             return Err(CliError {
                 code: EXIT_INCOMPLETE,
@@ -413,6 +441,14 @@ fn cmd_compute(path: &str, args: &[String]) -> Result<(), CliError> {
         "reliability = {:.12}  (via {})",
         report.reliability, report.algorithm
     );
+    if report.certified {
+        println!("certainty   : certified (exact enumeration)");
+    } else {
+        println!(
+            "certainty   : statistical — 95% interval [{:.12}, {:.12}]",
+            report.interval.0, report.interval.1
+        );
+    }
     if let Some(b) = report.bottleneck {
         println!(
             "bottleneck: {:?}  |E_s|={} |E_t|={} alpha={:.3} |D|={}",

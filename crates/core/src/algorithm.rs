@@ -47,7 +47,9 @@ pub struct BottleneckReport {
 pub struct PlanSlotReport {
     /// DFS slot index (matches `leaf #i` / `sweep #i` in the rendered plan).
     pub index: usize,
-    /// Leaf kind: `"naive"`, `"cut"`, or `"sweep"`.
+    /// Leaf kind: `"naive"`, `"cut"`, `"sweep"`, or — in hybrid mode, when
+    /// the budget forced this scalar leaf to be estimated statistically —
+    /// `"mc"` (in that case `configs`/`explored` count samples).
     pub kind: &'static str,
     /// Configurations the planner predicted this slot still had to
     /// enumerate when the run started (resume-aware).

@@ -297,6 +297,16 @@ impl BudgetSentinel {
         self.core.avail()
     }
 
+    /// Wall-clock time left until this sentinel's deadline, saturating at
+    /// zero once the deadline has passed; `None` when the run has no time
+    /// limit. Lets a leaf hand its remaining lease to a nested engine (the
+    /// hybrid planner's Monte-Carlo leaves) as that engine's own time limit.
+    pub fn time_left(&self) -> Option<Duration> {
+        self.core
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// True when a configuration allowance is tracked at all. Distinguishes
     /// an untracked sentinel from a tracked one whose limit merely happens
     /// to be enormous — [`remaining`](Self::remaining) alone cannot tell

@@ -74,6 +74,14 @@ pub enum Strategy {
 pub struct ReliabilityReport {
     /// The reliability of the network w.r.t. the demand.
     pub reliability: f64,
+    /// True when the value is exact (up to compensated `f64` rounding);
+    /// false when any part of it was estimated statistically (the
+    /// Monte-Carlo strategy without an exact shortcut, or a hybrid plan
+    /// with at least one sampled leaf).
+    pub certified: bool,
+    /// `[r_low, r_high]` around `reliability`: degenerate when `certified`,
+    /// the 95% confidence interval otherwise.
+    pub interval: (f64, f64),
     /// Human-readable name of the algorithm that produced the value.
     pub algorithm: &'static str,
     /// Present when a bottleneck decomposition ran.
@@ -86,10 +94,16 @@ pub struct ReliabilityReport {
 /// A budget-interrupted result: rigorous bounds plus resume state.
 #[derive(Clone, Debug)]
 pub struct PartialReport {
-    /// Certified lower bound on the reliability.
+    /// Lower bound on the reliability (certified unless `certified` is
+    /// false).
     pub r_low: f64,
-    /// Certified upper bound on the reliability.
+    /// Upper bound on the reliability (certified unless `certified` is
+    /// false).
     pub r_high: f64,
+    /// True when `[r_low, r_high]` is a rigorous enumeration interval;
+    /// false when a statistical estimate contributed (Monte-Carlo partials,
+    /// hybrid plans with a sampled leaf).
+    pub certified: bool,
     /// Fraction of the configuration space examined so far, in `[0, 1]`.
     pub explored: f64,
     /// Human-readable name of the interrupted algorithm.
@@ -125,11 +139,20 @@ impl Outcome {
         }
     }
 
-    /// `[r_low, r_high]` bounds: degenerate for a complete run.
+    /// `[r_low, r_high]` bounds: degenerate for a certified complete run,
+    /// the confidence interval for a statistical one.
     pub fn bounds(&self) -> (f64, f64) {
         match self {
-            Outcome::Complete(rep) => (rep.reliability, rep.reliability),
+            Outcome::Complete(rep) => rep.interval,
             Outcome::Partial(p) => (p.r_low, p.r_high),
+        }
+    }
+
+    /// True when no statistical estimate contributed to the answer.
+    pub fn certified(&self) -> bool {
+        match self {
+            Outcome::Complete(rep) => rep.certified,
+            Outcome::Partial(p) => p.certified,
         }
     }
 }
@@ -226,6 +249,8 @@ impl ReliabilityCalculator {
                     let r = reliability_factoring(net, demand, &self.options)?;
                     return Ok(Outcome::Complete(Box::new(ReliabilityReport {
                         reliability: r,
+                        certified: true,
+                        interval: (r, r),
                         algorithm: "factoring",
                         bottleneck: None,
                         mc: None,
@@ -412,6 +437,10 @@ impl ReliabilityCalculator {
                 let opts = CalcOptions {
                     max_depth: ck.max_depth,
                     recursive_cut_sides: ck.recursive_cut_sides,
+                    // pinned from the checkpoint, like the planner knobs: a
+                    // legacy MC-free checkpoint resumes bit-identically
+                    // whether the resuming process has --hybrid on or off
+                    hybrid: ck.hybrid,
                     ..self.options.clone()
                 };
                 self.plan_outcome_with(
@@ -474,10 +503,15 @@ impl ReliabilityCalculator {
         match plan.execute(opts, resume)? {
             PlanOutcome::Complete {
                 reliability,
+                r_low,
+                r_high,
+                certified,
                 stats,
                 slots,
             } => Ok(Outcome::Complete(Box::new(ReliabilityReport {
                 reliability,
+                certified,
+                interval: (r_low, r_high),
                 algorithm,
                 bottleneck: Some(plan.report(net, stats, slots)),
                 mc: None,
@@ -485,6 +519,7 @@ impl ReliabilityCalculator {
             PlanOutcome::Partial {
                 r_low,
                 r_high,
+                certified,
                 explored,
                 checkpoint,
                 stats,
@@ -492,6 +527,7 @@ impl ReliabilityCalculator {
             } => Ok(Outcome::Partial(Box::new(PartialReport {
                 r_low,
                 r_high,
+                certified,
                 explored,
                 algorithm,
                 bottleneck: Some(plan.report(net, stats, slots)),
@@ -517,6 +553,8 @@ impl ReliabilityCalculator {
             FactoringOutcome::Complete { reliability, .. } => {
                 Ok(Outcome::Complete(Box::new(ReliabilityReport {
                     reliability,
+                    certified: true,
+                    interval: (reliability, reliability),
                     algorithm,
                     bottleneck: None,
                     mc: None,
@@ -530,6 +568,7 @@ impl ReliabilityCalculator {
             } => Ok(Outcome::Partial(Box::new(PartialReport {
                 r_low,
                 r_high,
+                certified: true,
                 explored,
                 algorithm,
                 bottleneck: None,
@@ -555,6 +594,8 @@ impl ReliabilityCalculator {
             NaiveOutcome::Complete { reliability, .. } => {
                 Ok(Outcome::Complete(Box::new(ReliabilityReport {
                     reliability,
+                    certified: true,
+                    interval: (reliability, reliability),
                     algorithm,
                     bottleneck: None,
                     mc: None,
@@ -569,6 +610,7 @@ impl ReliabilityCalculator {
             } => Ok(Outcome::Partial(Box::new(PartialReport {
                 r_low,
                 r_high,
+                certified: true,
                 explored,
                 algorithm,
                 bottleneck: None,
@@ -597,6 +639,8 @@ impl ReliabilityCalculator {
                 report,
             } => Ok(Outcome::Complete(Box::new(ReliabilityReport {
                 reliability,
+                certified: true,
+                interval: (reliability, reliability),
                 algorithm,
                 bottleneck: Some(report),
                 mc: None,
@@ -611,6 +655,7 @@ impl ReliabilityCalculator {
             } => Ok(Outcome::Partial(Box::new(PartialReport {
                 r_low,
                 r_high,
+                certified: true,
                 explored,
                 algorithm,
                 bottleneck: Some(report),
@@ -703,6 +748,8 @@ impl ReliabilityCalculator {
             montecarlo::McOutcome::Done(report) => {
                 Ok(Outcome::Complete(Box::new(ReliabilityReport {
                     reliability: report.mean,
+                    certified: report.exact,
+                    interval: (report.ci_low, report.ci_high),
                     algorithm: mc_algorithm(report.estimator),
                     bottleneck: None,
                     mc: Some(report),
@@ -713,6 +760,7 @@ impl ReliabilityCalculator {
                 Ok(Outcome::Partial(Box::new(PartialReport {
                     r_low: report.ci_low,
                     r_high: report.ci_high,
+                    certified: false,
                     explored: (report.samples as f64 / cap).min(1.0),
                     algorithm: mc_algorithm(report.estimator),
                     bottleneck: None,
@@ -754,6 +802,8 @@ impl ReliabilityCalculator {
         let r = reliability_factoring(net, demand, &self.options)?;
         Ok(Outcome::Complete(Box::new(ReliabilityReport {
             reliability: r,
+            certified: true,
+            interval: (r, r),
             algorithm: "auto:factoring",
             bottleneck: None,
             mc: None,

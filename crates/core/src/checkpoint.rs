@@ -98,6 +98,25 @@ pub enum PlanLeafState {
     /// The leaf is an interrupted single-side spectrum sweep (a `sweep`
     /// leaf under a recursive `DeepCut` node).
     Side(Box<SideCheckpoint>),
+    /// The leaf was estimated statistically (hybrid mode) and met its
+    /// stopping target: the point estimate and 95% interval are recorded so
+    /// a resumed run reuses them without re-sampling. Unlike [`Done`]
+    /// (certified, exact), this state taints the combined answer
+    /// *statistical*.
+    ///
+    /// [`Done`]: PlanLeafState::Done
+    McDone {
+        /// The leaf's Monte-Carlo point estimate.
+        mean: f64,
+        /// Lower end of the leaf's 95% confidence interval.
+        lo: f64,
+        /// Upper end of the leaf's 95% confidence interval.
+        hi: f64,
+    },
+    /// The leaf is an interrupted Monte-Carlo estimation (hybrid mode); the
+    /// full engine state (settings, accumulator, batch cursor) resumes the
+    /// sample stream bit-identically.
+    MonteCarlo(Box<montecarlo::McCheckpoint>),
 }
 
 /// Checkpoint of an interrupted recursive-plan execution ([`crate::plan`]).
@@ -117,6 +136,15 @@ pub struct PlanCheckpoint {
     /// Whether the plan was built with `recursive_cut_sides` (overrides the
     /// resuming options, like `max_depth`, so the re-derived tree matches).
     pub recursive_cut_sides: bool,
+    /// Whether the interrupted run executed in hybrid mode (overrides the
+    /// resuming options, so a resume continues sampling — or not — exactly
+    /// as the original run would have). Deliberately *not* part of the shape
+    /// fingerprint: the plan tree is identical with the knob on or off, only
+    /// leaf execution differs, mirroring the `recursive_cut_sides`-era
+    /// precedent of keeping executor knobs out of [`shape`](Self::shape).
+    /// Serialized as an optional line so MC-free legacy checkpoints keep
+    /// their exact byte layout.
+    pub hybrid: bool,
     /// Fingerprint of the plan tree's shape; a resumed run must re-derive a
     /// tree with the identical fingerprint.
     pub shape: u64,
@@ -291,6 +319,11 @@ impl Checkpoint {
                 out.push_str(&format!("root-maxk {}\n", p.root_max_k));
                 out.push_str(&format!("max-depth {}\n", p.max_depth));
                 out.push_str(&format!("deep {}\n", p.recursive_cut_sides as u8));
+                // optional line: written only for hybrid runs, so MC-free
+                // checkpoints keep the exact legacy byte layout
+                if p.hybrid {
+                    out.push_str("hybrid 1\n");
+                }
                 out.push_str(&format!("shape {:016x}\n", p.shape));
                 out.push_str(&format!("shares {}\n", p.shares.len()));
                 for &sh in &p.shares {
@@ -315,6 +348,18 @@ impl Checkpoint {
                         PlanLeafState::Side(side) => {
                             out.push_str("leaf side\n");
                             write_side(&mut out, "x", side);
+                        }
+                        PlanLeafState::McDone { mean, lo, hi } => {
+                            out.push_str(&format!(
+                                "leaf mc-done {:016x} {:016x} {:016x}\n",
+                                mean.to_bits(),
+                                lo.to_bits(),
+                                hi.to_bits()
+                            ));
+                        }
+                        PlanLeafState::MonteCarlo(mc) => {
+                            out.push_str("leaf mc\n");
+                            write_mc(&mut out, mc);
                         }
                     }
                 }
@@ -397,6 +442,22 @@ impl Checkpoint {
                 if deep > 1 {
                     return Err(bad("plan deep flag must be 0 or 1"));
                 }
+                // optional hybrid line (absent in pre-hybrid checkpoints):
+                // peek on a clone so a miss rewinds to the saved cursor
+                let save = lines.clone();
+                let hybrid = match field(&mut lines, "hybrid") {
+                    Ok(hf) => {
+                        let flag: u8 = parse(hf.first(), "plan hybrid flag")?;
+                        if flag > 1 {
+                            return Err(bad("plan hybrid flag must be 0 or 1"));
+                        }
+                        flag == 1
+                    }
+                    Err(_) => {
+                        lines = save;
+                        false
+                    }
+                };
                 let shape = parse_hex(field(&mut lines, "shape")?.first(), "plan shape")?;
                 let share_count: usize =
                     parse(field(&mut lines, "shares")?.first(), "plan share count")?;
@@ -429,6 +490,15 @@ impl Checkpoint {
                             let side = read_side(&mut lines, "x")?;
                             leaves.push(PlanLeafState::Side(Box::new(side)));
                         }
+                        Some("mc-done") => leaves.push(PlanLeafState::McDone {
+                            mean: f64::from_bits(parse_hex(lf.get(1), "leaf mc mean")?),
+                            lo: f64::from_bits(parse_hex(lf.get(2), "leaf mc lo")?),
+                            hi: f64::from_bits(parse_hex(lf.get(3), "leaf mc hi")?),
+                        }),
+                        Some("mc") => {
+                            let mc = read_mc(&mut lines)?;
+                            leaves.push(PlanLeafState::MonteCarlo(Box::new(mc)));
+                        }
                         _ => return Err(bad("unknown plan leaf state")),
                     }
                 }
@@ -437,6 +507,7 @@ impl Checkpoint {
                     root_max_k,
                     max_depth,
                     recursive_cut_sides: deep == 1,
+                    hybrid,
                     shape,
                     shares,
                     leaves,
@@ -943,6 +1014,7 @@ mod tests {
                 root_max_k: 3,
                 max_depth: 7,
                 recursive_cut_sides: true,
+                hybrid: false,
                 shape: 0xfeed_face_cafe_beef,
                 shares: vec![0.5, 0.25, 0.125, 0.0625, 0.0625],
                 leaves: vec![
@@ -964,6 +1036,60 @@ mod tests {
         let ck = plan_checkpoint();
         let back = Checkpoint::from_text(&ck.to_text()).unwrap();
         assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn hybrid_plan_round_trip_is_exact() {
+        let CheckpointKind::MonteCarlo(mc) =
+            mc_checkpoint(montecarlo::McAccum::Counts { successes: 777 }).kind
+        else {
+            panic!("mc fixture must be montecarlo");
+        };
+        let mut ck = plan_checkpoint();
+        let CheckpointKind::Plan(p) = &mut ck.kind else {
+            panic!("plan fixture must be plan");
+        };
+        p.hybrid = true;
+        p.leaves.push(PlanLeafState::McDone {
+            mean: 0.9375,
+            lo: 0.9,
+            hi: 0.96875,
+        });
+        p.leaves.push(PlanLeafState::MonteCarlo(Box::new(mc)));
+        p.shares.push(0.0);
+        p.shares.push(0.0);
+        let text = ck.to_text();
+        assert!(text.contains("hybrid 1\n"), "hybrid runs record the knob");
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn legacy_plan_text_without_hybrid_line_stays_byte_stable() {
+        // a pre-hybrid (PR 8-era) plan checkpoint has no `hybrid` line and
+        // no mc leaves; it must parse as hybrid=false and re-serialize to
+        // the identical bytes, so old checkpoints resume bit-identically
+        // whether the resuming process runs with --hybrid on or off
+        let legacy = "flowrel-checkpoint v1\n\
+                      fingerprint 123456789abcdef0\n\
+                      kind plan\n\
+                      root-cut 2 3 9\n\
+                      root-maxk 3\n\
+                      max-depth 7\n\
+                      deep 1\n\
+                      shape feedfacecafebeef\n\
+                      shares 2\n\
+                      sh 3fe0000000000000\n\
+                      sh 3fd0000000000000\n\
+                      leaves 2\n\
+                      leaf done 3fec000000000000\n\
+                      leaf fresh\n";
+        let ck = Checkpoint::from_text(legacy).unwrap();
+        let CheckpointKind::Plan(p) = &ck.kind else {
+            panic!("legacy text must parse as a plan checkpoint");
+        };
+        assert!(!p.hybrid, "missing hybrid line means hybrid off");
+        assert_eq!(ck.to_text(), legacy, "MC-free round trip is byte-exact");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Tuning knobs shared by the algorithms.
 
 use maxflow::SolverKind;
+use montecarlo::{EstimatorKind, McSettings};
 
 use crate::accumulate::AccumulationMethod;
 use crate::assign::AssignmentModel;
@@ -73,6 +74,24 @@ pub struct CalcOptions {
     /// scalar subtree times a smaller side. Off, every multi-assignment cut
     /// is swept whole (the PR 5 planner).
     pub recursive_cut_sides: bool,
+    /// Hybrid exact/statistical plan execution: allow the plan interpreter
+    /// to place a Monte-Carlo estimator at a scalar leaf (naive or flat cut)
+    /// whose remaining predicted cost exceeds the configuration allowance
+    /// its subtree was apportioned, instead of starting an exact sweep that
+    /// cannot finish. The result is then a labelled *statistical* interval
+    /// rather than a certified value; with the knob off (the default) plans
+    /// are always certified-or-partial. Requires a tracked configuration
+    /// budget (`budget.max_configs`) — without an allowance there is no
+    /// share to compare against and every leaf stays exact.
+    pub hybrid: bool,
+    /// Monte-Carlo settings template for hybrid plan leaves: base seed,
+    /// batch size, stopping target, estimator. Each sampled leaf derives its
+    /// own seed from the base via a plan-leaf stream domain keyed by the
+    /// leaf's DFS slot index, and [`EstimatorKind::Auto`] is resolved *per
+    /// leaf* (dagger when that leaf's subnetwork has a strata-sized
+    /// bottleneck, permutation otherwise). Ignored unless
+    /// [`hybrid`](Self::hybrid) is set.
+    pub hybrid_mc: McSettings,
     /// Run the structural reduction pipeline ([`crate::reduce`]) — capacity-
     /// factor pruning, forced-link conditioning, parallel-link merging — on
     /// the instance before planning or sweeping. Exact: the reduced instance
@@ -101,6 +120,11 @@ impl Default for CalcOptions {
             budget: Budget::unlimited(),
             max_depth: 64,
             recursive_cut_sides: true,
+            hybrid: false,
+            hybrid_mc: McSettings {
+                estimator: EstimatorKind::Auto,
+                ..McSettings::default()
+            },
             reduce: true,
         }
     }
@@ -160,6 +184,17 @@ mod tests {
         assert!(
             !o.certificate_cache,
             "paper-faithful runs solve every config"
+        );
+    }
+
+    #[test]
+    fn hybrid_is_off_by_default_and_auto_resolved() {
+        let o = CalcOptions::default();
+        assert!(!o.hybrid, "hybrid leaves are opt-in");
+        assert_eq!(
+            o.hybrid_mc.estimator,
+            EstimatorKind::Auto,
+            "hybrid leaves resolve their estimator per leaf"
         );
     }
 

@@ -57,6 +57,31 @@
 //! uninterrupted value bit for bit, because leaf execution order, per-leaf
 //! sweeps (PR-2 semantics), budget apportionment, and the combination
 //! arithmetic are all deterministic.
+//!
+//! # Hybrid exact/statistical leaves
+//!
+//! With [`CalcOptions::hybrid`] set, a *scalar* leaf (`Leaf` or flat `Cut`)
+//! whose remaining predicted cost exceeds the configuration allowance its
+//! subtree was apportioned is estimated by [`montecarlo::engine`] instead
+//! of starting an exact sweep that cannot finish. The decision is made at
+//! the leaf's entry against `sentinel.remaining()` — both fork children are
+//! created *before* either side runs, so the share a leaf sees is the same
+//! deterministic number serially and in parallel. Each sampled leaf derives
+//! its own RNG stream ([`montecarlo::plan_leaf_seed`], keyed by the leaf's
+//! DFS slot index) and resolves [`EstimatorKind::Auto`] against *its own*
+//! subnetwork: dagger when that leaf has a strata-sized bottleneck,
+//! permutation otherwise. Every node combine then propagates a `certified`
+//! flag alongside the interval — the AND over all contributing leaves — so
+//! the final answer is labelled *statistical* as soon as any leaf sampled.
+//! Combined bounds are clamped to `[0, 1]` at every combine: statistical
+//! child intervals (Wilson CIs) are not exact probabilities, so products
+//! against `up` can stray outside the unit interval. Sides of a `DeepCut`
+//! (sweeps and peel scalars) never sample: a statistical scalar folded
+//! into a spectrum's mass vector would silently corrupt the certified
+//! underestimate the peel transform relies on, so MC placement is disabled
+//! (`allow_mc`) inside side evaluation.
+//!
+//! [`EstimatorKind::Auto`]: montecarlo::EstimatorKind::Auto
 
 use netgraph::{EdgeId, EdgeMask, GraphKind, Network, NodeId};
 
@@ -83,6 +108,7 @@ use crate::reduce::{reduce, ReduceStats};
 use crate::spreduce::{reduce_unit_demand, ReductionStats};
 use crate::sweep::{sweep_spectrum_budgeted, SweepConfig};
 use crate::weight::edge_weights;
+use montecarlo::{McCheckpoint, McOutcome, McReport, McSettings};
 
 /// A side smaller than this is always swept whole: a peel replaces the side
 /// with a scalar subtree *plus* a residual side, so it cannot pay off below
@@ -234,19 +260,31 @@ pub enum PlanNode {
 pub enum PlanOutcome {
     /// The budget sufficed: every leaf ran to completion.
     Complete {
-        /// The exact reliability (up to compensated `f64` rounding).
+        /// The reliability: exact (up to compensated `f64` rounding) when
+        /// `certified`, the combined Monte-Carlo point estimate otherwise.
         reliability: f64,
+        /// Lower end of the combined interval (`reliability` when
+        /// `certified`, the combined 95% confidence bound otherwise).
+        r_low: f64,
+        /// Upper end of the combined interval.
+        r_high: f64,
+        /// True when every contributing leaf ran exactly; false as soon as
+        /// any leaf was estimated statistically (hybrid mode).
+        certified: bool,
         /// Merged sweep-engine counters over all leaves.
         stats: SweepStats,
         /// Per-leaf-slot budget shares and cost accounting, in DFS order.
         slots: Vec<PlanSlotReport>,
     },
-    /// The budget ran out; `[r_low, r_high]` is a rigorous interval.
+    /// The budget ran out; `[r_low, r_high]` is a rigorous interval (when
+    /// `certified`) or a statistically-tainted one (hybrid mode).
     Partial {
-        /// Certified lower bound.
+        /// Lower bound (certified unless a sampled leaf contributed).
         r_low: f64,
-        /// Certified upper bound.
+        /// Upper bound (certified unless a sampled leaf contributed).
         r_high: f64,
+        /// True when no contributing leaf was estimated statistically.
+        certified: bool,
         /// Mean explored fraction over the plan's leaf slots.
         explored: f64,
         /// Resume state (leaf states in DFS order plus re-planning inputs).
@@ -472,7 +510,11 @@ impl DecompositionPlan {
             })
             .collect();
         let sentinel = opts.budget.start();
-        let ctx = ExecCtx { opts, resume };
+        let ctx = ExecCtx {
+            opts,
+            resume,
+            allow_mc: true,
+        };
         let SubtreeOut { eval, slots } = exec_node(&self.root, &ctx, &sentinel)?;
         if slots.len() != self.slots {
             return Err(mismatch(format!(
@@ -491,7 +533,12 @@ impl DecompositionPlan {
             .enumerate()
             .map(|(i, (info, s))| PlanSlotReport {
                 index: i,
-                kind: info.kind,
+                // sampling is decided at execution time, so the static slot
+                // kind is overridden once the leaf actually sampled
+                kind: match s.state {
+                    PlanLeafState::MonteCarlo(_) | PlanLeafState::McDone { .. } => "mc",
+                    _ => info.kind,
+                },
                 predicted: info.predicted,
                 share: shares[i],
                 configs: s.stats.configs,
@@ -500,7 +547,10 @@ impl DecompositionPlan {
             .collect();
         if eval.complete {
             return Ok(PlanOutcome::Complete {
-                reliability: eval.lo,
+                reliability: eval.point,
+                r_low: eval.lo,
+                r_high: eval.hi,
+                certified: eval.certified,
                 stats,
                 slots: reports,
             });
@@ -514,12 +564,14 @@ impl DecompositionPlan {
         Ok(PlanOutcome::Partial {
             r_low,
             r_high: eval.hi.clamp(r_low, 1.0),
+            certified: eval.certified,
             explored: explored.clamp(0.0, 1.0),
             checkpoint: PlanCheckpoint {
                 root_cut: self.root_set.edges.clone(),
                 root_max_k: self.max_k,
                 max_depth: self.max_depth,
                 recursive_cut_sides: self.recursive,
+                hybrid: opts.hybrid,
                 shape: self.shape,
                 shares,
                 leaves: slots.into_iter().map(|s| s.state).collect(),
@@ -542,20 +594,43 @@ struct LeafSlot {
 struct ExecCtx<'a> {
     opts: &'a CalcOptions,
     resume: Option<&'a PlanCheckpoint>,
+    /// Whether hybrid Monte-Carlo placement is allowed in this subtree.
+    /// Cleared inside `DeepCut` side evaluation: a statistical scalar
+    /// folded into a spectrum mass vector would corrupt the certified
+    /// pointwise underestimate the peel transform relies on.
+    allow_mc: bool,
 }
 
 impl ExecCtx<'_> {
     fn leaf_state(&self, index: usize) -> Option<&PlanLeafState> {
         self.resume.and_then(|ck| ck.leaves.get(index))
     }
+
+    /// Whether a fresh scalar leaf with `predicted` remaining configurations
+    /// should be estimated statistically instead of swept: hybrid mode is
+    /// on, sampling is allowed here, a configuration allowance is actually
+    /// tracked, and the leaf's work exceeds the share its subtree holds.
+    fn should_sample(&self, predicted: f64, sentinel: &BudgetSentinel) -> bool {
+        self.opts.hybrid
+            && self.allow_mc
+            && sentinel.tracks_configs()
+            && predicted > sentinel.remaining() as f64
+    }
 }
 
-/// A certified interval around a subtree's exact reliability.
+/// An interval around a subtree's reliability: certified (exact bounds)
+/// until a sampled leaf contributes, statistical (confidence bounds) after.
 #[derive(Clone, Copy)]
 struct Eval {
+    /// Point estimate: the exact value when `certified`, the combined
+    /// Monte-Carlo mean otherwise. Tracked separately from `lo` so a
+    /// statistical subtree still reports its natural point value.
+    point: f64,
     lo: f64,
     hi: f64,
     complete: bool,
+    /// AND over all contributing leaves: false once any leaf sampled.
+    certified: bool,
 }
 
 /// A subtree's evaluation plus its owned leaf slots in DFS order.
@@ -642,9 +717,11 @@ fn exec_node(
     match node {
         PlanNode::Const { value, .. } => Ok(SubtreeOut {
             eval: Eval {
+                point: *value,
                 lo: *value,
                 hi: *value,
                 complete: true,
+                certified: true,
             },
             slots: Vec::new(),
         }),
@@ -667,10 +744,15 @@ fn exec_node(
                 |s| exec_node(right, ctx, s),
             );
             let (mut l, r) = (l?, r?);
+            // Clamped at every combine: with statistical children (Wilson
+            // CIs at p̂ ≈ 1) the product of upper bounds can exceed 1.
+            let lo = (up * l.eval.lo * r.eval.lo).clamp(0.0, 1.0);
             let eval = Eval {
-                lo: up * l.eval.lo * r.eval.lo,
-                hi: up * l.eval.hi * r.eval.hi,
+                point: (up * l.eval.point * r.eval.point).clamp(0.0, 1.0),
+                lo,
+                hi: (up * l.eval.hi * r.eval.hi).clamp(lo, 1.0),
                 complete: l.eval.complete && r.eval.complete,
+                certified: l.eval.certified && r.eval.certified,
             };
             l.slots.extend(r.slots);
             Ok(SubtreeOut {
@@ -684,6 +766,19 @@ fn exec_node(
                     let value = *value;
                     return Ok(done_slot(value));
                 }
+                Some(PlanLeafState::McDone { mean, lo, hi }) => {
+                    return Ok(mc_done_slot(*mean, *lo, *hi));
+                }
+                Some(PlanLeafState::MonteCarlo(ck)) => {
+                    return exec_mc_leaf(
+                        &leaf.net,
+                        leaf.demand,
+                        leaf.index,
+                        ctx,
+                        sentinel,
+                        Some(ck),
+                    );
+                }
                 Some(PlanLeafState::Naive(ck)) => Some(ck.clone()),
                 None | Some(PlanLeafState::Fresh) => None,
                 Some(_) => {
@@ -692,6 +787,9 @@ fn exec_node(
                     ))
                 }
             };
+            if resume.is_none() && ctx.should_sample(remaining_cost(node, ctx.resume), sentinel) {
+                return exec_mc_leaf(&leaf.net, leaf.demand, leaf.index, ctx, sentinel, None);
+            }
             let out = reliability_naive_anytime_on(
                 &leaf.net,
                 leaf.demand,
@@ -707,6 +805,12 @@ fn exec_node(
                     let value = *value;
                     return Ok(done_slot(value));
                 }
+                Some(PlanLeafState::McDone { mean, lo, hi }) => {
+                    return Ok(mc_done_slot(*mean, *lo, *hi));
+                }
+                Some(PlanLeafState::MonteCarlo(ck)) => {
+                    return exec_mc_leaf(&cut.net, cut.demand, cut.index, ctx, sentinel, Some(ck));
+                }
                 Some(PlanLeafState::Cut { side_s, side_t }) => {
                     Some((side_s.clone(), side_t.clone()))
                 }
@@ -715,6 +819,9 @@ fn exec_node(
                     return Err(mismatch("checkpoint stores a foreign state for a cut leaf"))
                 }
             };
+            if resume.is_none() && ctx.should_sample(remaining_cost(node, ctx.resume), sentinel) {
+                return exec_mc_leaf(&cut.net, cut.demand, cut.index, ctx, sentinel, None);
+            }
             let out = reliability_bottleneck_anytime_on(
                 &cut.net,
                 cut.demand,
@@ -729,9 +836,11 @@ fn exec_node(
                     report,
                 } => (
                     Eval {
+                        point: reliability,
                         lo: reliability,
                         hi: reliability,
                         complete: true,
+                        certified: true,
                     },
                     LeafSlot {
                         state: PlanLeafState::Done { value: reliability },
@@ -748,9 +857,11 @@ fn exec_node(
                     report,
                 } => (
                     Eval {
+                        point: 0.5 * (r_low + r_high),
                         lo: r_low,
                         hi: r_high,
                         complete: false,
+                        certified: true,
                     },
                     LeafSlot {
                         state: PlanLeafState::Cut { side_s, side_t },
@@ -773,12 +884,33 @@ fn exec_node(
 fn done_slot(value: f64) -> SubtreeOut {
     SubtreeOut {
         eval: Eval {
+            point: value,
             lo: value,
             hi: value,
             complete: true,
+            certified: true,
         },
         slots: vec![LeafSlot {
             state: PlanLeafState::Done { value },
+            explored: 1.0,
+            stats: SweepStats::default(),
+        }],
+    }
+}
+
+/// A sampled leaf already settled by an earlier run: its recorded interval
+/// passes through (still statistical) and its slot stays `McDone`.
+fn mc_done_slot(mean: f64, lo: f64, hi: f64) -> SubtreeOut {
+    SubtreeOut {
+        eval: Eval {
+            point: mean,
+            lo,
+            hi,
+            complete: true,
+            certified: false,
+        },
+        slots: vec![LeafSlot {
+            state: PlanLeafState::McDone { mean, lo, hi },
             explored: 1.0,
             stats: SweepStats::default(),
         }],
@@ -789,9 +921,11 @@ fn settle_naive(out: NaiveOutcome) -> SubtreeOut {
     match out {
         NaiveOutcome::Complete { reliability, stats } => SubtreeOut {
             eval: Eval {
+                point: reliability,
                 lo: reliability,
                 hi: reliability,
                 complete: true,
+                certified: true,
             },
             slots: vec![LeafSlot {
                 state: PlanLeafState::Done { value: reliability },
@@ -807,9 +941,11 @@ fn settle_naive(out: NaiveOutcome) -> SubtreeOut {
             stats,
         } => SubtreeOut {
             eval: Eval {
+                point: 0.5 * (r_low + r_high),
                 lo: r_low,
                 hi: r_high,
                 complete: false,
+                certified: true,
             },
             slots: vec![LeafSlot {
                 state: PlanLeafState::Naive(checkpoint),
@@ -818,6 +954,126 @@ fn settle_naive(out: NaiveOutcome) -> SubtreeOut {
             }],
         },
     }
+}
+
+/// Runs (or resumes) the Monte-Carlo engine on a scalar leaf under the
+/// leaf's budget lease: the sentinel's remaining configuration allowance
+/// becomes the engine's per-run sample cap, the sentinel's deadline its
+/// time limit, and the run's cancel token is shared, so interrupting the
+/// plan interrupts the leaf. Samples drawn are debited back against the
+/// allowance so sibling subtrees see the spend.
+fn exec_mc_leaf(
+    net: &Network,
+    demand: FlowDemand,
+    slot: usize,
+    ctx: &ExecCtx<'_>,
+    sentinel: &BudgetSentinel,
+    resume: Option<&McCheckpoint>,
+) -> Result<SubtreeOut, ReliabilityError> {
+    let opts = ctx.opts;
+    let allowance = if sentinel.tracks_configs() {
+        // at least one batch, so a starved leaf still makes progress and
+        // the run terminates instead of checkpointing forever
+        Some(sentinel.remaining().max(opts.hybrid_mc.batch.max(1)))
+    } else {
+        None
+    };
+    let budget = montecarlo::McBudget {
+        time_limit: sentinel.time_left(),
+        max_samples: allowance,
+        cancel: opts.budget.cancel.as_ref().map(|t| t.as_flag()),
+    };
+    let before = resume.map_or(0, |ck| ck.samples);
+    let out = match resume {
+        Some(ck) => montecarlo::engine::resume(
+            net,
+            demand.source,
+            demand.sink,
+            demand.demand,
+            ck,
+            &budget,
+            opts.parallel,
+        )?,
+        None => {
+            let settings = resolve_leaf_mc(net, demand, slot, opts);
+            montecarlo::engine::run(
+                net,
+                demand.source,
+                demand.sink,
+                demand.demand,
+                &settings,
+                &budget,
+                opts.parallel,
+            )?
+        }
+    };
+    let drawn = out.report().samples.saturating_sub(before);
+    if drawn > 0 {
+        sentinel.grant(1, drawn);
+    }
+    let explored_of = |r: &McReport, cap: u64| {
+        if r.exact {
+            1.0
+        } else {
+            (r.samples as f64 / cap.max(1) as f64).clamp(0.0, 1.0)
+        }
+    };
+    Ok(match out {
+        McOutcome::Done(report) if report.exact => done_slot(report.mean),
+        McOutcome::Done(report) => mc_done_slot(report.mean, report.ci_low, report.ci_high),
+        McOutcome::Interrupted { report, checkpoint } => {
+            let cap = checkpoint.settings.target.max_samples;
+            SubtreeOut {
+                eval: Eval {
+                    point: report.mean,
+                    lo: report.ci_low,
+                    hi: report.ci_high,
+                    complete: false,
+                    certified: false,
+                },
+                slots: vec![LeafSlot {
+                    explored: explored_of(&report, cap),
+                    state: PlanLeafState::MonteCarlo(Box::new(checkpoint)),
+                    stats: SweepStats {
+                        configs: drawn,
+                        solver_calls: report.flow_evals,
+                        ..SweepStats::default()
+                    },
+                }],
+            }
+        }
+    })
+}
+
+/// Resolves the hybrid Monte-Carlo settings template for one plan leaf:
+/// a per-leaf seed stream keyed by the leaf's DFS slot index, the plan's
+/// solver, and — for [`EstimatorKind::Auto`] — an estimator chosen against
+/// *this leaf's* subnetwork (dagger with the leaf's own bottleneck as
+/// strata when one small enough exists, permutation otherwise).
+///
+/// [`EstimatorKind::Auto`]: montecarlo::EstimatorKind::Auto
+fn resolve_leaf_mc(
+    net: &Network,
+    demand: FlowDemand,
+    slot: usize,
+    opts: &CalcOptions,
+) -> McSettings {
+    let mut s = opts.hybrid_mc.clone();
+    s.solver = opts.solver;
+    s.seed = montecarlo::plan_leaf_seed(opts.hybrid_mc.seed, slot as u64);
+    if s.estimator == montecarlo::EstimatorKind::Auto {
+        match find_bottleneck_set(net, demand.source, demand.sink, 3) {
+            Ok(set) if set.edges.len() <= montecarlo::MAX_STRATA_LINKS => {
+                s.estimator = montecarlo::EstimatorKind::Dagger;
+                s.strata = set.edges;
+            }
+            _ => {
+                s.estimator = montecarlo::EstimatorKind::Permutation;
+                s.strata = Vec::new();
+            }
+        }
+    }
+    s
 }
 
 fn exec_deepcut(
@@ -832,12 +1088,18 @@ fn exec_deepcut(
         side_remaining(&dc.side_s, ctx.resume),
         side_remaining(&dc.side_t, ctx.resume),
     );
+    // Sides never sample (see the module docs): a statistical factor in a
+    // mass vector would corrupt the certified pointwise underestimate.
+    let side_ctx = ExecCtx {
+        allow_mc: false,
+        ..*ctx
+    };
     let (s, t) = join2(
         opts.parallel,
         sa,
         sb,
-        |sent| exec_side(&dc.side_s, dc, ctx, sent),
-        |sent| exec_side(&dc.side_t, dc, ctx, sent),
+        |sent| exec_side(&dc.side_s, dc, &side_ctx, sent),
+        |sent| exec_side(&dc.side_t, dc, &side_ctx, sent),
     );
     let (s, t) = (s?, t?);
     let eval = if s.complete && t.complete {
@@ -850,9 +1112,11 @@ fn exec_deepcut(
             opts.accumulation,
         );
         Eval {
+            point: r,
             lo: r,
             hi: r,
             complete: true,
+            certified: true,
         }
     } else {
         let explored_mass = |mass: &[f64]| mass.iter().sum::<f64>().clamp(0.0, 1.0);
@@ -872,9 +1136,11 @@ fn exec_deepcut(
         );
         let lo = lo.clamp(0.0, 1.0);
         Eval {
+            point: 0.5 * (lo + hi.clamp(lo, 1.0)),
             lo,
             hi: hi.clamp(lo, 1.0),
             complete: false,
+            certified: true,
         }
     };
     let mut slots = s.slots;
@@ -904,6 +1170,10 @@ fn exec_side(
                 |sent| exec_side(inner, dc, ctx, sent),
             );
             let (a, mut b) = (a?, b?);
+            debug_assert!(
+                a.eval.certified,
+                "peel scalars must not sample (allow_mc is off inside sides)"
+            );
             // Peel transform (see the module docs): pointwise-exact when
             // both parts are complete, pointwise underestimate plus a
             // nonnegative residual otherwise.
@@ -1658,16 +1928,18 @@ fn remaining_cost(node: &PlanNode, resume: Option<&PlanCheckpoint>) -> f64 {
     match node {
         PlanNode::Const { .. } => 0.0,
         PlanNode::Leaf(l) => match state(l.index) {
-            Some(PlanLeafState::Done { .. }) => 0.0,
+            Some(PlanLeafState::Done { .. } | PlanLeafState::McDone { .. }) => 0.0,
             Some(PlanLeafState::Naive(ck)) => ck.cursor.remaining_configs() as f64,
+            Some(PlanLeafState::MonteCarlo(mc)) => mc_remaining(mc),
             _ => (1u64 << l.fallible.min(63)) as f64,
         },
         PlanNode::Cut(c) => match state(c.index) {
-            Some(PlanLeafState::Done { .. }) => 0.0,
+            Some(PlanLeafState::Done { .. } | PlanLeafState::McDone { .. }) => 0.0,
             Some(PlanLeafState::Cut { side_s, side_t }) => {
                 side_s.live.len().max(1) as f64 * side_s.cursor.remaining_configs() as f64
                     + side_t.live.len().max(1) as f64 * side_t.cursor.remaining_configs() as f64
             }
+            Some(PlanLeafState::MonteCarlo(mc)) => mc_remaining(mc),
             _ => cost(node),
         },
         PlanNode::Preprocess { child, .. }
@@ -1680,6 +1952,12 @@ fn remaining_cost(node: &PlanNode, resume: Option<&PlanCheckpoint>) -> f64 {
             side_remaining(&dc.side_s, resume) + side_remaining(&dc.side_t, resume)
         }
     }
+}
+
+/// Remaining work of an interrupted Monte-Carlo leaf, in samples: an honest
+/// cost proxy — one sample costs about one solver call, like one config.
+fn mc_remaining(mc: &McCheckpoint) -> f64 {
+    mc.settings.target.max_samples.saturating_sub(mc.samples) as f64
 }
 
 fn side_remaining(sp: &SidePlan, resume: Option<&PlanCheckpoint>) -> f64 {
@@ -2083,6 +2361,7 @@ mod tests {
             root_max_k: plan.max_k(),
             max_depth: plan.max_depth(),
             recursive_cut_sides: plan.recursive_cut_sides(),
+            hybrid: false,
             shape: plan.shape() ^ 1,
             shares: Vec::new(),
             leaves: vec![PlanLeafState::Fresh; plan.leaf_count()],

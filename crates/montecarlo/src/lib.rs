@@ -73,6 +73,7 @@ pub(crate) const STREAM_BATCH: u64 = 3 << 56;
 pub(crate) const STREAM_ANTITHETIC: u64 = 4 << 56;
 pub(crate) const STREAM_STRATIFIED: u64 = 5 << 56;
 pub(crate) const STREAM_ENGINE: u64 = 6 << 56;
+pub(crate) const STREAM_PLAN_LEAF: u64 = 7 << 56;
 
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -88,6 +89,19 @@ fn splitmix64(mut z: u64) -> u64 {
 /// `seed + i` schemes where worker `i` and batch round `r = i` collide.
 pub fn stream_seed(seed: u64, stream: u64) -> u64 {
     splitmix64(seed ^ splitmix64(stream))
+}
+
+/// Derives the base seed for the Monte-Carlo estimator placed at plan-leaf
+/// slot `slot` of a hybrid decomposition run with base seed `seed`.
+///
+/// Each sampled leaf gets its own stream *domain* (keyed by the leaf's DFS
+/// slot index) before the engine fans that domain out into its per-run
+/// crude/worker/batch streams. Without this extra level, two sampled leaves
+/// of one plan would feed the identical base seed into the engine and draw
+/// the *same* sample sequence — perfectly correlated leaves whose combined
+/// interval is invalid.
+pub fn plan_leaf_seed(seed: u64, slot: u64) -> u64 {
+    stream_seed(seed, STREAM_PLAN_LEAF | (slot & 0x00FF_FFFF_FFFF_FFFF))
 }
 
 /// The Wilson score interval `(lo, hi)` for an observed proportion `mean`
@@ -534,6 +548,19 @@ mod tests {
             stream_seed(7, STREAM_WORKER | 3),
             stream_seed(7, STREAM_WORKER | 3)
         );
+    }
+
+    #[test]
+    fn plan_leaf_seeds_are_distinct_per_slot_and_from_engine_domains() {
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..1000u64 {
+            assert!(seen.insert(plan_leaf_seed(42, slot)));
+            // a leaf's base seed never collides with the engine-internal
+            // streams the same base seed fans out into
+            assert!(seen.insert(stream_seed(42, STREAM_ENGINE | slot)));
+            assert!(seen.insert(stream_seed(42, STREAM_BATCH | slot)));
+        }
+        assert_eq!(plan_leaf_seed(7, 3), plan_leaf_seed(7, 3));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! flowrelctl --addr ADDR shutdown
 //! flowrelctl --addr ADDR compute FILE [--strategy auto|naive|factoring|mc]
 //!            [--seed N] [--samples N] [--timeout-ms MS] [--max-configs N]
-//!            [--checkpoint FILE]
+//!            [--hybrid] [--checkpoint FILE]
 //! flowrelctl --addr ADDR resume TOKEN
 //! ```
 //!
@@ -45,7 +45,7 @@ impl CtlError {
 fn usage() -> &'static str {
     "usage: flowrelctl --addr ADDR <ping|stats|shutdown|compute FILE [opts]|resume TOKEN>\n\
      compute opts: --strategy auto|naive|factoring|mc  --seed N  --samples N\n\
-     \x20             --timeout-ms MS  --max-configs N  --checkpoint FILE"
+     \x20             --timeout-ms MS  --max-configs N  --hybrid  --checkpoint FILE"
 }
 
 fn connect(addr: &Option<BindAddr>) -> Result<Client, CtlError> {
@@ -90,11 +90,20 @@ fn report(resp: Response) -> u8 {
             reliability,
             algorithm,
             cached,
+            certified,
         } => {
             println!("reliability {reliability:.12}");
             println!(
                 "algorithm   {algorithm}{}",
                 if cached { " (cached)" } else { "" }
+            );
+            println!(
+                "certainty   {}",
+                if certified {
+                    "certified"
+                } else {
+                    "statistical"
+                }
             );
             0
         }
@@ -104,11 +113,20 @@ fn report(resp: Response) -> u8 {
             explored,
             algorithm,
             token,
+            certified,
             ..
         } => {
             println!("partial [{r_low:.12}, {r_high:.12}]");
             println!("explored  {:.2}%", explored * 100.0);
             println!("algorithm {algorithm}");
+            println!(
+                "certainty {}",
+                if certified {
+                    "certified"
+                } else {
+                    "statistical"
+                }
+            );
             println!("token     {token}");
             20
         }
@@ -179,6 +197,7 @@ fn run(args: &[String]) -> Result<u8, CtlError> {
             let mut samples = 1_000_000u64;
             let mut timeout_ms = None;
             let mut max_configs = None;
+            let mut hybrid = false;
             let mut checkpoint = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<&String, CtlError> {
@@ -211,6 +230,7 @@ fn run(args: &[String]) -> Result<u8, CtlError> {
                                 .map_err(|_| CtlError::usage("--max-configs: not a number"))?,
                         )
                     }
+                    "--hybrid" => hybrid = true,
                     "--checkpoint" => {
                         let path = value("--checkpoint")?;
                         checkpoint = Some(
@@ -235,6 +255,7 @@ fn run(args: &[String]) -> Result<u8, CtlError> {
                     strategy,
                     timeout_ms,
                     max_configs,
+                    hybrid,
                     checkpoint,
                 })
                 .map_err(|e| CtlError::io(format!("compute: {e}")))?;

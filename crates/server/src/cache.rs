@@ -16,6 +16,12 @@
 //!   cached; partials carry resume state and are parked instead (see
 //!   [`crate::park`]).
 //!
+//! Certified (exact) and statistical (sampled — hybrid plans, Monte-Carlo
+//! estimates) completes live on **separate shelves**: a statistical store
+//!   structurally *cannot* overwrite a certified entry for the same
+//!   fingerprint, and a certified answer is served to every request while a
+//!   statistical one is served only to requests that opted into sampling.
+//!
 //! Eviction is FIFO at a fixed capacity: reliability workloads are
 //! few-instances-many-queries, so anything smarter buys nothing.
 
@@ -42,6 +48,10 @@ pub struct CachedResult {
     pub reliability: f64,
     /// Algorithm that produced it.
     pub algorithm: String,
+    /// `true` when the answer came from exact enumeration; `false` when any
+    /// part of it was sampled (hybrid plan leaves, Monte-Carlo estimates).
+    /// Routes the entry to the certified or the statistical shelf.
+    pub certified: bool,
 }
 
 #[derive(Debug)]
@@ -97,7 +107,8 @@ pub struct CacheCounters {
 #[derive(Debug)]
 pub struct InstanceCache {
     parsed: Mutex<Shelf<Arc<NetFile>>>,
-    results: Mutex<Shelf<CachedResult>>,
+    certified_results: Mutex<Shelf<CachedResult>>,
+    statistical_results: Mutex<Shelf<CachedResult>>,
     counters: Mutex<CacheCounters>,
     capacity: usize,
 }
@@ -111,7 +122,8 @@ impl InstanceCache {
     pub fn new(capacity: usize) -> Self {
         InstanceCache {
             parsed: Mutex::new(Shelf::default()),
-            results: Mutex::new(Shelf::default()),
+            certified_results: Mutex::new(Shelf::default()),
+            statistical_results: Mutex::new(Shelf::default()),
             counters: Mutex::new(CacheCounters::default()),
             capacity: capacity.max(1),
         }
@@ -139,21 +151,46 @@ impl InstanceCache {
     }
 
     /// Fetches a cached complete answer under the *raw* instance
-    /// fingerprint (the instance exactly as the client sent it).
-    pub fn result(&self, fingerprint: u64, strategy_key: &str) -> Option<CachedResult> {
-        self.lookup(fingerprint, strategy_key, false)
+    /// fingerprint (the instance exactly as the client sent it). A
+    /// certified entry is always served; a statistical one only when the
+    /// request opted into sampling (`accept_statistical`).
+    pub fn result(
+        &self,
+        fingerprint: u64,
+        strategy_key: &str,
+        accept_statistical: bool,
+    ) -> Option<CachedResult> {
+        self.lookup(fingerprint, strategy_key, accept_statistical, false)
     }
 
     /// Fetches a cached complete answer under the *post-reduction*
     /// fingerprint — counted separately, since a hit here means the
     /// structural reduction unified two raw instances the byte-level key
     /// could not.
-    pub fn result_reduced(&self, fingerprint: u64, strategy_key: &str) -> Option<CachedResult> {
-        self.lookup(fingerprint, strategy_key, true)
+    pub fn result_reduced(
+        &self,
+        fingerprint: u64,
+        strategy_key: &str,
+        accept_statistical: bool,
+    ) -> Option<CachedResult> {
+        self.lookup(fingerprint, strategy_key, accept_statistical, true)
     }
 
-    fn lookup(&self, fingerprint: u64, strategy_key: &str, reduced: bool) -> Option<CachedResult> {
-        let hit = lock(&self.results).get(Self::result_key(fingerprint, strategy_key));
+    fn lookup(
+        &self,
+        fingerprint: u64,
+        strategy_key: &str,
+        accept_statistical: bool,
+        reduced: bool,
+    ) -> Option<CachedResult> {
+        let key = Self::result_key(fingerprint, strategy_key);
+        let hit = lock(&self.certified_results).get(key).or_else(|| {
+            if accept_statistical {
+                lock(&self.statistical_results).get(key)
+            } else {
+                None
+            }
+        });
         if hit.is_some() {
             let mut c = lock(&self.counters);
             c.result_hits += 1;
@@ -166,9 +203,17 @@ impl InstanceCache {
         hit
     }
 
-    /// Stores a complete answer.
+    /// Stores a complete answer on the shelf matching its label. The shelves
+    /// are disjoint, so a statistical answer can never displace a certified
+    /// one for the same `(fingerprint, strategy)` key — at worst it shadows
+    /// an older statistical entry.
     pub fn store_result(&self, fingerprint: u64, strategy_key: &str, result: CachedResult) {
-        lock(&self.results).put(
+        let shelf = if result.certified {
+            &self.certified_results
+        } else {
+            &self.statistical_results
+        };
+        lock(shelf).put(
             Self::result_key(fingerprint, strategy_key),
             result,
             self.capacity,
@@ -205,37 +250,39 @@ mod tests {
         assert_eq!(cache.counters().hits, 0);
     }
 
+    fn certified(r: f64) -> CachedResult {
+        CachedResult {
+            reliability: r,
+            algorithm: "naive".into(),
+            certified: true,
+        }
+    }
+
+    fn statistical(r: f64) -> CachedResult {
+        CachedResult {
+            reliability: r,
+            algorithm: "plan+mc".into(),
+            certified: false,
+        }
+    }
+
     #[test]
     fn result_cache_distinguishes_strategies() {
         let cache = InstanceCache::new(4);
-        cache.store_result(
-            42,
-            "naive",
-            CachedResult {
-                reliability: 0.5,
-                algorithm: "naive".into(),
-            },
-        );
-        assert!(cache.result(42, "naive").is_some());
-        assert!(cache.result(42, "factoring").is_none());
-        assert!(cache.result(41, "naive").is_none());
+        cache.store_result(42, "naive", certified(0.5));
+        assert!(cache.result(42, "naive", false).is_some());
+        assert!(cache.result(42, "factoring", false).is_none());
+        assert!(cache.result(41, "naive", false).is_none());
     }
 
     #[test]
     fn result_hits_split_by_fingerprint_kind() {
         let cache = InstanceCache::new(4);
-        cache.store_result(
-            7,
-            "naive",
-            CachedResult {
-                reliability: 0.5,
-                algorithm: "naive".into(),
-            },
-        );
-        assert!(cache.result(7, "naive").is_some());
-        assert!(cache.result_reduced(7, "naive").is_some());
-        assert!(cache.result_reduced(7, "naive").is_some());
-        assert!(cache.result_reduced(8, "naive").is_none());
+        cache.store_result(7, "naive", certified(0.5));
+        assert!(cache.result(7, "naive", false).is_some());
+        assert!(cache.result_reduced(7, "naive", false).is_some());
+        assert!(cache.result_reduced(7, "naive", false).is_some());
+        assert!(cache.result_reduced(8, "naive", false).is_none());
         let c = cache.counters();
         assert_eq!(
             (c.result_hits, c.result_hits_raw, c.result_hits_reduced),
@@ -244,20 +291,41 @@ mod tests {
     }
 
     #[test]
+    fn statistical_results_are_served_only_on_opt_in() {
+        let cache = InstanceCache::new(4);
+        cache.store_result(9, "plan", statistical(0.4));
+        assert!(cache.result(9, "plan", false).is_none());
+        let hit = cache.result(9, "plan", true).unwrap();
+        assert!(!hit.certified);
+        // The refused lookup must not count as a hit.
+        assert_eq!(cache.counters().result_hits, 1);
+    }
+
+    #[test]
+    fn a_statistical_store_never_overwrites_a_certified_entry() {
+        let cache = InstanceCache::new(4);
+        cache.store_result(11, "plan", certified(0.75));
+        cache.store_result(11, "plan", statistical(0.74));
+        // Even a sampling-tolerant request gets the certified answer back.
+        let hit = cache.result(11, "plan", true).unwrap();
+        assert!(hit.certified);
+        assert_eq!(hit.reliability, 0.75);
+        // The other direction is an upgrade: certified shadows statistical.
+        cache.store_result(12, "plan", statistical(0.30));
+        cache.store_result(12, "plan", certified(0.31));
+        let hit = cache.result(12, "plan", true).unwrap();
+        assert!(hit.certified);
+        assert_eq!(hit.reliability, 0.31);
+    }
+
+    #[test]
     fn eviction_keeps_the_cache_bounded() {
         let cache = InstanceCache::new(2);
         for i in 0..5u64 {
-            cache.store_result(
-                i,
-                "naive",
-                CachedResult {
-                    reliability: 0.1,
-                    algorithm: "naive".into(),
-                },
-            );
+            cache.store_result(i, "naive", certified(0.1));
         }
         let held: usize = (0..5u64)
-            .filter(|&i| cache.result(i, "naive").is_some())
+            .filter(|&i| cache.result(i, "naive", false).is_some())
             .count();
         assert_eq!(held, 2);
     }

@@ -141,6 +141,7 @@ impl Client {
             strategy,
             timeout_ms: None,
             max_configs: None,
+            hybrid: false,
             checkpoint: None,
         })
     }

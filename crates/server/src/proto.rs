@@ -168,6 +168,10 @@ pub struct ComputeRequest {
     pub timeout_ms: Option<u64>,
     /// Configuration (or sample) allowance for this request.
     pub max_configs: Option<u64>,
+    /// Opt into hybrid exact/statistical plans: leaves whose exact cost
+    /// exceeds their budget share may be sampled, and the answer (plus any
+    /// cached statistical answer) is labelled rather than refused.
+    pub hybrid: bool,
     /// Inline `flowrel-checkpoint v1` text to resume from.
     pub checkpoint: Option<String>,
 }
@@ -270,11 +274,17 @@ impl Request {
                     }
                     Some(_) => return Err(WireError::usage("compute: non-string 'checkpoint'")),
                 };
+                let hybrid = match v.get("hybrid") {
+                    None => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err(WireError::usage("compute: non-boolean 'hybrid'")),
+                };
                 Ok(Request::Compute(ComputeRequest {
                     net: net.to_string(),
                     strategy,
                     timeout_ms: opt_u64(v, "timeout_ms")?,
                     max_configs: opt_u64(v, "max_configs")?,
+                    hybrid,
                     checkpoint,
                 }))
             }
@@ -316,6 +326,9 @@ impl Request {
                 }
                 if let Some(n) = c.max_configs {
                     pairs.push(("max_configs".into(), Json::Num(n as f64)));
+                }
+                if c.hybrid {
+                    pairs.push(("hybrid".into(), Json::Bool(true)));
                 }
                 if let Some(ck) = &c.checkpoint {
                     pairs.push(("checkpoint".into(), Json::Str(ck.clone())));
@@ -385,10 +398,13 @@ pub enum Response {
         algorithm: String,
         /// Whether it was served from the result cache.
         cached: bool,
+        /// `true` for exact enumeration, `false` when any part of the
+        /// answer was sampled (hybrid plan leaves, Monte-Carlo strategy).
+        certified: bool,
     },
     /// A budget-interrupted calculation: certified bounds plus resume state.
     Partial {
-        /// Certified (or, for `mc`, statistical) lower bound.
+        /// Certified (or, for `mc`/hybrid, statistical) lower bound.
         r_low: f64,
         /// Certified (or statistical) upper bound.
         r_high: f64,
@@ -400,6 +416,9 @@ pub enum Response {
         token: String,
         /// The full `flowrel-checkpoint v1` text (client-side resume path).
         checkpoint: String,
+        /// Whether the bounds are certified (exact enumeration so far) or
+        /// statistical (some part was sampled).
+        certified: bool,
     },
     /// A structured failure.
     Error(WireError),
@@ -438,12 +457,14 @@ impl Response {
                 reliability,
                 algorithm,
                 cached,
+                certified,
             } => obj([
                 ("ok", Json::Bool(true)),
                 ("status", Json::Str("complete".into())),
                 ("reliability", Json::Num(*reliability)),
                 ("algorithm", Json::Str(algorithm.clone())),
                 ("cached", Json::Bool(*cached)),
+                ("certified", Json::Bool(*certified)),
             ]),
             Response::Partial {
                 r_low,
@@ -452,6 +473,7 @@ impl Response {
                 algorithm,
                 token,
                 checkpoint,
+                certified,
             } => obj([
                 ("ok", Json::Bool(true)),
                 ("status", Json::Str("partial".into())),
@@ -461,6 +483,7 @@ impl Response {
                 ("algorithm", Json::Str(algorithm.clone())),
                 ("token", Json::Str(token.clone())),
                 ("checkpoint", Json::Str(checkpoint.clone())),
+                ("certified", Json::Bool(*certified)),
             ]),
             Response::Error(e) => {
                 let mut pairs = vec![
@@ -542,6 +565,7 @@ impl Response {
                     .unwrap_or("?")
                     .to_string(),
                 cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                certified: v.get("certified").and_then(Json::as_bool).unwrap_or(true),
             }),
             Some("partial") => Ok(Response::Partial {
                 r_low: v
@@ -568,6 +592,7 @@ impl Response {
                     .and_then(Json::as_str)
                     .unwrap_or("")
                     .to_string(),
+                certified: v.get("certified").and_then(Json::as_bool).unwrap_or(true),
             }),
             _ => Err(WireError::protocol("reply has neither 'op' nor 'status'")),
         }
@@ -595,7 +620,16 @@ mod tests {
                 },
                 timeout_ms: Some(250),
                 max_configs: None,
+                hybrid: false,
                 checkpoint: Some("flowrel-checkpoint v1\n…".into()),
+            }),
+            Request::Compute(ComputeRequest {
+                net: "directed\nnodes 2\nedge 0 1 1 0.1\ndemand 0 1 1\n".into(),
+                strategy: StrategySpec::Auto,
+                timeout_ms: None,
+                max_configs: Some(4096),
+                hybrid: true,
+                checkpoint: None,
             }),
         ];
         for r in reqs {
@@ -622,6 +656,13 @@ mod tests {
                 reliability: 0.999125,
                 algorithm: "auto:bottleneck".into(),
                 cached: true,
+                certified: true,
+            },
+            Response::Complete {
+                reliability: 0.42,
+                algorithm: "plan+mc".into(),
+                cached: false,
+                certified: false,
             },
             Response::Partial {
                 r_low: 0.25,
@@ -630,6 +671,7 @@ mod tests {
                 algorithm: "naive".into(),
                 token: "deadbeef-1".into(),
                 checkpoint: "flowrel-checkpoint v1\nkind naive\n".into(),
+                certified: true,
             },
             Response::Error(WireError {
                 code: code::OVERLOADED,
@@ -641,6 +683,22 @@ mod tests {
         for r in resps {
             let back = Response::from_json(&r.to_json()).unwrap();
             assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn legacy_complete_reply_without_certified_parses_as_certified() {
+        // Replies from a pre-hybrid server carry no 'certified' field; every
+        // answer it produced was exact, so the default must be true.
+        let legacy = obj([
+            ("ok", Json::Bool(true)),
+            ("status", Json::Str("complete".into())),
+            ("reliability", Json::Num(0.5)),
+            ("algorithm", Json::Str("naive".into())),
+        ]);
+        match Response::from_json(&legacy).unwrap() {
+            Response::Complete { certified, .. } => assert!(certified),
+            other => panic!("unexpected reply {other:?}"),
         }
     }
 

@@ -395,6 +395,7 @@ fn calculator_for(
     spec: &StrategySpec,
     timeout_ms: Option<u64>,
     max_configs: Option<u64>,
+    hybrid: bool,
     cancel: CancelToken,
 ) -> ReliabilityCalculator {
     let requested = timeout_ms
@@ -405,6 +406,7 @@ fn calculator_for(
         strategy: strategy_of(spec),
         options: CalcOptions {
             parallel: false,
+            hybrid,
             budget: Budget {
                 time_limit: Some(deadline),
                 max_configs,
@@ -561,12 +563,16 @@ fn finish_outcome(
     match outcome {
         Err(e) => Response::Error(WireError::reliability(&e)),
         Ok(Outcome::Complete(rep)) => {
+            // `store_result` shelves by the label: a statistical complete
+            // lands on its own shelf and can never displace a certified
+            // answer already cached for this fingerprint.
             shared.cache.store_result(
                 fingerprint,
                 strategy_key,
                 CachedResult {
                     reliability: rep.reliability,
                     algorithm: rep.algorithm.to_string(),
+                    certified: rep.certified,
                 },
             );
             if let Some(rfp) = reduced_fingerprint.filter(|&rfp| rfp != fingerprint) {
@@ -576,6 +582,7 @@ fn finish_outcome(
                     CachedResult {
                         reliability: rep.reliability,
                         algorithm: rep.algorithm.to_string(),
+                        certified: rep.certified,
                     },
                 );
             }
@@ -583,6 +590,7 @@ fn finish_outcome(
                 reliability: rep.reliability,
                 algorithm: rep.algorithm.to_string(),
                 cached: false,
+                certified: rep.certified,
             }
         }
         Ok(Outcome::Partial(p)) => {
@@ -605,6 +613,7 @@ fn finish_outcome(
                 algorithm: p.algorithm.to_string(),
                 token,
                 checkpoint: checkpoint_text,
+                certified: p.certified,
             }
         }
     }
@@ -642,9 +651,13 @@ fn serve_compute(
         &req.strategy,
         req.timeout_ms,
         req.max_configs,
+        req.hybrid,
         cancel.clone(),
     );
     let strategy_key = req.strategy.key();
+    // A statistical cached answer is only acceptable to requests that opted
+    // into sampling; everyone gets certified answers.
+    let accept_statistical = req.hybrid || matches!(req.strategy, StrategySpec::Mc { .. });
     let fingerprint = instance_fingerprint(&parsed.net, &demand, &calc.options);
     // A cached complete answer short-circuits admission entirely — cheap
     // service stays available even when the pool is saturated. Fresh runs
@@ -655,11 +668,15 @@ fn serve_compute(
     // reduction costs a few min-cuts, far below any sweep it saves.
     let mut reduced_fingerprint = None;
     if checkpoint.is_none() {
-        if let Some(hit) = shared.cache.result(fingerprint, &strategy_key) {
+        if let Some(hit) = shared
+            .cache
+            .result(fingerprint, &strategy_key, accept_statistical)
+        {
             return Response::Complete {
                 reliability: hit.reliability,
                 algorithm: hit.algorithm,
                 cached: true,
+                certified: hit.certified,
             };
         }
         if calc.options.reduce && demand.validate(&parsed.net).is_ok() {
@@ -667,11 +684,16 @@ fn serve_compute(
             if !red.is_identity() {
                 let rfp = instance_fingerprint(&red.net, &red.demand, &calc.options);
                 reduced_fingerprint = Some(rfp);
-                if let Some(hit) = shared.cache.result_reduced(rfp, &strategy_key) {
+                if let Some(hit) =
+                    shared
+                        .cache
+                        .result_reduced(rfp, &strategy_key, accept_statistical)
+                {
                     return Response::Complete {
                         reliability: hit.reliability,
                         algorithm: hit.algorithm,
                         cached: true,
+                        certified: hit.certified,
                     };
                 }
             }
@@ -739,7 +761,10 @@ fn serve_resume(
         Err(e) => return Response::Error(WireError::reliability(&e)),
     };
     let cancel = CancelToken::new();
-    let calc = calculator_for(shared, &spec, None, None, cancel.clone());
+    // Resume does not need the request's hybrid flag: the calculator pins
+    // `hybrid` from the checkpoint itself, keeping the resumed run
+    // bit-identical to the interrupted one.
+    let calc = calculator_for(shared, &spec, None, None, false, cancel.clone());
     let strategy_key = parked.strategy_key.clone();
     let fingerprint = instance_fingerprint(&parsed.net, &demand, &calc.options);
     let reparked = parked.clone();

@@ -33,6 +33,7 @@ fn naive_compute(net: String) -> ComputeRequest {
         strategy: StrategySpec::Naive,
         timeout_ms: Some(120_000),
         max_configs: None,
+        hybrid: false,
         checkpoint: None,
     }
 }

@@ -23,7 +23,7 @@ fn json_from_script(script: &mut &[u8], depth: usize) -> Json {
     let op = take(script);
     match op % if depth == 0 { 5 } else { 7 } {
         0 => Json::Null,
-        1 => Json::Bool(take(script) % 2 == 0),
+        1 => Json::Bool(take(script).is_multiple_of(2)),
         2 => {
             // finite numbers only: the renderer maps non-finite to null
             let raw = i64::from(take(script)) * 257 - 31000;
@@ -80,7 +80,7 @@ fn request_from_script(script: &mut &[u8]) -> Request {
             let token: String = (0..n)
                 .map(|i| {
                     let c = take(script);
-                    if i > 0 && i % 7 == 0 {
+                    if i > 0 && i.is_multiple_of(7) {
                         '-'
                     } else {
                         char::from_digit(u32::from(c % 16), 16).unwrap_or('0')
@@ -100,16 +100,18 @@ fn request_from_script(script: &mut &[u8]) -> Request {
                 },
             };
             let mut text = string_from_script(script);
-            if take(script) % 2 == 0 {
+            if take(script).is_multiple_of(2) {
                 text.push('\n');
                 text.push_str(&string_from_script(script));
             }
             Request::Compute(ComputeRequest {
                 net: text,
                 strategy,
-                timeout_ms: (take(script) % 2 == 0).then(|| u64::from(take(script)) * 1000),
-                max_configs: (take(script) % 2 == 0).then(|| u64::from(take(script)) + 1),
-                checkpoint: (take(script) % 3 == 0).then(|| string_from_script(script)),
+                timeout_ms: (take(script).is_multiple_of(2))
+                    .then(|| u64::from(take(script)) * 1000),
+                max_configs: (take(script).is_multiple_of(2)).then(|| u64::from(take(script)) + 1),
+                hybrid: take(script).is_multiple_of(2),
+                checkpoint: (take(script).is_multiple_of(3)).then(|| string_from_script(script)),
             })
         }
     }

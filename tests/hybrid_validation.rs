@@ -1,0 +1,411 @@
+//! Hybrid exact/statistical plan validation: when `CalcOptions::hybrid` is
+//! on, leaves whose predicted exact cost exceeds their apportioned budget
+//! share run the Monte-Carlo engine instead of sweeping, and the combined
+//! answer is labelled `statistical` with an interval that covers the exact
+//! reliability. Pure-exact runs under the same budget stay interrupted,
+//! per-leaf RNG streams are distinct and reproducible, combined intervals
+//! are clamped to `[0, 1]`, and interrupted hybrid runs resume
+//! bit-identically through v1 text checkpoints.
+
+use flowrel::core::{
+    Budget, CalcOptions, Checkpoint, CheckpointKind, EstimatorKind, FlowDemand, McSettings,
+    Outcome, PlanLeafState, ReliabilityCalculator, StopTarget, Strategy,
+};
+use flowrel::workloads::generators;
+
+fn demand_of(inst: &generators::Instance) -> FlowDemand {
+    FlowDemand::new(inst.source, inst.sink, inst.demand)
+}
+
+fn exact_naive(inst: &generators::Instance) -> f64 {
+    ReliabilityCalculator::new()
+        .with_strategy(Strategy::Naive)
+        .run_complete(&inst.net, demand_of(inst))
+        .expect("naive reference")
+        .reliability
+}
+
+/// Small, deterministic sampling settings for tests. With `batch >= target`
+/// a forced MC leaf finishes in one visit (its allowance is
+/// `max(share, batch)`); with `batch < target` it parks as an interrupted
+/// `MonteCarlo` leaf after each allowance.
+fn mc_settings(seed: u64, target: u64, batch: u64) -> McSettings {
+    McSettings {
+        seed,
+        estimator: EstimatorKind::Crude,
+        target: StopTarget {
+            max_samples: target,
+            ..StopTarget::default()
+        },
+        batch,
+        ..McSettings::default()
+    }
+}
+
+fn hybrid_options(budget: u64, mc: McSettings) -> CalcOptions {
+    CalcOptions {
+        hybrid: true,
+        hybrid_mc: mc,
+        budget: Budget {
+            max_configs: Some(budget),
+            ..Budget::unlimited()
+        },
+        ..CalcOptions::default()
+    }
+}
+
+/// Satellite 4 + acceptance: on three generator families, a config budget
+/// below every leaf's predicted exact cost forces MC leaves; the hybrid
+/// answer is a labelled statistical interval covering the exact
+/// reliability, while the pure-exact run under the same budget cannot
+/// complete. 7 seeds × 3 families = 21 labelled intervals checked.
+#[test]
+fn hybrid_interval_covers_exact_where_pure_exact_runs_starve() {
+    let mut statistical_completes = 0usize;
+    let mut cases = 0usize;
+    for seed in 1u64..=7 {
+        // (instance, max_k, budget): each budget apportions every MC-able
+        // leaf a share strictly below its predicted sweep cost.
+        let instances = [
+            (generators::nested_barbell(2, 3, 1, seed), 1usize, 2u64),
+            (generators::kary_nested_cut(2, 2, seed), 2, 2),
+            (generators::slack_barbell(2, 1, seed), 1, 8),
+        ];
+        for (inst, max_k, budget) in instances {
+            cases += 1;
+            let exact = exact_naive(&inst);
+            let demand = demand_of(&inst);
+            let strategy = Strategy::BottleneckAuto { max_k };
+            let opts = hybrid_options(budget, mc_settings(0xC0FFEE ^ seed, 4096, 4096));
+            let calc = ReliabilityCalculator::new()
+                .with_strategy(strategy.clone())
+                .with_options(opts.clone());
+            match calc.run(&inst.net, demand).expect("hybrid run") {
+                Outcome::Complete(rep) => {
+                    let (lo, hi) = rep.interval;
+                    assert!(
+                        (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi,
+                        "seed {seed}: malformed interval [{lo}, {hi}]"
+                    );
+                    if !rep.certified {
+                        statistical_completes += 1;
+                        assert!(
+                            lo <= exact && exact <= hi,
+                            "seed {seed}, {} links: statistical [{lo}, {hi}] must cover {exact}",
+                            inst.net.edge_count()
+                        );
+                        // The same budget without hybrid must NOT produce a
+                        // complete answer — it is sized to starve exact
+                        // enumeration on these leaves.
+                        let pure = ReliabilityCalculator::new()
+                            .with_strategy(strategy)
+                            .with_options(CalcOptions {
+                                hybrid: false,
+                                ..opts
+                            })
+                            .run(&inst.net, demand)
+                            .expect("pure-exact run");
+                        match pure {
+                            Outcome::Partial(p) => {
+                                assert!(p.certified, "exact partials stay certified");
+                                assert!(
+                                    p.r_low <= exact + 1e-12 && exact <= p.r_high + 1e-12,
+                                    "certified bounds must bracket the exact value"
+                                );
+                            }
+                            Outcome::Complete(rep) => panic!(
+                                "seed {seed}: a {budget}-config exact run must not complete \
+                                 where hybrid had to sample (got {})",
+                                rep.reliability
+                            ),
+                        }
+                    } else {
+                        assert!(
+                            (rep.reliability - exact).abs() < 1e-12,
+                            "certified hybrid answers stay exact"
+                        );
+                    }
+                }
+                Outcome::Partial(p) => {
+                    // The run may interrupt before any leaf was reached;
+                    // bounds still obey the clamp and cover the exact value.
+                    assert!(0.0 <= p.r_low && p.r_low <= p.r_high && p.r_high <= 1.0);
+                    assert!(p.r_low <= exact + 1e-12 && exact <= p.r_high + 1e-12);
+                }
+            }
+        }
+    }
+    assert!(
+        statistical_completes * 2 >= cases,
+        "budget forcing failed: only {statistical_completes}/{cases} runs sampled"
+    );
+}
+
+/// A barbell of two K4 clusters over a capacity-1 bridge, every link with a
+/// tiny dyadic failure probability — reliability sits just under 1.
+fn near_perfect_k4_barbell() -> flowrel::core::NetFile {
+    let mut text = String::from("undirected\nnodes 8\n");
+    for base in [0usize, 4] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                text.push_str(&format!("edge {} {} 2 0.0009765625\n", base + i, base + j));
+            }
+        }
+    }
+    text.push_str("edge 3 4 1 0.0009765625\ndemand 0 7 1\n");
+    flowrel::core::fnet::parse(&text).expect("well-formed instance")
+}
+
+/// Satellite 1: near-perfect links. Statistical leaves whose estimates sit
+/// at the very top of `[0, 1]` must never push the combined interval
+/// outside it — every plan-node combine clamps.
+#[test]
+fn near_perfect_links_never_report_bounds_outside_unit_interval() {
+    let file = near_perfect_k4_barbell();
+    let demand = file.demand.expect("demand line");
+    let exact = ReliabilityCalculator::new()
+        .with_strategy(Strategy::Naive)
+        .run_complete(&file.net, demand)
+        .expect("naive reference")
+        .reliability;
+    let mut sampled = 0usize;
+    for seed in 0u64..20 {
+        let calc = ReliabilityCalculator::new()
+            .with_strategy(Strategy::BottleneckAuto { max_k: 1 })
+            .with_options(hybrid_options(8, mc_settings(seed, 2048, 2048)));
+        match calc.run(&file.net, demand).expect("hybrid run") {
+            Outcome::Complete(rep) => {
+                let (lo, hi) = rep.interval;
+                assert!(
+                    0.0 <= lo && lo <= hi && hi <= 1.0,
+                    "seed {seed}: interval [{lo}, {hi}] escaped [0, 1]"
+                );
+                if !rep.certified {
+                    sampled += 1;
+                    assert!(
+                        lo <= exact && exact <= hi,
+                        "seed {seed}: [{lo}, {hi}] vs exact {exact}"
+                    );
+                }
+            }
+            Outcome::Partial(p) => {
+                assert!(
+                    0.0 <= p.r_low && p.r_low <= p.r_high && p.r_high <= 1.0,
+                    "seed {seed}: partial [{}, {}] escaped [0, 1]",
+                    p.r_low,
+                    p.r_high
+                );
+            }
+        }
+    }
+    assert!(
+        sampled >= 15,
+        "near-perfect leaves must sample, got {sampled}/20"
+    );
+}
+
+/// Satellite 2: distinct per-leaf RNG streams. A plan with two interrupted
+/// MC leaves must give each leaf its own stream seed (domain-tagged by DFS
+/// slot), the two sample sequences must differ, and re-running with the
+/// same seed must reproduce both leaf states bit for bit.
+#[test]
+fn mc_leaves_draw_distinct_reproducible_streams() {
+    let inst = generators::slack_barbell(2, 1, 5);
+    let demand = demand_of(&inst);
+    // batch 64 « target 1 << 20: each forced leaf draws only its small
+    // allowance per visit and parks as an interrupted MonteCarlo leaf.
+    let run = || {
+        let calc = ReliabilityCalculator::new()
+            .with_strategy(Strategy::BottleneckAuto { max_k: 1 })
+            .with_options(hybrid_options(8, mc_settings(99, 1 << 20, 64)));
+        calc.run(&inst.net, demand).expect("hybrid run")
+    };
+    let extract = |out: Outcome| -> (Vec<montecarlo::McCheckpoint>, String) {
+        let Outcome::Partial(p) = out else {
+            panic!("a 1M-sample target under a 64-sample allowance must interrupt");
+        };
+        assert!(!p.certified, "sampled partials are labelled statistical");
+        let text = p.checkpoint.to_text();
+        let CheckpointKind::Plan(plan) = &p.checkpoint.kind else {
+            panic!("expected a plan checkpoint");
+        };
+        let mcs: Vec<montecarlo::McCheckpoint> = plan
+            .leaves
+            .iter()
+            .filter_map(|l| match l {
+                PlanLeafState::MonteCarlo(ck) => Some((**ck).clone()),
+                _ => None,
+            })
+            .collect();
+        (mcs, text)
+    };
+    let (mcs_a, text_a) = extract(run());
+    assert!(
+        mcs_a.len() >= 2,
+        "need at least two interrupted MC leaves, got {}",
+        mcs_a.len()
+    );
+    let seeds: std::collections::HashSet<u64> = mcs_a.iter().map(|m| m.settings.seed).collect();
+    assert_eq!(
+        seeds.len(),
+        mcs_a.len(),
+        "every MC leaf gets its own stream seed, got {seeds:?}"
+    );
+    assert!(
+        mcs_a.windows(2).any(|w| w[0].accum != w[1].accum),
+        "distinct streams must produce different sample sequences"
+    );
+    let (mcs_b, text_b) = extract(run());
+    assert_eq!(mcs_a, mcs_b, "same seed must reproduce every leaf state");
+    assert_eq!(text_a, text_b, "checkpoint text is deterministic");
+    // Round-trip fidelity: the text parses back to the identical checkpoint.
+    let parsed = Checkpoint::from_text(&text_a).expect("round trip");
+    assert_eq!(parsed.to_text(), text_a);
+}
+
+/// Tentpole acceptance: hybrid runs interrupted at different budgets and
+/// resumed to completion through serialized v1 text checkpoints land on the
+/// same bits — the engine draws by absolute batch index, so chunked draws
+/// equal continuous draws, and the interrupt pattern cannot leak into the
+/// answer.
+#[test]
+fn interrupted_hybrid_runs_resume_bit_identically() {
+    let inst = generators::slack_barbell(2, 1, 11);
+    let demand = demand_of(&inst);
+    // Leaves predict 16 exact configs; any budget whose per-leaf share is
+    // below 16 forces sampling, and target 256 at batch 64 completes after
+    // a handful of resumes.
+    let run_to_completion = |budget: u64| {
+        let calc = ReliabilityCalculator::new()
+            .with_strategy(Strategy::BottleneckAuto { max_k: 1 })
+            .with_options(hybrid_options(budget, mc_settings(7, 256, 64)));
+        let mut out = calc.run(&inst.net, demand).expect("hybrid run");
+        let mut partials = 0usize;
+        loop {
+            match out {
+                Outcome::Complete(rep) => break (rep, partials),
+                Outcome::Partial(p) => {
+                    assert!(
+                        0.0 <= p.r_low && p.r_low <= p.r_high && p.r_high <= 1.0,
+                        "[{}, {}] escaped [0, 1]",
+                        p.r_low,
+                        p.r_high
+                    );
+                    let parsed =
+                        Checkpoint::from_text(&p.checkpoint.to_text()).expect("round trip");
+                    assert_eq!(parsed, p.checkpoint, "text round trip must be lossless");
+                    partials += 1;
+                    assert!(partials < 100_000, "resume loop must make progress");
+                    out = calc.resume(&inst.net, demand, &parsed).expect("resume");
+                }
+            }
+        }
+    };
+    let (tight, tight_partials) = run_to_completion(8);
+    let (loose, _) = run_to_completion(24);
+    let (rerun, rerun_partials) = run_to_completion(8);
+    assert!(
+        tight_partials > 0,
+        "an 8-config budget must interrupt this run"
+    );
+    assert!(!tight.certified && !loose.certified);
+    assert_eq!(
+        tight_partials, rerun_partials,
+        "interrupt pattern is deterministic"
+    );
+    for (a, b, what) in [
+        (&tight, &loose, "different interrupt patterns"),
+        (&tight, &rerun, "identical rerun"),
+    ] {
+        assert_eq!(
+            a.reliability.to_bits(),
+            b.reliability.to_bits(),
+            "{what}: {} vs {}",
+            a.reliability,
+            b.reliability
+        );
+        assert_eq!(a.interval.0.to_bits(), b.interval.0.to_bits(), "{what}");
+        assert_eq!(a.interval.1.to_bits(), b.interval.1.to_bits(), "{what}");
+    }
+}
+
+/// Satellite 4: serial and parallel hybrid executions of the same options
+/// agree bit for bit — leaf shares are fixed at fork time and the engine's
+/// batch merge order is deterministic.
+#[test]
+fn hybrid_serial_and_parallel_runs_agree_bitwise() {
+    for seed in [3u64, 9, 27] {
+        for (inst, max_k) in [
+            (generators::slack_barbell(2, 1, seed), 1usize),
+            (generators::barbell_mesh(2, seed), 2),
+        ] {
+            let demand = demand_of(&inst);
+            let run = |parallel: bool| {
+                let calc = ReliabilityCalculator::new()
+                    .with_strategy(Strategy::BottleneckAuto { max_k })
+                    .with_options(CalcOptions {
+                        parallel,
+                        ..hybrid_options(8, mc_settings(seed, 2048, 2048))
+                    });
+                match calc.run(&inst.net, demand).expect("hybrid run") {
+                    Outcome::Complete(rep) => (rep.reliability, rep.interval, rep.certified),
+                    Outcome::Partial(p) => (f64::NAN, (p.r_low, p.r_high), p.certified),
+                }
+            };
+            let serial = run(false);
+            let parallel = run(true);
+            assert_eq!(
+                serial.0.to_bits(),
+                parallel.0.to_bits(),
+                "seed {seed}: serial {serial:?} vs parallel {parallel:?}"
+            );
+            assert_eq!(serial.1 .0.to_bits(), parallel.1 .0.to_bits());
+            assert_eq!(serial.1 .1.to_bits(), parallel.1 .1.to_bits());
+            assert_eq!(serial.2, parallel.2);
+        }
+    }
+}
+
+/// Satellite 3: the hybrid knob stays out of the plan shape fingerprint — a
+/// checkpoint taken by a hybrid run resumes under a calculator configured
+/// without hybrid (the checkpoint pins the knob) and keeps sampling.
+#[test]
+fn hybrid_knob_is_pinned_from_the_checkpoint_not_the_resuming_options() {
+    let inst = generators::slack_barbell(2, 1, 5);
+    let demand = demand_of(&inst);
+    let strategy = Strategy::BottleneckAuto { max_k: 1 };
+    let hybrid_calc = ReliabilityCalculator::new()
+        .with_strategy(strategy.clone())
+        .with_options(hybrid_options(8, mc_settings(7, 512, 64)));
+    let Outcome::Partial(p) = hybrid_calc.run(&inst.net, demand).expect("run") else {
+        panic!("a 512-sample target under a 64-sample allowance must interrupt");
+    };
+    let CheckpointKind::Plan(plan) = &p.checkpoint.kind else {
+        panic!("expected a plan checkpoint");
+    };
+    assert!(plan.hybrid, "hybrid runs stamp their checkpoints");
+    // Resume under a default (non-hybrid, unbudgeted) calculator: the
+    // checkpoint's knob wins, sampling continues to the target, and the
+    // answer comes back complete and statistical.
+    let plain = ReliabilityCalculator::new().with_strategy(strategy);
+    let mut out = plain
+        .resume(&inst.net, demand, &p.checkpoint)
+        .expect("resume");
+    let mut guard = 0usize;
+    let finished = loop {
+        match out {
+            Outcome::Complete(rep) => break rep,
+            Outcome::Partial(p) => {
+                guard += 1;
+                assert!(guard < 100_000);
+                out = plain
+                    .resume(&inst.net, demand, &p.checkpoint)
+                    .expect("resume");
+            }
+        }
+    };
+    assert!(
+        !finished.certified,
+        "the resumed run must keep sampling (hybrid pinned from the checkpoint)"
+    );
+}
