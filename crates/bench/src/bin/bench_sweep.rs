@@ -24,6 +24,7 @@ use flowrel_bench::{barbell_with_edges, demand_of, ring_barbell, tight_barbell};
 use flowrel_core::algorithm::reliability_bottleneck_weighted;
 use flowrel_core::weight::edge_weights;
 use flowrel_core::{reliability_naive_with_stats, CalcOptions, SweepStats};
+use workloads::generators::{degraded_barbell, BarbellParams};
 
 /// Naive enumeration is skipped above this many links (2^|E| solves).
 const NAIVE_MAX_EDGES: usize = 20;
@@ -164,6 +165,26 @@ fn main() {
         let (inst, cut) = tight_barbell(n, extra, k, seed);
         graphs.push(("tight", inst, cut));
     }
+    // degraded barbells: the cut links carry 3-state capacity spectra, so
+    // the sweep enumerates a mixed-radix configuration space; the v1
+    // planner keeps multi-state links out of cuts, so only the naive path
+    // runs and the bottleneck rows are emitted as skipped
+    let degradeds: &[(usize, usize, usize, u64)] = if smoke {
+        &[(3, 1, 2, 7)]
+    } else {
+        &[(5, 3, 2, 21), (5, 3, 3, 7)]
+    };
+    for &(cluster_nodes, extra, k, seed) in degradeds {
+        let (inst, cut) = degraded_barbell(BarbellParams {
+            cluster_nodes,
+            cluster_extra_edges: extra,
+            cut_links: k,
+            cut_capacity: 2,
+            demand: 2,
+            seed,
+        });
+        graphs.push(("degraded", inst, cut));
+    }
 
     for (family, inst, cut) in graphs {
         let d = demand_of(&inst);
@@ -201,33 +222,58 @@ fn main() {
             }
         }
 
-        // --- bottleneck path ---
+        // --- bottleneck path (skipped when the cut carries capacity
+        // spectra: the v1 planner keeps multi-state links out of cuts) ---
+        let multistate = inst.net.has_multistate();
         let mut bn_rows = Vec::new();
-        for (label, par, certs, incr) in MODES {
-            let o = opts(par, certs, incr);
-            let solver = o.solver.name();
-            let (r, stats, secs) = time_best(reps, || {
-                let (r, report) = reliability_bottleneck_weighted(&inst.net, d, &cut, &weights, &o)
-                    .expect("bottleneck");
-                (r, report.sweep)
-            });
-            eprintln!(
-                "  bottleneck {label:>21}: {secs:>9.4}s  R={r:.9}  solves={} avoided={} repairs={}",
-                stats.solver_calls,
-                stats.solver_calls_avoided(),
-                stats.repairs,
-            );
-            bn_rows.push(ModeRow {
-                label,
-                solver,
-                reliability: r,
-                stats,
-                seconds: secs,
-            });
+        if !multistate {
+            for (label, par, certs, incr) in MODES {
+                let o = opts(par, certs, incr);
+                let solver = o.solver.name();
+                let (r, stats, secs) = time_best(reps, || {
+                    let (r, report) =
+                        reliability_bottleneck_weighted(&inst.net, d, &cut, &weights, &o)
+                            .expect("bottleneck");
+                    (r, report.sweep)
+                });
+                eprintln!(
+                    "  bottleneck {label:>21}: {secs:>9.4}s  R={r:.9}  solves={} avoided={} repairs={}",
+                    stats.solver_calls,
+                    stats.solver_calls_avoided(),
+                    stats.repairs,
+                );
+                bn_rows.push(ModeRow {
+                    label,
+                    solver,
+                    reliability: r,
+                    stats,
+                    seconds: secs,
+                });
+            }
+        }
+
+        // the saturated-cut certificate cache must keep paying off when the
+        // enumeration is mixed-radix, not just on bitmask sweeps
+        if multistate {
+            for row in &naive_rows {
+                if row.label.contains("certs") {
+                    assert!(
+                        row.stats.hit_rate() > 0.9,
+                        "{name}/{}: certificate-cache hit rate {:.4} must exceed 0.9 \
+                         under mixed-radix enumeration",
+                        row.label,
+                        row.stats.hit_rate()
+                    );
+                }
+            }
         }
 
         // all runs must agree on the reliability
-        let r0 = naive_rows.first().unwrap_or(&bn_rows[0]).reliability;
+        let r0 = naive_rows
+            .first()
+            .or(bn_rows.first())
+            .expect("at least one path ran")
+            .reliability;
         for row in naive_rows.iter().chain(&bn_rows) {
             assert!(
                 (row.reliability - r0).abs() < 1e-12,
@@ -259,8 +305,22 @@ fn main() {
                     .join(",\n    ")
             )
         };
-        let base_bn = bn_rows[0].seconds;
-        let bn_json: Vec<String> = bn_rows.iter().map(|m| mode_json(m, base_bn)).collect();
+        let bn_json: Vec<String> = if multistate {
+            let solver = CalcOptions::default().solver.name();
+            MODES
+                .iter()
+                .map(|(label, ..)| {
+                    skipped_mode_json(
+                        label,
+                        solver,
+                        "multi-state cut links are not v1 bottlenecks",
+                    )
+                })
+                .collect()
+        } else {
+            let base_bn = bn_rows[0].seconds;
+            bn_rows.iter().map(|m| mode_json(m, base_bn)).collect()
+        };
         cases.push(format!(
             concat!(
                 "  {{\"case\": \"{}\", \"edges\": {}, \"cut_links\": {}, \"demand\": {}, ",

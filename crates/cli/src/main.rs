@@ -9,7 +9,7 @@
 //!                             [--rel-err EPS] [--ci HALF] [--samples N] [--seed S]
 //! flowrel analyze <file.fnet> [--max-k K]
 //! flowrel mc <file.fnet> [--samples N] [--seed S]
-//! flowrel generate <barbell|chain|grid|mesh|slack-barbell> [args...]
+//! flowrel generate <barbell|chain|grid|mesh|slack-barbell|degraded-barbell> [args...]
 //! flowrel dot <file.fnet>
 //! ```
 //!
@@ -114,6 +114,7 @@ fn usage() -> ExitCode {
          flowrel generate grid <w> <h> <seed>\n  \
          flowrel generate mesh <peers> <neighbors> <rate> <seed>\n  \
          flowrel generate slack-barbell <segments> <spurs> <seed>\n  \
+         flowrel generate degraded-barbell <cluster_nodes> <extra_edges> <k> <demand> <seed>\n  \
          flowrel dot <file.fnet>",
         "",
         "",
@@ -637,9 +638,24 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
                 FlowDemand::new(inst.source, inst.sink, inst.demand),
             )
         }
+        Some("degraded-barbell") => {
+            let (inst, _) =
+                workloads::generators::degraded_barbell(workloads::generators::BarbellParams {
+                    cluster_nodes: parse_or(1, 4) as usize,
+                    cluster_extra_edges: parse_or(2, 2) as usize,
+                    cut_links: parse_or(3, 2) as usize,
+                    cut_capacity: parse_or(4, 2),
+                    demand: parse_or(4, 2),
+                    seed: parse_or(5, 1),
+                });
+            (
+                inst.net,
+                FlowDemand::new(inst.source, inst.sink, inst.demand),
+            )
+        }
         _ => {
             return Err(CliError::usage(
-                "generate: expected barbell|chain|grid|mesh|slack-barbell",
+                "generate: expected barbell|chain|grid|mesh|slack-barbell|degraded-barbell",
             ))
         }
     };

@@ -30,6 +30,35 @@ fn generated_barbell_roundtrips_and_computes() {
 }
 
 #[test]
+fn generated_degraded_barbell_roundtrips_and_computes() {
+    // multi-state cut links: the serialized text carries 'spectrum' lines,
+    // and the parsed instance computes the same (naive) answer
+    let (inst, cut) =
+        workloads::generators::degraded_barbell(workloads::generators::BarbellParams {
+            cluster_nodes: 3,
+            cluster_extra_edges: 1,
+            cut_links: 2,
+            cut_capacity: 2,
+            demand: 2,
+            seed: 7,
+        });
+    let demand = FlowDemand::new(inst.source, inst.sink, inst.demand);
+    let text = format::serialize(&inst.net, Some(demand));
+    assert!(text.contains("spectrum"), "{text}");
+    let parsed = format::parse(&text).expect("roundtrip parse");
+    for &e in &cut {
+        assert_eq!(parsed.net.spectrum(e), inst.net.spectrum(e));
+    }
+    let naive = ReliabilityCalculator::new().with_strategy(flowrel_core::Strategy::Naive);
+    let direct = naive.run_complete(&inst.net, demand).unwrap().reliability;
+    let via_file = naive
+        .run_complete(&parsed.net, parsed.demand.expect("demand survives"))
+        .unwrap()
+        .reliability;
+    assert!((direct - via_file).abs() < 1e-12, "{direct} vs {via_file}");
+}
+
+#[test]
 fn generated_grid_roundtrips() {
     let inst = workloads::generators::grid(3, 3, 5);
     let demand = FlowDemand::new(inst.source, inst.sink, 1);

@@ -94,6 +94,11 @@ pub fn reliability_bottleneck_on_set<W: Weight>(
     weights: &EdgeWeights<W>,
     opts: &CalcOptions,
 ) -> Result<(W, BottleneckReport), ReliabilityError> {
+    if net.has_multistate() {
+        return Err(ReliabilityError::MultiState {
+            operation: "the one-level bottleneck decomposition",
+        });
+    }
     let report = |count: usize, sweep: SweepStats| BottleneckReport {
         set: set.clone(),
         assignment_count: count,
@@ -286,6 +291,11 @@ pub fn reliability_bottleneck_anytime_on(
     resume: Option<(&SideCheckpoint, &SideCheckpoint)>,
 ) -> Result<BottleneckOutcome, ReliabilityError> {
     demand.validate(net)?;
+    if net.has_multistate() {
+        return Err(ReliabilityError::MultiState {
+            operation: "the one-level bottleneck decomposition",
+        });
+    }
     let report = |count: usize, sweep: SweepStats| BottleneckReport {
         set: set.clone(),
         assignment_count: count,

@@ -190,20 +190,33 @@ fn for_each_bottleneck_set(
 ) -> Result<(), ReliabilityError> {
     net.check_node(s)?;
     net.check_node(t)?;
+    // Multi-state links never join a cut in v1: the decomposition engines
+    // condition on a cut link being up or down, which has no meaning for a
+    // link with more than two capacity states. Candidacy is restricted to
+    // binary links; the sides may still contain multi-state links (the
+    // planner sweeps such sides whole).
+    let eligible = |e: EdgeId| -> bool { net.spectrum(e).is_none() };
     // k = 1 fast path: separating bridges
     for e in find_bridges(net) {
+        if !eligible(e) {
+            continue;
+        }
         if let Ok(set) = validate_bottleneck_set(net, s, t, &[e]) {
             consider(set);
         }
     }
-    // k >= 2: exhaustive combinations
-    let m = net.edge_count();
+    // k >= 2: exhaustive combinations over the eligible links
+    let pool: Vec<EdgeId> = (0..net.edge_count())
+        .map(EdgeId::from)
+        .filter(|&e| eligible(e))
+        .collect();
+    let m = pool.len();
     let mut combo: Vec<usize> = Vec::new();
     for k in 2..=max_k.min(m) {
         combo.clear();
         combo.extend(0..k);
         loop {
-            let cand: Vec<EdgeId> = combo.iter().map(|&i| EdgeId::from(i)).collect();
+            let cand: Vec<EdgeId> = combo.iter().map(|&i| pool[i]).collect();
             if let Ok(set) = validate_bottleneck_set(net, s, t, &cand) {
                 consider(set);
             }
@@ -383,6 +396,45 @@ mod tests {
             find_bottleneck_set(&net, n[0], n[3], 2).unwrap_err(),
             ReliabilityError::NoBottleneckFound
         );
+    }
+
+    #[test]
+    fn multistate_links_are_not_cut_candidates() {
+        // the bridge graph, but with the bridge carrying a capacity spectrum:
+        // no reported set may contain the multi-state link, even though the
+        // bridge alone would be the best-balanced cut
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 2, 0.1).unwrap();
+        b.add_edge(n[2], n[0], 2, 0.1).unwrap();
+        b.add_spectrum_edge(n[2], n[3], &[(0, 0.1), (2, 0.4), (4, 0.5)])
+            .unwrap();
+        b.add_edge(n[3], n[4], 2, 0.1).unwrap();
+        b.add_edge(n[4], n[5], 2, 0.1).unwrap();
+        b.add_edge(n[5], n[3], 2, 0.1).unwrap();
+        let net = b.build();
+        let all = find_all_bottleneck_sets(&net, n[0], n[5], 3).unwrap();
+        assert!(!all.is_empty(), "binary 2-cuts around the triangles exist");
+        for set in &all {
+            assert!(
+                !set.edges.contains(&EdgeId(3)),
+                "multi-state bridge must never be a candidate: {:?}",
+                set.edges
+            );
+        }
+        // binary cuts elsewhere are still found when they exist
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(4);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (2, 0.5)])
+            .unwrap();
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 3, 0.1).unwrap(); // binary bridge
+        b.add_edge(n[2], n[3], 1, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 1, 0.2).unwrap();
+        let net = b.build();
+        let set = find_bottleneck_set(&net, n[0], n[3], 2).unwrap();
+        assert_eq!(set.edges, vec![EdgeId(2)]);
     }
 
     #[test]

@@ -21,6 +21,18 @@ use crate::reduce::{reduce, Reduction};
 /// strategies all recurse with this `k`).
 const PLAN_RECURSE_K: usize = 3;
 
+/// The mixed radices of the instance's state digits, used to stamp and
+/// validate multi-state checkpoints. `None` for all-binary instances, so
+/// their checkpoints keep the exact legacy byte layout (no `radices` line).
+fn net_radices(net: &Network) -> Option<Vec<u32>> {
+    if !net.has_multistate() {
+        return None;
+    }
+    netgraph::StateExpansion::build(net)
+        .ok()
+        .map(|x| x.radices())
+}
+
 /// Marks an algorithm name as having run on the structurally reduced
 /// instance. Idempotent, so resume restamping can't double-prefix.
 fn reduced_name(alg: &'static str) -> &'static str {
@@ -241,6 +253,12 @@ impl ReliabilityCalculator {
         match &self.strategy {
             Strategy::Naive => self.naive_outcome(net, demand, "naive", None),
             Strategy::Factoring => {
+                if net.has_multistate() {
+                    // conditioning branches on binary link up/down states
+                    return Err(ReliabilityError::MultiState {
+                        operation: "the factoring (conditioning) strategy",
+                    });
+                }
                 if self.options.budget.is_unlimited() {
                     // The recursive engine and the flat anytime engine agree
                     // to ~1e-15 but not bit for bit (the summation order
@@ -259,6 +277,14 @@ impl ReliabilityCalculator {
                 self.factoring_outcome(net, demand, "factoring", None)
             }
             Strategy::Bottleneck(cut) => {
+                if net.has_multistate() {
+                    // an explicit split cannot be vetted against the v1
+                    // planner rule that keeps multi-state links out of cuts
+                    // and cut sides; use the auto strategies instead
+                    return Err(ReliabilityError::MultiState {
+                        operation: "an explicit bottleneck decomposition",
+                    });
+                }
                 let set = validate_bottleneck_set(net, demand.source, demand.sink, cut)?;
                 self.plan_outcome(net, demand, &set, PLAN_RECURSE_K, "bottleneck", None)
             }
@@ -417,6 +443,18 @@ impl ReliabilityCalculator {
         demand: FlowDemand,
         checkpoint: &Checkpoint,
     ) -> Result<Outcome, ReliabilityError> {
+        // a multi-state checkpoint records the digit radices of the instance
+        // its cursors index; they must match what this instance expands to
+        // (and an all-binary checkpoint must resume on an all-binary net)
+        let expected = net_radices(net);
+        if checkpoint.radices != expected {
+            return Err(ReliabilityError::CheckpointMismatch {
+                reason: format!(
+                    "checkpoint state-space radices {:?} do not match this instance's {:?}",
+                    checkpoint.radices, expected
+                ),
+            });
+        }
         match &checkpoint.kind {
             CheckpointKind::Naive(ck) => self.naive_outcome(net, demand, "naive", Some(ck)),
             // Flat one-level decomposition checkpoints from before the
@@ -535,6 +573,7 @@ impl ReliabilityCalculator {
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
                     reduce_shape: None,
+                    radices: net_radices(net),
                     kind: CheckpointKind::Plan(checkpoint),
                 },
             }))),
@@ -576,6 +615,7 @@ impl ReliabilityCalculator {
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
                     reduce_shape: None,
+                    radices: net_radices(net),
                     kind: CheckpointKind::Factoring(checkpoint),
                 },
             }))),
@@ -618,6 +658,7 @@ impl ReliabilityCalculator {
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
                     reduce_shape: None,
+                    radices: net_radices(net),
                     kind: CheckpointKind::Naive(checkpoint),
                 },
             }))),
@@ -663,6 +704,7 @@ impl ReliabilityCalculator {
                 checkpoint: Checkpoint {
                     fingerprint: instance_fingerprint(net, &demand, &self.options),
                     reduce_shape: None,
+                    radices: net_radices(net),
                     kind: CheckpointKind::Bottleneck {
                         cut: set.edges.clone(),
                         side_s: *side_s,
@@ -697,6 +739,13 @@ impl ReliabilityCalculator {
     ) -> montecarlo::McSettings {
         let mut resolved = settings.clone();
         if resolved.estimator == montecarlo::EstimatorKind::Auto {
+            if net.has_multistate() {
+                // dagger conditioning enumerates binary strata states; the
+                // permutation estimator generalizes to the capacity-ordered
+                // destruction process, so it is the multi-state default
+                resolved.estimator = montecarlo::EstimatorKind::Permutation;
+                return resolved;
+            }
             match find_bottleneck_set(net, demand.source, demand.sink, 3) {
                 Ok(set) if set.edges.len() <= montecarlo::MAX_STRATA_LINKS => {
                     resolved.estimator = montecarlo::EstimatorKind::Dagger;
@@ -768,6 +817,7 @@ impl ReliabilityCalculator {
                     checkpoint: Checkpoint {
                         fingerprint: instance_fingerprint(net, &demand, &self.options),
                         reduce_shape: None,
+                        radices: net_radices(net),
                         kind: CheckpointKind::MonteCarlo(checkpoint),
                     },
                 })))
@@ -796,7 +846,9 @@ impl ReliabilityCalculator {
                 }
             }
         }
-        if !self.options.budget.is_unlimited() {
+        if !self.options.budget.is_unlimited() || net.has_multistate() {
+            // factoring is binary-only, so multi-state instances fall back to
+            // the (mixed-radix) naive sweep instead
             return self.naive_outcome(net, demand, "auto:naive", None);
         }
         let r = reliability_factoring(net, demand, &self.options)?;

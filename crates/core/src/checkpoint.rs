@@ -211,16 +211,27 @@ pub struct Checkpoint {
     /// on the original instance, so legacy checkpoints — whose text form has
     /// no `reduce-shape` line — resume exactly as before.
     pub reduce_shape: Option<u64>,
+    /// When the run enumerated a multi-state instance, the mixed radices of
+    /// its state digits (one entry per digit, each ≥ 2), validated against
+    /// the instance on resume. `None` means all-binary, so legacy
+    /// checkpoints — whose text form has no `radices` line — resume exactly
+    /// as before, and all-binary checkpoints keep the legacy byte layout.
+    pub radices: Option<Vec<u32>>,
     /// Algorithm-specific payload.
     pub kind: CheckpointKind,
 }
 
 /// FNV-1a over the instance description: graph kind, nodes, every edge's
-/// endpoints/capacity/failure probability (as IEEE-754 bits), the demand,
-/// and the two options that change the enumeration itself
-/// (`factor_perfect_links`, `assignment_model`). Anything else — solver,
-/// parallelism, budget, cache sizes — may differ between the interrupted and
-/// the resuming run without affecting the result.
+/// endpoints/capacity/failure probability (as IEEE-754 bits), capacity
+/// spectra when present, the demand, and the two options that change the
+/// enumeration itself (`factor_perfect_links`, `assignment_model`). Anything
+/// else — solver, parallelism, budget, cache sizes — may differ between the
+/// interrupted and the resuming run without affecting the result.
+///
+/// Spectrum data is mixed in *only* when the network carries at least one
+/// multi-state link, so all-binary fingerprints are byte-for-byte identical
+/// to what earlier (spectrum-unaware) releases computed and their
+/// checkpoints keep resuming.
 pub fn instance_fingerprint(net: &Network, demand: &FlowDemand, opts: &CalcOptions) -> u64 {
     let mut h = Fnv1a::new();
     h.write(match net.kind() {
@@ -234,6 +245,18 @@ pub fn instance_fingerprint(net: &Network, demand: &FlowDemand, opts: &CalcOptio
         h.write(e.dst.0 as u64);
         h.write(e.capacity);
         h.write(e.fail_prob.to_bits());
+    }
+    if net.has_multistate() {
+        for i in 0..net.edge_count() {
+            if let Some(sp) = net.spectrum(EdgeId::from(i)) {
+                h.write(i as u64);
+                h.write(sp.k() as u64);
+                for &(c, p) in sp.states() {
+                    h.write(c);
+                    h.write(p.to_bits());
+                }
+            }
+        }
     }
     h.write(demand.source.0 as u64);
     h.write(demand.sink.0 as u64);
@@ -285,6 +308,15 @@ impl Checkpoint {
             // v1 extension: absent for unreduced runs, so files written
             // without reduction are byte-identical to the legacy format
             out.push_str(&format!("reduce-shape {shape:016x}\n"));
+        }
+        if let Some(radices) = &self.radices {
+            // v1 extension: absent for all-binary instances, so binary
+            // checkpoints keep the exact legacy byte layout
+            out.push_str(&format!("radices {}", radices.len()));
+            for r in radices {
+                out.push_str(&format!(" {r}"));
+            }
+            out.push('\n');
         }
         match &self.kind {
             CheckpointKind::Naive(n) => {
@@ -399,6 +431,29 @@ impl Checkpoint {
         let save = lines.clone();
         let reduce_shape = match field(&mut lines, "reduce-shape") {
             Ok(f) => Some(parse_hex(f.first(), "reduce shape")?),
+            Err(_) => {
+                lines = save;
+                None
+            }
+        };
+        // optional `radices` line (absent for all-binary instances), same
+        // peek-on-clone rewind as `reduce-shape`
+        let save = lines.clone();
+        let radices = match field(&mut lines, "radices") {
+            Ok(f) => {
+                let n: usize = parse(f.first(), "radix count")?;
+                if f.len() != n + 1 {
+                    return Err(bad("radices line has the wrong arity"));
+                }
+                let rs = f[1..]
+                    .iter()
+                    .map(|s| parse::<u32>(Some(s), "radix entry"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if rs.iter().any(|&r| r < 2) {
+                    return Err(bad("every radix must be at least 2"));
+                }
+                Some(rs)
+            }
             Err(_) => {
                 lines = save;
                 None
@@ -541,6 +596,7 @@ impl Checkpoint {
         Ok(Checkpoint {
             fingerprint,
             reduce_shape,
+            radices,
             kind,
         })
     }
@@ -874,6 +930,7 @@ mod tests {
         Checkpoint {
             fingerprint: 0xdead_beef_0123_4567,
             reduce_shape: None,
+            radices: None,
             kind: CheckpointKind::Naive(NaiveCheckpoint {
                 cursor: SweepCursor {
                     total: 1 << 12,
@@ -912,6 +969,7 @@ mod tests {
         Checkpoint {
             fingerprint: 42,
             reduce_shape: None,
+            radices: None,
             kind: CheckpointKind::Bottleneck {
                 cut: vec![EdgeId(2), EdgeId(5)],
                 side_s: side(64),
@@ -943,6 +1001,7 @@ mod tests {
         Checkpoint {
             fingerprint: 7,
             reduce_shape: None,
+            radices: None,
             kind: CheckpointKind::MonteCarlo(montecarlo::McCheckpoint {
                 settings: montecarlo::McSettings {
                     seed: 0x0123_4567_89ab_cdef,
@@ -1009,6 +1068,7 @@ mod tests {
         Checkpoint {
             fingerprint: 0x1234_5678_9abc_def0,
             reduce_shape: None,
+            radices: None,
             kind: CheckpointKind::Plan(PlanCheckpoint {
                 root_cut: vec![EdgeId(3), EdgeId(9)],
                 root_max_k: 3,
@@ -1097,6 +1157,7 @@ mod tests {
         let ck = Checkpoint {
             fingerprint: 99,
             reduce_shape: None,
+            radices: None,
             kind: CheckpointKind::Factoring(FactoringCheckpoint {
                 accum: (0.98765, -0.0),
                 leaves: 1234,
@@ -1116,6 +1177,7 @@ mod tests {
         let text = Checkpoint {
             fingerprint: 1,
             reduce_shape: None,
+            radices: None,
             kind: CheckpointKind::Factoring(FactoringCheckpoint {
                 accum: (0.0, 0.0),
                 leaves: 0,
@@ -1155,6 +1217,50 @@ mod tests {
         // a malformed shape value is an error, not a silent None
         let corrupt = text.replace("reduce-shape 0123456789abcdef", "reduce-shape zzz");
         assert!(Checkpoint::from_text(&corrupt).is_err());
+    }
+
+    #[test]
+    fn radices_round_trip_and_stay_optional() {
+        // with radices: the line round-trips
+        let mut ck = naive_checkpoint();
+        ck.radices = Some(vec![3, 2, 4]);
+        let text = ck.to_text();
+        assert!(text.contains("radices 3 3 2 4"));
+        assert_eq!(Checkpoint::from_text(&text).unwrap(), ck);
+        // without: the text form is byte-identical to the legacy format,
+        // and legacy files (no radices line) parse to None
+        let legacy = naive_checkpoint();
+        assert!(!legacy.to_text().contains("radices"));
+        let back = Checkpoint::from_text(&legacy.to_text()).unwrap();
+        assert_eq!(back.radices, None);
+        // wrong arity and sub-binary radices are errors, not silent Nones
+        let corrupt = text.replace("radices 3 3 2 4", "radices 3 3 2");
+        assert!(Checkpoint::from_text(&corrupt).is_err());
+        let corrupt = text.replace("radices 3 3 2 4", "radices 3 3 1 4");
+        assert!(Checkpoint::from_text(&corrupt).is_err());
+    }
+
+    #[test]
+    fn fingerprint_covers_capacity_spectra() {
+        use netgraph::{GraphKind, NetworkBuilder, NodeId};
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.25), (1, 0.25), (2, 0.5)])
+            .unwrap();
+        b.add_edge(n[1], n[2], 2, 0.2).unwrap();
+        let net = b.build();
+        let d = FlowDemand::new(NodeId(0), NodeId(2), 1);
+        let opts = CalcOptions::default();
+        let f0 = instance_fingerprint(&net, &d, &opts);
+        assert_eq!(f0, instance_fingerprint(&net, &d, &opts), "deterministic");
+        // perturbing a state probability perturbs the fingerprint
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.25), (1, 0.5), (2, 0.25)])
+            .unwrap();
+        b.add_edge(n[1], n[2], 2, 0.2).unwrap();
+        let net2 = b.build();
+        assert_ne!(f0, instance_fingerprint(&net2, &d, &opts));
     }
 
     #[test]

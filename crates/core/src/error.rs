@@ -98,6 +98,14 @@ pub enum ReliabilityError {
         /// What was rejected.
         reason: String,
     },
+    /// The operation does not support multi-state capacity spectra (v1
+    /// keeps factoring, explicit bottleneck splits, custom edge weights,
+    /// and the dagger estimator binary-only; naive, planned, and MC
+    /// strategies handle spectra).
+    MultiState {
+        /// The operation that was requested.
+        operation: &'static str,
+    },
 }
 
 impl ReliabilityError {
@@ -122,6 +130,7 @@ impl ReliabilityError {
             ReliabilityError::DirectedOnly { .. } => 22,
             ReliabilityError::CheckpointMismatch { .. } => 23,
             ReliabilityError::Sampling { .. } => 24,
+            ReliabilityError::MultiState { .. } => 25,
         }
     }
 }
@@ -196,6 +205,12 @@ impl fmt::Display for ReliabilityError {
             }
             ReliabilityError::Sampling { reason } => {
                 write!(f, "sampling error: {reason}")
+            }
+            ReliabilityError::MultiState { operation } => {
+                write!(
+                    f,
+                    "{operation} does not support multi-state capacity spectra"
+                )
             }
         }
     }

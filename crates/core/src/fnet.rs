@@ -11,6 +11,20 @@
 //! edge 2 3 2 0.10
 //! demand 0 3 2        # demand <source> <sink> <rate>
 //! ```
+//!
+//! Multi-state links carry a capacity *spectrum* instead of a single
+//! up/down pair, one `capacity:probability` state per column:
+//!
+//! ```text
+//! spectrum 0 1 0:0.2 1:0.3 2:0.5   # spectrum <src> <dst> <cap:prob>...
+//! ```
+//!
+//! The states are validated like
+//! [`netgraph::NetworkBuilder::add_spectrum_edge`] input: probabilities sum
+//! to 1, and degenerate shapes normalize (a `{0:p, c:1−p}` spectrum *is*
+//! a binary link and serializes back as a plain `edge` line). Files without
+//! `spectrum` lines are exactly the legacy format, parsed and serialized
+//! byte-identically.
 
 use std::fmt::Write as _;
 
@@ -51,12 +65,20 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// A not-yet-applied edge line: plain binary or a capacity spectrum. Edges
+/// are buffered so their `.fnet` line order fixes the edge ids regardless
+/// of where the `nodes` line appears.
+enum PendingEdge {
+    Binary(u32, u32, u64, f64),
+    Spectrum(u32, u32, Vec<(u64, f64)>),
+}
+
 /// Parses the `.fnet` format.
 pub fn parse(text: &str) -> Result<NetFile, ParseError> {
     let mut kind: Option<GraphKind> = None;
     let mut builder: Option<NetworkBuilder> = None;
     let mut demand = None;
-    let mut pending_edges: Vec<(usize, u32, u32, u64, f64)> = Vec::new();
+    let mut pending_edges: Vec<(usize, PendingEdge)> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -107,7 +129,35 @@ pub fn parse(text: &str) -> Result<NetFile, ParseError> {
                 let p: f64 = rest[3]
                     .parse()
                     .map_err(|_| err(line_no, "bad probability"))?;
-                pending_edges.push((line_no, u, v, cap, p));
+                pending_edges.push((line_no, PendingEdge::Binary(u, v, cap, p)));
+            }
+            "spectrum" => {
+                if rest.len() < 3 {
+                    return Err(err(
+                        line_no,
+                        "usage: spectrum <src> <dst> <cap:prob> [<cap:prob>...]",
+                    ));
+                }
+                let u: u32 = rest[0]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad source node"))?;
+                let v: u32 = rest[1]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad destination node"))?;
+                let mut states = Vec::with_capacity(rest.len() - 2);
+                for tok in &rest[2..] {
+                    let (c, p) = tok.split_once(':').ok_or_else(|| {
+                        err(line_no, format!("state '{tok}' is not <capacity>:<prob>"))
+                    })?;
+                    let c: u64 = c
+                        .parse()
+                        .map_err(|_| err(line_no, format!("bad state capacity '{c}'")))?;
+                    let p: f64 = p
+                        .parse()
+                        .map_err(|_| err(line_no, format!("bad state probability '{p}'")))?;
+                    states.push((c, p));
+                }
+                pending_edges.push((line_no, PendingEdge::Spectrum(u, v, states)));
             }
             "demand" => {
                 if rest.len() != 3 {
@@ -124,10 +174,17 @@ pub fn parse(text: &str) -> Result<NetFile, ParseError> {
 
     let mut builder =
         builder.ok_or_else(|| err(text.lines().count().max(1), "missing 'nodes' line"))?;
-    for (line_no, u, v, cap, p) in pending_edges {
-        builder
-            .add_edge(NodeId(u), NodeId(v), cap, p)
-            .map_err(|e| err(line_no, e.to_string()))?;
+    for (line_no, pending) in pending_edges {
+        match pending {
+            PendingEdge::Binary(u, v, cap, p) => builder
+                .add_edge(NodeId(u), NodeId(v), cap, p)
+                .map(|_| ())
+                .map_err(|e| err(line_no, e.to_string()))?,
+            PendingEdge::Spectrum(u, v, states) => builder
+                .add_spectrum_edge(NodeId(u), NodeId(v), &states)
+                .map(|_| ())
+                .map_err(|e| err(line_no, e.to_string()))?,
+        }
     }
     let net = builder.build();
     if let Some(d) = demand {
@@ -149,12 +206,23 @@ pub fn serialize(net: &Network, demand: Option<FlowDemand>) -> String {
         }
     );
     let _ = writeln!(out, "nodes {}", net.node_count());
-    for e in net.edges() {
-        let _ = writeln!(
-            out,
-            "edge {} {} {} {}",
-            e.src.0, e.dst.0, e.capacity, e.fail_prob
-        );
+    for (id, e) in net.edge_refs() {
+        match net.spectrum(id) {
+            Some(sp) => {
+                let _ = write!(out, "spectrum {} {}", e.src.0, e.dst.0);
+                for &(c, p) in sp.states() {
+                    let _ = write!(out, " {c}:{p}");
+                }
+                let _ = writeln!(out);
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "edge {} {} {} {}",
+                    e.src.0, e.dst.0, e.capacity, e.fail_prob
+                );
+            }
+        }
     }
     if let Some(d) = demand {
         let _ = writeln!(out, "demand {} {} {}", d.source.0, d.sink.0, d.demand);
@@ -198,6 +266,74 @@ demand 0 3 2
             assert_eq!(a, b);
         }
         assert_eq!(f.demand, f2.demand);
+    }
+
+    #[test]
+    fn spectrum_lines_parse_and_round_trip() {
+        let text = "\
+directed
+nodes 3
+spectrum 0 1 0:0.2 1:0.3 2:0.5
+edge 1 2 2 0.1
+demand 0 2 2
+";
+        let f = parse(text).unwrap();
+        assert_eq!(f.net.edge_count(), 2);
+        let sp = f.net.spectrum(netgraph::EdgeId(0)).expect("multi-state");
+        assert_eq!(sp.states(), &[(0, 0.2), (1, 0.3), (2, 0.5)]);
+        // the stored edge reconstructs max capacity and down probability
+        let e = f.net.edge(netgraph::EdgeId(0));
+        assert_eq!(e.capacity, 2);
+        assert_eq!(e.fail_prob, 0.2);
+        assert!(f.net.spectrum(netgraph::EdgeId(1)).is_none());
+
+        let out = serialize(&f.net, f.demand);
+        assert!(out.contains("spectrum 0 1 0:0.2 1:0.3 2:0.5"), "{out}");
+        let f2 = parse(&out).unwrap();
+        assert_eq!(
+            f2.net.spectrum(netgraph::EdgeId(0)),
+            f.net.spectrum(netgraph::EdgeId(0))
+        );
+        for (a, b) in f.net.edges().iter().zip(f2.net.edges()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn binary_spectrum_lines_normalize_to_plain_edges() {
+        // {0:p, c:1−p} is a binary link; it parses to a plain edge and
+        // serializes back as a legacy 'edge' line, not a 'spectrum' line
+        let f = parse("directed\nnodes 2\nspectrum 0 1 0:0.25 4:0.75\n").unwrap();
+        assert!(f.net.spectrum(netgraph::EdgeId(0)).is_none());
+        let e = f.net.edge(netgraph::EdgeId(0));
+        assert_eq!((e.capacity, e.fail_prob), (4, 0.25));
+        let out = serialize(&f.net, None);
+        assert!(
+            out.contains("edge 0 1 4 0.25") && !out.contains("spectrum"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn legacy_files_serialize_byte_identically() {
+        let f = parse(SAMPLE).unwrap();
+        let out = serialize(&f.net, f.demand);
+        assert_eq!(
+            out,
+            "directed\nnodes 4\nedge 0 1 2 0.05\nedge 0 2 2 0.1\n\
+             edge 1 3 2 0.05\nedge 2 3 2 0.1\ndemand 0 3 2\n"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_spectrum_lines() {
+        let e = parse("directed\nnodes 2\nspectrum 0 1\n").unwrap_err();
+        assert!(e.message.contains("usage"), "{e}");
+        let e = parse("directed\nnodes 2\nspectrum 0 1 3\n").unwrap_err();
+        assert!(e.message.contains("not <capacity>:<prob>"), "{e}");
+        let e = parse("directed\nnodes 2\nspectrum 0 1 0:0.5 1:0.9\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("sum"), "{e}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! (`factor_perfect_links`).
 
 use exactmath::BigRational;
-use netgraph::{EdgeMask, Network};
+use netgraph::{EdgeMask, GraphError, Network, StateExpansion};
 
 use crate::budget::BudgetSentinel;
 use crate::certcache::SweepStats;
@@ -23,10 +23,10 @@ use crate::options::CalcOptions;
 use crate::oracle::DemandOracle;
 use crate::preprocess::relevance_reduce;
 use crate::sweep::{
-    sweep_sum, sweep_sum_budgeted, CompensatedAcc, PartialSum, PlainAcc, SweepAccumulator,
-    SweepConfig, SweepGeometry,
+    sweep_sum, sweep_sum_budgeted, sweep_sum_mixed, sweep_sum_mixed_budgeted, CompensatedAcc,
+    MixedGeometry, PartialSum, PlainAcc, SweepAccumulator, SweepConfig, SweepGeometry,
 };
-use crate::weight::{edge_weights_exact, EdgeWeights, Weight};
+use crate::weight::{digit_weights, digit_weights_exact, edge_weights_exact, EdgeWeights, Weight};
 
 /// Splits edge indices into (fallible, pinned-alive) per the options.
 fn enumeration_split(net: &Network, opts: &CalcOptions) -> (Vec<usize>, u64) {
@@ -90,6 +90,13 @@ pub fn reliability_naive_with_stats(
     let reduced = relevance_reduce(net, demand);
     if reduced.removed > 0 {
         return reliability_naive_with_stats(&reduced.net, reduced.demand, opts);
+    }
+    if net.has_multistate() {
+        let sentinel = BudgetSentinel::unlimited();
+        return match reliability_naive_mixed_on(net, demand, opts, &sentinel, None)? {
+            NaiveOutcome::Complete { reliability, stats } => Ok((reliability, stats)),
+            NaiveOutcome::Partial { .. } => unreachable!("unlimited sweeps always finish"),
+        };
     }
     let (fallible, pinned) = check_bounds(net, demand, opts)?;
     let mut oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
@@ -187,6 +194,9 @@ pub fn reliability_naive_anytime_on(
         // resuming run.
         return reliability_naive_anytime_on(&reduced.net, reduced.demand, opts, sentinel, resume);
     }
+    if net.has_multistate() {
+        return reliability_naive_mixed_on(net, demand, opts, sentinel, resume);
+    }
     let (fallible, pinned) = check_bounds(net, demand, opts)?;
     let mut oracle = DemandOracle::new(net, demand.source, demand.sink, demand.demand, opts.solver);
     if demand.demand == 0 {
@@ -269,6 +279,119 @@ pub fn reliability_naive_anytime_on(
     })
 }
 
+/// Tranche-expands a multi-state network and builds the mixed-radix sweep
+/// geometry plus a demand oracle over the expanded binary network.
+fn mixed_setup(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+) -> Result<(StateExpansion, MixedGeometry, DemandOracle), ReliabilityError> {
+    let x = StateExpansion::build(net).map_err(|e| match e {
+        GraphError::ExpansionTooLarge { arcs, max } => {
+            ReliabilityError::EdgeMaskOverflow { count: arcs, max }
+        }
+        other => other.into(),
+    })?;
+    if x.digits.len() > opts.max_enum_edges {
+        return Err(ReliabilityError::TooManyEdges {
+            count: x.digits.len(),
+            max: opts.max_enum_edges,
+        });
+    }
+    let geom = MixedGeometry::from_expansion(&x)
+        .unwrap_or_else(|| unreachable!("≤64 expanded arcs bound Π radices far below 2^63"));
+    let oracle = DemandOracle::new(
+        &x.net,
+        demand.source,
+        demand.sink,
+        demand.demand,
+        opts.solver,
+    );
+    Ok((x, geom, oracle))
+}
+
+/// The multi-state body of [`reliability_naive_anytime_on`]: enumerates the
+/// mixed-radix state space of the tranche expansion with the reflected-Gray
+/// sweep engine. Same anytime contract as the binary path — checkpoint
+/// cursors index mixed-radix configuration ordinals, and `cursor.total` is
+/// `Π radices` instead of `2^|fallible|`.
+fn reliability_naive_mixed_on(
+    net: &Network,
+    demand: FlowDemand,
+    opts: &CalcOptions,
+    sentinel: &BudgetSentinel,
+    resume: Option<&NaiveCheckpoint>,
+) -> Result<NaiveOutcome, ReliabilityError> {
+    let (x, geom, mut oracle) = mixed_setup(net, demand, opts)?;
+    if demand.demand == 0 {
+        return Ok(NaiveOutcome::Complete {
+            reliability: 1.0,
+            stats: SweepStats::default(),
+        });
+    }
+    if oracle.max_flow_all_alive() < demand.demand {
+        return Ok(NaiveOutcome::Complete {
+            reliability: 0.0,
+            stats: SweepStats::default(),
+        });
+    }
+    let total = geom.total();
+    let resume_partial = match resume {
+        Some(ck) => {
+            if ck.cursor.total != total {
+                return Err(ReliabilityError::CheckpointMismatch {
+                    reason: format!(
+                        "checkpoint enumerates {} configurations, this instance {}",
+                        ck.cursor.total, total
+                    ),
+                });
+            }
+            Some(PartialSum {
+                feasible: CompensatedAcc::from_state(ck.feasible),
+                explored: CompensatedAcc::from_state(ck.explored),
+                remaining: ck.cursor.remaining.clone(),
+                certs: ck.certs.clone(),
+            })
+        }
+        None => None,
+    };
+    let weights = digit_weights(&x);
+    let (partial, stats) = sweep_sum_mixed_budgeted::<f64, CompensatedAcc, _>(
+        &oracle,
+        &geom,
+        &weights,
+        &SweepConfig::from_opts(opts),
+        sentinel,
+        resume_partial,
+    );
+    if partial.is_complete() {
+        return Ok(NaiveOutcome::Complete {
+            reliability: partial.feasible.finish(),
+            stats,
+        });
+    }
+    let feasible = partial.feasible.state();
+    let explored_state = partial.explored.state();
+    let explored = (explored_state.0 + explored_state.1).clamp(0.0, 1.0);
+    let r_low = (feasible.0 + feasible.1).clamp(0.0, 1.0);
+    let r_high = (r_low + (1.0 - explored).max(0.0)).min(1.0);
+    Ok(NaiveOutcome::Partial {
+        r_low,
+        r_high,
+        explored,
+        checkpoint: NaiveCheckpoint {
+            cursor: SweepCursor {
+                total,
+                remaining: partial.remaining,
+            },
+            feasible,
+            explored: explored_state,
+            certs: partial.certs,
+        },
+        stats,
+    })
+}
+
 /// Naive reliability with exact rational arithmetic (the validation oracle
 /// for every other algorithm). Probabilities are taken from the network's
 /// `f64` values via exact dyadic conversion.
@@ -277,6 +400,29 @@ pub fn reliability_naive_exact(
     demand: FlowDemand,
     opts: &CalcOptions,
 ) -> Result<BigRational, ReliabilityError> {
+    if net.has_multistate() {
+        demand.validate(net)?;
+        let reduced = relevance_reduce(net, demand);
+        if reduced.removed > 0 {
+            return reliability_naive_exact(&reduced.net, reduced.demand, opts);
+        }
+        let (x, geom, mut oracle) = mixed_setup(net, demand, opts)?;
+        if demand.demand == 0 {
+            return Ok(BigRational::one());
+        }
+        if oracle.max_flow_all_alive() < demand.demand {
+            return Ok(BigRational::zero());
+        }
+        let weights = digit_weights_exact(&x);
+        let cfg = SweepConfig {
+            parallel: false,
+            ..SweepConfig::from_opts(opts)
+        };
+        let (r, _) = sweep_sum_mixed::<BigRational, PlainAcc<BigRational>, _>(
+            &oracle, &geom, &weights, &cfg,
+        );
+        return Ok(r);
+    }
     reliability_naive_weighted(net, demand, &edge_weights_exact(net), opts)
 }
 
@@ -308,6 +454,12 @@ pub fn reliability_naive_weighted<W: Weight>(
             .map(|&i| weights[i].clone())
             .collect();
         return reliability_naive_weighted(&reduced.net, reduced.demand, &w, opts);
+    }
+    if net.has_multistate() {
+        // per-edge (alive, failed) pairs cannot express a k-state spectrum
+        return Err(ReliabilityError::MultiState {
+            operation: "custom per-edge weighting",
+        });
     }
     // Perfect-link factoring is keyed on the f64 probabilities; for generic
     // weights enumerate everything to stay self-evidently exact.
@@ -508,6 +660,118 @@ mod tests {
         let serial = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
         let par = reliability_naive(&net, d, &CalcOptions::parallel()).unwrap();
         assert!((serial - par).abs() < 1e-12);
+    }
+
+    /// s→t: 3-state link {0: 0.2, 1: 0.3, 2: 0.5} ∥ binary (cap 1, p 0.4).
+    fn multistate_net() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (2, 0.5)])
+            .unwrap();
+        b.add_edge(n[0], n[1], 1, 0.4).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn multistate_naive_matches_hand_computation() {
+        let net = multistate_net();
+        let d = FlowDemand::new(NodeId(0), NodeId(1), 2);
+        let r = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        // P(c1 + c2 ≥ 2) = P(c1=2) + P(c1=1)·P(c2 up)
+        let expected = 0.5 + 0.3 * 0.6;
+        assert!((r - expected).abs() < 1e-12, "{r} vs {expected}");
+        let exact = reliability_naive_exact(&net, d, &CalcOptions::default()).unwrap();
+        assert!((r - exact.to_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_state_spectrum_is_the_legacy_binary_path_bit_for_bit() {
+        let mut b1 = NetworkBuilder::new(GraphKind::Directed);
+        let n = b1.add_nodes(2);
+        b1.add_spectrum_edge(n[0], n[1], &[(0, 0.25), (2, 0.75)])
+            .unwrap();
+        b1.add_edge(n[0], n[1], 1, 0.5).unwrap();
+        let spec = b1.build();
+        assert!(
+            !spec.has_multistate(),
+            "2-state {{0, c}} collapses to binary"
+        );
+        let mut b2 = NetworkBuilder::new(GraphKind::Directed);
+        let n = b2.add_nodes(2);
+        b2.add_edge(n[0], n[1], 2, 0.25).unwrap();
+        b2.add_edge(n[0], n[1], 1, 0.5).unwrap();
+        let plain = b2.build();
+        let d = FlowDemand::new(NodeId(0), NodeId(1), 2);
+        let r_spec = reliability_naive(&spec, d, &CalcOptions::default()).unwrap();
+        let r_plain = reliability_naive(&plain, d, &CalcOptions::default()).unwrap();
+        assert_eq!(r_spec.to_bits(), r_plain.to_bits());
+    }
+
+    #[test]
+    fn multistate_anytime_resumes_bit_identical() {
+        use crate::budget::Budget;
+        let net = multistate_net();
+        let d = FlowDemand::new(NodeId(0), NodeId(1), 1);
+        let full = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
+        let mut ck: Option<NaiveCheckpoint> = None;
+        let mut rounds = 0;
+        loop {
+            let opts = CalcOptions {
+                budget: Budget {
+                    max_configs: Some(2),
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            match reliability_naive_anytime(&net, d, &opts, ck.as_ref()).unwrap() {
+                NaiveOutcome::Complete { reliability, .. } => {
+                    assert_eq!(reliability.to_bits(), full.to_bits());
+                    break;
+                }
+                NaiveOutcome::Partial {
+                    r_low,
+                    r_high,
+                    checkpoint,
+                    ..
+                } => {
+                    assert!(r_low <= full + 1e-12 && full <= r_high + 1e-12);
+                    assert_eq!(checkpoint.cursor.total, 6, "Π radices = 3 · 2");
+                    ck = Some(checkpoint);
+                }
+            }
+            rounds += 1;
+            assert!(rounds < 20, "must converge");
+        }
+        assert!(rounds >= 2);
+    }
+
+    #[test]
+    fn multistate_rejects_custom_weights() {
+        let net = multistate_net();
+        let d = FlowDemand::new(NodeId(0), NodeId(1), 1);
+        let w: EdgeWeights<f64> = vec![(0.8, 0.2), (0.6, 0.4)];
+        let err = reliability_naive_weighted(&net, d, &w, &CalcOptions::default()).unwrap_err();
+        assert!(matches!(err, ReliabilityError::MultiState { .. }));
+    }
+
+    #[test]
+    fn always_down_link_behaves_as_deleted_end_to_end() {
+        let mut b1 = NetworkBuilder::new(GraphKind::Directed);
+        let n = b1.add_nodes(3);
+        b1.add_edge(n[0], n[1], 1, 0.2).unwrap();
+        b1.add_edge(n[1], n[2], 1, 0.3).unwrap();
+        b1.add_edge(n[0], n[2], 4, 1.0).unwrap(); // always down
+        let with = b1.build();
+        let mut b2 = NetworkBuilder::new(GraphKind::Directed);
+        let n = b2.add_nodes(3);
+        b2.add_edge(n[0], n[1], 1, 0.2).unwrap();
+        b2.add_edge(n[1], n[2], 1, 0.3).unwrap();
+        let without = b2.build();
+        let d = FlowDemand::new(NodeId(0), NodeId(2), 1);
+        let r_with = reliability_naive(&with, d, &CalcOptions::default()).unwrap();
+        let r_without = reliability_naive(&without, d, &CalcOptions::default()).unwrap();
+        assert_eq!(r_with.to_bits(), r_without.to_bits());
+        assert!((r_with - 0.8 * 0.7).abs() < 1e-12);
     }
 
     #[test]

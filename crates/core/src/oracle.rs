@@ -217,6 +217,14 @@ impl SideOracle {
         assignments: &[Assignment],
         solver: SolverKind,
     ) -> Result<Self, ReliabilityError> {
+        // Side sweeps enumerate binary up/down configurations; a side with a
+        // capacity spectrum must be swept whole by the naive engine instead.
+        // The planner never routes one here — this guards direct callers.
+        if side.net.has_multistate() {
+            return Err(ReliabilityError::MultiState {
+                operation: "a side spectrum sweep",
+            });
+        }
         // terminal nodes: the demand terminal first, then the attach points
         let terminals: Vec<NodeId> = std::iter::once(side.terminal)
             .chain(side.attach.iter().copied())

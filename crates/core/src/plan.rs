@@ -122,8 +122,12 @@ pub struct LeafNode {
     pub net: Network,
     /// The demand inside the subnetwork.
     pub demand: FlowDemand,
-    /// Fallible links the sweep enumerates (`2^fallible` configurations).
+    /// Fallible links the sweep enumerates — for a multi-state subnetwork,
+    /// the number of mixed-radix state digits.
     pub fallible: usize,
+    /// Predicted configurations: `2^fallible` for all-binary subnetworks,
+    /// the product of the state radices for multi-state ones.
+    pub configs: f64,
     /// DFS slot index into the plan checkpoint's leaf array.
     pub index: usize,
 }
@@ -1062,6 +1066,13 @@ fn resolve_leaf_mc(
     s.solver = opts.solver;
     s.seed = montecarlo::plan_leaf_seed(opts.hybrid_mc.seed, slot as u64);
     if s.estimator == montecarlo::EstimatorKind::Auto {
+        // Dagger stratifies over independent binary links; a multi-state
+        // leaf samples per-link states, so it estimates by permutation.
+        if net.has_multistate() {
+            s.estimator = montecarlo::EstimatorKind::Permutation;
+            s.strata = Vec::new();
+            return s;
+        }
         match find_bottleneck_set(net, demand.source, demand.sink, 3) {
             Ok(set) if set.edges.len() <= montecarlo::MAX_STRATA_LINKS => {
                 s.estimator = montecarlo::EstimatorKind::Dagger;
@@ -1271,7 +1282,11 @@ fn split_node(
         });
     }
     let singleton = assignments.len() == 1 && assignments[0].amounts.iter().all(|&x| x >= 0);
-    if depth > 0 && singleton {
+    // A bridge across multi-state cut links would need the scalar `up` to be
+    // a per-state mixture; v1 keeps cut links binary (the bottleneck search
+    // already excludes multi-state candidates, this guards explicit sets).
+    let cut_multistate = set.edges.iter().any(|&e| net.spectrum(e).is_some());
+    if depth > 0 && singleton && !cut_multistate {
         let amounts = &assignments[0].amounts;
         let mut up = 1.0;
         for (i, &e) in set.edges.iter().enumerate() {
@@ -1290,6 +1305,13 @@ fn split_node(
             left: Box::new(left),
             right: Box::new(right),
         });
+    }
+    // The one-level cut engine and DeepCut sweep sides as binary spectra,
+    // which cannot represent per-link state mixtures. A multi-state
+    // subnetwork therefore never splits further in v1: it is swept whole by
+    // a scalar leaf, whose naive engine enumerates mixed-radix natively.
+    if net.has_multistate() {
+        return leaf_node(net, demand, opts);
     }
     // One-level engine bounds: checked at plan time either way, so the
     // caller learns the plan is infeasible before any budget is spent.
@@ -1421,8 +1443,11 @@ fn peel_side(
     }
     let aug = NodeId(side.net.node_count() as u32);
     let mut b = netgraph::NetworkBuilder::with_nodes(side.net.kind(), side.net.node_count() + 1);
-    for e in side.net.edges() {
-        b.add_edge(e.src, e.dst, e.capacity, e.fail_prob)?;
+    for (i, e) in side.net.edges().iter().enumerate() {
+        match side.net.spectrum(EdgeId::from(i)) {
+            Some(sp) => b.add_spectrum_edge(e.src, e.dst, sp.states())?,
+            None => b.add_edge(e.src, e.dst, e.capacity, e.fail_prob)?,
+        };
     }
     for i in 0..n_attach {
         match side.net.kind() {
@@ -1631,7 +1656,7 @@ fn build_node(
             reason: "demand exceeds the all-alive max flow",
         });
     }
-    if demand.demand == 1 && net.kind() == GraphKind::Undirected {
+    if demand.demand == 1 && net.kind() == GraphKind::Undirected && !net.has_multistate() {
         let red = reduce_unit_demand(net, demand.source, demand.sink);
         if red.net.edge_count() < net.edge_count() {
             let child = if red.source == red.sink {
@@ -1698,11 +1723,26 @@ fn leaf_node(
             max: EdgeMask::MAX_EDGES,
         });
     }
-    let fallible = net
-        .edges()
-        .iter()
-        .filter(|e| !(opts.factor_perfect_links && e.fail_prob == 0.0))
-        .count();
+    let (fallible, configs) = if net.has_multistate() {
+        // One digit per random link; the sweep walks the mixed-radix
+        // configuration space, so the predicted cost is the radix product.
+        let x = netgraph::StateExpansion::build(net).map_err(|_| {
+            ReliabilityError::EdgeMaskOverflow {
+                count: net.edge_count(),
+                max: EdgeMask::MAX_EDGES,
+            }
+        })?;
+        let radices = x.radices();
+        let configs = radices.iter().fold(1.0f64, |a, &r| a * r as f64);
+        (radices.len(), configs)
+    } else {
+        let fallible = net
+            .edges()
+            .iter()
+            .filter(|e| !(opts.factor_perfect_links && e.fail_prob == 0.0))
+            .count();
+        (fallible, (1u64 << fallible.min(63)) as f64)
+    };
     if fallible > opts.max_enum_edges {
         return Err(ReliabilityError::TooManyEdges {
             count: fallible,
@@ -1713,6 +1753,7 @@ fn leaf_node(
         net: net.clone(),
         demand,
         fallible,
+        configs,
         index: 0,
     })))
 }
@@ -1731,8 +1772,11 @@ fn side_subproblem(
 ) -> Result<(Network, FlowDemand), ReliabilityError> {
     let aug = NodeId(side.net.node_count() as u32);
     let mut b = netgraph::NetworkBuilder::with_nodes(side.net.kind(), side.net.node_count() + 1);
-    for e in side.net.edges() {
-        b.add_edge(e.src, e.dst, e.capacity, e.fail_prob)?;
+    for (i, e) in side.net.edges().iter().enumerate() {
+        match side.net.spectrum(EdgeId::from(i)) {
+            Some(sp) => b.add_spectrum_edge(e.src, e.dst, sp.states())?,
+            None => b.add_edge(e.src, e.dst, e.capacity, e.fail_prob)?,
+        };
     }
     for (i, &x) in amounts.iter().enumerate() {
         if x != 0 {
@@ -1899,7 +1943,7 @@ fn hash_side(sp: &SidePlan, h: &mut Fnv1a) {
 fn cost(node: &PlanNode) -> f64 {
     match node {
         PlanNode::Const { .. } => 0.0,
-        PlanNode::Leaf(l) => (1u64 << l.fallible.min(63)) as f64,
+        PlanNode::Leaf(l) => l.configs,
         PlanNode::Preprocess { child, .. }
         | PlanNode::SpReduce { child, .. }
         | PlanNode::Reduce { child, .. } => cost(child),
@@ -1931,7 +1975,7 @@ fn remaining_cost(node: &PlanNode, resume: Option<&PlanCheckpoint>) -> f64 {
             Some(PlanLeafState::Done { .. } | PlanLeafState::McDone { .. }) => 0.0,
             Some(PlanLeafState::Naive(ck)) => ck.cursor.remaining_configs() as f64,
             Some(PlanLeafState::MonteCarlo(mc)) => mc_remaining(mc),
-            _ => (1u64 << l.fallible.min(63)) as f64,
+            _ => l.configs,
         },
         PlanNode::Cut(c) => match state(c.index) {
             Some(PlanLeafState::Done { .. } | PlanLeafState::McDone { .. }) => 0.0,
@@ -2545,5 +2589,112 @@ mod tests {
             }
             PlanOutcome::Complete { .. } => panic!("tiny budget must interrupt"),
         }
+    }
+
+    /// A binary triangle joined by a binary bridge to a side holding a
+    /// 3-state link: the planner bridges at the cut and the multi-state
+    /// side becomes a scalar leaf swept mixed-radix.
+    fn degraded_side_net() -> (Network, FlowDemand) {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(5);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap();
+        b.add_edge(n[1], n[2], 2, 0.1).unwrap();
+        b.add_edge(n[2], n[0], 2, 0.1).unwrap();
+        b.add_edge(n[2], n[3], 2, 0.2).unwrap(); // binary bridge
+        b.add_spectrum_edge(n[3], n[4], &[(0, 0.2), (1, 0.3), (2, 0.5)])
+            .unwrap();
+        b.add_edge(n[3], n[4], 1, 0.4).unwrap();
+        let net = b.build();
+        // demand 2 keeps the spectrum's states distinguishable — at demand 1
+        // the state-merge pass would (correctly) collapse it to binary
+        (net, FlowDemand::new(n[0], n[4], 2))
+    }
+
+    fn count_multistate_leaves(node: &PlanNode, found: &mut usize) {
+        match node {
+            PlanNode::Leaf(l) if l.net.has_multistate() => {
+                *found += 1;
+                let expected: f64 = netgraph::StateExpansion::build(&l.net)
+                    .unwrap()
+                    .radices()
+                    .iter()
+                    .fold(1.0, |a, &r| a * r as f64);
+                assert_eq!(l.configs, expected, "leaf cost must be the radix product");
+            }
+            PlanNode::Leaf(_) => {}
+            PlanNode::Preprocess { child, .. }
+            | PlanNode::SpReduce { child, .. }
+            | PlanNode::Reduce { child, .. } => count_multistate_leaves(child, found),
+            PlanNode::Bridge { left, right, .. } => {
+                count_multistate_leaves(left, found);
+                count_multistate_leaves(right, found);
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn multistate_side_becomes_scalar_leaf_and_matches_naive() {
+        let (net, demand) = degraded_side_net();
+        let opts = CalcOptions::default();
+        let plan = plan_for_k(&net, demand, &opts, 1);
+        // no Cut/DeepCut machinery may touch the spectrum side
+        let mut multistate_leaves = 0;
+        count_multistate_leaves(plan.root_node(), &mut multistate_leaves);
+        assert!(
+            multistate_leaves >= 1,
+            "the spectrum side must survive into a scalar leaf:\n{}",
+            plan.render()
+        );
+        let exact = reliability_naive(&net, demand, &opts).unwrap();
+        let r = run_complete(&plan, &opts);
+        assert!((r - exact).abs() < 1e-12, "plan {r} vs naive {exact}");
+    }
+
+    #[test]
+    fn multistate_net_with_nonsingleton_cut_sweeps_whole() {
+        // double diamond with a 2-link binary cut, one side link multi-state:
+        // |D| > 1, so split_node must refuse to decompose and sweep whole
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1], 2, 0.1).unwrap();
+        b.add_edge(n[0], n[2], 2, 0.1).unwrap();
+        b.add_edge(n[1], n[3], 2, 0.1).unwrap(); // cut
+        b.add_edge(n[2], n[4], 2, 0.1).unwrap(); // cut
+        b.add_spectrum_edge(n[3], n[5], &[(0, 0.1), (1, 0.4), (2, 0.5)])
+            .unwrap();
+        b.add_edge(n[4], n[5], 2, 0.1).unwrap();
+        let net = b.build();
+        let demand = FlowDemand::new(n[0], n[5], 2);
+        let opts = CalcOptions::default();
+        let set = find_bottleneck_set(&net, demand.source, demand.sink, 2).unwrap();
+        assert!(set.edges.iter().all(|&e| net.spectrum(e).is_none()));
+        let plan = DecompositionPlan::plan_on_set(&net, demand, &set, &opts, 2).unwrap();
+        let exact = reliability_naive(&net, demand, &opts).unwrap();
+        let r = run_complete(&plan, &opts);
+        assert!((r - exact).abs() < 1e-12, "plan {r} vs naive {exact}");
+    }
+
+    #[test]
+    fn binary_leaf_configs_unchanged() {
+        let (net, demand) = chained_barbell(2, 0.1);
+        let opts = CalcOptions::default();
+        let plan = plan_for_k(&net, demand, &opts, 1);
+        fn walk(node: &PlanNode) {
+            match node {
+                PlanNode::Leaf(l) => {
+                    assert_eq!(l.configs, (1u64 << l.fallible.min(63)) as f64);
+                }
+                PlanNode::Preprocess { child, .. }
+                | PlanNode::SpReduce { child, .. }
+                | PlanNode::Reduce { child, .. } => walk(child),
+                PlanNode::Bridge { left, right, .. } => {
+                    walk(left);
+                    walk(right);
+                }
+                _ => {}
+            }
+        }
+        walk(plan.root_node());
     }
 }

@@ -57,6 +57,9 @@ pub fn relevance_reduce(net: &Network, demand: FlowDemand) -> RelevantNetwork {
         if e.src == e.dst || e.capacity == 0 {
             return false; // self-loops and zero-capacity links never matter
         }
+        if e.fail_prob >= 1.0 {
+            return false; // an always-down link behaves as a deleted one
+        }
         match net.kind() {
             GraphKind::Directed => reach.contains(e.src.index()) && co.contains(e.dst.index()),
             // undirected: usable in either direction
@@ -92,12 +95,12 @@ pub fn relevance_reduce(net: &Network, demand: FlowDemand) -> RelevantNetwork {
     }
     for &i in &keep {
         let e = &net.edges()[i];
-        b.add_edge(
-            NodeId::from(remap[e.src.index()]),
-            NodeId::from(remap[e.dst.index()]),
-            e.capacity,
-            e.fail_prob,
-        )
+        let src = NodeId::from(remap[e.src.index()]);
+        let dst = NodeId::from(remap[e.dst.index()]);
+        match net.spectrum(netgraph::EdgeId::from(i)) {
+            Some(sp) => b.add_spectrum_edge(src, dst, sp.states()),
+            None => b.add_edge(src, dst, e.capacity, e.fail_prob),
+        }
         .unwrap_or_else(|e| unreachable!("probabilities are already validated: {e}"));
     }
     let removed = net.edge_count() - keep.len();
@@ -196,6 +199,34 @@ mod tests {
         let r = reliability_naive(&net, d, &CalcOptions::default()).unwrap();
         let expected = 1.0 - (1.0 - 0.9 * 0.8) * 0.3;
         assert!((r - expected).abs() < 1e-12, "{r} vs {expected}");
+    }
+
+    #[test]
+    fn always_down_links_are_deleted() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_edge(n[0], n[1], 5, 1.0).unwrap(); // never up
+        let net = b.build();
+        let red = relevance_reduce(&net, FlowDemand::new(n[0], n[1], 1));
+        assert_eq!(red.removed, 1);
+        assert_eq!(red.edge_origin, vec![0]);
+    }
+
+    #[test]
+    fn reduction_carries_spectra() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(4);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.25), (1, 0.25), (2, 0.5)])
+            .unwrap();
+        b.add_edge(n[1], n[2], 2, 0.125).unwrap();
+        b.add_edge(n[1], n[3], 1, 0.5).unwrap(); // dead-end spur: dropped
+        let net = b.build();
+        let red = relevance_reduce(&net, FlowDemand::new(n[0], n[2], 1));
+        assert_eq!(red.removed, 1);
+        assert!(red.net.has_multistate());
+        let sp = red.net.spectrum(netgraph::EdgeId(0)).unwrap();
+        assert_eq!(sp.states(), &[(0, 0.25), (1, 0.25), (2, 0.5)]);
     }
 
     #[test]

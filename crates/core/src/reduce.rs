@@ -30,6 +30,17 @@
 //!    with probability `Π pᵢ`. Bundles with a member below the bound are
 //!    left alone (their spectrum has distinguishable intermediate levels).
 //!
+//! Multi-state links join the pipeline through a **state-merge pass**: when
+//! a bundle's capacity factor clamps a spectrum link, every state capacity
+//! is clamped to the bound and states that land on the same effective value
+//! merge exactly (their probabilities add — no configuration could tell
+//! them apart through the bundle). A spectrum collapsing to two states
+//! becomes a plain binary link, and one collapsing to a single state
+//! becomes a perfect link, shrinking the mixed-radix exponent. Forced-link
+//! conditioning and parallel merging stay binary-only: a multi-state member
+//! makes a bundle's realized spectrum more than two-valued, so those
+//! bundles are left alone.
+//!
 //! The `clamp_to_demand` flag additionally caps every bound at the demand
 //! `d`. That preserves the *predicate* `max_flow ≥ d` but not per-
 //! configuration flow values, so it is only sound for a top-level
@@ -172,7 +183,11 @@ impl Reduction {
 }
 
 fn count_fallible(net: &Network) -> usize {
-    net.edges().iter().filter(|e| e.fail_prob > 0.0).count()
+    net.edges()
+        .iter()
+        .enumerate()
+        .filter(|&(i, e)| e.fail_prob > 0.0 || net.spectrum(EdgeId::from(i)).is_some())
+        .count()
 }
 
 /// Safety cap on fixed-point rounds. Each productive round removes or clamps
@@ -329,25 +344,32 @@ pub fn reduce(
                 }
             }
             // forced-link conditioning: a perfect link covering the whole
-            // (unclamped) bundle bound makes its endpoints one node
+            // (unclamped) bundle bound makes its endpoints one node. A
+            // multi-state link never qualifies — its nominal capacity is
+            // only the best state, not a guaranteed width.
             if contraction.is_none()
                 && cur.kind() == GraphKind::Undirected
                 && bound != u64::MAX
                 && !(u == s && v == t)
                 && !(u == t && v == s)
             {
-                if let Some(&i) = members
-                    .iter()
-                    .find(|&&i| cur.edges()[i].fail_prob == 0.0 && cur.edges()[i].capacity >= bound)
-                {
+                if let Some(&i) = members.iter().find(|&&i| {
+                    cur.spectrum(EdgeId::from(i)).is_none()
+                        && cur.edges()[i].fail_prob == 0.0
+                        && cur.edges()[i].capacity >= bound
+                }) {
                     contraction = Some((u, v, i));
                     changed = true;
                     continue; // bundle partners become self-loops next round
                 }
             }
-            // parallel merge: exact when the bundle spectrum is two-valued
+            // parallel merge: exact when the bundle spectrum is two-valued,
+            // which a multi-state member rules out
             if members.len() >= 2
                 && eff != u64::MAX
+                && members
+                    .iter()
+                    .all(|&i| cur.spectrum(EdgeId::from(i)).is_none())
                 && members.iter().all(|&i| cur.edges()[i].capacity >= eff)
             {
                 let fail: f64 = members.iter().map(|&i| cur.edges()[i].fail_prob).product();
@@ -398,7 +420,7 @@ pub fn reduce(
             match fate[i] {
                 Fate::Delete | Fate::Merge => {}
                 Fate::Keep { capacity } => {
-                    push_edge(&mut b, remap(e.src), remap(e.dst), capacity, e.fail_prob);
+                    push_reduced_edge(&mut b, &cur, i, remap(e.src), remap(e.dst), capacity);
                     next_origin.push(edge_origin[i].clone());
                 }
             }
@@ -446,13 +468,14 @@ pub fn reduce(
                 }
             }
             let mut b = NetworkBuilder::with_nodes(cur.kind(), next);
-            for e in cur.edges() {
-                push_edge(
+            for (i, e) in cur.edges().iter().enumerate() {
+                push_reduced_edge(
                     &mut b,
+                    &cur,
+                    i,
                     map[e.src.index()],
                     map[e.dst.index()],
                     e.capacity,
-                    e.fail_prob,
                 );
             }
             cur = b.build();
@@ -479,6 +502,34 @@ pub fn reduce(
 fn push_edge(b: &mut NetworkBuilder, src: NodeId, dst: NodeId, capacity: u64, fail_prob: f64) {
     if let Err(e) = b.add_edge(src, dst, capacity, fail_prob) {
         unreachable!("reduction re-emitted an invalid edge: {e}");
+    }
+}
+
+/// Re-emits link `i` of `net` with its capacity clamped to `capacity`. For a
+/// multi-state link this is the state-merge pass: every state capacity is
+/// clamped, equal-capacity states merge (probabilities add), and a spectrum
+/// collapsing to two states — or one — re-classifies into a plain binary or
+/// perfect link, all inside the builder.
+fn push_reduced_edge(
+    b: &mut NetworkBuilder,
+    net: &Network,
+    i: usize,
+    src: NodeId,
+    dst: NodeId,
+    capacity: u64,
+) {
+    match net.spectrum(EdgeId::from(i)) {
+        Some(sp) => {
+            let states: Vec<(u64, f64)> = sp
+                .states()
+                .iter()
+                .map(|&(c, p)| (c.min(capacity), p))
+                .collect();
+            if let Err(e) = b.add_spectrum_edge(src, dst, &states) {
+                unreachable!("reduction re-emitted an invalid spectrum: {e}");
+            }
+        }
+        None => push_edge(b, src, dst, capacity, net.edges()[i].fail_prob),
     }
 }
 
@@ -650,6 +701,57 @@ mod tests {
         assert_eq!(red.stats.merged, 1, "{}", red.summary());
         assert_eq!(red.net.edge_count(), 3);
         assert!(!red.originals_of(&[EdgeId(0)]).is_empty());
+    }
+
+    #[test]
+    fn state_merge_collapses_clamped_spectrum() {
+        // s =(3-state)= a -1- t: the bundle bound is 1, so states 1 and 5
+        // clamp to the same effective value and the spectrum collapses to a
+        // plain binary link (p = its down state)
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(3);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (5, 0.5)])
+            .unwrap();
+        b.add_edge(n[1], n[2], 1, 0.125).unwrap();
+        let net = b.build();
+        assert!(net.has_multistate());
+        let red = check_exact(&net, FlowDemand::new(n[0], n[2], 1));
+        assert!(!red.net.has_multistate(), "{}", red.summary());
+        assert!(red.stats.clamped >= 1);
+        let e = &red.net.edges()[0];
+        assert_eq!(e.capacity, 1);
+        assert!((e.fail_prob - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multistate_spectrum_survives_partial_clamp() {
+        // bound 2 keeps states 0/1/2 distinguishable: the spectrum stays
+        // multi-state, with the top state clamped from 5 to 2
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(3);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (5, 0.5)])
+            .unwrap();
+        b.add_edge(n[1], n[2], 2, 0.125).unwrap();
+        let net = b.build();
+        let red = check_exact(&net, FlowDemand::new(n[0], n[2], 2));
+        assert!(red.net.has_multistate());
+        let sp = red.net.spectrum(EdgeId(0)).unwrap();
+        assert_eq!(sp.states(), &[(0, 0.2), (1, 0.3), (2, 0.5)]);
+    }
+
+    #[test]
+    fn multistate_bundles_never_merge_or_contract() {
+        let mut b = NetworkBuilder::new(GraphKind::Undirected);
+        let n = b.add_nodes(2);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.25), (1, 0.25), (2, 0.5)])
+            .unwrap();
+        b.add_edge(n[0], n[1], 2, 0.5).unwrap();
+        let net = b.build();
+        let red = check_exact(&net, FlowDemand::new(n[0], n[1], 2));
+        assert_eq!(red.stats.merged, 0);
+        assert_eq!(red.stats.contracted, 0);
+        assert_eq!(red.net.edge_count(), 2);
+        assert!(red.net.has_multistate());
     }
 
     #[test]

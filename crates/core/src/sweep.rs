@@ -42,7 +42,7 @@
 
 use exactmath::NeumaierSum;
 use maxflow::RepairStats;
-use netgraph::EdgeMask;
+use netgraph::{EdgeMask, StateExpansion};
 use rayon::prelude::*;
 
 use crate::budget::BudgetSentinel;
@@ -702,6 +702,411 @@ where
     None
 }
 
+/// Geometry of a mixed-radix sweep over a tranche-expanded network (see
+/// [`netgraph::spectrum`]): configuration `c ∈ [0, Π radices)` decodes into
+/// one state digit per fallible link, and digit `j` holding value `v` means
+/// tranche arcs `1..=v` of that link are alive in the expanded edge mask.
+///
+/// Binary networks never build one of these — they keep the plain
+/// [`SweepGeometry`] bitmask path — so an all-binary instance takes exactly
+/// the same code bit for bit whether or not this type exists.
+pub struct MixedGeometry {
+    /// Per-digit radix (number of states), in digit order.
+    radices: Vec<u32>,
+    /// `tranche_bits[j][i]`: single-bit mask of the expanded arc that flips
+    /// when digit `j` steps between values `i` and `i + 1`.
+    tranche_bits: Vec<Vec<u64>>,
+    /// `value_bits[j][v]`: OR of the tranche bits alive at digit value `v`.
+    value_bits: Vec<Vec<u64>>,
+    /// Mixed-radix place values: `place[j] = Π_{i<j} radices[i]`, with
+    /// `place[digits] = Π radices` (the configuration total).
+    place: Vec<u64>,
+    /// Expanded-arc bits pinned alive in every configuration.
+    pinned: u64,
+    /// Expanded-arc count (full mask width).
+    edge_count: usize,
+}
+
+impl MixedGeometry {
+    /// Builds the sweep geometry of a tranche expansion. Returns `None` when
+    /// `Π radices` overflows the sweep cursor (no such sweep is enumerable
+    /// anyway).
+    pub fn from_expansion(x: &StateExpansion) -> Option<MixedGeometry> {
+        x.config_total()?;
+        let mut place = Vec::with_capacity(x.digits.len() + 1);
+        let mut p = 1u64;
+        for d in &x.digits {
+            place.push(p);
+            p *= d.radix as u64;
+        }
+        place.push(p);
+        Some(MixedGeometry {
+            radices: x.digits.iter().map(|d| d.radix as u32).collect(),
+            tranche_bits: x
+                .digits
+                .iter()
+                .map(|d| d.tranche_arcs.iter().map(|&a| 1u64 << a).collect())
+                .collect(),
+            value_bits: x
+                .digits
+                .iter()
+                .map(|d| (0..d.radix).map(|v| d.value_bits(v)).collect())
+                .collect(),
+            place,
+            pinned: x.pinned,
+            edge_count: x.net.edge_count(),
+        })
+    }
+
+    /// Number of state digits (fallible links).
+    pub fn digits(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// Total number of configurations `Π radices`.
+    pub fn total(&self) -> u64 {
+        *self.place.last().unwrap_or(&1)
+    }
+
+    /// The per-digit radices.
+    pub fn radices(&self) -> &[u32] {
+        &self.radices
+    }
+
+    /// Expanded mask with every tranche alive (all links in their best
+    /// state).
+    fn best_bits(&self) -> u64 {
+        self.value_bits
+            .iter()
+            .zip(&self.radices)
+            .fold(self.pinned, |b, (vb, &r)| b | vb[r as usize - 1])
+    }
+}
+
+/// Split-product weight table for mixed-radix digits, the analogue of
+/// [`WeightTable`]: the low factor tabulates every combination of the first
+/// `low_digits` digits (at most `2^BLOCK_BITS` entries), the high factor is
+/// a product over the remaining digits that changes only when one of them
+/// steps.
+struct MixedWeightTable<W> {
+    low: Vec<W>,
+    low_digits: usize,
+    low_size: u64,
+}
+
+impl<W: Weight> MixedWeightTable<W> {
+    /// `weights[j][v]` is the probability weight of digit `j` holding state
+    /// `v`.
+    fn new(weights: &[Vec<W>], radices: &[u32]) -> Self {
+        let mut b = 0usize;
+        let mut size = 1u64;
+        while b < radices.len() && size * radices[b] as u64 <= 1u64 << BLOCK_BITS {
+            size *= radices[b] as u64;
+            b += 1;
+        }
+        let mut low = vec![W::one()];
+        for (j, w) in weights.iter().enumerate().take(b) {
+            let mut next = Vec::with_capacity(low.len() * radices[j] as usize);
+            for v in w {
+                for t in &low {
+                    next.push(t.mul(v));
+                }
+            }
+            low = next;
+        }
+        MixedWeightTable {
+            low,
+            low_digits: b,
+            low_size: size,
+        }
+    }
+
+    /// Product over the digits at positions `low_digits..` for the digit
+    /// values in `g`.
+    fn high_product(&self, weights: &[Vec<W>], g: &[u32]) -> W {
+        let mut p = W::one();
+        for (w, &v) in weights.iter().zip(g).skip(self.low_digits) {
+            p = p.mul(&w[v as usize]);
+        }
+        p
+    }
+
+    /// Weight of the configuration whose Gray digit value is `gval`, given
+    /// its block's high product.
+    fn weight(&self, gval: u64, high: &W) -> W {
+        self.low[(gval % self.low_size) as usize].mul(high)
+    }
+}
+
+/// The cursor state of a mixed-radix reflected Gray walk.
+///
+/// Like the binary Gray code, successive configurations differ in exactly
+/// one digit by ±1, so exactly one tranche arc of the expanded network flips
+/// per step — which is what keeps monotonicity certificates and warm-start
+/// flow repair exactly as effective as in the binary sweep. The reflected
+/// construction is the standard one (Knuth 7.2.1.1): digit `j` sweeps
+/// `0..radix` ascending or descending depending on the parity of the plain
+/// value of the digits above it.
+struct MixedWalker {
+    /// Plain mixed-radix digits of the current index `c`.
+    a: Vec<u32>,
+    /// Reflected Gray digits of `c` (the digits actually realized).
+    g: Vec<u32>,
+    /// Gray digits re-encoded as a mixed-radix value, indexing the weight
+    /// table.
+    gval: u64,
+    /// Expanded-arc mask bits realized by `g` (pinned bits included).
+    bits: u64,
+}
+
+impl MixedWalker {
+    /// Decodes the walk state at an arbitrary index `lo` — worker ranges and
+    /// checkpoint resumes start mid-sequence.
+    fn at(geom: &MixedGeometry, lo: u64) -> MixedWalker {
+        let d = geom.digits();
+        let mut a = vec![0u32; d];
+        let mut g = vec![0u32; d];
+        let mut gval = 0u64;
+        let mut bits = geom.pinned;
+        for j in 0..d {
+            let r = geom.radices[j];
+            a[j] = ((lo / geom.place[j]) % r as u64) as u32;
+            let above = lo / geom.place[j + 1];
+            g[j] = if above & 1 == 0 { a[j] } else { r - 1 - a[j] };
+            gval += g[j] as u64 * geom.place[j];
+            bits |= geom.value_bits[j][g[j] as usize];
+        }
+        MixedWalker { a, g, gval, bits }
+    }
+
+    /// Advances from index `c` to `c + 1`; returns the digit that stepped.
+    /// `c + 1` must be in range (the caller owns the bounds check).
+    fn step(&mut self, geom: &MixedGeometry, c_next: u64) -> usize {
+        let mut t = 0usize;
+        while self.a[t] == geom.radices[t] - 1 {
+            self.a[t] = 0;
+            t += 1;
+        }
+        self.a[t] += 1;
+        let above = c_next / geom.place[t + 1];
+        if above & 1 == 0 {
+            // digit t sweeps ascending here: g[t] follows a[t] up
+            self.bits ^= geom.tranche_bits[t][self.g[t] as usize];
+            self.g[t] += 1;
+            self.gval += geom.place[t];
+        } else {
+            self.g[t] -= 1;
+            self.bits ^= geom.tranche_bits[t][self.g[t] as usize];
+            self.gval -= geom.place[t];
+        }
+        t
+    }
+}
+
+/// Mixed-radix form of [`sweep_sum`]: sums the weights of all feasible state
+/// configurations of a tranche expansion, where `weights[j][v]` is the
+/// probability of digit `j` holding state `v`.
+pub fn sweep_sum_mixed<W, A, O>(
+    oracle: &O,
+    geom: &MixedGeometry,
+    weights: &[Vec<W>],
+    cfg: &SweepConfig,
+) -> (W, SweepStats)
+where
+    W: Weight,
+    A: SweepAccumulator<W>,
+    O: SweepOracle + Clone + Send + Sync,
+{
+    let sentinel = BudgetSentinel::unlimited();
+    let (partial, stats) =
+        sweep_sum_mixed_budgeted::<W, A, O>(oracle, geom, weights, cfg, &sentinel, None);
+    debug_assert!(partial.is_complete(), "unlimited sweeps always finish");
+    (partial.feasible.finish(), stats)
+}
+
+/// Budget-guarded form of [`sweep_sum_mixed`], the exact analogue of
+/// [`sweep_sum_budgeted`]: same partial-sum contract, same bit-identical
+/// serial resume guarantee, same chunked parallel fan-out (the reflected
+/// Gray walk decodes at any index, so workers and resumed runs start
+/// mid-sequence just like the binary engine).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_sum_mixed_budgeted<W, A, O>(
+    oracle: &O,
+    geom: &MixedGeometry,
+    weights: &[Vec<W>],
+    cfg: &SweepConfig,
+    sentinel: &BudgetSentinel,
+    resume: Option<PartialSum<A>>,
+) -> (PartialSum<A>, SweepStats)
+where
+    W: Weight,
+    A: SweepAccumulator<W>,
+    O: SweepOracle + Clone + Send + Sync,
+{
+    let d = geom.digits();
+    assert_eq!(weights.len(), d, "one weight vector per state digit");
+    let total = geom.total();
+    let wt = MixedWeightTable::new(weights, &geom.radices);
+    let (mut feasible, mut explored, work, warm) = match resume {
+        Some(p) => (p.feasible, p.explored, coalesce(p.remaining), p.certs),
+        None => (A::empty(), A::empty(), vec![(0, total)], Vec::new()),
+    };
+    debug_assert!(work.iter().all(|&(_, hi)| hi <= total));
+    if cfg.fan_out(d, ranges_len(&work)) {
+        let mut seed_stats = SweepStats::default();
+        let mut seeds = if cfg.certificates {
+            let mut probe = oracle.clone();
+            seed_certs(
+                &mut probe,
+                [
+                    EdgeMask::from_bits(geom.best_bits(), geom.edge_count),
+                    EdgeMask::from_bits(geom.pinned, geom.edge_count),
+                ],
+                &mut seed_stats,
+            )
+        } else {
+            Vec::new()
+        };
+        seeds.extend(warm.iter().copied().take(cfg.cache_size));
+        let pieces = split_ranges(&work, rayon::current_num_threads() * 8);
+        let results: Vec<_> = pieces
+            .into_par_iter()
+            .map(|(lo, hi)| {
+                let mut local = oracle.clone();
+                local.set_incremental(cfg.incremental);
+                local.invalidate_warm();
+                let mut cache = seeded_cache(cfg, &seeds);
+                let mut stats = SweepStats::default();
+                let mut f = A::empty();
+                let mut x = A::empty();
+                let stop = sum_range_guarded_mixed::<W, A, O>(
+                    &mut local, &mut cache, &mut stats, lo, hi, geom, &wt, weights, sentinel,
+                    &mut f, &mut x,
+                );
+                stats.absorb_repairs(&local.take_repair_stats());
+                let certs = cache.map(|c| c.export()).unwrap_or_default();
+                (f, x, stop.map(|s| (s, hi)), certs, stats)
+            })
+            .collect_vec();
+        let mut stats = seed_stats;
+        let mut remaining = Vec::new();
+        let mut certs = Vec::new();
+        for (f, x, leftover, ex, st) in results {
+            feasible.merge(f);
+            explored.merge(x);
+            remaining.extend(leftover);
+            certs.extend(ex);
+            stats.merge(&st);
+        }
+        certs.truncate(4 * cfg.cache_size.max(1));
+        let partial = PartialSum {
+            feasible,
+            explored,
+            remaining: coalesce(remaining),
+            certs,
+        };
+        (partial, stats)
+    } else {
+        let mut local = oracle.clone();
+        local.set_incremental(cfg.incremental);
+        let mut cache = seeded_cache(cfg, &warm);
+        let mut stats = SweepStats::default();
+        let mut remaining = Vec::new();
+        for (k, &(lo, hi)) in work.iter().enumerate() {
+            local.invalidate_warm();
+            if let Some(stop) = sum_range_guarded_mixed::<W, A, O>(
+                &mut local,
+                &mut cache,
+                &mut stats,
+                lo,
+                hi,
+                geom,
+                &wt,
+                weights,
+                sentinel,
+                &mut feasible,
+                &mut explored,
+            ) {
+                remaining.push((stop, hi));
+                remaining.extend_from_slice(&work[k + 1..]);
+                break;
+            }
+        }
+        stats.absorb_repairs(&local.take_repair_stats());
+        let certs = cache.map(|c| c.export()).unwrap_or_default();
+        let partial = PartialSum {
+            feasible,
+            explored,
+            remaining,
+            certs,
+        };
+        (partial, stats)
+    }
+}
+
+/// One worker's share of [`sweep_sum_mixed_budgeted`]: reflected-Gray walk
+/// over `lo..hi` with one tranche-arc flip per step, split-product weights,
+/// and a budget poll every [`BATCH`] configurations.
+#[allow(clippy::too_many_arguments)]
+fn sum_range_guarded_mixed<W, A, O>(
+    oracle: &mut O,
+    cache: &mut Option<CertCache>,
+    stats: &mut SweepStats,
+    lo: u64,
+    hi: u64,
+    geom: &MixedGeometry,
+    wt: &MixedWeightTable<W>,
+    weights: &[Vec<W>],
+    sentinel: &BudgetSentinel,
+    feasible: &mut A,
+    explored: &mut A,
+) -> Option<u64>
+where
+    W: Weight,
+    A: SweepAccumulator<W>,
+    O: SweepOracle,
+{
+    if lo >= hi {
+        return None;
+    }
+    let track = !sentinel.is_unlimited();
+    let mut walker = MixedWalker::at(geom, lo);
+    let mut high = wt.high_product(weights, &walker.g);
+    let mut c = lo;
+    while c < hi {
+        let granted = sentinel.grant(1, (hi - c).min(BATCH));
+        if granted == 0 {
+            return Some(c);
+        }
+        for _ in 0..granted {
+            let ok = classify_or_solve(
+                oracle,
+                cache,
+                EdgeMask::from_bits(walker.bits, geom.edge_count),
+                stats,
+            );
+            if track {
+                let w = wt.weight(walker.gval, &high);
+                if ok {
+                    feasible.add(w.clone());
+                }
+                explored.add(w);
+            } else if ok {
+                feasible.add(wt.weight(walker.gval, &high));
+            }
+            c += 1;
+            if c >= hi {
+                break;
+            }
+            let t = walker.step(geom, c);
+            if t >= wt.low_digits {
+                high = wt.high_product(weights, &walker.g);
+            }
+        }
+    }
+    None
+}
+
 /// The state of a (possibly interrupted) [`sweep_spectrum_budgeted`] run.
 ///
 /// `remaining` empty means `mass` is the complete realization spectrum.
@@ -1336,6 +1741,139 @@ mod tests {
             rounds >= 3,
             "16 configs in 5-config slices: {rounds} rounds"
         );
+    }
+
+    fn mixed_fixture() -> (Network, StateExpansion) {
+        // s→t: a 3-state link {0: 0.2, 1: 0.3, 2: 0.5} in parallel with a
+        // binary link (cap 1, p = 0.4); demand 2.
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let s = b.add_node();
+        let t = b.add_node();
+        b.add_spectrum_edge(s, t, &[(0, 0.2), (1, 0.3), (2, 0.5)])
+            .unwrap();
+        b.add_edge(s, t, 1, 0.4).unwrap();
+        let net = b.build();
+        let x = StateExpansion::build(&net).unwrap();
+        (net, x)
+    }
+
+    #[test]
+    fn mixed_walker_visits_every_config_once_one_flip_apart() {
+        let (_, x) = mixed_fixture();
+        let geom = MixedGeometry::from_expansion(&x).unwrap();
+        assert_eq!(geom.total(), 6);
+        let mut w = MixedWalker::at(&geom, 0);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(w.bits);
+        let mut prev = w.bits;
+        for c in 1..geom.total() {
+            w.step(&geom, c);
+            assert_eq!(
+                (w.bits ^ prev).count_ones(),
+                1,
+                "exactly one tranche arc flips per step"
+            );
+            prev = w.bits;
+            assert!(seen.insert(w.bits), "mask revisited at c={c}");
+            // decoding at c must agree with stepping to c
+            let direct = MixedWalker::at(&geom, c);
+            assert_eq!(direct.bits, w.bits);
+            assert_eq!(direct.g, w.g);
+            assert_eq!(direct.gval, w.gval);
+        }
+        assert_eq!(seen.len(), 6, "all 6 configurations visited");
+    }
+
+    #[test]
+    fn mixed_walker_matches_binary_gray_on_all_binary_radices() {
+        // a 4-digit all-binary instance: the reflected mixed-radix walk must
+        // realize exactly the classic Gray sequence c ^ (c >> 1)
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let s = b.add_node();
+        let t = b.add_node();
+        for i in 0..4 {
+            b.add_edge(s, t, 1, 0.1 + 0.1 * i as f64).unwrap();
+        }
+        let net = b.build();
+        let x = StateExpansion::build(&net).unwrap();
+        let geom = MixedGeometry::from_expansion(&x).unwrap();
+        let mut w = MixedWalker::at(&geom, 0);
+        for c in 0..16u64 {
+            if c > 0 {
+                w.step(&geom, c);
+            }
+            assert_eq!(w.bits, c ^ (c >> 1), "c={c}");
+            assert_eq!(w.gval, c ^ (c >> 1));
+        }
+    }
+
+    #[test]
+    fn mixed_sweep_sums_state_probabilities() {
+        let (_, x) = mixed_fixture();
+        let geom = MixedGeometry::from_expansion(&x).unwrap();
+        let oracle = DemandOracle::new(&x.net, NodeId(0), NodeId(1), 2, SolverKind::Dinic);
+        let weights: Vec<Vec<f64>> = x.digits.iter().map(|d| d.probs.clone()).collect();
+        // P(c1 + c2 ≥ 2) = P(c1=2) + P(c1=1)·P(c2=1) = 0.5 + 0.3·0.6
+        let expected = 0.5 + 0.3 * 0.6;
+        for cfg in [
+            SweepConfig::serial(),
+            SweepConfig {
+                certificates: true,
+                cache_size: 8,
+                ..SweepConfig::serial()
+            },
+            SweepConfig {
+                incremental: true,
+                ..SweepConfig::serial()
+            },
+        ] {
+            let (r, stats) =
+                sweep_sum_mixed::<f64, CompensatedAcc, _>(&oracle, &geom, &weights, &cfg);
+            assert!((r - expected).abs() < 1e-12, "{r} vs {expected}");
+            assert_eq!(stats.configs, 6);
+        }
+    }
+
+    #[test]
+    fn mixed_budgeted_sum_stops_and_resumes_bit_identical() {
+        let (_, x) = mixed_fixture();
+        let geom = MixedGeometry::from_expansion(&x).unwrap();
+        let oracle = DemandOracle::new(&x.net, NodeId(0), NodeId(1), 2, SolverKind::Dinic);
+        let weights: Vec<Vec<f64>> = x.digits.iter().map(|d| d.probs.clone()).collect();
+        let cfg = SweepConfig {
+            certificates: true,
+            cache_size: 8,
+            ..SweepConfig::serial()
+        };
+        let (full, _) = sweep_sum_mixed::<f64, CompensatedAcc, _>(&oracle, &geom, &weights, &cfg);
+        let mut partial: Option<PartialSum<CompensatedAcc>> = None;
+        let mut rounds = 0;
+        loop {
+            let budget = Budget {
+                max_configs: Some(2),
+                ..Default::default()
+            };
+            let sentinel = budget.start();
+            let (p, _) = sweep_sum_mixed_budgeted::<f64, CompensatedAcc, _>(
+                &oracle,
+                &geom,
+                &weights,
+                &cfg,
+                &sentinel,
+                partial.take(),
+            );
+            rounds += 1;
+            if p.is_complete() {
+                assert_eq!(
+                    p.feasible.finish().to_bits(),
+                    full.to_bits(),
+                    "serial mixed resume must be bit-identical"
+                );
+                break;
+            }
+            partial = Some(p);
+        }
+        assert!(rounds >= 3, "6 configs in 2-config slices: {rounds} rounds");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! *same* code, the exact run validates the float run end to end.
 
 use exactmath::BigRational;
-use netgraph::Network;
+use netgraph::{Network, StateExpansion};
 
 /// A commutative ring with subtraction, rich enough for probability algebra.
 pub trait Weight: Clone + PartialEq + std::fmt::Debug + Send + Sync {
@@ -87,6 +87,27 @@ pub fn edge_weights_exact(net: &Network) -> EdgeWeights<BigRational> {
             let p = BigRational::from_f64(e.fail_prob);
             (p.complement(), p)
         })
+        .collect()
+}
+
+/// Per-digit state probability vectors: `weights[j][v]` is the probability
+/// of state digit `j` (of a tranche expansion) holding state `v`.
+pub type DigitWeights<W> = Vec<Vec<W>>;
+
+/// The per-digit state probabilities of a tranche expansion, as `f64` —
+/// binary digits contribute `[p, 1 − p]`, multi-state digits their spectrum
+/// probabilities ascending by capacity.
+pub fn digit_weights(x: &StateExpansion) -> DigitWeights<f64> {
+    x.digits.iter().map(|d| d.probs.clone()).collect()
+}
+
+/// The per-digit state probabilities of a tranche expansion, as exact
+/// rationals (the stored `f64` probabilities are dyadic, so the conversion
+/// is exact).
+pub fn digit_weights_exact(x: &StateExpansion) -> DigitWeights<BigRational> {
+    x.digits
+        .iter()
+        .map(|d| d.probs.iter().map(|&p| BigRational::from_f64(p)).collect())
         .collect()
 }
 

@@ -20,16 +20,26 @@
 //! a dagger plan whose every stratum is monotonically decided returns the
 //! exact reliability outright, and the permutation plan recognizes `R = 1` /
 //! `R = 0` instances from two flow evaluations.
+//!
+//! **Multi-state networks** (links carrying capacity spectra) are supported
+//! by the crude and permutation estimators, which sample over the network's
+//! tranche expansion: crude draws each link's state from its spectrum
+//! (one categorical draw per link), permutation runs Botev's
+//! capacity-ordered construction process with one repair clock per capacity
+//! tranche (see [`crate::pmc`]). The dagger estimator refuses multi-state
+//! networks — its strata conditioning is inherently binary. All-binary
+//! networks take exactly the legacy code paths, so existing results and
+//! checkpoints are bit-identical.
 
 use maxflow::{build_flow, SolverKind, Workspace};
-use netgraph::{EdgeId, EdgeMask, Network, NodeId};
+use netgraph::{EdgeId, EdgeMask, Network, NodeId, StateExpansion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use crate::budget::{McBudget, McSentinel};
 use crate::error::McError;
-use crate::pmc::PermPlan;
+use crate::pmc::{MultiPermPlan, PermPlan};
 use crate::stratified::StrataPlan;
 use crate::{effective_n, stream_seed, wilson_half, wilson_interval, STREAM_ENGINE, Z95};
 
@@ -262,10 +272,33 @@ fn validate(settings: &McSettings) -> Result<(), McError> {
 }
 
 /// Estimator context: the validated plan each batch samples from.
+///
+/// Multi-state networks get their own crude and permutation variants that
+/// sample over the tranche expansion; all-binary networks take the original
+/// variants bit-for-bit, so legacy results and checkpoints are unchanged.
 enum Ctx {
-    Crude { m: usize, probs: Vec<f64> },
-    Dagger { plan: StrataPlan },
-    Perm { plan: PermPlan },
+    Crude {
+        m: usize,
+        probs: Vec<f64>,
+    },
+    /// Crude over a multi-state network: one categorical state draw per
+    /// digit (inverse CDF), mapped onto tranche-arc bits of the expansion.
+    CrudeMulti {
+        x: StateExpansion,
+        /// Per-digit cumulative state probabilities, ascending by capacity.
+        cdfs: Vec<Vec<f64>>,
+    },
+    Dagger {
+        plan: StrataPlan,
+    },
+    Perm {
+        plan: PermPlan,
+    },
+    /// Permutation over a multi-state network: capacity-ordered
+    /// construction process with one repair clock per tranche gate.
+    PermMulti {
+        plan: MultiPermPlan,
+    },
 }
 
 impl Ctx {
@@ -282,16 +315,45 @@ impl Ctx {
                 reason: "Auto must be resolved to a concrete estimator by the caller".into(),
             }),
             EstimatorKind::Crude => {
+                if net.has_multistate() {
+                    let x = crate::expand_multistate(net)?;
+                    crate::check_edges(&x.net)?;
+                    let cdfs = x
+                        .digits
+                        .iter()
+                        .map(|d| {
+                            let mut acc = 0.0f64;
+                            d.probs
+                                .iter()
+                                .map(|&p| {
+                                    acc += p;
+                                    acc
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    return Ok((Ctx::CrudeMulti { x, cdfs }, 0));
+                }
                 let m = crate::check_edges(net)?;
                 let probs = net.edges().iter().map(|e| e.fail_prob).collect();
                 Ok((Ctx::Crude { m, probs }, 0))
             }
             EstimatorKind::Dagger => {
+                if net.has_multistate() {
+                    return Err(McError::MultiState {
+                        operation: "the dagger (stratified) estimator",
+                    });
+                }
                 let plan = StrataPlan::build(net, s, t, demand, &settings.strata, settings.solver)?;
                 let evals = plan.classify_evals;
                 Ok((Ctx::Dagger { plan }, evals))
             }
             EstimatorKind::Permutation => {
+                if net.has_multistate() {
+                    let plan = MultiPermPlan::build(net, s, t, demand, settings.solver)?;
+                    let evals = plan.classify_evals;
+                    return Ok((Ctx::PermMulti { plan }, evals));
+                }
                 let plan = PermPlan::build(net, s, t, demand, settings.solver)?;
                 let evals = plan.classify_evals;
                 Ok((Ctx::Perm { plan }, evals))
@@ -301,9 +363,9 @@ impl Ctx {
 
     fn estimator_name(&self) -> &'static str {
         match self {
-            Ctx::Crude { .. } => "crude",
+            Ctx::Crude { .. } | Ctx::CrudeMulti { .. } => "crude",
             Ctx::Dagger { .. } => "dagger",
-            Ctx::Perm { .. } => "perm",
+            Ctx::Perm { .. } | Ctx::PermMulti { .. } => "perm",
         }
     }
 
@@ -313,9 +375,18 @@ impl Ctx {
             return Some(1.0);
         }
         match self {
-            Ctx::Crude { .. } => None,
+            Ctx::Crude { .. } | Ctx::CrudeMulti { .. } => None,
             Ctx::Dagger { plan } => plan.mixed.is_empty().then_some(plan.exact_mass),
             Ctx::Perm { plan } => {
+                if plan.trivially_up {
+                    Some(1.0)
+                } else if plan.never_up {
+                    Some(0.0)
+                } else {
+                    None
+                }
+            }
+            Ctx::PermMulti { plan } => {
                 if plan.trivially_up {
                     Some(1.0)
                 } else if plan.never_up {
@@ -329,11 +400,11 @@ impl Ctx {
 
     fn fresh_accum(&self) -> McAccum {
         match self {
-            Ctx::Crude { .. } => McAccum::Counts { successes: 0 },
+            Ctx::Crude { .. } | Ctx::CrudeMulti { .. } => McAccum::Counts { successes: 0 },
             Ctx::Dagger { plan } => McAccum::Strata {
                 counts: vec![(0, 0); plan.mixed.len()],
             },
-            Ctx::Perm { .. } => McAccum::Perm {
+            Ctx::Perm { .. } | Ctx::PermMulti { .. } => McAccum::Perm {
                 sum: (0.0, 0.0),
                 sum_sq: (0.0, 0.0),
             },
@@ -342,9 +413,9 @@ impl Ctx {
 
     fn accum_matches(&self, accum: &McAccum) -> bool {
         match (self, accum) {
-            (Ctx::Crude { .. }, McAccum::Counts { .. }) => true,
+            (Ctx::Crude { .. } | Ctx::CrudeMulti { .. }, McAccum::Counts { .. }) => true,
             (Ctx::Dagger { plan }, McAccum::Strata { counts }) => counts.len() == plan.mixed.len(),
-            (Ctx::Perm { .. }, McAccum::Perm { .. }) => true,
+            (Ctx::Perm { .. } | Ctx::PermMulti { .. }, McAccum::Perm { .. }) => true,
             _ => false,
         }
     }
@@ -362,7 +433,14 @@ impl Ctx {
         quota: u64,
     ) -> BatchOut {
         let mut rng = StdRng::seed_from_u64(stream_seed(settings.seed, STREAM_ENGINE | b));
-        let mut nf = build_flow(net, s, t);
+        // multi-state variants sample over the tranche expansion, whose arcs
+        // the masks and revivals below index; the node ids are shared
+        let flow_net = match self {
+            Ctx::CrudeMulti { x, .. } => &x.net,
+            Ctx::PermMulti { plan } => &plan.x.net,
+            _ => net,
+        };
+        let mut nf = build_flow(flow_net, s, t);
         let mut ws = Workspace::new();
         let solver = settings.solver;
         let mut evals = 0u64;
@@ -377,6 +455,34 @@ impl Ctx {
                         }
                     }
                     nf.apply_mask(EdgeMask::from_bits(bits, *m));
+                    evals += 1;
+                    if solver.solve_ws(&mut nf.graph, nf.source, nf.sink, demand, &mut ws) >= demand
+                    {
+                        successes += 1;
+                    }
+                }
+                BatchOut::Counts {
+                    successes,
+                    samples: quota,
+                    evals,
+                }
+            }
+            Ctx::CrudeMulti { x, cdfs } => {
+                let m = x.net.edge_count();
+                let mut successes = 0u64;
+                for _ in 0..quota {
+                    let mut bits = x.pinned;
+                    for (d, cdf) in x.digits.iter().zip(cdfs) {
+                        // one categorical draw per link: the smallest state
+                        // whose cumulative probability exceeds the uniform
+                        let u: f64 = rng.gen();
+                        let mut v = 0usize;
+                        while v + 1 < d.radix && u >= cdf[v] {
+                            v += 1;
+                        }
+                        bits |= d.value_bits(v);
+                    }
+                    nf.apply_mask(EdgeMask::from_bits(bits, m));
                     evals += 1;
                     if solver.solve_ws(&mut nf.graph, nf.source, nf.sink, demand, &mut ws) >= demand
                     {
@@ -407,6 +513,21 @@ impl Ctx {
                 }
             }
             Ctx::Perm { plan } => {
+                let mut sum = 0.0f64;
+                let mut sum_sq = 0.0f64;
+                for _ in 0..quota {
+                    let x = plan.sample_one(demand, solver, &mut nf, &mut ws, &mut rng, &mut evals);
+                    sum += x;
+                    sum_sq += x * x;
+                }
+                BatchOut::Perm {
+                    sum,
+                    sum_sq,
+                    samples: quota,
+                    evals,
+                }
+            }
+            Ctx::PermMulti { plan } => {
                 let mut sum = 0.0f64;
                 let mut sum_sq = 0.0f64;
                 for _ in 0..quota {
@@ -1121,6 +1242,215 @@ mod tests {
         assert_eq!(report.samples, 0);
         assert_eq!((report.ci_low, report.ci_high), (0.0, 1.0));
         assert_eq!(checkpoint.next_batch, 0);
+    }
+
+    /// A 3-state link `{0: 0.2, 1: 0.3, 2: 0.5}` in series with a binary
+    /// link (cap 2, p = 0.1): R(d=1) = 0.8·0.9 = 0.72, R(d=2) = 0.5·0.9
+    /// = 0.45.
+    fn spectrum_series() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (2, 0.5)])
+            .unwrap();
+        b.add_edge(n[1], n[2], 2, 0.1).unwrap();
+        b.build()
+    }
+
+    /// A single 3-state link `{0: 0.2, 1: 0.3, 2: 0.5}`: R(d=1) = 0.8.
+    ///
+    /// This instance distinguishes the prefix (capacity-ordered)
+    /// construction from naively independent tranche gates: independent
+    /// gates would give `P(cap ≥ 1) = 1 − 0.2·0.375 = 0.925`, not 0.8.
+    fn spectrum_single() -> Network {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (2, 0.5)])
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn crude_engine_samples_multistate_and_parallel_matches_serial() {
+        let net = spectrum_series();
+        let s = settings(EstimatorKind::Crude, 40_000);
+        let a = run(
+            &net,
+            NodeId(0),
+            NodeId(2),
+            2,
+            &s,
+            &McBudget::unlimited(),
+            false,
+        )
+        .unwrap();
+        let b = run(
+            &net,
+            NodeId(0),
+            NodeId(2),
+            2,
+            &s,
+            &McBudget::unlimited(),
+            true,
+        )
+        .unwrap();
+        assert_eq!(a, b, "serial and parallel runs must agree bit for bit");
+        let r = a.report();
+        assert_eq!(r.estimator, "crude");
+        assert_eq!(r.samples, 40_000);
+        assert!(r.ci_low <= 0.45 && 0.45 <= r.ci_high, "{r:?}");
+        // and the d = 1 marginal is exact too (exercises the state CDF)
+        let r1 = run(
+            &net,
+            NodeId(0),
+            NodeId(2),
+            1,
+            &s,
+            &McBudget::unlimited(),
+            false,
+        )
+        .unwrap();
+        let r1 = r1.report();
+        assert!(
+            (r1.mean - 0.72).abs() <= 4.0 * r1.std_error.max(1e-9),
+            "{r1:?}"
+        );
+    }
+
+    #[test]
+    fn perm_engine_respects_multistate_marginals() {
+        // prefix construction: the estimate must center on R = 0.8, not the
+        // independent-gate value 0.925
+        let net = spectrum_single();
+        let s = settings(EstimatorKind::Permutation, 20_000);
+        let out = run(
+            &net,
+            NodeId(0),
+            NodeId(1),
+            1,
+            &s,
+            &McBudget::unlimited(),
+            false,
+        )
+        .unwrap();
+        let r = out.report();
+        assert_eq!(r.estimator, "perm");
+        assert!(!r.exact);
+        assert!(r.ci_low <= 0.8 && 0.8 <= r.ci_high, "{r:?}");
+        assert!(
+            (r.mean - 0.8).abs() <= 4.0 * r.std_error.max(1e-9),
+            "prefix semantics violated: {r:?}"
+        );
+        // the series instance at demand 2 (R = 0.45) exercises pending
+        // gates across two digits
+        let net = spectrum_series();
+        let out = run(
+            &net,
+            NodeId(0),
+            NodeId(2),
+            2,
+            &s,
+            &McBudget::unlimited(),
+            false,
+        )
+        .unwrap();
+        let r = out.report();
+        assert!(
+            (r.mean - 0.45).abs() <= 4.0 * r.std_error.max(1e-9),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn perm_engine_classifies_multistate_extremes_exactly() {
+        // nonzero floor: capacity ≥ 1 in every state, so d = 1 is certain
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_spectrum_edge(n[0], n[1], &[(1, 0.5), (4, 0.5)])
+            .unwrap();
+        let net = b.build();
+        let s = settings(EstimatorKind::Permutation, 1000);
+        let out = run(
+            &net,
+            NodeId(0),
+            NodeId(1),
+            1,
+            &s,
+            &McBudget::unlimited(),
+            false,
+        )
+        .unwrap();
+        assert_eq!(out.report().mean, 1.0);
+        assert!(out.report().exact);
+        // demand above the best state: R = 0 without sampling
+        let out = run(
+            &net,
+            NodeId(0),
+            NodeId(1),
+            5,
+            &s,
+            &McBudget::unlimited(),
+            false,
+        )
+        .unwrap();
+        assert_eq!(out.report().mean, 0.0);
+        assert!(out.report().exact);
+    }
+
+    #[test]
+    fn dagger_refuses_multistate_networks() {
+        let net = spectrum_series();
+        let mut s = settings(EstimatorKind::Dagger, 1000);
+        s.strata = vec![EdgeId(1)];
+        let err = run(
+            &net,
+            NodeId(0),
+            NodeId(2),
+            1,
+            &s,
+            &McBudget::unlimited(),
+            false,
+        );
+        assert!(matches!(err, Err(McError::MultiState { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn multistate_interrupt_and_resume_is_bit_identical() {
+        let net = spectrum_series();
+        for estimator in [EstimatorKind::Crude, EstimatorKind::Permutation] {
+            let s = settings(estimator, 30_000);
+            let full = run(
+                &net,
+                NodeId(0),
+                NodeId(2),
+                2,
+                &s,
+                &McBudget::unlimited(),
+                false,
+            )
+            .unwrap();
+            let small = McBudget {
+                max_samples: Some(10_000),
+                ..Default::default()
+            };
+            let out = run(&net, NodeId(0), NodeId(2), 2, &s, &small, false).unwrap();
+            let McOutcome::Interrupted { checkpoint, .. } = out else {
+                panic!("10k allowance must interrupt a 30k run")
+            };
+            let resumed = resume(
+                &net,
+                NodeId(0),
+                NodeId(2),
+                2,
+                &checkpoint,
+                &McBudget::unlimited(),
+                false,
+            )
+            .unwrap();
+            assert_eq!(
+                resumed, full,
+                "{estimator:?}: interrupt+resume must be bit-identical"
+            );
+        }
     }
 
     #[test]

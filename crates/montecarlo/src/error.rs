@@ -55,6 +55,14 @@ pub enum McError {
         /// What disagreed.
         reason: String,
     },
+    /// The network carries multi-state capacity spectra and the requested
+    /// estimator only understands binary up/down links. The engine's crude
+    /// and permutation estimators handle multi-state networks; the basic
+    /// fixed-experiment samplers and the dagger estimator do not.
+    MultiState {
+        /// The estimator or sampler that refused the network.
+        operation: &'static str,
+    },
 }
 
 impl fmt::Display for McError {
@@ -82,6 +90,13 @@ impl fmt::Display for McError {
             }
             McError::CheckpointMismatch { reason } => {
                 write!(f, "Monte-Carlo checkpoint does not match: {reason}")
+            }
+            McError::MultiState { operation } => {
+                write!(
+                    f,
+                    "{operation} does not support multi-state capacity spectra; \
+                     use the engine's crude or permutation estimator"
+                )
             }
         }
     }

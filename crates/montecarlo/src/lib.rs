@@ -58,7 +58,7 @@ pub use error::McError;
 pub use stratified::{estimate_stratified, StratifiedEstimate, MAX_STRATA_LINKS};
 
 use maxflow::{build_flow, SolverKind, Workspace};
-use netgraph::{EdgeMask, Network, NodeId};
+use netgraph::{EdgeMask, Network, NodeId, StateExpansion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -234,8 +234,20 @@ impl Estimate {
     }
 }
 
-/// Checks the network fits in a sampling mask.
+/// Checks the network fits in a sampling mask and carries no capacity
+/// spectra.
+///
+/// The binary samplers interpret a link's `fail_prob` as a two-point
+/// distribution; silently running them on a multi-state network would
+/// estimate the wrong model. The engine's crude and permutation estimators
+/// support multi-state networks by sampling over the tranche expansion
+/// instead (and call this check on the expanded, spectrum-free network).
 pub(crate) fn check_edges(net: &Network) -> Result<usize, McError> {
+    if net.has_multistate() {
+        return Err(McError::MultiState {
+            operation: "binary up/down sampling",
+        });
+    }
     let m = net.edge_count();
     if m > EdgeMask::MAX_EDGES {
         return Err(McError::TooManyEdges {
@@ -244,6 +256,20 @@ pub(crate) fn check_edges(net: &Network) -> Result<usize, McError> {
         });
     }
     Ok(m)
+}
+
+/// Builds the tranche expansion of a multi-state network for sampling,
+/// mapping the expansion-size failure onto the sampling-mask error.
+pub(crate) fn expand_multistate(net: &Network) -> Result<StateExpansion, McError> {
+    StateExpansion::build(net).map_err(|e| match e {
+        netgraph::GraphError::ExpansionTooLarge { arcs, max } => {
+            McError::TooManyEdges { count: arcs, max }
+        }
+        other => McError::BadParameter {
+            what: "network",
+            reason: other.to_string(),
+        },
+    })
 }
 
 /// One sampling worker: draws `samples` failure configurations from the
@@ -640,6 +666,58 @@ mod tests {
         let a = estimate_antithetic(&net, NodeId(0), NodeId(1), 1, 2_000, 5).unwrap();
         let b = estimate_antithetic(&net, NodeId(0), NodeId(1), 1, 2_000, 5).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn basic_estimators_refuse_multistate_networks() {
+        // the fixed-experiment samplers interpret fail_prob as binary and
+        // would silently estimate the wrong model on a spectrum link
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (2, 0.5)])
+            .unwrap();
+        let net = b.build();
+        let multistate =
+            |r: Result<Estimate, McError>| matches!(r, Err(McError::MultiState { .. }));
+        assert!(multistate(estimate(&net, NodeId(0), NodeId(1), 1, 100, 1)));
+        assert!(multistate(estimate_parallel(
+            &net,
+            NodeId(0),
+            NodeId(1),
+            1,
+            100,
+            1,
+            2
+        )));
+        assert!(multistate(estimate_antithetic(
+            &net,
+            NodeId(0),
+            NodeId(1),
+            1,
+            100,
+            1
+        )));
+        assert!(multistate(estimate_until(
+            &net,
+            NodeId(0),
+            NodeId(1),
+            1,
+            0.1,
+            100,
+            1
+        )));
+        assert!(matches!(
+            estimate_stratified(
+                &net,
+                NodeId(0),
+                NodeId(1),
+                1,
+                &[netgraph::EdgeId(0)],
+                100,
+                1
+            ),
+            Err(McError::MultiState { .. })
+        ));
     }
 
     #[test]

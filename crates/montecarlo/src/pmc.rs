@@ -28,12 +28,12 @@
 //! augmented, reusing the routed flow and the solver workspace.
 
 use maxflow::{build_flow, NetworkFlow, SolverKind, Workspace};
-use netgraph::{EdgeMask, Network, NodeId};
+use netgraph::{EdgeMask, Network, NodeId, StateExpansion};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::check_edges;
 use crate::error::McError;
+use crate::{check_edges, expand_multistate};
 
 /// Validated sampling plan for the permutation estimator.
 #[derive(Clone, Debug)]
@@ -161,6 +161,179 @@ impl PermPlan {
     }
 }
 
+/// One independent repair clock of the multi-state permutation process: the
+/// *gate* guarding one capacity tranche of one enumeration digit.
+#[derive(Clone, Debug)]
+struct Gate {
+    /// Digit index in the expansion (one digit per fallible link).
+    digit: usize,
+    /// Tranche position within the digit, 0-based.
+    tranche: usize,
+    /// Repair rate `λ = −ln(p_i / S_i)`, so the gate is open at `t = 1`
+    /// with probability `q_i = S_{i+1}/S_i` (conditional survival).
+    lambda: f64,
+}
+
+/// The permutation estimator generalized to multi-state links: Botev's
+/// capacity-ordered construction process over the tranche expansion.
+///
+/// Each tranche of a k-state link gets an independent exponential repair
+/// clock whose rate is chosen so that the *prefix* of repaired tranches has
+/// exactly the spectrum's marginals at `t = 1`: gate `i` opens by time 1
+/// with probability `q_i = S_{i+1}/S_i` (`S_i` the spectrum's survival
+/// `P(capacity ≥ c_i)`), so `P(tranches 1..=i all open) = S_i`. A link's
+/// effective capacity at time `t` is `c_d` for the longest contiguous
+/// prefix `d` of open gates — a fired gate above a still-closed one stays
+/// *pending* and contributes no capacity until the gap closes. Feasibility
+/// is monotone in the set of fired clocks, so the usual permutation
+/// argument goes through unchanged: sample only the firing order, find the
+/// critical count `b`, and evaluate the hypoexponential tail exactly.
+/// Binary links degenerate to single-gate digits with the classic
+/// `λ = −ln p`, but all-binary networks take [`PermPlan`] bit-for-bit.
+#[derive(Clone, Debug)]
+pub(crate) struct MultiPermPlan {
+    /// The tranche expansion sampling operates on (flow graphs are built
+    /// over `x.net`, never the original network).
+    pub x: StateExpansion,
+    /// Expanded arc count.
+    m: usize,
+    /// Arcs alive in every sample: pinned base arcs and perfect links.
+    always_alive_bits: u64,
+    /// One gate per tranche of every digit.
+    gates: Vec<Gate>,
+    /// `Σ λ` over all gates.
+    lambda_total: f64,
+    /// Demand feasible with only the pinned arcs: `R = 1` exactly.
+    pub trivially_up: bool,
+    /// Demand infeasible with every gate open: `R = 0` exactly.
+    pub never_up: bool,
+    /// Flow evaluations spent on classification.
+    pub classify_evals: u64,
+}
+
+impl MultiPermPlan {
+    /// Builds the plan over the tranche expansion and classifies the two
+    /// trivial extremes (at most two flow evaluations).
+    pub fn build(
+        net: &Network,
+        s: NodeId,
+        t: NodeId,
+        demand: u64,
+        solver: SolverKind,
+    ) -> Result<MultiPermPlan, McError> {
+        let x = expand_multistate(net)?;
+        let m = check_edges(&x.net)?;
+        let mut gates = Vec::new();
+        let mut lambda_total = 0.0f64;
+        let mut possible_bits = x.pinned;
+        for (d_idx, d) in x.digits.iter().enumerate() {
+            // survival S_i = P(state ≥ i), computed as a running suffix sum;
+            // validated spectra have every state probability in (0, 1), so
+            // each conditional failure p_i/S_i stays in (0, 1) up to float
+            // dust, which the clamp absorbs without changing valid inputs
+            let mut survival = 1.0f64;
+            for (ti, &p) in d.probs.iter().take(d.radix - 1).enumerate() {
+                let fail = (p / survival).clamp(f64::MIN_POSITIVE, 1.0);
+                let lambda = -fail.ln();
+                gates.push(Gate {
+                    digit: d_idx,
+                    tranche: ti,
+                    lambda,
+                });
+                lambda_total += lambda;
+                possible_bits |= 1u64 << d.tranche_arcs[ti];
+                survival -= p;
+            }
+        }
+        let mut nf = build_flow(&x.net, s, t);
+        let mut ws = Workspace::new();
+        let mut classify_evals = 0u64;
+        let mut admits = |bits: u64, evals: &mut u64| -> bool {
+            if demand == 0 {
+                return true;
+            }
+            *evals += 1;
+            nf.apply_mask(EdgeMask::from_bits(bits, m));
+            solver.solve_ws(&mut nf.graph, nf.source, nf.sink, demand, &mut ws) >= demand
+        };
+        let trivially_up = admits(x.pinned, &mut classify_evals);
+        let never_up = !trivially_up && !admits(possible_bits, &mut classify_evals);
+        let always_alive_bits = x.pinned;
+        Ok(MultiPermPlan {
+            x,
+            m,
+            always_alive_bits,
+            gates,
+            lambda_total,
+            trivially_up,
+            never_up,
+            classify_evals,
+        })
+    }
+
+    /// Draws one permutation sample of the construction process: returns the
+    /// conditional unreliability `X(π) ∈ [0, 1]`. `nf` must be built over
+    /// the expansion network [`MultiPermPlan::x`].
+    pub fn sample_one(
+        &self,
+        demand: u64,
+        solver: SolverKind,
+        nf: &mut NetworkFlow,
+        ws: &mut Workspace,
+        rng: &mut StdRng,
+        evals: &mut u64,
+    ) -> f64 {
+        let mut order: Vec<(f64, usize)> = self
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(pos, g)| {
+                let u: f64 = rng.gen();
+                (-(1.0 - u).ln() / g.lambda, pos)
+            })
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        nf.apply_mask(EdgeMask::from_bits(self.always_alive_bits, self.m));
+        let mut got = if demand == 0 {
+            return 0.0;
+        } else {
+            *evals += 1;
+            solver.solve_ws(&mut nf.graph, nf.source, nf.sink, demand, ws)
+        };
+        // per-digit construction state: the contiguous open prefix length,
+        // and the set of fired (possibly pending) gates
+        let mut up = vec![0usize; self.x.digits.len()];
+        let mut fired = vec![0u64; self.x.digits.len()];
+        let mut chain: Vec<f64> = Vec::with_capacity(order.len());
+        let mut lam_left = self.lambda_total;
+        for &(_, pos) in &order {
+            let g = &self.gates[pos];
+            // the rate chain records every firing, pending or not: the b-th
+            // event time is hypoexponential in the full superposition
+            chain.push(lam_left.max(f64::MIN_POSITIVE));
+            lam_left -= g.lambda;
+            fired[g.digit] |= 1u64 << g.tranche;
+            let d = &self.x.digits[g.digit];
+            let mut revived = false;
+            while up[g.digit] < d.radix - 1 && (fired[g.digit] >> up[g.digit]) & 1 == 1 {
+                nf.revive_edge(d.tranche_arcs[up[g.digit]]);
+                up[g.digit] += 1;
+                revived = true;
+            }
+            if revived {
+                *evals += 1;
+                got += solver.solve_ws(&mut nf.graph, nf.source, nf.sink, demand - got, ws);
+                if got >= demand {
+                    return hypoexp_tail(&chain);
+                }
+            }
+        }
+        // unreachable when `never_up` was ruled out; stay honest regardless
+        1.0
+    }
+}
+
 /// `P(Exp(r_1) + … + Exp(r_b) > 1)` for a decreasing rate chain, by
 /// uniformization.
 ///
@@ -273,6 +446,57 @@ mod tests {
         let plan = PermPlan::build(&net, NodeId(0), NodeId(1), 5, SolverKind::Dinic).unwrap();
         assert!(plan.never_up && !plan.trivially_up);
         assert!(plan.classify_evals <= 2);
+    }
+
+    #[test]
+    fn multi_perm_gate_rates_reproduce_the_spectrum_marginals() {
+        // {0: 0.2, 1: 0.3, 2: 0.5}: gate survivals q1 = 0.8, q2 = 0.625,
+        // so λ1 = −ln 0.2 and λ2 = −ln 0.375 (conditional failure masses)
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (2, 0.5)])
+            .unwrap();
+        let net = b.build();
+        let plan = MultiPermPlan::build(&net, NodeId(0), NodeId(1), 1, SolverKind::Dinic).unwrap();
+        assert!(!plan.trivially_up && !plan.never_up);
+        assert_eq!(plan.gates.len(), 2);
+        assert!((plan.gates[0].lambda - (-0.2f64.ln())).abs() < 1e-12);
+        assert!((plan.gates[1].lambda - (-0.375f64.ln())).abs() < 1e-12);
+        // P(open by 1) = 1 − e^{−λ}: the conditional survivals
+        assert!((1.0 - (-plan.gates[0].lambda).exp() - 0.8).abs() < 1e-12);
+        assert!((1.0 - (-plan.gates[1].lambda).exp() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_perm_mean_is_unbiased_with_pending_gates() {
+        // single 3-state link, demand 1: Q = 0.2 exactly. When the upper
+        // tranche's clock fires first it must stay pending (no capacity)
+        // until the lower tranche opens — independent gates would give
+        // Q = 0.2·0.375 = 0.075 instead.
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (2, 0.5)])
+            .unwrap();
+        let net = b.build();
+        let solver = SolverKind::Dinic;
+        let plan = MultiPermPlan::build(&net, NodeId(0), NodeId(1), 1, solver).unwrap();
+        let mut nf = build_flow(&plan.x.net, NodeId(0), NodeId(1));
+        let mut ws = Workspace::new();
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(crate::stream_seed(13, crate::STREAM_ENGINE));
+        let mut evals = 0u64;
+        let samples = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..samples {
+            let x = plan.sample_one(1, solver, &mut nf, &mut ws, &mut rng, &mut evals);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+        }
+        let q_hat = sum / samples as f64;
+        assert!(
+            (q_hat - 0.2).abs() < 0.01,
+            "multi-perm estimate {q_hat} should be near 0.2"
+        );
     }
 
     #[test]

@@ -21,15 +21,32 @@ pub enum GraphError {
         /// Number of edges in the network.
         edge_count: usize,
     },
-    /// A failure probability was outside `[0, 1)`.
+    /// A failure probability was outside `[0, 1]`.
     ///
-    /// The paper requires `p(e) ∈ [0, 1)`: a link that fails with probability
-    /// exactly one contributes nothing and should simply be omitted.
+    /// The paper requires `p(e) ∈ [0, 1)`, but `p(e) = 1` is accepted as a
+    /// legitimate degenerate model: an always-down link that behaves exactly
+    /// like a deleted one.
     InvalidProbability {
         /// The offending edge (by insertion order).
         edge: EdgeId,
         /// The rejected value.
         prob: f64,
+    },
+    /// A capacity spectrum failed validation (probabilities outside `[0, 1]`,
+    /// not summing to 1, or no states).
+    InvalidSpectrum {
+        /// The offending edge (by insertion order).
+        edge: EdgeId,
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// Tranche-expanding multi-state links would exceed the edge-mask
+    /// capacity of the enumeration machinery.
+    ExpansionTooLarge {
+        /// Number of expanded arcs required.
+        arcs: usize,
+        /// The supported maximum.
+        max: usize,
     },
     /// The operation requires a network with at least one node.
     EmptyNetwork,
@@ -53,7 +70,16 @@ impl fmt::Display for GraphError {
             GraphError::InvalidProbability { edge, prob } => {
                 write!(
                     f,
-                    "edge {edge} has failure probability {prob}, expected [0, 1)"
+                    "edge {edge} has failure probability {prob}, expected [0, 1]"
+                )
+            }
+            GraphError::InvalidSpectrum { edge, reason } => {
+                write!(f, "edge {edge} has an invalid capacity spectrum: {reason}")
+            }
+            GraphError::ExpansionTooLarge { arcs, max } => {
+                write!(
+                    f,
+                    "multi-state expansion needs {arcs} arcs, supported maximum is {max}"
                 )
             }
             GraphError::EmptyNetwork => write!(f, "operation requires a non-empty network"),

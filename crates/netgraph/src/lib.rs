@@ -13,6 +13,9 @@
 //! * [`traverse`] — BFS/DFS reachability under an edge mask;
 //! * [`components`] — connected components under an edge mask;
 //! * [`bridges`] — Tarjan bridge detection (the `k = 1` bottleneck fast path);
+//! * [`spectrum`] — multi-state link capacities: validated capacity spectra
+//!   `[(capacity, prob); k]` and their tranche expansion onto a binary
+//!   network, so mixed-radix state configurations map onto edge masks;
 //! * [`dot`] — Graphviz export for debugging and documentation.
 //!
 //! The graph is a multigraph: parallel links and self-loops are allowed (self
@@ -32,6 +35,7 @@ pub mod dot;
 pub mod error;
 pub mod ids;
 pub mod network;
+pub mod spectrum;
 pub mod traverse;
 
 pub use adjacency::Adjacency;
@@ -41,4 +45,7 @@ pub use components::{connected_components, ComponentLabels};
 pub use error::GraphError;
 pub use ids::{EdgeId, NodeId};
 pub use network::{Edge, EdgeMask, GraphKind, Network, NetworkBuilder};
+pub use spectrum::{
+    classify_spectrum, CapacitySpectrum, SpectrumForm, StateDigit, StateExpansion, SPECTRUM_SUM_EPS,
+};
 pub use traverse::{bfs_reachable, is_connected_st};

@@ -2,6 +2,7 @@
 
 use crate::error::GraphError;
 use crate::ids::{EdgeId, NodeId};
+use crate::spectrum::{classify_spectrum, CapacitySpectrum, SpectrumForm};
 
 /// Whether links are one-way (directed) or two-way (undirected).
 ///
@@ -28,7 +29,7 @@ pub struct Edge {
     pub dst: NodeId,
     /// Integral capacity `c(e)` in unit sub-streams.
     pub capacity: u64,
-    /// Failure probability `p(e) ∈ [0, 1)`; the link is *up* with
+    /// Failure probability `p(e) ∈ [0, 1]`; the link is *up* with
     /// probability `1 − p(e)`, independently of every other link.
     pub fail_prob: f64,
 }
@@ -166,6 +167,12 @@ pub struct Network {
     kind: GraphKind,
     node_count: usize,
     edges: Vec<Edge>,
+    /// Per-edge capacity spectra, aligned with `edges`. `None` (or a vector
+    /// shorter than `edges`, for payloads serialized before this field
+    /// existed) means the edge is a plain binary link described entirely by
+    /// its `capacity`/`fail_prob` pair.
+    #[cfg_attr(feature = "serde", serde(default))]
+    spectra: Vec<Option<CapacitySpectrum>>,
 }
 
 impl Network {
@@ -208,6 +215,27 @@ impl Network {
             .iter()
             .enumerate()
             .map(|(i, e)| (EdgeId::from(i), e))
+    }
+
+    /// The capacity spectrum of edge `e`, or `None` for a plain binary link.
+    ///
+    /// When present, the edge's `capacity` field holds the spectrum's best
+    /// state and `fail_prob` its zero-capacity probability, so capacity
+    /// bounds and quick feasibility checks stay conservative without
+    /// consulting the spectrum.
+    #[inline]
+    pub fn spectrum(&self, e: EdgeId) -> Option<&CapacitySpectrum> {
+        self.spectra.get(e.index()).and_then(|s| s.as_ref())
+    }
+
+    /// True when any edge carries a (genuinely) multi-state spectrum.
+    pub fn has_multistate(&self) -> bool {
+        self.spectra.iter().any(|s| s.is_some())
+    }
+
+    /// Number of edges with a multi-state spectrum.
+    pub fn multistate_count(&self) -> usize {
+        self.spectra.iter().filter(|s| s.is_some()).count()
     }
 
     /// Checks that `n` names an existing node.
@@ -270,6 +298,7 @@ impl Network {
             to_new[old.index()] = Some(NodeId::from(new));
         }
         let mut edges = Vec::new();
+        let mut spectra = Vec::new();
         let mut edge_origin = Vec::new();
         for (i, e) in self.edges.iter().enumerate() {
             if let Some(f) = edge_filter {
@@ -283,6 +312,7 @@ impl Network {
                     dst: nd,
                     ..*e
                 });
+                spectra.push(self.spectrum(EdgeId::from(i)).cloned());
                 edge_origin.push(EdgeId::from(i));
             }
         }
@@ -290,6 +320,7 @@ impl Network {
             kind: self.kind,
             node_count: nodes.len(),
             edges,
+            spectra,
         };
         (net, NodeMap { to_new }, edge_origin)
     }
@@ -326,6 +357,7 @@ pub struct NetworkBuilder {
     kind: GraphKind,
     node_count: usize,
     edges: Vec<Edge>,
+    spectra: Vec<Option<CapacitySpectrum>>,
 }
 
 impl NetworkBuilder {
@@ -335,6 +367,7 @@ impl NetworkBuilder {
             kind,
             node_count: 0,
             edges: Vec::new(),
+            spectra: Vec::new(),
         }
     }
 
@@ -344,6 +377,7 @@ impl NetworkBuilder {
             kind,
             node_count: n,
             edges: Vec::new(),
+            spectra: Vec::new(),
         }
     }
 
@@ -370,7 +404,10 @@ impl NetworkBuilder {
     }
 
     /// Adds a link from `src` to `dst` with capacity `capacity` and failure
-    /// probability `fail_prob ∈ [0, 1)`; returns its id.
+    /// probability `fail_prob ∈ [0, 1]`; returns its id.
+    ///
+    /// `fail_prob = 1` is accepted: an always-down link, which behaves
+    /// exactly like a deleted one in every calculation.
     pub fn add_edge(
         &mut self,
         src: NodeId,
@@ -390,7 +427,7 @@ impl NetworkBuilder {
                 node_count: self.node_count,
             });
         }
-        if !(0.0..1.0).contains(&fail_prob) {
+        if !(0.0..=1.0).contains(&fail_prob) {
             return Err(GraphError::InvalidProbability {
                 edge: EdgeId::from(self.edges.len()),
                 prob: fail_prob,
@@ -403,7 +440,42 @@ impl NetworkBuilder {
             capacity,
             fail_prob,
         });
+        self.spectra.push(None);
         Ok(id)
+    }
+
+    /// Adds a link whose capacity is drawn from the discrete distribution
+    /// `states = [(capacity, prob); k]`; returns its id.
+    ///
+    /// The state list is validated and normalized (sorted ascending,
+    /// duplicate capacities merged, zero-probability states dropped,
+    /// probabilities summing to 1 within [`crate::SPECTRUM_SUM_EPS`]).
+    /// Degenerate shapes collapse to what they are: a single state becomes
+    /// a deterministic link, and a `{0, c}` pair becomes a plain binary
+    /// link — bit-identical to `add_edge(src, dst, c, p)`. Only genuinely
+    /// multi-state spectra are stored as such.
+    pub fn add_spectrum_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        states: &[(u64, f64)],
+    ) -> Result<EdgeId, GraphError> {
+        let form = classify_spectrum(states).map_err(|reason| GraphError::InvalidSpectrum {
+            edge: EdgeId::from(self.edges.len()),
+            reason,
+        })?;
+        match form {
+            SpectrumForm::Deterministic { capacity } => self.add_edge(src, dst, capacity, 0.0),
+            SpectrumForm::Binary {
+                capacity,
+                fail_prob,
+            } => self.add_edge(src, dst, capacity, fail_prob),
+            SpectrumForm::Multi(sp) => {
+                let id = self.add_edge(src, dst, sp.max_capacity(), sp.down_prob())?;
+                self.spectra[id.index()] = Some(sp);
+                Ok(id)
+            }
+        }
     }
 
     /// Adds a perfectly reliable link (`p = 0`).
@@ -422,6 +494,7 @@ impl NetworkBuilder {
             kind: self.kind,
             node_count: self.node_count,
             edges: self.edges,
+            spectra: self.spectra,
         }
     }
 }
@@ -462,7 +535,7 @@ mod tests {
         let s = b.add_node();
         let t = b.add_node();
         assert!(matches!(
-            b.add_edge(s, t, 1, 1.0),
+            b.add_edge(s, t, 1, 1.5),
             Err(GraphError::InvalidProbability { .. })
         ));
         assert!(matches!(
@@ -474,6 +547,55 @@ mod tests {
             Err(GraphError::InvalidProbability { .. })
         ));
         assert!(b.add_edge(s, t, 1, 0.0).is_ok());
+        // p = 1 is a legitimate degenerate model: an always-down link.
+        assert!(b.add_edge(s, t, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn spectrum_edges_normalize_and_store() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let s = b.add_node();
+        let t = b.add_node();
+        let det = b.add_spectrum_edge(s, t, &[(5, 1.0)]).unwrap();
+        let bin = b.add_spectrum_edge(s, t, &[(0, 0.25), (3, 0.75)]).unwrap();
+        let multi = b
+            .add_spectrum_edge(s, t, &[(0, 0.2), (2, 0.3), (4, 0.5)])
+            .unwrap();
+        assert!(matches!(
+            b.add_spectrum_edge(s, t, &[(1, 0.5), (2, 0.6)]),
+            Err(GraphError::InvalidSpectrum { .. })
+        ));
+        let net = b.build();
+        assert!(net.spectrum(det).is_none());
+        assert_eq!(net.edge(det).capacity, 5);
+        assert_eq!(net.edge(det).fail_prob, 0.0);
+        assert!(net.spectrum(bin).is_none());
+        assert_eq!(net.edge(bin).capacity, 3);
+        assert_eq!(net.edge(bin).fail_prob, 0.25);
+        let sp = net.spectrum(multi).expect("multi-state spectrum stored");
+        assert_eq!(sp.states(), &[(0, 0.2), (2, 0.3), (4, 0.5)]);
+        assert_eq!(net.edge(multi).capacity, 4);
+        assert!((net.edge(multi).fail_prob - 0.2).abs() < 1e-15);
+        assert!(net.has_multistate());
+        assert_eq!(net.multistate_count(), 1);
+    }
+
+    #[test]
+    fn induced_carries_spectra() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 1, 0.1).unwrap();
+        b.add_spectrum_edge(n[1], n[2], &[(0, 0.5), (1, 0.25), (2, 0.25)])
+            .unwrap();
+        let net = b.build();
+        let (sub, _, origin) = net.induced(&[n[1], n[2]], None);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(origin, vec![EdgeId(1)]);
+        assert!(sub.has_multistate());
+        assert_eq!(
+            sub.spectrum(EdgeId(0)).map(|s| s.k()),
+            net.spectrum(EdgeId(1)).map(|s| s.k())
+        );
     }
 
     #[test]

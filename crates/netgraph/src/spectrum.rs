@@ -1,0 +1,418 @@
+//! Multi-state link capacities: discrete capacity spectra and their
+//! expansion onto a binary *tranche* network.
+//!
+//! The paper's model is binary: a link is either up (capacity `c`) or down
+//! (capacity 0). Following Botev–L'Ecuyer–Tuffin ("Reliability Estimation for
+//! Networks with Minimal Flow Demand and Random Link Capacities"), a link may
+//! instead draw its capacity from a discrete distribution
+//! `[(c_0, p_0), …, (c_{k−1}, p_{k−1})]` with `Σ p_i = 1` — a *capacity
+//! spectrum*. Binary links are exactly the 2-state special case
+//! `[(0, p), (c, 1−p)]`.
+//!
+//! ## Tranche expansion
+//!
+//! Every algorithm in the workspace enumerates binary edge masks. A k-state
+//! link maps onto that machinery exactly via its **tranches**: sort the
+//! states ascending by capacity, pin a base arc of capacity `c_0` (always
+//! alive; omitted when `c_0 = 0`), and add one arc of capacity
+//! `c_{i} − c_{i−1}` per higher state (its *tranche*). The link being in
+//! state `d` corresponds to tranches `1..=d` alive — total capacity exactly
+//! `c_d` — and a one-step state change flips exactly one tranche arc, which
+//! is what keeps Gray-code sweeps, monotonicity certificates, and warm-start
+//! flow repair sound on the expanded network. Only the `k` *prefix* patterns
+//! of each link's tranches are ever enumerated (the spectrum need not be a
+//! product distribution over its tranches), so the expansion is a change of
+//! coordinates, not an independent-gadget rewrite.
+
+use crate::error::GraphError;
+use crate::ids::EdgeId;
+use crate::network::Network;
+
+/// Tolerance for "state probabilities sum to 1" validation. Spectra are
+/// user input (often decimal literals), so exact dyadic equality would be
+/// hostile; anything within this slack is accepted and used as given.
+pub const SPECTRUM_SUM_EPS: f64 = 1e-9;
+
+/// A validated, normalized capacity distribution of a multi-state link.
+///
+/// Invariants (enforced by [`classify_spectrum`], the only constructor):
+/// states are sorted ascending by capacity, capacities are distinct,
+/// probabilities are in `(0, 1]` and sum to 1 within [`SPECTRUM_SUM_EPS`],
+/// and there are at least two states with the lowest capacity nonzero —
+/// anything simpler normalizes to a plain binary or deterministic link and
+/// is stored as such, never as a spectrum.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CapacitySpectrum {
+    states: Vec<(u64, f64)>,
+}
+
+impl CapacitySpectrum {
+    /// The states `(capacity, probability)`, ascending by capacity.
+    #[inline]
+    pub fn states(&self) -> &[(u64, f64)] {
+        &self.states
+    }
+
+    /// Number of states `k ≥ 2`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The largest capacity (the best state).
+    #[inline]
+    pub fn max_capacity(&self) -> u64 {
+        self.states.last().map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// The smallest capacity (the worst state).
+    #[inline]
+    pub fn min_capacity(&self) -> u64 {
+        self.states.first().map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// Probability of delivering zero capacity (0 when the worst state still
+    /// has positive capacity).
+    pub fn down_prob(&self) -> f64 {
+        match self.states.first() {
+            Some(&(0, p)) => p,
+            _ => 0.0,
+        }
+    }
+
+    /// Tail probability `P(capacity ≥ states[i].0)`: the sum of the state
+    /// probabilities from index `i` up.
+    pub fn survival(&self, i: usize) -> f64 {
+        self.states.iter().skip(i).map(|&(_, p)| p).sum()
+    }
+}
+
+/// The normal form of a state list: what a spectrum *is* once degenerate
+/// shapes collapse.
+///
+/// [`classify_spectrum`] returns this so every layer (builder, parser,
+/// reduction passes) normalizes identically: 1-state lists become
+/// deterministic links, `{0, c}` 2-state lists reconstruct the legacy
+/// `capacity`/`fail_prob` pair exactly, and only genuinely multi-state
+/// shapes are stored as spectra.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpectrumForm {
+    /// A single state: the link always has this capacity (possibly 0).
+    Deterministic {
+        /// The sole capacity value.
+        capacity: u64,
+    },
+    /// Exactly `{(0, p), (c, 1−p)}`: today's binary link, bit for bit.
+    Binary {
+        /// The up-state capacity `c`.
+        capacity: u64,
+        /// The down-state probability `p`.
+        fail_prob: f64,
+    },
+    /// A genuine multi-state spectrum (3+ states, or 2 states with a
+    /// nonzero floor).
+    Multi(CapacitySpectrum),
+}
+
+/// Validates and normalizes a state list into its [`SpectrumForm`].
+///
+/// Rules: probabilities must be finite, non-negative, and sum to 1 within
+/// [`SPECTRUM_SUM_EPS`]; duplicate capacities merge (their probabilities
+/// add); zero-probability states are dropped; the result must retain at
+/// least one state. Returns a human-readable reason on rejection.
+pub fn classify_spectrum(states: &[(u64, f64)]) -> Result<SpectrumForm, String> {
+    if states.is_empty() {
+        return Err("a capacity spectrum needs at least one state".into());
+    }
+    let mut sum = 0.0;
+    for &(c, p) in states {
+        if !p.is_finite() || !(0.0..=1.0 + SPECTRUM_SUM_EPS).contains(&p) {
+            return Err(format!("state ({c}, {p}) has a probability outside [0, 1]"));
+        }
+        sum += p;
+    }
+    if (sum - 1.0).abs() > SPECTRUM_SUM_EPS {
+        return Err(format!("state probabilities sum to {sum}, expected 1"));
+    }
+    let mut sorted: Vec<(u64, f64)> = states.to_vec();
+    sorted.sort_by_key(|&(c, _)| c);
+    let mut merged: Vec<(u64, f64)> = Vec::with_capacity(sorted.len());
+    for (c, p) in sorted {
+        match merged.last_mut() {
+            Some(last) if last.0 == c => last.1 += p,
+            _ => merged.push((c, p)),
+        }
+    }
+    merged.retain(|&(_, p)| p > 0.0);
+    match merged.as_slice() {
+        [] => Err("every state has probability zero".into()),
+        [(c, _)] => Ok(SpectrumForm::Deterministic { capacity: *c }),
+        [(0, p), (c, _)] => Ok(SpectrumForm::Binary {
+            capacity: *c,
+            fail_prob: *p,
+        }),
+        _ => Ok(SpectrumForm::Multi(CapacitySpectrum { states: merged })),
+    }
+}
+
+/// One enumeration digit of a [`StateExpansion`]: a fallible link, with its
+/// per-state probabilities and the expanded tranche arcs its digit value
+/// controls.
+#[derive(Clone, Debug)]
+pub struct StateDigit {
+    /// The original edge this digit enumerates.
+    pub edge: EdgeId,
+    /// Number of states (the digit's radix, ≥ 2). Plain fallible binary
+    /// links have radix 2.
+    pub radix: usize,
+    /// `probs[v]` is the probability of state `v` (states ascending by
+    /// capacity, so `v = 0` is the worst state).
+    pub probs: Vec<f64>,
+    /// `tranche_arcs[i]` is the expanded-arc index of tranche `i + 1`: the
+    /// arc alive exactly when the digit value is `> i`. Length `radix − 1`.
+    pub tranche_arcs: Vec<usize>,
+}
+
+impl StateDigit {
+    /// Bits over the expanded arcs contributed by digit value `v`
+    /// (tranches `1..=v` alive).
+    pub fn value_bits(&self, v: usize) -> u64 {
+        self.tranche_arcs
+            .iter()
+            .take(v)
+            .fold(0u64, |b, &a| b | 1u64 << a)
+    }
+}
+
+/// The tranche expansion of a network: a plain *binary* network whose edge
+/// masks encode mixed-radix state configurations of the original.
+///
+/// Perfect links (`p = 0`) and spectrum base capacities become pinned-alive
+/// arcs; links with `p ≥ 1` are omitted entirely (they never carry flow);
+/// every other link becomes one [`StateDigit`]. The digit order follows the
+/// original edge order, which fixes the mixed-radix configuration numbering
+/// used by sweeps and checkpoints.
+#[derive(Clone, Debug)]
+pub struct StateExpansion {
+    /// The expanded binary network (carries no spectra).
+    pub net: Network,
+    /// The enumeration digits, in original edge order.
+    pub digits: Vec<StateDigit>,
+    /// Expanded-arc bits pinned alive in every configuration.
+    pub pinned: u64,
+    /// For each expanded arc, the original edge it belongs to.
+    pub arc_origin: Vec<EdgeId>,
+}
+
+impl StateExpansion {
+    /// Builds the tranche expansion of `net`.
+    ///
+    /// Fails with [`GraphError::ExpansionTooLarge`] when the expanded
+    /// network would exceed the 64-arc edge-mask capacity.
+    pub fn build(net: &Network) -> Result<StateExpansion, GraphError> {
+        let mut b = crate::network::NetworkBuilder::with_nodes(net.kind(), net.node_count());
+        let mut digits = Vec::new();
+        let mut pinned = 0u64;
+        let mut arc_origin = Vec::new();
+        let push_arc = |b: &mut crate::network::NetworkBuilder,
+                        arc_origin: &mut Vec<EdgeId>,
+                        src,
+                        dst,
+                        capacity,
+                        fail_prob,
+                        origin: EdgeId|
+         -> Result<usize, GraphError> {
+            let id = b.add_edge(src, dst, capacity, fail_prob)?;
+            if id.index() >= crate::network::EdgeMask::MAX_EDGES {
+                return Err(GraphError::ExpansionTooLarge {
+                    arcs: id.index() + 1,
+                    max: crate::network::EdgeMask::MAX_EDGES,
+                });
+            }
+            arc_origin.push(origin);
+            Ok(id.index())
+        };
+        for (id, e) in net.edge_refs() {
+            match net.spectrum(id) {
+                Some(sp) => {
+                    let states = sp.states();
+                    let floor = states[0].0;
+                    if floor > 0 {
+                        let arc = push_arc(&mut b, &mut arc_origin, e.src, e.dst, floor, 0.0, id)?;
+                        pinned |= 1u64 << arc;
+                    }
+                    let mut tranche_arcs = Vec::with_capacity(states.len() - 1);
+                    for w in states.windows(2) {
+                        let delta = w[1].0 - w[0].0;
+                        let arc = push_arc(&mut b, &mut arc_origin, e.src, e.dst, delta, 0.0, id)?;
+                        tranche_arcs.push(arc);
+                    }
+                    digits.push(StateDigit {
+                        edge: id,
+                        radix: states.len(),
+                        probs: states.iter().map(|&(_, p)| p).collect(),
+                        tranche_arcs,
+                    });
+                }
+                None => {
+                    if e.fail_prob >= 1.0 {
+                        continue; // never up: behaves as a deleted link
+                    }
+                    let arc = push_arc(
+                        &mut b,
+                        &mut arc_origin,
+                        e.src,
+                        e.dst,
+                        e.capacity,
+                        e.fail_prob,
+                        id,
+                    )?;
+                    if e.fail_prob == 0.0 {
+                        pinned |= 1u64 << arc;
+                    } else {
+                        digits.push(StateDigit {
+                            edge: id,
+                            radix: 2,
+                            probs: vec![e.fail_prob, 1.0 - e.fail_prob],
+                            tranche_arcs: vec![arc],
+                        });
+                    }
+                }
+            }
+        }
+        Ok(StateExpansion {
+            net: b.build(),
+            digits,
+            pinned,
+            arc_origin,
+        })
+    }
+
+    /// The per-digit radices, in digit order.
+    pub fn radices(&self) -> Vec<u32> {
+        self.digits.iter().map(|d| d.radix as u32).collect()
+    }
+
+    /// Total number of mixed-radix configurations `Π radices`, or `None` on
+    /// overflow past `2^63` (far beyond any enumerable sweep).
+    pub fn config_total(&self) -> Option<u64> {
+        let mut total: u64 = 1;
+        for d in &self.digits {
+            total = total.checked_mul(d.radix as u64)?;
+            if total > 1u64 << 63 {
+                return None;
+            }
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{GraphKind, NetworkBuilder};
+
+    #[test]
+    fn classify_rejects_bad_probabilities() {
+        assert!(classify_spectrum(&[]).is_err());
+        assert!(classify_spectrum(&[(1, 0.5), (2, 0.6)]).is_err());
+        assert!(classify_spectrum(&[(1, -0.1), (2, 1.1)]).is_err());
+        assert!(classify_spectrum(&[(1, f64::NAN), (2, 0.5)]).is_err());
+    }
+
+    #[test]
+    fn classify_normal_forms() {
+        assert_eq!(
+            classify_spectrum(&[(3, 1.0)]),
+            Ok(SpectrumForm::Deterministic { capacity: 3 })
+        );
+        // duplicate capacities merge, zero-probability states drop
+        assert_eq!(
+            classify_spectrum(&[(2, 0.5), (2, 0.5), (7, 0.0)]),
+            Ok(SpectrumForm::Deterministic { capacity: 2 })
+        );
+        assert_eq!(
+            classify_spectrum(&[(4, 0.75), (0, 0.25)]),
+            Ok(SpectrumForm::Binary {
+                capacity: 4,
+                fail_prob: 0.25
+            })
+        );
+        // 2 states with a nonzero floor stay multi-state
+        match classify_spectrum(&[(2, 0.5), (4, 0.5)]) {
+            Ok(SpectrumForm::Multi(sp)) => {
+                assert_eq!(sp.k(), 2);
+                assert_eq!(sp.min_capacity(), 2);
+                assert_eq!(sp.down_prob(), 0.0);
+            }
+            other => panic!("expected Multi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_sorts_and_keeps_three_states() {
+        match classify_spectrum(&[(4, 0.5), (0, 0.25), (2, 0.25)]) {
+            Ok(SpectrumForm::Multi(sp)) => {
+                assert_eq!(sp.states(), &[(0, 0.25), (2, 0.25), (4, 0.5)]);
+                assert_eq!(sp.max_capacity(), 4);
+                assert!((sp.down_prob() - 0.25).abs() < 1e-15);
+                assert!((sp.survival(1) - 0.75).abs() < 1e-15);
+            }
+            other => panic!("expected Multi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expansion_of_binary_network_is_identity_shaped() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1], 2, 0.25).unwrap();
+        b.add_edge(n[1], n[2], 1, 0.0).unwrap(); // perfect: pinned
+        let net = b.build();
+        let x = StateExpansion::build(&net).unwrap();
+        assert_eq!(x.net.edge_count(), 2);
+        assert_eq!(x.digits.len(), 1);
+        assert_eq!(x.digits[0].radix, 2);
+        assert_eq!(x.pinned, 0b10);
+        assert_eq!(x.config_total(), Some(2));
+    }
+
+    #[test]
+    fn expansion_of_three_state_link() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.2), (1, 0.3), (3, 0.5)])
+            .unwrap();
+        let net = b.build();
+        let x = StateExpansion::build(&net).unwrap();
+        // floor 0: no base arc; two tranches of capacity 1 and 2
+        assert_eq!(x.net.edge_count(), 2);
+        assert_eq!(x.net.edges()[0].capacity, 1);
+        assert_eq!(x.net.edges()[1].capacity, 2);
+        assert_eq!(x.pinned, 0);
+        let d = &x.digits[0];
+        assert_eq!(d.radix, 3);
+        assert_eq!(d.value_bits(0), 0b00);
+        assert_eq!(d.value_bits(1), 0b01);
+        assert_eq!(d.value_bits(2), 0b11);
+        assert_eq!(x.config_total(), Some(3));
+    }
+
+    #[test]
+    fn expansion_pins_nonzero_floor_and_skips_dead_links() {
+        let mut b = NetworkBuilder::new(GraphKind::Directed);
+        let n = b.add_nodes(2);
+        b.add_spectrum_edge(n[0], n[1], &[(1, 0.5), (4, 0.5)])
+            .unwrap();
+        b.add_edge(n[0], n[1], 9, 1.0).unwrap(); // always down: no arc
+        let net = b.build();
+        let x = StateExpansion::build(&net).unwrap();
+        assert_eq!(x.net.edge_count(), 2, "base arc + one tranche");
+        assert_eq!(x.net.edges()[0].capacity, 1);
+        assert_eq!(x.net.edges()[1].capacity, 3);
+        assert_eq!(x.pinned, 0b01);
+        assert_eq!(x.digits.len(), 1);
+        assert_eq!(x.arc_origin, vec![EdgeId(0), EdgeId(0)]);
+    }
+}

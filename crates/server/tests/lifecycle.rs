@@ -97,6 +97,53 @@ fn reduction_unifies_structurally_equivalent_instances_in_the_cache() {
     server.join();
 }
 
+/// Multi-state instances travel the wire as `spectrum` lines; the instance
+/// fingerprint is stamped over the full state space, so two instances that
+/// differ only in a state probability never share a cache entry, while an
+/// identical retransmit still hits.
+#[test]
+fn multistate_instances_travel_the_wire_and_fingerprint_distinctly() {
+    let server = start(ServerConfig::default()).unwrap();
+    let addr = server.addr().clone();
+    let net_a = "directed\nnodes 3\nspectrum 0 1 0:0.2 1:0.3 2:0.5\nedge 1 2 2 0.1\ndemand 0 2 2\n";
+    let net_b = "directed\nnodes 3\nspectrum 0 1 0:0.3 1:0.2 2:0.5\nedge 1 2 2 0.1\ndemand 0 2 2\n";
+    let reference = |text: &str| {
+        let f = fnet::parse(text).unwrap();
+        ReliabilityCalculator::new()
+            .with_strategy(Strategy::Naive)
+            .run_complete(&f.net, f.demand.unwrap())
+            .unwrap()
+            .reliability
+    };
+    let ref_a = reference(net_a);
+    let ref_b = reference(net_b);
+    // demand 2 needs the spectrum link's top state and the binary link up
+    assert!((ref_a - 0.45).abs() < 1e-12);
+    assert!((ref_b - 0.45).abs() < 1e-12);
+    let mut client = Client::connect(&addr).unwrap();
+    let mut ask = |net: &str| match client.compute(naive_compute(net.to_string())).unwrap() {
+        Response::Complete {
+            reliability,
+            cached,
+            ..
+        } => (reliability, cached),
+        other => panic!("expected Complete, got {other:?}"),
+    };
+    let (r_a, cached_a) = ask(net_a);
+    assert_eq!(r_a, ref_a, "wire answer must equal the local exact answer");
+    assert!(!cached_a);
+    let (r_b, cached_b) = ask(net_b);
+    assert_eq!(r_b, ref_b);
+    assert!(
+        !cached_b,
+        "a different state probability must change the fingerprint"
+    );
+    let (_, cached_again) = ask(net_a);
+    assert!(cached_again, "identical retransmit hits the result cache");
+    server.begin_shutdown();
+    server.join();
+}
+
 #[test]
 fn drain_restart_resume_is_bit_identical() {
     let state_dir = temp_state_dir();

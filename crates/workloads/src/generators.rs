@@ -142,6 +142,81 @@ pub fn barbell(params: BarbellParams) -> (Instance, Vec<EdgeId>) {
     (instance, cut)
 }
 
+/// Adds a generated spectrum edge; as with [`push_edge`], generators only
+/// emit valid state lists, so a rejection is a generator bug.
+fn push_spectrum_edge(
+    b: &mut NetworkBuilder,
+    u: NodeId,
+    v: NodeId,
+    states: &[(u64, f64)],
+) -> EdgeId {
+    match b.add_spectrum_edge(u, v, states) {
+        Ok(e) => e,
+        Err(e) => panic!("generator produced an invalid spectrum: {e}"),
+    }
+}
+
+/// The barbell with *degraded* bottleneck links: each cut link carries a
+/// 3-state capacity spectrum — **full** capacity, **half** capacity
+/// (`⌈cut_capacity / 2⌉`, a partially degraded link), or **down** — instead
+/// of the binary up/down pair. The clusters stay binary, so the instance
+/// exercises the mixed-radix enumeration exactly where the paper's
+/// bottleneck structure concentrates the uncertainty.
+///
+/// State probabilities are drawn on the same dyadic grid as the binary
+/// generators (so they sum to exactly 1), deterministic per seed. Requires
+/// `cut_capacity ≥ 2` so the three capacities are distinct and the spectrum
+/// does not collapse to a binary link.
+///
+/// Returns the instance and the planted bottleneck edge ids.
+pub fn degraded_barbell(params: BarbellParams) -> (Instance, Vec<EdgeId>) {
+    assert!(params.cluster_nodes >= 2);
+    assert!(params.cut_links >= 1);
+    assert!(
+        params.cut_capacity >= 2,
+        "degraded_barbell needs cut_capacity >= 2 for distinct full/half states"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let caps = (params.demand.max(1), params.demand.max(1) + 1);
+    let left = random_cluster(
+        &mut b,
+        params.cluster_nodes,
+        params.cluster_extra_edges,
+        caps,
+        &mut rng,
+    );
+    let right = random_cluster(
+        &mut b,
+        params.cluster_nodes,
+        params.cluster_extra_edges,
+        caps,
+        &mut rng,
+    );
+    let half = params.cut_capacity.div_ceil(2);
+    let mut cut = Vec::new();
+    for _ in 0..params.cut_links {
+        let u = left[rng.gen_range(0..left.len())];
+        let v = right[rng.gen_range(0..right.len())];
+        let p_down = rng.gen_range(1..=12) as f64 / 64.0;
+        let p_half = rng.gen_range(1..=12) as f64 / 64.0;
+        let p_full = 1.0 - p_down - p_half;
+        cut.push(push_spectrum_edge(
+            &mut b,
+            u,
+            v,
+            &[(0, p_down), (half, p_half), (params.cut_capacity, p_full)],
+        ));
+    }
+    let instance = Instance {
+        net: b.build(),
+        source: left[0],
+        sink: right[right.len() - 1],
+        demand: params.demand,
+    };
+    (instance, cut)
+}
+
 /// A chain of `segments` diamonds joined by bridges (the Fig. 2 family at
 /// scale). Every bridge separates `s` from `t`.
 pub fn bridge_chain(segments: usize, demand: u64, seed: u64) -> Instance {
@@ -468,6 +543,36 @@ mod tests {
         // without removal: connected
         let whole = connected_components(&inst.net, |_| false);
         assert_eq!(whole.count(), 1);
+    }
+
+    #[test]
+    fn degraded_barbell_cut_links_carry_three_state_spectra() {
+        let (inst, cut) = degraded_barbell(BarbellParams::default());
+        let comps = connected_components(&inst.net, |e| cut.iter().any(|c| c.index() == e));
+        assert_eq!(comps.count(), 2, "the planted cut still separates");
+        for &e in &cut {
+            let sp = inst.net.spectrum(e).expect("cut link must be multi-state");
+            assert_eq!(sp.k(), 3);
+            let states = sp.states();
+            assert_eq!(states[0].0, 0);
+            assert_eq!(states[1].0, 1, "half of cut_capacity 2");
+            assert_eq!(states[2].0, 2);
+            let total: f64 = states.iter().map(|&(_, p)| p).sum();
+            assert_eq!(total, 1.0, "dyadic grid probabilities sum exactly");
+        }
+        // cluster links stay binary
+        for i in 0..inst.net.edge_count() {
+            let id = EdgeId::from(i);
+            if !cut.contains(&id) {
+                assert!(inst.net.spectrum(id).is_none());
+            }
+        }
+        // deterministic per seed
+        let (again, _) = degraded_barbell(BarbellParams::default());
+        assert_eq!(inst.net.edge_count(), again.net.edge_count());
+        for (x, y) in inst.net.edges().iter().zip(again.net.edges()) {
+            assert_eq!(x, y);
+        }
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod generators;
 pub mod paper;
 
 pub use generators::{
-    barbell, barbell_mesh, bridge_chain, chained_barbell, er_random, grid, kary_nested_cut,
-    nested_barbell, Instance,
+    barbell, barbell_mesh, bridge_chain, chained_barbell, degraded_barbell, er_random, grid,
+    kary_nested_cut, nested_barbell, Instance,
 };

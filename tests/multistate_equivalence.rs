@@ -1,0 +1,303 @@
+//! Multi-state equivalence: the mixed-radix state space must be invisible
+//! when it is not used and exactly reducible when it is.
+//!
+//! * 2-state spectra normalize to plain binary links, so every strategy is
+//!   bit-identical to the legacy path;
+//! * a 3-state link equals its exact series-parallel binary gadget
+//!   expansion to 1e-12 across naive, plan, and Monte-Carlo strategies;
+//! * a budgeted mixed-radix sweep resumes bit-identically through the
+//!   checkpoint *text* round trip (the `radices` line);
+//! * Monte-Carlo confidence intervals cover the exact naive answer on
+//!   small multi-state instances across seeds and estimators.
+
+use flowrel::core::{
+    Budget, CalcOptions, Checkpoint, FlowDemand, Outcome, ReliabilityCalculator, Strategy,
+};
+use flowrel::montecarlo::{engine, EstimatorKind, McBudget, McOutcome, McSettings, StopTarget};
+use flowrel::netgraph::{GraphKind, Network, NetworkBuilder};
+
+/// Marginals of two independent parallel binary links of capacity `h` with
+/// failure probabilities `u` and `v`: the exact 3-state spectrum
+/// `{0: uv, h: u+v-2uv, 2h: (1-u)(1-v)}` the gadget realizes.
+fn gadget_spectrum(h: u64, u: f64, v: f64) -> [(u64, f64); 3] {
+    [
+        (0, u * v),
+        (h, u + v - 2.0 * u * v),
+        (2 * h, (1.0 - u) * (1.0 - v)),
+    ]
+}
+
+/// Barbell with a genuine binary 2-link bottleneck and one special link in
+/// the source cluster, built by `special`. The plan strategy decomposes on
+/// the binary cut; the special link lands inside a cut side.
+fn barbell_with(
+    special: impl FnOnce(&mut NetworkBuilder, &[flowrel::netgraph::NodeId]),
+) -> (Network, FlowDemand) {
+    let mut b = NetworkBuilder::new(GraphKind::Undirected);
+    let n = b.add_nodes(8);
+    special(&mut b, &n);
+    b.add_edge(n[1], n[2], 2, 0.15).unwrap();
+    b.add_edge(n[2], n[0], 2, 0.2).unwrap();
+    b.add_edge(n[0], n[3], 2, 0.12).unwrap();
+    b.add_edge(n[3], n[2], 2, 0.1).unwrap();
+    b.add_edge(n[2], n[4], 1, 0.05).unwrap(); // cut link 1
+    b.add_edge(n[3], n[5], 1, 0.08).unwrap(); // cut link 2
+    for (i, j, p) in [(4, 5, 0.1), (5, 6, 0.25), (6, 7, 0.3), (7, 4, 0.18)] {
+        b.add_edge(n[i], n[j], 2, p).unwrap();
+    }
+    (b.build(), FlowDemand::new(n[0], n[6], 2))
+}
+
+/// The barbell with a 3-state spectrum link `n0 - n1`.
+fn spectrum_barbell(h: u64, u: f64, v: f64) -> (Network, FlowDemand) {
+    barbell_with(|b, n| {
+        b.add_spectrum_edge(n[0], n[1], &gadget_spectrum(h, u, v))
+            .unwrap();
+    })
+}
+
+/// The same barbell with the spectrum link expanded into its binary
+/// parallel gadget: two capacity-`h` links with failure `u` and `v`.
+fn gadget_barbell(h: u64, u: f64, v: f64) -> (Network, FlowDemand) {
+    barbell_with(|b, n| {
+        b.add_edge(n[0], n[1], h, u).unwrap();
+        b.add_edge(n[0], n[1], h, v).unwrap();
+    })
+}
+
+fn calc(strategy: Strategy) -> ReliabilityCalculator {
+    ReliabilityCalculator::new().with_strategy(strategy)
+}
+
+fn run(c: &ReliabilityCalculator, net: &Network, d: FlowDemand) -> f64 {
+    c.run_complete(net, d)
+        .expect("unbudgeted run completes")
+        .reliability
+}
+
+/// A 2-state spectrum `{0: p, c: 1-p}` is exactly a binary link, so the
+/// builder normalizes it away and every strategy — exact and sampled —
+/// takes the legacy code path bit for bit.
+#[test]
+fn two_state_spectra_are_bit_identical_to_legacy_binary() {
+    let (legacy, d) = barbell_with(|b, n| {
+        b.add_edge(n[0], n[1], 2, 0.35).unwrap();
+    });
+    let (spectral, d2) = barbell_with(|b, n| {
+        b.add_spectrum_edge(n[0], n[1], &[(0, 0.35), (2, 0.65)])
+            .unwrap();
+    });
+    assert_eq!(d, d2);
+    assert!(
+        !spectral.has_multistate(),
+        "a 2-state spectrum must normalize to a plain binary link"
+    );
+    for strategy in [
+        Strategy::Naive,
+        Strategy::Auto,
+        Strategy::Factoring,
+        Strategy::BottleneckAuto { max_k: 2 },
+        Strategy::MonteCarlo(McSettings {
+            seed: 11,
+            target: StopTarget {
+                max_samples: 5_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+    ] {
+        let a = run(&calc(strategy.clone()), &legacy, d);
+        let b = run(&calc(strategy.clone()), &spectral, d);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{strategy:?}: legacy {a} vs 2-state spectrum {b}"
+        );
+    }
+}
+
+/// A 3-state link and its binary parallel-gadget expansion describe the
+/// same distribution over effective capacities, so the exact strategies
+/// agree to 1e-12 — naive against naive, and the bottleneck plan (which
+/// must keep the multi-state link out of the cut) against both.
+#[test]
+fn three_state_link_matches_its_binary_gadget_exactly() {
+    let (h, u, v) = (1, 0.4, 0.25);
+    let (spec_net, d) = spectrum_barbell(h, u, v);
+    let (gadget_net, dg) = gadget_barbell(h, u, v);
+    assert!(spec_net.has_multistate());
+
+    let reference = run(&calc(Strategy::Naive), &gadget_net, dg);
+    assert!(
+        (0.0..1.0).contains(&reference),
+        "fixture must be nondegenerate, got {reference}"
+    );
+
+    let naive = run(&calc(Strategy::Naive), &spec_net, d);
+    assert!(
+        (naive - reference).abs() < 1e-12,
+        "naive: spectrum {naive} vs gadget {reference}"
+    );
+
+    for strategy in [Strategy::Auto, Strategy::BottleneckAuto { max_k: 2 }] {
+        let rep = calc(strategy.clone())
+            .run_complete(&spec_net, d)
+            .expect("plan strategy handles multi-state sides");
+        assert!(
+            (rep.reliability - reference).abs() < 1e-12,
+            "{strategy:?}: spectrum {} vs gadget {reference} (algorithm {})",
+            rep.reliability,
+            rep.algorithm
+        );
+    }
+}
+
+/// The Monte-Carlo engine samples the 3-state instance itself; its 95%
+/// interval must cover the gadget-exact answer for both estimators that
+/// support spectra.
+#[test]
+fn montecarlo_on_spectrum_covers_the_gadget_exact_answer() {
+    let (h, u, v) = (1, 0.4, 0.25);
+    let (spec_net, d) = spectrum_barbell(h, u, v);
+    let (gadget_net, dg) = gadget_barbell(h, u, v);
+    let exact = run(&calc(Strategy::Naive), &gadget_net, dg);
+    for estimator in [EstimatorKind::Crude, EstimatorKind::Permutation] {
+        let settings = McSettings {
+            seed: 7,
+            estimator,
+            target: StopTarget {
+                max_samples: 30_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = engine::run(
+            &spec_net,
+            d.source,
+            d.sink,
+            d.demand,
+            &settings,
+            &McBudget::unlimited(),
+            false,
+        )
+        .unwrap();
+        let McOutcome::Done(done) = out else {
+            panic!("{estimator:?}: unlimited run must finish");
+        };
+        let r = done;
+        assert!(
+            (r.mean - exact).abs() <= 4.0 * r.std_error.max(1e-9),
+            "{estimator:?}: {} vs gadget exact {exact} (se {})",
+            r.mean,
+            r.std_error
+        );
+    }
+}
+
+/// A budgeted mixed-radix sweep interrupts, writes a checkpoint whose text
+/// form carries the `radices` line, and — resumed through the text round
+/// trip every slice — finishes bit-identical to the uninterrupted run.
+#[test]
+fn mixed_radix_budgeted_resume_is_bit_identical_through_text() {
+    let (net, d) = spectrum_barbell(1, 0.4, 0.25);
+    for strategy in [Strategy::Naive, Strategy::Auto] {
+        let exact = run(&calc(strategy.clone()), &net, d);
+        let budgeted = calc(strategy.clone()).with_options(CalcOptions {
+            budget: Budget {
+                max_configs: Some(9),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut out = budgeted.run(&net, d).expect("budgeted run");
+        let mut partials = 0usize;
+        let mut saw_radices = false;
+        let resumed = loop {
+            match out {
+                Outcome::Complete(rep) => break rep.reliability,
+                Outcome::Partial(p) => {
+                    assert!(
+                        p.r_low <= exact + 1e-12 && exact <= p.r_high + 1e-12,
+                        "{strategy:?}: [{}, {}] must bracket {exact}",
+                        p.r_low,
+                        p.r_high
+                    );
+                    partials += 1;
+                    assert!(partials < 100_000, "budget loop must make progress");
+                    let text = p.checkpoint.to_text();
+                    saw_radices |= text.lines().any(|l| l.starts_with("radices "));
+                    let ck = Checkpoint::from_text(&text).expect("text round trip");
+                    assert_eq!(ck, p.checkpoint, "text form must be lossless");
+                    out = budgeted.resume(&net, d, &ck).expect("resume");
+                }
+            }
+        };
+        assert!(partials > 0, "{strategy:?}: 9-config slices must interrupt");
+        assert!(
+            saw_radices,
+            "{strategy:?}: a multi-state checkpoint must record its radices"
+        );
+        assert_eq!(
+            resumed.to_bits(),
+            exact.to_bits(),
+            "{strategy:?}: resumed {resumed} vs uninterrupted {exact}"
+        );
+    }
+}
+
+/// Engine-level coverage sweep: on a small multi-state instance the 95%
+/// interval (4-sigma here, to keep the test deterministic-per-seed and
+/// honest about the multiple comparisons) covers the exact naive answer
+/// for every seed and spectrum-capable estimator.
+#[test]
+fn montecarlo_ci_covers_exact_naive_across_seeds() {
+    let mut b = NetworkBuilder::new(GraphKind::Directed);
+    let s = b.add_node();
+    let m = b.add_node();
+    let t = b.add_node();
+    b.add_spectrum_edge(s, m, &[(0, 0.2), (1, 0.3), (2, 0.5)])
+        .unwrap();
+    b.add_spectrum_edge(m, t, &[(0, 0.1), (1, 0.2), (2, 0.3), (3, 0.4)])
+        .unwrap();
+    b.add_edge(s, t, 1, 0.25).unwrap();
+    let net = b.build();
+    let d = FlowDemand::new(s, t, 2);
+    let exact = run(&calc(Strategy::Naive), &net, d);
+    assert!(
+        (0.0..1.0).contains(&exact),
+        "fixture must be nondegenerate, got {exact}"
+    );
+    for seed in [1u64, 7, 42, 99] {
+        for estimator in [EstimatorKind::Crude, EstimatorKind::Permutation] {
+            let settings = McSettings {
+                seed,
+                estimator,
+                target: StopTarget {
+                    max_samples: 20_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let out = engine::run(
+                &net,
+                d.source,
+                d.sink,
+                d.demand,
+                &settings,
+                &McBudget::unlimited(),
+                false,
+            )
+            .unwrap();
+            let McOutcome::Done(done) = out else {
+                panic!("{estimator:?} seed {seed}: unlimited run must finish");
+            };
+            let r = done;
+            assert!(
+                (r.mean - exact).abs() <= 4.0 * r.std_error.max(1e-9),
+                "{estimator:?} seed {seed}: {} vs exact {exact} (se {})",
+                r.mean,
+                r.std_error
+            );
+        }
+    }
+}
